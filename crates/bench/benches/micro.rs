@@ -1,0 +1,278 @@
+//! Criterion micro-benchmarks backing the paper's component-level claims:
+//!
+//! * raw-parse costs: JSON ≫ CSV, positional maps cut re-access cost,
+//! * layout scans: columnar vs Dremel, record- vs element-level (§4.1),
+//! * layout writes: Dremel shreds faster than columnar flattens (Fig. 6),
+//! * R-tree subsumption lookups in the microsecond range (§3.3: 2–15 µs),
+//! * sampled vs naive timing overhead (§5.1: naive adds 5–10%),
+//! * eviction-decision cost for the Greedy-Dual policy.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use recache_cache::eviction::{EvictionContext, EvictionPolicy, EvictView, GreedyDualRecache};
+use recache_cache::stats::EntryStats;
+use recache_data::gen::{nested, tpch};
+use recache_data::{csv, json, FileFormat, RawFile};
+use recache_engine::profiler::SampledTimer;
+use recache_layout::{ColumnStore, DremelStore};
+use recache_rtree::{RTree, Rect};
+use std::hint::black_box;
+
+fn parse_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("raw_parse");
+    group.sample_size(20);
+
+    let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0005, 42);
+    let li_schema = tpch::lineitem_schema();
+    let csv_bytes = csv::write_csv(&li_schema, &lineitems);
+    let nested_records = tpch::gen_order_lineitems(0.0005, 42);
+    let ol_schema = tpch::order_lineitems_schema();
+    let json_bytes = json::write_json(&ol_schema, &nested_records);
+
+    group.bench_function("csv_first_scan", |b| {
+        b.iter_batched(
+            || RawFile::from_bytes(csv_bytes.clone(), FileFormat::Csv, li_schema.clone()),
+            |file| {
+                let accessed = vec![true; file.leaves().len()];
+                let mut n = 0usize;
+                file.scan_projected(&accessed, &mut |_, _| n += 1).unwrap();
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("json_first_scan", |b| {
+        b.iter_batched(
+            || RawFile::from_bytes(json_bytes.clone(), FileFormat::Json, ol_schema.clone()),
+            |file| {
+                let accessed = vec![true; file.leaves().len()];
+                let mut n = 0usize;
+                file.scan_projected(&accessed, &mut |_, _| n += 1).unwrap();
+                black_box(n)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Positional-map-assisted selective re-scan (2 of 16 columns).
+    let csv_file =
+        RawFile::from_bytes(csv_bytes.clone(), FileFormat::Csv, li_schema.clone());
+    let full = vec![true; csv_file.leaves().len()];
+    csv_file.scan_projected(&full, &mut |_, _| {}).unwrap();
+    group.bench_function("csv_mapped_selective_scan", |b| {
+        b.iter(|| {
+            let mut accessed = vec![false; csv_file.leaves().len()];
+            accessed[4] = true; // l_quantity
+            accessed[5] = true; // l_extendedprice
+            let mut n = 0usize;
+            csv_file.scan_projected(&accessed, &mut |_, _| n += 1).unwrap();
+            black_box(n)
+        })
+    });
+
+    let json_file =
+        RawFile::from_bytes(json_bytes.clone(), FileFormat::Json, ol_schema.clone());
+    let full = vec![true; json_file.leaves().len()];
+    json_file.scan_projected(&full, &mut |_, _| {}).unwrap();
+    group.bench_function("json_mapped_non_nested_scan", |b| {
+        b.iter(|| {
+            let mut accessed = vec![false; json_file.leaves().len()];
+            accessed[0] = true; // o_orderkey
+            accessed[3] = true; // o_totalprice
+            let mut n = 0usize;
+            json_file.scan_projected(&accessed, &mut |_, _| n += 1).unwrap();
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn layout_scans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_scan");
+    group.sample_size(20);
+    let schema = nested::synthetic_nested_schema();
+    let records = nested::gen_synthetic_nested(4_000, 4, 42);
+    let columnar = ColumnStore::build(&schema, records.iter());
+    let dremel = DremelStore::build(&schema, records.iter());
+    let all: Vec<usize> = (0..schema.leaves().len()).collect();
+    let flat: Vec<usize> = vec![0, 1, 2];
+
+    group.bench_function("columnar_element_level", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            columnar.scan(&all, false, &mut |_| n += 1);
+            black_box(n)
+        })
+    });
+    group.bench_function("dremel_element_level", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            dremel.scan(&all, false, &mut |_| n += 1);
+            black_box(n)
+        })
+    });
+    group.bench_function("columnar_record_level", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            columnar.scan(&flat, true, &mut |_| n += 1);
+            black_box(n)
+        })
+    });
+    group.bench_function("dremel_record_level_short_columns", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            dremel.scan(&flat, true, &mut |_| n += 1);
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn layout_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout_write");
+    group.sample_size(15);
+    let schema = nested::synthetic_nested_schema();
+    let records = nested::gen_synthetic_nested(2_000, 8, 42);
+    group.bench_function("columnar_build", |b| {
+        b.iter(|| black_box(ColumnStore::build(&schema, records.iter())))
+    });
+    group.bench_function("dremel_build", |b| {
+        b.iter(|| black_box(DremelStore::build(&schema, records.iter())))
+    });
+    group.finish();
+}
+
+fn rtree_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rtree");
+    // §3.3: subsumption lookups should land in the low microseconds.
+    let mut tree: RTree<1, u64> = RTree::new();
+    for i in 0..10_000u64 {
+        let lo = (i % 1000) as f64;
+        tree.insert(Rect::new([lo], [lo + 25.0]), i);
+    }
+    group.bench_function("covering_lookup_10k", |b| {
+        let mut q = 0.0f64;
+        b.iter(|| {
+            q = (q + 7.3) % 900.0;
+            let query = Rect::new([q + 5.0], [q + 6.0]);
+            let mut found = 0usize;
+            tree.covering(&query, &mut |_, _| found += 1);
+            black_box(found)
+        })
+    });
+    group.bench_function("insert", |b| {
+        let mut i = 0u64;
+        b.iter_batched(
+            || tree.clone(),
+            |mut t| {
+                i += 1;
+                t.insert(Rect::new([i as f64 % 1000.0], [i as f64 % 1000.0 + 10.0]), i);
+                black_box(t.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn profiler_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profiler");
+    // §5.1: timing every record adds 5-10%; sampling <1% is negligible.
+    fn work(x: u64) -> u64 {
+        let mut acc = x;
+        for i in 0..40 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        acc
+    }
+    group.bench_function("no_timing", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc ^= work(i);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("naive_per_record_timing", |b| {
+        b.iter(|| {
+            let mut timer = SampledTimer::new(1);
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc ^= timer.observe(|| work(i));
+            }
+            black_box((acc, timer.estimated_total_ns()))
+        })
+    });
+    group.bench_function("sampled_1_in_128_timing", |b| {
+        b.iter(|| {
+            let mut timer = SampledTimer::new(128);
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                acc ^= timer.observe(|| work(i));
+            }
+            black_box((acc, timer.estimated_total_ns()))
+        })
+    });
+    group.finish();
+}
+
+fn eviction_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eviction");
+    let stats: Vec<EntryStats> = (0..500u64)
+        .map(|i| EntryStats {
+            n: i % 7,
+            t_ns: 1_000 * (i + 1),
+            c_ns: 100 * (i + 1),
+            s_ns: 10,
+            l_ns: 1,
+            bytes: 1_000 + (i as usize * 97) % 50_000,
+            last_access: i,
+            access_count: i % 11,
+            created_at: 0,
+        })
+        .collect();
+    group.bench_function("greedy_dual_500_entries", |b| {
+        b.iter_batched(
+            || {
+                let mut policy = GreedyDualRecache::new();
+                for (i, st) in stats.iter().enumerate() {
+                    policy.on_admit(i as u64, st);
+                }
+                policy
+            },
+            |mut policy| {
+                let views: Vec<EvictView<'_>> = stats
+                    .iter()
+                    .enumerate()
+                    .map(|(i, st)| EvictView {
+                        id: i as u64,
+                        stats: st,
+                        format: FileFormat::Csv,
+                        source: "t",
+                        next_use: None,
+                    })
+                    .collect();
+                let ctx = EvictionContext {
+                    entries: views,
+                    need_bytes: 100_000,
+                    clock: 1_000,
+                    has_oracle: false,
+                };
+                black_box(policy.select_victims(&ctx))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    parse_costs,
+    layout_scans,
+    layout_writes,
+    rtree_ops,
+    profiler_overhead,
+    eviction_decision
+);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Minimal `--key value` / `--key=value` flag parsing for the figure
+//! binaries (no external dependency needed).
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses `std::env::args`.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (tests).
+    pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
+        let mut values = HashMap::new();
+        let mut pending: Option<String> = None;
+        for arg in args {
+            if let Some(rest) = arg.strip_prefix("--") {
+                if let Some(key) = pending.take() {
+                    values.insert(key, "true".to_owned());
+                }
+                match rest.split_once('=') {
+                    Some((k, v)) => {
+                        values.insert(k.to_owned(), v.to_owned());
+                    }
+                    None => pending = Some(rest.to_owned()),
+                }
+            } else if let Some(key) = pending.take() {
+                values.insert(key, arg);
+            }
+        }
+        if let Some(key) = pending {
+            values.insert(key, "true".to_owned());
+        }
+        Args { values }
+    }
+
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    pub fn str(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_owned())
+    }
+
+    pub fn flag(&self, key: &str) -> bool {
+        self.values.get(key).is_some_and(|v| v != "false")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::from_iter(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_both_styles() {
+        let a = args(&["--sf=0.01", "--queries", "600", "--verbose"]);
+        assert_eq!(a.f64("sf", 1.0), 0.01);
+        assert_eq!(a.usize("queries", 0), 600);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = args(&[]);
+        assert_eq!(a.f64("sf", 0.5), 0.5);
+        assert_eq!(a.str("variant", "a"), "a");
+        assert_eq!(a.u64("seed", 42), 42);
+    }
+
+    #[test]
+    fn malformed_values_fall_back() {
+        let a = args(&["--sf", "abc"]);
+        assert_eq!(a.f64("sf", 0.25), 0.25);
+        assert_eq!(a.str("sf", "x"), "abc");
+    }
+}

@@ -1,0 +1,86 @@
+//! Figure 1: execution times for a sequence of queries on nested data,
+//! cached using Parquet (Dremel) and relational columnar layouts.
+//!
+//! 600 select-project-aggregate queries over `orderLineitems`; queries
+//! 1–300 draw attributes from all attributes, 301–600 from non-nested
+//! attributes only. Caches are populated beforehand. The paper's shape:
+//! the columnar layout wins the first phase, Parquet wins the second.
+
+use recache_bench::datasets::register_order_lineitems;
+use recache_bench::output::{self, Table};
+use recache_bench::{run_workload, warm_full_cache, Args};
+use recache_core::{Admission, LayoutPolicy, ReCache};
+use recache_workload::{spa_workload, PoolPhase, SpaConfig};
+
+fn main() {
+    let args = Args::parse();
+    let sf = args.f64("sf", 0.001);
+    let per_phase = args.usize("queries-per-phase", 300);
+    let seed = args.u64("seed", 42);
+    output::print_header(
+        "fig01",
+        "per-query execution time on nested data: Parquet vs relational columnar",
+        &[
+            ("sf", sf.to_string()),
+            ("queries-per-phase", per_phase.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let phases =
+        [(PoolPhase::AllAttrs, per_phase), (PoolPhase::NonNestedOnly, per_phase)];
+    let mut series = Vec::new();
+    for policy in [LayoutPolicy::FixedColumnar, LayoutPolicy::FixedDremel] {
+        let mut session = ReCache::builder()
+            .layout_policy(policy)
+            .admission(Admission::eager_only())
+            .build();
+        let domains = register_order_lineitems(&mut session, sf, seed);
+        warm_full_cache(&mut session, "orderLineitems").expect("warmup");
+        let specs = spa_workload(
+            "orderLineitems",
+            &domains,
+            &phases,
+            &SpaConfig::default(),
+            seed,
+        );
+        let outcomes = run_workload(&mut session, &specs).expect("workload");
+        series.push(outcomes);
+    }
+
+    let columnar: Vec<f64> =
+        series[0].iter().map(|o| o.total_ns as f64 / 1e9).collect();
+    let dremel: Vec<f64> = series[1].iter().map(|o| o.total_ns as f64 / 1e9).collect();
+    let columnar_smooth = output::moving_avg(&columnar, 25);
+    let dremel_smooth = output::moving_avg(&dremel, 25);
+
+    let table = Table::new(&[
+        "query",
+        "rel_columnar_s",
+        "parquet_s",
+        "rel_columnar_smooth_s",
+        "parquet_smooth_s",
+    ]);
+    for i in 0..columnar.len() {
+        table.row(&[
+            (i + 1).to_string(),
+            output::f(columnar[i]),
+            output::f(dremel[i]),
+            output::f(columnar_smooth[i]),
+            output::f(dremel_smooth[i]),
+        ]);
+    }
+
+    let phase = |v: &[f64], lo: usize, hi: usize| -> f64 { v[lo..hi].iter().sum() };
+    let n = columnar.len();
+    println!(
+        "# summary phase1(all attrs): columnar={:.4}s parquet={:.4}s (expect columnar faster)",
+        phase(&columnar, 0, n / 2),
+        phase(&dremel, 0, n / 2)
+    );
+    println!(
+        "# summary phase2(non-nested): columnar={:.4}s parquet={:.4}s (expect parquet faster)",
+        phase(&columnar, n / 2, n),
+        phase(&dremel, n / 2, n)
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 6: time required to write nested data into an in-memory cache
+//! using Parquet (Dremel) and relational columnar layouts, vs the nested
+//! array's cardinality.
+//!
+//! Paper's shape: the Parquet layout is faster to write (smaller memory
+//! footprint, no duplication), increasingly so as cardinality grows.
+
+use recache_bench::output::{self, Table};
+use recache_bench::Args;
+use recache_data::gen::nested::{gen_synthetic_nested, synthetic_nested_schema};
+use recache_layout::{ColumnStore, DremelStore};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let records = args.usize("records", 20_000);
+    let seed = args.u64("seed", 42);
+    let repeats = args.usize("repeats", 3);
+    output::print_header(
+        "fig06",
+        "cache write latency vs list cardinality",
+        &[("records", records.to_string()), ("seed", seed.to_string())],
+    );
+
+    let schema = synthetic_nested_schema();
+    let table = Table::new(&[
+        "cardinality",
+        "rel_columnar_write_s",
+        "parquet_write_s",
+        "columnar_bytes",
+        "parquet_bytes",
+    ]);
+    for cardinality in (0..=20).step_by(2) {
+        let n_records = (records / cardinality.max(1)).max(64);
+        let data = gen_synthetic_nested(n_records, cardinality, seed);
+
+        let t0 = Instant::now();
+        let mut columnar_bytes = 0usize;
+        for _ in 0..repeats {
+            let store = ColumnStore::build(&schema, data.iter());
+            columnar_bytes = store.byte_size();
+            std::hint::black_box(&store);
+        }
+        let columnar_s = t0.elapsed().as_secs_f64() / repeats as f64;
+
+        let t0 = Instant::now();
+        let mut parquet_bytes = 0usize;
+        for _ in 0..repeats {
+            let store = DremelStore::build(&schema, data.iter());
+            parquet_bytes = store.byte_size();
+            std::hint::black_box(&store);
+        }
+        let parquet_s = t0.elapsed().as_secs_f64() / repeats as f64;
+
+        table.row(&[
+            cardinality.to_string(),
+            output::f(columnar_s),
+            output::f(parquet_s),
+            columnar_bytes.to_string(),
+            parquet_bytes.to_string(),
+        ]);
+    }
+    println!("# expect: parquet writes faster than columnar as cardinality grows");
+}

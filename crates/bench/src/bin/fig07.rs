@@ -1,0 +1,115 @@
+//! Figure 7: CDF of the percentage error between the actual cost of
+//! scanning a cache and the cost predicted by ReCache's layout cost
+//! model, on the `orderLineitems` dataset.
+//!
+//! Method (as in §4.2): run each query over the cache in the Parquet
+//! layout, predict what the relational columnar layout would have cost
+//! (`D · R/ri`), then run the same workload with layouts interchanged and
+//! compare predictions with measurements. Paper: error within 10% for
+//! 90% of queries, within 30% for 98%.
+
+use recache_bench::datasets::register_order_lineitems;
+use recache_bench::output::{self, Table};
+use recache_bench::{warm_full_cache, Args};
+use recache_core::{Admission, LayoutPolicy, ReCache};
+use recache_engine::sql::QuerySpec;
+use recache_workload::{spa_workload, PoolPhase, SpaConfig};
+
+/// Per-query cache-scan measurements.
+struct Obs {
+    d_ns: u64,
+    c_ns: u64,
+    rows_needed: usize,
+    total_rows: usize,
+}
+
+fn measure(policy: LayoutPolicy, sf: f64, seed: u64, specs: &[QuerySpec]) -> Vec<Obs> {
+    let mut session = ReCache::builder()
+        .layout_policy(policy)
+        .admission(Admission::eager_only())
+        .build();
+    let domains = register_order_lineitems(&mut session, sf, seed);
+    let _ = domains;
+    warm_full_cache(&mut session, "orderLineitems").expect("warmup");
+    let mut out = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let result = session.run(spec).expect("query");
+        let t = &result.stats.exec.tables[0];
+        let cost = t.cache_scan.expect("cache scan");
+        let total_rows = t.flattened_rows.expect("cached table");
+        let rows_needed =
+            if t.record_level { t.records_scanned } else { total_rows };
+        out.push(Obs {
+            d_ns: cost.data_ns,
+            c_ns: cost.compute_ns,
+            rows_needed,
+            total_rows,
+        });
+    }
+    out
+}
+
+fn main() {
+    let args = Args::parse();
+    let sf = args.f64("sf", 0.001);
+    let queries = args.usize("queries", 300);
+    let seed = args.u64("seed", 42);
+    output::print_header(
+        "fig07",
+        "percentage error CDF: predicted vs actual cache scan cost",
+        &[
+            ("sf", sf.to_string()),
+            ("queries", queries.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let mut session = ReCache::builder().build();
+    let domains = register_order_lineitems(&mut session, sf, seed);
+    let specs = spa_workload(
+        "orderLineitems",
+        &domains,
+        &[
+            (PoolPhase::AllAttrs, queries / 2),
+            (PoolPhase::NonNestedOnly, queries - queries / 2),
+        ],
+        &SpaConfig::default(),
+        seed,
+    );
+
+    let dremel = measure(LayoutPolicy::FixedDremel, sf, seed, &specs);
+    let columnar = measure(LayoutPolicy::FixedColumnar, sf, seed, &specs);
+
+    let mut errors: Vec<f64> = Vec::with_capacity(specs.len() * 2);
+    for (d, c) in dremel.iter().zip(&columnar) {
+        // Direction 1 (Eq. 2): from the Parquet run, predict the columnar
+        // scan cost as D · R/ri.
+        let scale = d.total_rows as f64 / d.rows_needed.max(1) as f64;
+        let predicted_columnar = d.d_ns as f64 * scale;
+        let actual_columnar = (c.d_ns + c.c_ns) as f64;
+        if actual_columnar > 0.0 {
+            errors
+                .push((predicted_columnar - actual_columnar).abs() / actual_columnar * 100.0);
+        }
+        // Direction 2 (Eq. 5): from the columnar run, predict the Parquet
+        // scan cost as (D + ComputeCost(ri, ci)) · ri/R, where the
+        // nearest-neighbour compute estimate is this very query's C.
+        let ratio = c.rows_needed.max(1) as f64 / c.total_rows.max(1) as f64;
+        let predicted_parquet = (c.d_ns as f64 + d.c_ns as f64) * ratio;
+        let actual_parquet = (d.d_ns + d.c_ns) as f64;
+        if actual_parquet > 0.0 {
+            errors.push((predicted_parquet - actual_parquet).abs() / actual_parquet * 100.0);
+        }
+    }
+
+    let table = Table::new(&["series", "percentile", "pct_error"]);
+    output::print_cdf(&table, "cost_model_error", &mut errors);
+    let within = |threshold: f64, errors: &[f64]| {
+        errors.iter().filter(|&&e| e <= threshold).count() as f64 / errors.len() as f64 * 100.0
+    };
+    println!(
+        "# summary: {:.1}% of predictions within 10% error, {:.1}% within 30% (paper: 90% / 98%)",
+        within(10.0, &errors),
+        within(30.0, &errors)
+    );
+}

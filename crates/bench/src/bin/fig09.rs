@@ -1,0 +1,124 @@
+//! Figure 9: execution times for query sequences over nested data,
+//! cached using Parquet, relational columnar and ReCache's automatic
+//! layout strategy.
+//!
+//! Variants (`--variant`):
+//! * `a` — first half draws attributes from all, second half from
+//!   non-nested only (Fig. 9a),
+//! * `b` — the attribute pool switches every `phase-len` queries
+//!   (Fig. 9b),
+//! * `c` — 50% of queries draw from all attributes, at random (Fig. 9c).
+//!
+//! Paper's shape: ReCache tracks the better layout in each phase; spikes
+//! mark the layout-switch transformations.
+
+use recache_bench::datasets::register_order_lineitems;
+use recache_bench::output::{self, Table};
+use recache_bench::{run_workload, warm_full_cache, Args};
+use recache_core::{Admission, LayoutPolicy, ReCache};
+use recache_workload::{spa_workload, PoolPhase, SpaConfig};
+
+fn main() {
+    let args = Args::parse();
+    let sf = args.f64("sf", 0.001);
+    let variant = args.str("variant", "a");
+    let per_phase = args.usize("phase-len", if variant == "b" { 100 } else { 300 });
+    let total = args.usize("queries", 600);
+    let seed = args.u64("seed", 42);
+    output::print_header(
+        "fig09",
+        "automatic layout selection vs fixed layouts (per-query times)",
+        &[
+            ("variant", variant.clone()),
+            ("sf", sf.to_string()),
+            ("queries", total.to_string()),
+            ("phase-len", per_phase.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let phases: Vec<(PoolPhase, usize)> = match variant.as_str() {
+        "a" => vec![(PoolPhase::AllAttrs, total / 2), (PoolPhase::NonNestedOnly, total / 2)],
+        "b" => {
+            let mut phases = Vec::new();
+            let mut produced = 0;
+            let mut all = true;
+            while produced < total {
+                let n = per_phase.min(total - produced);
+                phases.push((
+                    if all { PoolPhase::AllAttrs } else { PoolPhase::NonNestedOnly },
+                    n,
+                ));
+                produced += n;
+                all = !all;
+            }
+            phases
+        }
+        "c" => vec![(PoolPhase::NestedFraction(0.5), total)],
+        other => panic!("unknown variant '{other}' (use a|b|c)"),
+    };
+
+    let policies = [
+        ("rel_columnar", LayoutPolicy::FixedColumnar),
+        ("parquet", LayoutPolicy::FixedDremel),
+        ("recache", LayoutPolicy::Auto),
+    ];
+    let mut series = Vec::new();
+    for (_, policy) in policies {
+        let mut session = ReCache::builder()
+            .layout_policy(policy)
+            .admission(Admission::eager_only())
+            .build();
+        let domains = register_order_lineitems(&mut session, sf, seed);
+        warm_full_cache(&mut session, "orderLineitems").expect("warmup");
+        let specs =
+            spa_workload("orderLineitems", &domains, &phases, &SpaConfig::default(), seed);
+        let outcomes = run_workload(&mut session, &specs).expect("workload");
+        series.push(outcomes.iter().map(|o| o.total_ns as f64 / 1e9).collect::<Vec<_>>());
+    }
+
+    let smooth: Vec<Vec<f64>> =
+        series.iter().map(|s| output::moving_avg(s, 25)).collect();
+    let table = Table::new(&[
+        "query",
+        "rel_columnar_s",
+        "parquet_s",
+        "recache_s",
+        "rel_columnar_smooth_s",
+        "parquet_smooth_s",
+        "recache_smooth_s",
+    ]);
+    for i in 0..series[0].len() {
+        table.row(&[
+            (i + 1).to_string(),
+            output::f(series[0][i]),
+            output::f(series[1][i]),
+            output::f(series[2][i]),
+            output::f(smooth[0][i]),
+            output::f(smooth[1][i]),
+            output::f(smooth[2][i]),
+        ]);
+    }
+
+    let totals: Vec<f64> = series.iter().map(|s| s.iter().sum()).collect();
+    // Optimal = per-query minimum of the two fixed layouts.
+    let optimal: f64 = (0..series[0].len())
+        .map(|i| series[0][i].min(series[1][i]))
+        .sum();
+    let closer = |fixed: f64, recache: f64| -> f64 {
+        if fixed - optimal <= 0.0 {
+            100.0
+        } else {
+            (fixed - recache) / (fixed - optimal) * 100.0
+        }
+    };
+    println!(
+        "# summary totals: columnar={:.4}s parquet={:.4}s recache={:.4}s optimal={:.4}s",
+        totals[0], totals[1], totals[2], optimal
+    );
+    println!(
+        "# summary: recache is {:.0}% closer to optimal than parquet, {:.0}% closer than columnar (paper fig9a: 53% / 43%)",
+        closer(totals[1], totals[2]),
+        closer(totals[0], totals[2])
+    );
+}

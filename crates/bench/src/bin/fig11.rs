@@ -1,0 +1,113 @@
+//! Figure 11: sensitivity analysis of automatic layout selection.
+//!
+//! Variants (`--variant`):
+//! * `a` — Symantec mix (90% JSON SPA, 10% JSON⋈CSV SPJ); sweep the
+//!   percentage of queries accessing nested attributes (Fig. 11a),
+//! * `b` — Yelp SPA; same sweep (Fig. 11b),
+//! * `c` — Symantec SPA; sweep the percentage of queries over JSON, the
+//!   last half of which access nested attributes (Fig. 11c).
+//!
+//! Output: percentage reduction in total execution time of ReCache
+//! relative to the fixed Parquet and relational columnar layouts.
+//! Paper's shape: vs Parquet the reduction grows with nested access; vs
+//! columnar it shrinks (and can go slightly negative at 100% nested).
+
+use recache_bench::datasets::{register_spam, register_yelp};
+use recache_bench::output::{self, Table};
+use recache_bench::{run_workload, Args};
+use recache_core::{Admission, LayoutPolicy, ReCache};
+use recache_engine::sql::QuerySpec;
+use recache_workload::{
+    mixed_spa_workload, spam_mixed_workload, SpaConfig, SpamMixConfig,
+};
+
+fn run_total(
+    policy: LayoutPolicy,
+    make: &dyn Fn(&mut ReCache) -> Vec<QuerySpec>,
+) -> f64 {
+    let mut session = ReCache::builder()
+        .layout_policy(policy)
+        .admission(Admission::eager_only())
+        .build();
+    let specs = make(&mut session);
+    let outcomes = run_workload(&mut session, &specs).expect("workload");
+    outcomes.iter().map(|o| o.total_ns as f64 / 1e9).sum()
+}
+
+fn main() {
+    let args = Args::parse();
+    let variant = args.str("variant", "a");
+    let queries = args.usize("queries", 250);
+    let records = args.usize("records", 4_000);
+    let seed = args.u64("seed", 42);
+    output::print_header(
+        "fig11",
+        "sensitivity of automatic layout selection",
+        &[
+            ("variant", variant.clone()),
+            ("queries", queries.to_string()),
+            ("records", records.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let sweep: Vec<usize> = vec![0, 20, 40, 60, 80, 100];
+    let table = Table::new(&[
+        "sweep_pct",
+        "reduction_vs_parquet_pct",
+        "reduction_vs_columnar_pct",
+    ]);
+    for pct in sweep {
+        let p = pct as f64 / 100.0;
+        let make: Box<dyn Fn(&mut ReCache) -> Vec<QuerySpec>> = match variant.as_str() {
+            "a" => Box::new(move |session: &mut ReCache| {
+                let (jd, cd) = register_spam(session, records, records * 2, seed);
+                let config = SpamMixConfig {
+                    json_fraction: 0.9,
+                    nested_fraction: p,
+                    join_fraction: 0.1,
+                    spa: SpaConfig::default(),
+                };
+                spam_mixed_workload("spam_json", &jd, "spam_csv", &cd, queries, &config, seed)
+            }),
+            "b" => Box::new(move |session: &mut ReCache| {
+                let domains =
+                    register_yelp(session, records / 8, records / 4, records, seed);
+                mixed_spa_workload(
+                    &[
+                        ("business", &domains["business"]),
+                        ("user", &domains["user"]),
+                        ("review", &domains["review"]),
+                    ],
+                    p,
+                    queries,
+                    &SpaConfig::default(),
+                    seed,
+                )
+            }),
+            "c" => Box::new(move |session: &mut ReCache| {
+                let (jd, cd) = register_spam(session, records, records * 2, seed);
+                let config = SpamMixConfig {
+                    json_fraction: p,
+                    // Last 50% of queries access nested data in the
+                    // paper; a 0.5 nested fraction preserves the mix.
+                    nested_fraction: 0.5,
+                    join_fraction: 0.0,
+                    spa: SpaConfig::default(),
+                };
+                spam_mixed_workload("spam_json", &jd, "spam_csv", &cd, queries, &config, seed)
+            }),
+            other => panic!("unknown variant '{other}' (use a|b|c)"),
+        };
+
+        let recache = run_total(LayoutPolicy::Auto, &*make);
+        let parquet = run_total(LayoutPolicy::FixedDremel, &*make);
+        let columnar = run_total(LayoutPolicy::FixedColumnar, &*make);
+        table.row(&[
+            pct.to_string(),
+            output::f((parquet - recache) / parquet * 100.0),
+            output::f((columnar - recache) / columnar * 100.0),
+        ]);
+    }
+    println!("# expect: reduction vs parquet grows with the sweep; vs columnar it shrinks");
+}

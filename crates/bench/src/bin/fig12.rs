@@ -1,0 +1,86 @@
+//! Figure 12: CDF of per-query caching overhead on the TPC-H SPJ
+//! workload.
+//!
+//! * variant `a` — lazy vs eager vs ReCache (threshold 10%); paper: mean
+//!   overhead 2.5% (lazy), 20% (eager), 8.2% (ReCache — a 59% reduction
+//!   vs eager),
+//! * variant `b` — sweep of the switching threshold T ∈ {1, 10, 20, 50}%
+//!   plus the lazy baseline.
+
+use recache_bench::datasets::register_tpch;
+use recache_bench::output::{self, print_cdf, Table};
+use recache_bench::{run_workload, Args};
+use recache_core::{Admission, ReCache};
+use recache_workload::{tpch_spj_workload, SpjConfig};
+
+fn overheads(admission: Admission, sf: f64, queries: usize, seed: u64) -> Vec<f64> {
+    let mut session = ReCache::builder().admission(admission).build();
+    let domains = register_tpch(&mut session, sf, seed, false);
+    let specs = tpch_spj_workload(&domains, queries, &SpjConfig::default(), seed);
+    let outcomes = run_workload(&mut session, &specs).expect("workload");
+    outcomes.iter().map(|o| o.overhead() * 100.0).collect()
+}
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len().max(1) as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let variant = args.str("variant", "a");
+    let sf = args.f64("sf", 0.002);
+    let queries = args.usize("queries", 100);
+    let seed = args.u64("seed", 42);
+    output::print_header(
+        "fig12",
+        "CDF of per-query caching overhead (TPC-H SPJ)",
+        &[
+            ("variant", variant.clone()),
+            ("sf", sf.to_string()),
+            ("queries", queries.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let table = Table::new(&["series", "percentile", "overhead_pct"]);
+    match variant.as_str() {
+        "a" => {
+            let mut lazy = overheads(Admission::lazy_only(), sf, queries, seed);
+            let mut eager = overheads(Admission::eager_only(), sf, queries, seed);
+            let mut recache = overheads(Admission::with_threshold(0.10), sf, queries, seed);
+            println!(
+                "# summary means: lazy={:.2}% eager={:.2}% recache={:.2}% (paper: 2.5 / 20 / 8.2)",
+                mean(&lazy),
+                mean(&eager),
+                mean(&recache)
+            );
+            println!(
+                "# summary: recache reduces mean overhead vs eager by {:.0}% (paper: 59%)",
+                (mean(&eager) - mean(&recache)) / mean(&eager) * 100.0
+            );
+            print_cdf(&table, "lazy", &mut lazy);
+            print_cdf(&table, "eager", &mut eager);
+            print_cdf(&table, "recache_T10", &mut recache);
+        }
+        "b" => {
+            let mut lazy = overheads(Admission::lazy_only(), sf, queries, seed);
+            print_cdf(&table, "lazy", &mut lazy);
+            for threshold in [0.01, 0.10, 0.20, 0.50] {
+                let mut series =
+                    overheads(Admission::with_threshold(threshold), sf, queries, seed);
+                println!(
+                    "# summary mean T={:.0}%: {:.2}%",
+                    threshold * 100.0,
+                    mean(&series)
+                );
+                print_cdf(
+                    &table,
+                    &format!("recache_T{:.0}", threshold * 100.0),
+                    &mut series,
+                );
+            }
+        }
+        other => panic!("unknown variant '{other}' (use a|b)"),
+    }
+    println!("# expect: lazy < recache < eager overhead; lower T approaches lazy");
+}

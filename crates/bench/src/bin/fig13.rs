@@ -1,0 +1,72 @@
+//! Figure 13: cumulative execution time while running the 100-query
+//! TPC-H SPJ workload, under no caching / lazy / eager / ReCache
+//! admission.
+//!
+//! Paper's shape: ReCache improves on no-caching by ~62% and on lazy by
+//! ~47%, and lands within ~3% of eager; the ReCache curve flattens as
+//! subsumption hits accumulate.
+
+use recache_bench::datasets::register_tpch;
+use recache_bench::output::{self, Table};
+use recache_bench::{run_workload, Args};
+use recache_core::{Admission, ReCache, ReCacheBuilder};
+use recache_workload::{tpch_spj_workload, SpjConfig};
+
+fn main() {
+    let args = Args::parse();
+    let sf = args.f64("sf", 0.002);
+    let queries = args.usize("queries", 100);
+    let seed = args.u64("seed", 42);
+    output::print_header(
+        "fig13",
+        "cumulative execution time (TPC-H SPJ): none/lazy/eager/recache",
+        &[
+            ("sf", sf.to_string()),
+            ("queries", queries.to_string()),
+            ("seed", seed.to_string()),
+        ],
+    );
+
+    let configs: Vec<(&str, Box<dyn Fn() -> ReCacheBuilder>)> = vec![
+        ("no_caching", Box::new(|| ReCache::builder().no_caching())),
+        ("lazy", Box::new(|| ReCache::builder().admission(Admission::lazy_only()))),
+        ("eager", Box::new(|| ReCache::builder().admission(Admission::eager_only()))),
+        ("recache", Box::new(|| ReCache::builder().admission(Admission::with_threshold(0.10)))),
+    ];
+
+    let mut cumulative = Vec::new();
+    for (_, make) in &configs {
+        let mut session = make().build();
+        let domains = register_tpch(&mut session, sf, seed, false);
+        let specs = tpch_spj_workload(&domains, queries, &SpjConfig::default(), seed);
+        let outcomes = run_workload(&mut session, &specs).expect("workload");
+        cumulative.push(output::cumulative_secs(outcomes.iter().map(|o| o.total_ns)));
+    }
+
+    let table =
+        Table::new(&["query", "no_caching_cum_s", "lazy_cum_s", "eager_cum_s", "recache_cum_s"]);
+    for i in 0..cumulative[0].len() {
+        table.row(&[
+            (i + 1).to_string(),
+            output::f(cumulative[0][i]),
+            output::f(cumulative[1][i]),
+            output::f(cumulative[2][i]),
+            output::f(cumulative[3][i]),
+        ]);
+    }
+    let last = cumulative[0].len() - 1;
+    let t = |i: usize| cumulative[i][last];
+    println!(
+        "# summary totals: none={:.4}s lazy={:.4}s eager={:.4}s recache={:.4}s",
+        t(0),
+        t(1),
+        t(2),
+        t(3)
+    );
+    println!(
+        "# summary: recache vs none {:.0}% faster (paper 62%), vs lazy {:.0}% (paper 47%), vs eager {:+.1}% (paper ~3%)",
+        (t(0) - t(3)) / t(0) * 100.0,
+        (t(1) - t(3)) / t(1) * 100.0,
+        (t(2) - t(3)) / t(2) * 100.0
+    );
+}

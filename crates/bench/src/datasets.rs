@@ -1,0 +1,157 @@
+//! Dataset registration helpers shared by the figure binaries.
+
+use recache_core::ReCache;
+use recache_data::gen::{spam, tpch, yelp};
+use recache_data::{csv, json};
+use recache_types::Value;
+use recache_workload::Domains;
+use std::collections::HashMap;
+
+/// Registers the `orderLineitems` nested JSON source; returns its value
+/// domains.
+pub fn register_order_lineitems(session: &mut ReCache, sf: f64, seed: u64) -> Domains {
+    let records = tpch::gen_order_lineitems(sf, seed);
+    let schema = tpch::order_lineitems_schema();
+    let domains = Domains::compute(&schema, records.iter());
+    let bytes = json::write_json(&schema, &records);
+    session.register_json_bytes("orderLineitems", bytes, schema);
+    domains
+}
+
+/// Registers the five TPC-H tables as CSV (optionally `lineitem` as JSON,
+/// as §6.3 does); returns per-table domains.
+pub fn register_tpch(
+    session: &mut ReCache,
+    sf: f64,
+    seed: u64,
+    lineitem_as_json: bool,
+) -> HashMap<String, Domains> {
+    let mut domains = HashMap::new();
+    let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
+
+    let rows_to_records =
+        |rows: &[Vec<Value>]| -> Vec<Value> { rows.iter().map(|r| Value::Struct(r.clone())).collect() };
+
+    let schema = tpch::orders_schema();
+    domains.insert(
+        "orders".to_owned(),
+        Domains::compute(&schema, rows_to_records(&orders).iter()),
+    );
+    session.register_csv_bytes("orders", csv::write_csv(&schema, &orders), schema);
+
+    let schema = tpch::lineitem_schema();
+    let lineitem_records = rows_to_records(&lineitems);
+    domains.insert(
+        "lineitem".to_owned(),
+        Domains::compute(&schema, lineitem_records.iter()),
+    );
+    if lineitem_as_json {
+        session.register_json_bytes(
+            "lineitem",
+            json::write_json(&schema, &lineitem_records),
+            schema,
+        );
+    } else {
+        session.register_csv_bytes("lineitem", csv::write_csv(&schema, &lineitems), schema);
+    }
+
+    let customer = tpch::gen_customer(sf, seed);
+    let schema = tpch::customer_schema();
+    domains.insert(
+        "customer".to_owned(),
+        Domains::compute(&schema, rows_to_records(&customer).iter()),
+    );
+    session.register_csv_bytes("customer", csv::write_csv(&schema, &customer), schema);
+
+    let part = tpch::gen_part(sf, seed);
+    let schema = tpch::part_schema();
+    domains
+        .insert("part".to_owned(), Domains::compute(&schema, rows_to_records(&part).iter()));
+    session.register_csv_bytes("part", csv::write_csv(&schema, &part), schema);
+
+    let partsupp = tpch::gen_partsupp(sf, seed);
+    let schema = tpch::partsupp_schema();
+    domains.insert(
+        "partsupp".to_owned(),
+        Domains::compute(&schema, rows_to_records(&partsupp).iter()),
+    );
+    session.register_csv_bytes("partsupp", csv::write_csv(&schema, &partsupp), schema);
+
+    domains
+}
+
+/// Registers the Symantec-like spam JSON (+ optional CSV) sources.
+pub fn register_spam(
+    session: &mut ReCache,
+    n_json: usize,
+    n_csv: usize,
+    seed: u64,
+) -> (Domains, Domains) {
+    let records = spam::gen_spam_json(n_json, seed);
+    let schema = spam::spam_json_schema();
+    let json_domains = Domains::compute(&schema, records.iter());
+    session.register_json_bytes("spam_json", json::write_json(&schema, &records), schema);
+
+    let rows = spam::gen_spam_csv(n_csv, seed);
+    let schema = spam::spam_csv_schema();
+    let csv_records: Vec<Value> = rows.iter().map(|r| Value::Struct(r.clone())).collect();
+    let csv_domains = Domains::compute(&schema, csv_records.iter());
+    session.register_csv_bytes("spam_csv", csv::write_csv(&schema, &rows), schema);
+    (json_domains, csv_domains)
+}
+
+/// Registers the Yelp-like business/user/review JSON sources.
+pub fn register_yelp(
+    session: &mut ReCache,
+    n_business: usize,
+    n_user: usize,
+    n_review: usize,
+    seed: u64,
+) -> HashMap<String, Domains> {
+    let mut out = HashMap::new();
+
+    let business = yelp::gen_business(n_business, seed);
+    let schema = yelp::business_schema();
+    out.insert("business".to_owned(), Domains::compute(&schema, business.iter()));
+    session.register_json_bytes("business", json::write_json(&schema, &business), schema);
+
+    let user = yelp::gen_user(n_user, seed);
+    let schema = yelp::user_schema();
+    out.insert("user".to_owned(), Domains::compute(&schema, user.iter()));
+    session.register_json_bytes("user", json::write_json(&schema, &user), schema);
+
+    let review = yelp::gen_review(n_review, n_user, n_business, seed);
+    let schema = yelp::review_schema();
+    out.insert("review".to_owned(), Domains::compute(&schema, review.iter()));
+    session.register_json_bytes("review", json::write_json(&schema, &review), schema);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpch_registration_round_trips_queries() {
+        let mut session = ReCache::builder().build();
+        let domains = register_tpch(&mut session, 0.0001, 1, true);
+        assert_eq!(domains.len(), 5);
+        let r = session
+            .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 1")
+            .unwrap();
+        assert!(r.rows[0].as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn spam_and_yelp_register() {
+        let mut session = ReCache::builder().build();
+        let (jd, cd) = register_spam(&mut session, 50, 80, 2);
+        assert!(!jd.numeric_leaves(true).is_empty());
+        assert!(!cd.numeric_leaves(true).is_empty());
+        let yd = register_yelp(&mut session, 20, 30, 40, 2);
+        assert_eq!(yd.len(), 3);
+        let r = session.sql("SELECT count(*) FROM business WHERE stars >= 1").unwrap();
+        assert_eq!(r.rows[0], Value::Int(20));
+    }
+}

@@ -1,0 +1,14 @@
+//! Shared harness for the figure-reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one figure of the ReCache paper
+//! (see `DESIGN.md` for the experiment index). Output is TSV with `#`
+//! comment lines, so series can be piped straight into plotting tools.
+
+pub mod args;
+pub mod datasets;
+pub mod output;
+pub mod runner;
+
+pub use args::Args;
+pub use output::{moving_avg, print_cdf, print_header, Table};
+pub use runner::{run_workload, warm_full_cache, Outcome};

@@ -1,0 +1,102 @@
+//! TSV output helpers for the figure binaries.
+
+/// Prints the experiment header (`#`-prefixed, TSV-safe).
+pub fn print_header(figure: &str, description: &str, params: &[(&str, String)]) {
+    println!("# {figure}: {description}");
+    let rendered: Vec<String> =
+        params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    println!("# params: {}", rendered.join(" "));
+}
+
+/// A simple TSV table writer.
+pub struct Table {
+    columns: Vec<String>,
+}
+
+impl Table {
+    pub fn new(columns: &[&str]) -> Self {
+        println!("{}", columns.join("\t"));
+        Table { columns: columns.iter().map(|s| s.to_string()).collect() }
+    }
+
+    /// Prints one row; panics on arity mismatch (a bench bug).
+    pub fn row(&self, values: &[String]) {
+        assert_eq!(values.len(), self.columns.len(), "column arity mismatch");
+        println!("{}", values.join("\t"));
+    }
+}
+
+/// Formats nanoseconds as fractional seconds.
+pub fn secs(ns: u64) -> String {
+    format!("{:.6}", ns as f64 / 1e9)
+}
+
+/// Formats a float with fixed precision.
+pub fn f(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Centered moving average (the paper's per-query plots are noisy; the
+/// smoothed column makes trends visible in text output).
+pub fn moving_avg(values: &[f64], window: usize) -> Vec<f64> {
+    let w = window.max(1);
+    values
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let lo = i.saturating_sub(w / 2);
+            let hi = (i + w.div_ceil(2)).min(values.len());
+            values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Prints a CDF (percentile curve at 2% steps) of `values` under the
+/// given series name.
+pub fn print_cdf(table: &Table, series: &str, values: &mut [f64]) {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    if values.is_empty() {
+        return;
+    }
+    for pct in (0..=100).step_by(2) {
+        let idx = ((pct as f64 / 100.0) * (values.len() - 1) as f64).round() as usize;
+        table.row(&[series.to_owned(), pct.to_string(), f(values[idx])]);
+    }
+}
+
+/// Running cumulative sum in seconds.
+pub fn cumulative_secs(ns: impl IntoIterator<Item = u64>) -> Vec<f64> {
+    let mut acc = 0u64;
+    ns.into_iter()
+        .map(|v| {
+            acc += v;
+            acc as f64 / 1e9
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_smooths() {
+        let values = vec![0.0, 10.0, 0.0, 10.0, 0.0, 10.0];
+        let smooth = moving_avg(&values, 4);
+        assert_eq!(smooth.len(), values.len());
+        // Interior points hover near the mean.
+        assert!((smooth[2] - 5.0).abs() <= 2.6);
+    }
+
+    #[test]
+    fn cumulative_sums() {
+        let c = cumulative_secs([1_000_000_000, 500_000_000]);
+        assert_eq!(c, vec![1.0, 1.5]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(secs(1_500_000_000), "1.500000");
+        assert_eq!(f(0.12345), "0.1235");
+    }
+}

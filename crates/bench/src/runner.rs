@@ -1,0 +1,79 @@
+//! Workload execution helpers.
+
+use recache_core::{QueryResult, ReCache};
+use recache_engine::sql::QuerySpec;
+use recache_types::Result;
+
+/// Per-query measurements collected while replaying a workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Outcome {
+    pub total_ns: u64,
+    pub exec_ns: u64,
+    pub caching_ns: u64,
+    pub cache_hit: bool,
+}
+
+impl Outcome {
+    fn from_result(result: &QueryResult) -> Self {
+        Outcome {
+            total_ns: result.stats.total_ns,
+            exec_ns: result.stats.exec_ns,
+            caching_ns: result.stats.caching_ns,
+            cache_hit: result.stats.cache_hit,
+        }
+    }
+
+    /// Caching overhead fraction (Fig. 12's per-query metric).
+    pub fn overhead(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.caching_ns as f64 / self.total_ns as f64
+        }
+    }
+}
+
+/// Replays a workload, collecting one [`Outcome`] per query.
+pub fn run_workload(session: &mut ReCache, specs: &[QuerySpec]) -> Result<Vec<Outcome>> {
+    let mut out = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let result = session.run(spec)?;
+        out.push(Outcome::from_result(&result));
+    }
+    Ok(out)
+}
+
+/// Pre-populates the cache with the whole `table` (an unconstrained
+/// entry that subsumes every later query), as the layout experiments do:
+/// "we populate the caches beforehand in order to isolate the performance
+/// of the cache from the cost of populating them".
+pub fn warm_full_cache(session: &mut ReCache, table: &str) -> Result<()> {
+    session.sql(&format!("SELECT count(*) FROM {table}"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::register_order_lineitems;
+    use recache_core::{Admission, ReCache};
+    use recache_workload::{spa_workload, PoolPhase, SpaConfig};
+
+    #[test]
+    fn warmed_session_serves_workload_from_cache() {
+        let mut session =
+            ReCache::builder().admission(Admission::eager_only()).build();
+        let domains = register_order_lineitems(&mut session, 0.0002, 42);
+        warm_full_cache(&mut session, "orderLineitems").unwrap();
+        let specs = spa_workload(
+            "orderLineitems",
+            &domains,
+            &[(PoolPhase::AllAttrs, 10)],
+            &SpaConfig::default(),
+            1,
+        );
+        let outcomes = run_workload(&mut session, &specs).unwrap();
+        assert_eq!(outcomes.len(), 10);
+        assert!(outcomes.iter().all(|o| o.cache_hit), "all queries subsumed by warm cache");
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-entry cost statistics and the benefit metric (Fig. 8).
+
+/// Measured costs of one cached item, in the paper's notation:
+///
+/// * `n` — how many times the cache has been reused,
+/// * `t` — time incurred executing the operator over raw data (includes
+///   parsing and any index construction),
+/// * `c` — time incurred caching the operator's results in memory,
+/// * `s` — time spent scanning the in-memory cache when it is reused,
+/// * `l` — time spent finding a matching operator cache,
+/// * `B` (`bytes`) — size of the cache in bytes.
+#[derive(Debug, Clone, Default)]
+pub struct EntryStats {
+    pub n: u64,
+    pub t_ns: u64,
+    pub c_ns: u64,
+    /// Mean scan time over reuses (running average).
+    pub s_ns: u64,
+    /// Mean lookup time (running average).
+    pub l_ns: u64,
+    pub bytes: usize,
+    /// Logical clock of the last access (LRU baselines).
+    pub last_access: u64,
+    /// Total accesses including the building query (LFU baselines).
+    pub access_count: u64,
+    /// Logical clock at admission.
+    pub created_at: u64,
+}
+
+impl EntryStats {
+    /// The benefit metric `b(p) = n·(t + c − s − l)/log₂(B)`.
+    ///
+    /// "The resulting benefit metric ... is always non-negative assuming
+    /// the cost of lookup and the cost of scanning the in-memory cache
+    /// are small" — we clamp at zero in case a pathological measurement
+    /// violates the assumption.
+    pub fn benefit(&self) -> f64 {
+        let saved = (self.t_ns + self.c_ns) as f64 - (self.s_ns + self.l_ns) as f64;
+        let saved = saved.max(0.0);
+        // log2(B), guarded for tiny entries: log2 must stay >= 1 so small
+        // items are preferred but never divide by ~0.
+        let log_b = (self.bytes.max(2) as f64).log2().max(1.0);
+        (self.n as f64) * saved / log_b
+    }
+
+    /// Cost to reconstruct the item if evicted (`t + c`).
+    pub fn rebuild_cost_ns(&self) -> u64 {
+        self.t_ns + self.c_ns
+    }
+
+    /// Records one reuse: bumps `n`, folds the observed scan and lookup
+    /// times into running means, and touches the access clock.
+    pub fn record_reuse(&mut self, scan_ns: u64, lookup_ns: u64, clock: u64) {
+        self.n += 1;
+        self.access_count += 1;
+        self.last_access = clock;
+        self.s_ns = running_mean(self.s_ns, scan_ns, self.n);
+        self.l_ns = running_mean(self.l_ns, lookup_ns, self.n);
+    }
+}
+
+fn running_mean(current: u64, observed: u64, n: u64) -> u64 {
+    if n <= 1 {
+        observed
+    } else {
+        ((current as u128 * (n - 1) as u128 + observed as u128) / n as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(n: u64, t: u64, c: u64, s: u64, l: u64, bytes: usize) -> EntryStats {
+        EntryStats { n, t_ns: t, c_ns: c, s_ns: s, l_ns: l, bytes, ..Default::default() }
+    }
+
+    #[test]
+    fn benefit_formula_matches_figure_8() {
+        // b = n(t + c - s - l)/log2(B)
+        let st = stats(3, 1000, 500, 100, 50, 1 << 20);
+        let expected = 3.0 * (1000.0 + 500.0 - 150.0) / 20.0;
+        assert!((st.benefit() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn benefit_is_nonnegative() {
+        let st = stats(5, 10, 10, 1000, 1000, 64);
+        assert_eq!(st.benefit(), 0.0);
+    }
+
+    #[test]
+    fn more_reuse_means_more_benefit() {
+        let low = stats(1, 1000, 100, 10, 10, 4096);
+        let high = stats(10, 1000, 100, 10, 10, 4096);
+        assert!(high.benefit() > low.benefit());
+    }
+
+    #[test]
+    fn smaller_items_preferred_at_equal_cost() {
+        let small = stats(2, 1000, 100, 10, 10, 1 << 10);
+        let large = stats(2, 1000, 100, 10, 10, 1 << 24);
+        assert!(small.benefit() > large.benefit());
+    }
+
+    #[test]
+    fn record_reuse_updates_means_and_clock() {
+        let mut st = stats(0, 1000, 100, 0, 0, 4096);
+        st.record_reuse(100, 10, 7);
+        assert_eq!(st.n, 1);
+        assert_eq!(st.s_ns, 100);
+        assert_eq!(st.l_ns, 10);
+        assert_eq!(st.last_access, 7);
+        st.record_reuse(300, 30, 9);
+        assert_eq!(st.n, 2);
+        assert_eq!(st.s_ns, 200);
+        assert_eq!(st.l_ns, 20);
+        assert_eq!(st.last_access, 9);
+    }
+
+    #[test]
+    fn tiny_entries_do_not_divide_by_zero() {
+        let st = stats(1, 100, 0, 0, 0, 1);
+        assert!(st.benefit().is_finite());
+        assert!(st.benefit() > 0.0);
+    }
+}

@@ -1,0 +1,695 @@
+//! The ReCache session: the public API tying the raw-data layer, query
+//! engine and cache policies together.
+//!
+//! ```text
+//! query ──parse──► QuerySpec ──resolve──► plan
+//!                                   │ cache lookup (exact / R-tree subsumption)
+//!                                   ▼
+//!                          engine::execute (raw scan | cache scan)
+//!                                   │
+//!            ┌── miss: materialize (reactive eager/lazy admission) ──► admit
+//!            ├── hit: update n/s/l stats, observe D/C/ri/ci, maybe switch layout
+//!            └── lazy hit: upgrade to eager
+//!                                   │
+//!                          evictions (cost-based Greedy-Dual or baseline)
+//! ```
+
+pub mod materialize;
+pub mod resolve;
+pub mod result;
+
+use materialize::{materialize_with_admission, upgrade_to_eager, StoreChoice};
+use recache_cache::admission::{AdmissionConfig, AdmissionDecision};
+use recache_cache::eviction::EvictionKind;
+use recache_cache::layout_model::{LayoutDecision, QueryObservation};
+use recache_cache::registry::{CacheRegistry, EntryId, FutureOracle, MatchResult};
+use recache_data::{FileFormat, RawFile};
+use recache_engine::exec;
+use recache_engine::plan::{AccessPath, QueryPlan, TablePlan};
+use recache_engine::sql::{parse_query, QuerySpec};
+use recache_layout::{
+    columnar_to_dremel, columnar_to_row, dremel_to_columnar, row_to_columnar, CacheData,
+    LayoutKind,
+};
+use recache_types::{Result, Schema};
+use resolve::{resolve, ResolvedQuery};
+pub use result::{QueryResult, QueryStats, TableSummary};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+// Re-exports so downstream users need only this crate.
+pub use recache_cache::admission::AdmissionConfig as Admission;
+pub use recache_cache::eviction::EvictionKind as Eviction;
+pub use recache_engine::sql;
+
+/// How cached items choose their physical layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutPolicy {
+    /// The paper's ReCache behaviour: nested data defaults to the Dremel
+    /// layout and switches via the §4.2 cost model; flat data defaults to
+    /// columnar and may switch to row-oriented via the H2O estimator.
+    Auto,
+    /// Always relational columnar (the "Rel. Columnar" baseline).
+    FixedColumnar,
+    /// Always nested columnar (the "Parquet" baseline).
+    FixedDremel,
+    /// Always row-oriented.
+    FixedRow,
+}
+
+/// Builder for a [`ReCache`] session.
+pub struct ReCacheBuilder {
+    capacity: Option<usize>,
+    eviction: EvictionKind,
+    admission: AdmissionConfig,
+    layout: LayoutPolicy,
+    caching: bool,
+}
+
+impl Default for ReCacheBuilder {
+    fn default() -> Self {
+        ReCacheBuilder {
+            capacity: None,
+            eviction: EvictionKind::GreedyDual,
+            admission: AdmissionConfig::default(),
+            layout: LayoutPolicy::Auto,
+            caching: true,
+        }
+    }
+}
+
+impl ReCacheBuilder {
+    /// Cache capacity in bytes (default: unlimited).
+    pub fn cache_capacity_bytes(mut self, bytes: usize) -> Self {
+        self.capacity = Some(bytes);
+        self
+    }
+
+    /// Unlimited cache (the paper's infinite-cache baseline).
+    pub fn unlimited_cache(mut self) -> Self {
+        self.capacity = None;
+        self
+    }
+
+    /// Eviction policy (default: ReCache's Greedy-Dual).
+    pub fn eviction(mut self, kind: EvictionKind) -> Self {
+        self.eviction = kind;
+        self
+    }
+
+    /// Admission overhead threshold (default 0.10).
+    pub fn admission_threshold(mut self, threshold: f64) -> Self {
+        self.admission.threshold = threshold;
+        self
+    }
+
+    /// Full admission configuration (e.g. forced eager/lazy baselines).
+    pub fn admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = config;
+        self
+    }
+
+    /// Layout policy (default: automatic selection).
+    pub fn layout_policy(mut self, policy: LayoutPolicy) -> Self {
+        self.layout = policy;
+        self
+    }
+
+    /// Disables caching entirely (the "No Caching" baseline).
+    pub fn no_caching(mut self) -> Self {
+        self.caching = false;
+        self
+    }
+
+    pub fn build(self) -> ReCache {
+        ReCache {
+            sources: HashMap::new(),
+            registry: CacheRegistry::new(self.eviction.build(), self.capacity),
+            admission: self.admission,
+            layout: self.layout,
+            caching: self.caching,
+            queries_run: 0,
+        }
+    }
+}
+
+/// A ReCache session: registered sources plus the reactive cache.
+pub struct ReCache {
+    sources: HashMap<String, Arc<RawFile>>,
+    registry: CacheRegistry,
+    admission: AdmissionConfig,
+    layout: LayoutPolicy,
+    caching: bool,
+    queries_run: u64,
+}
+
+impl ReCache {
+    pub fn builder() -> ReCacheBuilder {
+        ReCacheBuilder::default()
+    }
+
+    /// Registers a CSV file from disk.
+    pub fn register_csv(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+        schema: Schema,
+    ) -> Result<()> {
+        let file = RawFile::open(path, FileFormat::Csv, schema)?;
+        self.register_source(name, file);
+        Ok(())
+    }
+
+    /// Registers a line-delimited JSON file from disk.
+    pub fn register_json(
+        &mut self,
+        name: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+        schema: Schema,
+    ) -> Result<()> {
+        let file = RawFile::open(path, FileFormat::Json, schema)?;
+        self.register_source(name, file);
+        Ok(())
+    }
+
+    /// Registers in-memory CSV bytes (tests, generated datasets).
+    pub fn register_csv_bytes(&mut self, name: impl Into<String>, bytes: Vec<u8>, schema: Schema) {
+        self.register_source(name, RawFile::from_bytes(bytes, FileFormat::Csv, schema));
+    }
+
+    /// Registers in-memory JSON bytes.
+    pub fn register_json_bytes(&mut self, name: impl Into<String>, bytes: Vec<u8>, schema: Schema) {
+        self.register_source(name, RawFile::from_bytes(bytes, FileFormat::Json, schema));
+    }
+
+    /// Registers a pre-built raw file.
+    pub fn register_source(&mut self, name: impl Into<String>, file: RawFile) {
+        self.sources.insert(name.into(), Arc::new(file));
+    }
+
+    /// The registered source, if any.
+    pub fn source(&self, name: &str) -> Option<&Arc<RawFile>> {
+        self.sources.get(name)
+    }
+
+    /// Read access to the cache registry (stats, entries, counters).
+    pub fn cache(&self) -> &CacheRegistry {
+        &self.registry
+    }
+
+    /// Installs a future oracle for the offline eviction baselines.
+    pub fn set_oracle(&mut self, oracle: Box<dyn FutureOracle>) {
+        self.registry.set_oracle(oracle);
+    }
+
+    /// Queries executed so far.
+    pub fn queries_run(&self) -> u64 {
+        self.queries_run
+    }
+
+    /// Resolves a parsed query without executing it (used by workload
+    /// oracles to pre-compute cache keys).
+    pub fn resolve_query(&self, spec: &QuerySpec) -> Result<ResolvedQuery> {
+        resolve(spec, &self.sources)
+    }
+
+    /// Parses and runs one SQL query.
+    pub fn sql(&mut self, text: &str) -> Result<QueryResult> {
+        let spec = parse_query(text)?;
+        self.run(&spec)
+    }
+
+    /// Runs one parsed query.
+    pub fn run(&mut self, spec: &QuerySpec) -> Result<QueryResult> {
+        let t_run = Instant::now();
+        self.queries_run += 1;
+        self.registry.tick();
+        let resolved = resolve(spec, &self.sources)?;
+
+        // Cache lookups per table.
+        struct TableRoute {
+            hit: Option<(EntryId, MatchResult)>,
+            lookup_ns: u64,
+            was_offsets: bool,
+        }
+        let mut routes: Vec<TableRoute> = Vec::with_capacity(resolved.tables.len());
+        let mut table_plans: Vec<TablePlan> = Vec::with_capacity(resolved.tables.len());
+        for table in &resolved.tables {
+            let (route, access) = if self.caching {
+                let (m, lookup_ns) =
+                    self.registry.lookup(&table.name, &table.signature, &table.ranges);
+                match m.entry() {
+                    Some(id) => {
+                        let entry = self.registry.entry(id).expect("entry exists");
+                        let was_offsets = matches!(entry.data, CacheData::Offsets(_));
+                        let access = access_path_for(&entry.data, &table.file);
+                        (TableRoute { hit: Some((id, m)), lookup_ns, was_offsets }, access)
+                    }
+                    None => (
+                        TableRoute { hit: None, lookup_ns, was_offsets: false },
+                        AccessPath::Raw(Arc::clone(&table.file)),
+                    ),
+                }
+            } else {
+                (
+                    TableRoute { hit: None, lookup_ns: 0, was_offsets: false },
+                    AccessPath::Raw(Arc::clone(&table.file)),
+                )
+            };
+            let collect_satisfying = self.caching && route.hit.is_none();
+            table_plans.push(TablePlan {
+                name: table.name.clone(),
+                access,
+                accessed: table.accessed.clone(),
+                predicate: table.predicate.clone(),
+                record_level: table.record_level,
+                collect_satisfying,
+            });
+            routes.push(route);
+        }
+
+        let plan = QueryPlan {
+            tables: table_plans,
+            joins: resolved.joins.clone(),
+            aggregates: resolved.aggregates.clone(),
+        };
+        let output = exec::execute(&plan)?;
+
+        // Post-execution cache maintenance.
+        let mut output = output;
+        let exec_ns = output.stats.total_ns;
+        let mut caching_ns = 0u64;
+        let mut lookup_ns_total = 0u64;
+        let mut summaries = Vec::with_capacity(resolved.tables.len());
+        for (i, table) in resolved.tables.iter().enumerate() {
+            // Move the satisfying ids out (they can be large; no clone).
+            let satisfying_ids = output.stats.tables[i].satisfying.take();
+            let stats = &output.stats.tables[i];
+            let route = &routes[i];
+            lookup_ns_total += route.lookup_ns;
+            let mut summary = TableSummary {
+                name: table.name.clone(),
+                access: stats.access,
+                hit: route.hit.map(|(_, m)| m),
+                admission: None,
+                layout_switch: None,
+            };
+            match route.hit {
+                Some((id, _)) => {
+                    self.registry.record_reuse(id, stats.exec_ns, route.lookup_ns);
+                    // Layout bookkeeping for store scans.
+                    if let Some(cost) = stats.cache_scan {
+                        if let Some(entry) = self.registry.entry_mut(id) {
+                            let rows_needed = if stats.record_level {
+                                entry.data.record_count()
+                            } else {
+                                entry.data.flattened_rows()
+                            };
+                            // Cost attribution follows §4.2: only the
+                            // Dremel layout has a meaningful compute
+                            // component ("the relational columnar layout
+                            // has negligible computational cost") — for
+                            // columnar/row scans the whole cost is data
+                            // access, including the R-proportional row
+                            // walk.
+                            let layout = entry.data.layout();
+                            let (d_ns, c_ns) = if layout == LayoutKind::Dremel {
+                                (cost.data_ns, cost.compute_ns)
+                            } else {
+                                (cost.total_ns(), 0)
+                            };
+                            entry.history.observe(QueryObservation {
+                                d_ns,
+                                c_ns,
+                                rows: rows_needed,
+                                cols: stats.cols_accessed,
+                                layout,
+                            });
+                        }
+                        if self.layout == LayoutPolicy::Auto {
+                            if let Some((switch, ns)) = self.maybe_switch_layout(id) {
+                                caching_ns += ns;
+                                summary.layout_switch = Some(switch);
+                            }
+                        }
+                    }
+                    if route.was_offsets {
+                        // Lazy entry reused: upgrade to eager.
+                        caching_ns += self.upgrade_entry(table, id)?;
+                        summary.admission = Some(AdmissionDecision::Eager);
+                    }
+                }
+                None if self.caching => {
+                    if let Some(satisfying) = satisfying_ids {
+                        if !satisfying.is_empty() {
+                            let rows_out = stats.rows_out;
+                            let exec_ns_table = stats.exec_ns;
+                            let to1 = exec_ns + caching_ns;
+                            let choice = self.store_choice(&table.file);
+                            let working_set = self.registry.source_in_working_set(&table.name);
+                            let result = materialize_with_admission(
+                                &table.file,
+                                choice,
+                                &self.admission,
+                                satisfying,
+                                rows_out,
+                                to1,
+                                working_set,
+                            )?;
+                            caching_ns += result.caching_ns;
+                            summary.admission = Some(result.decision);
+                            self.registry.admit(
+                                &table.name,
+                                table.file.format(),
+                                table.signature.clone(),
+                                table.ranges.clone(),
+                                table.subsumable,
+                                result.data,
+                                exec_ns_table,
+                                result.caching_ns,
+                                route.lookup_ns,
+                            );
+                        }
+                    }
+                }
+                None => {}
+            }
+            summaries.push(summary);
+        }
+
+        let total_ns = t_run.elapsed().as_nanos() as u64;
+        Ok(QueryResult {
+            rows: output.values,
+            rows_aggregated: output.rows_aggregated,
+            stats: QueryStats {
+                total_ns,
+                exec_ns,
+                caching_ns,
+                lookup_ns: lookup_ns_total,
+                cache_hit: summaries.iter().any(|s| s.hit.is_some()),
+                tables: summaries,
+                exec: output.stats,
+            },
+        })
+    }
+
+    /// Default eager layout for a source under the current policy.
+    fn store_choice(&self, file: &RawFile) -> StoreChoice {
+        match self.layout {
+            LayoutPolicy::FixedColumnar => StoreChoice::Columnar,
+            LayoutPolicy::FixedDremel => StoreChoice::Dremel,
+            LayoutPolicy::FixedRow => StoreChoice::Row,
+            LayoutPolicy::Auto => {
+                // "By default, ReCache caches nested data in the Parquet
+                // layout"; flat data starts columnar.
+                if file.schema().has_nested() {
+                    StoreChoice::Dremel
+                } else {
+                    StoreChoice::Columnar
+                }
+            }
+        }
+    }
+
+    /// Applies the automatic layout model to an entry; returns the switch
+    /// performed and its cost in nanoseconds.
+    fn maybe_switch_layout(&mut self, id: EntryId) -> Option<((LayoutKind, LayoutKind), u64)> {
+        let entry = self.registry.entry(id)?;
+        let current = entry.data.layout();
+        let nested = match &entry.data {
+            CacheData::Columnar(s) => s.schema().has_nested(),
+            CacheData::Dremel(s) => s.schema().has_nested(),
+            CacheData::Row(s) => s.schema().has_nested(),
+            CacheData::Offsets(_) => return None,
+        };
+        let (new_data, duration) = if nested {
+            let decision = entry.history.decide_nested(current, entry.data.flattened_rows());
+            match (decision, &entry.data) {
+                (LayoutDecision::SwitchToColumnar, CacheData::Dremel(store)) => {
+                    let (new_store, d) = dremel_to_columnar(store);
+                    (CacheData::Columnar(Arc::new(new_store)), d)
+                }
+                (LayoutDecision::SwitchToDremel, CacheData::Columnar(store)) => {
+                    let (new_store, d) = columnar_to_dremel(store);
+                    (CacheData::Dremel(Arc::new(new_store)), d)
+                }
+                _ => return None,
+            }
+        } else {
+            // Flat data: H2O-style row/column choice.
+            let n_leaves = match &entry.data {
+                CacheData::Columnar(s) => s.schema().leaves().len(),
+                CacheData::Row(s) => s.schema().leaves().len(),
+                _ => return None,
+            };
+            let choice = entry.history.decide_flat(n_leaves);
+            match (choice, &entry.data) {
+                (recache_cache::layout_model::FlatLayoutChoice::Row, CacheData::Columnar(store)) => {
+                    let (new_store, d) = columnar_to_row(store);
+                    (CacheData::Row(Arc::new(new_store)), d)
+                }
+                (
+                    recache_cache::layout_model::FlatLayoutChoice::Columnar,
+                    CacheData::Row(store),
+                ) => {
+                    let (new_store, d) = row_to_columnar(store);
+                    (CacheData::Columnar(Arc::new(new_store)), d)
+                }
+                _ => return None,
+            }
+        };
+        let ns = duration.as_nanos() as u64;
+        let to = new_data.layout();
+        self.registry.replace_data(id, new_data, ns);
+        if let Some(entry) = self.registry.entry_mut(id) {
+            entry.history.reset_window();
+        }
+        Some(((current, to), ns))
+    }
+
+    /// Replaces a lazy entry's offsets with an eager store.
+    fn upgrade_entry(&mut self, table: &resolve::ResolvedTable, id: EntryId) -> Result<u64> {
+        let Some(entry) = self.registry.entry(id) else { return Ok(0) };
+        let CacheData::Offsets(store) = &entry.data else { return Ok(0) };
+        let store = Arc::clone(store);
+        let choice = self.store_choice(&table.file);
+        let (data, ns) = upgrade_to_eager(&table.file, choice, &store)?;
+        self.registry.replace_data(id, data, ns);
+        Ok(ns)
+    }
+}
+
+/// Maps cached data to an engine access path.
+fn access_path_for(data: &CacheData, file: &Arc<RawFile>) -> AccessPath {
+    match data {
+        CacheData::Columnar(s) => AccessPath::Columnar(Arc::clone(s)),
+        CacheData::Dremel(s) => AccessPath::Dremel(Arc::clone(s)),
+        CacheData::Row(s) => AccessPath::Row(Arc::clone(s)),
+        CacheData::Offsets(s) => {
+            AccessPath::Offsets { file: Arc::clone(file), store: Arc::clone(s) }
+        }
+    }
+}
+
+impl std::fmt::Debug for ReCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReCache")
+            .field("sources", &self.sources.len())
+            .field("cached_entries", &self.registry.len())
+            .field("cached_bytes", &self.registry.total_bytes())
+            .field("queries_run", &self.queries_run)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_data::gen::tpch;
+    use recache_data::{csv, json};
+
+    fn lineitem_session(caching: bool) -> ReCache {
+        let mut builder = ReCache::builder();
+        if !caching {
+            builder = builder.no_caching();
+        }
+        let mut session = builder.build();
+        let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0003, 42);
+        let schema = tpch::lineitem_schema();
+        let bytes = csv::write_csv(&schema, &lineitems);
+        session.register_csv_bytes("lineitem", bytes, schema);
+        session
+    }
+
+    fn nested_session() -> ReCache {
+        let mut session = ReCache::builder().build();
+        let records = tpch::gen_order_lineitems(0.0003, 42);
+        let schema = tpch::order_lineitems_schema();
+        let bytes = json::write_json(&schema, &records);
+        session.register_json_bytes("orderLineitems", bytes, schema);
+        session
+    }
+
+    #[test]
+    fn sql_end_to_end_over_csv() {
+        let mut session = lineitem_session(true);
+        let result = session
+            .sql("SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 30")
+            .unwrap();
+        assert!(result.rows[0].as_i64().unwrap() > 0);
+        assert!(!result.stats.cache_hit);
+        // Second identical query: exact cache hit.
+        let again = session
+            .sql("SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 30")
+            .unwrap();
+        assert_eq!(result.rows, again.rows);
+        assert!(again.stats.cache_hit);
+        assert_eq!(session.cache().counters.hits_exact, 1);
+    }
+
+    #[test]
+    fn subsumption_narrower_range_hits_and_matches_raw() {
+        let mut session = lineitem_session(true);
+        let wide = session.sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 10").unwrap();
+        assert!(!wide.stats.cache_hit);
+        let narrow =
+            session.sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30").unwrap();
+        assert!(narrow.stats.cache_hit, "narrower range should be subsumed");
+        // Cross-check against a caching-free session.
+        let mut baseline = lineitem_session(false);
+        let truth =
+            baseline.sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30").unwrap();
+        assert_eq!(narrow.rows, truth.rows);
+    }
+
+    #[test]
+    fn no_caching_session_never_hits() {
+        let mut session = lineitem_session(false);
+        for _ in 0..3 {
+            let r = session.sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30").unwrap();
+            assert!(!r.stats.cache_hit);
+        }
+        assert_eq!(session.cache().len(), 0);
+    }
+
+    #[test]
+    fn nested_json_queries_and_cache_agree() {
+        let mut session = nested_session();
+        let q = "SELECT sum(lineitems.l_quantity), count(*) FROM orderLineitems \
+                 WHERE lineitems.l_quantity BETWEEN 5 AND 45";
+        let first = session.sql(q).unwrap();
+        let second = session.sql(q).unwrap();
+        assert!(second.stats.cache_hit);
+        assert_eq!(first.rows, second.rows);
+        // The cached store must be nested columnar by default.
+        let entry = session.cache().iter().next().unwrap();
+        assert!(matches!(entry.data.layout(), LayoutKind::Dremel | LayoutKind::Offsets));
+    }
+
+    #[test]
+    fn lazy_entries_upgrade_on_reuse() {
+        let mut session =
+            ReCache::builder().admission(AdmissionConfig::lazy_only()).build();
+        let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0002, 7);
+        let schema = tpch::lineitem_schema();
+        session.register_csv_bytes("lineitem", csv::write_csv(&schema, &lineitems), schema);
+
+        let q = "SELECT count(*) FROM lineitem WHERE l_quantity <= 25";
+        session.sql(q).unwrap();
+        let entry = session.cache().iter().next().unwrap();
+        assert!(matches!(entry.data, CacheData::Offsets(_)));
+        // Reuse upgrades lazily cached offsets to an eager store ("if a
+        // lazy cached item is accessed again, it is replaced by an eager
+        // cache").
+        let second = session.sql(q).unwrap();
+        assert!(second.stats.cache_hit);
+        let entry = session.cache().iter().next().unwrap();
+        assert!(!matches!(entry.data, CacheData::Offsets(_)));
+    }
+
+    #[test]
+    fn join_query_with_caching() {
+        let mut session = ReCache::builder().build();
+        let (orders, lineitems) = tpch::gen_orders_and_lineitems(0.0002, 11);
+        let li_schema = tpch::lineitem_schema();
+        let o_schema = tpch::orders_schema();
+        session.register_csv_bytes("lineitem", csv::write_csv(&li_schema, &lineitems), li_schema);
+        session.register_csv_bytes("orders", csv::write_csv(&o_schema, &orders), o_schema);
+        let q = "SELECT count(*), avg(o_totalprice) FROM orders \
+                 JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey \
+                 WHERE o_totalprice > 1000 AND l_quantity >= 10";
+        let first = session.sql(q).unwrap();
+        assert!(first.rows[0].as_i64().unwrap() > 0);
+        // Both tables get cached; rerun hits both.
+        let second = session.sql(q).unwrap();
+        assert_eq!(first.rows, second.rows);
+        assert!(second.stats.cache_hit);
+        assert!(second.stats.tables.iter().all(|t| t.hit.is_some()));
+    }
+
+    #[test]
+    fn capacity_pressure_evicts() {
+        let mut session = ReCache::builder()
+            .cache_capacity_bytes(6_000)
+            .admission(AdmissionConfig::eager_only())
+            .build();
+        let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0003, 5);
+        let schema = tpch::lineitem_schema();
+        session.register_csv_bytes("lineitem", csv::write_csv(&schema, &lineitems), schema);
+        for lo in 0..12 {
+            let q = format!(
+                "SELECT count(*) FROM lineitem WHERE l_quantity BETWEEN {lo} AND {}",
+                lo + 4
+            );
+            session.sql(&q).unwrap();
+        }
+        assert!(session.cache().total_bytes() <= 6_000);
+        assert!(session.cache().counters.evictions > 0);
+    }
+
+    #[test]
+    fn unknown_table_and_attribute_errors() {
+        let mut session = lineitem_session(true);
+        assert!(session.sql("SELECT count(*) FROM nope").is_err());
+        assert!(session.sql("SELECT sum(frobnicate) FROM lineitem").is_err());
+    }
+
+    #[test]
+    fn caching_overhead_is_reported() {
+        let mut session =
+            ReCache::builder().admission(AdmissionConfig::eager_only()).build();
+        let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0003, 5);
+        let schema = tpch::lineitem_schema();
+        session.register_csv_bytes("lineitem", csv::write_csv(&schema, &lineitems), schema);
+        let r = session.sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 2").unwrap();
+        assert!(r.stats.caching_ns > 0);
+        assert!(r.stats.total_ns >= r.stats.caching_ns);
+        assert_eq!(r.stats.tables[0].admission, Some(AdmissionDecision::Eager));
+    }
+
+    #[test]
+    fn mixed_predicates_cache_exact_only() {
+        let mut session = ReCache::builder().build();
+        let schema = recache_data::gen::spam::spam_json_schema();
+        let records = recache_data::gen::spam::gen_spam_json(300, 3);
+        session.register_json_bytes("spam", json::write_json(&schema, &records), schema);
+        let q = "SELECT count(*) FROM spam WHERE lang = 'en' AND size >= 1000";
+        let first = session.sql(q).unwrap();
+        assert!(!first.stats.cache_hit);
+        // Exact repeat hits.
+        let second = session.sql(q).unwrap();
+        assert!(second.stats.cache_hit);
+        assert_eq!(first.rows, second.rows);
+        // A weaker range query must NOT be served by the string-filtered
+        // entry (it is not subsumable).
+        let other = session.sql("SELECT count(*) FROM spam WHERE size >= 2000").unwrap();
+        assert!(!other.stats.cache_hit);
+        // Correctness check vs no-caching.
+        let mut baseline = ReCache::builder().no_caching().build();
+        let schema = recache_data::gen::spam::spam_json_schema();
+        let records = recache_data::gen::spam::gen_spam_json(300, 3);
+        baseline.register_json_bytes("spam", json::write_json(&schema, &records), schema);
+        assert_eq!(baseline.sql(q).unwrap().rows, second.rows);
+    }
+}

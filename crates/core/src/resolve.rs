@@ -1,0 +1,319 @@
+//! Name resolution and planning: [`QuerySpec`] → [`ResolvedQuery`].
+//!
+//! Resolves attribute paths against registered sources (deciding whether
+//! a path head names a table or a field), extracts the conjunctive range
+//! predicate each table's cache interactions key on, and binds
+//! expressions from leaf-id space to the slot space of the projected rows
+//! the scans emit.
+
+use recache_cache::registry::{range_signature, LeafRange};
+use recache_data::RawFile;
+use recache_engine::expr::{CmpOp, Expr};
+use recache_engine::plan::{AggSpec, JoinSpec};
+use recache_engine::sql::{PredClause, QuerySpec};
+use recache_types::{Error, FieldPath, Result, Value};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// One table of a resolved query.
+pub struct ResolvedTable {
+    pub name: String,
+    pub file: Arc<RawFile>,
+    /// Accessed leaf ids, sorted (the scan projection).
+    pub accessed: Vec<usize>,
+    /// Predicate bound to slot space (`accessed` order).
+    pub predicate: Option<Expr>,
+    /// Conjunctive numeric ranges in leaf space (cache subsumption key).
+    pub ranges: Vec<LeafRange>,
+    /// Canonical predicate signature (exact-match key).
+    pub signature: String,
+    /// False when the predicate has clauses beyond conjunctive ranges.
+    pub subsumable: bool,
+    /// No repeated leaf accessed: scans skip flattening duplicates.
+    pub record_level: bool,
+}
+
+/// A fully resolved query, ready for plan assembly.
+pub struct ResolvedQuery {
+    pub tables: Vec<ResolvedTable>,
+    pub joins: Vec<JoinSpec>,
+    pub aggregates: Vec<AggSpec>,
+}
+
+/// Resolves a parsed query against registered sources.
+pub fn resolve(
+    spec: &QuerySpec,
+    sources: &HashMap<String, Arc<RawFile>>,
+) -> Result<ResolvedQuery> {
+    if spec.tables.is_empty() {
+        return Err(Error::plan("query references no tables"));
+    }
+    let mut files = Vec::with_capacity(spec.tables.len());
+    for name in &spec.tables {
+        let file = sources
+            .get(name)
+            .ok_or_else(|| Error::plan(format!("unknown table '{name}'")))?;
+        files.push(Arc::clone(file));
+    }
+    let resolver = PathResolver { tables: &spec.tables, files: &files };
+
+    let mut accessed: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); files.len()];
+    // Per-table predicate pieces in leaf space.
+    let mut ranges: Vec<Vec<LeafRange>> = vec![Vec::new(); files.len()];
+    let mut extras: Vec<Vec<Expr>> = vec![Vec::new(); files.len()];
+
+    for clause in &spec.predicates {
+        match clause {
+            PredClause::Cmp { path, op, value } => {
+                let (t, leaf) = resolver.resolve(path)?;
+                accessed[t].insert(leaf);
+                let numeric = leaf_is_numeric(&files[t], leaf);
+                match (op, value.as_f64()) {
+                    (CmpOp::Ne, _) | (_, None) => {
+                        extras[t].push(Expr::cmp_slot(leaf, *op, value.clone()));
+                    }
+                    (_, Some(x)) if numeric => {
+                        let range = match op {
+                            CmpOp::Eq => LeafRange { leaf, lo: x, hi: x },
+                            CmpOp::Lt | CmpOp::Le => {
+                                LeafRange { leaf, lo: f64::NEG_INFINITY, hi: x }
+                            }
+                            CmpOp::Gt | CmpOp::Ge => {
+                                LeafRange { leaf, lo: x, hi: f64::INFINITY }
+                            }
+                            CmpOp::Ne => unreachable!("handled above"),
+                        };
+                        push_range(&mut ranges[t], range);
+                        // Strict operators keep their exact form in the
+                        // residual predicate; the range is the (widened)
+                        // subsumption key.
+                        extras_for_range(&mut extras[t], leaf, *op, value);
+                    }
+                    _ => extras[t].push(Expr::cmp_slot(leaf, *op, value.clone())),
+                }
+            }
+            PredClause::Between { path, lo, hi } => {
+                let (t, leaf) = resolver.resolve(path)?;
+                accessed[t].insert(leaf);
+                match (lo.as_f64(), hi.as_f64()) {
+                    (Some(a), Some(b)) if leaf_is_numeric(&files[t], leaf) => {
+                        push_range(&mut ranges[t], LeafRange { leaf, lo: a, hi: b });
+                        extras_for_range(&mut extras[t], leaf, CmpOp::Ge, lo);
+                        extras_for_range(&mut extras[t], leaf, CmpOp::Le, hi);
+                    }
+                    _ => {
+                        extras[t].push(Expr::And(vec![
+                            Expr::cmp_slot(leaf, CmpOp::Ge, lo.clone()),
+                            Expr::cmp_slot(leaf, CmpOp::Le, hi.clone()),
+                        ]));
+                    }
+                }
+            }
+        }
+    }
+
+    // Joins: resolve sides, mark leaves accessed.
+    let mut join_pairs: Vec<((usize, usize), (usize, usize))> = Vec::new();
+    for (left, right) in &spec.joins {
+        let l = resolver.resolve(left)?;
+        let r = resolver.resolve(right)?;
+        if l.0 == r.0 {
+            return Err(Error::plan(format!(
+                "join clause {left} = {right} references a single table"
+            )));
+        }
+        accessed[l.0].insert(l.1);
+        accessed[r.0].insert(r.1);
+        join_pairs.push((l, r));
+    }
+
+    // Aggregates.
+    let mut agg_leaf: Vec<(recache_engine::plan::AggFunc, Option<(usize, usize)>)> = Vec::new();
+    for (func, path) in &spec.aggregates {
+        match path {
+            None => agg_leaf.push((*func, None)),
+            Some(path) => {
+                let (t, leaf) = resolver.resolve(path)?;
+                accessed[t].insert(leaf);
+                agg_leaf.push((*func, Some((t, leaf))));
+            }
+        }
+    }
+
+    // Bind to slot space.
+    let mut tables = Vec::with_capacity(files.len());
+    let mut slot_of: Vec<HashMap<usize, usize>> = Vec::with_capacity(files.len());
+    for (t, file) in files.iter().enumerate() {
+        let accessed_vec: Vec<usize> = accessed[t].iter().copied().collect();
+        let map: HashMap<usize, usize> =
+            accessed_vec.iter().enumerate().map(|(slot, &leaf)| (leaf, slot)).collect();
+
+        // Leaf-space predicate: ranges (non-strict form handled via
+        // extras) plus extra clauses.
+        let mut clauses_leafspace: Vec<Expr> = extras[t].clone();
+        let signature = {
+            let mut sig = range_signature(&ranges[t]);
+            let extra_only: Vec<&Expr> =
+                extras[t].iter().filter(|e| !is_range_residual(e, &ranges[t])).collect();
+            if !extra_only.is_empty() {
+                let mut parts: Vec<String> =
+                    extra_only.iter().map(|e| e.canonical()).collect();
+                parts.sort();
+                sig.push('&');
+                sig.push_str(&parts.join("&"));
+            }
+            sig
+        };
+        let subsumable = extras[t].iter().all(|e| is_range_residual(e, &ranges[t]));
+        let predicate_leafspace = if clauses_leafspace.is_empty() {
+            None
+        } else if clauses_leafspace.len() == 1 {
+            Some(clauses_leafspace.pop().expect("len checked"))
+        } else {
+            Some(Expr::And(clauses_leafspace))
+        };
+        let predicate = predicate_leafspace
+            .as_ref()
+            .map(|p| p.map_slots(&|leaf| *map.get(&leaf).expect("predicate leaf accessed")));
+
+        let leaves = file.leaves();
+        let record_level = accessed_vec.iter().all(|&l| leaves[l].max_rep == 0);
+        tables.push(ResolvedTable {
+            name: spec.tables[t].clone(),
+            file: Arc::clone(file),
+            accessed: accessed_vec,
+            predicate,
+            ranges: ranges[t].clone(),
+            signature,
+            subsumable,
+            record_level,
+        });
+        slot_of.push(map);
+    }
+
+    // Order joins into a connected chain starting from table 0.
+    let joins = order_joins(join_pairs, files.len(), &slot_of)?;
+
+    let aggregates = agg_leaf
+        .into_iter()
+        .map(|(func, target)| match target {
+            None => AggSpec { table: 0, slot: None, func },
+            Some((t, leaf)) => AggSpec { table: t, slot: Some(slot_of[t][&leaf]), func },
+        })
+        .collect();
+
+    Ok(ResolvedQuery { tables, joins, aggregates })
+}
+
+/// The residual predicate for every range clause is itself a range
+/// comparison; such clauses do not block subsumption.
+fn is_range_residual(expr: &Expr, ranges: &[LeafRange]) -> bool {
+    match expr {
+        Expr::Cmp(op, a, b) => {
+            if *op == CmpOp::Ne {
+                return false;
+            }
+            match (a.as_ref(), b.as_ref()) {
+                (Expr::Slot(leaf), Expr::Lit(v)) => {
+                    v.as_f64().is_some() && ranges.iter().any(|r| r.leaf == *leaf)
+                }
+                _ => false,
+            }
+        }
+        _ => false,
+    }
+}
+
+fn extras_for_range(extras: &mut Vec<Expr>, leaf: usize, op: CmpOp, value: &Value) {
+    extras.push(Expr::cmp_slot(leaf, op, value.clone()));
+}
+
+fn push_range(ranges: &mut Vec<LeafRange>, range: LeafRange) {
+    // Conjunctive clauses on the same leaf intersect.
+    for existing in ranges.iter_mut() {
+        if existing.leaf == range.leaf {
+            existing.lo = existing.lo.max(range.lo);
+            existing.hi = existing.hi.min(range.hi);
+            return;
+        }
+    }
+    ranges.push(range);
+}
+
+fn leaf_is_numeric(file: &RawFile, leaf: usize) -> bool {
+    matches!(
+        file.leaves()[leaf].scalar_type,
+        recache_types::ScalarType::Int | recache_types::ScalarType::Float
+    )
+}
+
+/// Orders join pairs into a chain connected to table 0 and binds slots.
+fn order_joins(
+    mut pairs: Vec<((usize, usize), (usize, usize))>,
+    n_tables: usize,
+    slot_of: &[HashMap<usize, usize>],
+) -> Result<Vec<JoinSpec>> {
+    let mut joined = vec![false; n_tables];
+    joined[0] = true;
+    let mut out = Vec::with_capacity(pairs.len());
+    while !pairs.is_empty() {
+        let pos = pairs
+            .iter()
+            .position(|(l, r)| joined[l.0] || joined[r.0])
+            .ok_or_else(|| Error::plan("join graph is disconnected"))?;
+        let (l, r) = pairs.remove(pos);
+        joined[l.0] = true;
+        joined[r.0] = true;
+        out.push(JoinSpec {
+            left_table: l.0,
+            left_slot: slot_of[l.0][&l.1],
+            right_table: r.0,
+            right_slot: slot_of[r.0][&r.1],
+        });
+    }
+    Ok(out)
+}
+
+/// Path → (table index, leaf id) resolution.
+struct PathResolver<'a> {
+    tables: &'a [String],
+    files: &'a [Arc<RawFile>],
+}
+
+impl PathResolver<'_> {
+    fn resolve(&self, path: &FieldPath) -> Result<(usize, usize)> {
+        // Qualified: first step names a table in the FROM list.
+        if path.len() > 1 {
+            if let Some(t) = self.tables.iter().position(|n| n == path.head()) {
+                let rest = FieldPath::from_steps(path.steps()[1..].to_vec());
+                if let Some(leaf) = self.files[t].schema().leaf_index(&rest) {
+                    return Ok((t, leaf));
+                }
+            }
+        }
+        // Unqualified: must be unique across the FROM list.
+        let mut matches = Vec::new();
+        for (t, file) in self.files.iter().enumerate() {
+            if let Some(leaf) = file.schema().leaf_index(path) {
+                matches.push((t, leaf));
+            }
+        }
+        match matches.len() {
+            1 => Ok(matches[0]),
+            0 => Err(Error::plan(format!("unknown attribute '{path}'"))),
+            _ => Err(Error::plan(format!("ambiguous attribute '{path}'"))),
+        }
+    }
+}
+
+/// `Expr::cmp` counterpart that names leaves instead of slots (the
+/// leaf-space predicate is rebound later).
+trait LeafExpr {
+    fn cmp_slot(leaf: usize, op: CmpOp, value: Value) -> Expr;
+}
+
+impl LeafExpr for Expr {
+    fn cmp_slot(leaf: usize, op: CmpOp, value: Value) -> Expr {
+        Expr::Cmp(op, Box::new(Expr::Slot(leaf)), Box::new(Expr::Lit(value)))
+    }
+}

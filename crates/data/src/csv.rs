@@ -1,0 +1,395 @@
+//! From-scratch CSV reader/writer (TPC-H style: `|`-delimited, no quoting).
+//!
+//! The reader works in two regimes, mirroring in-situ engines:
+//! * **first scan** — tokenizes every record, parses the requested fields,
+//!   and builds a [`PositionalMap`] with per-field offsets as a side effect;
+//! * **mapped scan** — navigates directly to the requested fields through
+//!   the positional map, paying nothing for the fields a query skips.
+
+use crate::posmap::PositionalMap;
+use recache_types::{Error, Result, ScalarType, Schema, Value};
+
+/// Field delimiter: TPC-H convention.
+pub const DELIMITER: u8 = b'|';
+
+/// Serializes flat records (one scalar per schema field) into CSV bytes.
+pub fn write_csv(schema: &Schema, records: &[Vec<Value>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * schema.len() * 8);
+    for record in records {
+        debug_assert_eq!(record.len(), schema.len());
+        for (i, value) in record.iter().enumerate() {
+            if i > 0 {
+                out.push(DELIMITER);
+            }
+            write_scalar(&mut out, value);
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+fn write_scalar(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Null => {}
+        Value::Bool(b) => out.extend_from_slice(if *b { b"true" } else { b"false" }),
+        Value::Int(v) => {
+            let mut buf = itoa_buffer();
+            out.extend_from_slice(format_i64(*v, &mut buf));
+        }
+        Value::Float(v) => out.extend_from_slice(format_f64(*v).as_bytes()),
+        Value::Str(s) => {
+            debug_assert!(
+                !s.bytes().any(|b| b == DELIMITER || b == b'\n'),
+                "CSV strings must not contain delimiter or newline"
+            );
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::List(_) | Value::Struct(_) => {
+            unreachable!("CSV schemas contain only scalar fields")
+        }
+    }
+}
+
+fn itoa_buffer() -> [u8; 20] {
+    [0u8; 20]
+}
+
+/// Integer formatting without heap allocation.
+fn format_i64(mut v: i64, buf: &mut [u8; 20]) -> &[u8] {
+    if v == 0 {
+        buf[0] = b'0';
+        return &buf[..1];
+    }
+    let negative = v < 0;
+    let mut i = buf.len();
+    // Work with negative values to handle i64::MIN.
+    if v > 0 {
+        v = -v;
+    }
+    while v != 0 {
+        i -= 1;
+        buf[i] = b'0' + (-(v % 10)) as u8;
+        v /= 10;
+    }
+    if negative {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    let len = buf.len() - i;
+    buf.copy_within(i.., 0);
+    &buf[..len]
+}
+
+fn format_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+        format!("{v:.2}")
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Parses one CSV field into a value of the given scalar type. Empty
+/// fields are `Null`.
+pub fn parse_field(bytes: &[u8], ty: ScalarType) -> Result<Value> {
+    if bytes.is_empty() {
+        return Ok(Value::Null);
+    }
+    match ty {
+        ScalarType::Int => parse_i64(bytes)
+            .map(Value::Int)
+            .ok_or_else(|| Error::parse(format!("invalid int: {}", String::from_utf8_lossy(bytes)))),
+        ScalarType::Float => std::str::from_utf8(bytes)
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Float)
+            .ok_or_else(|| {
+                Error::parse(format!("invalid float: {}", String::from_utf8_lossy(bytes)))
+            }),
+        ScalarType::Bool => match bytes {
+            b"true" | b"1" => Ok(Value::Bool(true)),
+            b"false" | b"0" => Ok(Value::Bool(false)),
+            _ => Err(Error::parse(format!("invalid bool: {}", String::from_utf8_lossy(bytes)))),
+        },
+        ScalarType::Str => Ok(Value::Str(String::from_utf8_lossy(bytes).into_owned())),
+    }
+}
+
+/// Hand-rolled integer parse: the hot path of CSV scans.
+fn parse_i64(bytes: &[u8]) -> Option<i64> {
+    let (negative, digits) = match bytes.first()? {
+        b'-' => (true, &bytes[1..]),
+        b'+' => (false, &bytes[1..]),
+        _ => (false, bytes),
+    };
+    if digits.is_empty() {
+        return None;
+    }
+    let mut acc: i64 = 0;
+    for &b in digits {
+        if !b.is_ascii_digit() {
+            return None;
+        }
+        acc = acc.checked_mul(10)?.checked_sub(i64::from(b - b'0'))?;
+    }
+    if negative {
+        Some(acc)
+    } else {
+        acc.checked_neg()
+    }
+}
+
+/// Full tokenizing scan. Invokes `on_record` with the parsed values of the
+/// `accessed` fields (in schema order, compacted) and returns the
+/// positional map built along the way.
+pub fn scan_build_map(
+    bytes: &[u8],
+    schema: &Schema,
+    accessed: &[bool],
+    mut on_record: impl FnMut(usize, Vec<Value>) -> Result<()>,
+) -> Result<PositionalMap> {
+    let n_fields = schema.len();
+    let stride = n_fields + 1;
+    let approx_records = bytes.len() / 32 + 1;
+    let mut record_offsets = Vec::with_capacity(approx_records + 1);
+    let mut field_offsets: Vec<u32> = Vec::with_capacity(approx_records * stride);
+    let n_accessed = accessed.iter().filter(|&&a| a).count();
+    let types: Vec<ScalarType> = schema
+        .fields()
+        .iter()
+        .map(|f| f.data_type.as_scalar().expect("CSV fields are scalars"))
+        .collect();
+
+    let mut pos = 0usize;
+    let mut record_id = 0usize;
+    while pos < bytes.len() {
+        record_offsets.push(pos as u64);
+        let line_start = pos;
+        let mut field = 0usize;
+        let mut field_start = pos;
+        let mut values = Vec::with_capacity(n_accessed);
+        loop {
+            let b = if pos < bytes.len() { bytes[pos] } else { b'\n' };
+            if b == DELIMITER || b == b'\n' {
+                if field >= n_fields {
+                    return Err(Error::parse_at(
+                        format!("record {record_id} has more than {n_fields} fields"),
+                        pos,
+                    ));
+                }
+                field_offsets.push((field_start - line_start) as u32);
+                if accessed[field] {
+                    values.push(parse_field(&bytes[field_start..pos], types[field])?);
+                }
+                field += 1;
+                field_start = pos + 1;
+                if b == b'\n' {
+                    break;
+                }
+            }
+            pos += 1;
+        }
+        if field != n_fields {
+            return Err(Error::parse_at(
+                format!("record {record_id} has {field} fields, expected {n_fields}"),
+                pos,
+            ));
+        }
+        // Past the (possibly virtual, at EOF) newline. The record-length
+        // slot includes it, so `field_span`'s `end - 1` always lands on
+        // the delimiter that follows the field.
+        pos = pos.min(bytes.len()) + 1;
+        field_offsets.push((pos - line_start) as u32);
+        on_record(record_id, values)?;
+        record_id += 1;
+    }
+    record_offsets.push(bytes.len() as u64);
+    Ok(PositionalMap::with_fields(record_offsets, field_offsets, n_fields))
+}
+
+/// Positional-map-assisted scan: parses only the accessed fields of every
+/// record, without tokenizing the rest of the line.
+pub fn scan_with_map(
+    bytes: &[u8],
+    schema: &Schema,
+    map: &PositionalMap,
+    accessed: &[bool],
+    mut on_record: impl FnMut(usize, Vec<Value>) -> Result<()>,
+) -> Result<()> {
+    let accessed_fields: Vec<(usize, ScalarType)> = schema
+        .fields()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| accessed[*i])
+        .map(|(i, f)| (i, f.data_type.as_scalar().expect("CSV fields are scalars")))
+        .collect();
+    for record in 0..map.record_count() {
+        let mut values = Vec::with_capacity(accessed_fields.len());
+        for &(field, ty) in &accessed_fields {
+            let (start, end) = map.field_span(record, field);
+            values.push(parse_field(&bytes[start..end.min(bytes.len())], ty)?);
+        }
+        on_record(record, values)?;
+    }
+    Ok(())
+}
+
+/// Parses the accessed fields of a single record through the map: the
+/// re-read path used by lazy (offsets-only) caches.
+pub fn parse_record_at(
+    bytes: &[u8],
+    schema: &Schema,
+    map: &PositionalMap,
+    record: usize,
+    accessed: &[bool],
+) -> Result<Vec<Value>> {
+    let mut values = Vec::new();
+    for (field, f) in schema.fields().iter().enumerate() {
+        if !accessed[field] {
+            continue;
+        }
+        let ty = f.data_type.as_scalar().expect("CSV fields are scalars");
+        let (start, end) = map.field_span(record, field);
+        values.push(parse_field(&bytes[start..end.min(bytes.len())], ty)?);
+    }
+    Ok(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_types::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("a", DataType::Int),
+            Field::required("b", DataType::Float),
+            Field::required("c", DataType::Str),
+        ])
+    }
+
+    fn sample() -> Vec<u8> {
+        write_csv(
+            &schema(),
+            &[
+                vec![Value::Int(1), Value::Float(1.5), Value::from("x")],
+                vec![Value::Int(-2), Value::Float(2.0), Value::from("yy")],
+                vec![Value::Null, Value::Float(3.25), Value::from("")],
+            ],
+        )
+    }
+
+    #[test]
+    fn writer_format_is_pipe_delimited() {
+        let bytes = sample();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text, "1|1.5|x\n-2|2.00|yy\n|3.25|\n");
+    }
+
+    #[test]
+    fn full_scan_parses_all_fields_and_builds_map() {
+        let bytes = sample();
+        let mut rows = Vec::new();
+        let map = scan_build_map(&bytes, &schema(), &[true, true, true], |id, vals| {
+            rows.push((id, vals));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].1, vec![Value::Int(1), Value::Float(1.5), Value::from("x")]);
+        assert_eq!(rows[1].1[0], Value::Int(-2));
+        // Empty fields parse as Null for every type (the writer emits
+        // nothing for Null, so Str("") does not round-trip — documented).
+        assert_eq!(rows[2].1[0], Value::Null);
+        assert_eq!(rows[2].1[2], Value::Null);
+        assert_eq!(map.record_count(), 3);
+    }
+
+    #[test]
+    fn projected_first_scan_skips_unaccessed_fields() {
+        let bytes = sample();
+        let mut rows = Vec::new();
+        scan_build_map(&bytes, &schema(), &[false, true, false], |_, vals| {
+            rows.push(vals);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows, vec![
+            vec![Value::Float(1.5)],
+            vec![Value::Float(2.0)],
+            vec![Value::Float(3.25)],
+        ]);
+    }
+
+    #[test]
+    fn mapped_scan_matches_full_scan() {
+        let bytes = sample();
+        let map = scan_build_map(&bytes, &schema(), &[false, false, false], |_, _| Ok(()))
+            .unwrap();
+        let mut rows = Vec::new();
+        scan_with_map(&bytes, &schema(), &map, &[true, false, true], |id, vals| {
+            rows.push((id, vals));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows[0].1, vec![Value::Int(1), Value::from("x")]);
+        assert_eq!(rows[1].1, vec![Value::Int(-2), Value::from("yy")]);
+    }
+
+    #[test]
+    fn parse_record_at_reads_single_records() {
+        let bytes = sample();
+        let map = scan_build_map(&bytes, &schema(), &[false, false, false], |_, _| Ok(()))
+            .unwrap();
+        let vals = parse_record_at(&bytes, &schema(), &map, 1, &[true, true, false]).unwrap();
+        assert_eq!(vals, vec![Value::Int(-2), Value::Float(2.0)]);
+    }
+
+    #[test]
+    fn missing_trailing_newline_is_accepted() {
+        let bytes = b"5|2.50|end".to_vec();
+        let mut rows = Vec::new();
+        let map = scan_build_map(&bytes, &schema(), &[true, true, true], |_, vals| {
+            rows.push(vals);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0], vec![Value::Int(5), Value::Float(2.5), Value::from("end")]);
+        assert_eq!(map.record_count(), 1);
+    }
+
+    #[test]
+    fn field_count_mismatch_is_an_error() {
+        let bytes = b"1|2.0\n".to_vec();
+        let err = scan_build_map(&bytes, &schema(), &[true, true, true], |_, _| Ok(()));
+        assert!(err.is_err());
+        let bytes = b"1|2.0|x|extra\n".to_vec();
+        let err = scan_build_map(&bytes, &schema(), &[true, true, true], |_, _| Ok(()));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn int_parser_handles_extremes() {
+        assert_eq!(parse_i64(b"9223372036854775807"), Some(i64::MAX));
+        assert_eq!(parse_i64(b"-9223372036854775808"), Some(i64::MIN));
+        assert_eq!(parse_i64(b"9223372036854775808"), None); // overflow
+        assert_eq!(parse_i64(b"+42"), Some(42));
+        assert_eq!(parse_i64(b"4x2"), None);
+        assert_eq!(parse_i64(b"-"), None);
+    }
+
+    #[test]
+    fn format_i64_matches_display() {
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN] {
+            let mut buf = [0u8; 20];
+            assert_eq!(format_i64(v, &mut buf), v.to_string().as_bytes());
+        }
+    }
+
+    #[test]
+    fn bool_parsing() {
+        assert_eq!(parse_field(b"true", ScalarType::Bool).unwrap(), Value::Bool(true));
+        assert_eq!(parse_field(b"0", ScalarType::Bool).unwrap(), Value::Bool(false));
+        assert!(parse_field(b"maybe", ScalarType::Bool).is_err());
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic dataset generators for the ReCache evaluation.
+//!
+//! Every generator takes an explicit seed and is reproducible
+//! bit-for-bit. The datasets mirror the paper's three workloads:
+//!
+//! * [`tpch`] — TPC-H-shaped relational tables (CSV) plus the
+//!   `orderLineitems` nested JSON file (orders with an embedded array of
+//!   ~4 lineitems, as in §4.1),
+//! * [`spam`] — a Symantec-like spam-log dataset: heterogeneous JSON with
+//!   flat/nested/optional fields and a companion CSV summary file,
+//! * [`yelp`] — Yelp-shaped business/user/review JSON with larger average
+//!   collection cardinalities (the property driving Fig. 15b),
+//! * [`nested`] — synthetic nested records with parameterized list
+//!   cardinality for the layout microbenchmarks (Figs. 5–6).
+
+pub mod nested;
+pub mod spam;
+pub mod tpch;
+pub mod yelp;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Picks one item from a pool (shared helper for string-pool columns).
+pub(crate) fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+/// Rounds a float to two decimals (price-like columns).
+pub(crate) fn money(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}

@@ -1,0 +1,252 @@
+//! Symantec-like spam-log generator.
+//!
+//! The paper's second workload is a proprietary Symantec dataset of spam
+//! e-mail logs: JSON objects with (i) numeric and variable-length fields,
+//! (ii) flat and nested entries of various depths, and (iii) fields that
+//! exist only in a subset of objects — plus CSV files produced by the
+//! data-mining engine (per-email identifiers, summary info, classes).
+//! This generator reproduces exactly those axes synthetically.
+
+use super::pick;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recache_types::{DataType, Field, Schema, Value};
+
+const LANGS: [&str; 8] = ["en", "ru", "zh", "es", "de", "pt", "fr", "ja"];
+const CONTENT_TYPES: [&str; 5] =
+    ["text/plain", "text/html", "multipart/mixed", "multipart/alternative", "image/png"];
+const COUNTRIES: [&str; 10] = ["US", "CN", "RU", "BR", "IN", "VN", "DE", "UA", "NG", "KR"];
+const ATTACH_KINDS: [&str; 5] = ["zip", "pdf", "exe", "doc", "js"];
+
+/// JSON spam-log schema: flat numerics/strings, a nested `origin` struct,
+/// repeated `urls`, and *optional* `attachments` / `headers` subtrees.
+pub fn spam_json_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("id", DataType::Int),
+        Field::required("ts", DataType::Int),
+        Field::required("size", DataType::Int),
+        Field::required("spam_score", DataType::Float),
+        Field::required("lang", DataType::Str),
+        Field::required("content_type", DataType::Str),
+        Field::new(
+            "origin",
+            DataType::Struct(vec![
+                Field::required("ip", DataType::Str),
+                Field::required("country", DataType::Str),
+                Field::required("asn", DataType::Int),
+            ]),
+        ),
+        Field::new(
+            "urls",
+            DataType::List(Box::new(DataType::Struct(vec![
+                Field::required("host", DataType::Str),
+                Field::required("path_len", DataType::Int),
+                Field::required("score", DataType::Float),
+            ]))),
+        ),
+        Field::new(
+            "attachments",
+            DataType::List(Box::new(DataType::Struct(vec![
+                Field::required("kind", DataType::Str),
+                Field::required("bytes", DataType::Int),
+                Field::required("entropy", DataType::Float),
+            ]))),
+        ),
+        Field::new(
+            "headers",
+            DataType::Struct(vec![
+                Field::required("depth", DataType::Int),
+                Field::required("received", DataType::Int),
+                Field::new("hops", DataType::List(Box::new(DataType::Int))),
+            ]),
+        ),
+    ])
+}
+
+/// Generates `n` spam-log JSON records.
+pub fn gen_spam_json(n: usize, seed: u64) -> Vec<Value> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5134_a11d);
+    (0..n as i64).map(|id| gen_record(&mut rng, id)).collect()
+}
+
+fn gen_record(rng: &mut StdRng, id: i64) -> Value {
+    let n_urls = rng.random_range(0..=6);
+    let urls = Value::List(
+        (0..n_urls)
+            .map(|_| {
+                Value::Struct(vec![
+                    Value::Str(format!("host{}.example", rng.random_range(0..5_000))),
+                    Value::Int(rng.random_range(1..=120)),
+                    Value::Float(rng.random::<f64>()),
+                ])
+            })
+            .collect(),
+    );
+    // Optional: attachments present in ~40% of records.
+    let attachments = if rng.random::<f64>() < 0.4 {
+        let n = rng.random_range(1..=3);
+        Value::List(
+            (0..n)
+                .map(|_| {
+                    Value::Struct(vec![
+                        Value::Str(pick(rng, &ATTACH_KINDS).to_owned()),
+                        Value::Int(rng.random_range(256..2_000_000)),
+                        Value::Float(rng.random::<f64>() * 8.0),
+                    ])
+                })
+                .collect(),
+        )
+    } else {
+        Value::Null
+    };
+    // Optional: headers present in ~60% of records.
+    let headers = if rng.random::<f64>() < 0.6 {
+        let hops = rng.random_range(1..=6);
+        Value::Struct(vec![
+            Value::Int(rng.random_range(1..=10)),
+            Value::Int(hops),
+            Value::List((0..hops).map(|_| Value::Int(rng.random_range(0..86_400))).collect()),
+        ])
+    } else {
+        Value::Null
+    };
+    Value::Struct(vec![
+        Value::Int(id),
+        Value::Int(1_400_000_000 + rng.random_range(0..100_000_000)),
+        Value::Int(rng.random_range(200..200_000)),
+        Value::Float(rng.random::<f64>() * 10.0),
+        Value::Str(pick(rng, &LANGS).to_owned()),
+        Value::Str(pick(rng, &CONTENT_TYPES).to_owned()),
+        Value::Struct(vec![
+            Value::Str(format!(
+                "{}.{}.{}.{}",
+                rng.random_range(1..255),
+                rng.random_range(0..255),
+                rng.random_range(0..255),
+                rng.random_range(1..255)
+            )),
+            Value::Str(pick(rng, &COUNTRIES).to_owned()),
+            Value::Int(rng.random_range(1_000..66_000)),
+        ]),
+        urls,
+        attachments,
+        headers,
+    ])
+}
+
+/// Companion CSV schema: the output of the (simulated) mining engine —
+/// an identifier, summary counters and class assignments, all numeric.
+pub fn spam_csv_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("id", DataType::Int),
+        Field::required("class", DataType::Int),
+        Field::required("cluster", DataType::Int),
+        Field::required("token_count", DataType::Int),
+        Field::required("link_count", DataType::Int),
+        Field::required("img_count", DataType::Int),
+        Field::required("score_body", DataType::Float),
+        Field::required("score_subject", DataType::Float),
+        Field::required("score_origin", DataType::Float),
+        Field::required("confidence", DataType::Float),
+    ])
+}
+
+/// Generates `n` summary CSV rows keyed like the JSON records, so
+/// JSON-CSV joins on `id` have matches.
+pub fn gen_spam_csv(n: usize, seed: u64) -> Vec<Vec<Value>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0c5f_77aa);
+    (0..n as i64)
+        .map(|id| {
+            vec![
+                Value::Int(id),
+                Value::Int(rng.random_range(0..12)),
+                Value::Int(rng.random_range(0..400)),
+                Value::Int(rng.random_range(5..4_000)),
+                Value::Int(rng.random_range(0..40)),
+                Value::Int(rng.random_range(0..12)),
+                Value::Float(rng.random::<f64>() * 10.0),
+                Value::Float(rng.random::<f64>() * 10.0),
+                Value::Float(rng.random::<f64>() * 10.0),
+                Value::Float(rng.random::<f64>()),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::write_json;
+    use recache_types::flatten_record;
+
+    #[test]
+    fn records_match_schema_and_are_deterministic() {
+        let a = gen_spam_json(50, 11);
+        let b = gen_spam_json(50, 11);
+        assert_eq!(a, b);
+        let schema = spam_json_schema();
+        for r in &a {
+            // Flattening must succeed for every record shape.
+            let rows = flatten_record(&schema, r);
+            assert!(!rows.is_empty());
+        }
+    }
+
+    #[test]
+    fn optional_fields_present_in_subset() {
+        let records = gen_spam_json(400, 5);
+        let with_attach = records
+            .iter()
+            .filter(|r| match r {
+                Value::Struct(ch) => !ch[8].is_null(),
+                _ => false,
+            })
+            .count();
+        let with_headers = records
+            .iter()
+            .filter(|r| match r {
+                Value::Struct(ch) => !ch[9].is_null(),
+                _ => false,
+            })
+            .count();
+        // ~40% and ~60% with slack.
+        assert!((100..=220).contains(&with_attach), "attachments: {with_attach}");
+        assert!((180..=300).contains(&with_headers), "headers: {with_headers}");
+    }
+
+    #[test]
+    fn json_serialization_round_trips() {
+        let schema = spam_json_schema();
+        let records = gen_spam_json(20, 3);
+        let bytes = write_json(&schema, &records);
+        let mut parsed = Vec::new();
+        crate::json::scan_build_map(&bytes, &schema, None, |_, v| {
+            parsed.push(v);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn csv_rows_match_schema() {
+        let rows = gen_spam_csv(30, 2);
+        assert_eq!(rows.len(), 30);
+        assert_eq!(rows[0].len(), spam_csv_schema().len());
+        // ids align with JSON ids
+        assert_eq!(rows[7][0], Value::Int(7));
+    }
+
+    #[test]
+    fn schema_has_nested_and_flat_leaves() {
+        let schema = spam_json_schema();
+        let leaves = schema.leaves();
+        assert!(leaves.iter().any(|l| l.is_nested()));
+        assert!(leaves.iter().any(|l| !l.is_nested()));
+        // origin.* is flat (struct, not list) — depth without repetition.
+        let origin_ip = leaves.iter().find(|l| l.path.to_string() == "origin.ip").unwrap();
+        assert_eq!(origin_ip.max_rep, 0);
+        let hops = leaves.iter().find(|l| l.path.to_string() == "headers.hops").unwrap();
+        assert_eq!(hops.max_rep, 1);
+    }
+}

@@ -1,0 +1,347 @@
+//! TPC-H-shaped data generator.
+//!
+//! Produces the five tables the paper's SPJ workload touches (`lineitem`,
+//! `orders`, `customer`, `partsupp`, `part`) as flat rows for CSV output,
+//! plus the `orderLineitems` nested JSON dataset of §4.1: one JSON object
+//! per order with an embedded array of its lineitems (~4 on average, the
+//! TPC-H lineitem:order ratio).
+//!
+//! Scale factor semantics follow TPC-H: `sf = 1.0` means 1.5M orders / 6M
+//! lineitems. The evaluation uses much smaller factors so the full
+//! benchmark suite finishes quickly; shapes are preserved because every
+//! distribution is scale-free.
+
+use super::money;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recache_types::{DataType, Field, Schema, Value};
+
+/// Base cardinalities at SF 1.
+const ORDERS_PER_SF: f64 = 1_500_000.0;
+const CUSTOMERS_PER_SF: f64 = 150_000.0;
+const PARTS_PER_SF: f64 = 200_000.0;
+const PARTSUPPS_PER_SF: f64 = 800_000.0;
+
+fn scaled(base: f64, sf: f64) -> usize {
+    ((base * sf).round() as usize).max(1)
+}
+
+/// Number of orders at a scale factor.
+pub fn order_count(sf: f64) -> usize {
+    scaled(ORDERS_PER_SF, sf)
+}
+
+pub fn customer_count(sf: f64) -> usize {
+    scaled(CUSTOMERS_PER_SF, sf)
+}
+
+pub fn part_count(sf: f64) -> usize {
+    scaled(PARTS_PER_SF, sf)
+}
+
+pub fn partsupp_count(sf: f64) -> usize {
+    scaled(PARTSUPPS_PER_SF, sf)
+}
+
+/// `lineitem`: 16 columns, numerics dominate (dates are day numbers).
+pub fn lineitem_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("l_orderkey", DataType::Int),
+        Field::required("l_partkey", DataType::Int),
+        Field::required("l_suppkey", DataType::Int),
+        Field::required("l_linenumber", DataType::Int),
+        Field::required("l_quantity", DataType::Int),
+        Field::required("l_extendedprice", DataType::Float),
+        Field::required("l_discount", DataType::Float),
+        Field::required("l_tax", DataType::Float),
+        Field::required("l_returnflag", DataType::Int),
+        Field::required("l_linestatus", DataType::Int),
+        Field::required("l_shipdate", DataType::Int),
+        Field::required("l_commitdate", DataType::Int),
+        Field::required("l_receiptdate", DataType::Int),
+        Field::required("l_shipinstruct", DataType::Int),
+        Field::required("l_shipmode", DataType::Int),
+        Field::required("l_comment", DataType::Str),
+    ])
+}
+
+pub fn orders_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("o_orderkey", DataType::Int),
+        Field::required("o_custkey", DataType::Int),
+        Field::required("o_orderstatus", DataType::Int),
+        Field::required("o_totalprice", DataType::Float),
+        Field::required("o_orderdate", DataType::Int),
+        Field::required("o_orderpriority", DataType::Int),
+        Field::required("o_clerk", DataType::Int),
+        Field::required("o_shippriority", DataType::Int),
+        Field::required("o_comment", DataType::Str),
+    ])
+}
+
+pub fn customer_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("c_custkey", DataType::Int),
+        Field::required("c_name", DataType::Str),
+        Field::required("c_address", DataType::Str),
+        Field::required("c_nationkey", DataType::Int),
+        Field::required("c_phone", DataType::Str),
+        Field::required("c_acctbal", DataType::Float),
+        Field::required("c_mktsegment", DataType::Int),
+        Field::required("c_comment", DataType::Str),
+    ])
+}
+
+pub fn part_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("p_partkey", DataType::Int),
+        Field::required("p_name", DataType::Str),
+        Field::required("p_mfgr", DataType::Int),
+        Field::required("p_brand", DataType::Int),
+        Field::required("p_type", DataType::Int),
+        Field::required("p_size", DataType::Int),
+        Field::required("p_container", DataType::Int),
+        Field::required("p_retailprice", DataType::Float),
+        Field::required("p_comment", DataType::Str),
+    ])
+}
+
+pub fn partsupp_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("ps_partkey", DataType::Int),
+        Field::required("ps_suppkey", DataType::Int),
+        Field::required("ps_availqty", DataType::Int),
+        Field::required("ps_supplycost", DataType::Float),
+        Field::required("ps_comment", DataType::Str),
+    ])
+}
+
+/// `orderLineitems`: each order with the embedded array of its lineitems
+/// (the lineitem fields drop `l_orderkey`, which the nesting encodes).
+pub fn order_lineitems_schema() -> Schema {
+    let mut lineitem_fields: Vec<Field> = lineitem_schema().fields().to_vec();
+    lineitem_fields.remove(0); // l_orderkey is implied by nesting
+    let mut fields: Vec<Field> = orders_schema().fields().to_vec();
+    fields.push(Field::new("lineitems", DataType::List(Box::new(DataType::Struct(
+        lineitem_fields,
+    )))));
+    Schema::new(fields)
+}
+
+fn comment(rng: &mut StdRng) -> Value {
+    const WORDS: [&str; 8] =
+        ["carefully", "quickly", "final", "pending", "ironic", "bold", "even", "slyly"];
+    let a = WORDS[rng.random_range(0..WORDS.len())];
+    let b = WORDS[rng.random_range(0..WORDS.len())];
+    Value::Str(format!("{a} {b} requests"))
+}
+
+fn gen_lineitem_row(rng: &mut StdRng, orderkey: i64, linenumber: i64, parts: i64) -> Vec<Value> {
+    let quantity = rng.random_range(1..=50i64);
+    let price_per_unit = 900.0 + rng.random::<f64>() * 100_000.0 / 50.0;
+    vec![
+        Value::Int(orderkey),
+        Value::Int(rng.random_range(1..=parts)),
+        Value::Int(rng.random_range(1..=10_000i64)),
+        Value::Int(linenumber),
+        Value::Int(quantity),
+        Value::Float(money(quantity as f64 * price_per_unit / 10.0)),
+        Value::Float(money(rng.random::<f64>() * 0.10)),
+        Value::Float(money(rng.random::<f64>() * 0.08)),
+        Value::Int(rng.random_range(0..3)),
+        Value::Int(rng.random_range(0..2)),
+        Value::Int(rng.random_range(8_000..11_000)),
+        Value::Int(rng.random_range(8_000..11_000)),
+        Value::Int(rng.random_range(8_000..11_000)),
+        Value::Int(rng.random_range(0..4)),
+        Value::Int(rng.random_range(0..7)),
+        comment(rng),
+    ]
+}
+
+/// Generates `orders` and `lineitem` together so the 1:N relationship is
+/// consistent: each order owns 1–7 lineitems (avg 4).
+pub fn gen_orders_and_lineitems(sf: f64, seed: u64) -> (Vec<Vec<Value>>, Vec<Vec<Value>>) {
+    let orders_n = order_count(sf);
+    let customers_n = customer_count(sf) as i64;
+    let parts_n = part_count(sf) as i64;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0071_0c4a);
+    let mut orders = Vec::with_capacity(orders_n);
+    let mut lineitems = Vec::with_capacity(orders_n * 4);
+    for orderkey in 1..=orders_n as i64 {
+        let n_items = rng.random_range(1..=7i64);
+        let mut total = 0.0;
+        let item_start = lineitems.len();
+        for line in 1..=n_items {
+            let row = gen_lineitem_row(&mut rng, orderkey, line, parts_n);
+            total += row[5].as_f64().expect("price");
+            lineitems.push(row);
+        }
+        let _ = item_start;
+        orders.push(vec![
+            Value::Int(orderkey),
+            Value::Int(rng.random_range(1..=customers_n)),
+            Value::Int(rng.random_range(0..3)),
+            Value::Float(money(total)),
+            Value::Int(rng.random_range(8_000..11_000)),
+            Value::Int(rng.random_range(1..=5)),
+            Value::Int(rng.random_range(1..=1000)),
+            Value::Int(0),
+            comment(&mut rng),
+        ]);
+    }
+    (orders, lineitems)
+}
+
+pub fn gen_customer(sf: f64, seed: u64) -> Vec<Vec<Value>> {
+    const SEGMENTS: i64 = 5;
+    let n = customer_count(sf);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00c5_57e3);
+    (1..=n as i64)
+        .map(|key| {
+            vec![
+                Value::Int(key),
+                Value::Str(format!("Customer#{key:09}")),
+                Value::Str(format!("addr-{}", rng.random_range(0..100_000))),
+                Value::Int(rng.random_range(0..25)),
+                Value::Str(format!("{:02}-{:07}", rng.random_range(10..35), key)),
+                Value::Float(money(rng.random::<f64>() * 11_000.0 - 1_000.0)),
+                Value::Int(rng.random_range(0..SEGMENTS)),
+                comment(&mut rng),
+            ]
+        })
+        .collect()
+}
+
+pub fn gen_part(sf: f64, seed: u64) -> Vec<Vec<Value>> {
+    let n = part_count(sf);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00aa_b001);
+    (1..=n as i64)
+        .map(|key| {
+            vec![
+                Value::Int(key),
+                Value::Str(format!("part {key}")),
+                Value::Int(rng.random_range(1..=5)),
+                Value::Int(rng.random_range(1..=25)),
+                Value::Int(rng.random_range(0..150)),
+                Value::Int(rng.random_range(1..=50)),
+                Value::Int(rng.random_range(0..40)),
+                Value::Float(money(900.0 + (key % 1000) as f64 + rng.random::<f64>() * 100.0)),
+                comment(&mut rng),
+            ]
+        })
+        .collect()
+}
+
+pub fn gen_partsupp(sf: f64, seed: u64) -> Vec<Vec<Value>> {
+    let n = partsupp_count(sf);
+    let parts_n = part_count(sf) as i64;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0057_7155);
+    (0..n)
+        .map(|i| {
+            vec![
+                Value::Int((i as i64 % parts_n) + 1),
+                Value::Int(rng.random_range(1..=10_000i64)),
+                Value::Int(rng.random_range(1..=9_999)),
+                Value::Float(money(rng.random::<f64>() * 1_000.0)),
+                comment(&mut rng),
+            ]
+        })
+        .collect()
+}
+
+/// Builds the nested `orderLineitems` records from consistent orders and
+/// lineitems (as [`gen_orders_and_lineitems`] produces).
+pub fn gen_order_lineitems(sf: f64, seed: u64) -> Vec<Value> {
+    let (orders, lineitems) = gen_orders_and_lineitems(sf, seed);
+    let mut by_order: Vec<Vec<Value>> = vec![Vec::new(); orders.len() + 1];
+    for row in lineitems {
+        let orderkey = row[0].as_i64().expect("orderkey") as usize;
+        // Drop l_orderkey (index 0): the nesting encodes it.
+        by_order[orderkey].push(Value::Struct(row.into_iter().skip(1).collect()));
+    }
+    orders
+        .into_iter()
+        .map(|order| {
+            let orderkey = order[0].as_i64().expect("orderkey") as usize;
+            let mut children = order;
+            children.push(Value::List(std::mem::take(&mut by_order[orderkey])));
+            Value::Struct(children)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_types::flatten_record;
+
+    #[test]
+    fn cardinalities_scale() {
+        assert_eq!(order_count(1.0), 1_500_000);
+        assert_eq!(order_count(0.0001), 150);
+        assert_eq!(customer_count(0.001), 150);
+        assert!(part_count(1e-9) >= 1);
+    }
+
+    #[test]
+    fn lineitem_order_ratio_is_about_four() {
+        let (orders, lineitems) = gen_orders_and_lineitems(0.0005, 42);
+        let ratio = lineitems.len() as f64 / orders.len() as f64;
+        assert!((3.5..=4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = gen_orders_and_lineitems(0.0001, 7);
+        let b = gen_orders_and_lineitems(0.0001, 7);
+        assert_eq!(a, b);
+        let c = gen_orders_and_lineitems(0.0001, 8);
+        assert_ne!(a.0, c.0);
+    }
+
+    #[test]
+    fn rows_match_schemas() {
+        let (orders, lineitems) = gen_orders_and_lineitems(0.0001, 1);
+        assert_eq!(orders[0].len(), orders_schema().len());
+        assert_eq!(lineitems[0].len(), lineitem_schema().len());
+        assert_eq!(gen_customer(0.0001, 1)[0].len(), customer_schema().len());
+        assert_eq!(gen_part(0.0001, 1)[0].len(), part_schema().len());
+        assert_eq!(gen_partsupp(0.0001, 1)[0].len(), partsupp_schema().len());
+    }
+
+    #[test]
+    fn order_lineitems_nesting_is_consistent() {
+        let sf = 0.0002;
+        let records = gen_order_lineitems(sf, 9);
+        let (orders, lineitems) = gen_orders_and_lineitems(sf, 9);
+        assert_eq!(records.len(), orders.len());
+        let schema = order_lineitems_schema();
+        // Flattened row count equals the lineitem count (every order has
+        // at least one lineitem).
+        let total: usize =
+            records.iter().map(|r| flatten_record(&schema, r).len()).sum();
+        assert_eq!(total, lineitems.len());
+    }
+
+    #[test]
+    fn order_lineitems_leaves_split_nested_and_flat() {
+        let schema = order_lineitems_schema();
+        let leaves = schema.leaves();
+        let nested = leaves.iter().filter(|l| l.is_nested()).count();
+        let flat = leaves.len() - nested;
+        assert_eq!(flat, 9); // order fields
+        assert_eq!(nested, 15); // lineitem fields minus l_orderkey
+    }
+
+    #[test]
+    fn quantities_are_in_tpch_range() {
+        let (_, lineitems) = gen_orders_and_lineitems(0.0001, 3);
+        for row in &lineitems {
+            let q = row[4].as_i64().unwrap();
+            assert!((1..=50).contains(&q));
+            let discount = row[6].as_f64().unwrap();
+            assert!((0.0..=0.10).contains(&discount));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Yelp-shaped dataset generator (business / user / review JSON).
+//!
+//! The paper's third workload uses Yelp's open dataset. Its defining
+//! property for ReCache is that records carry *larger collections* on
+//! average than the spam data (friends lists, categories, check-ins) —
+//! flattening into a relational columnar cache multiplies rows heavily,
+//! which drives the Fig. 15b result (columnar layouts degrade badly).
+
+use super::pick;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recache_types::{DataType, Field, Schema, Value};
+
+const CITIES: [&str; 8] = [
+    "Las Vegas", "Phoenix", "Toronto", "Charlotte", "Pittsburgh", "Montreal", "Madison", "Tempe",
+];
+const CATEGORIES: [&str; 12] = [
+    "Restaurants", "Bars", "Coffee", "Pizza", "Mexican", "Chinese", "Nightlife", "Shopping",
+    "Auto", "Fitness", "Hotels", "Breakfast",
+];
+
+pub fn business_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("business_id", DataType::Int),
+        Field::required("name", DataType::Str),
+        Field::required("city", DataType::Str),
+        Field::required("stars", DataType::Float),
+        Field::required("review_count", DataType::Int),
+        Field::required("is_open", DataType::Bool),
+        Field::new("categories", DataType::List(Box::new(DataType::Str))),
+        Field::new(
+            "attributes",
+            DataType::Struct(vec![
+                Field::new("price_range", DataType::Int),
+                Field::new("wifi", DataType::Bool),
+                Field::new("parking", DataType::Bool),
+                Field::new("noise", DataType::Int),
+            ]),
+        ),
+        Field::new("checkins", DataType::List(Box::new(DataType::Int))),
+    ])
+}
+
+pub fn user_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("user_id", DataType::Int),
+        Field::required("review_count", DataType::Int),
+        Field::required("useful", DataType::Int),
+        Field::required("funny", DataType::Int),
+        Field::required("cool", DataType::Int),
+        Field::required("average_stars", DataType::Float),
+        Field::new("friends", DataType::List(Box::new(DataType::Int))),
+        Field::new("elite", DataType::List(Box::new(DataType::Int))),
+    ])
+}
+
+pub fn review_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("review_id", DataType::Int),
+        Field::required("user_id", DataType::Int),
+        Field::required("business_id", DataType::Int),
+        Field::required("stars", DataType::Int),
+        Field::required("useful", DataType::Int),
+        Field::required("funny", DataType::Int),
+        Field::required("cool", DataType::Int),
+        Field::required("text_len", DataType::Int),
+        Field::new(
+            "votes",
+            DataType::Struct(vec![
+                Field::required("useful", DataType::Int),
+                Field::required("funny", DataType::Int),
+                Field::required("cool", DataType::Int),
+            ]),
+        ),
+        Field::new("tags", DataType::List(Box::new(DataType::Str))),
+    ])
+}
+
+/// Businesses: ~7 categories and ~12 check-in buckets per record.
+pub fn gen_business(n: usize, seed: u64) -> Vec<Value> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0b15_1e55);
+    (0..n as i64)
+        .map(|id| {
+            let n_cat = rng.random_range(2..=12);
+            let n_checkins = rng.random_range(4..=20);
+            Value::Struct(vec![
+                Value::Int(id),
+                Value::Str(format!("business-{id}")),
+                Value::Str(pick(&mut rng, &CITIES).to_owned()),
+                Value::Float((rng.random_range(2..=10) as f64) / 2.0),
+                Value::Int(rng.random_range(1..=2_000)),
+                Value::Bool(rng.random::<f64>() < 0.85),
+                Value::List(
+                    (0..n_cat)
+                        .map(|_| Value::Str(pick(&mut rng, &CATEGORIES).to_owned()))
+                        .collect(),
+                ),
+                Value::Struct(vec![
+                    Value::Int(rng.random_range(1..=4)),
+                    Value::Bool(rng.random::<f64>() < 0.6),
+                    Value::Bool(rng.random::<f64>() < 0.5),
+                    Value::Int(rng.random_range(0..4)),
+                ]),
+                Value::List(
+                    (0..n_checkins)
+                        .map(|_| Value::Int(rng.random_range(0..500)))
+                        .collect(),
+                ),
+            ])
+        })
+        .collect()
+}
+
+/// Users: friends lists average ~20 entries — the largest collections in
+/// the evaluation.
+pub fn gen_user(n: usize, seed: u64) -> Vec<Value> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0055_e4aa);
+    (0..n as i64)
+        .map(|id| {
+            let n_friends = rng.random_range(0..=40);
+            let n_elite = rng.random_range(0..=5);
+            Value::Struct(vec![
+                Value::Int(id),
+                Value::Int(rng.random_range(0..=3_000)),
+                Value::Int(rng.random_range(0..=10_000)),
+                Value::Int(rng.random_range(0..=5_000)),
+                Value::Int(rng.random_range(0..=5_000)),
+                Value::Float(1.0 + rng.random::<f64>() * 4.0),
+                Value::List(
+                    (0..n_friends)
+                        .map(|_| Value::Int(rng.random_range(0..n.max(2) as i64)))
+                        .collect(),
+                ),
+                Value::List((0..n_elite).map(|i| Value::Int(2010 + i)).collect()),
+            ])
+        })
+        .collect()
+}
+
+/// Reviews reference user and business ids so joins have matches.
+pub fn gen_review(n: usize, users: usize, businesses: usize, seed: u64) -> Vec<Value> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0e01_1301);
+    (0..n as i64)
+        .map(|id| {
+            let n_tags = rng.random_range(0..=4);
+            Value::Struct(vec![
+                Value::Int(id),
+                Value::Int(rng.random_range(0..users.max(1) as i64)),
+                Value::Int(rng.random_range(0..businesses.max(1) as i64)),
+                Value::Int(rng.random_range(1..=5)),
+                Value::Int(rng.random_range(0..=100)),
+                Value::Int(rng.random_range(0..=50)),
+                Value::Int(rng.random_range(0..=50)),
+                Value::Int(rng.random_range(20..=4_000)),
+                Value::Struct(vec![
+                    Value::Int(rng.random_range(0..=30)),
+                    Value::Int(rng.random_range(0..=20)),
+                    Value::Int(rng.random_range(0..=20)),
+                ]),
+                Value::List(
+                    (0..n_tags)
+                        .map(|_| Value::Str(pick(&mut rng, &CATEGORIES).to_owned()))
+                        .collect(),
+                ),
+            ])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_types::flatten_record;
+
+    #[test]
+    fn collections_are_larger_on_average_than_spam() {
+        let businesses = gen_business(100, 1);
+        let schema = business_schema();
+        let avg_rows: f64 = businesses
+            .iter()
+            .map(|b| flatten_record(&schema, b).len() as f64)
+            .sum::<f64>()
+            / 100.0;
+        // categories × checkins multiply: average well above the spam
+        // dataset's ~2-3 rows per record.
+        assert!(avg_rows > 20.0, "avg flattened rows {avg_rows}");
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        assert_eq!(gen_business(10, 2), gen_business(10, 2));
+        assert_eq!(gen_user(10, 2), gen_user(10, 2));
+        assert_eq!(gen_review(10, 5, 5, 2), gen_review(10, 5, 5, 2));
+    }
+
+    #[test]
+    fn review_foreign_keys_in_range() {
+        let reviews = gen_review(50, 7, 9, 3);
+        for r in &reviews {
+            if let Value::Struct(ch) = r {
+                let user = ch[1].as_i64().unwrap();
+                let business = ch[2].as_i64().unwrap();
+                assert!((0..7).contains(&user));
+                assert!((0..9).contains(&business));
+            }
+        }
+    }
+
+    #[test]
+    fn schemas_flatten_all_records() {
+        for (schema, records) in [
+            (business_schema(), gen_business(20, 4)),
+            (user_schema(), gen_user(20, 4)),
+            (review_schema(), gen_review(20, 10, 10, 4)),
+        ] {
+            for r in &records {
+                assert!(!flatten_record(&schema, r).is_empty());
+            }
+        }
+    }
+}

@@ -1,0 +1,682 @@
+//! From-scratch line-delimited JSON reader/writer.
+//!
+//! The reader is *schema-directed*: it parses each object against the
+//! expected [`Schema`], skipping unknown keys and — when given a top-level
+//! access bitmap — skipping the byte ranges of unaccessed fields without
+//! materializing them. Skipping a large nested array is dramatically
+//! cheaper than parsing it, which is exactly the asymmetry ReCache's cost
+//! model reacts to.
+
+use crate::posmap::PositionalMap;
+use recache_types::{DataType, Error, Field, Result, Schema, Value};
+
+/// Serializes records (struct values matching `schema`) into
+/// line-delimited JSON. `Null` fields are omitted, as in real-world
+/// heterogeneous JSON where optional keys are absent.
+pub fn write_json(schema: &Schema, records: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(records.len() * 64);
+    for record in records {
+        write_struct(&mut out, schema.fields(), record);
+        out.push(b'\n');
+    }
+    out
+}
+
+fn write_struct(out: &mut Vec<u8>, fields: &[Field], value: &Value) {
+    out.push(b'{');
+    let children: &[Value] = match value {
+        Value::Struct(children) => children,
+        _ => &[],
+    };
+    let mut first = true;
+    for (i, field) in fields.iter().enumerate() {
+        let child = children.get(i).unwrap_or(&Value::Null);
+        if child.is_null() {
+            continue;
+        }
+        if !first {
+            out.push(b',');
+        }
+        first = false;
+        out.push(b'"');
+        out.extend_from_slice(field.name.as_bytes());
+        out.extend_from_slice(b"\":");
+        write_value(out, &field.data_type, child);
+    }
+    out.push(b'}');
+}
+
+fn write_value(out: &mut Vec<u8>, ty: &DataType, value: &Value) {
+    match (ty, value) {
+        (_, Value::Null) => out.extend_from_slice(b"null"),
+        (DataType::Struct(fields), v) => write_struct(out, fields, v),
+        (DataType::List(inner), Value::List(items)) => {
+            out.push(b'[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(b',');
+                }
+                write_value(out, inner, item);
+            }
+            out.push(b']');
+        }
+        (_, Value::Bool(b)) => out.extend_from_slice(if *b { b"true" } else { b"false" }),
+        (_, Value::Int(v)) => out.extend_from_slice(v.to_string().as_bytes()),
+        (_, Value::Float(v)) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                out.extend_from_slice(format!("{v:.1}").as_bytes());
+            } else {
+                out.extend_from_slice(format!("{v}").as_bytes());
+            }
+        }
+        (_, Value::Str(s)) => write_json_string(out, s),
+        (ty, v) => unreachable!("value {v:?} does not match type {ty:?}"),
+    }
+}
+
+fn write_json_string(out: &mut Vec<u8>, s: &str) {
+    out.push(b'"');
+    for b in s.bytes() {
+        match b {
+            b'"' => out.extend_from_slice(b"\\\""),
+            b'\\' => out.extend_from_slice(b"\\\\"),
+            b'\n' => out.extend_from_slice(b"\\n"),
+            b'\t' => out.extend_from_slice(b"\\t"),
+            b'\r' => out.extend_from_slice(b"\\r"),
+            0x00..=0x1f => out.extend_from_slice(format!("\\u{b:04x}").as_bytes()),
+            _ => out.push(b),
+        }
+    }
+    out.push(b'"');
+}
+
+/// Cursor over one JSON document.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse_at(format!("expected '{}'", b as char), self.pos))
+        }
+    }
+
+    fn try_consume(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses a JSON string, decoding escapes.
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        // Fast path: no escapes.
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::parse_at("invalid utf-8 in string", start))?
+                        .to_owned();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => break,
+                _ => self.pos += 1,
+            }
+        }
+        // Slow path with escape decoding.
+        let mut s = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::parse_at("truncated escape", self.pos))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return Err(Error::parse_at("truncated \\u escape", self.pos));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| Error::parse_at("bad \\u escape", self.pos))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::parse_at("bad \\u escape", self.pos))?;
+                            self.pos += 4;
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::parse_at(
+                                format!("unknown escape '\\{}'", other as char),
+                                self.pos,
+                            ))
+                        }
+                    }
+                }
+                b => {
+                    // Collect a run of plain bytes.
+                    let run_start = self.pos;
+                    while self.pos < self.bytes.len()
+                        && self.bytes[self.pos] != b'"'
+                        && self.bytes[self.pos] != b'\\'
+                    {
+                        self.pos += 1;
+                    }
+                    s.push_str(&String::from_utf8_lossy(&self.bytes[run_start..self.pos]));
+                    let _ = b;
+                }
+            }
+        }
+        Err(Error::parse_at("unterminated string", self.pos))
+    }
+
+    /// Parses a JSON number into `Int` (integral literal) or `Float`.
+    fn parse_number(&mut self) -> Result<Value> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse_at("invalid number", start))?;
+        if text.is_empty() || text == "-" {
+            return Err(Error::parse_at("invalid number", start));
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::parse_at(format!("invalid float '{text}'"), start))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| Error::parse_at(format!("invalid int '{text}'"), start))
+        }
+    }
+
+    /// Skips any JSON value without materializing it. This is the cheap
+    /// path for unaccessed fields.
+    fn skip_value(&mut self) -> Result<()> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                self.pos += 1;
+                while self.pos < self.bytes.len() {
+                    match self.bytes[self.pos] {
+                        b'"' => {
+                            self.pos += 1;
+                            return Ok(());
+                        }
+                        b'\\' => self.pos += 2,
+                        _ => self.pos += 1,
+                    }
+                }
+                Err(Error::parse_at("unterminated string", self.pos))
+            }
+            Some(b'{') | Some(b'[') => {
+                let mut depth = 0usize;
+                while self.pos < self.bytes.len() {
+                    match self.bytes[self.pos] {
+                        b'{' | b'[' => {
+                            depth += 1;
+                            self.pos += 1;
+                        }
+                        b'}' | b']' => {
+                            depth -= 1;
+                            self.pos += 1;
+                            if depth == 0 {
+                                return Ok(());
+                            }
+                        }
+                        b'"' => {
+                            self.pos += 1;
+                            while self.pos < self.bytes.len() {
+                                match self.bytes[self.pos] {
+                                    b'"' => {
+                                        self.pos += 1;
+                                        break;
+                                    }
+                                    b'\\' => self.pos += 2,
+                                    _ => self.pos += 1,
+                                }
+                            }
+                        }
+                        _ => self.pos += 1,
+                    }
+                }
+                Err(Error::parse_at("unterminated container", self.pos))
+            }
+            Some(_) => {
+                while let Some(b) = self.peek() {
+                    match b {
+                        b',' | b'}' | b']' => break,
+                        _ => self.pos += 1,
+                    }
+                }
+                Ok(())
+            }
+            None => Err(Error::parse_at("unexpected end of input", self.pos)),
+        }
+    }
+
+    /// Parses a value of the expected type. Type mismatches degrade to
+    /// `Null` (heterogeneous raw data is messy; queries treat unexpected
+    /// shapes as missing).
+    fn parse_typed(&mut self, ty: &DataType) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.skip_literal(b"null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.skip_literal(b"true")?;
+                Ok(coerce_bool(true, ty))
+            }
+            Some(b'f') => {
+                self.skip_literal(b"false")?;
+                Ok(coerce_bool(false, ty))
+            }
+            Some(b'"') => {
+                let s = self.parse_string()?;
+                match ty {
+                    DataType::Str => Ok(Value::Str(s)),
+                    _ => Ok(Value::Null),
+                }
+            }
+            Some(b'{') => match ty {
+                DataType::Struct(fields) => self.parse_object(fields, None),
+                _ => {
+                    self.skip_value()?;
+                    Ok(Value::Null)
+                }
+            },
+            Some(b'[') => match ty {
+                DataType::List(inner) => {
+                    self.expect(b'[')?;
+                    let mut items = Vec::new();
+                    if !self.try_consume(b']') {
+                        loop {
+                            items.push(self.parse_typed(inner)?);
+                            if !self.try_consume(b',') {
+                                break;
+                            }
+                        }
+                        self.expect(b']')?;
+                    }
+                    Ok(Value::List(items))
+                }
+                _ => {
+                    self.skip_value()?;
+                    Ok(Value::Null)
+                }
+            },
+            Some(_) => {
+                let num = self.parse_number()?;
+                match ty {
+                    DataType::Int => Ok(Value::Int(num.as_i64().unwrap_or(0))),
+                    DataType::Float => Ok(Value::Float(num.as_f64().unwrap_or(0.0))),
+                    _ => Ok(Value::Null),
+                }
+            }
+            None => Err(Error::parse_at("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn skip_literal(&mut self, lit: &[u8]) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(lit) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::parse_at(
+                format!("expected '{}'", String::from_utf8_lossy(lit)),
+                self.pos,
+            ))
+        }
+    }
+
+    /// Parses an object against known fields; unknown keys are skipped.
+    /// When `accessed` is given, known-but-unaccessed fields are *skipped*
+    /// rather than parsed — the selective-parse fast path.
+    fn parse_object(&mut self, fields: &[Field], accessed: Option<&[bool]>) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut children = vec![Value::Null; fields.len()];
+        if !self.try_consume(b'}') {
+            loop {
+                let key = self.parse_string()?;
+                self.expect(b':')?;
+                match fields.iter().position(|f| f.name == key) {
+                    Some(idx) if accessed.is_none_or(|a| a[idx]) => {
+                        children[idx] = self.parse_typed(&fields[idx].data_type)?;
+                    }
+                    _ => self.skip_value()?,
+                }
+                if !self.try_consume(b',') {
+                    break;
+                }
+            }
+            self.expect(b'}')?;
+        }
+        Ok(Value::Struct(children))
+    }
+}
+
+fn coerce_bool(b: bool, ty: &DataType) -> Value {
+    match ty {
+        DataType::Bool => Value::Bool(b),
+        DataType::Int => Value::Int(i64::from(b)),
+        _ => Value::Null,
+    }
+}
+
+/// Parses a single JSON record against a schema. When `accessed_top` is
+/// provided, unaccessed *top-level* fields are skipped without parsing
+/// (their children remain `Null`).
+pub fn parse_record(bytes: &[u8], schema: &Schema, accessed_top: Option<&[bool]>) -> Result<Value> {
+    let mut cursor = Cursor::new(bytes);
+    let value = cursor.parse_object(schema.fields(), accessed_top)?;
+    Ok(value)
+}
+
+/// Full scan over line-delimited JSON: parses each record (restricted to
+/// `accessed_top` top-level fields if given) and builds a record-level
+/// positional map.
+pub fn scan_build_map(
+    bytes: &[u8],
+    schema: &Schema,
+    accessed_top: Option<&[bool]>,
+    mut on_record: impl FnMut(usize, Value) -> Result<()>,
+) -> Result<PositionalMap> {
+    let mut record_offsets = Vec::with_capacity(bytes.len() / 64 + 2);
+    let mut pos = 0usize;
+    let mut record_id = 0usize;
+    while pos < bytes.len() {
+        record_offsets.push(pos as u64);
+        let end = line_end(bytes, pos);
+        let record = parse_record(&bytes[pos..end], schema, accessed_top)?;
+        on_record(record_id, record)?;
+        record_id += 1;
+        pos = end + 1;
+    }
+    record_offsets.push(bytes.len() as u64);
+    Ok(PositionalMap::records_only(record_offsets))
+}
+
+/// Positional-map-assisted scan: no line re-splitting; each record is
+/// parsed (selectively) from its known byte range.
+pub fn scan_with_map(
+    bytes: &[u8],
+    schema: &Schema,
+    map: &PositionalMap,
+    accessed_top: Option<&[bool]>,
+    mut on_record: impl FnMut(usize, Value) -> Result<()>,
+) -> Result<()> {
+    for record in 0..map.record_count() {
+        let (start, end) = map.record_span(record);
+        let end = trim_newline(bytes, start, end);
+        let value = parse_record(&bytes[start..end], schema, accessed_top)?;
+        on_record(record, value)?;
+    }
+    Ok(())
+}
+
+/// Parses one record by id through the map — the lazy-cache re-read path.
+pub fn parse_record_at(
+    bytes: &[u8],
+    schema: &Schema,
+    map: &PositionalMap,
+    record: usize,
+    accessed_top: Option<&[bool]>,
+) -> Result<Value> {
+    let (start, end) = map.record_span(record);
+    let end = trim_newline(bytes, start, end);
+    parse_record(&bytes[start..end], schema, accessed_top)
+}
+
+fn line_end(bytes: &[u8], start: usize) -> usize {
+    bytes[start..]
+        .iter()
+        .position(|&b| b == b'\n')
+        .map(|i| start + i)
+        .unwrap_or(bytes.len())
+}
+
+fn trim_newline(bytes: &[u8], start: usize, end: usize) -> usize {
+    if end > start && bytes.get(end - 1) == Some(&b'\n') {
+        end - 1
+    } else {
+        end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_types::Field;
+
+    fn nested_schema() -> Schema {
+        Schema::new(vec![
+            Field::required("a", DataType::Int),
+            Field::new("b", DataType::Float),
+            Field::new(
+                "items",
+                DataType::List(Box::new(DataType::Struct(vec![
+                    Field::required("q", DataType::Int),
+                    Field::new("tag", DataType::Str),
+                ]))),
+            ),
+        ])
+    }
+
+    fn sample_record() -> Value {
+        Value::Struct(vec![
+            Value::Int(1),
+            Value::Float(2.5),
+            Value::List(vec![
+                Value::Struct(vec![Value::Int(10), Value::Str("x".into())]),
+                Value::Struct(vec![Value::Int(20), Value::Null]),
+            ]),
+        ])
+    }
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let schema = nested_schema();
+        let bytes = write_json(&schema, &[sample_record()]);
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        assert_eq!(
+            text,
+            "{\"a\":1,\"b\":2.5,\"items\":[{\"q\":10,\"tag\":\"x\"},{\"q\":20}]}\n"
+        );
+        let mut records = Vec::new();
+        scan_build_map(&bytes, &schema, None, |_, v| {
+            records.push(v);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(records, vec![sample_record()]);
+    }
+
+    #[test]
+    fn selective_parse_skips_nested_array() {
+        let schema = nested_schema();
+        let bytes = write_json(&schema, &[sample_record()]);
+        let record = parse_record(
+            &bytes[..bytes.len() - 1],
+            &schema,
+            Some(&[true, false, false]),
+        )
+        .unwrap();
+        assert_eq!(record, Value::Struct(vec![Value::Int(1), Value::Null, Value::Null]));
+    }
+
+    #[test]
+    fn unknown_keys_are_skipped() {
+        let schema = Schema::new(vec![Field::required("a", DataType::Int)]);
+        let record =
+            parse_record(br#"{"z":[1,2,{"w":"}"}],"a":7,"y":"s"}"#, &schema, None).unwrap();
+        assert_eq!(record, Value::Struct(vec![Value::Int(7)]));
+    }
+
+    #[test]
+    fn absent_optional_fields_are_null() {
+        let schema = nested_schema();
+        let record = parse_record(br#"{"a":3}"#, &schema, None).unwrap();
+        assert_eq!(record, Value::Struct(vec![Value::Int(3), Value::Null, Value::Null]));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let schema = Schema::new(vec![Field::required("s", DataType::Str)]);
+        let original = Value::Struct(vec![Value::Str("a\"b\\c\nd\te\u{1}".into())]);
+        let bytes = write_json(&schema, &[original.clone()]);
+        let mut records = Vec::new();
+        scan_build_map(&bytes, &schema, None, |_, v| {
+            records.push(v);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(records[0], original);
+    }
+
+    #[test]
+    fn unicode_escape_decodes() {
+        let schema = Schema::new(vec![Field::required("s", DataType::Str)]);
+        let record = parse_record("{\"s\":\"A\\u00e9\"}".as_bytes(), &schema, None).unwrap();
+        assert_eq!(record, Value::Struct(vec![Value::Str("Aé".into())]));
+    }
+
+    #[test]
+    fn numbers_parse_by_schema_type() {
+        let schema = Schema::new(vec![
+            Field::required("i", DataType::Int),
+            Field::required("f", DataType::Float),
+        ]);
+        // Float literal into Int field truncates; int literal into Float
+        // field widens.
+        let record = parse_record(br#"{"i":3.9,"f":4}"#, &schema, None).unwrap();
+        assert_eq!(record, Value::Struct(vec![Value::Int(3), Value::Float(4.0)]));
+        let record = parse_record(br#"{"i":-12,"f":-1.5e2}"#, &schema, None).unwrap();
+        assert_eq!(record, Value::Struct(vec![Value::Int(-12), Value::Float(-150.0)]));
+    }
+
+    #[test]
+    fn type_mismatches_degrade_to_null() {
+        let schema = Schema::new(vec![
+            Field::required("i", DataType::Int),
+            Field::required("s", DataType::Str),
+        ]);
+        let record = parse_record(br#"{"i":"not a number","s":42}"#, &schema, None).unwrap();
+        assert_eq!(record, Value::Struct(vec![Value::Null, Value::Null]));
+    }
+
+    #[test]
+    fn scan_with_map_matches_full_scan() {
+        let schema = nested_schema();
+        let records: Vec<Value> = (0..5)
+            .map(|i| {
+                Value::Struct(vec![
+                    Value::Int(i),
+                    Value::Float(i as f64),
+                    Value::List(vec![Value::Struct(vec![Value::Int(i * 10), Value::Null])]),
+                ])
+            })
+            .collect();
+        let bytes = write_json(&schema, &records);
+        let map = scan_build_map(&bytes, &schema, None, |_, _| Ok(())).unwrap();
+        assert_eq!(map.record_count(), 5);
+
+        let mut out = Vec::new();
+        scan_with_map(&bytes, &schema, &map, None, |id, v| {
+            out.push((id, v));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[3].1, records[3]);
+
+        let one = parse_record_at(&bytes, &schema, &map, 2, None).unwrap();
+        assert_eq!(one, records[2]);
+    }
+
+    #[test]
+    fn empty_containers() {
+        let schema = nested_schema();
+        let record = parse_record(br#"{"a":1,"items":[]}"#, &schema, None).unwrap();
+        assert_eq!(
+            record,
+            Value::Struct(vec![Value::Int(1), Value::Null, Value::List(vec![])])
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        let schema = Schema::new(vec![Field::required("a", DataType::Int)]);
+        assert!(parse_record(br#"{"a":}"#, &schema, None).is_err());
+        assert!(parse_record(br#"{"a":1"#, &schema, None).is_err());
+        assert!(parse_record(br#"{"a" 1}"#, &schema, None).is_err());
+        assert!(parse_record(br#"{"a":"unterminated}"#, &schema, None).is_err());
+    }
+
+    #[test]
+    fn bool_and_null_literals() {
+        let schema = Schema::new(vec![
+            Field::required("b", DataType::Bool),
+            Field::new("i", DataType::Int),
+        ]);
+        let record = parse_record(br#"{"b":true,"i":null}"#, &schema, None).unwrap();
+        assert_eq!(record, Value::Struct(vec![Value::Bool(true), Value::Null]));
+        // Bool into int field coerces (heterogeneous-data tolerance).
+        let record = parse_record(br#"{"i":true,"b":false}"#, &schema, None).unwrap();
+        assert_eq!(record, Value::Struct(vec![Value::Bool(false), Value::Int(1)]));
+    }
+}

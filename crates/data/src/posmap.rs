@@ -1,0 +1,120 @@
+//! NoDB-style positional maps: the "skeleton" of a raw file.
+//!
+//! A positional map captures the byte offsets of records (and, for CSV,
+//! of every field within each record) during the first full scan of a raw
+//! file. Subsequent queries navigate the file through the map instead of
+//! re-tokenizing it, which is what makes repeated in-situ access viable
+//! (Alagiannis et al., NoDB, SIGMOD 2012; Karpathiotakis et al., Proteus,
+//! PVLDB 2016).
+
+/// Byte-offset index over a raw file.
+#[derive(Debug, Clone, Default)]
+pub struct PositionalMap {
+    /// Start offset of each record; a final entry holds the file length,
+    /// so record `i` spans `record_offsets[i]..record_offsets[i+1]`
+    /// (including the trailing newline, which parsers trim).
+    record_offsets: Vec<u64>,
+    /// CSV only: start offset of each field relative to its record start,
+    /// flattened with stride `fields_per_record + 1`; the extra slot per
+    /// record is the record length, so field `j` of record `i` spans
+    /// `fo[i*s + j] .. fo[i*s + j + 1] - 1` (excluding the delimiter).
+    field_offsets: Vec<u32>,
+    fields_per_record: usize,
+}
+
+impl PositionalMap {
+    /// Builds a record-level map (JSON files).
+    pub fn records_only(record_offsets: Vec<u64>) -> Self {
+        PositionalMap { record_offsets, field_offsets: Vec::new(), fields_per_record: 0 }
+    }
+
+    /// Builds a record+field map (CSV files).
+    pub fn with_fields(
+        record_offsets: Vec<u64>,
+        field_offsets: Vec<u32>,
+        fields_per_record: usize,
+    ) -> Self {
+        debug_assert!(!record_offsets.is_empty());
+        debug_assert_eq!(
+            field_offsets.len(),
+            (record_offsets.len() - 1) * (fields_per_record + 1)
+        );
+        PositionalMap { record_offsets, field_offsets, fields_per_record }
+    }
+
+    /// Number of records indexed.
+    pub fn record_count(&self) -> usize {
+        self.record_offsets.len().saturating_sub(1)
+    }
+
+    /// Byte range of a record (including any trailing newline).
+    pub fn record_span(&self, record: usize) -> (usize, usize) {
+        (self.record_offsets[record] as usize, self.record_offsets[record + 1] as usize)
+    }
+
+    /// True if per-field offsets are available.
+    pub fn has_field_offsets(&self) -> bool {
+        self.fields_per_record > 0
+    }
+
+    /// Byte range of one field within the file (excluding the delimiter).
+    /// Only valid when [`Self::has_field_offsets`].
+    pub fn field_span(&self, record: usize, field: usize) -> (usize, usize) {
+        debug_assert!(field < self.fields_per_record);
+        let stride = self.fields_per_record + 1;
+        let base = self.record_offsets[record] as usize;
+        let start = base + self.field_offsets[record * stride + field] as usize;
+        let end = base + self.field_offsets[record * stride + field + 1] as usize - 1;
+        (start, end)
+    }
+
+    /// Approximate memory footprint of the map itself, counted against no
+    /// cache budget in the paper but reported for completeness.
+    pub fn byte_size(&self) -> usize {
+        self.record_offsets.len() * 8 + self.field_offsets.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_spans() {
+        // two records: bytes 0..6 and 6..12
+        let map = PositionalMap::records_only(vec![0, 6, 12]);
+        assert_eq!(map.record_count(), 2);
+        assert_eq!(map.record_span(0), (0, 6));
+        assert_eq!(map.record_span(1), (6, 12));
+        assert!(!map.has_field_offsets());
+    }
+
+    #[test]
+    fn field_spans_exclude_delimiters() {
+        // record "ab|c\n" at offset 0: fields at 0 and 3, record len 5.
+        let map = PositionalMap::with_fields(vec![0, 5], vec![0, 3, 5], 2);
+        assert!(map.has_field_offsets());
+        assert_eq!(map.field_span(0, 0), (0, 2)); // "ab"
+        assert_eq!(map.field_span(0, 1), (3, 4)); // "c"
+    }
+
+    #[test]
+    fn field_spans_second_record() {
+        // "a|bb\n" then "cc|d\n" at offset 5.
+        let map = PositionalMap::with_fields(vec![0, 5, 10], vec![0, 2, 5, 0, 3, 5], 2);
+        assert_eq!(map.field_span(1, 0), (5, 7)); // "cc"
+        assert_eq!(map.field_span(1, 1), (8, 9)); // "d"
+    }
+
+    #[test]
+    fn byte_size_counts_both_tables() {
+        let map = PositionalMap::with_fields(vec![0, 5], vec![0, 3, 5], 2);
+        assert_eq!(map.byte_size(), 2 * 8 + 3 * 4);
+    }
+
+    #[test]
+    fn empty_file_map() {
+        let map = PositionalMap::records_only(vec![0]);
+        assert_eq!(map.record_count(), 0);
+    }
+}

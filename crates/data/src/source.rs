@@ -1,0 +1,471 @@
+//! [`RawFile`]: a raw CSV or JSON source with a lazily built positional
+//! map, exposing flattened, projected scans to the query engine.
+
+use crate::posmap::PositionalMap;
+use crate::{csv, json};
+use recache_types::{
+    flatten_record_projected, DataType, FlatRow, LeafField, Result, Schema, Value,
+};
+use std::sync::{Arc, Mutex};
+
+/// Raw file format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FileFormat {
+    Csv,
+    Json,
+}
+
+impl FileFormat {
+    pub fn name(&self) -> &'static str {
+        match self {
+            FileFormat::Csv => "csv",
+            FileFormat::Json => "json",
+        }
+    }
+}
+
+/// Per-scan statistics fed into ReCache's cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanMetrics {
+    /// Records visited.
+    pub records: usize,
+    /// Flattened rows produced (≥ records when nested leaves are accessed).
+    pub rows: usize,
+    /// Whether the positional map was available (subsequent scans are
+    /// cheaper than the first).
+    pub used_posmap: bool,
+}
+
+/// An in-memory raw data file (the paper runs over warm OS caches; loading
+/// the bytes up front models that while keeping scans CPU-bound).
+pub struct RawFile {
+    format: FileFormat,
+    schema: Schema,
+    bytes: Vec<u8>,
+    leaves: Vec<LeafField>,
+    /// For each leaf, the index of the top-level field it lives under
+    /// (drives selective JSON parsing).
+    leaf_top: Vec<usize>,
+    posmap: Mutex<Option<Arc<PositionalMap>>>,
+}
+
+impl std::fmt::Debug for RawFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RawFile")
+            .field("format", &self.format)
+            .field("bytes", &self.bytes.len())
+            .field("leaves", &self.leaves.len())
+            .finish()
+    }
+}
+
+impl RawFile {
+    /// Wraps raw bytes (used by tests and generators).
+    pub fn from_bytes(bytes: Vec<u8>, format: FileFormat, schema: Schema) -> Self {
+        let leaves = schema.leaves();
+        let leaf_top = leaf_top_indices(&schema);
+        debug_assert_eq!(leaves.len(), leaf_top.len());
+        RawFile { format, schema, bytes, leaves, leaf_top, posmap: Mutex::new(None) }
+    }
+
+    /// Reads a file from disk into memory.
+    pub fn open(
+        path: impl AsRef<std::path::Path>,
+        format: FileFormat,
+        schema: Schema,
+    ) -> Result<Self> {
+        let bytes = std::fs::read(path)?;
+        Ok(Self::from_bytes(bytes, format, schema))
+    }
+
+    pub fn format(&self) -> FileFormat {
+        self.format
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Scalar leaves in canonical order (the engine's column universe).
+    pub fn leaves(&self) -> &[LeafField] {
+        &self.leaves
+    }
+
+    /// Raw size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Number of records, known once a positional map exists.
+    pub fn record_count(&self) -> Option<usize> {
+        self.posmap.lock().expect("posmap lock").as_ref().map(|m| m.record_count())
+    }
+
+    /// The positional map, if one has been built.
+    pub fn posmap(&self) -> Option<Arc<PositionalMap>> {
+        self.posmap.lock().expect("posmap lock").clone()
+    }
+
+    /// Scans the file, emitting flattened rows restricted to the accessed
+    /// leaves (`accessed` is indexed by leaf id). The first scan tokenizes
+    /// everything and builds the positional map; later scans navigate it.
+    pub fn scan_projected(
+        &self,
+        accessed: &[bool],
+        on_row: &mut dyn FnMut(usize, FlatRow),
+    ) -> Result<ScanMetrics> {
+        debug_assert_eq!(accessed.len(), self.leaves.len());
+        let existing = self.posmap();
+        let mut metrics =
+            ScanMetrics { records: 0, rows: 0, used_posmap: existing.is_some() };
+        match self.format {
+            FileFormat::Csv => {
+                let mut emit = |id: usize, values: Vec<Value>| {
+                    metrics.records += 1;
+                    metrics.rows += 1;
+                    on_row(id, values);
+                    Ok(())
+                };
+                match existing {
+                    Some(map) => {
+                        csv::scan_with_map(&self.bytes, &self.schema, &map, accessed, emit)?
+                    }
+                    None => {
+                        let map =
+                            csv::scan_build_map(&self.bytes, &self.schema, accessed, &mut emit)?;
+                        self.install_posmap(map);
+                    }
+                }
+            }
+            FileFormat::Json => {
+                let accessed_top = self.accessed_top(accessed);
+                let mut emit = |id: usize, record: Value| {
+                    let rows = flatten_record_projected(&self.schema, &record, accessed);
+                    metrics.records += 1;
+                    metrics.rows += rows.len();
+                    for row in rows {
+                        on_row(id, row);
+                    }
+                    Ok(())
+                };
+                match existing {
+                    Some(map) => json::scan_with_map(
+                        &self.bytes,
+                        &self.schema,
+                        &map,
+                        Some(&accessed_top),
+                        emit,
+                    )?,
+                    None => {
+                        let map = json::scan_build_map(
+                            &self.bytes,
+                            &self.schema,
+                            Some(&accessed_top),
+                            &mut emit,
+                        )?;
+                        self.install_posmap(map);
+                    }
+                }
+            }
+        }
+        Ok(metrics)
+    }
+
+    /// Re-reads specific records by id (lazy-cache path). Requires a
+    /// positional map, which the first scan always installs.
+    pub fn scan_records_projected(
+        &self,
+        record_ids: &[u32],
+        accessed: &[bool],
+        on_row: &mut dyn FnMut(usize, FlatRow),
+    ) -> Result<ScanMetrics> {
+        let map = self
+            .posmap()
+            .ok_or_else(|| recache_types::Error::exec("no positional map for offset re-read"))?;
+        let mut metrics = ScanMetrics { records: 0, rows: 0, used_posmap: true };
+        match self.format {
+            FileFormat::Csv => {
+                for &id in record_ids {
+                    let values = csv::parse_record_at(
+                        &self.bytes,
+                        &self.schema,
+                        &map,
+                        id as usize,
+                        accessed,
+                    )?;
+                    metrics.records += 1;
+                    metrics.rows += 1;
+                    on_row(id as usize, values);
+                }
+            }
+            FileFormat::Json => {
+                let accessed_top = self.accessed_top(accessed);
+                for &id in record_ids {
+                    let record = json::parse_record_at(
+                        &self.bytes,
+                        &self.schema,
+                        &map,
+                        id as usize,
+                        Some(&accessed_top),
+                    )?;
+                    let rows = flatten_record_projected(&self.schema, &record, accessed);
+                    metrics.records += 1;
+                    metrics.rows += rows.len();
+                    for row in rows {
+                        on_row(id as usize, row);
+                    }
+                }
+            }
+        }
+        Ok(metrics)
+    }
+
+    /// Scans full records as nested values (used by cache materialization
+    /// when the whole tuple is cached).
+    pub fn scan_records(&self, on_record: &mut dyn FnMut(usize, Value)) -> Result<usize> {
+        match self.format {
+            FileFormat::Csv => {
+                let accessed = vec![true; self.schema.len()];
+                let mut count = 0usize;
+                let emit = |id: usize, values: Vec<Value>| {
+                    count += 1;
+                    on_record(id, Value::Struct(values));
+                    Ok(())
+                };
+                match self.posmap() {
+                    Some(map) => {
+                        csv::scan_with_map(&self.bytes, &self.schema, &map, &accessed, emit)?
+                    }
+                    None => {
+                        let mut emit = emit;
+                        let map =
+                            csv::scan_build_map(&self.bytes, &self.schema, &accessed, &mut emit)?;
+                        self.install_posmap(map);
+                    }
+                }
+                Ok(count)
+            }
+            FileFormat::Json => {
+                let mut count = 0usize;
+                let emit = |id: usize, record: Value| {
+                    count += 1;
+                    on_record(id, record);
+                    Ok(())
+                };
+                match self.posmap() {
+                    Some(map) => {
+                        json::scan_with_map(&self.bytes, &self.schema, &map, None, emit)?
+                    }
+                    None => {
+                        let mut emit = emit;
+                        let map =
+                            json::scan_build_map(&self.bytes, &self.schema, None, &mut emit)?;
+                        self.install_posmap(map);
+                    }
+                }
+                Ok(count)
+            }
+        }
+    }
+
+    /// Reads one full nested record by id through the positional map (the
+    /// eager-cache materialization path).
+    pub fn read_record(&self, record_id: u32) -> Result<Value> {
+        let mut out = self.read_records(std::slice::from_ref(&record_id))?;
+        Ok(out.pop().expect("one record requested"))
+    }
+
+    /// Reads a batch of full records by id: one positional-map
+    /// acquisition for the whole batch (the per-record path pays a lock
+    /// and an `Arc` bump per call, which dominates at materialization
+    /// scale).
+    pub fn read_records(&self, record_ids: &[u32]) -> Result<Vec<Value>> {
+        let map = self
+            .posmap()
+            .ok_or_else(|| recache_types::Error::exec("no positional map for record read"))?;
+        let mut out = Vec::with_capacity(record_ids.len());
+        match self.format {
+            FileFormat::Csv => {
+                let accessed = vec![true; self.schema.len()];
+                for &id in record_ids {
+                    let values = csv::parse_record_at(
+                        &self.bytes,
+                        &self.schema,
+                        &map,
+                        id as usize,
+                        &accessed,
+                    )?;
+                    out.push(Value::Struct(values));
+                }
+            }
+            FileFormat::Json => {
+                for &id in record_ids {
+                    out.push(json::parse_record_at(
+                        &self.bytes,
+                        &self.schema,
+                        &map,
+                        id as usize,
+                        None,
+                    )?);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn install_posmap(&self, map: PositionalMap) {
+        *self.posmap.lock().expect("posmap lock") = Some(Arc::new(map));
+    }
+
+    /// Top-level access bitmap derived from a leaf access bitmap.
+    fn accessed_top(&self, accessed: &[bool]) -> Vec<bool> {
+        let mut top = vec![false; self.schema.len()];
+        for (leaf, &a) in accessed.iter().enumerate() {
+            if a {
+                top[self.leaf_top[leaf]] = true;
+            }
+        }
+        top
+    }
+}
+
+/// For each leaf (in canonical order), the top-level field it belongs to.
+fn leaf_top_indices(schema: &Schema) -> Vec<usize> {
+    fn count(ty: &DataType) -> usize {
+        match ty {
+            DataType::Struct(fields) => fields.iter().map(|f| count(&f.data_type)).sum(),
+            DataType::List(inner) => count(inner),
+            _ => 1,
+        }
+    }
+    let mut out = Vec::new();
+    for (i, field) in schema.fields().iter().enumerate() {
+        out.extend(std::iter::repeat_n(i, count(&field.data_type)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_types::Field;
+
+    fn csv_file() -> RawFile {
+        let schema = Schema::new(vec![
+            Field::required("a", DataType::Int),
+            Field::required("b", DataType::Float),
+        ]);
+        let bytes = csv::write_csv(
+            &schema,
+            &[
+                vec![Value::Int(1), Value::Float(0.5)],
+                vec![Value::Int(2), Value::Float(1.5)],
+            ],
+        );
+        RawFile::from_bytes(bytes, FileFormat::Csv, schema)
+    }
+
+    fn json_file() -> RawFile {
+        let schema = Schema::new(vec![
+            Field::required("o", DataType::Int),
+            Field::new(
+                "items",
+                DataType::List(Box::new(DataType::Struct(vec![Field::required(
+                    "q",
+                    DataType::Int,
+                )]))),
+            ),
+        ]);
+        let records = vec![
+            Value::Struct(vec![
+                Value::Int(1),
+                Value::List(vec![
+                    Value::Struct(vec![Value::Int(10)]),
+                    Value::Struct(vec![Value::Int(11)]),
+                ]),
+            ]),
+            Value::Struct(vec![Value::Int(2), Value::List(vec![Value::Struct(vec![
+                Value::Int(20),
+            ])])]),
+        ];
+        let bytes = json::write_json(&schema, &records);
+        RawFile::from_bytes(bytes, FileFormat::Json, schema)
+    }
+
+    #[test]
+    fn csv_scan_builds_map_then_reuses_it() {
+        let file = csv_file();
+        assert!(file.record_count().is_none());
+        let mut rows = Vec::new();
+        let m1 = file.scan_projected(&[true, true], &mut |_, row| rows.push(row)).unwrap();
+        assert!(!m1.used_posmap);
+        assert_eq!(m1.records, 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(file.record_count(), Some(2));
+
+        let mut rows2 = Vec::new();
+        let m2 = file.scan_projected(&[true, false], &mut |_, row| rows2.push(row)).unwrap();
+        assert!(m2.used_posmap);
+        assert_eq!(rows2, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn json_nested_scan_flattens_per_element() {
+        let file = json_file();
+        let mut rows = Vec::new();
+        let m = file
+            .scan_projected(&[true, true], &mut |id, row| rows.push((id, row)))
+            .unwrap();
+        assert_eq!(m.records, 2);
+        assert_eq!(m.rows, 3);
+        assert_eq!(rows[0], (0, vec![Value::Int(1), Value::Int(10)]));
+        assert_eq!(rows[1], (0, vec![Value::Int(1), Value::Int(11)]));
+        assert_eq!(rows[2], (1, vec![Value::Int(2), Value::Int(20)]));
+    }
+
+    #[test]
+    fn json_non_nested_scan_yields_one_row_per_record() {
+        let file = json_file();
+        let mut rows = Vec::new();
+        let m = file.scan_projected(&[true, false], &mut |_, row| rows.push(row)).unwrap();
+        assert_eq!(m.rows, 2);
+        assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn offset_reread_returns_selected_records() {
+        let file = json_file();
+        // First scan installs the positional map.
+        file.scan_projected(&[true, false], &mut |_, _| {}).unwrap();
+        let mut rows = Vec::new();
+        let m = file
+            .scan_records_projected(&[1], &[true, true], &mut |id, row| rows.push((id, row)))
+            .unwrap();
+        assert_eq!(m.records, 1);
+        assert_eq!(rows, vec![(1, vec![Value::Int(2), Value::Int(20)])]);
+    }
+
+    #[test]
+    fn offset_reread_without_map_errors() {
+        let file = json_file();
+        let err = file.scan_records_projected(&[0], &[true, true], &mut |_, _| {});
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn scan_full_records() {
+        let file = json_file();
+        let mut records = Vec::new();
+        let n = file.scan_records(&mut |_, r| records.push(r)).unwrap();
+        assert_eq!(n, 2);
+        assert!(matches!(records[0], Value::Struct(_)));
+        // Map installed as a side effect.
+        assert_eq!(file.record_count(), Some(2));
+    }
+
+    #[test]
+    fn leaf_top_mapping() {
+        let file = json_file();
+        assert_eq!(super::leaf_top_indices(file.schema()), vec![0, 1]);
+    }
+}

@@ -1,0 +1,722 @@
+//! Physical execution: scans, filters, hash joins, aggregates — with the
+//! per-operator cost measurements ReCache's policies consume.
+
+use crate::plan::{AccessPath, AggFunc, QueryPlan, TablePlan};
+use recache_layout::ScanCost;
+use recache_types::{Error, Result, Value};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// What kind of access path served a table, after the fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Raw file, first scan (tokenized everything, built the positional
+    /// map).
+    RawFirstScan,
+    /// Raw file through an existing positional map.
+    RawMapped,
+    CacheColumnar,
+    CacheDremel,
+    CacheRow,
+    /// Lazy cache: selective re-read of the raw file.
+    CacheOffsets,
+}
+
+impl AccessKind {
+    pub fn is_cache_store(&self) -> bool {
+        matches!(self, AccessKind::CacheColumnar | AccessKind::CacheDremel | AccessKind::CacheRow)
+    }
+}
+
+/// Per-table execution statistics (the measurements behind `t`, `s`, `D`,
+/// `C`, `ri`, `ci` in the paper's cost model).
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    pub name: String,
+    pub access: AccessKind,
+    /// Wall time for this table's scan + filter. For raw access this is
+    /// the operator execution time `t`; for cache access it is the cache
+    /// scan time `s`.
+    pub exec_ns: u64,
+    /// For cache-store scans: the measured D/C split.
+    pub cache_scan: Option<ScanCost>,
+    /// Row slots visited (`ri`).
+    pub rows_scanned: usize,
+    /// Rows that satisfied the predicate.
+    pub rows_out: usize,
+    /// Records visited.
+    pub records_scanned: usize,
+    /// Columns (leaves) accessed (`ci`).
+    pub cols_accessed: usize,
+    pub record_level: bool,
+    /// For cache-store scans: the store's flattened row count `R`.
+    pub flattened_rows: Option<usize>,
+    /// Record ids of satisfying tuples, when collection was requested.
+    pub satisfying: Option<Vec<u32>>,
+}
+
+/// Whole-query execution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    pub tables: Vec<TableStats>,
+    pub join_ns: u64,
+    pub agg_ns: u64,
+    pub total_ns: u64,
+}
+
+/// Query result: one value per aggregate.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    pub values: Vec<Value>,
+    /// Rows that reached the aggregation operator.
+    pub rows_aggregated: usize,
+    pub stats: ExecStats,
+}
+
+/// Executes a plan.
+pub fn execute(plan: &QueryPlan) -> Result<QueryOutput> {
+    let t_start = Instant::now();
+    if plan.tables.is_empty() {
+        return Err(Error::plan("plan has no tables"));
+    }
+    for agg in &plan.aggregates {
+        if agg.table >= plan.tables.len() {
+            return Err(Error::plan(format!("aggregate references table {}", agg.table)));
+        }
+    }
+    let output = if plan.tables.len() == 1 && plan.joins.is_empty() {
+        execute_single(plan)?
+    } else {
+        execute_join(plan)?
+    };
+    let mut output = output;
+    output.stats.total_ns = t_start.elapsed().as_nanos() as u64;
+    Ok(output)
+}
+
+/// Streaming path: scan → filter → aggregate without materializing rows.
+fn execute_single(plan: &QueryPlan) -> Result<QueryOutput> {
+    let table = &plan.tables[0];
+    let mut aggs: Vec<AggState> =
+        plan.aggregates.iter().map(|a| AggState::new(a.func)).collect();
+    let agg_slots: Vec<Option<usize>> = plan.aggregates.iter().map(|a| a.slot).collect();
+    let mut rows_aggregated = 0usize;
+    let mut satisfying: Option<Vec<u32>> = table.collect_satisfying.then(Vec::new);
+    let mut rows_out = 0usize;
+
+    let t0 = Instant::now();
+    let scan = scan_table(table, &mut |record_id, row| {
+        rows_out += 1;
+        rows_aggregated += 1;
+        if let Some(ids) = satisfying.as_mut() {
+            ids.push(record_id as u32);
+        }
+        for (state, slot) in aggs.iter_mut().zip(&agg_slots) {
+            match slot {
+                Some(s) => state.update(&row[*s]),
+                None => state.update_count_star(),
+            }
+        }
+    })?;
+    let exec_ns = t0.elapsed().as_nanos() as u64;
+
+    let values: Vec<Value> = aggs.into_iter().map(AggState::finish).collect();
+    let stats = ExecStats {
+        tables: vec![table_stats(table, scan, exec_ns, rows_out, satisfying)],
+        join_ns: 0,
+        agg_ns: 0, // folded into exec_ns on the streaming path
+        total_ns: 0,
+    };
+    Ok(QueryOutput { values, rows_aggregated, stats })
+}
+
+/// Join path: materialize filtered tables, fold hash joins, aggregate.
+fn execute_join(plan: &QueryPlan) -> Result<QueryOutput> {
+    // Scan all tables.
+    let mut table_rows: Vec<Vec<Vec<Value>>> = Vec::with_capacity(plan.tables.len());
+    let mut stats_list: Vec<TableStats> = Vec::with_capacity(plan.tables.len());
+    for table in &plan.tables {
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut satisfying: Option<Vec<u32>> = table.collect_satisfying.then(Vec::new);
+        let t0 = Instant::now();
+        let scan = scan_table(table, &mut |record_id, row| {
+            rows.push(row.to_vec());
+            if let Some(ids) = satisfying.as_mut() {
+                ids.push(record_id as u32);
+            }
+        })?;
+        let exec_ns = t0.elapsed().as_nanos() as u64;
+        stats_list.push(table_stats(table, scan, exec_ns, rows.len(), satisfying));
+        table_rows.push(rows);
+    }
+
+    // Fold joins. Combined rows hold per-table projected slots
+    // concatenated in table order; `offsets[t]` is table t's base slot.
+    let t_join = Instant::now();
+    let widths: Vec<usize> = plan.tables.iter().map(|t| t.accessed.len()).collect();
+    let mut offsets = vec![0usize; plan.tables.len()];
+    for t in 1..plan.tables.len() {
+        offsets[t] = offsets[t - 1] + widths[t - 1];
+    }
+    let mut joined: Vec<Vec<Value>> = Vec::new();
+    let mut joined_tables: Vec<usize> = vec![0];
+    // Seed with table 0.
+    for row in &table_rows[0] {
+        let mut combined = vec![Value::Null; widths.iter().sum()];
+        combined[..row.len()].clone_from_slice(row);
+        joined.push(combined);
+    }
+    for join in &plan.joins {
+        let (probe_table, probe_slot, build_table, build_slot) =
+            if joined_tables.contains(&join.left_table) {
+                (join.left_table, join.left_slot, join.right_table, join.right_slot)
+            } else if joined_tables.contains(&join.right_table) {
+                (join.right_table, join.right_slot, join.left_table, join.left_slot)
+            } else {
+                return Err(Error::plan("join references tables not yet in the joined prefix"));
+            };
+        if joined_tables.contains(&build_table) {
+            return Err(Error::plan("join would re-join an already joined table"));
+        }
+        // Build a hash map over the new table.
+        let mut map: HashMap<JoinKey, Vec<usize>> = HashMap::new();
+        for (i, row) in table_rows[build_table].iter().enumerate() {
+            if let Some(key) = join_key(&row[build_slot]) {
+                map.entry(key).or_default().push(i);
+            }
+        }
+        // Probe with the joined prefix.
+        let probe_offset = offsets[probe_table] + probe_slot;
+        let build_offset = offsets[build_table];
+        let mut next: Vec<Vec<Value>> = Vec::new();
+        for combined in &joined {
+            let Some(key) = join_key(&combined[probe_offset]) else { continue };
+            if let Some(matches) = map.get(&key) {
+                for &i in matches {
+                    let mut out = combined.clone();
+                    let row = &table_rows[build_table][i];
+                    out[build_offset..build_offset + row.len()].clone_from_slice(row);
+                    next.push(out);
+                }
+            }
+        }
+        joined = next;
+        joined_tables.push(build_table);
+    }
+    let join_ns = t_join.elapsed().as_nanos() as u64;
+
+    // Aggregate.
+    let t_agg = Instant::now();
+    let mut aggs: Vec<AggState> =
+        plan.aggregates.iter().map(|a| AggState::new(a.func)).collect();
+    for row in &joined {
+        for (state, spec) in aggs.iter_mut().zip(&plan.aggregates) {
+            match spec.slot {
+                Some(s) => state.update(&row[offsets[spec.table] + s]),
+                None => state.update_count_star(),
+            }
+        }
+    }
+    let agg_ns = t_agg.elapsed().as_nanos() as u64;
+
+    let values: Vec<Value> = aggs.into_iter().map(AggState::finish).collect();
+    Ok(QueryOutput {
+        values,
+        rows_aggregated: joined.len(),
+        stats: ExecStats { tables: stats_list, join_ns, agg_ns, total_ns: 0 },
+    })
+}
+
+/// Result of scanning one table (before stats assembly).
+struct ScanOutcome {
+    access: AccessKind,
+    cache_scan: Option<ScanCost>,
+    rows_scanned: usize,
+    records_scanned: usize,
+    flattened_rows: Option<usize>,
+}
+
+/// Runs one table's scan + filter, pushing satisfying rows to `sink`.
+fn scan_table(
+    table: &TablePlan,
+    sink: &mut dyn FnMut(usize, &[Value]),
+) -> Result<ScanOutcome> {
+    let predicate = table.predicate.as_ref();
+    match &table.access {
+        AccessPath::Raw(file) => {
+            let accessed = leaf_bitmap(file.leaves().len(), &table.accessed);
+            let mut emit = |record_id: usize, row: Vec<Value>| {
+                if predicate.is_none_or(|p| p.eval_bool(&row)) {
+                    sink(record_id, &row);
+                }
+            };
+            let metrics = file.scan_projected(&accessed, &mut |id, row| emit(id, row))?;
+            Ok(ScanOutcome {
+                access: if metrics.used_posmap {
+                    AccessKind::RawMapped
+                } else {
+                    AccessKind::RawFirstScan
+                },
+                cache_scan: None,
+                rows_scanned: metrics.rows,
+                records_scanned: metrics.records,
+                flattened_rows: None,
+            })
+        }
+        AccessPath::Offsets { file, store } => {
+            let accessed = leaf_bitmap(file.leaves().len(), &table.accessed);
+            let mut emit = |record_id: usize, row: Vec<Value>| {
+                if predicate.is_none_or(|p| p.eval_bool(&row)) {
+                    sink(record_id, &row);
+                }
+            };
+            let metrics =
+                file.scan_records_projected(store.record_ids(), &accessed, &mut |id, row| {
+                    emit(id, row)
+                })?;
+            Ok(ScanOutcome {
+                access: AccessKind::CacheOffsets,
+                cache_scan: None,
+                rows_scanned: metrics.rows,
+                records_scanned: metrics.records,
+                flattened_rows: None,
+            })
+        }
+        AccessPath::Columnar(store) => {
+            let cost = store.scan(&table.accessed, table.record_level, &mut |row| {
+                if predicate.is_none_or(|p| p.eval_bool(row)) {
+                    sink(usize::MAX, row);
+                }
+            });
+            Ok(ScanOutcome {
+                access: AccessKind::CacheColumnar,
+                rows_scanned: cost.rows_visited,
+                records_scanned: store.record_count(),
+                flattened_rows: Some(store.row_count()),
+                cache_scan: Some(cost),
+            })
+        }
+        AccessPath::Dremel(store) => {
+            let cost = store.scan(&table.accessed, table.record_level, &mut |row| {
+                if predicate.is_none_or(|p| p.eval_bool(row)) {
+                    sink(usize::MAX, row);
+                }
+            });
+            Ok(ScanOutcome {
+                access: AccessKind::CacheDremel,
+                rows_scanned: cost.rows_visited,
+                records_scanned: store.record_count(),
+                flattened_rows: Some(store.flattened_rows()),
+                cache_scan: Some(cost),
+            })
+        }
+        AccessPath::Row(store) => {
+            let cost = store.scan(&table.accessed, table.record_level, &mut |row| {
+                if predicate.is_none_or(|p| p.eval_bool(row)) {
+                    sink(usize::MAX, row);
+                }
+            });
+            Ok(ScanOutcome {
+                access: AccessKind::CacheRow,
+                rows_scanned: cost.rows_visited,
+                records_scanned: store.record_count(),
+                flattened_rows: Some(store.row_count()),
+                cache_scan: Some(cost),
+            })
+        }
+    }
+}
+
+fn table_stats(
+    table: &TablePlan,
+    scan: ScanOutcome,
+    exec_ns: u64,
+    rows_out: usize,
+    satisfying: Option<Vec<u32>>,
+) -> TableStats {
+    TableStats {
+        name: table.name.clone(),
+        access: scan.access,
+        exec_ns,
+        cache_scan: scan.cache_scan,
+        rows_scanned: scan.rows_scanned,
+        rows_out,
+        records_scanned: scan.records_scanned,
+        cols_accessed: table.accessed.len(),
+        record_level: table.record_level,
+        flattened_rows: scan.flattened_rows,
+        satisfying,
+    }
+}
+
+fn leaf_bitmap(width: usize, accessed: &[usize]) -> Vec<bool> {
+    let mut out = vec![false; width];
+    for &leaf in accessed {
+        out[leaf] = true;
+    }
+    out
+}
+
+/// Hashable join key with Int/Float normalization.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum JoinKey {
+    Int(i64),
+    Bits(u64),
+    Str(String),
+    Bool(bool),
+}
+
+fn join_key(value: &Value) -> Option<JoinKey> {
+    match value {
+        Value::Null => None,
+        Value::Int(v) => Some(JoinKey::Int(*v)),
+        Value::Float(v) if v.fract() == 0.0 && v.abs() < 9e15 => Some(JoinKey::Int(*v as i64)),
+        Value::Float(v) => Some(JoinKey::Bits(v.to_bits())),
+        Value::Str(s) => Some(JoinKey::Str(s.clone())),
+        Value::Bool(b) => Some(JoinKey::Bool(*b)),
+        Value::List(_) | Value::Struct(_) => None,
+    }
+}
+
+/// Streaming aggregate state.
+struct AggState {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> Self {
+        AggState { func, count: 0, sum: 0.0, min: None, max: None }
+    }
+
+    #[inline]
+    fn update(&mut self, value: &Value) {
+        if value.is_null() {
+            return;
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg => {
+                self.sum += value.as_f64().unwrap_or(0.0);
+            }
+            AggFunc::Min => {
+                if self.min.as_ref().is_none_or(|m| value.cmp_sql(m).is_lt()) {
+                    self.min = Some(value.clone());
+                }
+            }
+            AggFunc::Max => {
+                if self.max.as_ref().is_none_or(|m| value.cmp_sql(m).is_gt()) {
+                    self.max = Some(value.clone());
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn update_count_star(&mut self) {
+        self.count += 1;
+    }
+
+    fn finish(self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.unwrap_or(Value::Null),
+            AggFunc::Max => self.max.unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, Expr};
+    use crate::plan::{AggSpec, JoinSpec};
+    use recache_data::{csv, json, FileFormat, RawFile};
+    use recache_types::{DataType, Field, Schema};
+    use std::sync::Arc;
+
+    fn csv_file() -> Arc<RawFile> {
+        let schema = Schema::new(vec![
+            Field::required("k", DataType::Int),
+            Field::required("v", DataType::Float),
+            Field::required("g", DataType::Int),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::Int(i), Value::Float(i as f64 * 0.5), Value::Int(i % 4)])
+            .collect();
+        let bytes = csv::write_csv(&schema, &rows);
+        Arc::new(RawFile::from_bytes(bytes, FileFormat::Csv, schema))
+    }
+
+    fn json_file() -> Arc<RawFile> {
+        let schema = Schema::new(vec![
+            Field::required("o", DataType::Int),
+            Field::new(
+                "items",
+                DataType::List(Box::new(DataType::Struct(vec![Field::required(
+                    "q",
+                    DataType::Int,
+                )]))),
+            ),
+        ]);
+        let records: Vec<Value> = (0..10)
+            .map(|i| {
+                Value::Struct(vec![
+                    Value::Int(i),
+                    Value::List(
+                        (0..3).map(|j| Value::Struct(vec![Value::Int(i * 10 + j)])).collect(),
+                    ),
+                ])
+            })
+            .collect();
+        let bytes = json::write_json(&schema, &records);
+        Arc::new(RawFile::from_bytes(bytes, FileFormat::Json, schema))
+    }
+
+    fn raw_plan(file: Arc<RawFile>, predicate: Option<Expr>, accessed: Vec<usize>) -> TablePlan {
+        TablePlan {
+            name: "t".into(),
+            access: AccessPath::Raw(file),
+            accessed,
+            predicate,
+            record_level: true,
+            collect_satisfying: false,
+        }
+    }
+
+    #[test]
+    fn single_table_aggregates() {
+        let plan = QueryPlan {
+            tables: vec![raw_plan(
+                csv_file(),
+                Some(Expr::cmp(0, CmpOp::Lt, 10i64)),
+                vec![0, 1],
+            )],
+            joins: vec![],
+            aggregates: vec![
+                AggSpec { table: 0, slot: None, func: AggFunc::Count },
+                AggSpec { table: 0, slot: Some(1), func: AggFunc::Sum },
+                AggSpec { table: 0, slot: Some(1), func: AggFunc::Min },
+                AggSpec { table: 0, slot: Some(1), func: AggFunc::Max },
+                AggSpec { table: 0, slot: Some(1), func: AggFunc::Avg },
+            ],
+        };
+        let out = execute(&plan).unwrap();
+        assert_eq!(out.rows_aggregated, 10);
+        assert_eq!(out.values[0], Value::Int(10));
+        assert_eq!(out.values[1], Value::Float(22.5)); // 0.5*(0+..+9)
+        assert_eq!(out.values[2], Value::Float(0.0));
+        assert_eq!(out.values[3], Value::Float(4.5));
+        assert_eq!(out.values[4], Value::Float(2.25));
+        assert_eq!(out.stats.tables[0].access, AccessKind::RawFirstScan);
+        assert_eq!(out.stats.tables[0].rows_out, 10);
+    }
+
+    #[test]
+    fn second_scan_uses_positional_map() {
+        let file = csv_file();
+        let plan = QueryPlan {
+            tables: vec![raw_plan(file.clone(), None, vec![0])],
+            joins: vec![],
+            aggregates: vec![AggSpec { table: 0, slot: None, func: AggFunc::Count }],
+        };
+        let first = execute(&plan).unwrap();
+        assert_eq!(first.stats.tables[0].access, AccessKind::RawFirstScan);
+        let second = execute(&plan).unwrap();
+        assert_eq!(second.stats.tables[0].access, AccessKind::RawMapped);
+        assert_eq!(second.values[0], Value::Int(100));
+    }
+
+    #[test]
+    fn nested_json_element_level_count() {
+        let file = json_file();
+        let plan = QueryPlan {
+            tables: vec![TablePlan {
+                name: "j".into(),
+                access: AccessPath::Raw(file),
+                accessed: vec![0, 1],
+                predicate: None,
+                record_level: false,
+                collect_satisfying: false,
+            }],
+            joins: vec![],
+            aggregates: vec![AggSpec { table: 0, slot: None, func: AggFunc::Count }],
+        };
+        let out = execute(&plan).unwrap();
+        assert_eq!(out.values[0], Value::Int(30)); // 10 records x 3 items
+    }
+
+    #[test]
+    fn collect_satisfying_record_ids() {
+        let plan = QueryPlan {
+            tables: vec![TablePlan {
+                collect_satisfying: true,
+                ..raw_plan(csv_file(), Some(Expr::cmp(0, CmpOp::Ge, 97i64)), vec![0])
+            }],
+            joins: vec![],
+            aggregates: vec![AggSpec { table: 0, slot: None, func: AggFunc::Count }],
+        };
+        let out = execute(&plan).unwrap();
+        assert_eq!(
+            out.stats.tables[0].satisfying,
+            Some(vec![97, 98, 99])
+        );
+    }
+
+    #[test]
+    fn equijoin_two_tables() {
+        // Join the CSV with itself on k = k, filtering one side.
+        let file = csv_file();
+        let plan = QueryPlan {
+            tables: vec![
+                raw_plan(file.clone(), Some(Expr::cmp(0, CmpOp::Lt, 5i64)), vec![0, 1]),
+                raw_plan(file, None, vec![0, 2]),
+            ],
+            joins: vec![JoinSpec { left_table: 0, left_slot: 0, right_table: 1, right_slot: 0 }],
+            aggregates: vec![
+                AggSpec { table: 0, slot: None, func: AggFunc::Count },
+                AggSpec { table: 1, slot: Some(1), func: AggFunc::Sum },
+            ],
+        };
+        let out = execute(&plan).unwrap();
+        assert_eq!(out.rows_aggregated, 5);
+        assert_eq!(out.values[0], Value::Int(5));
+        // g values of k=0..4: 0+1+2+3+0 = 6
+        assert_eq!(out.values[1], Value::Float(6.0));
+    }
+
+    #[test]
+    fn three_way_chain_join() {
+        let file = csv_file();
+        let plan = QueryPlan {
+            tables: vec![
+                raw_plan(file.clone(), Some(Expr::cmp(0, CmpOp::Lt, 3i64)), vec![0]),
+                raw_plan(file.clone(), None, vec![0]),
+                raw_plan(file, None, vec![0, 1]),
+            ],
+            joins: vec![
+                JoinSpec { left_table: 0, left_slot: 0, right_table: 1, right_slot: 0 },
+                JoinSpec { left_table: 1, left_slot: 0, right_table: 2, right_slot: 0 },
+            ],
+            aggregates: vec![AggSpec { table: 2, slot: Some(1), func: AggFunc::Sum }],
+        };
+        let out = execute(&plan).unwrap();
+        assert_eq!(out.rows_aggregated, 3);
+        assert_eq!(out.values[0], Value::Float(0.0 + 0.5 + 1.0));
+    }
+
+    #[test]
+    fn cache_scan_paths_agree_with_raw() {
+        use recache_layout::{ColumnStore, DremelStore, RowStore};
+        let schema = Schema::new(vec![
+            Field::required("k", DataType::Int),
+            Field::required("v", DataType::Float),
+        ]);
+        let records: Vec<Value> = (0..50)
+            .map(|i| Value::Struct(vec![Value::Int(i), Value::Float(i as f64)]))
+            .collect();
+        let columnar = Arc::new(ColumnStore::build(&schema, records.iter()));
+        let dremel = Arc::new(DremelStore::build(&schema, records.iter()));
+        let rows = Arc::new(RowStore::build(&schema, records.iter()));
+        let pred = Some(Expr::between(0, 10.0, 19.0));
+        let mk = |access: AccessPath| QueryPlan {
+            tables: vec![TablePlan {
+                name: "c".into(),
+                access,
+                accessed: vec![0, 1],
+                predicate: pred.clone(),
+                record_level: true,
+                collect_satisfying: false,
+            }],
+            joins: vec![],
+            aggregates: vec![AggSpec { table: 0, slot: Some(1), func: AggFunc::Sum }],
+        };
+        let expected = Value::Float((10..20).sum::<i64>() as f64);
+        for access in [
+            AccessPath::Columnar(columnar),
+            AccessPath::Dremel(dremel),
+            AccessPath::Row(rows),
+        ] {
+            let out = execute(&mk(access)).unwrap();
+            assert_eq!(out.values[0], expected);
+            assert!(out.stats.tables[0].access.is_cache_store());
+            assert!(out.stats.tables[0].cache_scan.is_some());
+        }
+    }
+
+    #[test]
+    fn offsets_path_rereads_selected_records() {
+        use recache_layout::OffsetStore;
+        let file = csv_file();
+        // Build the positional map first.
+        let warm = QueryPlan {
+            tables: vec![raw_plan(file.clone(), None, vec![0])],
+            joins: vec![],
+            aggregates: vec![AggSpec { table: 0, slot: None, func: AggFunc::Count }],
+        };
+        execute(&warm).unwrap();
+
+        let store = Arc::new(OffsetStore::build(vec![5, 6, 7, 8], 4));
+        let plan = QueryPlan {
+            tables: vec![TablePlan {
+                name: "t".into(),
+                access: AccessPath::Offsets { file, store },
+                accessed: vec![0, 1],
+                predicate: Some(Expr::cmp(0, CmpOp::Ge, 6i64)),
+                record_level: true,
+                collect_satisfying: false,
+            }],
+            joins: vec![],
+            aggregates: vec![AggSpec { table: 0, slot: Some(0), func: AggFunc::Sum }],
+        };
+        let out = execute(&plan).unwrap();
+        assert_eq!(out.values[0], Value::Float(6.0 + 7.0 + 8.0));
+        assert_eq!(out.stats.tables[0].access, AccessKind::CacheOffsets);
+        assert_eq!(out.stats.tables[0].records_scanned, 4);
+    }
+
+    #[test]
+    fn empty_plan_errors() {
+        let plan = QueryPlan { tables: vec![], joins: vec![], aggregates: vec![] };
+        assert!(execute(&plan).is_err());
+    }
+
+    #[test]
+    fn aggregates_skip_nulls() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]);
+        let bytes = json::write_json(
+            &schema,
+            &[
+                Value::Struct(vec![Value::Int(1)]),
+                Value::Struct(vec![Value::Null]),
+                Value::Struct(vec![Value::Int(3)]),
+            ],
+        );
+        let file = Arc::new(RawFile::from_bytes(bytes, FileFormat::Json, schema));
+        let plan = QueryPlan {
+            tables: vec![raw_plan(file, None, vec![0])],
+            joins: vec![],
+            aggregates: vec![
+                AggSpec { table: 0, slot: Some(0), func: AggFunc::Count },
+                AggSpec { table: 0, slot: None, func: AggFunc::Count },
+                AggSpec { table: 0, slot: Some(0), func: AggFunc::Avg },
+            ],
+        };
+        let out = execute(&plan).unwrap();
+        assert_eq!(out.values[0], Value::Int(2)); // count(x) skips null
+        assert_eq!(out.values[1], Value::Int(3)); // count(*)
+        assert_eq!(out.values[2], Value::Float(2.0));
+    }
+}

@@ -1,0 +1,358 @@
+//! Scalar expressions over flattened rows.
+//!
+//! Predicates reference leaves by *slot index* into the projected row the
+//! scan emits (the planner binds leaf ids to slots). Conjunctions of
+//! numeric range comparisons — the paper's workload shape and the only
+//! shape the subsumption index handles — can be extracted as
+//! [`RangeClause`]s.
+
+use recache_types::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    fn matches(&self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// A predicate/scalar expression over a projected row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Slot index into the projected row.
+    Slot(usize),
+    Lit(Value),
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    And(Vec<Expr>),
+    Or(Vec<Expr>),
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// `slot op literal` convenience.
+    pub fn cmp(slot: usize, op: CmpOp, lit: impl Into<Value>) -> Expr {
+        Expr::Cmp(op, Box::new(Expr::Slot(slot)), Box::new(Expr::Lit(lit.into())))
+    }
+
+    /// `lo <= slot AND slot <= hi` as a two-clause conjunction.
+    pub fn between(slot: usize, lo: f64, hi: f64) -> Expr {
+        Expr::And(vec![
+            Expr::cmp(slot, CmpOp::Ge, lo),
+            Expr::cmp(slot, CmpOp::Le, hi),
+        ])
+    }
+
+    /// Evaluates to a value (for aggregate inputs).
+    pub fn eval(&self, row: &[Value]) -> Value {
+        match self {
+            Expr::Slot(i) => row[*i].clone(),
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(op, a, b) => {
+                let av = a.eval(row);
+                let bv = b.eval(row);
+                if av.is_null() || bv.is_null() {
+                    return Value::Null;
+                }
+                Value::Bool(op.matches(av.cmp_sql(&bv)))
+            }
+            Expr::And(_) | Expr::Or(_) | Expr::Not(_) => Value::Bool(self.eval_bool(row)),
+        }
+    }
+
+    /// Evaluates as a predicate; SQL three-valued logic collapses unknown
+    /// to false (rows with null operands do not satisfy).
+    pub fn eval_bool(&self, row: &[Value]) -> bool {
+        match self {
+            Expr::Slot(i) => row[*i].as_bool().unwrap_or(false),
+            Expr::Lit(v) => v.as_bool().unwrap_or(false),
+            Expr::Cmp(op, a, b) => {
+                let av = a.eval(row);
+                let bv = b.eval(row);
+                !av.is_null() && !bv.is_null() && op.matches(av.cmp_sql(&bv))
+            }
+            Expr::And(parts) => parts.iter().all(|p| p.eval_bool(row)),
+            Expr::Or(parts) => parts.iter().any(|p| p.eval_bool(row)),
+            Expr::Not(inner) => !inner.eval_bool(row),
+        }
+    }
+
+    /// Rewrites every slot index through `f` (e.g. leaf-id space → the
+    /// projected-row slot space a scan emits).
+    pub fn map_slots(&self, f: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::Slot(i) => Expr::Slot(f(*i)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(op, a, b) => {
+                Expr::Cmp(*op, Box::new(a.map_slots(f)), Box::new(b.map_slots(f)))
+            }
+            Expr::And(parts) => Expr::And(parts.iter().map(|p| p.map_slots(f)).collect()),
+            Expr::Or(parts) => Expr::Or(parts.iter().map(|p| p.map_slots(f)).collect()),
+            Expr::Not(inner) => Expr::Not(Box::new(inner.map_slots(f))),
+        }
+    }
+
+    /// Canonical textual form (stable across runs), used in cache
+    /// signatures. Slot indices are printed as-is, so canonicalize in
+    /// leaf-id space.
+    pub fn canonical(&self) -> String {
+        match self {
+            Expr::Slot(i) => format!("s{i}"),
+            Expr::Lit(v) => v.to_string(),
+            Expr::Cmp(op, a, b) => {
+                format!("({} {} {})", a.canonical(), op.symbol(), b.canonical())
+            }
+            Expr::And(parts) => {
+                let mut inner: Vec<String> = parts.iter().map(Expr::canonical).collect();
+                inner.sort();
+                format!("and({})", inner.join(","))
+            }
+            Expr::Or(parts) => {
+                let mut inner: Vec<String> = parts.iter().map(Expr::canonical).collect();
+                inner.sort();
+                format!("or({})", inner.join(","))
+            }
+            Expr::Not(inner) => format!("not({})", inner.canonical()),
+        }
+    }
+
+    /// Slots referenced by the expression.
+    pub fn slots(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Slot(i) => out.push(*i),
+            Expr::Lit(_) => {}
+            Expr::Cmp(_, a, b) => {
+                a.slots(out);
+                b.slots(out);
+            }
+            Expr::And(parts) | Expr::Or(parts) => {
+                for p in parts {
+                    p.slots(out);
+                }
+            }
+            Expr::Not(inner) => inner.slots(out),
+        }
+    }
+
+    /// If this expression is a conjunction of numeric comparisons against
+    /// literals, returns the per-slot interval constraints — the form the
+    /// subsumption index understands. Returns `None` for any other shape.
+    pub fn as_ranges(&self) -> Option<Vec<RangeClause>> {
+        let mut clauses: Vec<RangeClause> = Vec::new();
+        if !collect_ranges(self, &mut clauses) {
+            return None;
+        }
+        // Merge clauses on the same slot (intersection).
+        clauses.sort_by_key(|c| c.slot);
+        let mut merged: Vec<RangeClause> = Vec::new();
+        for clause in clauses {
+            match merged.last_mut() {
+                Some(last) if last.slot == clause.slot => {
+                    last.lo = last.lo.max(clause.lo);
+                    last.hi = last.hi.min(clause.hi);
+                }
+                _ => merged.push(clause),
+            }
+        }
+        Some(merged)
+    }
+}
+
+fn collect_ranges(expr: &Expr, out: &mut Vec<RangeClause>) -> bool {
+    match expr {
+        Expr::And(parts) => parts.iter().all(|p| collect_ranges(p, out)),
+        Expr::Cmp(op, a, b) => {
+            let (slot, lit, op) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Slot(s), Expr::Lit(v)) => (*s, v, *op),
+                (Expr::Lit(v), Expr::Slot(s)) => (*s, v, flip(*op)),
+                _ => return false,
+            };
+            let Some(x) = lit.as_f64() else { return false };
+            let clause = match op {
+                CmpOp::Eq => RangeClause { slot, lo: x, hi: x },
+                CmpOp::Le => RangeClause { slot, lo: f64::NEG_INFINITY, hi: x },
+                CmpOp::Lt => RangeClause { slot, lo: f64::NEG_INFINITY, hi: x },
+                CmpOp::Ge => RangeClause { slot, lo: x, hi: f64::INFINITY },
+                CmpOp::Gt => RangeClause { slot, lo: x, hi: f64::INFINITY },
+                CmpOp::Ne => return false,
+            };
+            out.push(clause);
+            true
+        }
+        _ => false,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+/// An interval constraint on one slot: `lo <= value <= hi`.
+///
+/// Strict comparisons are widened to closed intervals for subsumption
+/// purposes — safe because a *covering* cache is re-filtered with the
+/// exact predicate on reuse.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeClause {
+    pub slot: usize,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+impl RangeClause {
+    /// True when `self`'s interval fully covers `other`'s (same slot).
+    pub fn covers(&self, other: &RangeClause) -> bool {
+        self.slot == other.slot && self.lo <= other.lo && self.hi >= other.hi
+    }
+}
+
+impl fmt::Display for RangeClause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{} in [{}, {}]", self.slot, self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparisons_match_sql_semantics() {
+        let row = vec![Value::Int(5), Value::Float(2.5), Value::Null];
+        assert!(Expr::cmp(0, CmpOp::Gt, 4i64).eval_bool(&row));
+        assert!(!Expr::cmp(0, CmpOp::Gt, 5i64).eval_bool(&row));
+        assert!(Expr::cmp(0, CmpOp::Ge, 5i64).eval_bool(&row));
+        assert!(Expr::cmp(1, CmpOp::Eq, 2.5).eval_bool(&row));
+        assert!(Expr::cmp(1, CmpOp::Ne, 2.0).eval_bool(&row));
+        // Null operands never satisfy.
+        assert!(!Expr::cmp(2, CmpOp::Eq, 0i64).eval_bool(&row));
+        assert!(!Expr::cmp(2, CmpOp::Ne, 0i64).eval_bool(&row));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let row = vec![Value::Int(5)];
+        let e = Expr::And(vec![
+            Expr::cmp(0, CmpOp::Gt, 1i64),
+            Expr::cmp(0, CmpOp::Lt, 10i64),
+        ]);
+        assert!(e.eval_bool(&row));
+        let e = Expr::Or(vec![
+            Expr::cmp(0, CmpOp::Gt, 100i64),
+            Expr::cmp(0, CmpOp::Lt, 10i64),
+        ]);
+        assert!(e.eval_bool(&row));
+        assert!(!Expr::Not(Box::new(e)).eval_bool(&row));
+    }
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        let row = vec![Value::Int(3)];
+        assert!(Expr::cmp(0, CmpOp::Le, 3.0).eval_bool(&row));
+        assert!(Expr::cmp(0, CmpOp::Ge, 2.9).eval_bool(&row));
+    }
+
+    #[test]
+    fn between_builds_closed_interval() {
+        let e = Expr::between(2, 1.0, 5.0);
+        let ranges = e.as_ranges().unwrap();
+        assert_eq!(ranges, vec![RangeClause { slot: 2, lo: 1.0, hi: 5.0 }]);
+    }
+
+    #[test]
+    fn range_extraction_merges_same_slot() {
+        let e = Expr::And(vec![
+            Expr::cmp(0, CmpOp::Ge, 1i64),
+            Expr::cmp(0, CmpOp::Le, 9i64),
+            Expr::cmp(1, CmpOp::Gt, 4i64),
+        ]);
+        let ranges = e.as_ranges().unwrap();
+        assert_eq!(ranges.len(), 2);
+        assert_eq!(ranges[0], RangeClause { slot: 0, lo: 1.0, hi: 9.0 });
+        assert_eq!(ranges[1], RangeClause { slot: 1, lo: 4.0, hi: f64::INFINITY });
+    }
+
+    #[test]
+    fn range_extraction_handles_flipped_literal() {
+        let e = Expr::Cmp(
+            CmpOp::Ge,
+            Box::new(Expr::Lit(Value::Int(10))),
+            Box::new(Expr::Slot(0)),
+        );
+        // 10 >= slot  <=>  slot <= 10
+        let ranges = e.as_ranges().unwrap();
+        assert_eq!(ranges, vec![RangeClause { slot: 0, lo: f64::NEG_INFINITY, hi: 10.0 }]);
+    }
+
+    #[test]
+    fn non_conjunctive_shapes_are_rejected() {
+        let or = Expr::Or(vec![Expr::cmp(0, CmpOp::Gt, 1i64)]);
+        assert!(or.as_ranges().is_none());
+        let ne = Expr::cmp(0, CmpOp::Ne, 1i64);
+        assert!(ne.as_ranges().is_none());
+        let string_cmp = Expr::cmp(0, CmpOp::Eq, "x");
+        assert!(string_cmp.as_ranges().is_none());
+    }
+
+    #[test]
+    fn covers_relation() {
+        let wide = RangeClause { slot: 0, lo: 0.0, hi: 100.0 };
+        let narrow = RangeClause { slot: 0, lo: 10.0, hi: 20.0 };
+        let other_slot = RangeClause { slot: 1, lo: 10.0, hi: 20.0 };
+        assert!(wide.covers(&narrow));
+        assert!(!narrow.covers(&wide));
+        assert!(wide.covers(&wide));
+        assert!(!wide.covers(&other_slot));
+    }
+
+    #[test]
+    fn slots_enumeration() {
+        let e = Expr::And(vec![Expr::cmp(3, CmpOp::Gt, 1i64), Expr::cmp(1, CmpOp::Lt, 2i64)]);
+        let mut slots = Vec::new();
+        e.slots(&mut slots);
+        slots.sort_unstable();
+        assert_eq!(slots, vec![1, 3]);
+    }
+
+    #[test]
+    fn eval_returns_values() {
+        let row = vec![Value::Int(5)];
+        assert_eq!(Expr::Slot(0).eval(&row), Value::Int(5));
+        assert_eq!(Expr::Lit(Value::from("x")).eval(&row), Value::from("x"));
+        assert_eq!(Expr::cmp(0, CmpOp::Gt, 1i64).eval(&row), Value::Bool(true));
+    }
+}

@@ -1,0 +1,27 @@
+//! Query engine for ReCache: expressions, plans, physical execution and
+//! the sampled profiler.
+//!
+//! Proteus (the system ReCache extends) JIT-compiles a specialized engine
+//! per query with LLVM. This reproduction replaces code generation with
+//! plan-time specialization over monomorphized Rust operators — the cost
+//! *shapes* ReCache's policies depend on (raw parse ≫ in-memory scan;
+//! Dremel scans pay a compute cost columnar scans do not) are preserved,
+//! as documented in `DESIGN.md`.
+//!
+//! The engine executes select-project-aggregate and select-project-join
+//! queries (the paper's workload templates) over:
+//! * raw CSV/JSON files ([`recache_data::RawFile`]),
+//! * in-memory cache stores of any [`recache_layout`] layout,
+//! * lazy offset caches (re-reads through positional maps).
+
+pub mod exec;
+pub mod expr;
+pub mod plan;
+pub mod profiler;
+pub mod sql;
+
+pub use exec::{execute, AccessKind, ExecStats, QueryOutput, TableStats};
+pub use expr::{CmpOp, Expr, RangeClause};
+pub use plan::{AccessPath, AggFunc, AggSpec, JoinSpec, QueryPlan, TablePlan};
+pub use profiler::{time_ns, SampledTimer};
+pub use sql::{parse_query, QualifiedPath, QuerySpec};

@@ -1,0 +1,468 @@
+//! Mini-SQL front end for the paper's query templates:
+//!
+//! ```sql
+//! SELECT agg(attr), ... FROM t1 [JOIN t2 ON a = b | , t2]
+//! WHERE attr >= x AND attr BETWEEN lo AND hi AND t1.k = t2.k ...
+//! ```
+//!
+//! The parser produces a [`QuerySpec`]; name resolution against registered
+//! sources (is `lineitem` a table or a field?) happens in the planner.
+
+use crate::plan::AggFunc;
+use recache_types::{Error, FieldPath, Result, Value};
+
+/// A possibly table-qualified attribute path, e.g. `lineitem.l_quantity`
+/// or `items.q`. Whether the first step names a table is resolved by the
+/// planner against the FROM list.
+pub type QualifiedPath = FieldPath;
+
+/// One WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PredClause {
+    /// `path op literal`
+    Cmp { path: QualifiedPath, op: crate::expr::CmpOp, value: Value },
+    /// `path BETWEEN lo AND hi`
+    Between { path: QualifiedPath, lo: Value, hi: Value },
+}
+
+/// Parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySpec {
+    /// `(func, path)`; `None` path means `count(*)`.
+    pub aggregates: Vec<(AggFunc, Option<QualifiedPath>)>,
+    pub tables: Vec<String>,
+    pub predicates: Vec<PredClause>,
+    /// Equijoins, from `JOIN .. ON` and `path = path` WHERE clauses.
+    pub joins: Vec<(QualifiedPath, QualifiedPath)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(Value),
+    Str(String),
+    Symbol(char),
+    Le,
+    Ge,
+    Ne,
+    Star,
+    Eof,
+}
+
+struct Lexer<'a> {
+    text: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokenize(text: &'a str) -> Result<Vec<Token>> {
+        let mut lexer = Lexer { text: text.as_bytes(), pos: 0 };
+        let mut out = Vec::new();
+        loop {
+            let token = lexer.next_token()?;
+            let done = token == Token::Eof;
+            out.push(token);
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        let Some(&b) = self.text.get(self.pos) else { return Ok(Token::Eof) };
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = self.pos;
+                while self
+                    .text
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                {
+                    self.pos += 1;
+                }
+                Ok(Token::Ident(
+                    std::str::from_utf8(&self.text[start..self.pos])
+                        .expect("ascii ident")
+                        .to_owned(),
+                ))
+            }
+            b'0'..=b'9' | b'-' => {
+                let start = self.pos;
+                self.pos += 1;
+                let mut is_float = false;
+                while let Some(&c) = self.text.get(self.pos) {
+                    match c {
+                        b'0'..=b'9' => self.pos += 1,
+                        b'.' | b'e' | b'E' => {
+                            is_float = true;
+                            self.pos += 1;
+                        }
+                        b'+' | b'-' if matches!(self.text.get(self.pos - 1), Some(b'e' | b'E')) =>
+                        {
+                            self.pos += 1
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&self.text[start..self.pos])
+                    .map_err(|_| Error::parse_at("bad number", start))?;
+                if is_float {
+                    text.parse::<f64>()
+                        .map(|v| Token::Number(Value::Float(v)))
+                        .map_err(|_| Error::parse_at(format!("bad float '{text}'"), start))
+                } else {
+                    text.parse::<i64>()
+                        .map(|v| Token::Number(Value::Int(v)))
+                        .map_err(|_| Error::parse_at(format!("bad int '{text}'"), start))
+                }
+            }
+            b'\'' => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.text.get(self.pos).is_some_and(|&c| c != b'\'') {
+                    self.pos += 1;
+                }
+                if self.pos >= self.text.len() {
+                    return Err(Error::parse_at("unterminated string literal", start));
+                }
+                let s = String::from_utf8_lossy(&self.text[start..self.pos]).into_owned();
+                self.pos += 1;
+                Ok(Token::Str(s))
+            }
+            b'<' => {
+                self.pos += 1;
+                match self.text.get(self.pos) {
+                    Some(b'=') => {
+                        self.pos += 1;
+                        Ok(Token::Le)
+                    }
+                    Some(b'>') => {
+                        self.pos += 1;
+                        Ok(Token::Ne)
+                    }
+                    _ => Ok(Token::Symbol('<')),
+                }
+            }
+            b'>' => {
+                self.pos += 1;
+                if self.text.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    Ok(Token::Ge)
+                } else {
+                    Ok(Token::Symbol('>'))
+                }
+            }
+            b'!' => {
+                self.pos += 1;
+                if self.text.get(self.pos) == Some(&b'=') {
+                    self.pos += 1;
+                    Ok(Token::Ne)
+                } else {
+                    Err(Error::parse_at("expected '!='", self.pos))
+                }
+            }
+            b'*' => {
+                self.pos += 1;
+                Ok(Token::Star)
+            }
+            b'(' | b')' | b',' | b'.' | b'=' => {
+                self.pos += 1;
+                Ok(Token::Symbol(b as char))
+            }
+            other => Err(Error::parse_at(format!("unexpected character '{}'", other as char), self.pos)),
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_symbol(&mut self, c: char) -> Result<()> {
+        match self.next() {
+            Token::Symbol(s) if s == c => Ok(()),
+            other => Err(Error::parse(format!("expected '{c}', found {other:?}"))),
+        }
+    }
+
+    fn keyword(&mut self, word: &str) -> bool {
+        if let Token::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(word) {
+                self.next();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, word: &str) -> Result<()> {
+        if self.keyword(word) {
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected '{word}', found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Token::Ident(s) => Ok(s),
+            other => Err(Error::parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn path(&mut self) -> Result<FieldPath> {
+        let mut steps = vec![self.ident()?];
+        while self.peek() == &Token::Symbol('.') {
+            self.next();
+            steps.push(self.ident()?);
+        }
+        Ok(FieldPath::from_steps(steps))
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        match self.next() {
+            Token::Number(v) => Ok(v),
+            Token::Str(s) => Ok(Value::Str(s)),
+            Token::Ident(s) if s.eq_ignore_ascii_case("true") => Ok(Value::Bool(true)),
+            Token::Ident(s) if s.eq_ignore_ascii_case("false") => Ok(Value::Bool(false)),
+            other => Err(Error::parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn aggregate(&mut self) -> Result<(AggFunc, Option<FieldPath>)> {
+        let name = self.ident()?;
+        let func = match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "avg" => AggFunc::Avg,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            other => return Err(Error::parse(format!("unknown aggregate '{other}'"))),
+        };
+        self.expect_symbol('(')?;
+        let path = if self.peek() == &Token::Star {
+            self.next();
+            None
+        } else {
+            Some(self.path()?)
+        };
+        self.expect_symbol(')')?;
+        Ok((func, path))
+    }
+
+    fn where_clause(
+        &mut self,
+        predicates: &mut Vec<PredClause>,
+        joins: &mut Vec<(FieldPath, FieldPath)>,
+    ) -> Result<()> {
+        let path = self.path()?;
+        if self.keyword("between") {
+            let lo = self.literal()?;
+            self.expect_keyword("and")?;
+            let hi = self.literal()?;
+            predicates.push(PredClause::Between { path, lo, hi });
+            return Ok(());
+        }
+        let op = match self.next() {
+            Token::Symbol('=') => crate::expr::CmpOp::Eq,
+            Token::Symbol('<') => crate::expr::CmpOp::Lt,
+            Token::Symbol('>') => crate::expr::CmpOp::Gt,
+            Token::Le => crate::expr::CmpOp::Le,
+            Token::Ge => crate::expr::CmpOp::Ge,
+            Token::Ne => crate::expr::CmpOp::Ne,
+            other => return Err(Error::parse(format!("expected comparison, found {other:?}"))),
+        };
+        // `path = path` is a join clause; anything else compares with a
+        // literal (`true`/`false` idents are literals, not paths).
+        let rhs_is_path = matches!(self.peek(), Token::Ident(s)
+            if !s.eq_ignore_ascii_case("true") && !s.eq_ignore_ascii_case("false"));
+        if rhs_is_path && op == crate::expr::CmpOp::Eq {
+            let right = self.path()?;
+            joins.push((path, right));
+        } else {
+            let value = self.literal()?;
+            predicates.push(PredClause::Cmp { path, op, value });
+        }
+        Ok(())
+    }
+}
+
+/// Parses one query.
+pub fn parse_query(text: &str) -> Result<QuerySpec> {
+    let tokens = Lexer::tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.expect_keyword("select")?;
+    let mut aggregates = vec![p.aggregate()?];
+    while p.peek() == &Token::Symbol(',') {
+        p.next();
+        aggregates.push(p.aggregate()?);
+    }
+    p.expect_keyword("from")?;
+    let mut tables = vec![p.ident()?];
+    let mut joins = Vec::new();
+    loop {
+        if p.peek() == &Token::Symbol(',') {
+            p.next();
+            tables.push(p.ident()?);
+        } else if p.keyword("join") {
+            tables.push(p.ident()?);
+            p.expect_keyword("on")?;
+            let left = p.path()?;
+            p.expect_symbol('=')?;
+            let right = p.path()?;
+            joins.push((left, right));
+        } else {
+            break;
+        }
+    }
+    let mut predicates = Vec::new();
+    if p.keyword("where") {
+        p.where_clause(&mut predicates, &mut joins)?;
+        while p.keyword("and") {
+            p.where_clause(&mut predicates, &mut joins)?;
+        }
+    }
+    if p.peek() != &Token::Eof {
+        return Err(Error::parse(format!("unexpected trailing input: {:?}", p.peek())));
+    }
+    Ok(QuerySpec { aggregates, tables, predicates, joins })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    #[test]
+    fn parses_select_project_aggregate() {
+        let q = parse_query(
+            "SELECT sum(l_extendedprice), avg(l_quantity), count(*) FROM lineitem \
+             WHERE l_quantity >= 30 AND l_discount BETWEEN 0.01 AND 0.05",
+        )
+        .unwrap();
+        assert_eq!(q.tables, vec!["lineitem"]);
+        assert_eq!(q.aggregates.len(), 3);
+        assert_eq!(q.aggregates[0].0, AggFunc::Sum);
+        assert_eq!(q.aggregates[2], (AggFunc::Count, None));
+        assert_eq!(q.predicates.len(), 2);
+        assert_eq!(
+            q.predicates[0],
+            PredClause::Cmp {
+                path: FieldPath::parse("l_quantity"),
+                op: CmpOp::Ge,
+                value: Value::Int(30)
+            }
+        );
+        assert_eq!(
+            q.predicates[1],
+            PredClause::Between {
+                path: FieldPath::parse("l_discount"),
+                lo: Value::Float(0.01),
+                hi: Value::Float(0.05)
+            }
+        );
+    }
+
+    #[test]
+    fn parses_nested_paths() {
+        let q = parse_query(
+            "SELECT max(lineitems.l_extendedprice) FROM orderLineitems \
+             WHERE lineitems.l_quantity < 10",
+        )
+        .unwrap();
+        assert_eq!(q.aggregates[0].1, Some(FieldPath::parse("lineitems.l_extendedprice")));
+        assert_eq!(q.tables, vec!["orderLineitems"]);
+    }
+
+    #[test]
+    fn parses_joins_in_both_syntaxes() {
+        let q = parse_query(
+            "SELECT count(*) FROM orders JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey \
+             WHERE o_totalprice > 1000",
+        )
+        .unwrap();
+        assert_eq!(q.tables, vec!["orders", "lineitem"]);
+        assert_eq!(q.joins.len(), 1);
+
+        let q = parse_query(
+            "SELECT count(*) FROM orders, lineitem \
+             WHERE orders.o_orderkey = lineitem.l_orderkey AND o_totalprice > 1000",
+        )
+        .unwrap();
+        assert_eq!(q.tables, vec!["orders", "lineitem"]);
+        assert_eq!(q.joins.len(), 1);
+        assert_eq!(q.predicates.len(), 1);
+    }
+
+    #[test]
+    fn parses_negative_and_float_literals() {
+        let q = parse_query("SELECT sum(x) FROM t WHERE x > -5 AND y <= 1.5e2").unwrap();
+        assert_eq!(
+            q.predicates[0],
+            PredClause::Cmp { path: FieldPath::parse("x"), op: CmpOp::Gt, value: Value::Int(-5) }
+        );
+        assert_eq!(
+            q.predicates[1],
+            PredClause::Cmp {
+                path: FieldPath::parse("y"),
+                op: CmpOp::Le,
+                value: Value::Float(150.0)
+            }
+        );
+    }
+
+    #[test]
+    fn parses_string_and_bool_literals() {
+        let q = parse_query("SELECT count(*) FROM t WHERE lang = 'en' AND flag = true").unwrap();
+        assert_eq!(
+            q.predicates[0],
+            PredClause::Cmp {
+                path: FieldPath::parse("lang"),
+                op: CmpOp::Eq,
+                value: Value::from("en")
+            }
+        );
+        assert_eq!(
+            q.predicates[1],
+            PredClause::Cmp {
+                path: FieldPath::parse("flag"),
+                op: CmpOp::Eq,
+                value: Value::Bool(true)
+            }
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse_query("select count(*) from t where x != 3").is_ok());
+        assert!(parse_query("SELECT COUNT(*) FROM t WHERE x <> 3").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse_query("SELECT FROM t").is_err());
+        assert!(parse_query("SELECT sum(x) t").is_err());
+        assert!(parse_query("SELECT sum(x) FROM t WHERE").is_err());
+        assert!(parse_query("SELECT frob(x) FROM t").is_err());
+        assert!(parse_query("SELECT sum(x) FROM t WHERE x >").is_err());
+        assert!(parse_query("SELECT sum(x) FROM t extra").is_err());
+        assert!(parse_query("SELECT sum(x) FROM t WHERE s = 'unterminated").is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! Compact bit vector used for null masks and record-start markers.
+
+/// A growable bitmap.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    pub fn new() -> Self {
+        Bitmap::default()
+    }
+
+    pub fn with_capacity(bits: usize) -> Self {
+        Bitmap { words: Vec::with_capacity(bits.div_ceil(64)), len: 0 }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, bit: bool) {
+        let word = self.len / 64;
+        if word == self.words.len() {
+            self.words.push(0);
+        }
+        if bit {
+            self.words[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Reads a bit. Panics if out of bounds (debug) / returns false
+    /// (release, via masked indexing) — callers stay in bounds.
+    #[inline]
+    pub fn get(&self, index: usize) -> bool {
+        debug_assert!(index < self.len);
+        (self.words[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Heap footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut bm = Bitmap::new();
+        for bit in iter {
+            bm.push(bit);
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get() {
+        let mut bm = Bitmap::new();
+        for i in 0..200 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn count_ones() {
+        let bm: Bitmap = (0..130).map(|i| i % 2 == 0).collect();
+        assert_eq!(bm.count_ones(), 65);
+    }
+
+    #[test]
+    fn byte_size_grows_by_words() {
+        let mut bm = Bitmap::new();
+        assert_eq!(bm.byte_size(), 0);
+        bm.push(true);
+        assert_eq!(bm.byte_size(), 8);
+        for _ in 0..64 {
+            bm.push(false);
+        }
+        assert_eq!(bm.byte_size(), 16);
+    }
+}

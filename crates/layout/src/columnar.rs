@@ -1,0 +1,302 @@
+//! Relational columnar cache layout: flattened rows in typed columns.
+//!
+//! Nested records are flattened (lists exploded, parent fields duplicated
+//! per element — §4 of the paper) and stored column-wise. A record-start
+//! bitmap lets record-level queries skip duplicate rows, and per-record
+//! [`crate::shape`] metadata keeps the flattening reversible so the layout
+//! selector can switch a cached item back to the Dremel layout.
+//!
+//! Scan cost shape: near-zero compute (`C ≈ 0` — the property the paper's
+//! Eq. 4 relies on), data-access cost proportional to the flattened row
+//! count `R` regardless of how many rows the query semantically needs.
+
+use crate::column::Column;
+use crate::shape::{self, ShapeCursor};
+use crate::ScanCost;
+use recache_types::{flatten_record_masks, list_dim_ranges, Schema, Value};
+use std::time::Instant;
+
+/// Rows per timed scan batch.
+const BATCH_ROWS: usize = 4096;
+
+/// Flattened, column-oriented store of cached records.
+#[derive(Debug, Clone)]
+pub struct ColumnStore {
+    schema: Schema,
+    columns: Vec<Column>,
+    /// Per row: bit `d` set ⇔ list dimension `d` is at a non-zero element
+    /// index. Mask 0 marks the first (record-level representative) row of
+    /// a record; filtering by "unaccessed dims == 0" recovers
+    /// projected-flattening semantics on scans.
+    masks: Vec<u64>,
+    /// First flattened row of each record, plus a final total-rows entry.
+    record_rows: Vec<u32>,
+    /// Concatenated per-record shapes with offsets (`record_count + 1`).
+    shape_lens: Vec<u32>,
+    shape_offsets: Vec<u32>,
+}
+
+impl ColumnStore {
+    /// Builds the store by flattening `records`.
+    pub fn build<'a>(schema: &Schema, records: impl IntoIterator<Item = &'a Value>) -> Self {
+        let leaves = schema.leaves();
+        let mut columns: Vec<Column> =
+            leaves.iter().map(|l| Column::new(l.scalar_type)).collect();
+        let mut masks = Vec::new();
+        let mut record_rows = vec![0u32];
+        let mut shape_lens = Vec::new();
+        let mut shape_offsets = vec![0u32];
+        let mut total_rows = 0u32;
+        for record in records {
+            shape::capture(schema.fields(), record, &mut shape_lens);
+            shape_offsets.push(shape_lens.len() as u32);
+            let rows = flatten_record_masks(schema, record);
+            for (row, mask) in &rows {
+                masks.push(*mask);
+                for (col, value) in columns.iter_mut().zip(row) {
+                    col.push(value);
+                }
+            }
+            total_rows += rows.len() as u32;
+            record_rows.push(total_rows);
+        }
+        ColumnStore { schema: schema.clone(), columns, masks, record_rows, shape_lens, shape_offsets }
+    }
+
+    /// Bitmask of list dimensions with no projected leaf: rows sitting at
+    /// a non-zero index of such a dimension are duplicates from the
+    /// query's point of view and are skipped.
+    fn unaccessed_dims(&self, projection: &[usize]) -> u64 {
+        let mut mask = 0u64;
+        for (d, (lo, hi)) in list_dim_ranges(&self.schema).into_iter().enumerate() {
+            if !projection.iter().any(|&leaf| leaf >= lo && leaf < hi) {
+                mask |= 1 << d;
+            }
+        }
+        mask
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Flattened row count `R`.
+    pub fn row_count(&self) -> usize {
+        self.masks.len()
+    }
+
+    pub fn record_count(&self) -> usize {
+        self.record_rows.len() - 1
+    }
+
+    /// Heap footprint: columns + masks + shape/row metadata.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(Column::byte_size).sum::<usize>()
+            + self.masks.len() * 8
+            + self.record_rows.len() * 4
+            + self.shape_lens.len() * 4
+            + self.shape_offsets.len() * 4
+    }
+
+    /// Scans the store, emitting projected rows.
+    ///
+    /// `record_level` emits one row per record (mask 0); element-level
+    /// scans emit one row per combination of the *projected* list
+    /// dimensions, skipping duplicates introduced by unprojected lists.
+    /// Either way the mask walk visits every row slot, which is why the
+    /// paper models the columnar scan cost as `D · R / ri`.
+    pub fn scan(
+        &self,
+        projection: &[usize],
+        record_level: bool,
+        emit: &mut dyn FnMut(&[Value]),
+    ) -> ScanCost {
+        let mut cost = ScanCost::default();
+        let total = self.row_count();
+        let skip_dims =
+            if record_level { u64::MAX } else { self.unaccessed_dims(projection) };
+        let mut buf: Vec<Value> = vec![Value::Null; projection.len()];
+        let mut indices: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + BATCH_ROWS).min(total);
+            // Phase C: select row slots (mask navigation).
+            let t0 = Instant::now();
+            indices.clear();
+            for i in start..end {
+                if self.masks[i] & skip_dims == 0 {
+                    indices.push(i as u32);
+                }
+            }
+            let compute = t0.elapsed();
+            // Phase D: gather values.
+            let t1 = Instant::now();
+            for &i in &indices {
+                for (slot, &leaf) in buf.iter_mut().zip(projection) {
+                    *slot = self.columns[leaf].get(i as usize);
+                }
+                emit(&buf);
+            }
+            let data = t1.elapsed();
+            cost.add(&ScanCost {
+                data_ns: data.as_nanos() as u64,
+                compute_ns: compute.as_nanos() as u64,
+                rows: indices.len(),
+                rows_visited: end - start,
+            });
+            start = end;
+        }
+        cost
+    }
+
+    /// Reads one value (for tests and conversions).
+    pub fn value(&self, row: usize, leaf: usize) -> Value {
+        self.columns[leaf].get(row)
+    }
+
+    /// Rebuilds the original nested records (exact up to empty-list/null
+    /// equivalences) using the stored shapes.
+    pub fn to_records(&self) -> Vec<Value> {
+        let n_leaves = self.columns.len();
+        let mut out = Vec::with_capacity(self.record_count());
+        for rec in 0..self.record_count() {
+            let row_lo = self.record_rows[rec] as usize;
+            let row_hi = self.record_rows[rec + 1] as usize;
+            let rows: Vec<Vec<Value>> = (row_lo..row_hi)
+                .map(|row| (0..n_leaves).map(|leaf| self.columns[leaf].get(row)).collect())
+                .collect();
+            let shape_lo = self.shape_offsets[rec] as usize;
+            let shape_hi = self.shape_offsets[rec + 1] as usize;
+            let mut cursor = ShapeCursor::new(&self.shape_lens[shape_lo..shape_hi]);
+            out.push(shape::rebuild(self.schema.fields(), &rows, &mut cursor));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_types::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("o", DataType::Int),
+            Field::required("price", DataType::Float),
+            Field::new(
+                "items",
+                DataType::List(Box::new(DataType::Struct(vec![Field::required(
+                    "q",
+                    DataType::Int,
+                )]))),
+            ),
+        ])
+    }
+
+    fn records() -> Vec<Value> {
+        vec![
+            Value::Struct(vec![
+                Value::Int(1),
+                Value::Float(10.0),
+                Value::List(vec![
+                    Value::Struct(vec![Value::Int(100)]),
+                    Value::Struct(vec![Value::Int(101)]),
+                ]),
+            ]),
+            Value::Struct(vec![
+                Value::Int(2),
+                Value::Float(20.0),
+                Value::List(vec![Value::Struct(vec![Value::Int(200)])]),
+            ]),
+        ]
+    }
+
+    #[test]
+    fn build_flattens_with_duplication() {
+        let rs = records();
+        let store = ColumnStore::build(&schema(), rs.iter());
+        assert_eq!(store.row_count(), 3); // 2 + 1 elements
+        assert_eq!(store.record_count(), 2);
+        assert_eq!(store.value(0, 0), Value::Int(1));
+        assert_eq!(store.value(1, 0), Value::Int(1)); // duplicated parent
+        assert_eq!(store.value(1, 2), Value::Int(101));
+        assert_eq!(store.value(2, 0), Value::Int(2));
+    }
+
+    #[test]
+    fn element_level_scan_emits_all_rows() {
+        let rs = records();
+        let store = ColumnStore::build(&schema(), rs.iter());
+        let mut rows = Vec::new();
+        let cost = store.scan(&[0, 2], false, &mut |row| rows.push(row.to_vec()));
+        assert_eq!(rows.len(), 3);
+        assert_eq!(cost.rows, 3);
+        assert_eq!(cost.rows_visited, 3);
+        assert_eq!(rows[1], vec![Value::Int(1), Value::Int(101)]);
+    }
+
+    #[test]
+    fn record_level_scan_skips_duplicates_but_visits_all_slots() {
+        let rs = records();
+        let store = ColumnStore::build(&schema(), rs.iter());
+        let mut rows = Vec::new();
+        let cost = store.scan(&[0, 1], true, &mut |row| rows.push(row.to_vec()));
+        assert_eq!(rows, vec![
+            vec![Value::Int(1), Value::Float(10.0)],
+            vec![Value::Int(2), Value::Float(20.0)],
+        ]);
+        assert_eq!(cost.rows, 2);
+        assert_eq!(cost.rows_visited, 3);
+    }
+
+    #[test]
+    fn to_records_round_trips_flattened_view() {
+        let rs = records();
+        let store = ColumnStore::build(&schema(), rs.iter());
+        let rebuilt = store.to_records();
+        assert_eq!(rebuilt, rs);
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = ColumnStore::build(&schema(), std::iter::empty());
+        assert_eq!(store.row_count(), 0);
+        assert_eq!(store.record_count(), 0);
+        let mut rows = 0;
+        store.scan(&[0], false, &mut |_| rows += 1);
+        assert_eq!(rows, 0);
+        assert!(store.to_records().is_empty());
+    }
+
+    #[test]
+    fn byte_size_reflects_duplication() {
+        let many_items = Value::Struct(vec![
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::List((0..50).map(|i| Value::Struct(vec![Value::Int(i)])).collect()),
+        ]);
+        let few_items = Value::Struct(vec![
+            Value::Int(1),
+            Value::Float(1.0),
+            Value::List(vec![Value::Struct(vec![Value::Int(0)])]),
+        ]);
+        let schema = schema();
+        let big = ColumnStore::build(&schema, std::iter::once(&many_items));
+        let small = ColumnStore::build(&schema, std::iter::once(&few_items));
+        assert!(big.byte_size() > 10 * small.byte_size());
+    }
+
+    #[test]
+    fn nulls_survive_round_trip() {
+        let record = Value::Struct(vec![Value::Int(5), Value::Null, Value::Null]);
+        let schema = schema();
+        let store = ColumnStore::build(&schema, std::iter::once(&record));
+        assert_eq!(store.row_count(), 1);
+        assert_eq!(store.value(0, 1), Value::Null);
+        let rebuilt = store.to_records();
+        assert_eq!(
+            recache_types::flatten_record(&schema, &rebuilt[0]),
+            recache_types::flatten_record(&schema, &record)
+        );
+    }
+}

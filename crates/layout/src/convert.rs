@@ -1,0 +1,112 @@
+//! Layout ↔ layout transformations.
+//!
+//! When ReCache's cost model decides a cached item should switch layout
+//! (§4.2), the item is re-materialized: records are reassembled from the
+//! current store and shredded/flattened into the new one. The measured
+//! wall-clock duration is reported so the cache can compare it against
+//! the estimated transformation cost `T = max((Di + Ci) · R / ri)`.
+
+use crate::{ColumnStore, DremelStore, RowStore};
+use std::time::{Duration, Instant};
+
+/// Dremel → relational columnar. Returns the new store and the measured
+/// transformation time.
+pub fn dremel_to_columnar(store: &DremelStore) -> (ColumnStore, Duration) {
+    let t0 = Instant::now();
+    let records = store.to_records();
+    let out = ColumnStore::build(store.schema(), records.iter());
+    (out, t0.elapsed())
+}
+
+/// Relational columnar → Dremel.
+pub fn columnar_to_dremel(store: &ColumnStore) -> (DremelStore, Duration) {
+    let t0 = Instant::now();
+    let records = store.to_records();
+    let out = DremelStore::build(store.schema(), records.iter());
+    (out, t0.elapsed())
+}
+
+/// Relational columnar → row-oriented (H2O-style switch).
+pub fn columnar_to_row(store: &ColumnStore) -> (RowStore, Duration) {
+    let t0 = Instant::now();
+    let records = store.to_records();
+    let out = RowStore::build(store.schema(), records.iter());
+    (out, t0.elapsed())
+}
+
+/// Row-oriented → relational columnar.
+pub fn row_to_columnar(store: &RowStore) -> (ColumnStore, Duration) {
+    let t0 = Instant::now();
+    let records = store.to_records();
+    let out = ColumnStore::build(store.schema(), records.iter());
+    (out, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_types::{flatten_record, DataType, Field, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("o", DataType::Int),
+            Field::new(
+                "items",
+                DataType::List(Box::new(DataType::Struct(vec![Field::required(
+                    "q",
+                    DataType::Int,
+                )]))),
+            ),
+        ])
+    }
+
+    fn records() -> Vec<Value> {
+        (0..40)
+            .map(|i| {
+                Value::Struct(vec![
+                    Value::Int(i),
+                    Value::List(
+                        (0..(i % 5)).map(|j| Value::Struct(vec![Value::Int(j)])).collect(),
+                    ),
+                ])
+            })
+            .collect()
+    }
+
+    fn scans_agree(a: &[Vec<Value>], b: &[Vec<Value>]) {
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dremel_columnar_round_trip_preserves_scans() {
+        let rs = records();
+        let schema = schema();
+        let dremel = DremelStore::build(&schema, rs.iter());
+        let (columnar, t) = dremel_to_columnar(&dremel);
+        assert!(t.as_nanos() > 0);
+        let mut a = Vec::new();
+        dremel.scan(&[0, 1], false, &mut |r| a.push(r.to_vec()));
+        let mut b = Vec::new();
+        columnar.scan(&[0, 1], false, &mut |r| b.push(r.to_vec()));
+        scans_agree(&a, &b);
+
+        let (dremel2, _) = columnar_to_dremel(&columnar);
+        let mut c = Vec::new();
+        dremel2.scan(&[0, 1], false, &mut |r| c.push(r.to_vec()));
+        scans_agree(&a, &c);
+        assert_eq!(dremel2.record_count(), dremel.record_count());
+        assert_eq!(dremel2.flattened_rows(), dremel.flattened_rows());
+    }
+
+    #[test]
+    fn row_conversions_preserve_flattened_view() {
+        let rs = records();
+        let schema = schema();
+        let columnar = ColumnStore::build(&schema, rs.iter());
+        let (rows, _) = columnar_to_row(&columnar);
+        let (back, _) = row_to_columnar(&rows);
+        for (a, b) in columnar.to_records().iter().zip(back.to_records().iter()) {
+            assert_eq!(flatten_record(&schema, a), flatten_record(&schema, b));
+        }
+    }
+}

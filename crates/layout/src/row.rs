@@ -1,0 +1,331 @@
+//! Relational row-oriented cache layout: packed byte rows.
+//!
+//! The H2O-style alternative to the columnar layout (§4.3): scans walk
+//! every byte of every tuple regardless of how few fields the query
+//! touches, which is exactly the access pattern whose cache-miss count
+//! the row/column layout chooser estimates.
+
+use crate::shape;
+use crate::ScanCost;
+use bytes::{Buf, BufMut, BytesMut};
+use recache_types::{flatten_record_masks, list_dim_ranges, Schema, Value};
+use std::time::Instant;
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+
+/// Flattened rows packed back-to-back in a byte buffer.
+#[derive(Debug, Clone)]
+pub struct RowStore {
+    schema: Schema,
+    buf: BytesMut,
+    /// Byte offset of each row, plus a final total-length entry.
+    row_offsets: Vec<u32>,
+    /// Per-row list-dimension masks (see [`ColumnStore`]'s field docs).
+    masks: Vec<u64>,
+    /// First flattened row of each record, plus a final total entry.
+    record_rows: Vec<u32>,
+    /// Per-record shapes (see [`crate::shape`]), for layout conversion.
+    shape_lens: Vec<u32>,
+    shape_offsets: Vec<u32>,
+    n_leaves: usize,
+}
+
+impl RowStore {
+    /// Builds the store by flattening and packing `records`.
+    pub fn build<'a>(schema: &Schema, records: impl IntoIterator<Item = &'a Value>) -> Self {
+        let n_leaves = schema.leaves().len();
+        let mut buf = BytesMut::new();
+        let mut row_offsets = vec![0u32];
+        let mut masks = Vec::new();
+        let mut record_rows = vec![0u32];
+        let mut shape_lens = Vec::new();
+        let mut shape_offsets = vec![0u32];
+        let mut total_rows = 0u32;
+        for record in records {
+            shape::capture(schema.fields(), record, &mut shape_lens);
+            shape_offsets.push(shape_lens.len() as u32);
+            let rows = flatten_record_masks(schema, record);
+            for (row, mask) in &rows {
+                masks.push(*mask);
+                for value in row {
+                    encode_value(&mut buf, value);
+                }
+                row_offsets.push(buf.len() as u32);
+            }
+            total_rows += rows.len() as u32;
+            record_rows.push(total_rows);
+        }
+        RowStore {
+            schema: schema.clone(),
+            buf,
+            row_offsets,
+            masks,
+            record_rows,
+            shape_lens,
+            shape_offsets,
+            n_leaves,
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn row_count(&self) -> usize {
+        self.row_offsets.len() - 1
+    }
+
+    pub fn record_count(&self) -> usize {
+        self.record_rows.len() - 1
+    }
+
+    pub fn byte_size(&self) -> usize {
+        self.buf.len()
+            + self.row_offsets.len() * 4
+            + self.masks.len() * 8
+            + self.record_rows.len() * 4
+            + self.shape_lens.len() * 4
+            + self.shape_offsets.len() * 4
+    }
+
+    /// Scans the store, emitting projected rows. Row layouts must walk
+    /// through every field of every visited tuple — the projection only
+    /// saves the value *materialization*, not the navigation.
+    pub fn scan(
+        &self,
+        projection: &[usize],
+        record_level: bool,
+        emit: &mut dyn FnMut(&[Value]),
+    ) -> ScanCost {
+        let mut cost = ScanCost::default();
+        let total = self.row_count();
+        let skip_dims = if record_level {
+            u64::MAX
+        } else {
+            let mut mask = 0u64;
+            for (d, (lo, hi)) in list_dim_ranges(&self.schema).into_iter().enumerate() {
+                if !projection.iter().any(|&leaf| leaf >= lo && leaf < hi) {
+                    mask |= 1 << d;
+                }
+            }
+            mask
+        };
+        let mut out: Vec<Value> = vec![Value::Null; projection.len()];
+        // slot_of[leaf] = position in the projection, or usize::MAX.
+        let mut slot_of = vec![usize::MAX; self.n_leaves];
+        for (j, &leaf) in projection.iter().enumerate() {
+            slot_of[leaf] = j;
+        }
+        let mut start = 0usize;
+        let mut offsets: Vec<(u32, u32)> = Vec::with_capacity(4096);
+        while start < total {
+            let end = (start + 4096).min(total);
+            // Phase C: select rows (mask walk).
+            let t0 = Instant::now();
+            offsets.clear();
+            for i in start..end {
+                if self.masks[i] & skip_dims == 0 {
+                    offsets.push((self.row_offsets[i], self.row_offsets[i + 1]));
+                }
+            }
+            let compute = t0.elapsed();
+            // Phase D: walk each tuple's bytes, decoding projected fields.
+            let t1 = Instant::now();
+            for &(lo, hi) in &offsets {
+                let mut slice = &self.buf[lo as usize..hi as usize];
+                for leaf in 0..self.n_leaves {
+                    let slot = slot_of[leaf];
+                    if slot != usize::MAX {
+                        out[slot] = decode_value(&mut slice);
+                    } else {
+                        skip_value(&mut slice);
+                    }
+                }
+                emit(&out);
+            }
+            let data = t1.elapsed();
+            cost.add(&ScanCost {
+                data_ns: data.as_nanos() as u64,
+                compute_ns: compute.as_nanos() as u64,
+                rows: offsets.len(),
+                rows_visited: end - start,
+            });
+            start = end;
+        }
+        cost
+    }
+
+    /// Rebuilds the original nested records via the stored shapes.
+    pub fn to_records(&self) -> Vec<Value> {
+        let mut out = Vec::with_capacity(self.record_count());
+        for rec in 0..self.record_count() {
+            let lo = self.record_rows[rec] as usize;
+            let hi = self.record_rows[rec + 1] as usize;
+            let rows: Vec<Vec<Value>> = (lo..hi).map(|i| self.decode_row(i)).collect();
+            let shape_lo = self.shape_offsets[rec] as usize;
+            let shape_hi = self.shape_offsets[rec + 1] as usize;
+            let mut cursor = shape::ShapeCursor::new(&self.shape_lens[shape_lo..shape_hi]);
+            out.push(shape::rebuild(self.schema.fields(), &rows, &mut cursor));
+        }
+        out
+    }
+
+    /// Decodes one full-width row.
+    pub fn decode_row(&self, row: usize) -> Vec<Value> {
+        let lo = self.row_offsets[row] as usize;
+        let hi = self.row_offsets[row + 1] as usize;
+        let mut slice = &self.buf[lo..hi];
+        (0..self.n_leaves).map(|_| decode_value(&mut slice)).collect()
+    }
+}
+
+fn encode_value(buf: &mut BytesMut, value: &Value) {
+    match value {
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::Bool(false) => buf.put_u8(TAG_FALSE),
+        Value::Bool(true) => buf.put_u8(TAG_TRUE),
+        Value::Int(v) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*v);
+        }
+        Value::Float(v) => {
+            buf.put_u8(TAG_FLOAT);
+            buf.put_f64_le(*v);
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::List(_) | Value::Struct(_) => {
+            unreachable!("flattened rows contain only scalars")
+        }
+    }
+}
+
+fn decode_value(slice: &mut &[u8]) -> Value {
+    match slice.get_u8() {
+        TAG_NULL => Value::Null,
+        TAG_FALSE => Value::Bool(false),
+        TAG_TRUE => Value::Bool(true),
+        TAG_INT => Value::Int(slice.get_i64_le()),
+        TAG_FLOAT => Value::Float(slice.get_f64_le()),
+        TAG_STR => {
+            let len = slice.get_u32_le() as usize;
+            let s = String::from_utf8_lossy(&slice[..len]).into_owned();
+            slice.advance(len);
+            Value::Str(s)
+        }
+        other => unreachable!("corrupt row tag {other}"),
+    }
+}
+
+fn skip_value(slice: &mut &[u8]) {
+    match slice.get_u8() {
+        TAG_NULL | TAG_FALSE | TAG_TRUE => {}
+        TAG_INT | TAG_FLOAT => slice.advance(8),
+        TAG_STR => {
+            let len = slice.get_u32_le() as usize;
+            slice.advance(len);
+        }
+        other => unreachable!("corrupt row tag {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_types::{DataType, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::required("a", DataType::Int),
+            Field::required("s", DataType::Str),
+            Field::new("tags", DataType::List(Box::new(DataType::Float))),
+        ])
+    }
+
+    fn records() -> Vec<Value> {
+        vec![
+            Value::Struct(vec![
+                Value::Int(1),
+                Value::Str("one".into()),
+                Value::List(vec![Value::Float(0.5), Value::Float(1.5)]),
+            ]),
+            Value::Struct(vec![Value::Int(2), Value::Str("two".into()), Value::Null]),
+        ]
+    }
+
+    #[test]
+    fn build_and_decode_rows() {
+        let rs = records();
+        let store = RowStore::build(&schema(), rs.iter());
+        assert_eq!(store.row_count(), 3);
+        assert_eq!(store.record_count(), 2);
+        assert_eq!(
+            store.decode_row(0),
+            vec![Value::Int(1), Value::Str("one".into()), Value::Float(0.5)]
+        );
+        assert_eq!(store.decode_row(2), vec![Value::Int(2), Value::Str("two".into()), Value::Null]);
+    }
+
+    #[test]
+    fn scan_projects_in_order() {
+        let rs = records();
+        let store = RowStore::build(&schema(), rs.iter());
+        let mut rows = Vec::new();
+        store.scan(&[2, 0], false, &mut |row| rows.push(row.to_vec()));
+        assert_eq!(rows[0], vec![Value::Float(0.5), Value::Int(1)]);
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn record_level_scan() {
+        let rs = records();
+        let store = RowStore::build(&schema(), rs.iter());
+        let mut rows = Vec::new();
+        let cost = store.scan(&[0], true, &mut |row| rows.push(row.to_vec()));
+        assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        assert_eq!(cost.rows_visited, 3);
+    }
+
+    #[test]
+    fn scan_agrees_with_columnar() {
+        use crate::columnar::ColumnStore;
+        let rs = records();
+        let row_store = RowStore::build(&schema(), rs.iter());
+        let col_store = ColumnStore::build(&schema(), rs.iter());
+        let mut a = Vec::new();
+        row_store.scan(&[0, 1, 2], false, &mut |r| a.push(r.to_vec()));
+        let mut b = Vec::new();
+        col_store.scan(&[0, 1, 2], false, &mut |r| b.push(r.to_vec()));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn to_records_round_trips() {
+        let rs = records();
+        let store = RowStore::build(&schema(), rs.iter());
+        let rebuilt = store.to_records();
+        for (a, b) in rs.iter().zip(&rebuilt) {
+            assert_eq!(
+                recache_types::flatten_record(&schema(), a),
+                recache_types::flatten_record(&schema(), b)
+            );
+        }
+    }
+
+    #[test]
+    fn empty_store() {
+        let store = RowStore::build(&schema(), std::iter::empty());
+        assert_eq!(store.row_count(), 0);
+        let mut n = 0;
+        store.scan(&[0], false, &mut |_| n += 1);
+        assert_eq!(n, 0);
+    }
+}

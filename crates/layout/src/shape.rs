@@ -1,0 +1,347 @@
+//! Per-record nesting *shapes*: the list lengths of a record in preorder.
+//!
+//! The relational columnar layout flattens nested records into rows,
+//! which loses the list structure (how many `urls` did record 7 have?).
+//! ReCache must be able to switch a cached item *back* from the columnar
+//! layout to the Dremel layout (§4.2), so [`crate::ColumnStore`] keeps a
+//! few bytes of shape metadata per record — every list length, in
+//! depth-first preorder — making the flattening losslessly reversible.
+//!
+//! `capture` + `rebuild` are exact inverses up to the usual flattening
+//! equivalences (empty and absent lists coincide; an absent struct equals
+//! a struct of nulls), which is all cache-layout switching needs: the
+//! flattened views are bit-identical.
+
+use recache_types::{DataType, Field, Value};
+
+/// Captures the shape of one record: appends each list's length (0 for
+/// absent/empty) in preorder to `out`.
+pub fn capture(fields: &[Field], record: &Value, out: &mut Vec<u32>) {
+    let children: &[Value] = match record {
+        Value::Struct(c) => c,
+        _ => &[],
+    };
+    for (i, field) in fields.iter().enumerate() {
+        capture_value(&field.data_type, children.get(i).unwrap_or(&Value::Null), out);
+    }
+}
+
+fn capture_value(ty: &DataType, value: &Value, out: &mut Vec<u32>) {
+    match ty {
+        DataType::Struct(fields) => capture(fields, value, out),
+        DataType::List(inner) => match value {
+            Value::List(items) if !items.is_empty() => {
+                out.push(items.len() as u32);
+                for item in items {
+                    capture_value(inner, item, out);
+                }
+            }
+            _ => out.push(0),
+        },
+        _ => {}
+    }
+}
+
+/// Read cursor over a record's shape.
+#[derive(Debug, Clone, Copy)]
+pub struct ShapeCursor<'a> {
+    lens: &'a [u32],
+    pos: usize,
+}
+
+impl<'a> ShapeCursor<'a> {
+    pub fn new(lens: &'a [u32]) -> Self {
+        ShapeCursor { lens, pos: 0 }
+    }
+
+    fn next(&mut self) -> u32 {
+        let v = self.lens[self.pos];
+        self.pos += 1;
+        v
+    }
+
+    /// Entries consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Number of scalar leaves under a type.
+pub fn leaf_count(ty: &DataType) -> usize {
+    match ty {
+        DataType::Struct(fields) => fields.iter().map(|f| leaf_count(&f.data_type)).sum(),
+        DataType::List(inner) => leaf_count(inner),
+        _ => 1,
+    }
+}
+
+/// Flattened row count of one record, consuming its shape.
+pub fn row_count(fields: &[Field], cursor: &mut ShapeCursor<'_>) -> usize {
+    let mut rows = 1usize;
+    for field in fields {
+        rows *= value_row_count(&field.data_type, cursor);
+    }
+    rows
+}
+
+fn value_row_count(ty: &DataType, cursor: &mut ShapeCursor<'_>) -> usize {
+    match ty {
+        DataType::Struct(fields) => row_count(fields, cursor),
+        DataType::List(inner) => {
+            let len = cursor.next();
+            if len == 0 {
+                // An empty/absent list still flattens to one (null) row.
+                1
+            } else {
+                (0..len).map(|_| value_row_count(inner, cursor)).sum()
+            }
+        }
+        _ => 1,
+    }
+}
+
+/// Rebuilds one nested record from its flattened rows and shape.
+///
+/// `rows` are the record's flattened rows over *all* leaves in canonical
+/// order (exactly what [`recache_types::flatten_record`] produced when the
+/// store was built).
+pub fn rebuild(fields: &[Field], rows: &[Vec<Value>], cursor: &mut ShapeCursor<'_>) -> Value {
+    let row_refs: Vec<&[Value]> = rows.iter().map(|r| r.as_slice()).collect();
+    rebuild_struct(fields, &row_refs, 0, cursor)
+}
+
+fn rebuild_struct(
+    fields: &[Field],
+    rows: &[&[Value]],
+    leaf_start: usize,
+    cursor: &mut ShapeCursor<'_>,
+) -> Value {
+    // First pass: row multiplicity of each child (cloned cursors so the
+    // real cursor is only consumed by the rebuild pass below).
+    let mut counts = Vec::with_capacity(fields.len());
+    {
+        let mut probe = *cursor;
+        for field in fields {
+            counts.push(value_row_count(&field.data_type, &mut probe));
+        }
+    }
+    // Cartesian layout: leftmost child varies slowest. stride[j] =
+    // product of counts of children to the right.
+    let mut strides = vec![1usize; fields.len()];
+    for j in (0..fields.len().saturating_sub(1)).rev() {
+        strides[j] = strides[j + 1] * counts[j + 1];
+    }
+    let mut children = Vec::with_capacity(fields.len());
+    let mut leaf = leaf_start;
+    for (j, field) in fields.iter().enumerate() {
+        // Child j's own row set: sample rows at multiples of its stride
+        // (all other children held at combination 0).
+        let child_rows: Vec<&[Value]> =
+            (0..counts[j]).map(|i| rows[i * strides[j]]).collect();
+        children.push(rebuild_value(&field.data_type, &child_rows, leaf, cursor));
+        leaf += leaf_count(&field.data_type);
+    }
+    Value::Struct(children)
+}
+
+fn rebuild_value(
+    ty: &DataType,
+    rows: &[&[Value]],
+    leaf_start: usize,
+    cursor: &mut ShapeCursor<'_>,
+) -> Value {
+    match ty {
+        DataType::Struct(fields) => rebuild_struct(fields, rows, leaf_start, cursor),
+        DataType::List(inner) => {
+            let len = cursor.next();
+            if len == 0 {
+                return Value::Null;
+            }
+            let mut items = Vec::with_capacity(len as usize);
+            let mut start = 0usize;
+            for _ in 0..len {
+                // Element row count, probed without consuming.
+                let n = {
+                    let mut probe = *cursor;
+                    value_row_count(inner, &mut probe)
+                };
+                items.push(rebuild_value(inner, &rows[start..start + n], leaf_start, cursor));
+                start += n;
+            }
+            Value::List(items)
+        }
+        _ => rows[0][leaf_start].clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_types::{flatten_record, Schema};
+
+    fn nested_schema() -> Schema {
+        Schema::new(vec![
+            Field::required("a", DataType::Int),
+            Field::new(
+                "items",
+                DataType::List(Box::new(DataType::Struct(vec![
+                    Field::required("q", DataType::Int),
+                    Field::new("tags", DataType::List(Box::new(DataType::Str))),
+                ]))),
+            ),
+            Field::new("scores", DataType::List(Box::new(DataType::Float))),
+        ])
+    }
+
+    fn roundtrip(schema: &Schema, record: &Value) {
+        let mut lens = Vec::new();
+        capture(schema.fields(), record, &mut lens);
+        let rows = flatten_record(schema, record);
+        let mut cursor = ShapeCursor::new(&lens);
+        assert_eq!(row_count(schema.fields(), &mut cursor), rows.len(), "row_count");
+        let mut cursor = ShapeCursor::new(&lens);
+        let rebuilt = rebuild(schema.fields(), &rows, &mut cursor);
+        // Flattened views must agree exactly.
+        assert_eq!(flatten_record(schema, &rebuilt), rows, "flatten(rebuild) == flatten");
+    }
+
+    #[test]
+    fn flat_record_has_empty_shape() {
+        let schema = Schema::new(vec![Field::required("x", DataType::Int)]);
+        let record = Value::Struct(vec![Value::Int(5)]);
+        let mut lens = Vec::new();
+        capture(schema.fields(), &record, &mut lens);
+        assert!(lens.is_empty());
+        roundtrip(&schema, &record);
+    }
+
+    #[test]
+    fn single_list_roundtrip() {
+        let schema = nested_schema();
+        let record = Value::Struct(vec![
+            Value::Int(1),
+            Value::List(vec![
+                Value::Struct(vec![Value::Int(10), Value::List(vec![Value::from("t1")])]),
+                Value::Struct(vec![
+                    Value::Int(20),
+                    Value::List(vec![Value::from("t2"), Value::from("t3")]),
+                ]),
+            ]),
+            Value::Null,
+        ]);
+        let mut lens = Vec::new();
+        capture(schema.fields(), &record, &mut lens);
+        // items len 2, tags lens 1 and 2, scores 0.
+        assert_eq!(lens, vec![2, 1, 2, 0]);
+        roundtrip(&schema, &record);
+    }
+
+    #[test]
+    fn sibling_lists_cartesian_roundtrip() {
+        let schema = nested_schema();
+        let record = Value::Struct(vec![
+            Value::Int(7),
+            Value::List(vec![
+                Value::Struct(vec![Value::Int(1), Value::Null]),
+                Value::Struct(vec![Value::Int(2), Value::Null]),
+            ]),
+            Value::List(vec![Value::Float(0.5), Value::Float(1.5), Value::Float(2.5)]),
+        ]);
+        // 2 items x 3 scores = 6 flattened rows.
+        let rows = flatten_record(&schema, &record);
+        assert_eq!(rows.len(), 6);
+        roundtrip(&schema, &record);
+    }
+
+    #[test]
+    fn empty_and_absent_lists_coincide() {
+        let schema = nested_schema();
+        let with_empty =
+            Value::Struct(vec![Value::Int(1), Value::List(vec![]), Value::Null]);
+        let with_null = Value::Struct(vec![Value::Int(1), Value::Null, Value::Null]);
+        let mut lens_a = Vec::new();
+        capture(schema.fields(), &with_empty, &mut lens_a);
+        let mut lens_b = Vec::new();
+        capture(schema.fields(), &with_null, &mut lens_b);
+        assert_eq!(lens_a, lens_b);
+        roundtrip(&schema, &with_empty);
+        roundtrip(&schema, &with_null);
+    }
+
+    #[test]
+    fn rebuilt_record_equals_original_when_canonical() {
+        // For records with no empty lists and no null structs, rebuild is
+        // the exact identity.
+        let schema = nested_schema();
+        let record = Value::Struct(vec![
+            Value::Int(3),
+            Value::List(vec![Value::Struct(vec![
+                Value::Int(4),
+                Value::List(vec![Value::from("x")]),
+            ])]),
+            Value::List(vec![Value::Float(9.0)]),
+        ]);
+        let mut lens = Vec::new();
+        capture(schema.fields(), &record, &mut lens);
+        let rows = flatten_record(&schema, &record);
+        let mut cursor = ShapeCursor::new(&lens);
+        let rebuilt = rebuild(schema.fields(), &rows, &mut cursor);
+        assert_eq!(rebuilt, record);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use recache_types::{flatten_record, Schema};
+
+    /// Random records for a fixed nested schema.
+    fn record_strategy() -> impl Strategy<Value = Value> {
+        let item = (any::<i64>(), prop::collection::vec(0.0f64..10.0, 0..3)).prop_map(
+            |(q, tags)| {
+                Value::Struct(vec![
+                    Value::Int(q),
+                    Value::List(tags.into_iter().map(Value::Float).collect()),
+                ])
+            },
+        );
+        (any::<i64>(), prop::collection::vec(item, 0..4), prop::collection::vec(any::<bool>(), 0..3))
+            .prop_map(|(a, items, flags)| {
+                Value::Struct(vec![
+                    Value::Int(a),
+                    Value::List(items),
+                    Value::List(flags.into_iter().map(Value::Bool).collect()),
+                ])
+            })
+    }
+
+    fn test_schema() -> Schema {
+        Schema::new(vec![
+            Field::required("a", DataType::Int),
+            Field::new(
+                "items",
+                DataType::List(Box::new(DataType::Struct(vec![
+                    Field::required("q", DataType::Int),
+                    Field::new("tags", DataType::List(Box::new(DataType::Float))),
+                ]))),
+            ),
+            Field::new("flags", DataType::List(Box::new(DataType::Bool))),
+        ])
+    }
+
+    proptest! {
+        #[test]
+        fn capture_rebuild_preserves_flattened_view(record in record_strategy()) {
+            let schema = test_schema();
+            let mut lens = Vec::new();
+            capture(schema.fields(), &record, &mut lens);
+            let rows = flatten_record(&schema, &record);
+            let mut cursor = ShapeCursor::new(&lens);
+            prop_assert_eq!(row_count(schema.fields(), &mut cursor), rows.len());
+            let mut cursor = ShapeCursor::new(&lens);
+            let rebuilt = rebuild(schema.fields(), &rows, &mut cursor);
+            prop_assert_eq!(flatten_record(&schema, &rebuilt), rows);
+        }
+    }
+}

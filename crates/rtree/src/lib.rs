@@ -1,0 +1,632 @@
+//! A balanced R-tree used by ReCache's query-subsumption index.
+//!
+//! §3.3 of the paper: "ReCache makes the lookup process faster by using a
+//! spatial index based on a balanced R-tree. For every numeric field in
+//! every relation, ReCache maintains a separate spatial index. It adds the
+//! bounding box for every cached range predicate into the index. On
+//! encountering a new range predicate, ReCache looks up the corresponding
+//! spatial index to find all existing caches that fully cover the new
+//! predicate."
+//!
+//! This is a classic Guttman R-tree (quadratic split, least-enlargement
+//! descent) with:
+//! * [`RTree::covering`] — entries whose rectangle fully contains a query
+//!   rectangle (the subsumption lookup), pruned through inner MBRs in
+//!   logarithmic time on non-degenerate data,
+//! * [`RTree::intersecting`] — standard window queries,
+//! * [`RTree::remove`] — exact-entry deletion with subtree condensation
+//!   and re-insertion (evicted caches leave the index).
+//!
+//! The dimension is a const generic; ReCache itself uses `D = 1`
+//! (per-field intervals), tests also exercise `D = 2`.
+
+pub mod rect;
+
+pub use rect::Rect;
+
+/// Maximum entries per node before a split.
+const MAX_ENTRIES: usize = 8;
+/// Minimum fill after a split.
+const MIN_ENTRIES: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Node<const D: usize, T> {
+    Leaf(Vec<(Rect<D>, T)>),
+    Inner(Vec<(Rect<D>, Box<Node<D, T>>)>),
+}
+
+impl<const D: usize, T> Node<D, T> {
+    fn mbr(&self) -> Rect<D> {
+        match self {
+            Node::Leaf(entries) => {
+                Rect::union_all(entries.iter().map(|(r, _)| r)).unwrap_or_else(Rect::empty)
+            }
+            Node::Inner(children) => {
+                Rect::union_all(children.iter().map(|(r, _)| r)).unwrap_or_else(Rect::empty)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Node::Leaf(entries) => entries.len(),
+            Node::Inner(children) => children.len(),
+        }
+    }
+}
+
+/// A balanced R-tree mapping rectangles to payloads.
+#[derive(Debug, Clone)]
+pub struct RTree<const D: usize, T> {
+    root: Node<D, T>,
+    len: usize,
+}
+
+impl<const D: usize, T> Default for RTree<D, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize, T> RTree<D, T> {
+    pub fn new() -> Self {
+        RTree { root: Node::Leaf(Vec::new()), len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (leaves have height 1); exposed for balance tests.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Inner(children) = node {
+            h += 1;
+            node = &children[0].1;
+        }
+        h
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&mut self, rect: Rect<D>, value: T) {
+        self.len += 1;
+        if let Some((left, right)) = insert_into(&mut self.root, rect, value) {
+            // Root split: grow the tree by one level.
+            let lr = left.mbr();
+            let rr = right.mbr();
+            self.root = Node::Inner(vec![(lr, Box::new(left)), (rr, Box::new(right))]);
+        }
+    }
+
+    /// Visits every entry whose rectangle fully contains `query`.
+    pub fn covering(&self, query: &Rect<D>, visit: &mut dyn FnMut(&Rect<D>, &T)) {
+        fn walk<const D: usize, T>(
+            node: &Node<D, T>,
+            query: &Rect<D>,
+            visit: &mut dyn FnMut(&Rect<D>, &T),
+        ) {
+            match node {
+                Node::Leaf(entries) => {
+                    for (rect, value) in entries {
+                        if rect.contains(query) {
+                            visit(rect, value);
+                        }
+                    }
+                }
+                Node::Inner(children) => {
+                    for (mbr, child) in children {
+                        // An entry can only contain the query if its
+                        // ancestor MBRs do.
+                        if mbr.contains(query) {
+                            walk(child, query, visit);
+                        }
+                    }
+                }
+            }
+        }
+        walk(&self.root, query, visit);
+    }
+
+    /// Collects covering entries (convenience over [`Self::covering`]).
+    pub fn covering_vec(&self, query: &Rect<D>) -> Vec<(Rect<D>, &T)> {
+        let mut out = Vec::new();
+        fn walk<'a, const D: usize, T>(
+            node: &'a Node<D, T>,
+            query: &Rect<D>,
+            out: &mut Vec<(Rect<D>, &'a T)>,
+        ) {
+            match node {
+                Node::Leaf(entries) => {
+                    for (rect, value) in entries {
+                        if rect.contains(query) {
+                            out.push((rect.clone(), value));
+                        }
+                    }
+                }
+                Node::Inner(children) => {
+                    for (mbr, child) in children {
+                        if mbr.contains(query) {
+                            walk(child, query, out);
+                        }
+                    }
+                }
+            }
+        }
+        walk(&self.root, query, &mut out);
+        out
+    }
+
+    /// Visits every entry whose rectangle intersects `query`.
+    pub fn intersecting(&self, query: &Rect<D>, visit: &mut dyn FnMut(&Rect<D>, &T)) {
+        fn walk<const D: usize, T>(
+            node: &Node<D, T>,
+            query: &Rect<D>,
+            visit: &mut dyn FnMut(&Rect<D>, &T),
+        ) {
+            match node {
+                Node::Leaf(entries) => {
+                    for (rect, value) in entries {
+                        if rect.intersects(query) {
+                            visit(rect, value);
+                        }
+                    }
+                }
+                Node::Inner(children) => {
+                    for (mbr, child) in children {
+                        if mbr.intersects(query) {
+                            walk(child, query, visit);
+                        }
+                    }
+                }
+            }
+        }
+        walk(&self.root, query, visit);
+    }
+
+    /// Visits all entries (tree order).
+    pub fn for_each(&self, visit: &mut dyn FnMut(&Rect<D>, &T)) {
+        fn walk<const D: usize, T>(node: &Node<D, T>, visit: &mut dyn FnMut(&Rect<D>, &T)) {
+            match node {
+                Node::Leaf(entries) => {
+                    for (rect, value) in entries {
+                        visit(rect, value);
+                    }
+                }
+                Node::Inner(children) => {
+                    for (_, child) in children {
+                        walk(child, visit);
+                    }
+                }
+            }
+        }
+        walk(&self.root, visit);
+    }
+}
+
+impl<const D: usize, T: PartialEq> RTree<D, T> {
+    /// Removes one entry exactly matching `(rect, value)`. Returns whether
+    /// an entry was removed. Underflowing nodes are condensed: their
+    /// remaining entries are re-inserted, preserving balance.
+    pub fn remove(&mut self, rect: &Rect<D>, value: &T) -> bool {
+        let mut orphans: Vec<(Rect<D>, T)> = Vec::new();
+        let removed = remove_from(&mut self.root, rect, value, &mut orphans);
+        if !removed {
+            debug_assert!(orphans.is_empty());
+            return false;
+        }
+        self.len -= 1;
+        // Shrink the root while it is an inner node with a single child.
+        loop {
+            match &mut self.root {
+                Node::Inner(children) if children.len() == 1 => {
+                    let (_, child) = children.pop().expect("len checked");
+                    self.root = *child;
+                }
+                Node::Inner(children) if children.is_empty() => {
+                    self.root = Node::Leaf(Vec::new());
+                    break;
+                }
+                _ => break,
+            }
+        }
+        // Re-insert entries from condensed subtrees.
+        let n_orphans = orphans.len();
+        for (r, v) in orphans {
+            self.insert(r, v);
+        }
+        self.len -= n_orphans; // insert() counted them again
+        true
+    }
+}
+
+/// Recursive insert. Returns `Some((left, right))` when the node split.
+fn insert_into<const D: usize, T>(
+    node: &mut Node<D, T>,
+    rect: Rect<D>,
+    value: T,
+) -> Option<(Node<D, T>, Node<D, T>)> {
+    match node {
+        Node::Leaf(entries) => {
+            entries.push((rect, value));
+            if entries.len() > MAX_ENTRIES {
+                let (a, b) = quadratic_split(std::mem::take(entries));
+                Some((Node::Leaf(a), Node::Leaf(b)))
+            } else {
+                None
+            }
+        }
+        Node::Inner(children) => {
+            let idx = choose_subtree(children, &rect);
+            let split = insert_into(&mut children[idx].1, rect, value);
+            match split {
+                None => {
+                    // Refresh the child's MBR.
+                    children[idx].0 = children[idx].1.mbr();
+                    None
+                }
+                Some((left, right)) => {
+                    let lr = left.mbr();
+                    let rr = right.mbr();
+                    children[idx] = (lr, Box::new(left));
+                    children.push((rr, Box::new(right)));
+                    if children.len() > MAX_ENTRIES {
+                        let (a, b) = quadratic_split(std::mem::take(children));
+                        Some((Node::Inner(a), Node::Inner(b)))
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Least-enlargement descent (ties broken by smaller area).
+fn choose_subtree<const D: usize, T>(
+    children: &[(Rect<D>, Box<Node<D, T>>)],
+    rect: &Rect<D>,
+) -> usize {
+    let mut best = 0;
+    let mut best_enlargement = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, (mbr, _)) in children.iter().enumerate() {
+        let area = mbr.area();
+        let enlargement = mbr.union(rect).area() - area;
+        if enlargement < best_enlargement
+            || (enlargement == best_enlargement && area < best_area)
+        {
+            best = i;
+            best_enlargement = enlargement;
+            best_area = area;
+        }
+    }
+    best
+}
+
+/// Guttman's quadratic split over any entry kind with a rectangle key.
+fn quadratic_split<const D: usize, E>(
+    entries: Vec<(Rect<D>, E)>,
+) -> (Vec<(Rect<D>, E)>, Vec<(Rect<D>, E)>) {
+    debug_assert!(entries.len() >= 2);
+    // Pick the pair of seeds wasting the most area together.
+    let mut seed_a = 0;
+    let mut seed_b = 1;
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let waste = entries[i].0.union(&entries[j].0).area()
+                - entries[i].0.area()
+                - entries[j].0.area();
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+    let mut remaining = entries;
+    // Remove the higher index first so the lower stays valid.
+    let entry_b = remaining.swap_remove(seed_a.max(seed_b));
+    let entry_a = remaining.swap_remove(seed_a.min(seed_b));
+    let mut group_a = vec![entry_a];
+    let mut group_b = vec![entry_b];
+    let mut mbr_a = group_a[0].0.clone();
+    let mut mbr_b = group_b[0].0.clone();
+
+    while let Some(entry) = remaining.pop() {
+        let slack = remaining.len() + 1;
+        // Force assignment if a group must take all remaining entries to
+        // reach the minimum fill.
+        if group_a.len() + slack <= MIN_ENTRIES {
+            mbr_a = mbr_a.union(&entry.0);
+            group_a.push(entry);
+            continue;
+        }
+        if group_b.len() + slack <= MIN_ENTRIES {
+            mbr_b = mbr_b.union(&entry.0);
+            group_b.push(entry);
+            continue;
+        }
+        let grow_a = mbr_a.union(&entry.0).area() - mbr_a.area();
+        let grow_b = mbr_b.union(&entry.0).area() - mbr_b.area();
+        if grow_a < grow_b || (grow_a == grow_b && group_a.len() <= group_b.len()) {
+            mbr_a = mbr_a.union(&entry.0);
+            group_a.push(entry);
+        } else {
+            mbr_b = mbr_b.union(&entry.0);
+            group_b.push(entry);
+        }
+    }
+    (group_a, group_b)
+}
+
+/// Recursive removal; condenses underflowing subtrees into `orphans`.
+fn remove_from<const D: usize, T: PartialEq>(
+    node: &mut Node<D, T>,
+    rect: &Rect<D>,
+    value: &T,
+    orphans: &mut Vec<(Rect<D>, T)>,
+) -> bool {
+    match node {
+        Node::Leaf(entries) => {
+            if let Some(pos) = entries.iter().position(|(r, v)| r == rect && v == value) {
+                entries.remove(pos);
+                true
+            } else {
+                false
+            }
+        }
+        Node::Inner(children) => {
+            for i in 0..children.len() {
+                if !children[i].0.contains(rect) {
+                    continue;
+                }
+                if remove_from(&mut children[i].1, rect, value, orphans) {
+                    if children[i].1.len() < MIN_ENTRIES {
+                        // Condense: drop the child, re-insert its entries.
+                        let (_, child) = children.remove(i);
+                        collect_entries(*child, orphans);
+                    } else {
+                        children[i].0 = children[i].1.mbr();
+                    }
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+fn collect_entries<const D: usize, T>(node: Node<D, T>, out: &mut Vec<(Rect<D>, T)>) {
+    match node {
+        Node::Leaf(entries) => out.extend(entries),
+        Node::Inner(children) => {
+            for (_, child) in children {
+                collect_entries(*child, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval(lo: f64, hi: f64) -> Rect<1> {
+        Rect::new([lo], [hi])
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: RTree<1, u32> = RTree::new();
+        assert!(tree.is_empty());
+        assert_eq!(tree.covering_vec(&interval(0.0, 1.0)).len(), 0);
+    }
+
+    #[test]
+    fn covering_finds_subsuming_intervals() {
+        let mut tree = RTree::new();
+        tree.insert(interval(0.0, 100.0), 1u32);
+        tree.insert(interval(10.0, 20.0), 2);
+        tree.insert(interval(40.0, 90.0), 3);
+        // Query [45, 60] is covered by [0,100] and [40,90], not [10,20].
+        let mut found: Vec<u32> =
+            tree.covering_vec(&interval(45.0, 60.0)).iter().map(|(_, v)| **v).collect();
+        found.sort_unstable();
+        assert_eq!(found, vec![1, 3]);
+    }
+
+    #[test]
+    fn covering_is_inclusive_at_boundaries() {
+        let mut tree = RTree::new();
+        tree.insert(interval(10.0, 20.0), 1u32);
+        assert_eq!(tree.covering_vec(&interval(10.0, 20.0)).len(), 1);
+        assert_eq!(tree.covering_vec(&interval(10.0, 20.1)).len(), 0);
+        assert_eq!(tree.covering_vec(&interval(9.9, 20.0)).len(), 0);
+    }
+
+    #[test]
+    fn intersecting_window_queries() {
+        let mut tree = RTree::new();
+        for i in 0..20 {
+            tree.insert(interval(i as f64, i as f64 + 1.0), i);
+        }
+        let mut hits = Vec::new();
+        tree.intersecting(&interval(5.5, 7.5), &mut |_, v| hits.push(*v));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn split_keeps_all_entries_queryable() {
+        let mut tree = RTree::new();
+        for i in 0..200 {
+            let lo = (i % 50) as f64;
+            tree.insert(interval(lo, lo + 10.0), i);
+        }
+        assert_eq!(tree.len(), 200);
+        let mut count = 0;
+        tree.for_each(&mut |_, _| count += 1);
+        assert_eq!(count, 200);
+        // Every inserted interval covers its own center point.
+        for i in 0..50 {
+            let center = i as f64 + 5.0;
+            let covering = tree.covering_vec(&interval(center, center));
+            assert!(!covering.is_empty(), "no cover for {center}");
+        }
+    }
+
+    #[test]
+    fn tree_stays_balanced_and_shallow() {
+        let mut tree = RTree::new();
+        for i in 0..1000 {
+            tree.insert(interval(i as f64, i as f64 + 2.0), i);
+        }
+        // Leaves at uniform depth by construction; height is logarithmic:
+        // 1000 entries with fanout >= 3 must fit in height <= 8.
+        assert!(tree.height() <= 8, "height {}", tree.height());
+    }
+
+    #[test]
+    fn remove_deletes_exactly_one_entry() {
+        let mut tree = RTree::new();
+        tree.insert(interval(0.0, 10.0), 1u32);
+        tree.insert(interval(0.0, 10.0), 2);
+        assert!(tree.remove(&interval(0.0, 10.0), &1));
+        assert_eq!(tree.len(), 1);
+        assert!(!tree.remove(&interval(0.0, 10.0), &1));
+        let found = tree.covering_vec(&interval(1.0, 2.0));
+        assert_eq!(found.len(), 1);
+        assert_eq!(*found[0].1, 2);
+    }
+
+    #[test]
+    fn remove_many_then_queries_stay_correct() {
+        let mut tree = RTree::new();
+        for i in 0..300i64 {
+            tree.insert(interval(i as f64, (i + 5) as f64), i);
+        }
+        for i in (0..300).step_by(2) {
+            assert!(tree.remove(&interval(i as f64, (i + 5) as f64), &i), "remove {i}");
+        }
+        assert_eq!(tree.len(), 150);
+        let mut hits = Vec::new();
+        tree.intersecting(&interval(0.0, 300.0), &mut |_, v| hits.push(*v));
+        assert_eq!(hits.len(), 150);
+        assert!(hits.iter().all(|v| v % 2 == 1));
+    }
+
+    #[test]
+    fn two_dimensional_rectangles() {
+        let mut tree: RTree<2, &str> = RTree::new();
+        tree.insert(Rect::new([0.0, 0.0], [10.0, 10.0]), "big");
+        tree.insert(Rect::new([2.0, 2.0], [4.0, 4.0]), "small");
+        let found = tree.covering_vec(&Rect::new([3.0, 3.0], [3.5, 3.5]));
+        assert_eq!(found.len(), 2);
+        let found = tree.covering_vec(&Rect::new([5.0, 5.0], [6.0, 6.0]));
+        assert_eq!(found.len(), 1);
+        assert_eq!(*found[0].1, "big");
+    }
+
+    #[test]
+    fn degenerate_identical_rects() {
+        let mut tree = RTree::new();
+        for i in 0..50 {
+            tree.insert(interval(1.0, 2.0), i);
+        }
+        assert_eq!(tree.len(), 50);
+        assert_eq!(tree.covering_vec(&interval(1.5, 1.5)).len(), 50);
+        for i in 0..50 {
+            assert!(tree.remove(&interval(1.0, 2.0), &i));
+        }
+        assert!(tree.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn interval_strategy() -> impl Strategy<Value = (f64, f64)> {
+        (-1000.0f64..1000.0, 0.0f64..100.0).prop_map(|(lo, w)| (lo, lo + w))
+    }
+
+    proptest! {
+        #[test]
+        fn covering_matches_linear_scan(
+            intervals in prop::collection::vec(interval_strategy(), 1..120),
+            query in interval_strategy(),
+        ) {
+            let mut tree = RTree::new();
+            for (i, &(lo, hi)) in intervals.iter().enumerate() {
+                tree.insert(Rect::new([lo], [hi]), i);
+            }
+            let q = Rect::new([query.0], [query.1]);
+            let mut got: Vec<usize> =
+                tree.covering_vec(&q).iter().map(|(_, v)| **v).collect();
+            got.sort_unstable();
+            let mut expected: Vec<usize> = intervals
+                .iter()
+                .enumerate()
+                .filter(|(_, &(lo, hi))| lo <= query.0 && hi >= query.1)
+                .map(|(i, _)| i)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn insert_remove_roundtrip(
+            intervals in prop::collection::vec(interval_strategy(), 1..80),
+            remove_mask in prop::collection::vec(any::<bool>(), 1..80),
+        ) {
+            let mut tree = RTree::new();
+            for (i, &(lo, hi)) in intervals.iter().enumerate() {
+                tree.insert(Rect::new([lo], [hi]), i);
+            }
+            let mut kept = Vec::new();
+            for (i, &(lo, hi)) in intervals.iter().enumerate() {
+                if remove_mask.get(i).copied().unwrap_or(false) {
+                    prop_assert!(tree.remove(&Rect::new([lo], [hi]), &i));
+                } else {
+                    kept.push(i);
+                }
+            }
+            prop_assert_eq!(tree.len(), kept.len());
+            let mut remaining = Vec::new();
+            tree.for_each(&mut |_, v| remaining.push(*v));
+            remaining.sort_unstable();
+            prop_assert_eq!(remaining, kept);
+        }
+
+        #[test]
+        fn intersecting_matches_linear_scan(
+            intervals in prop::collection::vec(interval_strategy(), 1..120),
+            query in interval_strategy(),
+        ) {
+            let mut tree = RTree::new();
+            for (i, &(lo, hi)) in intervals.iter().enumerate() {
+                tree.insert(Rect::new([lo], [hi]), i);
+            }
+            let q = Rect::new([query.0], [query.1]);
+            let mut got = Vec::new();
+            tree.intersecting(&q, &mut |_, v| got.push(*v));
+            got.sort_unstable();
+            let mut expected: Vec<usize> = intervals
+                .iter()
+                .enumerate()
+                .filter(|(_, &(lo, hi))| lo <= query.1 && hi >= query.0)
+                .map(|(i, _)| i)
+                .collect();
+            expected.sort_unstable();
+            prop_assert_eq!(got, expected);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Axis-aligned rectangles (intervals for `D = 1`).
+
+/// An axis-aligned, closed rectangle in `D` dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rect<const D: usize> {
+    pub min: [f64; D],
+    pub max: [f64; D],
+}
+
+impl<const D: usize> Rect<D> {
+    /// A rectangle from corner points. Debug-asserts `min <= max`.
+    pub fn new(min: [f64; D], max: [f64; D]) -> Self {
+        debug_assert!(min.iter().zip(&max).all(|(a, b)| a <= b), "min must be <= max");
+        Rect { min, max }
+    }
+
+    /// The empty rectangle (inverted bounds); identity for [`Self::union`].
+    pub fn empty() -> Self {
+        Rect { min: [f64::INFINITY; D], max: [f64::NEG_INFINITY; D] }
+    }
+
+    /// A degenerate point rectangle.
+    pub fn point(p: [f64; D]) -> Self {
+        Rect { min: p, max: p }
+    }
+
+    /// True when `self` fully contains `other` (closed bounds).
+    pub fn contains(&self, other: &Rect<D>) -> bool {
+        self.min.iter().zip(&other.min).all(|(a, b)| a <= b)
+            && self.max.iter().zip(&other.max).all(|(a, b)| a >= b)
+    }
+
+    /// True when the rectangles share at least one point.
+    pub fn intersects(&self, other: &Rect<D>) -> bool {
+        self.min.iter().zip(&other.max).all(|(a, b)| a <= b)
+            && self.max.iter().zip(&other.min).all(|(a, b)| a >= b)
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect<D>) -> Rect<D> {
+        let mut min = self.min;
+        let mut max = self.max;
+        for d in 0..D {
+            min[d] = min[d].min(other.min[d]);
+            max[d] = max[d].max(other.max[d]);
+        }
+        Rect { min, max }
+    }
+
+    /// Union over an iterator of rectangles.
+    pub fn union_all<'a>(rects: impl Iterator<Item = &'a Rect<D>>) -> Option<Rect<D>> {
+        let mut out: Option<Rect<D>> = None;
+        for r in rects {
+            out = Some(match out {
+                None => r.clone(),
+                Some(acc) => acc.union(r),
+            });
+        }
+        out
+    }
+
+    /// Volume (product of extents). Degenerate extents contribute a small
+    /// epsilon so point-like rectangles still order by spread.
+    pub fn area(&self) -> f64 {
+        let mut area = 1.0;
+        for d in 0..D {
+            let extent = (self.max[d] - self.min[d]).max(1e-9);
+            area *= extent;
+        }
+        area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_is_closed() {
+        let a: Rect<1> = Rect::new([0.0], [10.0]);
+        assert!(a.contains(&Rect::new([0.0], [10.0])));
+        assert!(a.contains(&Rect::new([3.0], [7.0])));
+        assert!(!a.contains(&Rect::new([-0.1], [7.0])));
+        assert!(!a.contains(&Rect::new([3.0], [10.1])));
+    }
+
+    #[test]
+    fn intersection_touching_edges() {
+        let a: Rect<1> = Rect::new([0.0], [5.0]);
+        assert!(a.intersects(&Rect::new([5.0], [9.0])));
+        assert!(!a.intersects(&Rect::new([5.1], [9.0])));
+        assert!(a.intersects(&Rect::new([-2.0], [0.0])));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a: Rect<2> = Rect::new([0.0, 5.0], [2.0, 6.0]);
+        let b: Rect<2> = Rect::new([1.0, 1.0], [9.0, 5.5]);
+        let u = a.union(&b);
+        assert!(u.contains(&a));
+        assert!(u.contains(&b));
+        assert_eq!(u, Rect::new([0.0, 1.0], [9.0, 6.0]));
+    }
+
+    #[test]
+    fn empty_is_union_identity() {
+        let a: Rect<1> = Rect::new([2.0], [4.0]);
+        assert_eq!(Rect::empty().union(&a), a);
+    }
+
+    #[test]
+    fn union_all_of_none_is_none() {
+        let rects: Vec<Rect<1>> = vec![];
+        assert!(Rect::union_all(rects.iter()).is_none());
+    }
+
+    #[test]
+    fn area_of_point_is_positive() {
+        let p: Rect<2> = Rect::point([3.0, 4.0]);
+        assert!(p.area() > 0.0);
+        let r: Rect<2> = Rect::new([0.0, 0.0], [2.0, 3.0]);
+        assert_eq!(r.area(), 6.0);
+    }
+}

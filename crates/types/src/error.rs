@@ -1,0 +1,102 @@
+//! Error type shared across the ReCache workspace.
+
+use std::fmt;
+
+/// Unified error for parsing, planning and execution failures.
+#[derive(Debug)]
+pub enum Error {
+    /// Malformed raw data (CSV/JSON) or SQL text. `at` is a byte offset
+    /// into the input when known.
+    Parse { msg: String, at: Option<usize> },
+    /// Schema resolution failure: unknown field, type mismatch, etc.
+    Schema(String),
+    /// Logical planning failure (unresolvable query shape).
+    Plan(String),
+    /// Runtime execution failure.
+    Exec(String),
+    /// Underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl Error {
+    /// Convenience constructor for parse errors without a position.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse { msg: msg.into(), at: None }
+    }
+
+    /// Convenience constructor for parse errors at a byte offset.
+    pub fn parse_at(msg: impl Into<String>, at: usize) -> Self {
+        Error::Parse { msg: msg.into(), at: Some(at) }
+    }
+
+    /// Convenience constructor for schema errors.
+    pub fn schema(msg: impl Into<String>) -> Self {
+        Error::Schema(msg.into())
+    }
+
+    /// Convenience constructor for planning errors.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        Error::Plan(msg.into())
+    }
+
+    /// Convenience constructor for execution errors.
+    pub fn exec(msg: impl Into<String>) -> Self {
+        Error::Exec(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { msg, at: Some(at) } => write!(f, "parse error at byte {at}: {msg}"),
+            Error::Parse { msg, at: None } => write!(f, "parse error: {msg}"),
+            Error::Schema(msg) => write!(f, "schema error: {msg}"),
+            Error::Plan(msg) => write!(f, "plan error: {msg}"),
+            Error::Exec(msg) => write!(f, "execution error: {msg}"),
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(Error::parse("bad token").to_string(), "parse error: bad token");
+        assert_eq!(
+            Error::parse_at("bad token", 42).to_string(),
+            "parse error at byte 42: bad token"
+        );
+        assert_eq!(Error::schema("no field x").to_string(), "schema error: no field x");
+        assert_eq!(Error::plan("no table").to_string(), "plan error: no table");
+        assert_eq!(Error::exec("boom").to_string(), "execution error: boom");
+    }
+
+    #[test]
+    fn io_error_round_trips_through_source() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: Error = io.into();
+        assert!(err.to_string().contains("gone"));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

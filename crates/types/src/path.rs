@@ -1,0 +1,120 @@
+//! Dotted field paths (`lineitems.l_quantity`). List layers are traversed
+//! implicitly, following Dremel's path convention.
+
+use std::fmt;
+
+/// A path from the schema root to a (possibly nested) field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FieldPath {
+    steps: Vec<String>,
+}
+
+impl FieldPath {
+    /// Builds a path from pre-split steps.
+    pub fn from_steps(steps: Vec<String>) -> Self {
+        FieldPath { steps }
+    }
+
+    /// Parses a dotted path such as `"a.b.c"`.
+    pub fn parse(text: &str) -> Self {
+        FieldPath { steps: text.split('.').map(str::to_owned).collect() }
+    }
+
+    /// A single-step path (top-level field).
+    pub fn root(name: impl Into<String>) -> Self {
+        FieldPath { steps: vec![name.into()] }
+    }
+
+    pub fn steps(&self) -> &[String] {
+        &self.steps
+    }
+
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// First step (top-level field name).
+    pub fn head(&self) -> &str {
+        &self.steps[0]
+    }
+
+    /// Last step (leaf field name).
+    pub fn leaf_name(&self) -> &str {
+        self.steps.last().expect("paths are non-empty")
+    }
+
+    /// Path extended by one more step.
+    pub fn child(&self, step: impl Into<String>) -> Self {
+        let mut steps = self.steps.clone();
+        steps.push(step.into());
+        FieldPath { steps }
+    }
+
+    /// True if `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &FieldPath) -> bool {
+        other.steps.len() >= self.steps.len()
+            && self.steps.iter().zip(&other.steps).all(|(a, b)| a == b)
+    }
+}
+
+impl fmt::Display for FieldPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.steps.join("."))
+    }
+}
+
+impl From<&str> for FieldPath {
+    fn from(text: &str) -> Self {
+        FieldPath::parse(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let p = FieldPath::parse("a.b.c");
+        assert_eq!(p.steps(), ["a", "b", "c"]);
+        assert_eq!(p.to_string(), "a.b.c");
+        assert_eq!(p.head(), "a");
+        assert_eq!(p.leaf_name(), "c");
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn single_step_path() {
+        let p = FieldPath::root("x");
+        assert_eq!(p.head(), "x");
+        assert_eq!(p.leaf_name(), "x");
+        assert_eq!(p.to_string(), "x");
+    }
+
+    #[test]
+    fn child_extends() {
+        let p = FieldPath::root("a").child("b");
+        assert_eq!(p.to_string(), "a.b");
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let a = FieldPath::parse("a.b");
+        let ab = FieldPath::parse("a.b.c");
+        let other = FieldPath::parse("a.x.c");
+        assert!(a.is_prefix_of(&ab));
+        assert!(a.is_prefix_of(&a));
+        assert!(!ab.is_prefix_of(&a));
+        assert!(!a.is_prefix_of(&other));
+    }
+
+    #[test]
+    fn from_str_conversion() {
+        let p: FieldPath = "m.n".into();
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,297 @@
+//! Dynamically typed values with SQL-style comparison semantics.
+
+use crate::datatype::ScalarType;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically typed value. Struct values store children in schema field
+/// order (names live in the schema, not the value).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    List(Vec<Value>),
+    Struct(Vec<Value>),
+}
+
+/// A flat row of scalar values, ordered by [`crate::Schema::leaves`].
+pub type Row = Vec<Value>;
+
+impl Value {
+    /// The scalar type of this value, if it is a scalar.
+    pub fn scalar_type(&self) -> Option<ScalarType> {
+        match self {
+            Value::Bool(_) => Some(ScalarType::Bool),
+            Value::Int(_) => Some(ScalarType::Int),
+            Value::Float(_) => Some(ScalarType::Float),
+            Value::Str(_) => Some(ScalarType::Str),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer view; `Float` truncates.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Float(v) => Some(*v as i64),
+            Value::Bool(b) => Some(i64::from(*b)),
+            _ => None,
+        }
+    }
+
+    /// Numeric view used by range predicates and aggregates.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(v) => Some(*v),
+            Value::Bool(b) => Some(f64::from(u8::from(*b))),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Total order used by the engine: `Null` sorts first; numerics compare
+    /// across `Int`/`Float`; mismatched types compare by type rank so sorts
+    /// never panic.
+    pub fn cmp_sql(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+
+    /// SQL equality: `Null` is not equal to anything, numerics compare
+    /// across `Int`/`Float`.
+    pub fn eq_sql(&self, other: &Value) -> bool {
+        if self.is_null() || other.is_null() {
+            return false;
+        }
+        self.cmp_sql(other) == Ordering::Equal
+    }
+
+    /// The default value used when a nullable field is absent.
+    pub fn null() -> Value {
+        Value::Null
+    }
+
+    /// Approximate in-memory footprint in bytes, used by cache size
+    /// accounting for row-form data.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Str(s) => 16 + s.len(),
+            Value::List(items) => 24 + items.iter().map(Value::byte_size).sum::<usize>(),
+            Value::Struct(items) => 24 + items.iter().map(Value::byte_size).sum::<usize>(),
+        }
+    }
+
+    /// Coerces a scalar to the given type where a lossless or standard
+    /// conversion exists; otherwise returns `Null`.
+    pub fn coerce(&self, target: ScalarType) -> Value {
+        match (self, target) {
+            (Value::Null, _) => Value::Null,
+            (Value::Int(v), ScalarType::Int) => Value::Int(*v),
+            (Value::Int(v), ScalarType::Float) => Value::Float(*v as f64),
+            (Value::Float(v), ScalarType::Float) => Value::Float(*v),
+            (Value::Float(v), ScalarType::Int) => Value::Int(*v as i64),
+            (Value::Bool(b), ScalarType::Bool) => Value::Bool(*b),
+            (Value::Str(s), ScalarType::Str) => Value::Str(s.clone()),
+            (Value::Int(v), ScalarType::Str) => Value::Str(v.to_string()),
+            (Value::Float(v), ScalarType::Str) => Value::Str(v.to_string()),
+            _ => Value::Null,
+        }
+    }
+
+    /// Default (zero) value for a scalar type, used by typed column
+    /// builders for null slots.
+    pub fn zero(ty: ScalarType) -> Value {
+        match ty {
+            ScalarType::Bool => Value::Bool(false),
+            ScalarType::Int => Value::Int(0),
+            ScalarType::Float => Value::Float(0.0),
+            ScalarType::Str => Value::Str(String::new()),
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Float(_) => 2, // same rank as Int: numerics inter-compare
+        Value::Str(_) => 3,
+        Value::List(_) => 4,
+        Value::Struct(_) => 5,
+    }
+}
+
+impl fmt::Display for Value {
+    /// JSON-compatible rendering (structs render as arrays because field
+    /// names live in the schema).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => write!(f, "\"{}\"", s.escape_default()),
+            Value::List(items) | Value::Struct(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(Value::Int(3).cmp_sql(&Value::Float(3.0)), Ordering::Equal);
+        assert_eq!(Value::Int(3).cmp_sql(&Value::Float(3.5)), Ordering::Less);
+        assert_eq!(Value::Float(4.0).cmp_sql(&Value::Int(3)), Ordering::Greater);
+        assert!(Value::Int(3).eq_sql(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn null_ordering_and_equality() {
+        assert_eq!(Value::Null.cmp_sql(&Value::Int(0)), Ordering::Less);
+        assert_eq!(Value::Int(0).cmp_sql(&Value::Null), Ordering::Greater);
+        assert!(!Value::Null.eq_sql(&Value::Null));
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn string_comparison() {
+        assert_eq!(Value::from("abc").cmp_sql(&Value::from("abd")), Ordering::Less);
+        assert!(Value::from("x").eq_sql(&Value::from("x")));
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Float(7.9).as_i64(), Some(7));
+        assert_eq!(Value::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Value::from("x").as_f64(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn byte_sizes_are_monotone_in_content() {
+        assert!(Value::from("hello").byte_size() > Value::from("").byte_size());
+        let list = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        assert!(list.byte_size() > Value::Int(1).byte_size());
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(3).coerce(ScalarType::Float), Value::Float(3.0));
+        assert_eq!(Value::Float(3.7).coerce(ScalarType::Int), Value::Int(3));
+        assert_eq!(Value::Int(3).coerce(ScalarType::Str), Value::from("3"));
+        assert_eq!(Value::from("x").coerce(ScalarType::Int), Value::Null);
+        assert_eq!(Value::Null.coerce(ScalarType::Int), Value::Null);
+    }
+
+    #[test]
+    fn display_is_json_compatible_for_scalars() {
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(1.5).to_string(), "1.5");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::from("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(), "[1,2]");
+    }
+
+    #[test]
+    fn zero_values_match_types() {
+        assert_eq!(Value::zero(ScalarType::Int), Value::Int(0));
+        assert_eq!(Value::zero(ScalarType::Float), Value::Float(0.0));
+        assert_eq!(Value::zero(ScalarType::Bool), Value::Bool(false));
+        assert_eq!(Value::zero(ScalarType::Str), Value::Str(String::new()));
+    }
+
+    #[test]
+    fn mismatched_types_compare_by_rank_without_panic() {
+        assert_eq!(Value::Bool(true).cmp_sql(&Value::from("s")), Ordering::Less);
+        assert_eq!(Value::from("s").cmp_sql(&Value::Int(1)), Ordering::Greater);
+    }
+}

@@ -1,0 +1,105 @@
+//! Deterministic query-workload generators for the ReCache evaluation.
+//!
+//! Every figure in §6 of the paper runs a specific query mix; this crate
+//! generates those mixes as [`QuerySpec`]s (the same structures the
+//! session executes), plus the [`oracle`] the offline eviction baselines
+//! need.
+
+pub mod domains;
+pub mod mixed;
+pub mod oracle;
+pub mod spa;
+pub mod spj;
+
+pub use domains::Domains;
+pub use mixed::{mixed_spa_workload, spam_mixed_workload, SpamMixConfig};
+pub use oracle::WorkloadOracle;
+pub use spa::{spa_workload, PoolPhase, SpaConfig};
+pub use spj::{tpch_spj_workload, SpjConfig};
+
+use recache_engine::plan::AggFunc;
+use recache_engine::sql::{PredClause, QuerySpec};
+
+/// Renders a generated spec back to SQL (for logging and examples).
+pub fn spec_to_sql(spec: &QuerySpec) -> String {
+    let mut out = String::from("SELECT ");
+    let aggs: Vec<String> = spec
+        .aggregates
+        .iter()
+        .map(|(func, path)| match path {
+            Some(p) => format!("{}({})", func.name(), p),
+            None => format!("{}(*)", func.name()),
+        })
+        .collect();
+    out.push_str(&aggs.join(", "));
+    out.push_str(" FROM ");
+    out.push_str(&spec.tables.join(", "));
+    let mut clauses: Vec<String> = Vec::new();
+    for (l, r) in &spec.joins {
+        clauses.push(format!("{l} = {r}"));
+    }
+    for pred in &spec.predicates {
+        match pred {
+            PredClause::Cmp { path, op, value } => {
+                clauses.push(format!("{path} {} {value}", op.symbol()));
+            }
+            PredClause::Between { path, lo, hi } => {
+                clauses.push(format!("{path} BETWEEN {lo} AND {hi}"));
+            }
+        }
+    }
+    if !clauses.is_empty() {
+        out.push_str(" WHERE ");
+        out.push_str(&clauses.join(" AND "));
+    }
+    out
+}
+
+/// Aggregate function pool used by the generators.
+pub(crate) const AGG_FUNCS: [AggFunc; 4] =
+    [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_engine::sql::parse_query;
+    use recache_types::FieldPath;
+    use recache_types::Value;
+
+    #[test]
+    fn spec_to_sql_round_trips_through_parser() {
+        let spec = QuerySpec {
+            aggregates: vec![
+                (AggFunc::Sum, Some(FieldPath::parse("lineitems.l_quantity"))),
+                (AggFunc::Count, None),
+            ],
+            tables: vec!["orderLineitems".into()],
+            predicates: vec![PredClause::Between {
+                path: FieldPath::parse("o_totalprice"),
+                lo: Value::Float(10.5),
+                hi: Value::Float(99.25),
+            }],
+            joins: vec![],
+        };
+        let sql = spec_to_sql(&spec);
+        let parsed = parse_query(&sql).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn spec_to_sql_renders_joins() {
+        let spec = QuerySpec {
+            aggregates: vec![(AggFunc::Count, None)],
+            tables: vec!["orders".into(), "lineitem".into()],
+            predicates: vec![],
+            joins: vec![(
+                FieldPath::parse("orders.o_orderkey"),
+                FieldPath::parse("lineitem.l_orderkey"),
+            )],
+        };
+        let sql = spec_to_sql(&spec);
+        assert!(sql.contains("orders.o_orderkey = lineitem.l_orderkey"));
+        let parsed = parse_query(&sql).unwrap();
+        assert_eq!(parsed.joins.len(), 1);
+    }
+}

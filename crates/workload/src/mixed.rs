@@ -1,0 +1,225 @@
+//! Mixed workloads over heterogeneous sources (Figs. 10, 11, 15).
+//!
+//! * [`mixed_spa_workload`] — SPA queries spread over several tables
+//!   (Yelp's business/user/review), with a controlled fraction of
+//!   nested-attribute queries;
+//! * [`spam_mixed_workload`] — the Symantec mix: a controlled fraction of
+//!   queries over JSON vs CSV, a controlled fraction of nested-attribute
+//!   queries, and a fraction of JSON⋈CSV joins on the shared `id` key.
+
+use crate::domains::Domains;
+use crate::spa::{spa_workload, PoolPhase, SpaConfig};
+use crate::AGG_FUNCS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recache_engine::sql::{PredClause, QuerySpec};
+use recache_types::{FieldPath, Value};
+
+/// SPA queries over several tables; each query picks a table uniformly
+/// and accesses nested attributes with probability `nested_fraction`.
+pub fn mixed_spa_workload(
+    tables: &[(&str, &Domains)],
+    nested_fraction: f64,
+    count: usize,
+    config: &SpaConfig,
+    seed: u64,
+) -> Vec<QuerySpec> {
+    assert!(!tables.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x007a_b1e5);
+    // Pre-generate a pool per table, then interleave by random table
+    // choice so per-table sequences stay deterministic.
+    let pools: Vec<Vec<QuerySpec>> = tables
+        .iter()
+        .enumerate()
+        .map(|(i, (name, domains))| {
+            spa_workload(
+                name,
+                domains,
+                &[(PoolPhase::NestedFraction(nested_fraction), count)],
+                config,
+                seed ^ ((i as u64 + 1) * 0x9e37_79b9),
+            )
+        })
+        .collect();
+    let mut cursors = vec![0usize; tables.len()];
+    (0..count)
+        .map(|_| {
+            let t = rng.random_range(0..tables.len());
+            let spec = pools[t][cursors[t]].clone();
+            cursors[t] += 1;
+            spec
+        })
+        .collect()
+}
+
+/// Configuration for the Symantec-style mix.
+#[derive(Debug, Clone, Copy)]
+pub struct SpamMixConfig {
+    /// Fraction of non-join queries that run over the JSON component.
+    pub json_fraction: f64,
+    /// Fraction of JSON queries that access nested attributes.
+    pub nested_fraction: f64,
+    /// Fraction of queries that are JSON⋈CSV joins on `id`.
+    pub join_fraction: f64,
+    pub spa: SpaConfig,
+}
+
+impl Default for SpamMixConfig {
+    fn default() -> Self {
+        SpamMixConfig {
+            json_fraction: 0.9,
+            nested_fraction: 0.5,
+            join_fraction: 0.1,
+            spa: SpaConfig::default(),
+        }
+    }
+}
+
+/// Generates the Symantec mix over `(json_table, csv_table)`.
+pub fn spam_mixed_workload(
+    json_table: &str,
+    json_domains: &Domains,
+    csv_table: &str,
+    csv_domains: &Domains,
+    count: usize,
+    config: &SpamMixConfig,
+    seed: u64,
+) -> Vec<QuerySpec> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x005e_ca5e);
+    let json_pool = spa_workload(
+        json_table,
+        json_domains,
+        &[(PoolPhase::NestedFraction(config.nested_fraction), count)],
+        &config.spa,
+        seed ^ 0x11,
+    );
+    let csv_pool = spa_workload(
+        csv_table,
+        csv_domains,
+        &[(PoolPhase::NonNestedOnly, count)],
+        &config.spa,
+        seed ^ 0x22,
+    );
+    let mut json_cursor = 0usize;
+    let mut csv_cursor = 0usize;
+    (0..count)
+        .map(|_| {
+            if rng.random::<f64>() < config.join_fraction {
+                gen_join(
+                    json_table,
+                    json_domains,
+                    csv_table,
+                    csv_domains,
+                    &config.spa,
+                    &mut rng,
+                )
+            } else if rng.random::<f64>() < config.json_fraction {
+                let spec = json_pool[json_cursor].clone();
+                json_cursor += 1;
+                spec
+            } else {
+                let spec = csv_pool[csv_cursor].clone();
+                csv_cursor += 1;
+                spec
+            }
+        })
+        .collect()
+}
+
+/// One JSON⋈CSV join on `id` with a range predicate on each side.
+fn gen_join(
+    json_table: &str,
+    json_domains: &Domains,
+    csv_table: &str,
+    csv_domains: &Domains,
+    spa: &SpaConfig,
+    rng: &mut StdRng,
+) -> QuerySpec {
+    let mut predicates = Vec::new();
+    let mut aggregates = Vec::new();
+    for (table, domains) in [(json_table, json_domains), (csv_table, csv_domains)] {
+        let pool = domains.numeric_leaves(false);
+        let leaf = pool[rng.random_range(0..pool.len())];
+        let (lo_sel, hi_sel) = spa.selectivity;
+        let selectivity = lo_sel + rng.random::<f64>() * (hi_sel - lo_sel).max(0.0);
+        let (lo, hi) = domains.interval(leaf, selectivity, rng.random::<f64>());
+        predicates.push(PredClause::Between {
+            path: qualified(table, &domains.leaves()[leaf].path),
+            lo: Value::Float(lo),
+            hi: Value::Float(hi),
+        });
+        let agg_leaf = pool[rng.random_range(0..pool.len())];
+        aggregates.push((
+            AGG_FUNCS[rng.random_range(0..AGG_FUNCS.len())],
+            Some(qualified(table, &domains.leaves()[agg_leaf].path)),
+        ));
+    }
+    QuerySpec {
+        aggregates,
+        tables: vec![json_table.to_owned(), csv_table.to_owned()],
+        predicates,
+        joins: vec![
+            (qualified(json_table, &FieldPath::root("id")),
+             qualified(csv_table, &FieldPath::root("id"))),
+        ],
+    }
+}
+
+fn qualified(table: &str, path: &FieldPath) -> FieldPath {
+    let mut steps = vec![table.to_owned()];
+    steps.extend(path.steps().iter().cloned());
+    FieldPath::from_steps(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_data::gen::{spam, yelp};
+
+    #[test]
+    fn yelp_style_mixed_workload_spreads_tables() {
+        let business = yelp::gen_business(50, 1);
+        let user = yelp::gen_user(50, 1);
+        let bd = Domains::compute(&yelp::business_schema(), business.iter());
+        let ud = Domains::compute(&yelp::user_schema(), user.iter());
+        let specs = mixed_spa_workload(
+            &[("business", &bd), ("user", &ud)],
+            0.5,
+            100,
+            &SpaConfig::default(),
+            3,
+        );
+        assert_eq!(specs.len(), 100);
+        let business_count =
+            specs.iter().filter(|s| s.tables[0] == "business").count();
+        assert!(business_count > 20 && business_count < 80, "{business_count}");
+    }
+
+    #[test]
+    fn spam_mix_produces_joins_and_both_sources() {
+        let json = spam::gen_spam_json(200, 2);
+        let jd = Domains::compute(&spam::spam_json_schema(), json.iter());
+        let csv: Vec<Value> = spam::gen_spam_csv(200, 2)
+            .into_iter()
+            .map(Value::Struct)
+            .collect();
+        let cd = Domains::compute(&spam::spam_csv_schema(), csv.iter());
+        let config = SpamMixConfig {
+            json_fraction: 0.7,
+            nested_fraction: 0.5,
+            join_fraction: 0.2,
+            spa: SpaConfig::default(),
+        };
+        let specs = spam_mixed_workload("spam_json", &jd, "spam_csv", &cd, 200, &config, 5);
+        let joins = specs.iter().filter(|s| !s.joins.is_empty()).count();
+        assert!(joins > 15 && joins < 90, "joins {joins}");
+        let csv_only = specs
+            .iter()
+            .filter(|s| s.tables.len() == 1 && s.tables[0] == "spam_csv")
+            .count();
+        assert!(csv_only > 10, "csv {csv_only}");
+        // Determinism.
+        let again = spam_mixed_workload("spam_json", &jd, "spam_csv", &cd, 200, &config, 5);
+        assert_eq!(specs, again);
+    }
+}

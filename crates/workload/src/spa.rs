@@ -1,0 +1,235 @@
+//! Select-project-aggregate workloads over one (possibly nested) source.
+//!
+//! The Fig. 1 / Fig. 9 / Fig. 10 / Fig. 11 query shape:
+//!
+//! ```sql
+//! SELECT agg(attr_1), ..., agg(attr_n)
+//! FROM   source
+//! WHERE  <range predicates with random selectivity over randomly
+//!         chosen numeric attributes>
+//! ```
+//!
+//! Phases control which attribute pool queries draw from: *all*
+//! attributes, *non-nested only*, or a per-query mix.
+
+use crate::domains::Domains;
+use crate::AGG_FUNCS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recache_engine::sql::{PredClause, QuerySpec};
+use recache_types::Value;
+
+/// Which attribute pool a phase draws from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PoolPhase {
+    /// Attributes chosen at random from all numeric attributes.
+    AllAttrs,
+    /// Only non-nested numeric attributes.
+    NonNestedOnly,
+    /// Each query independently accesses nested attributes with this
+    /// probability (Fig. 9c uses 0.5; Fig. 10 uses 0.1 / 0.9).
+    NestedFraction(f64),
+}
+
+/// Workload shape knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SpaConfig {
+    /// Aggregates per query (1..=max).
+    pub max_aggs: usize,
+    /// Range predicates per query (1..=max).
+    pub max_predicates: usize,
+    /// Selectivity range for each predicate.
+    pub selectivity: (f64, f64),
+}
+
+impl Default for SpaConfig {
+    fn default() -> Self {
+        SpaConfig { max_aggs: 3, max_predicates: 2, selectivity: (0.05, 0.9) }
+    }
+}
+
+/// Generates an SPA workload over `table`, phase by phase.
+pub fn spa_workload(
+    table: &str,
+    domains: &Domains,
+    phases: &[(PoolPhase, usize)],
+    config: &SpaConfig,
+    seed: u64,
+) -> Vec<QuerySpec> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0057_a90a);
+    let all = domains.numeric_leaves(true);
+    let flat = domains.numeric_leaves(false);
+    let nested = domains.nested_numeric_leaves();
+    assert!(!all.is_empty(), "no numeric attributes in domain");
+    let mut out = Vec::new();
+    for &(phase, count) in phases {
+        for _ in 0..count {
+            let (pool, force_nested): (&[usize], bool) = match phase {
+                PoolPhase::AllAttrs => (&all, false),
+                PoolPhase::NonNestedOnly => (&flat, false),
+                PoolPhase::NestedFraction(p) => {
+                    if rng.random::<f64>() < p && !nested.is_empty() {
+                        // A "nested query": guaranteed to touch at least
+                        // one nested attribute.
+                        (&all, true)
+                    } else {
+                        (&flat, false)
+                    }
+                }
+            };
+            out.push(gen_query(
+                table,
+                domains,
+                pool,
+                force_nested.then_some(&nested),
+                config,
+                &mut rng,
+            ));
+        }
+    }
+    out
+}
+
+fn gen_query(
+    table: &str,
+    domains: &Domains,
+    pool: &[usize],
+    force_nested_from: Option<&Vec<usize>>,
+    config: &SpaConfig,
+    rng: &mut StdRng,
+) -> QuerySpec {
+    let leaves = domains.leaves();
+    let pick = |rng: &mut StdRng, pool: &[usize]| pool[rng.random_range(0..pool.len())];
+
+    let n_aggs = rng.random_range(1..=config.max_aggs.max(1));
+    let mut aggregates = Vec::with_capacity(n_aggs);
+    for i in 0..n_aggs {
+        // When the phase requires nested access, route the first
+        // aggregate through a nested attribute.
+        let leaf = match (i, force_nested_from) {
+            (0, Some(nested)) => nested[rng.random_range(0..nested.len())],
+            _ => pick(rng, pool),
+        };
+        let func = AGG_FUNCS[rng.random_range(0..AGG_FUNCS.len())];
+        aggregates.push((func, Some(leaves[leaf].path.clone())));
+    }
+
+    let n_preds = rng.random_range(1..=config.max_predicates.max(1));
+    let mut predicates = Vec::with_capacity(n_preds);
+    let mut used = Vec::new();
+    for _ in 0..n_preds {
+        let leaf = pick(rng, pool);
+        if used.contains(&leaf) {
+            continue;
+        }
+        used.push(leaf);
+        let (lo_sel, hi_sel) = config.selectivity;
+        let selectivity = lo_sel + rng.random::<f64>() * (hi_sel - lo_sel).max(0.0);
+        let offset = rng.random::<f64>();
+        let (lo, hi) = domains.interval(leaf, selectivity, offset);
+        predicates.push(PredClause::Between {
+            path: leaves[leaf].path.clone(),
+            lo: Value::Float(lo),
+            hi: Value::Float(hi),
+        });
+    }
+
+    QuerySpec { aggregates, tables: vec![table.to_owned()], predicates, joins: vec![] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_data::gen::tpch;
+
+    fn domains() -> Domains {
+        let records = tpch::gen_order_lineitems(0.0002, 3);
+        Domains::compute(&tpch::order_lineitems_schema(), records.iter())
+    }
+
+    fn touches_nested(spec: &QuerySpec) -> bool {
+        let nested_prefix = "lineitems.";
+        spec.aggregates
+            .iter()
+            .filter_map(|(_, p)| p.as_ref())
+            .any(|p| p.to_string().starts_with(nested_prefix))
+            || spec.predicates.iter().any(|p| match p {
+                PredClause::Between { path, .. } | PredClause::Cmp { path, .. } => {
+                    path.to_string().starts_with(nested_prefix)
+                }
+            })
+    }
+
+    #[test]
+    fn phases_control_attribute_pools() {
+        let domains = domains();
+        let specs = spa_workload(
+            "orderLineitems",
+            &domains,
+            &[(PoolPhase::AllAttrs, 50), (PoolPhase::NonNestedOnly, 50)],
+            &SpaConfig::default(),
+            7,
+        );
+        assert_eq!(specs.len(), 100);
+        // Second phase never touches nested attributes.
+        assert!(specs[50..].iter().all(|s| !touches_nested(s)));
+        // First phase touches nested attributes at least sometimes.
+        assert!(specs[..50].iter().any(touches_nested));
+    }
+
+    #[test]
+    fn nested_fraction_is_roughly_respected() {
+        let domains = domains();
+        let specs = spa_workload(
+            "orderLineitems",
+            &domains,
+            &[(PoolPhase::NestedFraction(0.9), 200)],
+            &SpaConfig::default(),
+            11,
+        );
+        let nested = specs.iter().filter(|s| touches_nested(s)).count();
+        assert!(nested > 140, "nested {nested}/200");
+        let specs = spa_workload(
+            "orderLineitems",
+            &domains,
+            &[(PoolPhase::NestedFraction(0.1), 200)],
+            &SpaConfig::default(),
+            11,
+        );
+        let nested = specs.iter().filter(|s| touches_nested(s)).count();
+        assert!(nested < 60, "nested {nested}/200");
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let domains = domains();
+        let phases = [(PoolPhase::AllAttrs, 20)];
+        let a = spa_workload("t", &domains, &phases, &SpaConfig::default(), 5);
+        let b = spa_workload("t", &domains, &phases, &SpaConfig::default(), 5);
+        assert_eq!(a, b);
+        let c = spa_workload("t", &domains, &phases, &SpaConfig::default(), 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn queries_have_sane_shape() {
+        let domains = domains();
+        let specs = spa_workload(
+            "orderLineitems",
+            &domains,
+            &[(PoolPhase::AllAttrs, 30)],
+            &SpaConfig::default(),
+            9,
+        );
+        for spec in &specs {
+            assert!(!spec.aggregates.is_empty() && spec.aggregates.len() <= 3);
+            assert!(!spec.predicates.is_empty() && spec.predicates.len() <= 2);
+            assert_eq!(spec.tables, vec!["orderLineitems"]);
+            for p in &spec.predicates {
+                if let PredClause::Between { lo, hi, .. } = p {
+                    assert!(lo.as_f64().unwrap() <= hi.as_f64().unwrap());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,330 @@
+//! The TPC-H select-project-join workload of §6 (Figs. 12–14):
+//!
+//! ```sql
+//! SELECT agg(attr_1), ..., agg(attr_n)
+//! FROM   subset of {customer, orders, lineitem, partsupp, part}
+//! WHERE  <equijoin clauses on selected tables>
+//! AND    <range predicates on each selected table with random selectivity>
+//! ```
+//!
+//! Each table is included with probability 50%; included tables are
+//! bridged into a connected join graph over the TPC-H keys.
+
+use crate::domains::Domains;
+use crate::AGG_FUNCS;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use recache_engine::sql::{PredClause, QuerySpec};
+use recache_types::{FieldPath, Value};
+use std::collections::HashMap;
+
+/// The five tables of the workload, in canonical order.
+pub const TABLES: [&str; 5] = ["customer", "orders", "lineitem", "partsupp", "part"];
+
+/// Join edges over the TPC-H schema: (table a, key a, table b, key b).
+const JOIN_EDGES: [(&str, &str, &str, &str); 5] = [
+    ("customer", "c_custkey", "orders", "o_custkey"),
+    ("orders", "o_orderkey", "lineitem", "l_orderkey"),
+    ("lineitem", "l_partkey", "part", "p_partkey"),
+    ("lineitem", "l_partkey", "partsupp", "ps_partkey"),
+    ("part", "p_partkey", "partsupp", "ps_partkey"),
+];
+
+/// Workload knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SpjConfig {
+    /// Inclusion probability per table.
+    pub include_probability: f64,
+    /// Range-predicate selectivity bounds.
+    pub selectivity: (f64, f64),
+}
+
+impl Default for SpjConfig {
+    fn default() -> Self {
+        SpjConfig { include_probability: 0.5, selectivity: (0.05, 0.9) }
+    }
+}
+
+/// Generates `count` SPJ queries. `domains` maps table name → its value
+/// domains (all five tables must be present).
+pub fn tpch_spj_workload(
+    domains: &HashMap<String, Domains>,
+    count: usize,
+    config: &SpjConfig,
+    seed: u64,
+) -> Vec<QuerySpec> {
+    for t in TABLES {
+        assert!(domains.contains_key(t), "missing domains for {t}");
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0059_10f1);
+    (0..count).map(|_| gen_query(domains, config, &mut rng)).collect()
+}
+
+fn gen_query(
+    domains: &HashMap<String, Domains>,
+    config: &SpjConfig,
+    rng: &mut StdRng,
+) -> QuerySpec {
+    // Sample the table subset (at least one).
+    let mut included: Vec<&str> = TABLES
+        .iter()
+        .copied()
+        .filter(|_| rng.random::<f64>() < config.include_probability)
+        .collect();
+    if included.is_empty() {
+        included.push(TABLES[rng.random_range(0..TABLES.len())]);
+    }
+    // Bridge into a connected set: repeatedly add the table that links a
+    // disconnected member to the connected component.
+    let connected = connect(&mut included);
+
+    // Join clauses: spanning edges over the connected set.
+    let mut joins = Vec::new();
+    let mut in_component: Vec<&str> = vec![connected[0]];
+    while in_component.len() < connected.len() {
+        let (a, ka, b, kb) = JOIN_EDGES
+            .iter()
+            .find(|(a, _, b, _)| {
+                (in_component.contains(a)
+                    && connected.contains(b)
+                    && !in_component.contains(b))
+                    || (in_component.contains(b)
+                        && connected.contains(a)
+                        && !in_component.contains(a))
+            })
+            .expect("connect() guarantees a spanning edge");
+        joins.push((
+            FieldPath::parse(&format!("{a}.{ka}")),
+            FieldPath::parse(&format!("{b}.{kb}")),
+        ));
+        if in_component.contains(a) {
+            in_component.push(b);
+        } else {
+            in_component.push(a);
+        }
+    }
+
+    // One aggregate per included table, over a random numeric attribute.
+    let mut aggregates = Vec::new();
+    for table in &connected {
+        let d = &domains[*table];
+        let pool = d.numeric_leaves(true);
+        let leaf = pool[rng.random_range(0..pool.len())];
+        let func = AGG_FUNCS[rng.random_range(0..AGG_FUNCS.len())];
+        aggregates.push((
+            func,
+            Some(qualified(table, &d.leaves()[leaf].path)),
+        ));
+    }
+
+    // One range predicate per included table.
+    let mut predicates = Vec::new();
+    for table in &connected {
+        let d = &domains[*table];
+        let pool = d.numeric_leaves(true);
+        let leaf = pool[rng.random_range(0..pool.len())];
+        let (lo_sel, hi_sel) = config.selectivity;
+        let selectivity = lo_sel + rng.random::<f64>() * (hi_sel - lo_sel).max(0.0);
+        let (lo, hi) = d.interval(leaf, selectivity, rng.random::<f64>());
+        predicates.push(PredClause::Between {
+            path: qualified(table, &d.leaves()[leaf].path),
+            lo: Value::Float(lo),
+            hi: Value::Float(hi),
+        });
+    }
+
+    QuerySpec {
+        aggregates,
+        tables: connected.iter().map(|s| s.to_string()).collect(),
+        predicates,
+        joins,
+    }
+}
+
+fn qualified(table: &str, path: &FieldPath) -> FieldPath {
+    let mut steps = vec![table.to_owned()];
+    steps.extend(path.steps().iter().cloned());
+    FieldPath::from_steps(steps)
+}
+
+/// Extends the included set with bridge tables until the join graph is
+/// connected, returning the final set in canonical order.
+fn connect(included: &mut Vec<&'static str>) -> Vec<&'static str> {
+    loop {
+        // Union-find over the included tables with the available edges.
+        let mut component: HashMap<&str, usize> =
+            included.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (a, _, b, _) in &JOIN_EDGES {
+                if let (Some(&ca), Some(&cb)) = (component.get(a), component.get(b)) {
+                    if ca != cb {
+                        let target = ca.min(cb);
+                        for v in component.values_mut() {
+                            if *v == ca.max(cb) {
+                                *v = target;
+                            }
+                        }
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let roots: std::collections::BTreeSet<usize> = component.values().copied().collect();
+        if roots.len() <= 1 {
+            break;
+        }
+        // Add a bridge: prefer lineitem, then orders (they connect
+        // everything in this schema).
+        for bridge in ["lineitem", "orders", "part"] {
+            if !included.contains(&bridge) {
+                included.push(bridge);
+                break;
+            }
+        }
+    }
+    let mut out: Vec<&'static str> =
+        TABLES.iter().copied().filter(|t| included.contains(t)).collect();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_data::gen::tpch;
+
+    fn all_domains() -> HashMap<String, Domains> {
+        let sf = 0.0002;
+        let seed = 3;
+        let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
+        let rows_to_records =
+            |rows: &[Vec<Value>]| -> Vec<Value> { rows.iter().map(|r| Value::Struct(r.clone())).collect() };
+        let mut out = HashMap::new();
+        out.insert(
+            "orders".to_owned(),
+            Domains::compute(&tpch::orders_schema(), rows_to_records(&orders).iter()),
+        );
+        out.insert(
+            "lineitem".to_owned(),
+            Domains::compute(&tpch::lineitem_schema(), rows_to_records(&lineitems).iter()),
+        );
+        out.insert(
+            "customer".to_owned(),
+            Domains::compute(
+                &tpch::customer_schema(),
+                rows_to_records(&tpch::gen_customer(sf, seed)).iter(),
+            ),
+        );
+        out.insert(
+            "part".to_owned(),
+            Domains::compute(
+                &tpch::part_schema(),
+                rows_to_records(&tpch::gen_part(sf, seed)).iter(),
+            ),
+        );
+        out.insert(
+            "partsupp".to_owned(),
+            Domains::compute(
+                &tpch::partsupp_schema(),
+                rows_to_records(&tpch::gen_partsupp(sf, seed)).iter(),
+            ),
+        );
+        out
+    }
+
+    #[test]
+    fn queries_are_connected_and_shaped() {
+        let domains = all_domains();
+        let specs = tpch_spj_workload(&domains, 60, &SpjConfig::default(), 5);
+        assert_eq!(specs.len(), 60);
+        for spec in &specs {
+            assert!(!spec.tables.is_empty());
+            // n tables -> n-1 join clauses (spanning tree).
+            assert_eq!(spec.joins.len(), spec.tables.len() - 1);
+            // One aggregate and one predicate per table.
+            assert_eq!(spec.aggregates.len(), spec.tables.len());
+            assert_eq!(spec.predicates.len(), spec.tables.len());
+        }
+        // Multi-table queries occur.
+        assert!(specs.iter().any(|s| s.tables.len() >= 2));
+        // Single-table queries occur too.
+        assert!(specs.iter().any(|s| s.tables.len() == 1));
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let domains = all_domains();
+        let a = tpch_spj_workload(&domains, 20, &SpjConfig::default(), 9);
+        let b = tpch_spj_workload(&domains, 20, &SpjConfig::default(), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn disconnected_subsets_get_bridged() {
+        // {customer, part} needs lineitem + orders to connect.
+        let mut included = vec!["customer", "part"];
+        let connected = connect(&mut included);
+        assert!(connected.contains(&"customer"));
+        assert!(connected.contains(&"part"));
+        assert!(connected.contains(&"lineitem") || connected.contains(&"orders"));
+        // Verify a spanning tree exists over JOIN_EDGES for the result.
+        let mut reached = vec![connected[0]];
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for (a, _, b, _) in &JOIN_EDGES {
+                if reached.contains(a) && connected.contains(b) && !reached.contains(b) {
+                    reached.push(b);
+                    progress = true;
+                }
+                if reached.contains(b) && connected.contains(a) && !reached.contains(a) {
+                    reached.push(a);
+                    progress = true;
+                }
+            }
+        }
+        assert_eq!(reached.len(), connected.len());
+    }
+
+    #[test]
+    fn generated_queries_execute() {
+        use recache_core::ReCache;
+        use recache_data::csv;
+        let sf = 0.0002;
+        let seed = 3;
+        let mut session = ReCache::builder().build();
+        let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
+        let schema = tpch::orders_schema();
+        session.register_csv_bytes("orders", csv::write_csv(&schema, &orders), schema);
+        let schema = tpch::lineitem_schema();
+        session.register_csv_bytes("lineitem", csv::write_csv(&schema, &lineitems), schema);
+        let schema = tpch::customer_schema();
+        session.register_csv_bytes(
+            "customer",
+            csv::write_csv(&schema, &tpch::gen_customer(sf, seed)),
+            schema,
+        );
+        let schema = tpch::part_schema();
+        session.register_csv_bytes(
+            "part",
+            csv::write_csv(&schema, &tpch::gen_part(sf, seed)),
+            schema,
+        );
+        let schema = tpch::partsupp_schema();
+        session.register_csv_bytes(
+            "partsupp",
+            csv::write_csv(&schema, &tpch::gen_partsupp(sf, seed)),
+            schema,
+        );
+        let domains = all_domains();
+        let specs = tpch_spj_workload(&domains, 15, &SpjConfig::default(), 1);
+        for spec in &specs {
+            session.run(spec).unwrap_or_else(|e| {
+                panic!("query failed: {e} — {}", crate::spec_to_sql(spec))
+            });
+        }
+        assert!(session.cache().counters.admissions > 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Quickstart: register raw data, run SQL, watch the cache react.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use recache::data::gen::tpch;
+use recache::data::{csv, json};
+use recache::{Admission, Eviction, ReCache};
+
+fn main() {
+    // A session with a 64 MiB cache, ReCache's cost-based eviction and
+    // the reactive admission policy at a 10% overhead threshold.
+    let mut session = ReCache::builder()
+        .cache_capacity_bytes(64 << 20)
+        .eviction(Eviction::GreedyDual)
+        .admission(Admission::with_threshold(0.10))
+        .build();
+
+    // Generate and register heterogeneous raw data: a flat CSV table and
+    // a nested JSON file (orders with embedded lineitems).
+    let sf = 0.002;
+    let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, 42);
+    let schema = tpch::lineitem_schema();
+    session.register_csv_bytes("lineitem", csv::write_csv(&schema, &lineitems), schema);
+    let schema = tpch::orders_schema();
+    session.register_csv_bytes("orders", csv::write_csv(&schema, &orders), schema);
+    let nested = tpch::gen_order_lineitems(sf, 42);
+    let schema = tpch::order_lineitems_schema();
+    session.register_json_bytes("orderLineitems", json::write_json(&schema, &nested), schema);
+
+    println!("== the cache lifecycle: the same query three times");
+    let q = "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 30";
+    // 1. Cold: raw scan; the reactive admission policy judges eager
+    //    caching too expensive for a one-off and keeps only offsets.
+    let cold = session.sql(q).expect("query");
+    // 2. First reuse: the lazy entry proves useful and is upgraded to a
+    //    fully materialized store (pays the parse once, here).
+    let upgrade = session.sql(q).expect("query");
+    // 3. Steady state: pure in-memory scan.
+    let hot = session.sql(q).expect("query");
+    println!(
+        "   cold (raw scan, lazy admit): {:>9.3} ms  (hit: {})",
+        cold.stats.total_ns as f64 / 1e6,
+        cold.stats.cache_hit
+    );
+    println!(
+        "   reuse (lazy->eager upgrade): {:>9.3} ms  (hit: {})",
+        upgrade.stats.total_ns as f64 / 1e6,
+        upgrade.stats.cache_hit
+    );
+    println!(
+        "   hot (in-memory cache scan):  {:>9.3} ms  (hit: {}) — {:.1}x faster than cold",
+        hot.stats.total_ns as f64 / 1e6,
+        hot.stats.cache_hit,
+        cold.stats.total_ns as f64 / hot.stats.total_ns as f64
+    );
+    assert_eq!(cold.rows, hot.rows);
+
+    println!("\n== subsumption: a narrower range is answered from the wider cache");
+    let narrow = session
+        .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 40")
+        .expect("query");
+    println!(
+        "   l_quantity >= 40 -> {} rows matched, served from cache: {}",
+        narrow.rows_aggregated, narrow.stats.cache_hit
+    );
+
+    println!("\n== nested JSON with automatic cache layout");
+    let q = "SELECT avg(lineitems.l_extendedprice) FROM orderLineitems \
+             WHERE lineitems.l_quantity BETWEEN 10 AND 40";
+    let first = session.sql(q).expect("query");
+    let _upgrade = session.sql(q).expect("query"); // may pay the eager upgrade
+    let hot = session.sql(q).expect("query");
+    println!(
+        "   cold: {:.3} ms, hot: {:.3} ms (hit: {}) — {:.1}x",
+        first.stats.total_ns as f64 / 1e6,
+        hot.stats.total_ns as f64 / 1e6,
+        hot.stats.cache_hit,
+        first.stats.total_ns as f64 / hot.stats.total_ns as f64
+    );
+
+    println!("\n== joins across sources");
+    let q = "SELECT count(*), max(o_totalprice) FROM orders \
+             JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey \
+             WHERE o_totalprice > 50000 AND l_quantity >= 25";
+    let result = session.sql(q).expect("query");
+    println!("   joined rows: {}, max price: {}", result.rows_aggregated, result.rows[1]);
+
+    let counters = session.cache().counters;
+    println!(
+        "\ncache state: {} entries / {} KiB; hits: {} exact + {} subsuming, misses: {}",
+        session.cache().len(),
+        session.cache().total_bytes() / 1024,
+        counters.hits_exact,
+        counters.hits_subsuming,
+        counters.misses
+    );
+}

@@ -1,0 +1,88 @@
+//! Spam-log triage: heterogeneous JSON + CSV analytics with reactive
+//! admission and cost-based eviction under a tight memory budget — the
+//! Symantec scenario of §6.4 at example scale.
+//!
+//! ```sh
+//! cargo run --release --example spam_triage
+//! ```
+
+use recache::data::gen::spam;
+use recache::data::{csv, json};
+use recache::types::Value;
+use recache::workload::{spam_mixed_workload, Domains, SpamMixConfig};
+use recache::{Admission, Eviction, ReCache};
+
+fn main() {
+    let n = 3_000;
+    let mut session = ReCache::builder()
+        .cache_capacity_bytes(2 << 20) // 2 MiB: forces eviction decisions
+        .eviction(Eviction::GreedyDual)
+        .admission(Admission::with_threshold(0.10))
+        .build();
+
+    let records = spam::gen_spam_json(n, 1);
+    let schema = spam::spam_json_schema();
+    let json_domains = Domains::compute(&schema, records.iter());
+    session.register_json_bytes("spam_json", json::write_json(&schema, &records), schema);
+
+    let rows = spam::gen_spam_csv(n * 2, 1);
+    let schema = spam::spam_csv_schema();
+    let csv_records: Vec<Value> = rows.iter().map(|r| Value::Struct(r.clone())).collect();
+    let csv_domains = Domains::compute(&schema, csv_records.iter());
+    session.register_csv_bytes("spam_csv", csv::write_csv(&schema, &rows), schema);
+
+    println!("== ad-hoc triage queries");
+    for q in [
+        "SELECT count(*), avg(spam_score) FROM spam_json WHERE size >= 100000",
+        "SELECT max(urls.score), count(*) FROM spam_json WHERE urls.path_len >= 60",
+        "SELECT count(*) FROM spam_json WHERE attachments.bytes >= 1000000",
+        "SELECT avg(confidence), count(*) FROM spam_csv WHERE class <= 3",
+        "SELECT count(*) FROM spam_json JOIN spam_csv ON spam_json.id = spam_csv.id \
+         WHERE spam_score >= 5 AND confidence >= 0.5",
+    ] {
+        let r = session.sql(q).expect("query");
+        println!(
+            "   {:>8.2} ms  hit={:5}  {}",
+            r.stats.total_ns as f64 / 1e6,
+            r.stats.cache_hit,
+            &q[..q.len().min(72)]
+        );
+    }
+
+    println!("\n== sustained mixed workload under the 2 MiB budget");
+    let config = SpamMixConfig {
+        json_fraction: 0.8,
+        nested_fraction: 0.4,
+        join_fraction: 0.1,
+        spa: Default::default(),
+    };
+    let specs = spam_mixed_workload(
+        "spam_json",
+        &json_domains,
+        "spam_csv",
+        &csv_domains,
+        300,
+        &config,
+        5,
+    );
+    let mut total = 0.0;
+    let mut hits = 0usize;
+    for spec in &specs {
+        let r = session.run(spec).expect("query");
+        total += r.stats.total_ns as f64 / 1e9;
+        hits += usize::from(r.stats.cache_hit);
+    }
+    let counters = session.cache().counters;
+    println!("   {} queries in {total:.3}s, {hits} served (fully or partly) from cache", specs.len());
+    println!(
+        "   cache: {} entries / {} KiB (budget 2048 KiB), {} evictions, {} admissions",
+        session.cache().len(),
+        session.cache().total_bytes() / 1024,
+        counters.evictions,
+        counters.admissions
+    );
+    println!(
+        "   lookups: {} exact hits, {} subsumption hits, {} misses",
+        counters.hits_exact, counters.hits_subsuming, counters.misses
+    );
+}

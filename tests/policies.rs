@@ -1,0 +1,254 @@
+//! Integration tests for the cache policies working end-to-end inside a
+//! session: admission thresholds, eviction policies with and without the
+//! offline oracle, layout switching, and the registry counters.
+
+use recache::data::gen::tpch;
+use recache::data::{csv, json};
+use recache::layout::{CacheData, LayoutKind};
+use recache::types::Value;
+use recache::workload::{
+    spa_workload, tpch_spj_workload, Domains, PoolPhase, SpaConfig, SpjConfig, WorkloadOracle,
+};
+use recache::{Admission, Eviction, LayoutPolicy, ReCache};
+use std::collections::HashMap;
+
+fn tpch_session(builder: recache::ReCacheBuilder, sf: f64, seed: u64) -> (ReCache, HashMap<String, Domains>) {
+    let mut session = builder.build();
+    let mut domains = HashMap::new();
+    let to_records =
+        |rows: &[Vec<Value>]| -> Vec<Value> { rows.iter().map(|r| Value::Struct(r.clone())).collect() };
+    let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
+    for (name, schema, rows) in [
+        ("orders", tpch::orders_schema(), orders),
+        ("lineitem", tpch::lineitem_schema(), lineitems),
+        ("customer", tpch::customer_schema(), tpch::gen_customer(sf, seed)),
+        ("part", tpch::part_schema(), tpch::gen_part(sf, seed)),
+        ("partsupp", tpch::partsupp_schema(), tpch::gen_partsupp(sf, seed)),
+    ] {
+        domains.insert(name.to_owned(), Domains::compute(&schema, to_records(&rows).iter()));
+        session.register_csv_bytes(name, csv::write_csv(&schema, &rows), schema);
+    }
+    (session, domains)
+}
+
+#[test]
+fn every_eviction_policy_respects_capacity() {
+    let sf = 0.0004;
+    let capacity = 30_000;
+    for eviction in [
+        Eviction::GreedyDual,
+        Eviction::Lru,
+        Eviction::Lfu,
+        Eviction::LruJsonPriority,
+        Eviction::MonetDb,
+        Eviction::Vectorwise,
+    ] {
+        let (mut session, domains) = tpch_session(
+            ReCache::builder().eviction(eviction).cache_capacity_bytes(capacity),
+            sf,
+            7,
+        );
+        let specs = tpch_spj_workload(&domains, 30, &SpjConfig::default(), 7);
+        for spec in &specs {
+            session.run(spec).unwrap();
+            assert!(
+                session.cache().total_bytes() <= capacity,
+                "{} exceeded capacity: {} > {capacity}",
+                eviction.name(),
+                session.cache().total_bytes()
+            );
+        }
+    }
+}
+
+#[test]
+fn offline_policies_work_with_workload_oracle() {
+    let sf = 0.0004;
+    for eviction in [Eviction::FarthestFirst, Eviction::LogOptimal] {
+        let (mut session, domains) = tpch_session(
+            ReCache::builder().eviction(eviction).cache_capacity_bytes(40_000),
+            sf,
+            9,
+        );
+        let specs = tpch_spj_workload(&domains, 30, &SpjConfig::default(), 9);
+        let oracle = WorkloadOracle::build(&session, &specs).unwrap();
+        session.set_oracle(Box::new(oracle));
+        for spec in &specs {
+            session.run(spec).unwrap();
+        }
+        assert!(session.cache().total_bytes() <= 40_000);
+        let c = session.cache().counters;
+        assert!(c.admissions > 0, "{}: no admissions", eviction.name());
+    }
+}
+
+#[test]
+fn admission_threshold_controls_eager_fraction() {
+    let sf = 0.0006;
+    let mut eager_counts = Vec::new();
+    for threshold in [0.01, 0.5] {
+        let (mut session, domains) = tpch_session(
+            ReCache::builder().admission(Admission::with_threshold(threshold)),
+            sf,
+            11,
+        );
+        let specs = tpch_spj_workload(&domains, 25, &SpjConfig::default(), 11);
+        for spec in &specs {
+            session.run(spec).unwrap();
+        }
+        let eager = session
+            .cache()
+            .iter()
+            .filter(|e| !matches!(e.data, CacheData::Offsets(_)))
+            .count();
+        eager_counts.push(eager);
+    }
+    assert!(
+        eager_counts[0] <= eager_counts[1],
+        "a stricter threshold must not cache eagerly more often: {eager_counts:?}"
+    );
+}
+
+#[test]
+fn auto_layout_switches_on_phase_change() {
+    let mut session = ReCache::builder()
+        .layout_policy(LayoutPolicy::Auto)
+        .admission(Admission::eager_only())
+        .build();
+    let records = tpch::gen_order_lineitems(0.0006, 3);
+    let schema = tpch::order_lineitems_schema();
+    let domains = Domains::compute(&schema, records.iter());
+    session.register_json_bytes("orderLineitems", json::write_json(&schema, &records), schema);
+    session.sql("SELECT count(*) FROM orderLineitems").unwrap();
+    // The warm entry starts in the Dremel layout (nested default).
+    let entry = session.cache().iter().next().unwrap();
+    assert_eq!(entry.data.layout(), LayoutKind::Dremel);
+
+    // A sustained all-attributes phase should flip it to columnar.
+    let specs = spa_workload(
+        "orderLineitems",
+        &domains,
+        &[(PoolPhase::AllAttrs, 60)],
+        &SpaConfig::default(),
+        3,
+    );
+    let mut switched_to_columnar = false;
+    for spec in &specs {
+        let r = session.run(spec).unwrap();
+        for t in &r.stats.tables {
+            if let Some((from, to)) = t.layout_switch {
+                assert_eq!(from, LayoutKind::Dremel);
+                assert_eq!(to, LayoutKind::Columnar);
+                switched_to_columnar = true;
+            }
+        }
+    }
+    assert!(switched_to_columnar, "expected a Dremel -> columnar switch");
+
+    // A sustained non-nested phase should flip it back. The window
+    // deliberately makes switching sticky (§6.1.1: considering all
+    // queries since the previous switch "prevents excessive switching
+    // overhead"), so this phase must be long enough to outweigh the
+    // element-level observations accumulated after the first switch.
+    let specs = spa_workload(
+        "orderLineitems",
+        &domains,
+        &[(PoolPhase::NonNestedOnly, 400)],
+        &SpaConfig::default(),
+        4,
+    );
+    let mut switched_back = false;
+    for spec in &specs {
+        let r = session.run(spec).unwrap();
+        for t in &r.stats.tables {
+            if let Some((_, to)) = t.layout_switch {
+                switched_back |= to == LayoutKind::Dremel;
+            }
+        }
+    }
+    assert!(switched_back, "expected a columnar -> Dremel switch");
+}
+
+#[test]
+fn benefit_metric_keeps_expensive_json_under_pressure() {
+    // Two sources: an expensive JSON file and a cheap CSV file of similar
+    // cached size. Under pressure, ReCache's cost-based eviction should
+    // preferentially keep the JSON-derived entry (higher rebuild cost),
+    // while plain LRU treats them alike.
+    let seed = 13;
+    let sf = 0.0004;
+    // Size the budget from a probe run so the JSON entry plus a couple of
+    // CSV entries fit, but the full flood does not.
+    let probe_sizes = {
+        let mut session = ReCache::builder().admission(Admission::eager_only()).build();
+        let (_, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
+        let schema = tpch::lineitem_schema();
+        let records: Vec<Value> =
+            lineitems.iter().map(|r| Value::Struct(r.clone())).collect();
+        session.register_json_bytes(
+            "lineitem_json",
+            json::write_json(&schema, &records),
+            schema,
+        );
+        let schema = tpch::lineitem_schema();
+        session.register_csv_bytes("lineitem_csv", csv::write_csv(&schema, &lineitems), schema);
+        session.sql("SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2").unwrap();
+        session
+            .sql("SELECT count(*) FROM lineitem_csv WHERE l_quantity BETWEEN 0 AND 30")
+            .unwrap();
+        let json_bytes = session
+            .cache()
+            .iter()
+            .find(|e| e.source == "lineitem_json")
+            .map(|e| e.stats.bytes)
+            .unwrap();
+        let csv_bytes = session
+            .cache()
+            .iter()
+            .find(|e| e.source == "lineitem_csv")
+            .map(|e| e.stats.bytes)
+            .unwrap();
+        (json_bytes, csv_bytes)
+    };
+    let capacity = probe_sizes.0 + probe_sizes.1 * 3;
+    let build = |eviction: Eviction| {
+        let mut session = ReCache::builder()
+            .eviction(eviction)
+            .cache_capacity_bytes(capacity)
+            .admission(Admission::eager_only())
+            .build();
+        let (_, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
+        let schema = tpch::lineitem_schema();
+        let records: Vec<Value> =
+            lineitems.iter().map(|r| Value::Struct(r.clone())).collect();
+        session.register_json_bytes(
+            "lineitem_json",
+            json::write_json(&schema, &records),
+            schema,
+        );
+        let schema = tpch::lineitem_schema();
+        session.register_csv_bytes(
+            "lineitem_csv",
+            csv::write_csv(&schema, &lineitems),
+            schema,
+        );
+        session
+    };
+    let mut session = build(Eviction::GreedyDual);
+    // Build one JSON-derived entry, reuse it a few times, then flood the
+    // cache with CSV-derived entries.
+    session.sql("SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2").unwrap();
+    for _ in 0..3 {
+        session.sql("SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2").unwrap();
+    }
+    for lo in 0..10 {
+        session
+            .sql(&format!(
+                "SELECT count(*) FROM lineitem_csv WHERE l_quantity BETWEEN {lo} AND {}",
+                lo + 30
+            ))
+            .unwrap();
+    }
+    let json_alive = session.cache().iter().any(|e| e.source == "lineitem_json");
+    assert!(json_alive, "greedy-dual should keep the reused, expensive JSON entry");
+}

@@ -2,20 +2,28 @@
 //!
 //! * raw-parse costs: JSON ≫ CSV, positional maps cut re-access cost,
 //! * layout scans: columnar vs Dremel, record- vs element-level (§4.1),
+//! * row-at-a-time vs vectorized execution on the cache-store hot paths
+//!   (scan → filter → aggregate; the vectorized path must win ≥ 2× on
+//!   the columnar case),
 //! * layout writes: Dremel shreds faster than columnar flattens (Fig. 6),
 //! * R-tree subsumption lookups in the microsecond range (§3.3: 2–15 µs),
 //! * sampled vs naive timing overhead (§5.1: naive adds 5–10%),
 //! * eviction-decision cost for the Greedy-Dual policy.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use recache_cache::eviction::{EvictionContext, EvictionPolicy, EvictView, GreedyDualRecache};
+use recache_cache::eviction::{EvictView, EvictionContext, EvictionPolicy, GreedyDualRecache};
 use recache_cache::stats::EntryStats;
 use recache_data::gen::{nested, tpch};
 use recache_data::{csv, json, FileFormat, RawFile};
+use recache_engine::exec::{execute_with, ExecOptions};
+use recache_engine::expr::Expr;
+use recache_engine::plan::{AccessPath, AggFunc, AggSpec, QueryPlan, TablePlan};
 use recache_engine::profiler::SampledTimer;
-use recache_layout::{ColumnStore, DremelStore};
+use recache_layout::{ColumnStore, DremelStore, RowStore};
 use recache_rtree::{RTree, Rect};
+use recache_types::{FieldPath, Value};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn parse_costs(c: &mut Criterion) {
     let mut group = c.benchmark_group("raw_parse");
@@ -54,8 +62,7 @@ fn parse_costs(c: &mut Criterion) {
     });
 
     // Positional-map-assisted selective re-scan (2 of 16 columns).
-    let csv_file =
-        RawFile::from_bytes(csv_bytes.clone(), FileFormat::Csv, li_schema.clone());
+    let csv_file = RawFile::from_bytes(csv_bytes.clone(), FileFormat::Csv, li_schema.clone());
     let full = vec![true; csv_file.leaves().len()];
     csv_file.scan_projected(&full, &mut |_, _| {}).unwrap();
     group.bench_function("csv_mapped_selective_scan", |b| {
@@ -64,13 +71,14 @@ fn parse_costs(c: &mut Criterion) {
             accessed[4] = true; // l_quantity
             accessed[5] = true; // l_extendedprice
             let mut n = 0usize;
-            csv_file.scan_projected(&accessed, &mut |_, _| n += 1).unwrap();
+            csv_file
+                .scan_projected(&accessed, &mut |_, _| n += 1)
+                .unwrap();
             black_box(n)
         })
     });
 
-    let json_file =
-        RawFile::from_bytes(json_bytes.clone(), FileFormat::Json, ol_schema.clone());
+    let json_file = RawFile::from_bytes(json_bytes.clone(), FileFormat::Json, ol_schema.clone());
     let full = vec![true; json_file.leaves().len()];
     json_file.scan_projected(&full, &mut |_, _| {}).unwrap();
     group.bench_function("json_mapped_non_nested_scan", |b| {
@@ -79,7 +87,9 @@ fn parse_costs(c: &mut Criterion) {
             accessed[0] = true; // o_orderkey
             accessed[3] = true; // o_totalprice
             let mut n = 0usize;
-            json_file.scan_projected(&accessed, &mut |_, _| n += 1).unwrap();
+            json_file
+                .scan_projected(&accessed, &mut |_, _| n += 1)
+                .unwrap();
             black_box(n)
         })
     });
@@ -99,30 +109,147 @@ fn layout_scans(c: &mut Criterion) {
     group.bench_function("columnar_element_level", |b| {
         b.iter(|| {
             let mut n = 0usize;
-            columnar.scan(&all, false, &mut |_| n += 1);
+            columnar.scan(&all, false, &mut |_, _| n += 1);
             black_box(n)
         })
     });
     group.bench_function("dremel_element_level", |b| {
         b.iter(|| {
             let mut n = 0usize;
-            dremel.scan(&all, false, &mut |_| n += 1);
+            dremel.scan(&all, false, &mut |_, _| n += 1);
             black_box(n)
         })
     });
     group.bench_function("columnar_record_level", |b| {
         b.iter(|| {
             let mut n = 0usize;
-            columnar.scan(&flat, true, &mut |_| n += 1);
+            columnar.scan(&flat, true, &mut |_, _| n += 1);
             black_box(n)
         })
     });
     group.bench_function("dremel_record_level_short_columns", |b| {
         b.iter(|| {
             let mut n = 0usize;
-            dremel.scan(&flat, true, &mut |_| n += 1);
+            dremel.scan(&flat, true, &mut |_, _| n += 1);
             black_box(n)
         })
+    });
+    group.finish();
+}
+
+const ROW: ExecOptions = ExecOptions { vectorized: false };
+const VECTORIZED: ExecOptions = ExecOptions { vectorized: true };
+
+/// One-table scan → filter → aggregate plan over a cache store.
+fn filter_agg_plan(access: AccessPath, accessed: Vec<usize>, record_level: bool) -> QueryPlan {
+    // Predicate on slot 0 (~60% selectivity on l_quantity ∈ 1..=50),
+    // aggregates over slot 1.
+    QueryPlan {
+        tables: vec![TablePlan {
+            name: "bench".into(),
+            access,
+            accessed,
+            predicate: Some(Expr::between(0, 10.0, 40.0)),
+            record_level,
+            collect_satisfying: false,
+        }],
+        joins: vec![],
+        aggregates: vec![
+            AggSpec {
+                table: 0,
+                slot: None,
+                func: AggFunc::Count,
+            },
+            AggSpec {
+                table: 0,
+                slot: Some(1),
+                func: AggFunc::Sum,
+            },
+            AggSpec {
+                table: 0,
+                slot: Some(1),
+                func: AggFunc::Min,
+            },
+            AggSpec {
+                table: 0,
+                slot: Some(1),
+                func: AggFunc::Max,
+            },
+        ],
+    }
+}
+
+/// Head-to-head: row-at-a-time vs vectorized execution of the same plan
+/// on the columnar, Dremel, and row cache-store hot paths.
+fn row_vs_vectorized(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_mode");
+    group.sample_size(30);
+
+    // Flat TPC-H lineitem slice in columnar and row layouts:
+    // quantity filter + price aggregates (the paper's SPA shape).
+    let (_, lineitems) = tpch::gen_orders_and_lineitems(0.002, 42);
+    let li_schema = tpch::lineitem_schema();
+    let records: Vec<Value> = lineitems.iter().map(|r| Value::Struct(r.clone())).collect();
+    let columnar = Arc::new(ColumnStore::build(&li_schema, records.iter()));
+    let row = Arc::new(RowStore::build(&li_schema, records.iter()));
+    let quantity = li_schema
+        .leaf_index(&FieldPath::parse("l_quantity"))
+        .unwrap();
+    let price = li_schema
+        .leaf_index(&FieldPath::parse("l_extendedprice"))
+        .unwrap();
+    let col_plan = filter_agg_plan(AccessPath::Columnar(columnar), vec![quantity, price], true);
+    group.bench_function("columnar_filter_agg_row", |b| {
+        b.iter(|| black_box(execute_with(&col_plan, &ROW).unwrap().values))
+    });
+    group.bench_function("columnar_filter_agg_vectorized", |b| {
+        b.iter(|| black_box(execute_with(&col_plan, &VECTORIZED).unwrap().values))
+    });
+    let row_plan = filter_agg_plan(AccessPath::Row(row), vec![quantity, price], true);
+    group.bench_function("rowstore_filter_agg_row", |b| {
+        b.iter(|| black_box(execute_with(&row_plan, &ROW).unwrap().values))
+    });
+    group.bench_function("rowstore_filter_agg_vectorized", |b| {
+        b.iter(|| black_box(execute_with(&row_plan, &VECTORIZED).unwrap().values))
+    });
+
+    // Nested order–lineitems in the Dremel layout, element-level scan
+    // through the repeated leaves (record assembly dominates compute).
+    let ol_records = tpch::gen_order_lineitems(0.002, 42);
+    let ol_schema = tpch::order_lineitems_schema();
+    let dremel = Arc::new(DremelStore::build(&ol_schema, ol_records.iter()));
+    let nested_quantity = ol_schema
+        .leaf_index(&FieldPath::parse("lineitems.l_quantity"))
+        .unwrap();
+    let nested_price = ol_schema
+        .leaf_index(&FieldPath::parse("lineitems.l_extendedprice"))
+        .unwrap();
+    let dremel_plan = filter_agg_plan(
+        AccessPath::Dremel(dremel.clone()),
+        vec![nested_quantity, nested_price],
+        false,
+    );
+    group.bench_function("dremel_element_filter_agg_row", |b| {
+        b.iter(|| black_box(execute_with(&dremel_plan, &ROW).unwrap().values))
+    });
+    group.bench_function("dremel_element_filter_agg_vectorized", |b| {
+        b.iter(|| black_box(execute_with(&dremel_plan, &VECTORIZED).unwrap().values))
+    });
+
+    // Dremel record-level short-column path (borrowed batches).
+    let totalprice = ol_schema
+        .leaf_index(&FieldPath::parse("o_totalprice"))
+        .unwrap();
+    let orderdate = ol_schema
+        .leaf_index(&FieldPath::parse("o_orderdate"))
+        .unwrap();
+    let (lo, hi) = (totalprice.min(orderdate), totalprice.max(orderdate));
+    let dremel_flat_plan = filter_agg_plan(AccessPath::Dremel(dremel), vec![lo, hi], true);
+    group.bench_function("dremel_record_filter_agg_row", |b| {
+        b.iter(|| black_box(execute_with(&dremel_flat_plan, &ROW).unwrap().values))
+    });
+    group.bench_function("dremel_record_filter_agg_vectorized", |b| {
+        b.iter(|| black_box(execute_with(&dremel_flat_plan, &VECTORIZED).unwrap().values))
     });
     group.finish();
 }
@@ -165,7 +292,10 @@ fn rtree_ops(c: &mut Criterion) {
             || tree.clone(),
             |mut t| {
                 i += 1;
-                t.insert(Rect::new([i as f64 % 1000.0], [i as f64 % 1000.0 + 10.0]), i);
+                t.insert(
+                    Rect::new([i as f64 % 1000.0], [i as f64 % 1000.0 + 10.0]),
+                    i,
+                );
                 black_box(t.len())
             },
             BatchSize::LargeInput,
@@ -270,6 +400,7 @@ criterion_group!(
     benches,
     parse_costs,
     layout_scans,
+    row_vs_vectorized,
     layout_writes,
     rtree_ops,
     profiler_overhead,

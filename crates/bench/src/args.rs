@@ -16,6 +16,7 @@ impl Args {
     }
 
     /// Parses an explicit iterator (tests).
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
         let mut values = HashMap::new();
         let mut pending: Option<String> = None;
@@ -41,19 +42,31 @@ impl Args {
     }
 
     pub fn f64(&self, key: &str, default: f64) -> f64 {
-        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn usize(&self, key: &str, default: usize) -> usize {
-        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn u64(&self, key: &str, default: u64) -> u64 {
-        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.values
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     pub fn str(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_owned())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_owned())
     }
 
     pub fn flag(&self, key: &str) -> bool {

@@ -27,8 +27,10 @@ fn main() {
         ],
     );
 
-    let phases =
-        [(PoolPhase::AllAttrs, per_phase), (PoolPhase::NonNestedOnly, per_phase)];
+    let phases = [
+        (PoolPhase::AllAttrs, per_phase),
+        (PoolPhase::NonNestedOnly, per_phase),
+    ];
     let mut series = Vec::new();
     for policy in [LayoutPolicy::FixedColumnar, LayoutPolicy::FixedDremel] {
         let mut session = ReCache::builder()
@@ -48,8 +50,7 @@ fn main() {
         series.push(outcomes);
     }
 
-    let columnar: Vec<f64> =
-        series[0].iter().map(|o| o.total_ns as f64 / 1e9).collect();
+    let columnar: Vec<f64> = series[0].iter().map(|o| o.total_ns as f64 / 1e9).collect();
     let dremel: Vec<f64> = series[1].iter().map(|o| o.total_ns as f64 / 1e9).collect();
     let columnar_smooth = output::moving_avg(&columnar, 25);
     let dremel_smooth = output::moving_avg(&dremel, 25);

@@ -25,8 +25,12 @@ fn main() {
 
     let schema = synthetic_nested_schema();
     let all_leaves: Vec<usize> = (0..schema.leaves().len()).collect();
-    let table =
-        Table::new(&["cardinality", "rel_columnar_s", "parquet_s", "parquet_over_columnar"]);
+    let table = Table::new(&[
+        "cardinality",
+        "rel_columnar_s",
+        "parquet_s",
+        "parquet_over_columnar",
+    ]);
     for cardinality in (0..=20).step_by(2) {
         // Hold total element count roughly constant so times reflect
         // per-row costs, not dataset growth.
@@ -45,12 +49,12 @@ fn main() {
         let mut sink = 0usize;
         let columnar_s = time_scan(&|| {
             let mut n = 0usize;
-            columnar.scan(&all_leaves, false, &mut |_| n += 1);
+            columnar.scan(&all_leaves, false, &mut |_, _| n += 1);
             std::hint::black_box(n);
         });
         let dremel_s = time_scan(&|| {
             let mut n = 0usize;
-            dremel.scan(&all_leaves, false, &mut |_| n += 1);
+            dremel.scan(&all_leaves, false, &mut |_, _| n += 1);
             std::hint::black_box(n);
         });
         sink += 1;

@@ -37,8 +37,11 @@ fn measure(policy: LayoutPolicy, sf: f64, seed: u64, specs: &[QuerySpec]) -> Vec
         let t = &result.stats.exec.tables[0];
         let cost = t.cache_scan.expect("cache scan");
         let total_rows = t.flattened_rows.expect("cached table");
-        let rows_needed =
-            if t.record_level { t.records_scanned } else { total_rows };
+        let rows_needed = if t.record_level {
+            t.records_scanned
+        } else {
+            total_rows
+        };
         out.push(Obs {
             d_ns: cost.data_ns,
             c_ns: cost.compute_ns,
@@ -88,8 +91,7 @@ fn main() {
         let predicted_columnar = d.d_ns as f64 * scale;
         let actual_columnar = (c.d_ns + c.c_ns) as f64;
         if actual_columnar > 0.0 {
-            errors
-                .push((predicted_columnar - actual_columnar).abs() / actual_columnar * 100.0);
+            errors.push((predicted_columnar - actual_columnar).abs() / actual_columnar * 100.0);
         }
         // Direction 2 (Eq. 5): from the columnar run, predict the Parquet
         // scan cost as (D + ComputeCost(ri, ci)) · ri/R, where the

@@ -38,7 +38,10 @@ fn main() {
     );
 
     let phases: Vec<(PoolPhase, usize)> = match variant.as_str() {
-        "a" => vec![(PoolPhase::AllAttrs, total / 2), (PoolPhase::NonNestedOnly, total / 2)],
+        "a" => vec![
+            (PoolPhase::AllAttrs, total / 2),
+            (PoolPhase::NonNestedOnly, total / 2),
+        ],
         "b" => {
             let mut phases = Vec::new();
             let mut produced = 0;
@@ -46,7 +49,11 @@ fn main() {
             while produced < total {
                 let n = per_phase.min(total - produced);
                 phases.push((
-                    if all { PoolPhase::AllAttrs } else { PoolPhase::NonNestedOnly },
+                    if all {
+                        PoolPhase::AllAttrs
+                    } else {
+                        PoolPhase::NonNestedOnly
+                    },
                     n,
                 ));
                 produced += n;
@@ -71,14 +78,23 @@ fn main() {
             .build();
         let domains = register_order_lineitems(&mut session, sf, seed);
         warm_full_cache(&mut session, "orderLineitems").expect("warmup");
-        let specs =
-            spa_workload("orderLineitems", &domains, &phases, &SpaConfig::default(), seed);
+        let specs = spa_workload(
+            "orderLineitems",
+            &domains,
+            &phases,
+            &SpaConfig::default(),
+            seed,
+        );
         let outcomes = run_workload(&mut session, &specs).expect("workload");
-        series.push(outcomes.iter().map(|o| o.total_ns as f64 / 1e9).collect::<Vec<_>>());
+        series.push(
+            outcomes
+                .iter()
+                .map(|o| o.total_ns as f64 / 1e9)
+                .collect::<Vec<_>>(),
+        );
     }
 
-    let smooth: Vec<Vec<f64>> =
-        series.iter().map(|s| output::moving_avg(s, 25)).collect();
+    let smooth: Vec<Vec<f64>> = series.iter().map(|s| output::moving_avg(s, 25)).collect();
     let table = Table::new(&[
         "query",
         "rel_columnar_s",

@@ -46,7 +46,10 @@ fn main() {
         let specs = spa_workload(
             "spam_json",
             &json_domains,
-            &[(PoolPhase::NestedFraction(nested_pct as f64 / 100.0), queries)],
+            &[(
+                PoolPhase::NestedFraction(nested_pct as f64 / 100.0),
+                queries,
+            )],
             &SpaConfig::default(),
             seed,
         );
@@ -54,7 +57,12 @@ fn main() {
         cumulative.push(output::cumulative_secs(outcomes.iter().map(|o| o.total_ns)));
     }
 
-    let table = Table::new(&["query", "rel_columnar_cum_s", "parquet_cum_s", "recache_cum_s"]);
+    let table = Table::new(&[
+        "query",
+        "rel_columnar_cum_s",
+        "parquet_cum_s",
+        "recache_cum_s",
+    ]);
     for i in (0..cumulative[0].len()).step_by((cumulative[0].len() / 200).max(1)) {
         table.row(&[
             (i + 1).to_string(),

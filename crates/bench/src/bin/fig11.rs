@@ -17,14 +17,9 @@ use recache_bench::output::{self, Table};
 use recache_bench::{run_workload, Args};
 use recache_core::{Admission, LayoutPolicy, ReCache};
 use recache_engine::sql::QuerySpec;
-use recache_workload::{
-    mixed_spa_workload, spam_mixed_workload, SpaConfig, SpamMixConfig,
-};
+use recache_workload::{mixed_spa_workload, spam_mixed_workload, SpaConfig, SpamMixConfig};
 
-fn run_total(
-    policy: LayoutPolicy,
-    make: &dyn Fn(&mut ReCache) -> Vec<QuerySpec>,
-) -> f64 {
+fn run_total(policy: LayoutPolicy, make: &dyn Fn(&mut ReCache) -> Vec<QuerySpec>) -> f64 {
     let mut session = ReCache::builder()
         .layout_policy(policy)
         .admission(Admission::eager_only())
@@ -33,6 +28,9 @@ fn run_total(
     let outcomes = run_workload(&mut session, &specs).expect("workload");
     outcomes.iter().map(|o| o.total_ns as f64 / 1e9).sum()
 }
+
+/// Workload builder selected by the `--variant` flag.
+type MakeWorkload = Box<dyn Fn(&mut ReCache) -> Vec<QuerySpec>>;
 
 fn main() {
     let args = Args::parse();
@@ -59,7 +57,7 @@ fn main() {
     ]);
     for pct in sweep {
         let p = pct as f64 / 100.0;
-        let make: Box<dyn Fn(&mut ReCache) -> Vec<QuerySpec>> = match variant.as_str() {
+        let make: MakeWorkload = match variant.as_str() {
             "a" => Box::new(move |session: &mut ReCache| {
                 let (jd, cd) = register_spam(session, records, records * 2, seed);
                 let config = SpamMixConfig {
@@ -71,8 +69,7 @@ fn main() {
                 spam_mixed_workload("spam_json", &jd, "spam_csv", &cd, queries, &config, seed)
             }),
             "b" => Box::new(move |session: &mut ReCache| {
-                let domains =
-                    register_yelp(session, records / 8, records / 4, records, seed);
+                let domains = register_yelp(session, records / 8, records / 4, records, seed);
                 mixed_spa_workload(
                     &[
                         ("business", &domains["business"]),

@@ -66,8 +66,7 @@ fn main() {
             let mut lazy = overheads(Admission::lazy_only(), sf, queries, seed);
             print_cdf(&table, "lazy", &mut lazy);
             for threshold in [0.01, 0.10, 0.20, 0.50] {
-                let mut series =
-                    overheads(Admission::with_threshold(threshold), sf, queries, seed);
+                let mut series = overheads(Admission::with_threshold(threshold), sf, queries, seed);
                 println!(
                     "# summary mean T={:.0}%: {:.2}%",
                     threshold * 100.0,

@@ -12,6 +12,9 @@ use recache_bench::{run_workload, Args};
 use recache_core::{Admission, ReCache, ReCacheBuilder};
 use recache_workload::{tpch_spj_workload, SpjConfig};
 
+/// Session-builder factory for one config line.
+type MakeBuilder = Box<dyn Fn() -> ReCacheBuilder>;
+
 fn main() {
     let args = Args::parse();
     let sf = args.f64("sf", 0.002);
@@ -27,11 +30,20 @@ fn main() {
         ],
     );
 
-    let configs: Vec<(&str, Box<dyn Fn() -> ReCacheBuilder>)> = vec![
+    let configs: Vec<(&str, MakeBuilder)> = vec![
         ("no_caching", Box::new(|| ReCache::builder().no_caching())),
-        ("lazy", Box::new(|| ReCache::builder().admission(Admission::lazy_only()))),
-        ("eager", Box::new(|| ReCache::builder().admission(Admission::eager_only()))),
-        ("recache", Box::new(|| ReCache::builder().admission(Admission::with_threshold(0.10)))),
+        (
+            "lazy",
+            Box::new(|| ReCache::builder().admission(Admission::lazy_only())),
+        ),
+        (
+            "eager",
+            Box::new(|| ReCache::builder().admission(Admission::eager_only())),
+        ),
+        (
+            "recache",
+            Box::new(|| ReCache::builder().admission(Admission::with_threshold(0.10))),
+        ),
     ];
 
     let mut cumulative = Vec::new();
@@ -43,8 +55,14 @@ fn main() {
         cumulative.push(output::cumulative_secs(outcomes.iter().map(|o| o.total_ns)));
     }
 
-    let table =
-        Table::new(&["query", "no_caching_cum_s", "lazy_cum_s", "eager_cum_s", "recache_cum_s"]);
+    let table = Table::new(&[
+        "query",
+        "no_caching_cum_s",
+        "lazy_cum_s",
+        "eager_cum_s",
+        "recache_cum_s",
+    ]);
+    #[allow(clippy::needless_range_loop)]
     for i in 0..cumulative[0].len() {
         table.row(&[
             (i + 1).to_string(),

@@ -24,8 +24,9 @@ fn run_total(
     queries: usize,
     seed: u64,
 ) -> f64 {
-    let mut builder =
-        ReCache::builder().eviction(eviction).admission(Admission::with_threshold(0.10));
+    let mut builder = ReCache::builder()
+        .eviction(eviction)
+        .admission(Admission::with_threshold(0.10));
     if let Some(bytes) = capacity {
         builder = builder.cache_capacity_bytes(bytes);
     }
@@ -43,8 +44,9 @@ fn run_total(
 /// Working-set estimate: run once with unlimited cache, report peak
 /// cached bytes.
 fn working_set_bytes(sf: f64, queries: usize, seed: u64) -> usize {
-    let mut session =
-        ReCache::builder().admission(Admission::with_threshold(0.10)).build();
+    let mut session = ReCache::builder()
+        .admission(Admission::with_threshold(0.10))
+        .build();
     let domains = register_tpch(&mut session, sf, seed, true);
     let specs = tpch_spj_workload(&domains, queries, &SpjConfig::default(), seed);
     run_workload(&mut session, &specs).expect("workload");

@@ -15,9 +15,7 @@ use recache_bench::output::{self, Table};
 use recache_bench::{run_workload, Args};
 use recache_core::{Admission, Eviction, LayoutPolicy, ReCache};
 use recache_engine::sql::QuerySpec;
-use recache_workload::{
-    mixed_spa_workload, spam_mixed_workload, SpaConfig, SpamMixConfig,
-};
+use recache_workload::{mixed_spa_workload, spam_mixed_workload, SpaConfig, SpamMixConfig};
 
 fn main() {
     let args = Args::parse();
@@ -51,8 +49,7 @@ fn main() {
                 spam_mixed_workload("spam_json", &jd, "spam_csv", &cd, queries, &config, seed)
             }
             "b" => {
-                let domains =
-                    register_yelp(session, records / 8, records / 4, records, seed);
+                let domains = register_yelp(session, records / 8, records / 4, records, seed);
                 mixed_spa_workload(
                     &[
                         ("business", &domains["business"]),
@@ -83,8 +80,16 @@ fn main() {
 
     let configs = [
         ("columnar_lru", LayoutPolicy::FixedColumnar, Eviction::Lru),
-        ("columnar_greedy", LayoutPolicy::FixedColumnar, Eviction::GreedyDual),
-        ("parquet_greedy", LayoutPolicy::FixedDremel, Eviction::GreedyDual),
+        (
+            "columnar_greedy",
+            LayoutPolicy::FixedColumnar,
+            Eviction::GreedyDual,
+        ),
+        (
+            "parquet_greedy",
+            LayoutPolicy::FixedDremel,
+            Eviction::GreedyDual,
+        ),
         ("recache", LayoutPolicy::Auto, Eviction::GreedyDual),
     ];
     let mut cumulative = Vec::new();

@@ -29,8 +29,9 @@ pub fn register_tpch(
     let mut domains = HashMap::new();
     let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
 
-    let rows_to_records =
-        |rows: &[Vec<Value>]| -> Vec<Value> { rows.iter().map(|r| Value::Struct(r.clone())).collect() };
+    let rows_to_records = |rows: &[Vec<Value>]| -> Vec<Value> {
+        rows.iter().map(|r| Value::Struct(r.clone())).collect()
+    };
 
     let schema = tpch::orders_schema();
     domains.insert(
@@ -65,8 +66,10 @@ pub fn register_tpch(
 
     let part = tpch::gen_part(sf, seed);
     let schema = tpch::part_schema();
-    domains
-        .insert("part".to_owned(), Domains::compute(&schema, rows_to_records(&part).iter()));
+    domains.insert(
+        "part".to_owned(),
+        Domains::compute(&schema, rows_to_records(&part).iter()),
+    );
     session.register_csv_bytes("part", csv::write_csv(&schema, &part), schema);
 
     let partsupp = tpch::gen_partsupp(sf, seed);
@@ -112,7 +115,10 @@ pub fn register_yelp(
 
     let business = yelp::gen_business(n_business, seed);
     let schema = yelp::business_schema();
-    out.insert("business".to_owned(), Domains::compute(&schema, business.iter()));
+    out.insert(
+        "business".to_owned(),
+        Domains::compute(&schema, business.iter()),
+    );
     session.register_json_bytes("business", json::write_json(&schema, &business), schema);
 
     let user = yelp::gen_user(n_user, seed);
@@ -122,7 +128,10 @@ pub fn register_yelp(
 
     let review = yelp::gen_review(n_review, n_user, n_business, seed);
     let schema = yelp::review_schema();
-    out.insert("review".to_owned(), Domains::compute(&schema, review.iter()));
+    out.insert(
+        "review".to_owned(),
+        Domains::compute(&schema, review.iter()),
+    );
     session.register_json_bytes("review", json::write_json(&schema, &review), schema);
 
     out
@@ -151,7 +160,9 @@ mod tests {
         assert!(!cd.numeric_leaves(true).is_empty());
         let yd = register_yelp(&mut session, 20, 30, 40, 2);
         assert_eq!(yd.len(), 3);
-        let r = session.sql("SELECT count(*) FROM business WHERE stars >= 1").unwrap();
+        let r = session
+            .sql("SELECT count(*) FROM business WHERE stars >= 1")
+            .unwrap();
         assert_eq!(r.rows[0], Value::Int(20));
     }
 }

@@ -3,8 +3,7 @@
 /// Prints the experiment header (`#`-prefixed, TSV-safe).
 pub fn print_header(figure: &str, description: &str, params: &[(&str, String)]) {
     println!("# {figure}: {description}");
-    let rendered: Vec<String> =
-        params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    let rendered: Vec<String> = params.iter().map(|(k, v)| format!("{k}={v}")).collect();
     println!("# params: {}", rendered.join(" "));
 }
 
@@ -16,7 +15,9 @@ pub struct Table {
 impl Table {
     pub fn new(columns: &[&str]) -> Self {
         println!("{}", columns.join("\t"));
-        Table { columns: columns.iter().map(|s| s.to_string()).collect() }
+        Table {
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+        }
     }
 
     /// Prints one row; panics on arity mismatch (a bench bug).

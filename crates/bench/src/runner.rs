@@ -61,8 +61,9 @@ mod tests {
 
     #[test]
     fn warmed_session_serves_workload_from_cache() {
-        let mut session =
-            ReCache::builder().admission(Admission::eager_only()).build();
+        let mut session = ReCache::builder()
+            .admission(Admission::eager_only())
+            .build();
         let domains = register_order_lineitems(&mut session, 0.0002, 42);
         warm_full_cache(&mut session, "orderLineitems").unwrap();
         let specs = spa_workload(
@@ -74,6 +75,9 @@ mod tests {
         );
         let outcomes = run_workload(&mut session, &specs).unwrap();
         assert_eq!(outcomes.len(), 10);
-        assert!(outcomes.iter().all(|o| o.cache_hit), "all queries subsumed by warm cache");
+        assert!(
+            outcomes.iter().all(|o| o.cache_hit),
+            "all queries subsumed by warm cache"
+        );
     }
 }

@@ -25,21 +25,34 @@ pub struct AdmissionConfig {
 
 impl Default for AdmissionConfig {
     fn default() -> Self {
-        AdmissionConfig { threshold: 0.10, sample_records: 256, force: None }
+        AdmissionConfig {
+            threshold: 0.10,
+            sample_records: 256,
+            force: None,
+        }
     }
 }
 
 impl AdmissionConfig {
     pub fn eager_only() -> Self {
-        AdmissionConfig { force: Some(AdmissionDecision::Eager), ..Default::default() }
+        AdmissionConfig {
+            force: Some(AdmissionDecision::Eager),
+            ..Default::default()
+        }
     }
 
     pub fn lazy_only() -> Self {
-        AdmissionConfig { force: Some(AdmissionDecision::Lazy), ..Default::default() }
+        AdmissionConfig {
+            force: Some(AdmissionDecision::Lazy),
+            ..Default::default()
+        }
     }
 
     pub fn with_threshold(threshold: f64) -> Self {
-        AdmissionConfig { threshold, ..Default::default() }
+        AdmissionConfig {
+            threshold,
+            ..Default::default()
+        }
     }
 }
 
@@ -122,13 +135,7 @@ mod tests {
         // the *sample* overhead look tiny; extrapolation must not.
         // Join took 10s (to1); caching 1000 of 1M records took 100ms.
         let overhead_naive = 0.1 / 10.1; // what the sample alone suggests
-        let overhead = estimate_overhead(
-            10_000_000_000,
-            100_000_000,
-            0,
-            1000,
-            1_000_000,
-        );
+        let overhead = estimate_overhead(10_000_000_000, 100_000_000, 0, 1000, 1_000_000);
         // tc = 100s, to = 10s + 100s -> ~0.909, far above the naive 1%.
         assert!(overhead > 0.9, "overhead {overhead}");
         assert!(overhead_naive < 0.01);

@@ -207,7 +207,7 @@ impl EvictionPolicy for GreedyDualRecache {
         // Second pass: walk candidates in descending size; after each
         // eviction, if a single remaining candidate covers what is left,
         // evict just that one and stop.
-        candidates.sort_by(|a, b| b.0.cmp(&a.0));
+        candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
         let mut victims = Vec::new();
         let mut remaining = ctx.need_bytes as i64;
         let mut i = 0usize;
@@ -312,8 +312,11 @@ impl EvictionPolicy for MonetDbRecycler {
             e.stats.access_count as f64 * e.stats.rebuild_cost_ns() as f64
                 / e.stats.bytes.max(1) as f64
         };
-        let mut scored: Vec<(f64, usize, EntryId)> =
-            ctx.entries.iter().map(|e| (score(e), e.stats.bytes, e.id)).collect();
+        let mut scored: Vec<(f64, usize, EntryId)> = ctx
+            .entries
+            .iter()
+            .map(|e| (score(e), e.stats.bytes, e.id))
+            .collect();
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
         // Upper-bound heuristic: among the cheapest half, a single item
         // covering the entire need wins outright.
@@ -354,8 +357,7 @@ impl EvictionPolicy for VectorwiseRecycler {
     fn select_victims(&mut self, ctx: &EvictionContext<'_>) -> Vec<EntryId> {
         evict_ascending_by(ctx, |e| {
             let age = (ctx.clock.saturating_sub(e.stats.last_access) + 1) as f64;
-            let per_byte =
-                e.stats.rebuild_cost_ns() as f64 / e.stats.bytes.max(1) as f64;
+            let per_byte = e.stats.rebuild_cost_ns() as f64 / e.stats.bytes.max(1) as f64;
             per_byte / age // recency discounts the saved cost
         })
     }
@@ -413,13 +415,7 @@ impl EvictionPolicy for LogOptimal {
 mod tests {
     use super::*;
 
-    fn stats(
-        n: u64,
-        t: u64,
-        bytes: usize,
-        last_access: u64,
-        access_count: u64,
-    ) -> EntryStats {
+    fn stats(n: u64, t: u64, bytes: usize, last_access: u64, access_count: u64) -> EntryStats {
         EntryStats {
             n,
             t_ns: t,
@@ -491,7 +487,12 @@ mod tests {
     fn greedy_dual_prefers_evicting_cheap_items() {
         let entries = vec![
             // Expensive to rebuild, reused often.
-            (1u64, stats(8, 1_000_000, 1000, 5, 9), FileFormat::Json, None),
+            (
+                1u64,
+                stats(8, 1_000_000, 1000, 5, 9),
+                FileFormat::Json,
+                None,
+            ),
             // Cheap, rarely used.
             (2, stats(1, 1_000, 1000, 6, 1), FileFormat::Csv, None),
         ];
@@ -550,8 +551,7 @@ mod tests {
         // Baseline rises over time (simulate a big eviction round).
         let filler = stats(1, 900_000, 1000, 10, 1);
         policy.on_admit(3, &filler);
-        let entries_round1 =
-            vec![(3u64, filler.clone(), FileFormat::Csv, None)];
+        let entries_round1 = vec![(3u64, filler.clone(), FileFormat::Csv, None)];
         let _ = policy.select_victims(&ctx(&entries_round1, 500, 60));
         // The new item is tagged with the raised baseline.
         policy.on_admit(2, &new_cheap);
@@ -625,7 +625,11 @@ mod tests {
                 (
                     i,
                     stats(i % 5, 1000 * (i + 1), 100 + 37 * i as usize, i, i % 4),
-                    if i % 2 == 0 { FileFormat::Csv } else { FileFormat::Json },
+                    if i % 2 == 0 {
+                        FileFormat::Csv
+                    } else {
+                        FileFormat::Json
+                    },
                     Some(100 + i),
                 )
             })
@@ -650,12 +654,21 @@ mod tests {
                 .iter()
                 .map(|v| entries.iter().find(|(id, ..)| id == v).unwrap().1.bytes)
                 .sum();
-            assert!(freed >= need, "{} freed only {freed} of {need}", kind.name());
+            assert!(
+                freed >= need,
+                "{} freed only {freed} of {need}",
+                kind.name()
+            );
             // No duplicates.
             let mut unique = victims.clone();
             unique.sort_unstable();
             unique.dedup();
-            assert_eq!(unique.len(), victims.len(), "{} duplicated victims", kind.name());
+            assert_eq!(
+                unique.len(),
+                victims.len(),
+                "{} duplicated victims",
+                kind.name()
+            );
         }
     }
 }

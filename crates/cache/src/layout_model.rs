@@ -229,7 +229,13 @@ mod tests {
     use super::*;
 
     fn obs(d: u64, c: u64, rows: usize, cols: usize, layout: LayoutKind) -> QueryObservation {
-        QueryObservation { d_ns: d, c_ns: c, rows, cols, layout }
+        QueryObservation {
+            d_ns: d,
+            c_ns: c,
+            rows,
+            cols,
+            layout,
+        }
     }
 
     /// The paper's worked example (§4.2): 5 queries, ΣDi = 1000,
@@ -242,7 +248,10 @@ mod tests {
             history.observe(obs(200, 400, 100, 2, LayoutKind::Dremel));
         }
         // Costparquet = 3000, Costrelational = 4000, T = 2400 -> stay.
-        assert_eq!(history.decide_nested(LayoutKind::Dremel, 400), LayoutDecision::Stay);
+        assert_eq!(
+            history.decide_nested(LayoutKind::Dremel, 400),
+            LayoutDecision::Stay
+        );
     }
 
     #[test]
@@ -291,7 +300,10 @@ mod tests {
         for _ in 0..20 {
             history.observe(obs(800, 0, 400, 2, LayoutKind::Columnar));
         }
-        assert_eq!(history.decide_nested(LayoutKind::Columnar, 400), LayoutDecision::Stay);
+        assert_eq!(
+            history.decide_nested(LayoutKind::Columnar, 400),
+            LayoutDecision::Stay
+        );
     }
 
     #[test]
@@ -308,7 +320,10 @@ mod tests {
         assert_eq!(history.window().len(), 0);
         assert_eq!(history.switches, 1);
         // Fresh window: no evidence yet, stay put.
-        assert_eq!(history.decide_nested(LayoutKind::Columnar, 400), LayoutDecision::Stay);
+        assert_eq!(
+            history.decide_nested(LayoutKind::Columnar, 400),
+            LayoutDecision::Stay
+        );
     }
 
     #[test]
@@ -344,8 +359,14 @@ mod tests {
     #[test]
     fn empty_window_stays() {
         let history = LayoutHistory::new();
-        assert_eq!(history.decide_nested(LayoutKind::Dremel, 100), LayoutDecision::Stay);
-        assert_eq!(history.decide_nested(LayoutKind::Columnar, 100), LayoutDecision::Stay);
+        assert_eq!(
+            history.decide_nested(LayoutKind::Dremel, 100),
+            LayoutDecision::Stay
+        );
+        assert_eq!(
+            history.decide_nested(LayoutKind::Columnar, 100),
+            LayoutDecision::Stay
+        );
     }
 
     #[test]

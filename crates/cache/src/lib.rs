@@ -24,7 +24,7 @@ pub mod stats;
 
 pub use admission::{AdmissionConfig, AdmissionDecision};
 pub use eviction::{
-    EvictionContext, EvictionKind, EvictionPolicy, EvictView, FarthestFirst, GreedyDualRecache,
+    EvictView, EvictionContext, EvictionKind, EvictionPolicy, FarthestFirst, GreedyDualRecache,
     Lfu, LogOptimal, Lru, LruJsonPriority, MonetDbRecycler, VectorwiseRecycler,
 };
 pub use layout_model::{FlatLayoutChoice, LayoutDecision, LayoutHistory, QueryObservation};

@@ -188,7 +188,9 @@ impl CacheRegistry {
     /// make the overhead threshold bind only on each file's very first
     /// query.
     pub fn source_in_working_set(&self, source: &str) -> bool {
-        self.entries.values().any(|e| e.source == source && e.stats.n > 0)
+        self.entries
+            .values()
+            .any(|e| e.source == source && e.stats.n > 0)
     }
 
     /// Looks up a match for a query over `source`: exact by `signature`,
@@ -213,7 +215,10 @@ impl CacheRegistry {
 
     fn lookup_inner(&self, source: &str, signature: &str, ranges: &[LeafRange]) -> MatchResult {
         // 1. Exact signature match.
-        if let Some(&id) = self.by_signature.get(&(source.to_owned(), signature.to_owned())) {
+        if let Some(&id) = self
+            .by_signature
+            .get(&(source.to_owned(), signature.to_owned()))
+        {
             return MatchResult::Exact(id);
         }
         // 2. Subsumption: gather candidates from the per-leaf interval
@@ -221,9 +226,10 @@ impl CacheRegistry {
         let mut best: Option<(usize, EntryId)> = None;
         let mut consider = |id: EntryId, entries: &HashMap<EntryId, CacheEntry>| {
             let entry = &entries[&id];
-            let covers = entry.ranges.iter().all(|er| {
-                ranges.iter().any(|qr| er.covers(qr))
-            });
+            let covers = entry
+                .ranges
+                .iter()
+                .all(|er| ranges.iter().any(|qr| er.covers(qr)));
             if covers {
                 let cost_proxy = entry.data.flattened_rows();
                 if best.is_none_or(|(c, _)| cost_proxy < c) {
@@ -309,7 +315,10 @@ impl CacheRegistry {
         self.by_signature.insert((source.to_owned(), signature), id);
         if subsumable {
             if entry.ranges.is_empty() {
-                self.unconstrained.entry(source.to_owned()).or_default().push(id);
+                self.unconstrained
+                    .entry(source.to_owned())
+                    .or_default()
+                    .push(id);
             } else {
                 for r in &entry.ranges {
                     self.rtrees
@@ -330,7 +339,9 @@ impl CacheRegistry {
     /// Replaces an entry's data (layout switch or lazy→eager upgrade),
     /// optionally adding the transformation cost into `c`.
     pub fn replace_data(&mut self, id: EntryId, data: CacheData, extra_c_ns: u64) {
-        let Some(entry) = self.entries.get_mut(&id) else { return };
+        let Some(entry) = self.entries.get_mut(&id) else {
+            return;
+        };
         let old_bytes = entry.stats.bytes;
         let new_bytes = data.byte_size();
         entry.data = data;
@@ -342,9 +353,12 @@ impl CacheRegistry {
 
     /// Removes an entry outright.
     pub fn remove(&mut self, id: EntryId) {
-        let Some(entry) = self.entries.remove(&id) else { return };
+        let Some(entry) = self.entries.remove(&id) else {
+            return;
+        };
         self.total_bytes -= entry.stats.bytes;
-        self.by_signature.remove(&(entry.source.clone(), entry.signature.clone()));
+        self.by_signature
+            .remove(&(entry.source.clone(), entry.signature.clone()));
         if entry.subsumable {
             if entry.ranges.is_empty() {
                 if let Some(ids) = self.unconstrained.get_mut(&entry.source) {
@@ -363,7 +377,9 @@ impl CacheRegistry {
 
     /// Evicts until `total_bytes <= capacity`.
     fn enforce_capacity(&mut self) {
-        let Some(capacity) = self.capacity else { return };
+        let Some(capacity) = self.capacity else {
+            return;
+        };
         while self.total_bytes > capacity && !self.entries.is_empty() {
             let need = self.total_bytes - capacity;
             let views: Vec<EvictView<'_>> = self
@@ -374,10 +390,7 @@ impl CacheRegistry {
                     stats: &e.stats,
                     format: e.format,
                     source: &e.source,
-                    next_use: self
-                        .oracle
-                        .as_ref()
-                        .and_then(|o| o.next_use(e, self.clock)),
+                    next_use: self.oracle.as_ref().and_then(|o| o.next_use(e, self.clock)),
                 })
                 .collect();
             let ctx = EvictionContext {
@@ -436,6 +449,7 @@ mod tests {
 
     /// Test shims over the full admit/lookup signatures.
     trait RegistryTestExt {
+        #[allow(clippy::too_many_arguments)]
         fn admit_t(
             &mut self,
             source: &str,
@@ -473,7 +487,15 @@ mod tests {
     #[test]
     fn exact_match_round_trip() {
         let mut reg = registry(None);
-        let id = reg.admit_t("t", FileFormat::Csv, ranges(0, 1.0, 9.0), data(100), 10, 5, 1);
+        let id = reg.admit_t(
+            "t",
+            FileFormat::Csv,
+            ranges(0, 1.0, 9.0),
+            data(100),
+            10,
+            5,
+            1,
+        );
         let (m, l_ns) = reg.lookup_t("t", &ranges(0, 1.0, 9.0));
         assert_eq!(m, MatchResult::Exact(id));
         let _ = l_ns;
@@ -488,11 +510,19 @@ mod tests {
         let mut reg = registry(None);
         // Cached: leaf0 in [0, 100] AND leaf1 in [5, 10].
         let mut rs = ranges(0, 0.0, 100.0);
-        rs.push(LeafRange { leaf: 1, lo: 5.0, hi: 10.0 });
+        rs.push(LeafRange {
+            leaf: 1,
+            lo: 5.0,
+            hi: 10.0,
+        });
         let id = reg.admit_t("t", FileFormat::Json, rs, data(100), 10, 5, 1);
         // Query narrower on both leaves: subsumed.
         let mut q = ranges(0, 10.0, 20.0);
-        q.push(LeafRange { leaf: 1, lo: 6.0, hi: 9.0 });
+        q.push(LeafRange {
+            leaf: 1,
+            lo: 6.0,
+            hi: 9.0,
+        });
         assert_eq!(reg.lookup_t("t", &q).0, MatchResult::Subsuming(id));
         // Query missing the leaf-1 constraint: the cached predicate is
         // NOT weaker (it restricts leaf1), so no subsumption.
@@ -500,7 +530,11 @@ mod tests {
         assert_eq!(reg.lookup_t("t", &q).0, MatchResult::Miss);
         // Query wider on leaf1: not covered.
         let mut q = ranges(0, 10.0, 20.0);
-        q.push(LeafRange { leaf: 1, lo: 0.0, hi: 9.0 });
+        q.push(LeafRange {
+            leaf: 1,
+            lo: 0.0,
+            hi: 9.0,
+        });
         assert_eq!(reg.lookup_t("t", &q).0, MatchResult::Miss);
     }
 
@@ -508,18 +542,39 @@ mod tests {
     fn unconstrained_entry_subsumes_everything_on_source() {
         let mut reg = registry(None);
         let id = reg.admit_t("t", FileFormat::Csv, vec![], data(100), 10, 5, 1);
-        assert_eq!(reg.lookup_t("t", &ranges(3, 1.0, 2.0)).0, MatchResult::Subsuming(id));
+        assert_eq!(
+            reg.lookup_t("t", &ranges(3, 1.0, 2.0)).0,
+            MatchResult::Subsuming(id)
+        );
         // Exact match for the predicate-less query itself.
         assert_eq!(reg.lookup_t("t", &[]).0, MatchResult::Exact(id));
-        assert_eq!(reg.lookup_t("other", &ranges(3, 1.0, 2.0)).0, MatchResult::Miss);
+        assert_eq!(
+            reg.lookup_t("other", &ranges(3, 1.0, 2.0)).0,
+            MatchResult::Miss
+        );
     }
 
     #[test]
     fn best_subsuming_match_is_smallest() {
         let mut reg = registry(None);
-        let _big = reg.admit_t("t", FileFormat::Csv, ranges(0, 0.0, 1000.0), data(100), 10, 5, 1);
-        let small =
-            reg.admit_t("t", FileFormat::Csv, ranges(0, 10.0, 50.0), data(100), 10, 5, 1);
+        let _big = reg.admit_t(
+            "t",
+            FileFormat::Csv,
+            ranges(0, 0.0, 1000.0),
+            data(100),
+            10,
+            5,
+            1,
+        );
+        let small = reg.admit_t(
+            "t",
+            FileFormat::Csv,
+            ranges(0, 10.0, 50.0),
+            data(100),
+            10,
+            5,
+            1,
+        );
         // Both cover [20, 30]; the one with fewer flattened rows wins.
         // (Both offset stores report the same rows here, so the tie keeps
         // the first found; force different sizes.)
@@ -533,13 +588,37 @@ mod tests {
     #[test]
     fn capacity_enforcement_evicts_lru() {
         let mut reg = registry(Some(1000));
-        let a = reg.admit_t("t", FileFormat::Csv, ranges(0, 0.0, 1.0), data(400), 10, 5, 1);
+        let a = reg.admit_t(
+            "t",
+            FileFormat::Csv,
+            ranges(0, 0.0, 1.0),
+            data(400),
+            10,
+            5,
+            1,
+        );
         reg.tick();
-        let b = reg.admit_t("t", FileFormat::Csv, ranges(0, 2.0, 3.0), data(400), 10, 5, 1);
+        let b = reg.admit_t(
+            "t",
+            FileFormat::Csv,
+            ranges(0, 2.0, 3.0),
+            data(400),
+            10,
+            5,
+            1,
+        );
         reg.tick();
         // Touch a so b becomes the LRU victim.
         reg.record_reuse(a, 5, 1);
-        let _c = reg.admit_t("t", FileFormat::Csv, ranges(0, 4.0, 5.0), data(400), 10, 5, 1);
+        let _c = reg.admit_t(
+            "t",
+            FileFormat::Csv,
+            ranges(0, 4.0, 5.0),
+            data(400),
+            10,
+            5,
+            1,
+        );
         assert!(reg.total_bytes() <= 1000);
         assert!(reg.entry(a).is_some());
         assert!(reg.entry(b).is_none(), "LRU victim should be evicted");
@@ -563,7 +642,15 @@ mod tests {
     #[test]
     fn reuse_updates_stats_and_counters() {
         let mut reg = registry(None);
-        let id = reg.admit_t("t", FileFormat::Csv, ranges(0, 0.0, 9.0), data(100), 10, 5, 1);
+        let id = reg.admit_t(
+            "t",
+            FileFormat::Csv,
+            ranges(0, 0.0, 9.0),
+            data(100),
+            10,
+            5,
+            1,
+        );
         reg.tick();
         let (m, l) = reg.lookup_t("t", &ranges(0, 1.0, 2.0));
         assert_eq!(m, MatchResult::Subsuming(id));
@@ -594,7 +681,10 @@ mod tests {
     impl FutureOracle for FixedOracle {
         fn next_use(&self, entry: &CacheEntry, _clock: u64) -> Option<u64> {
             // Entries on leaf 0 reused at query 100; others never.
-            entry.ranges.first().and_then(|r| (r.leaf == 0).then_some(100))
+            entry
+                .ranges
+                .first()
+                .and_then(|r| (r.leaf == 0).then_some(100))
         }
     }
 
@@ -602,22 +692,65 @@ mod tests {
     fn offline_policy_consults_oracle() {
         let mut reg = CacheRegistry::new(EvictionKind::FarthestFirst.build(), Some(900));
         reg.set_oracle(Box::new(FixedOracle));
-        let keep = reg.admit_t("t", FileFormat::Csv, ranges(0, 0.0, 1.0), data(400), 10, 5, 1);
-        let drop = reg.admit_t("t", FileFormat::Csv, ranges(1, 0.0, 1.0), data(400), 10, 5, 1);
-        let _third = reg.admit_t("t", FileFormat::Csv, ranges(0, 2.0, 3.0), data(400), 10, 5, 1);
+        let keep = reg.admit_t(
+            "t",
+            FileFormat::Csv,
+            ranges(0, 0.0, 1.0),
+            data(400),
+            10,
+            5,
+            1,
+        );
+        let drop = reg.admit_t(
+            "t",
+            FileFormat::Csv,
+            ranges(1, 0.0, 1.0),
+            data(400),
+            10,
+            5,
+            1,
+        );
+        let _third = reg.admit_t(
+            "t",
+            FileFormat::Csv,
+            ranges(0, 2.0, 3.0),
+            data(400),
+            10,
+            5,
+            1,
+        );
         assert!(reg.entry(keep).is_some());
-        assert!(reg.entry(drop).is_none(), "never-reused entry evicted first");
+        assert!(
+            reg.entry(drop).is_none(),
+            "never-reused entry evicted first"
+        );
     }
 
     #[test]
     fn signature_is_order_insensitive() {
         let a = vec![
-            LeafRange { leaf: 2, lo: 1.0, hi: 2.0 },
-            LeafRange { leaf: 0, lo: 5.0, hi: 6.0 },
+            LeafRange {
+                leaf: 2,
+                lo: 1.0,
+                hi: 2.0,
+            },
+            LeafRange {
+                leaf: 0,
+                lo: 5.0,
+                hi: 6.0,
+            },
         ];
         let b = vec![
-            LeafRange { leaf: 0, lo: 5.0, hi: 6.0 },
-            LeafRange { leaf: 2, lo: 1.0, hi: 2.0 },
+            LeafRange {
+                leaf: 0,
+                lo: 5.0,
+                hi: 6.0,
+            },
+            LeafRange {
+                leaf: 2,
+                lo: 1.0,
+                hi: 2.0,
+            },
         ];
         assert_eq!(range_signature(&a), range_signature(&b));
         assert_eq!(range_signature(&[]), "true");

@@ -72,7 +72,15 @@ mod tests {
     use super::*;
 
     fn stats(n: u64, t: u64, c: u64, s: u64, l: u64, bytes: usize) -> EntryStats {
-        EntryStats { n, t_ns: t, c_ns: c, s_ns: s, l_ns: l, bytes, ..Default::default() }
+        EntryStats {
+            n,
+            t_ns: t,
+            c_ns: c,
+            s_ns: s,
+            l_ns: l,
+            bytes,
+            ..Default::default()
+        }
     }
 
     #[test]

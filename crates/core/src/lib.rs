@@ -28,8 +28,7 @@ use recache_engine::exec;
 use recache_engine::plan::{AccessPath, QueryPlan, TablePlan};
 use recache_engine::sql::{parse_query, QuerySpec};
 use recache_layout::{
-    columnar_to_dremel, columnar_to_row, dremel_to_columnar, row_to_columnar, CacheData,
-    LayoutKind,
+    columnar_to_dremel, columnar_to_row, dremel_to_columnar, row_to_columnar, CacheData, LayoutKind,
 };
 use recache_types::{Result, Schema};
 use resolve::{resolve, ResolvedQuery};
@@ -238,22 +237,38 @@ impl ReCache {
         for table in &resolved.tables {
             let (route, access) = if self.caching {
                 let (m, lookup_ns) =
-                    self.registry.lookup(&table.name, &table.signature, &table.ranges);
+                    self.registry
+                        .lookup(&table.name, &table.signature, &table.ranges);
                 match m.entry() {
                     Some(id) => {
                         let entry = self.registry.entry(id).expect("entry exists");
                         let was_offsets = matches!(entry.data, CacheData::Offsets(_));
                         let access = access_path_for(&entry.data, &table.file);
-                        (TableRoute { hit: Some((id, m)), lookup_ns, was_offsets }, access)
+                        (
+                            TableRoute {
+                                hit: Some((id, m)),
+                                lookup_ns,
+                                was_offsets,
+                            },
+                            access,
+                        )
                     }
                     None => (
-                        TableRoute { hit: None, lookup_ns, was_offsets: false },
+                        TableRoute {
+                            hit: None,
+                            lookup_ns,
+                            was_offsets: false,
+                        },
                         AccessPath::Raw(Arc::clone(&table.file)),
                     ),
                 }
             } else {
                 (
-                    TableRoute { hit: None, lookup_ns: 0, was_offsets: false },
+                    TableRoute {
+                        hit: None,
+                        lookup_ns: 0,
+                        was_offsets: false,
+                    },
                     AccessPath::Raw(Arc::clone(&table.file)),
                 )
             };
@@ -297,7 +312,8 @@ impl ReCache {
             };
             match route.hit {
                 Some((id, _)) => {
-                    self.registry.record_reuse(id, stats.exec_ns, route.lookup_ns);
+                    self.registry
+                        .record_reuse(id, stats.exec_ns, route.lookup_ns);
                     // Layout bookkeeping for store scans.
                     if let Some(cost) = stats.cache_scan {
                         if let Some(entry) = self.registry.entry_mut(id) {
@@ -424,7 +440,9 @@ impl ReCache {
             CacheData::Offsets(_) => return None,
         };
         let (new_data, duration) = if nested {
-            let decision = entry.history.decide_nested(current, entry.data.flattened_rows());
+            let decision = entry
+                .history
+                .decide_nested(current, entry.data.flattened_rows());
             match (decision, &entry.data) {
                 (LayoutDecision::SwitchToColumnar, CacheData::Dremel(store)) => {
                     let (new_store, d) = dremel_to_columnar(store);
@@ -445,7 +463,10 @@ impl ReCache {
             };
             let choice = entry.history.decide_flat(n_leaves);
             match (choice, &entry.data) {
-                (recache_cache::layout_model::FlatLayoutChoice::Row, CacheData::Columnar(store)) => {
+                (
+                    recache_cache::layout_model::FlatLayoutChoice::Row,
+                    CacheData::Columnar(store),
+                ) => {
                     let (new_store, d) = columnar_to_row(store);
                     (CacheData::Row(Arc::new(new_store)), d)
                 }
@@ -470,8 +491,12 @@ impl ReCache {
 
     /// Replaces a lazy entry's offsets with an eager store.
     fn upgrade_entry(&mut self, table: &resolve::ResolvedTable, id: EntryId) -> Result<u64> {
-        let Some(entry) = self.registry.entry(id) else { return Ok(0) };
-        let CacheData::Offsets(store) = &entry.data else { return Ok(0) };
+        let Some(entry) = self.registry.entry(id) else {
+            return Ok(0);
+        };
+        let CacheData::Offsets(store) = &entry.data else {
+            return Ok(0);
+        };
         let store = Arc::clone(store);
         let choice = self.store_choice(&table.file);
         let (data, ns) = upgrade_to_eager(&table.file, choice, &store)?;
@@ -486,9 +511,10 @@ fn access_path_for(data: &CacheData, file: &Arc<RawFile>) -> AccessPath {
         CacheData::Columnar(s) => AccessPath::Columnar(Arc::clone(s)),
         CacheData::Dremel(s) => AccessPath::Dremel(Arc::clone(s)),
         CacheData::Row(s) => AccessPath::Row(Arc::clone(s)),
-        CacheData::Offsets(s) => {
-            AccessPath::Offsets { file: Arc::clone(file), store: Arc::clone(s) }
-        }
+        CacheData::Offsets(s) => AccessPath::Offsets {
+            file: Arc::clone(file),
+            store: Arc::clone(s),
+        },
     }
 }
 
@@ -551,15 +577,19 @@ mod tests {
     #[test]
     fn subsumption_narrower_range_hits_and_matches_raw() {
         let mut session = lineitem_session(true);
-        let wide = session.sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 10").unwrap();
+        let wide = session
+            .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 10")
+            .unwrap();
         assert!(!wide.stats.cache_hit);
-        let narrow =
-            session.sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30").unwrap();
+        let narrow = session
+            .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30")
+            .unwrap();
         assert!(narrow.stats.cache_hit, "narrower range should be subsumed");
         // Cross-check against a caching-free session.
         let mut baseline = lineitem_session(false);
-        let truth =
-            baseline.sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30").unwrap();
+        let truth = baseline
+            .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30")
+            .unwrap();
         assert_eq!(narrow.rows, truth.rows);
     }
 
@@ -567,7 +597,9 @@ mod tests {
     fn no_caching_session_never_hits() {
         let mut session = lineitem_session(false);
         for _ in 0..3 {
-            let r = session.sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30").unwrap();
+            let r = session
+                .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30")
+                .unwrap();
             assert!(!r.stats.cache_hit);
         }
         assert_eq!(session.cache().len(), 0);
@@ -584,13 +616,17 @@ mod tests {
         assert_eq!(first.rows, second.rows);
         // The cached store must be nested columnar by default.
         let entry = session.cache().iter().next().unwrap();
-        assert!(matches!(entry.data.layout(), LayoutKind::Dremel | LayoutKind::Offsets));
+        assert!(matches!(
+            entry.data.layout(),
+            LayoutKind::Dremel | LayoutKind::Offsets
+        ));
     }
 
     #[test]
     fn lazy_entries_upgrade_on_reuse() {
-        let mut session =
-            ReCache::builder().admission(AdmissionConfig::lazy_only()).build();
+        let mut session = ReCache::builder()
+            .admission(AdmissionConfig::lazy_only())
+            .build();
         let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0002, 7);
         let schema = tpch::lineitem_schema();
         session.register_csv_bytes("lineitem", csv::write_csv(&schema, &lineitems), schema);
@@ -614,7 +650,11 @@ mod tests {
         let (orders, lineitems) = tpch::gen_orders_and_lineitems(0.0002, 11);
         let li_schema = tpch::lineitem_schema();
         let o_schema = tpch::orders_schema();
-        session.register_csv_bytes("lineitem", csv::write_csv(&li_schema, &lineitems), li_schema);
+        session.register_csv_bytes(
+            "lineitem",
+            csv::write_csv(&li_schema, &lineitems),
+            li_schema,
+        );
         session.register_csv_bytes("orders", csv::write_csv(&o_schema, &orders), o_schema);
         let q = "SELECT count(*), avg(o_totalprice) FROM orders \
                  JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey \
@@ -657,12 +697,15 @@ mod tests {
 
     #[test]
     fn caching_overhead_is_reported() {
-        let mut session =
-            ReCache::builder().admission(AdmissionConfig::eager_only()).build();
+        let mut session = ReCache::builder()
+            .admission(AdmissionConfig::eager_only())
+            .build();
         let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0003, 5);
         let schema = tpch::lineitem_schema();
         session.register_csv_bytes("lineitem", csv::write_csv(&schema, &lineitems), schema);
-        let r = session.sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 2").unwrap();
+        let r = session
+            .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 2")
+            .unwrap();
         assert!(r.stats.caching_ns > 0);
         assert!(r.stats.total_ns >= r.stats.caching_ns);
         assert_eq!(r.stats.tables[0].admission, Some(AdmissionDecision::Eager));
@@ -683,7 +726,9 @@ mod tests {
         assert_eq!(first.rows, second.rows);
         // A weaker range query must NOT be served by the string-filtered
         // entry (it is not subsumable).
-        let other = session.sql("SELECT count(*) FROM spam WHERE size >= 2000").unwrap();
+        let other = session
+            .sql("SELECT count(*) FROM spam WHERE size >= 2000")
+            .unwrap();
         assert!(!other.stats.cache_hit);
         // Correctness check vs no-caching.
         let mut baseline = ReCache::builder().no_caching().build();

@@ -33,20 +33,32 @@ pub struct MaterializeResult {
     pub overhead: f64,
 }
 
-/// Builds an eager store from full records.
+/// Builds an eager store from full records, tagging it with the records'
+/// source-file ids so later scans over the cache report *file* record ids
+/// (the lazy/offsets admission path stores exactly these).
 fn build_store(
     schema: &recache_types::Schema,
     records: &[Value],
+    record_ids: &[u32],
     choice: StoreChoice,
 ) -> CacheData {
+    debug_assert_eq!(records.len(), record_ids.len());
     match choice {
         StoreChoice::Columnar => {
-            CacheData::Columnar(Arc::new(ColumnStore::build(schema, records.iter())))
+            let mut store = ColumnStore::build(schema, records.iter());
+            store.set_source_record_ids(record_ids.to_vec());
+            CacheData::Columnar(Arc::new(store))
         }
         StoreChoice::Dremel => {
-            CacheData::Dremel(Arc::new(DremelStore::build(schema, records.iter())))
+            let mut store = DremelStore::build(schema, records.iter());
+            store.set_source_record_ids(record_ids.to_vec());
+            CacheData::Dremel(Arc::new(store))
         }
-        StoreChoice::Row => CacheData::Row(Arc::new(RowStore::build(schema, records.iter()))),
+        StoreChoice::Row => {
+            let mut store = RowStore::build(schema, records.iter());
+            store.set_source_record_ids(record_ids.to_vec());
+            CacheData::Row(Arc::new(store))
+        }
     }
 }
 
@@ -96,8 +108,7 @@ pub fn materialize_with_admission(
         AdmissionDecision::Lazy => {
             // Abort the eager pass; keep only offsets. The sample time is
             // sunk cost, charged to this query's caching overhead.
-            let data =
-                CacheData::Offsets(Arc::new(OffsetStore::build(record_ids, flattened_rows)));
+            let data = CacheData::Offsets(Arc::new(OffsetStore::build(record_ids, flattened_rows)));
             Ok(MaterializeResult {
                 data,
                 caching_ns: t0.elapsed().as_nanos() as u64,
@@ -107,7 +118,7 @@ pub fn materialize_with_admission(
         }
         AdmissionDecision::Eager => {
             records.extend(file.read_records(&record_ids[sample_n..])?);
-            let data = build_store(file.schema(), &records, choice);
+            let data = build_store(file.schema(), &records, &record_ids, choice);
             Ok(MaterializeResult {
                 data,
                 caching_ns: t0.elapsed().as_nanos() as u64,
@@ -127,7 +138,7 @@ pub fn upgrade_to_eager(
 ) -> Result<(CacheData, u64)> {
     let t0 = Instant::now();
     let records = file.read_records(store.record_ids())?;
-    let data = build_store(file.schema(), &records, choice);
+    let data = build_store(file.schema(), &records, store.record_ids(), choice);
     Ok((data, t0.elapsed().as_nanos() as u64))
 }
 
@@ -269,16 +280,9 @@ mod tests {
     fn empty_satisfying_set_yields_empty_store() {
         let file = csv_file(10);
         let config = AdmissionConfig::eager_only();
-        let result = materialize_with_admission(
-            &file,
-            StoreChoice::Columnar,
-            &config,
-            vec![],
-            0,
-            0,
-            false,
-        )
-        .unwrap();
+        let result =
+            materialize_with_admission(&file, StoreChoice::Columnar, &config, vec![], 0, 0, false)
+                .unwrap();
         assert_eq!(result.data.record_count(), 0);
     }
 }

@@ -41,10 +41,7 @@ pub struct ResolvedQuery {
 }
 
 /// Resolves a parsed query against registered sources.
-pub fn resolve(
-    spec: &QuerySpec,
-    sources: &HashMap<String, Arc<RawFile>>,
-) -> Result<ResolvedQuery> {
+pub fn resolve(spec: &QuerySpec, sources: &HashMap<String, Arc<RawFile>>) -> Result<ResolvedQuery> {
     if spec.tables.is_empty() {
         return Err(Error::plan("query references no tables"));
     }
@@ -55,7 +52,10 @@ pub fn resolve(
             .ok_or_else(|| Error::plan(format!("unknown table '{name}'")))?;
         files.push(Arc::clone(file));
     }
-    let resolver = PathResolver { tables: &spec.tables, files: &files };
+    let resolver = PathResolver {
+        tables: &spec.tables,
+        files: &files,
+    };
 
     let mut accessed: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); files.len()];
     // Per-table predicate pieces in leaf space.
@@ -75,12 +75,16 @@ pub fn resolve(
                     (_, Some(x)) if numeric => {
                         let range = match op {
                             CmpOp::Eq => LeafRange { leaf, lo: x, hi: x },
-                            CmpOp::Lt | CmpOp::Le => {
-                                LeafRange { leaf, lo: f64::NEG_INFINITY, hi: x }
-                            }
-                            CmpOp::Gt | CmpOp::Ge => {
-                                LeafRange { leaf, lo: x, hi: f64::INFINITY }
-                            }
+                            CmpOp::Lt | CmpOp::Le => LeafRange {
+                                leaf,
+                                lo: f64::NEG_INFINITY,
+                                hi: x,
+                            },
+                            CmpOp::Gt | CmpOp::Ge => LeafRange {
+                                leaf,
+                                lo: x,
+                                hi: f64::INFINITY,
+                            },
                             CmpOp::Ne => unreachable!("handled above"),
                         };
                         push_range(&mut ranges[t], range);
@@ -145,19 +149,23 @@ pub fn resolve(
     let mut slot_of: Vec<HashMap<usize, usize>> = Vec::with_capacity(files.len());
     for (t, file) in files.iter().enumerate() {
         let accessed_vec: Vec<usize> = accessed[t].iter().copied().collect();
-        let map: HashMap<usize, usize> =
-            accessed_vec.iter().enumerate().map(|(slot, &leaf)| (leaf, slot)).collect();
+        let map: HashMap<usize, usize> = accessed_vec
+            .iter()
+            .enumerate()
+            .map(|(slot, &leaf)| (leaf, slot))
+            .collect();
 
         // Leaf-space predicate: ranges (non-strict form handled via
         // extras) plus extra clauses.
         let mut clauses_leafspace: Vec<Expr> = extras[t].clone();
         let signature = {
             let mut sig = range_signature(&ranges[t]);
-            let extra_only: Vec<&Expr> =
-                extras[t].iter().filter(|e| !is_range_residual(e, &ranges[t])).collect();
+            let extra_only: Vec<&Expr> = extras[t]
+                .iter()
+                .filter(|e| !is_range_residual(e, &ranges[t]))
+                .collect();
             if !extra_only.is_empty() {
-                let mut parts: Vec<String> =
-                    extra_only.iter().map(|e| e.canonical()).collect();
+                let mut parts: Vec<String> = extra_only.iter().map(|e| e.canonical()).collect();
                 parts.sort();
                 sig.push('&');
                 sig.push_str(&parts.join("&"));
@@ -197,12 +205,24 @@ pub fn resolve(
     let aggregates = agg_leaf
         .into_iter()
         .map(|(func, target)| match target {
-            None => AggSpec { table: 0, slot: None, func },
-            Some((t, leaf)) => AggSpec { table: t, slot: Some(slot_of[t][&leaf]), func },
+            None => AggSpec {
+                table: 0,
+                slot: None,
+                func,
+            },
+            Some((t, leaf)) => AggSpec {
+                table: t,
+                slot: Some(slot_of[t][&leaf]),
+                func,
+            },
         })
         .collect();
 
-    Ok(ResolvedQuery { tables, joins, aggregates })
+    Ok(ResolvedQuery {
+        tables,
+        joins,
+        aggregates,
+    })
 }
 
 /// The residual predicate for every range clause is itself a range

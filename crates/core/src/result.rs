@@ -77,7 +77,10 @@ mod tests {
             exec: ExecStats::default(),
         };
         assert!((stats.caching_overhead() - 0.2).abs() < 1e-12);
-        let zero = QueryStats { total_ns: 0, ..stats };
+        let zero = QueryStats {
+            total_ns: 0,
+            ..stats
+        };
         assert_eq!(zero.caching_overhead(), 0.0);
     }
 }

@@ -95,9 +95,9 @@ pub fn parse_field(bytes: &[u8], ty: ScalarType) -> Result<Value> {
         return Ok(Value::Null);
     }
     match ty {
-        ScalarType::Int => parse_i64(bytes)
-            .map(Value::Int)
-            .ok_or_else(|| Error::parse(format!("invalid int: {}", String::from_utf8_lossy(bytes)))),
+        ScalarType::Int => parse_i64(bytes).map(Value::Int).ok_or_else(|| {
+            Error::parse(format!("invalid int: {}", String::from_utf8_lossy(bytes)))
+        }),
         ScalarType::Float => std::str::from_utf8(bytes)
             .ok()
             .and_then(|s| s.parse::<f64>().ok())
@@ -108,7 +108,10 @@ pub fn parse_field(bytes: &[u8], ty: ScalarType) -> Result<Value> {
         ScalarType::Bool => match bytes {
             b"true" | b"1" => Ok(Value::Bool(true)),
             b"false" | b"0" => Ok(Value::Bool(false)),
-            _ => Err(Error::parse(format!("invalid bool: {}", String::from_utf8_lossy(bytes)))),
+            _ => Err(Error::parse(format!(
+                "invalid bool: {}",
+                String::from_utf8_lossy(bytes)
+            ))),
         },
         ScalarType::Str => Ok(Value::Str(String::from_utf8_lossy(bytes).into_owned())),
     }
@@ -203,7 +206,11 @@ pub fn scan_build_map(
         record_id += 1;
     }
     record_offsets.push(bytes.len() as u64);
-    Ok(PositionalMap::with_fields(record_offsets, field_offsets, n_fields))
+    Ok(PositionalMap::with_fields(
+        record_offsets,
+        field_offsets,
+        n_fields,
+    ))
 }
 
 /// Positional-map-assisted scan: parses only the accessed fields of every
@@ -295,7 +302,10 @@ mod tests {
         })
         .unwrap();
         assert_eq!(rows.len(), 3);
-        assert_eq!(rows[0].1, vec![Value::Int(1), Value::Float(1.5), Value::from("x")]);
+        assert_eq!(
+            rows[0].1,
+            vec![Value::Int(1), Value::Float(1.5), Value::from("x")]
+        );
         assert_eq!(rows[1].1[0], Value::Int(-2));
         // Empty fields parse as Null for every type (the writer emits
         // nothing for Null, so Str("") does not round-trip — documented).
@@ -313,18 +323,20 @@ mod tests {
             Ok(())
         })
         .unwrap();
-        assert_eq!(rows, vec![
-            vec![Value::Float(1.5)],
-            vec![Value::Float(2.0)],
-            vec![Value::Float(3.25)],
-        ]);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Float(1.5)],
+                vec![Value::Float(2.0)],
+                vec![Value::Float(3.25)],
+            ]
+        );
     }
 
     #[test]
     fn mapped_scan_matches_full_scan() {
         let bytes = sample();
-        let map = scan_build_map(&bytes, &schema(), &[false, false, false], |_, _| Ok(()))
-            .unwrap();
+        let map = scan_build_map(&bytes, &schema(), &[false, false, false], |_, _| Ok(())).unwrap();
         let mut rows = Vec::new();
         scan_with_map(&bytes, &schema(), &map, &[true, false, true], |id, vals| {
             rows.push((id, vals));
@@ -338,8 +350,7 @@ mod tests {
     #[test]
     fn parse_record_at_reads_single_records() {
         let bytes = sample();
-        let map = scan_build_map(&bytes, &schema(), &[false, false, false], |_, _| Ok(()))
-            .unwrap();
+        let map = scan_build_map(&bytes, &schema(), &[false, false, false], |_, _| Ok(())).unwrap();
         let vals = parse_record_at(&bytes, &schema(), &map, 1, &[true, true, false]).unwrap();
         assert_eq!(vals, vec![Value::Int(-2), Value::Float(2.0)]);
     }
@@ -354,7 +365,10 @@ mod tests {
         })
         .unwrap();
         assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0], vec![Value::Int(5), Value::Float(2.5), Value::from("end")]);
+        assert_eq!(
+            rows[0],
+            vec![Value::Int(5), Value::Float(2.5), Value::from("end")]
+        );
         assert_eq!(map.record_count(), 1);
     }
 
@@ -388,8 +402,14 @@ mod tests {
 
     #[test]
     fn bool_parsing() {
-        assert_eq!(parse_field(b"true", ScalarType::Bool).unwrap(), Value::Bool(true));
-        assert_eq!(parse_field(b"0", ScalarType::Bool).unwrap(), Value::Bool(false));
+        assert_eq!(
+            parse_field(b"true", ScalarType::Bool).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            parse_field(b"0", ScalarType::Bool).unwrap(),
+            Value::Bool(false)
+        );
         assert!(parse_field(b"maybe", ScalarType::Bool).is_err());
     }
 }

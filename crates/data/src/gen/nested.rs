@@ -63,8 +63,10 @@ mod tests {
         let schema = synthetic_nested_schema();
         for cardinality in [0usize, 1, 5, 20] {
             let records = gen_synthetic_nested(10, cardinality, 3);
-            let rows: usize =
-                records.iter().map(|r| flatten_record(&schema, r).len()).sum();
+            let rows: usize = records
+                .iter()
+                .map(|r| flatten_record(&schema, r).len())
+                .sum();
             // cardinality 0 still yields one (null-padded) row per record.
             let expected = 10 * cardinality.max(1);
             assert_eq!(rows, expected, "cardinality {cardinality}");
@@ -74,6 +76,9 @@ mod tests {
     #[test]
     fn deterministic() {
         assert_eq!(gen_synthetic_nested(5, 3, 9), gen_synthetic_nested(5, 3, 9));
-        assert_ne!(gen_synthetic_nested(5, 3, 9), gen_synthetic_nested(5, 3, 10));
+        assert_ne!(
+            gen_synthetic_nested(5, 3, 9),
+            gen_synthetic_nested(5, 3, 10)
+        );
     }
 }

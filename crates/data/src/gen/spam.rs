@@ -13,8 +13,13 @@ use rand::{Rng, SeedableRng};
 use recache_types::{DataType, Field, Schema, Value};
 
 const LANGS: [&str; 8] = ["en", "ru", "zh", "es", "de", "pt", "fr", "ja"];
-const CONTENT_TYPES: [&str; 5] =
-    ["text/plain", "text/html", "multipart/mixed", "multipart/alternative", "image/png"];
+const CONTENT_TYPES: [&str; 5] = [
+    "text/plain",
+    "text/html",
+    "multipart/mixed",
+    "multipart/alternative",
+    "image/png",
+];
 const COUNTRIES: [&str; 10] = ["US", "CN", "RU", "BR", "IN", "VN", "DE", "UA", "NG", "KR"];
 const ATTACH_KINDS: [&str; 5] = ["zip", "pdf", "exe", "doc", "js"];
 
@@ -105,7 +110,11 @@ fn gen_record(rng: &mut StdRng, id: i64) -> Value {
         Value::Struct(vec![
             Value::Int(rng.random_range(1..=10)),
             Value::Int(hops),
-            Value::List((0..hops).map(|_| Value::Int(rng.random_range(0..86_400))).collect()),
+            Value::List(
+                (0..hops)
+                    .map(|_| Value::Int(rng.random_range(0..86_400)))
+                    .collect(),
+            ),
         ])
     } else {
         Value::Null
@@ -210,8 +219,14 @@ mod tests {
             })
             .count();
         // ~40% and ~60% with slack.
-        assert!((100..=220).contains(&with_attach), "attachments: {with_attach}");
-        assert!((180..=300).contains(&with_headers), "headers: {with_headers}");
+        assert!(
+            (100..=220).contains(&with_attach),
+            "attachments: {with_attach}"
+        );
+        assert!(
+            (180..=300).contains(&with_headers),
+            "headers: {with_headers}"
+        );
     }
 
     #[test]
@@ -244,9 +259,15 @@ mod tests {
         assert!(leaves.iter().any(|l| l.is_nested()));
         assert!(leaves.iter().any(|l| !l.is_nested()));
         // origin.* is flat (struct, not list) — depth without repetition.
-        let origin_ip = leaves.iter().find(|l| l.path.to_string() == "origin.ip").unwrap();
+        let origin_ip = leaves
+            .iter()
+            .find(|l| l.path.to_string() == "origin.ip")
+            .unwrap();
         assert_eq!(origin_ip.max_rep, 0);
-        let hops = leaves.iter().find(|l| l.path.to_string() == "headers.hops").unwrap();
+        let hops = leaves
+            .iter()
+            .find(|l| l.path.to_string() == "headers.hops")
+            .unwrap();
         assert_eq!(hops.max_rep, 1);
     }
 }

@@ -122,15 +122,24 @@ pub fn order_lineitems_schema() -> Schema {
     let mut lineitem_fields: Vec<Field> = lineitem_schema().fields().to_vec();
     lineitem_fields.remove(0); // l_orderkey is implied by nesting
     let mut fields: Vec<Field> = orders_schema().fields().to_vec();
-    fields.push(Field::new("lineitems", DataType::List(Box::new(DataType::Struct(
-        lineitem_fields,
-    )))));
+    fields.push(Field::new(
+        "lineitems",
+        DataType::List(Box::new(DataType::Struct(lineitem_fields))),
+    ));
     Schema::new(fields)
 }
 
 fn comment(rng: &mut StdRng) -> Value {
-    const WORDS: [&str; 8] =
-        ["carefully", "quickly", "final", "pending", "ironic", "bold", "even", "slyly"];
+    const WORDS: [&str; 8] = [
+        "carefully",
+        "quickly",
+        "final",
+        "pending",
+        "ironic",
+        "bold",
+        "even",
+        "slyly",
+    ];
     let a = WORDS[rng.random_range(0..WORDS.len())];
     let b = WORDS[rng.random_range(0..WORDS.len())];
     Value::Str(format!("{a} {b} requests"))
@@ -226,7 +235,9 @@ pub fn gen_part(sf: f64, seed: u64) -> Vec<Vec<Value>> {
                 Value::Int(rng.random_range(0..150)),
                 Value::Int(rng.random_range(1..=50)),
                 Value::Int(rng.random_range(0..40)),
-                Value::Float(money(900.0 + (key % 1000) as f64 + rng.random::<f64>() * 100.0)),
+                Value::Float(money(
+                    900.0 + (key % 1000) as f64 + rng.random::<f64>() * 100.0,
+                )),
                 comment(&mut rng),
             ]
         })
@@ -319,8 +330,10 @@ mod tests {
         let schema = order_lineitems_schema();
         // Flattened row count equals the lineitem count (every order has
         // at least one lineitem).
-        let total: usize =
-            records.iter().map(|r| flatten_record(&schema, r).len()).sum();
+        let total: usize = records
+            .iter()
+            .map(|r| flatten_record(&schema, r).len())
+            .sum();
         assert_eq!(total, lineitems.len());
     }
 

@@ -12,11 +12,28 @@ use rand::{Rng, SeedableRng};
 use recache_types::{DataType, Field, Schema, Value};
 
 const CITIES: [&str; 8] = [
-    "Las Vegas", "Phoenix", "Toronto", "Charlotte", "Pittsburgh", "Montreal", "Madison", "Tempe",
+    "Las Vegas",
+    "Phoenix",
+    "Toronto",
+    "Charlotte",
+    "Pittsburgh",
+    "Montreal",
+    "Madison",
+    "Tempe",
 ];
 const CATEGORIES: [&str; 12] = [
-    "Restaurants", "Bars", "Coffee", "Pizza", "Mexican", "Chinese", "Nightlife", "Shopping",
-    "Auto", "Fitness", "Hotels", "Breakfast",
+    "Restaurants",
+    "Bars",
+    "Coffee",
+    "Pizza",
+    "Mexican",
+    "Chinese",
+    "Nightlife",
+    "Shopping",
+    "Auto",
+    "Fitness",
+    "Hotels",
+    "Breakfast",
 ];
 
 pub fn business_schema() -> Schema {

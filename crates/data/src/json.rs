@@ -117,7 +117,10 @@ impl<'a> Cursor<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::parse_at(format!("expected '{}'", b as char), self.pos))
+            Err(Error::parse_at(
+                format!("expected '{}'", b as char),
+                self.pos,
+            ))
         }
     }
 
@@ -556,7 +559,10 @@ mod tests {
             Some(&[true, false, false]),
         )
         .unwrap();
-        assert_eq!(record, Value::Struct(vec![Value::Int(1), Value::Null, Value::Null]));
+        assert_eq!(
+            record,
+            Value::Struct(vec![Value::Int(1), Value::Null, Value::Null])
+        );
     }
 
     #[test]
@@ -571,14 +577,17 @@ mod tests {
     fn absent_optional_fields_are_null() {
         let schema = nested_schema();
         let record = parse_record(br#"{"a":3}"#, &schema, None).unwrap();
-        assert_eq!(record, Value::Struct(vec![Value::Int(3), Value::Null, Value::Null]));
+        assert_eq!(
+            record,
+            Value::Struct(vec![Value::Int(3), Value::Null, Value::Null])
+        );
     }
 
     #[test]
     fn string_escapes_round_trip() {
         let schema = Schema::new(vec![Field::required("s", DataType::Str)]);
         let original = Value::Struct(vec![Value::Str("a\"b\\c\nd\te\u{1}".into())]);
-        let bytes = write_json(&schema, &[original.clone()]);
+        let bytes = write_json(&schema, std::slice::from_ref(&original));
         let mut records = Vec::new();
         scan_build_map(&bytes, &schema, None, |_, v| {
             records.push(v);
@@ -604,9 +613,15 @@ mod tests {
         // Float literal into Int field truncates; int literal into Float
         // field widens.
         let record = parse_record(br#"{"i":3.9,"f":4}"#, &schema, None).unwrap();
-        assert_eq!(record, Value::Struct(vec![Value::Int(3), Value::Float(4.0)]));
+        assert_eq!(
+            record,
+            Value::Struct(vec![Value::Int(3), Value::Float(4.0)])
+        );
         let record = parse_record(br#"{"i":-12,"f":-1.5e2}"#, &schema, None).unwrap();
-        assert_eq!(record, Value::Struct(vec![Value::Int(-12), Value::Float(-150.0)]));
+        assert_eq!(
+            record,
+            Value::Struct(vec![Value::Int(-12), Value::Float(-150.0)])
+        );
     }
 
     #[test]
@@ -677,6 +692,9 @@ mod tests {
         assert_eq!(record, Value::Struct(vec![Value::Bool(true), Value::Null]));
         // Bool into int field coerces (heterogeneous-data tolerance).
         let record = parse_record(br#"{"i":true,"b":false}"#, &schema, None).unwrap();
-        assert_eq!(record, Value::Struct(vec![Value::Bool(false), Value::Int(1)]));
+        assert_eq!(
+            record,
+            Value::Struct(vec![Value::Bool(false), Value::Int(1)])
+        );
     }
 }

@@ -25,7 +25,11 @@ pub struct PositionalMap {
 impl PositionalMap {
     /// Builds a record-level map (JSON files).
     pub fn records_only(record_offsets: Vec<u64>) -> Self {
-        PositionalMap { record_offsets, field_offsets: Vec::new(), fields_per_record: 0 }
+        PositionalMap {
+            record_offsets,
+            field_offsets: Vec::new(),
+            fields_per_record: 0,
+        }
     }
 
     /// Builds a record+field map (CSV files).
@@ -39,7 +43,11 @@ impl PositionalMap {
             field_offsets.len(),
             (record_offsets.len() - 1) * (fields_per_record + 1)
         );
-        PositionalMap { record_offsets, field_offsets, fields_per_record }
+        PositionalMap {
+            record_offsets,
+            field_offsets,
+            fields_per_record,
+        }
     }
 
     /// Number of records indexed.
@@ -49,7 +57,10 @@ impl PositionalMap {
 
     /// Byte range of a record (including any trailing newline).
     pub fn record_span(&self, record: usize) -> (usize, usize) {
-        (self.record_offsets[record] as usize, self.record_offsets[record + 1] as usize)
+        (
+            self.record_offsets[record] as usize,
+            self.record_offsets[record + 1] as usize,
+        )
     }
 
     /// True if per-field offsets are available.

@@ -65,7 +65,14 @@ impl RawFile {
         let leaves = schema.leaves();
         let leaf_top = leaf_top_indices(&schema);
         debug_assert_eq!(leaves.len(), leaf_top.len());
-        RawFile { format, schema, bytes, leaves, leaf_top, posmap: Mutex::new(None) }
+        RawFile {
+            format,
+            schema,
+            bytes,
+            leaves,
+            leaf_top,
+            posmap: Mutex::new(None),
+        }
     }
 
     /// Reads a file from disk into memory.
@@ -98,7 +105,11 @@ impl RawFile {
 
     /// Number of records, known once a positional map exists.
     pub fn record_count(&self) -> Option<usize> {
-        self.posmap.lock().expect("posmap lock").as_ref().map(|m| m.record_count())
+        self.posmap
+            .lock()
+            .expect("posmap lock")
+            .as_ref()
+            .map(|m| m.record_count())
     }
 
     /// The positional map, if one has been built.
@@ -116,8 +127,11 @@ impl RawFile {
     ) -> Result<ScanMetrics> {
         debug_assert_eq!(accessed.len(), self.leaves.len());
         let existing = self.posmap();
-        let mut metrics =
-            ScanMetrics { records: 0, rows: 0, used_posmap: existing.is_some() };
+        let mut metrics = ScanMetrics {
+            records: 0,
+            rows: 0,
+            used_posmap: existing.is_some(),
+        };
         match self.format {
             FileFormat::Csv => {
                 let mut emit = |id: usize, values: Vec<Value>| {
@@ -182,7 +196,11 @@ impl RawFile {
         let map = self
             .posmap()
             .ok_or_else(|| recache_types::Error::exec("no positional map for offset re-read"))?;
-        let mut metrics = ScanMetrics { records: 0, rows: 0, used_posmap: true };
+        let mut metrics = ScanMetrics {
+            records: 0,
+            rows: 0,
+            used_posmap: true,
+        };
         match self.format {
             FileFormat::Csv => {
                 for &id in record_ids {
@@ -220,6 +238,36 @@ impl RawFile {
         Ok(metrics)
     }
 
+    /// Chunked variant of [`RawFile::scan_records_projected`] for the
+    /// lazy-cache reuse path: flattened rows are buffered into batches of
+    /// up to `batch_rows` and emitted as parallel id/row slices, so tight
+    /// consumers (the engine's offsets scan) pay one virtual call per
+    /// batch instead of per row.
+    pub fn scan_records_projected_batched(
+        &self,
+        record_ids: &[u32],
+        accessed: &[bool],
+        batch_rows: usize,
+        on_batch: &mut dyn FnMut(&[u32], &[FlatRow]),
+    ) -> Result<ScanMetrics> {
+        let batch_rows = batch_rows.max(1);
+        let mut ids: Vec<u32> = Vec::with_capacity(batch_rows);
+        let mut rows: Vec<FlatRow> = Vec::with_capacity(batch_rows);
+        let metrics = self.scan_records_projected(record_ids, accessed, &mut |id, row| {
+            ids.push(id as u32);
+            rows.push(row);
+            if rows.len() == batch_rows {
+                on_batch(&ids, &rows);
+                ids.clear();
+                rows.clear();
+            }
+        })?;
+        if !rows.is_empty() {
+            on_batch(&ids, &rows);
+        }
+        Ok(metrics)
+    }
+
     /// Scans full records as nested values (used by cache materialization
     /// when the whole tuple is cached).
     pub fn scan_records(&self, on_record: &mut dyn FnMut(usize, Value)) -> Result<usize> {
@@ -253,13 +301,10 @@ impl RawFile {
                     Ok(())
                 };
                 match self.posmap() {
-                    Some(map) => {
-                        json::scan_with_map(&self.bytes, &self.schema, &map, None, emit)?
-                    }
+                    Some(map) => json::scan_with_map(&self.bytes, &self.schema, &map, None, emit)?,
                     None => {
                         let mut emit = emit;
-                        let map =
-                            json::scan_build_map(&self.bytes, &self.schema, None, &mut emit)?;
+                        let map = json::scan_build_map(&self.bytes, &self.schema, None, &mut emit)?;
                         self.install_posmap(map);
                     }
                 }
@@ -384,9 +429,10 @@ mod tests {
                     Value::Struct(vec![Value::Int(11)]),
                 ]),
             ]),
-            Value::Struct(vec![Value::Int(2), Value::List(vec![Value::Struct(vec![
-                Value::Int(20),
-            ])])]),
+            Value::Struct(vec![
+                Value::Int(2),
+                Value::List(vec![Value::Struct(vec![Value::Int(20)])]),
+            ]),
         ];
         let bytes = json::write_json(&schema, &records);
         RawFile::from_bytes(bytes, FileFormat::Json, schema)
@@ -397,14 +443,18 @@ mod tests {
         let file = csv_file();
         assert!(file.record_count().is_none());
         let mut rows = Vec::new();
-        let m1 = file.scan_projected(&[true, true], &mut |_, row| rows.push(row)).unwrap();
+        let m1 = file
+            .scan_projected(&[true, true], &mut |_, row| rows.push(row))
+            .unwrap();
         assert!(!m1.used_posmap);
         assert_eq!(m1.records, 2);
         assert_eq!(rows.len(), 2);
         assert_eq!(file.record_count(), Some(2));
 
         let mut rows2 = Vec::new();
-        let m2 = file.scan_projected(&[true, false], &mut |_, row| rows2.push(row)).unwrap();
+        let m2 = file
+            .scan_projected(&[true, false], &mut |_, row| rows2.push(row))
+            .unwrap();
         assert!(m2.used_posmap);
         assert_eq!(rows2, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
     }
@@ -427,7 +477,9 @@ mod tests {
     fn json_non_nested_scan_yields_one_row_per_record() {
         let file = json_file();
         let mut rows = Vec::new();
-        let m = file.scan_projected(&[true, false], &mut |_, row| rows.push(row)).unwrap();
+        let m = file
+            .scan_projected(&[true, false], &mut |_, row| rows.push(row))
+            .unwrap();
         assert_eq!(m.rows, 2);
         assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
     }

@@ -33,7 +33,8 @@ impl CmpOp {
         }
     }
 
-    fn matches(&self, ord: Ordering) -> bool {
+    /// Whether a three-way comparison outcome satisfies this operator.
+    pub fn matches(&self, ord: Ordering) -> bool {
         match self {
             CmpOp::Eq => ord == Ordering::Equal,
             CmpOp::Ne => ord != Ordering::Equal,
@@ -60,7 +61,11 @@ pub enum Expr {
 impl Expr {
     /// `slot op literal` convenience.
     pub fn cmp(slot: usize, op: CmpOp, lit: impl Into<Value>) -> Expr {
-        Expr::Cmp(op, Box::new(Expr::Slot(slot)), Box::new(Expr::Lit(lit.into())))
+        Expr::Cmp(
+            op,
+            Box::new(Expr::Slot(slot)),
+            Box::new(Expr::Lit(lit.into())),
+        )
     }
 
     /// `lo <= slot AND slot <= hi` as a two-clause conjunction.
@@ -71,20 +76,34 @@ impl Expr {
         ])
     }
 
-    /// Evaluates to a value (for aggregate inputs).
+    /// Evaluates to a value (for aggregate inputs). Only computed nodes
+    /// allocate; slot and literal references go through [`Expr::eval_ref`].
     pub fn eval(&self, row: &[Value]) -> Value {
+        match self.eval_ref(row) {
+            ValueRef::Borrowed(v) => v.clone(),
+            ValueRef::Owned(v) => v,
+        }
+    }
+
+    /// Evaluates by reference: slots and literals borrow straight from the
+    /// row/expression, so predicate evaluation never clones a `Value`
+    /// (which for strings meant an allocation per row per node).
+    fn eval_ref<'a>(&'a self, row: &'a [Value]) -> ValueRef<'a> {
         match self {
-            Expr::Slot(i) => row[*i].clone(),
-            Expr::Lit(v) => v.clone(),
+            Expr::Slot(i) => ValueRef::Borrowed(&row[*i]),
+            Expr::Lit(v) => ValueRef::Borrowed(v),
             Expr::Cmp(op, a, b) => {
-                let av = a.eval(row);
-                let bv = b.eval(row);
+                let av = a.eval_ref(row);
+                let bv = b.eval_ref(row);
+                let (av, bv) = (av.get(), bv.get());
                 if av.is_null() || bv.is_null() {
-                    return Value::Null;
+                    return ValueRef::Owned(Value::Null);
                 }
-                Value::Bool(op.matches(av.cmp_sql(&bv)))
+                ValueRef::Owned(Value::Bool(op.matches(av.cmp_sql(bv))))
             }
-            Expr::And(_) | Expr::Or(_) | Expr::Not(_) => Value::Bool(self.eval_bool(row)),
+            Expr::And(_) | Expr::Or(_) | Expr::Not(_) => {
+                ValueRef::Owned(Value::Bool(self.eval_bool(row)))
+            }
         }
     }
 
@@ -95,9 +114,10 @@ impl Expr {
             Expr::Slot(i) => row[*i].as_bool().unwrap_or(false),
             Expr::Lit(v) => v.as_bool().unwrap_or(false),
             Expr::Cmp(op, a, b) => {
-                let av = a.eval(row);
-                let bv = b.eval(row);
-                !av.is_null() && !bv.is_null() && op.matches(av.cmp_sql(&bv))
+                let av = a.eval_ref(row);
+                let bv = b.eval_ref(row);
+                let (av, bv) = (av.get(), bv.get());
+                !av.is_null() && !bv.is_null() && op.matches(av.cmp_sql(bv))
             }
             Expr::And(parts) => parts.iter().all(|p| p.eval_bool(row)),
             Expr::Or(parts) => parts.iter().any(|p| p.eval_bool(row)),
@@ -186,6 +206,23 @@ impl Expr {
     }
 }
 
+/// A borrowed-or-computed expression result; borrowing is the common case
+/// (slots, literals), owning only happens for computed booleans.
+enum ValueRef<'a> {
+    Borrowed(&'a Value),
+    Owned(Value),
+}
+
+impl ValueRef<'_> {
+    #[inline]
+    fn get(&self) -> &Value {
+        match self {
+            ValueRef::Borrowed(v) => v,
+            ValueRef::Owned(v) => v,
+        }
+    }
+}
+
 fn collect_ranges(expr: &Expr, out: &mut Vec<RangeClause>) -> bool {
     match expr {
         Expr::And(parts) => parts.iter().all(|p| collect_ranges(p, out)),
@@ -198,10 +235,26 @@ fn collect_ranges(expr: &Expr, out: &mut Vec<RangeClause>) -> bool {
             let Some(x) = lit.as_f64() else { return false };
             let clause = match op {
                 CmpOp::Eq => RangeClause { slot, lo: x, hi: x },
-                CmpOp::Le => RangeClause { slot, lo: f64::NEG_INFINITY, hi: x },
-                CmpOp::Lt => RangeClause { slot, lo: f64::NEG_INFINITY, hi: x },
-                CmpOp::Ge => RangeClause { slot, lo: x, hi: f64::INFINITY },
-                CmpOp::Gt => RangeClause { slot, lo: x, hi: f64::INFINITY },
+                CmpOp::Le => RangeClause {
+                    slot,
+                    lo: f64::NEG_INFINITY,
+                    hi: x,
+                },
+                CmpOp::Lt => RangeClause {
+                    slot,
+                    lo: f64::NEG_INFINITY,
+                    hi: x,
+                },
+                CmpOp::Ge => RangeClause {
+                    slot,
+                    lo: x,
+                    hi: f64::INFINITY,
+                },
+                CmpOp::Gt => RangeClause {
+                    slot,
+                    lo: x,
+                    hi: f64::INFINITY,
+                },
                 CmpOp::Ne => return false,
             };
             out.push(clause);
@@ -211,7 +264,9 @@ fn collect_ranges(expr: &Expr, out: &mut Vec<RangeClause>) -> bool {
     }
 }
 
-fn flip(op: CmpOp) -> CmpOp {
+/// Mirrors a comparison when its operands swap sides (`lit op slot` ⇔
+/// `slot flip(op) lit`); shared by range extraction and kernel compile.
+pub(crate) fn flip(op: CmpOp) -> CmpOp {
     match op {
         CmpOp::Lt => CmpOp::Gt,
         CmpOp::Le => CmpOp::Ge,
@@ -290,7 +345,14 @@ mod tests {
     fn between_builds_closed_interval() {
         let e = Expr::between(2, 1.0, 5.0);
         let ranges = e.as_ranges().unwrap();
-        assert_eq!(ranges, vec![RangeClause { slot: 2, lo: 1.0, hi: 5.0 }]);
+        assert_eq!(
+            ranges,
+            vec![RangeClause {
+                slot: 2,
+                lo: 1.0,
+                hi: 5.0
+            }]
+        );
     }
 
     #[test]
@@ -302,8 +364,22 @@ mod tests {
         ]);
         let ranges = e.as_ranges().unwrap();
         assert_eq!(ranges.len(), 2);
-        assert_eq!(ranges[0], RangeClause { slot: 0, lo: 1.0, hi: 9.0 });
-        assert_eq!(ranges[1], RangeClause { slot: 1, lo: 4.0, hi: f64::INFINITY });
+        assert_eq!(
+            ranges[0],
+            RangeClause {
+                slot: 0,
+                lo: 1.0,
+                hi: 9.0
+            }
+        );
+        assert_eq!(
+            ranges[1],
+            RangeClause {
+                slot: 1,
+                lo: 4.0,
+                hi: f64::INFINITY
+            }
+        );
     }
 
     #[test]
@@ -315,7 +391,14 @@ mod tests {
         );
         // 10 >= slot  <=>  slot <= 10
         let ranges = e.as_ranges().unwrap();
-        assert_eq!(ranges, vec![RangeClause { slot: 0, lo: f64::NEG_INFINITY, hi: 10.0 }]);
+        assert_eq!(
+            ranges,
+            vec![RangeClause {
+                slot: 0,
+                lo: f64::NEG_INFINITY,
+                hi: 10.0
+            }]
+        );
     }
 
     #[test]
@@ -330,9 +413,21 @@ mod tests {
 
     #[test]
     fn covers_relation() {
-        let wide = RangeClause { slot: 0, lo: 0.0, hi: 100.0 };
-        let narrow = RangeClause { slot: 0, lo: 10.0, hi: 20.0 };
-        let other_slot = RangeClause { slot: 1, lo: 10.0, hi: 20.0 };
+        let wide = RangeClause {
+            slot: 0,
+            lo: 0.0,
+            hi: 100.0,
+        };
+        let narrow = RangeClause {
+            slot: 0,
+            lo: 10.0,
+            hi: 20.0,
+        };
+        let other_slot = RangeClause {
+            slot: 1,
+            lo: 10.0,
+            hi: 20.0,
+        };
         assert!(wide.covers(&narrow));
         assert!(!narrow.covers(&wide));
         assert!(wide.covers(&wide));
@@ -341,7 +436,10 @@ mod tests {
 
     #[test]
     fn slots_enumeration() {
-        let e = Expr::And(vec![Expr::cmp(3, CmpOp::Gt, 1i64), Expr::cmp(1, CmpOp::Lt, 2i64)]);
+        let e = Expr::And(vec![
+            Expr::cmp(3, CmpOp::Gt, 1i64),
+            Expr::cmp(1, CmpOp::Lt, 2i64),
+        ]);
         let mut slots = Vec::new();
         e.slots(&mut slots);
         slots.sort_unstable();

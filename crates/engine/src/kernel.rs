@@ -1,0 +1,586 @@
+//! Vectorized predicate and aggregate kernels over typed column batches.
+//!
+//! [`CompiledPredicate`] turns an [`Expr`] that is a conjunction of
+//! `slot <op> literal` clauses — the paper's workload shape — into a list
+//! of per-column kernels. Each kernel compacts the batch's
+//! [`SelectionVector`] with a monomorphic compare over a primitive slice,
+//! so later clauses only look at the survivors of earlier ones
+//! (vectorized short-circuiting, in the query's clause order). Any other
+//! expression shape (`OR`, `NOT`, slot-vs-slot) returns `None` from
+//! [`CompiledPredicate::compile`] and the executor falls back to the
+//! row-at-a-time `Expr::eval_bool` path.
+//!
+//! [`BatchAggregator`] is the batch counterpart of the streaming
+//! aggregate state: COUNT/SUM/AVG/MIN/MAX over a typed column restricted
+//! to the selection. Accumulation order and numeric semantics (`as_f64`
+//! sums, `cmp_sql` extremes, SQL null skipping) are identical to the row
+//! path, so both paths produce bit-identical `QueryOutput`s.
+
+use crate::expr::{flip, CmpOp, Expr};
+use crate::plan::AggFunc;
+use recache_layout::{BatchColumn, BatchValues, SelectionVector};
+use recache_types::Value;
+use std::cmp::Ordering;
+
+/// One `slot <op> literal` clause.
+#[derive(Debug, Clone)]
+struct Clause {
+    slot: usize,
+    op: CmpOp,
+    lit: Value,
+}
+
+/// A conjunction of comparison clauses compiled for batch evaluation.
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    clauses: Vec<Clause>,
+}
+
+impl CompiledPredicate {
+    /// Compiles `expr` if it is a (possibly nested) conjunction of
+    /// `slot <op> scalar-literal` comparisons; `None` otherwise.
+    pub fn compile(expr: &Expr) -> Option<CompiledPredicate> {
+        let mut clauses = Vec::new();
+        collect_clauses(expr, &mut clauses)?;
+        Some(CompiledPredicate { clauses })
+    }
+
+    /// Number of compiled clauses.
+    pub fn clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Compacts `sel` to the rows satisfying every clause. Clauses run in
+    /// compile order; each sees only the previous clauses' survivors and
+    /// the whole conjunction stops early once the selection is empty.
+    pub fn filter(&self, columns: &[BatchColumn<'_>], sel: &mut SelectionVector) {
+        for clause in &self.clauses {
+            if sel.is_empty() {
+                return;
+            }
+            apply_clause(clause, &columns[clause.slot], sel);
+        }
+    }
+}
+
+fn collect_clauses(expr: &Expr, out: &mut Vec<Clause>) -> Option<()> {
+    match expr {
+        Expr::And(parts) => {
+            for part in parts {
+                collect_clauses(part, out)?;
+            }
+            Some(())
+        }
+        Expr::Cmp(op, a, b) => {
+            let (slot, lit, op) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Slot(s), Expr::Lit(v)) => (*s, v, *op),
+                (Expr::Lit(v), Expr::Slot(s)) => (*s, v, flip(*op)),
+                _ => return None,
+            };
+            if matches!(lit, Value::List(_) | Value::Struct(_)) {
+                return None;
+            }
+            out.push(Clause {
+                slot,
+                op,
+                lit: lit.clone(),
+            });
+            Some(())
+        }
+        _ => None,
+    }
+}
+
+/// Runs one clause's kernel: a typed compare against the literal over the
+/// selected rows (SQL semantics — null operands never satisfy, matching
+/// `Expr::eval_bool`). Monomorphic inner loops per (column, literal) type
+/// pair; mixed non-numeric types collapse to `cmp_sql`'s constant
+/// type-rank ordering.
+fn apply_clause(clause: &Clause, col: &BatchColumn<'_>, sel: &mut SelectionVector) {
+    let op = clause.op;
+    match (&col.values, &clause.lit) {
+        (_, Value::Null) => sel.clear(),
+        (BatchValues::Int(vals), Value::Int(x)) => {
+            let x = *x;
+            sel.retain(|r| {
+                let r = r as usize;
+                col.is_valid(r) && op.matches(vals[r].cmp(&x))
+            });
+        }
+        (BatchValues::Int(vals), Value::Float(x)) => {
+            let x = *x;
+            sel.retain(|r| {
+                let r = r as usize;
+                col.is_valid(r)
+                    && op.matches((vals[r] as f64).partial_cmp(&x).unwrap_or(Ordering::Equal))
+            });
+        }
+        (BatchValues::Float(vals), Value::Int(x)) => {
+            let x = *x as f64;
+            sel.retain(|r| {
+                let r = r as usize;
+                col.is_valid(r) && op.matches(vals[r].partial_cmp(&x).unwrap_or(Ordering::Equal))
+            });
+        }
+        (BatchValues::Float(vals), Value::Float(x)) => {
+            let x = *x;
+            sel.retain(|r| {
+                let r = r as usize;
+                col.is_valid(r) && op.matches(vals[r].partial_cmp(&x).unwrap_or(Ordering::Equal))
+            });
+        }
+        (BatchValues::Bool(vals), Value::Bool(x)) => {
+            let x = *x;
+            sel.retain(|r| {
+                let r = r as usize;
+                col.is_valid(r) && op.matches(vals[r].cmp(&x))
+            });
+        }
+        (values @ BatchValues::Str { .. }, Value::Str(x)) => {
+            let x = x.as_str();
+            sel.retain(|r| {
+                let r = r as usize;
+                col.is_valid(r) && op.matches(values.str_at(r).cmp(x))
+            });
+        }
+        // Mixed non-numeric types: `cmp_sql` compares by type rank, a
+        // per-row constant — only validity still varies.
+        (values, lit) => {
+            let col_rank = match values {
+                BatchValues::Bool(_) => 1u8,
+                BatchValues::Int(_) | BatchValues::Float(_) => 2,
+                BatchValues::Str { .. } => 3,
+            };
+            let keep = op.matches(col_rank.cmp(&lit.sql_type_rank()));
+            if keep {
+                sel.retain(|r| col.is_valid(r as usize));
+            } else {
+                sel.clear();
+            }
+        }
+    }
+}
+
+/// Running MIN/MAX extreme, typed to the column being aggregated.
+#[derive(Debug, Clone, PartialEq)]
+enum Extreme {
+    None,
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Extreme {
+    fn into_value(self) -> Value {
+        match self {
+            Extreme::None => Value::Null,
+            Extreme::Int(v) => Value::Int(v),
+            Extreme::Float(v) => Value::Float(v),
+            Extreme::Bool(v) => Value::Bool(v),
+            Extreme::Str(v) => Value::Str(v),
+        }
+    }
+}
+
+/// Batch aggregate state — the vectorized mirror of the executor's
+/// streaming `AggState`, with identical finish semantics.
+#[derive(Debug)]
+pub struct BatchAggregator {
+    func: AggFunc,
+    count: u64,
+    sum: f64,
+    extreme: Extreme,
+}
+
+impl BatchAggregator {
+    pub fn new(func: AggFunc) -> Self {
+        BatchAggregator {
+            func,
+            count: 0,
+            sum: 0.0,
+            extreme: Extreme::None,
+        }
+    }
+
+    /// Folds the selected rows of `col` into the state. `col == None`
+    /// means `count(*)`: every selected row counts, null or not.
+    pub fn update(&mut self, col: Option<&BatchColumn<'_>>, sel: &SelectionVector) {
+        let Some(col) = col else {
+            self.count += sel.len() as u64;
+            return;
+        };
+        match self.func {
+            AggFunc::Count => self.count += count_valid(col, sel),
+            AggFunc::Sum | AggFunc::Avg => self.accumulate_sum(col, sel),
+            AggFunc::Min => self.track_extreme(col, sel, Ordering::Less),
+            AggFunc::Max => self.track_extreme(col, sel, Ordering::Greater),
+        }
+    }
+
+    fn accumulate_sum(&mut self, col: &BatchColumn<'_>, sel: &SelectionVector) {
+        match &col.values {
+            BatchValues::Int(vals) => {
+                for &r in sel {
+                    let r = r as usize;
+                    if col.is_valid(r) {
+                        self.count += 1;
+                        self.sum += vals[r] as f64;
+                    }
+                }
+            }
+            BatchValues::Float(vals) => {
+                for &r in sel {
+                    let r = r as usize;
+                    if col.is_valid(r) {
+                        self.count += 1;
+                        self.sum += vals[r];
+                    }
+                }
+            }
+            BatchValues::Bool(vals) => {
+                for &r in sel {
+                    let r = r as usize;
+                    if col.is_valid(r) {
+                        self.count += 1;
+                        self.sum += f64::from(u8::from(vals[r]));
+                    }
+                }
+            }
+            // Strings have no numeric view (`as_f64` is `None`): the row
+            // path counts them but adds 0.0 — mirror that exactly.
+            BatchValues::Str { .. } => self.count += count_valid(col, sel),
+        }
+    }
+
+    /// Tracks the running extreme: `target == Less` keeps the minimum,
+    /// `Greater` the maximum. The comparison mirrors `cmp_sql` for each
+    /// column type — in particular floats use `partial_cmp` collapsed to
+    /// `Equal`, so a NaN never displaces a held value, and ties keep the
+    /// first-seen value (the row path's strict-compare replacement rule).
+    fn track_extreme(&mut self, col: &BatchColumn<'_>, sel: &SelectionVector, target: Ordering) {
+        match &col.values {
+            BatchValues::Int(vals) => {
+                for &r in sel {
+                    let r = r as usize;
+                    if col.is_valid(r) {
+                        self.count += 1;
+                        let v = vals[r];
+                        let replace = match &self.extreme {
+                            Extreme::Int(cur) => v.cmp(cur) == target,
+                            _ => true,
+                        };
+                        if replace {
+                            self.extreme = Extreme::Int(v);
+                        }
+                    }
+                }
+            }
+            BatchValues::Float(vals) => {
+                for &r in sel {
+                    let r = r as usize;
+                    if col.is_valid(r) {
+                        self.count += 1;
+                        let v = vals[r];
+                        let replace = match &self.extreme {
+                            Extreme::Float(cur) => {
+                                v.partial_cmp(cur).unwrap_or(Ordering::Equal) == target
+                            }
+                            _ => true,
+                        };
+                        if replace {
+                            self.extreme = Extreme::Float(v);
+                        }
+                    }
+                }
+            }
+            BatchValues::Bool(vals) => {
+                for &r in sel {
+                    let r = r as usize;
+                    if col.is_valid(r) {
+                        self.count += 1;
+                        let v = vals[r];
+                        let replace = match &self.extreme {
+                            Extreme::Bool(cur) => v.cmp(cur) == target,
+                            _ => true,
+                        };
+                        if replace {
+                            self.extreme = Extreme::Bool(v);
+                        }
+                    }
+                }
+            }
+            values @ BatchValues::Str { .. } => {
+                for &r in sel {
+                    let r = r as usize;
+                    if col.is_valid(r) {
+                        self.count += 1;
+                        let v = values.str_at(r);
+                        let replace = match &self.extreme {
+                            Extreme::Str(cur) => v.cmp(cur.as_str()) == target,
+                            _ => true,
+                        };
+                        if replace {
+                            self.extreme = Extreme::Str(v.to_owned());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Finalizes to the output `Value` (same semantics as the streaming
+    /// aggregate state).
+    pub fn finish(self) -> Value {
+        match self.func {
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => self.extreme.into_value(),
+        }
+    }
+}
+
+fn count_valid(col: &BatchColumn<'_>, sel: &SelectionVector) -> u64 {
+    match col.validity {
+        None => sel.len() as u64,
+        Some(_) => sel
+            .as_slice()
+            .iter()
+            .filter(|&&r| col.is_valid(r as usize))
+            .count() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_layout::batch::BATCH_ROWS;
+
+    fn int_col(vals: &[i64]) -> BatchColumn<'_> {
+        BatchColumn {
+            values: BatchValues::Int(vals),
+            validity: None,
+        }
+    }
+
+    fn sel(n: usize) -> SelectionVector {
+        let mut s = SelectionVector::new();
+        s.fill_identity(n);
+        s
+    }
+
+    #[test]
+    fn compile_accepts_conjunctions_of_literal_compares() {
+        let e = Expr::And(vec![
+            Expr::cmp(0, CmpOp::Ge, 1i64),
+            Expr::And(vec![
+                Expr::cmp(1, CmpOp::Lt, 2.5),
+                Expr::cmp(2, CmpOp::Eq, "x"),
+            ]),
+        ]);
+        let p = CompiledPredicate::compile(&e).expect("compilable");
+        assert_eq!(p.clause_count(), 3);
+        // Flipped literal-first compare is normalized.
+        let e = Expr::Cmp(
+            CmpOp::Ge,
+            Box::new(Expr::Lit(Value::Int(10))),
+            Box::new(Expr::Slot(0)),
+        );
+        let p = CompiledPredicate::compile(&e).expect("compilable");
+        let vals = [5i64, 10, 11];
+        let mut s = sel(3);
+        p.filter(&[int_col(&vals)], &mut s);
+        // 10 >= slot  <=>  slot <= 10.
+        assert_eq!(s.as_slice(), &[0, 1]);
+    }
+
+    #[test]
+    fn compile_rejects_non_conjunctive_shapes() {
+        assert!(
+            CompiledPredicate::compile(&Expr::Or(vec![Expr::cmp(0, CmpOp::Gt, 1i64)])).is_none()
+        );
+        assert!(
+            CompiledPredicate::compile(&Expr::Not(Box::new(Expr::cmp(0, CmpOp::Gt, 1i64))))
+                .is_none()
+        );
+        let slot_vs_slot = Expr::Cmp(CmpOp::Eq, Box::new(Expr::Slot(0)), Box::new(Expr::Slot(1)));
+        assert!(CompiledPredicate::compile(&slot_vs_slot).is_none());
+    }
+
+    #[test]
+    fn filter_short_circuits_across_clauses() {
+        let a = [1i64, 2, 3, 4, 5];
+        let b = [10i64, 20, 30, 40, 50];
+        let cols = [int_col(&a), int_col(&b)];
+        let p = CompiledPredicate::compile(&Expr::And(vec![
+            Expr::cmp(0, CmpOp::Ge, 3i64),
+            Expr::cmp(1, CmpOp::Lt, 50i64),
+        ]))
+        .unwrap();
+        let mut s = sel(5);
+        p.filter(&cols, &mut s);
+        assert_eq!(s.as_slice(), &[2, 3]);
+        // An impossible first clause empties the selection immediately.
+        let p = CompiledPredicate::compile(&Expr::And(vec![
+            Expr::cmp(0, CmpOp::Gt, 100i64),
+            Expr::cmp(1, CmpOp::Lt, 50i64),
+        ]))
+        .unwrap();
+        let mut s = sel(5);
+        p.filter(&cols, &mut s);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn null_rows_never_satisfy() {
+        // Rows 0 and 2 valid, row 1 null.
+        let vals = [1i64, 999, 3];
+        let words = [0b101u64];
+        let col = BatchColumn {
+            values: BatchValues::Int(&vals),
+            validity: Some(&words),
+        };
+        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Ge] {
+            let p = CompiledPredicate::compile(&Expr::cmp(0, op, 999i64)).unwrap();
+            let mut s = sel(3);
+            p.filter(std::slice::from_ref(&col), &mut s);
+            assert!(
+                !s.as_slice().contains(&1),
+                "null row must not satisfy {op:?}"
+            );
+        }
+        // Null literal never satisfies either.
+        let p = CompiledPredicate::compile(&Expr::cmp(0, CmpOp::Eq, Value::Null)).unwrap();
+        let mut s = sel(3);
+        p.filter(std::slice::from_ref(&col), &mut s);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn cross_type_comparisons_match_cmp_sql() {
+        let ints = [3i64];
+        let col = int_col(&ints);
+        // Int column vs float literal.
+        let p = CompiledPredicate::compile(&Expr::cmp(0, CmpOp::Le, 3.0)).unwrap();
+        let mut s = sel(1);
+        p.filter(std::slice::from_ref(&col), &mut s);
+        assert_eq!(s.len(), 1);
+        // Int column vs string literal: rank(Int)=2 < rank(Str)=3.
+        let p = CompiledPredicate::compile(&Expr::cmp(0, CmpOp::Lt, "zzz")).unwrap();
+        let mut s = sel(1);
+        p.filter(std::slice::from_ref(&col), &mut s);
+        assert_eq!(s.len(), 1, "numeric < string by type rank");
+        let p = CompiledPredicate::compile(&Expr::cmp(0, CmpOp::Gt, "zzz")).unwrap();
+        let mut s = sel(1);
+        p.filter(std::slice::from_ref(&col), &mut s);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn string_kernels_compare_arena_views() {
+        let offsets = [0u32, 1, 3, 6];
+        let bytes = b"abbccc";
+        let col = BatchColumn {
+            values: BatchValues::Str {
+                offsets: &offsets,
+                bytes,
+            },
+            validity: None,
+        };
+        let p = CompiledPredicate::compile(&Expr::cmp(0, CmpOp::Eq, "bb")).unwrap();
+        let mut s = sel(3);
+        p.filter(std::slice::from_ref(&col), &mut s);
+        assert_eq!(s.as_slice(), &[1]);
+        let p = CompiledPredicate::compile(&Expr::cmp(0, CmpOp::Ge, "bb")).unwrap();
+        let mut s = sel(3);
+        p.filter(std::slice::from_ref(&col), &mut s);
+        assert_eq!(s.as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn aggregators_match_streaming_semantics() {
+        let vals = [5i64, 1, 9, 9, 3];
+        let col = int_col(&vals);
+        let s = sel(5);
+        let mut count = BatchAggregator::new(AggFunc::Count);
+        let mut sum = BatchAggregator::new(AggFunc::Sum);
+        let mut avg = BatchAggregator::new(AggFunc::Avg);
+        let mut min = BatchAggregator::new(AggFunc::Min);
+        let mut max = BatchAggregator::new(AggFunc::Max);
+        for agg in [&mut count, &mut sum, &mut avg, &mut min, &mut max] {
+            agg.update(Some(&col), &s);
+        }
+        assert_eq!(count.finish(), Value::Int(5));
+        assert_eq!(sum.finish(), Value::Float(27.0));
+        assert_eq!(avg.finish(), Value::Float(5.4));
+        assert_eq!(min.finish(), Value::Int(1));
+        assert_eq!(max.finish(), Value::Int(9));
+    }
+
+    #[test]
+    fn aggregators_skip_nulls_but_count_star_does_not() {
+        let vals = [1i64, 2, 3];
+        let words = [0b101u64];
+        let col = BatchColumn {
+            values: BatchValues::Int(&vals),
+            validity: Some(&words),
+        };
+        let s = sel(3);
+        let mut count = BatchAggregator::new(AggFunc::Count);
+        count.update(Some(&col), &s);
+        assert_eq!(count.finish(), Value::Int(2));
+        let mut star = BatchAggregator::new(AggFunc::Count);
+        star.update(None, &s);
+        assert_eq!(star.finish(), Value::Int(3));
+        let mut avg = BatchAggregator::new(AggFunc::Avg);
+        avg.update(Some(&col), &s);
+        assert_eq!(avg.finish(), Value::Float(2.0));
+        let mut empty = BatchAggregator::new(AggFunc::Avg);
+        empty.update(Some(&col), &SelectionVector::new());
+        assert_eq!(empty.finish(), Value::Null);
+    }
+
+    #[test]
+    fn string_min_max() {
+        let offsets = [0u32, 3, 4, 9];
+        let bytes = b"foeazebra";
+        let col = BatchColumn {
+            values: BatchValues::Str {
+                offsets: &offsets,
+                bytes,
+            },
+            validity: None,
+        };
+        let s = sel(3);
+        let mut min = BatchAggregator::new(AggFunc::Min);
+        min.update(Some(&col), &s);
+        assert_eq!(min.finish(), Value::from("a"));
+        let mut max = BatchAggregator::new(AggFunc::Max);
+        max.update(Some(&col), &s);
+        assert_eq!(max.finish(), Value::from("zebra"));
+        // Sum over strings counts rows but keeps sum at 0.0 (as_f64 is
+        // None on the row path).
+        let mut sum = BatchAggregator::new(AggFunc::Sum);
+        sum.update(Some(&col), &s);
+        assert_eq!(sum.finish(), Value::Float(0.0));
+    }
+
+    #[test]
+    fn selection_indices_address_whole_batches() {
+        // A batch-sized identity selection touches every row once.
+        let vals: Vec<i64> = (0..BATCH_ROWS as i64).collect();
+        let col = int_col(&vals);
+        let s = sel(BATCH_ROWS);
+        let mut sum = BatchAggregator::new(AggFunc::Sum);
+        sum.update(Some(&col), &s);
+        let expected = (BATCH_ROWS * (BATCH_ROWS - 1) / 2) as f64;
+        assert_eq!(sum.finish(), Value::Float(expected));
+    }
+}

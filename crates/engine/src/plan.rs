@@ -23,7 +23,10 @@ pub enum AccessPath {
     Row(Arc<RowStore>),
     /// Re-read the records a lazy cache selected, through the raw file's
     /// positional map.
-    Offsets { file: Arc<RawFile>, store: Arc<OffsetStore> },
+    Offsets {
+        file: Arc<RawFile>,
+        store: Arc<OffsetStore>,
+    },
 }
 
 impl std::fmt::Debug for AccessPath {

@@ -33,7 +33,12 @@ pub struct SampledTimer {
 impl SampledTimer {
     /// `period = 128` means ~0.8% of units pay for a timer call.
     pub fn new(period: u64) -> Self {
-        SampledTimer { period: period.max(1), units: 0, sampled_units: 0, sampled_ns: 0 }
+        SampledTimer {
+            period: period.max(1),
+            units: 0,
+            sampled_units: 0,
+            sampled_ns: 0,
+        }
     }
 
     /// Runs one unit of work, timing it if this unit is sampled.
@@ -108,7 +113,11 @@ mod tests {
         assert_eq!(timer.units(), 1000);
         // 100 sampled units, extrapolated x10.
         let est = timer.estimated_total_ns();
-        assert!(est >= timer.sampled_ns() * 9, "est {est} sampled {}", timer.sampled_ns());
+        assert!(
+            est >= timer.sampled_ns() * 9,
+            "est {est} sampled {}",
+            timer.sampled_ns()
+        );
     }
 
     #[test]

@@ -20,9 +20,17 @@ pub type QualifiedPath = FieldPath;
 #[derive(Debug, Clone, PartialEq)]
 pub enum PredClause {
     /// `path op literal`
-    Cmp { path: QualifiedPath, op: crate::expr::CmpOp, value: Value },
+    Cmp {
+        path: QualifiedPath,
+        op: crate::expr::CmpOp,
+        value: Value,
+    },
     /// `path BETWEEN lo AND hi`
-    Between { path: QualifiedPath, lo: Value, hi: Value },
+    Between {
+        path: QualifiedPath,
+        lo: Value,
+        hi: Value,
+    },
 }
 
 /// Parsed query.
@@ -56,7 +64,10 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn tokenize(text: &'a str) -> Result<Vec<Token>> {
-        let mut lexer = Lexer { text: text.as_bytes(), pos: 0 };
+        let mut lexer = Lexer {
+            text: text.as_bytes(),
+            pos: 0,
+        };
         let mut out = Vec::new();
         loop {
             let token = lexer.next_token()?;
@@ -72,7 +83,9 @@ impl<'a> Lexer<'a> {
         while self.pos < self.text.len() && self.text[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
-        let Some(&b) = self.text.get(self.pos) else { return Ok(Token::Eof) };
+        let Some(&b) = self.text.get(self.pos) else {
+            return Ok(Token::Eof);
+        };
         match b {
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = self.pos;
@@ -100,8 +113,7 @@ impl<'a> Lexer<'a> {
                             is_float = true;
                             self.pos += 1;
                         }
-                        b'+' | b'-' if matches!(self.text.get(self.pos - 1), Some(b'e' | b'E')) =>
-                        {
+                        b'+' | b'-' if matches!(self.text.get(self.pos - 1), Some(b'e' | b'E')) => {
                             self.pos += 1
                         }
                         _ => break,
@@ -172,7 +184,10 @@ impl<'a> Lexer<'a> {
                 self.pos += 1;
                 Ok(Token::Symbol(b as char))
             }
-            other => Err(Error::parse_at(format!("unexpected character '{}'", other as char), self.pos)),
+            other => Err(Error::parse_at(
+                format!("unexpected character '{}'", other as char),
+                self.pos,
+            )),
         }
     }
 }
@@ -216,14 +231,19 @@ impl Parser {
         if self.keyword(word) {
             Ok(())
         } else {
-            Err(Error::parse(format!("expected '{word}', found {:?}", self.peek())))
+            Err(Error::parse(format!(
+                "expected '{word}', found {:?}",
+                self.peek()
+            )))
         }
     }
 
     fn ident(&mut self) -> Result<String> {
         match self.next() {
             Token::Ident(s) => Ok(s),
-            other => Err(Error::parse(format!("expected identifier, found {other:?}"))),
+            other => Err(Error::parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -287,7 +307,11 @@ impl Parser {
             Token::Le => crate::expr::CmpOp::Le,
             Token::Ge => crate::expr::CmpOp::Ge,
             Token::Ne => crate::expr::CmpOp::Ne,
-            other => return Err(Error::parse(format!("expected comparison, found {other:?}"))),
+            other => {
+                return Err(Error::parse(format!(
+                    "expected comparison, found {other:?}"
+                )))
+            }
         };
         // `path = path` is a join clause; anything else compares with a
         // literal (`true`/`false` idents are literals, not paths).
@@ -340,9 +364,17 @@ pub fn parse_query(text: &str) -> Result<QuerySpec> {
         }
     }
     if p.peek() != &Token::Eof {
-        return Err(Error::parse(format!("unexpected trailing input: {:?}", p.peek())));
+        return Err(Error::parse(format!(
+            "unexpected trailing input: {:?}",
+            p.peek()
+        )));
     }
-    Ok(QuerySpec { aggregates, tables, predicates, joins })
+    Ok(QuerySpec {
+        aggregates,
+        tables,
+        predicates,
+        joins,
+    })
 }
 
 #[cfg(test)]
@@ -387,7 +419,10 @@ mod tests {
              WHERE lineitems.l_quantity < 10",
         )
         .unwrap();
-        assert_eq!(q.aggregates[0].1, Some(FieldPath::parse("lineitems.l_extendedprice")));
+        assert_eq!(
+            q.aggregates[0].1,
+            Some(FieldPath::parse("lineitems.l_extendedprice"))
+        );
         assert_eq!(q.tables, vec!["orderLineitems"]);
     }
 
@@ -416,7 +451,11 @@ mod tests {
         let q = parse_query("SELECT sum(x) FROM t WHERE x > -5 AND y <= 1.5e2").unwrap();
         assert_eq!(
             q.predicates[0],
-            PredClause::Cmp { path: FieldPath::parse("x"), op: CmpOp::Gt, value: Value::Int(-5) }
+            PredClause::Cmp {
+                path: FieldPath::parse("x"),
+                op: CmpOp::Gt,
+                value: Value::Int(-5)
+            }
         );
         assert_eq!(
             q.predicates[1],

@@ -13,7 +13,10 @@ impl Bitmap {
     }
 
     pub fn with_capacity(bits: usize) -> Self {
-        Bitmap { words: Vec::with_capacity(bits.div_ceil(64)), len: 0 }
+        Bitmap {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -22,6 +25,12 @@ impl Bitmap {
 
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Removes all bits, keeping the allocation (reusable buffers).
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
     }
 
     /// Appends one bit.
@@ -47,6 +56,18 @@ impl Bitmap {
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Backing words (bit `i` of the map is bit `i % 64` of word `i / 64`).
+    /// Bits at positions `>= len()` are unspecified.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// True when every bit in `[0, len)` is set (e.g. a column with no
+    /// nulls) — lets scans skip validity checks entirely.
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
     }
 
     /// Heap footprint in bytes.

@@ -1,6 +1,7 @@
 //! Typed columns with null masks: the storage unit shared by the
 //! relational columnar and Dremel stores.
 
+use crate::batch::{BatchColumn, BatchValues};
 use crate::bitmap::Bitmap;
 use recache_types::{ScalarType, Value};
 
@@ -12,7 +13,10 @@ pub enum ColumnData {
     Float(Vec<f64>),
     /// Strings as a shared byte heap with offsets (offsets has `len + 1`
     /// entries).
-    Str { offsets: Vec<u32>, bytes: Vec<u8> },
+    Str {
+        offsets: Vec<u32>,
+        bytes: Vec<u8>,
+    },
 }
 
 impl ColumnData {
@@ -21,7 +25,10 @@ impl ColumnData {
             ScalarType::Bool => ColumnData::Bool(Vec::new()),
             ScalarType::Int => ColumnData::Int(Vec::new()),
             ScalarType::Float => ColumnData::Float(Vec::new()),
-            ScalarType::Str => ColumnData::Str { offsets: vec![0], bytes: Vec::new() },
+            ScalarType::Str => ColumnData::Str {
+                offsets: vec![0],
+                bytes: Vec::new(),
+            },
         }
     }
 
@@ -90,6 +97,62 @@ impl ColumnData {
             ColumnData::Str { offsets, bytes } => offsets.len() * 4 + bytes.len(),
         }
     }
+
+    /// Removes all entries, keeping allocations (reusable buffers).
+    pub fn clear(&mut self) {
+        match self {
+            ColumnData::Bool(v) => v.clear(),
+            ColumnData::Int(v) => v.clear(),
+            ColumnData::Float(v) => v.clear(),
+            ColumnData::Str { offsets, bytes } => {
+                offsets.clear();
+                offsets.push(0);
+                bytes.clear();
+            }
+        }
+    }
+
+    /// Copies entry `index` of another column of the same scalar type —
+    /// typed, no `Value` boxing. `copy_bytes = false` appends an empty
+    /// string slot instead of the source bytes (null entries).
+    #[inline]
+    pub fn push_from(&mut self, src: &ColumnData, index: usize, copy_bytes: bool) {
+        match (self, src) {
+            (ColumnData::Bool(out), ColumnData::Bool(v)) => out.push(v[index]),
+            (ColumnData::Int(out), ColumnData::Int(v)) => out.push(v[index]),
+            (ColumnData::Float(out), ColumnData::Float(v)) => out.push(v[index]),
+            (
+                ColumnData::Str { offsets, bytes },
+                ColumnData::Str {
+                    offsets: so,
+                    bytes: sb,
+                },
+            ) => {
+                if copy_bytes {
+                    let lo = so[index] as usize;
+                    let hi = so[index + 1] as usize;
+                    bytes.extend_from_slice(&sb[lo..hi]);
+                }
+                offsets.push(bytes.len() as u32);
+            }
+            // Scalar type of a leaf never changes within a store.
+            _ => unreachable!("column type mismatch in push_from"),
+        }
+    }
+
+    /// Borrowed typed view over entries `[start, end)` — zero-copy; string
+    /// offsets stay absolute into the shared byte heap.
+    pub fn slice(&self, start: usize, end: usize) -> BatchValues<'_> {
+        match self {
+            ColumnData::Bool(v) => BatchValues::Bool(&v[start..end]),
+            ColumnData::Int(v) => BatchValues::Int(&v[start..end]),
+            ColumnData::Float(v) => BatchValues::Float(&v[start..end]),
+            ColumnData::Str { offsets, bytes } => BatchValues::Str {
+                offsets: &offsets[start..=end],
+                bytes,
+            },
+        }
+    }
 }
 
 /// A column: typed data plus a validity mask.
@@ -102,7 +165,10 @@ pub struct Column {
 
 impl Column {
     pub fn new(ty: ScalarType) -> Self {
-        Column { data: ColumnData::new(ty), valid: Bitmap::new() }
+        Column {
+            data: ColumnData::new(ty),
+            valid: Bitmap::new(),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -113,10 +179,25 @@ impl Column {
         self.len() == 0
     }
 
+    /// Removes all entries, keeping allocations (reusable buffers).
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.valid.clear();
+    }
+
     /// Appends a value, tracking nullity.
     pub fn push(&mut self, value: &Value) {
         self.valid.push(!value.is_null());
         self.data.push(value);
+    }
+
+    /// Copies entry `index` of another same-typed column (typed append,
+    /// no `Value` boxing).
+    #[inline]
+    pub fn push_entry_from(&mut self, src_data: &ColumnData, src_valid: &Bitmap, index: usize) {
+        let is_valid = src_valid.get(index);
+        self.valid.push(is_valid);
+        self.data.push_from(src_data, index, is_valid);
     }
 
     /// Reads a value, `Null` for invalid slots.
@@ -131,6 +212,15 @@ impl Column {
 
     pub fn byte_size(&self) -> usize {
         self.data.byte_size() + self.valid.byte_size()
+    }
+
+    /// Borrowed batch view over rows `[start, end)`. `start` must be a
+    /// multiple of 64 so the validity view begins on a word boundary
+    /// (batch row `r` is then bit `r` of the word slice). Pass
+    /// `all_valid = true` (precomputed once per scan) to skip validity
+    /// tracking for null-free columns.
+    pub fn batch_view(&self, start: usize, end: usize, all_valid: bool) -> BatchColumn<'_> {
+        crate::batch::borrowed_batch_column(&self.data, &self.valid, start, end, all_valid)
     }
 }
 

@@ -10,14 +10,12 @@
 //! Eq. 4 relies on), data-access cost proportional to the flattened row
 //! count `R` regardless of how many rows the query semantically needs.
 
+use crate::batch::{ColumnBatch, SelectionVector, BATCH_ROWS};
 use crate::column::Column;
 use crate::shape::{self, ShapeCursor};
 use crate::ScanCost;
-use recache_types::{flatten_record_masks, list_dim_ranges, Schema, Value};
+use recache_types::{flatten_record_masks, Schema, Value};
 use std::time::Instant;
-
-/// Rows per timed scan batch.
-const BATCH_ROWS: usize = 4096;
 
 /// Flattened, column-oriented store of cached records.
 #[derive(Debug, Clone)]
@@ -34,14 +32,18 @@ pub struct ColumnStore {
     /// Concatenated per-record shapes with offsets (`record_count + 1`).
     shape_lens: Vec<u32>,
     shape_offsets: Vec<u32>,
+    /// Source-file record id of each cached record (`None` ⇒ identity,
+    /// e.g. stores built directly from full files or in tests). Scans
+    /// emit these ids so downstream offset caches never see store-local
+    /// indices.
+    source_ids: Option<Vec<u32>>,
 }
 
 impl ColumnStore {
     /// Builds the store by flattening `records`.
     pub fn build<'a>(schema: &Schema, records: impl IntoIterator<Item = &'a Value>) -> Self {
         let leaves = schema.leaves();
-        let mut columns: Vec<Column> =
-            leaves.iter().map(|l| Column::new(l.scalar_type)).collect();
+        let mut columns: Vec<Column> = leaves.iter().map(|l| Column::new(l.scalar_type)).collect();
         let mut masks = Vec::new();
         let mut record_rows = vec![0u32];
         let mut shape_lens = Vec::new();
@@ -60,20 +62,42 @@ impl ColumnStore {
             total_rows += rows.len() as u32;
             record_rows.push(total_rows);
         }
-        ColumnStore { schema: schema.clone(), columns, masks, record_rows, shape_lens, shape_offsets }
+        ColumnStore {
+            schema: schema.clone(),
+            columns,
+            masks,
+            record_rows,
+            shape_lens,
+            shape_offsets,
+            source_ids: None,
+        }
     }
 
-    /// Bitmask of list dimensions with no projected leaf: rows sitting at
-    /// a non-zero index of such a dimension are duplicates from the
-    /// query's point of view and are skipped.
-    fn unaccessed_dims(&self, projection: &[usize]) -> u64 {
-        let mut mask = 0u64;
-        for (d, (lo, hi)) in list_dim_ranges(&self.schema).into_iter().enumerate() {
-            if !projection.iter().any(|&leaf| leaf >= lo && leaf < hi) {
-                mask |= 1 << d;
-            }
+    /// Records the source-file record id of each cached record (same
+    /// order as `build` consumed them). Scans then report these ids
+    /// instead of store-local indices.
+    pub fn set_source_record_ids(&mut self, ids: Vec<u32>) {
+        debug_assert_eq!(ids.len(), self.record_count());
+        self.source_ids = Some(ids);
+    }
+
+    /// Source-file record ids, when known.
+    pub fn source_record_ids(&self) -> Option<&[u32]> {
+        self.source_ids.as_deref()
+    }
+
+    #[inline]
+    fn source_id(&self, rec: usize) -> u32 {
+        match &self.source_ids {
+            Some(ids) => ids[rec],
+            None => rec as u32,
         }
-        mask
+    }
+
+    /// Bitmask of list dimensions with no projected leaf (shared skip
+    /// rule — see [`crate::batch::unaccessed_list_dims`]).
+    fn unaccessed_dims(&self, projection: &[usize]) -> u64 {
+        crate::batch::unaccessed_list_dims(&self.schema, projection)
     }
 
     pub fn schema(&self) -> &Schema {
@@ -98,7 +122,7 @@ impl ColumnStore {
             + self.shape_offsets.len() * 4
     }
 
-    /// Scans the store, emitting projected rows.
+    /// Scans the store, emitting the source record id and projected row.
     ///
     /// `record_level` emits one row per record (mask 0); element-level
     /// scans emit one row per combination of the *projected* list
@@ -109,14 +133,18 @@ impl ColumnStore {
         &self,
         projection: &[usize],
         record_level: bool,
-        emit: &mut dyn FnMut(&[Value]),
+        emit: &mut dyn FnMut(usize, &[Value]),
     ) -> ScanCost {
         let mut cost = ScanCost::default();
         let total = self.row_count();
-        let skip_dims =
-            if record_level { u64::MAX } else { self.unaccessed_dims(projection) };
+        let skip_dims = if record_level {
+            u64::MAX
+        } else {
+            self.unaccessed_dims(projection)
+        };
         let mut buf: Vec<Value> = vec![Value::Null; projection.len()];
         let mut indices: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
+        let mut rec = 0usize;
         let mut start = 0usize;
         while start < total {
             let end = (start + BATCH_ROWS).min(total);
@@ -132,16 +160,106 @@ impl ColumnStore {
             // Phase D: gather values.
             let t1 = Instant::now();
             for &i in &indices {
+                while self.record_rows[rec + 1] <= i {
+                    rec += 1;
+                }
                 for (slot, &leaf) in buf.iter_mut().zip(projection) {
                     *slot = self.columns[leaf].get(i as usize);
                 }
-                emit(&buf);
+                emit(self.source_id(rec) as usize, &buf);
             }
             let data = t1.elapsed();
             cost.add(&ScanCost {
                 data_ns: data.as_nanos() as u64,
                 compute_ns: compute.as_nanos() as u64,
                 rows: indices.len(),
+                rows_visited: end - start,
+            });
+            start = end;
+        }
+        cost
+    }
+
+    /// Vectorized scan: yields [`ColumnBatch`]es of borrowed typed column
+    /// views over up to [`BATCH_ROWS`] contiguous flattened rows, with the
+    /// mask-navigation selection pre-seeded. Zero values are copied — the
+    /// batch columns alias the store's own buffers.
+    ///
+    /// `want_record_ids` materializes per-row source record ids (needed
+    /// only when the consumer collects satisfying ids); when `false`,
+    /// `ColumnBatch::record_ids` is empty and the mask walk stays a pure
+    /// bitmask loop, keeping the paper's `C ≈ 0` columnar property on the
+    /// aggregate hot path.
+    ///
+    /// Cost attribution matches [`ColumnStore::scan`]: the mask walk and
+    /// any record-id resolution are compute `C`; view construction is
+    /// data access `D` (near zero here — the split becomes almost pure
+    /// `D` once the engine adds its gather time).
+    pub fn scan_batches(
+        &self,
+        projection: &[usize],
+        record_level: bool,
+        want_record_ids: bool,
+        on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
+    ) -> ScanCost {
+        let mut cost = ScanCost::default();
+        let total = self.row_count();
+        let skip_dims = if record_level {
+            u64::MAX
+        } else {
+            self.unaccessed_dims(projection)
+        };
+        let all_valid: Vec<bool> = projection
+            .iter()
+            .map(|&leaf| self.columns[leaf].valid.all_set())
+            .collect();
+        let mut selection = SelectionVector::new();
+        let mut record_ids: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
+        let mut rec = 0usize;
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + BATCH_ROWS).min(total);
+            // Phase C: mask navigation seeds the selection; record-id
+            // resolution (when requested) rides the same walk.
+            let t0 = Instant::now();
+            selection.clear();
+            if want_record_ids {
+                record_ids.clear();
+                for i in start..end {
+                    while self.record_rows[rec + 1] as usize <= i {
+                        rec += 1;
+                    }
+                    record_ids.push(self.source_id(rec));
+                    if self.masks[i] & skip_dims == 0 {
+                        selection.push((i - start) as u32);
+                    }
+                }
+            } else {
+                for i in start..end {
+                    if self.masks[i] & skip_dims == 0 {
+                        selection.push((i - start) as u32);
+                    }
+                }
+            }
+            let compute = t0.elapsed();
+            // Phase D: construct the borrowed column views.
+            let t1 = Instant::now();
+            let batch = ColumnBatch {
+                len: end - start,
+                columns: projection
+                    .iter()
+                    .zip(&all_valid)
+                    .map(|(&leaf, &av)| self.columns[leaf].batch_view(start, end, av))
+                    .collect(),
+                record_ids: &record_ids,
+            };
+            let data = t1.elapsed();
+            let selected_before = selection.len();
+            on_batch(&batch, &mut selection);
+            cost.add(&ScanCost {
+                data_ns: data.as_nanos() as u64,
+                compute_ns: compute.as_nanos() as u64,
+                rows: selected_before,
                 rows_visited: end - start,
             });
             start = end;
@@ -163,7 +281,11 @@ impl ColumnStore {
             let row_lo = self.record_rows[rec] as usize;
             let row_hi = self.record_rows[rec + 1] as usize;
             let rows: Vec<Vec<Value>> = (row_lo..row_hi)
-                .map(|row| (0..n_leaves).map(|leaf| self.columns[leaf].get(row)).collect())
+                .map(|row| {
+                    (0..n_leaves)
+                        .map(|leaf| self.columns[leaf].get(row))
+                        .collect()
+                })
                 .collect();
             let shape_lo = self.shape_offsets[rec] as usize;
             let shape_hi = self.shape_offsets[rec + 1] as usize;
@@ -228,7 +350,7 @@ mod tests {
         let rs = records();
         let store = ColumnStore::build(&schema(), rs.iter());
         let mut rows = Vec::new();
-        let cost = store.scan(&[0, 2], false, &mut |row| rows.push(row.to_vec()));
+        let cost = store.scan(&[0, 2], false, &mut |_, row| rows.push(row.to_vec()));
         assert_eq!(rows.len(), 3);
         assert_eq!(cost.rows, 3);
         assert_eq!(cost.rows_visited, 3);
@@ -240,13 +362,98 @@ mod tests {
         let rs = records();
         let store = ColumnStore::build(&schema(), rs.iter());
         let mut rows = Vec::new();
-        let cost = store.scan(&[0, 1], true, &mut |row| rows.push(row.to_vec()));
-        assert_eq!(rows, vec![
-            vec![Value::Int(1), Value::Float(10.0)],
-            vec![Value::Int(2), Value::Float(20.0)],
-        ]);
+        let cost = store.scan(&[0, 1], true, &mut |_, row| rows.push(row.to_vec()));
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1), Value::Float(10.0)],
+                vec![Value::Int(2), Value::Float(20.0)],
+            ]
+        );
         assert_eq!(cost.rows, 2);
         assert_eq!(cost.rows_visited, 3);
+    }
+
+    #[test]
+    fn scan_reports_source_record_ids() {
+        let rs = records();
+        let mut store = ColumnStore::build(&schema(), rs.iter());
+        // Without source ids: store-local record indices.
+        let mut ids = Vec::new();
+        store.scan(&[0, 2], false, &mut |id, _| ids.push(id));
+        assert_eq!(ids, vec![0, 0, 1]);
+        // With source ids (the record ids materialization cached).
+        store.set_source_record_ids(vec![70, 92]);
+        let mut ids = Vec::new();
+        store.scan(&[0, 2], false, &mut |id, _| ids.push(id));
+        assert_eq!(ids, vec![70, 70, 92]);
+        let mut ids = Vec::new();
+        store.scan(&[0], true, &mut |id, _| ids.push(id));
+        assert_eq!(ids, vec![70, 92]);
+    }
+
+    #[test]
+    fn scan_batches_matches_row_scan() {
+        let rs = records();
+        let mut store = ColumnStore::build(&schema(), rs.iter());
+        store.set_source_record_ids(vec![70, 92]);
+        for (projection, record_level) in [
+            (vec![0usize, 2], false),
+            (vec![0, 1], true),
+            (vec![2, 0], false),
+        ] {
+            let mut expected = Vec::new();
+            store.scan(&projection, record_level, &mut |id, row| {
+                expected.push((id as u32, row.to_vec()));
+            });
+            let mut got = Vec::new();
+            let cost = store.scan_batches(&projection, record_level, true, &mut |batch, sel| {
+                for &i in sel.as_slice() {
+                    let i = i as usize;
+                    let row: Vec<Value> = batch.columns.iter().map(|c| c.value(i)).collect();
+                    got.push((batch.record_ids[i], row));
+                }
+            });
+            assert_eq!(
+                got, expected,
+                "projection {projection:?} record_level {record_level}"
+            );
+            assert_eq!(cost.rows, expected.len());
+            assert_eq!(cost.rows_visited, store.row_count());
+        }
+    }
+
+    #[test]
+    fn scan_batches_exposes_validity() {
+        let schema = schema();
+        let record = Value::Struct(vec![Value::Int(5), Value::Null, Value::Null]);
+        let store = ColumnStore::build(&schema, std::iter::once(&record));
+        store.scan_batches(&[0, 1], true, false, &mut |batch, sel| {
+            assert_eq!(batch.len, 1);
+            assert_eq!(sel.len(), 1);
+            assert!(batch.columns[0].is_valid(0));
+            assert!(
+                batch.columns[0].validity.is_none(),
+                "no-null column skips validity"
+            );
+            assert!(!batch.columns[1].is_valid(0));
+            assert_eq!(batch.columns[1].value(0), Value::Null);
+        });
+    }
+
+    #[test]
+    fn scan_batches_skips_record_ids_unless_requested() {
+        let rs = records();
+        let store = ColumnStore::build(&schema(), rs.iter());
+        store.scan_batches(&[0, 1], true, false, &mut |batch, _| {
+            assert!(
+                batch.record_ids.is_empty(),
+                "record ids must not be materialized when not requested"
+            );
+        });
+        store.scan_batches(&[0, 1], true, true, &mut |batch, _| {
+            assert_eq!(batch.record_ids.len(), batch.len);
+        });
     }
 
     #[test]
@@ -263,8 +470,11 @@ mod tests {
         assert_eq!(store.row_count(), 0);
         assert_eq!(store.record_count(), 0);
         let mut rows = 0;
-        store.scan(&[0], false, &mut |_| rows += 1);
+        store.scan(&[0], false, &mut |_, _| rows += 1);
         assert_eq!(rows, 0);
+        let mut batches = 0;
+        store.scan_batches(&[0], false, false, &mut |_, _| batches += 1);
+        assert_eq!(batches, 0);
         assert!(store.to_records().is_empty());
     }
 
@@ -273,7 +483,11 @@ mod tests {
         let many_items = Value::Struct(vec![
             Value::Int(1),
             Value::Float(1.0),
-            Value::List((0..50).map(|i| Value::Struct(vec![Value::Int(i)])).collect()),
+            Value::List(
+                (0..50)
+                    .map(|i| Value::Struct(vec![Value::Int(i)]))
+                    .collect(),
+            ),
         ]);
         let few_items = Value::Struct(vec![
             Value::Int(1),

@@ -10,11 +10,15 @@ use crate::{ColumnStore, DremelStore, RowStore};
 use std::time::{Duration, Instant};
 
 /// Dremel → relational columnar. Returns the new store and the measured
-/// transformation time.
+/// transformation time. Source record ids survive every conversion so
+/// scans over the switched layout keep reporting file record ids.
 pub fn dremel_to_columnar(store: &DremelStore) -> (ColumnStore, Duration) {
     let t0 = Instant::now();
     let records = store.to_records();
-    let out = ColumnStore::build(store.schema(), records.iter());
+    let mut out = ColumnStore::build(store.schema(), records.iter());
+    if let Some(ids) = store.source_record_ids() {
+        out.set_source_record_ids(ids.to_vec());
+    }
     (out, t0.elapsed())
 }
 
@@ -22,7 +26,10 @@ pub fn dremel_to_columnar(store: &DremelStore) -> (ColumnStore, Duration) {
 pub fn columnar_to_dremel(store: &ColumnStore) -> (DremelStore, Duration) {
     let t0 = Instant::now();
     let records = store.to_records();
-    let out = DremelStore::build(store.schema(), records.iter());
+    let mut out = DremelStore::build(store.schema(), records.iter());
+    if let Some(ids) = store.source_record_ids() {
+        out.set_source_record_ids(ids.to_vec());
+    }
     (out, t0.elapsed())
 }
 
@@ -30,7 +37,10 @@ pub fn columnar_to_dremel(store: &ColumnStore) -> (DremelStore, Duration) {
 pub fn columnar_to_row(store: &ColumnStore) -> (RowStore, Duration) {
     let t0 = Instant::now();
     let records = store.to_records();
-    let out = RowStore::build(store.schema(), records.iter());
+    let mut out = RowStore::build(store.schema(), records.iter());
+    if let Some(ids) = store.source_record_ids() {
+        out.set_source_record_ids(ids.to_vec());
+    }
     (out, t0.elapsed())
 }
 
@@ -38,7 +48,10 @@ pub fn columnar_to_row(store: &ColumnStore) -> (RowStore, Duration) {
 pub fn row_to_columnar(store: &RowStore) -> (ColumnStore, Duration) {
     let t0 = Instant::now();
     let records = store.to_records();
-    let out = ColumnStore::build(store.schema(), records.iter());
+    let mut out = ColumnStore::build(store.schema(), records.iter());
+    if let Some(ids) = store.source_record_ids() {
+        out.set_source_record_ids(ids.to_vec());
+    }
     (out, t0.elapsed())
 }
 
@@ -66,7 +79,9 @@ mod tests {
                 Value::Struct(vec![
                     Value::Int(i),
                     Value::List(
-                        (0..(i % 5)).map(|j| Value::Struct(vec![Value::Int(j)])).collect(),
+                        (0..(i % 5))
+                            .map(|j| Value::Struct(vec![Value::Int(j)]))
+                            .collect(),
                     ),
                 ])
             })
@@ -85,17 +100,33 @@ mod tests {
         let (columnar, t) = dremel_to_columnar(&dremel);
         assert!(t.as_nanos() > 0);
         let mut a = Vec::new();
-        dremel.scan(&[0, 1], false, &mut |r| a.push(r.to_vec()));
+        dremel.scan(&[0, 1], false, &mut |_, r| a.push(r.to_vec()));
         let mut b = Vec::new();
-        columnar.scan(&[0, 1], false, &mut |r| b.push(r.to_vec()));
+        columnar.scan(&[0, 1], false, &mut |_, r| b.push(r.to_vec()));
         scans_agree(&a, &b);
 
         let (dremel2, _) = columnar_to_dremel(&columnar);
         let mut c = Vec::new();
-        dremel2.scan(&[0, 1], false, &mut |r| c.push(r.to_vec()));
+        dremel2.scan(&[0, 1], false, &mut |_, r| c.push(r.to_vec()));
         scans_agree(&a, &c);
         assert_eq!(dremel2.record_count(), dremel.record_count());
         assert_eq!(dremel2.flattened_rows(), dremel.flattened_rows());
+    }
+
+    #[test]
+    fn conversions_propagate_source_record_ids() {
+        let rs = records();
+        let schema = schema();
+        let ids: Vec<u32> = (0..rs.len() as u32).map(|i| i * 3 + 5).collect();
+        let mut dremel = DremelStore::build(&schema, rs.iter());
+        dremel.set_source_record_ids(ids.clone());
+        let (columnar, _) = dremel_to_columnar(&dremel);
+        assert_eq!(columnar.source_record_ids(), Some(ids.as_slice()));
+        let (rows, _) = columnar_to_row(&columnar);
+        assert_eq!(rows.source_record_ids(), Some(ids.as_slice()));
+        let (back, _) = row_to_columnar(&rows);
+        let (dremel2, _) = columnar_to_dremel(&back);
+        assert_eq!(dremel2.source_record_ids(), Some(ids.as_slice()));
     }
 
     #[test]

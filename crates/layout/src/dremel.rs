@@ -16,6 +16,7 @@
 //! (data-access phase), so the two costs are measured separately as the
 //! cost model requires.
 
+use crate::batch::{BatchScratch, ColumnBatch, SelectionVector, BATCH_ROWS};
 use crate::bitmap::Bitmap;
 use crate::column::ColumnData;
 use crate::shape::{self, leaf_count, ShapeCursor};
@@ -77,6 +78,9 @@ pub struct DremelStore {
     max_rep: Vec<u16>,
     record_count: usize,
     flattened_rows: usize,
+    /// Source-file record ids (`None` ⇒ identity); see
+    /// [`crate::ColumnStore::set_source_record_ids`].
+    source_ids: Option<Vec<u32>>,
 }
 
 impl DremelStore {
@@ -104,7 +108,33 @@ impl DremelStore {
             let mut cursor = ShapeCursor::new(&shape_buf);
             flattened_rows += shape::row_count(schema.fields(), &mut cursor);
         }
-        DremelStore { schema: schema.clone(), columns, max_rep, record_count, flattened_rows }
+        DremelStore {
+            schema: schema.clone(),
+            columns,
+            max_rep,
+            record_count,
+            flattened_rows,
+            source_ids: None,
+        }
+    }
+
+    /// Records the source-file record id of each cached record.
+    pub fn set_source_record_ids(&mut self, ids: Vec<u32>) {
+        debug_assert_eq!(ids.len(), self.record_count);
+        self.source_ids = Some(ids);
+    }
+
+    /// Source-file record ids, when known.
+    pub fn source_record_ids(&self) -> Option<&[u32]> {
+        self.source_ids.as_deref()
+    }
+
+    #[inline]
+    fn source_id(&self, rec: usize) -> u32 {
+        match &self.source_ids {
+            Some(ids) => ids[rec],
+            None => rec as u32,
+        }
     }
 
     pub fn schema(&self) -> &Schema {
@@ -121,7 +151,11 @@ impl DremelStore {
     }
 
     pub fn byte_size(&self) -> usize {
-        self.columns.iter().map(DremelColumn::byte_size).sum::<usize>() + self.max_rep.len() * 2
+        self.columns
+            .iter()
+            .map(DremelColumn::byte_size)
+            .sum::<usize>()
+            + self.max_rep.len() * 2
     }
 
     /// Column access for tests.
@@ -129,7 +163,8 @@ impl DremelStore {
         &self.columns[leaf]
     }
 
-    /// Scans the store, emitting projected rows (projection order).
+    /// Scans the store, emitting the source record id and projected row
+    /// (projection order).
     ///
     /// With `record_level` (no repeated leaf projected) the short columns
     /// are read directly; otherwise records are assembled through the
@@ -138,7 +173,7 @@ impl DremelStore {
         &self,
         projection: &[usize],
         record_level: bool,
-        emit: &mut dyn FnMut(&[Value]),
+        emit: &mut dyn FnMut(usize, &[Value]),
     ) -> ScanCost {
         if record_level && projection.iter().all(|&l| self.max_rep[l] == 0) {
             return self.scan_record_level(projection, emit);
@@ -151,20 +186,20 @@ impl DremelStore {
     fn scan_record_level(
         &self,
         projection: &[usize],
-        emit: &mut dyn FnMut(&[Value]),
+        emit: &mut dyn FnMut(usize, &[Value]),
     ) -> ScanCost {
         let mut cost = ScanCost::default();
         let total = self.record_count;
         let mut buf: Vec<Value> = vec![Value::Null; projection.len()];
         let mut start = 0usize;
         while start < total {
-            let end = (start + 4096).min(total);
+            let end = (start + BATCH_ROWS).min(total);
             let t0 = Instant::now();
             for i in start..end {
                 for (slot, &leaf) in buf.iter_mut().zip(projection) {
                     *slot = self.columns[leaf].value(i);
                 }
-                emit(&buf);
+                emit(self.source_id(i) as usize, &buf);
             }
             let data = t0.elapsed();
             cost.add(&ScanCost {
@@ -179,21 +214,17 @@ impl DremelStore {
     }
 
     /// Level-driven record assembly producing flattened rows.
-    fn scan_assembled(&self, projection: &[usize], emit: &mut dyn FnMut(&[Value])) -> ScanCost {
+    fn scan_assembled(
+        &self,
+        projection: &[usize],
+        emit: &mut dyn FnMut(usize, &[Value]),
+    ) -> ScanCost {
         let n_leaves = self.columns.len();
         let mut accessed = vec![false; n_leaves];
         for &leaf in projection {
             accessed[leaf] = true;
         }
-        // flatten_record_projected emits accessed leaves in canonical
-        // order; map canonical positions back to projection order.
-        let mut sorted: Vec<usize> = projection.to_vec();
-        sorted.sort_unstable();
-        let order: Vec<usize> = projection
-            .iter()
-            .map(|l| sorted.binary_search(l).expect("projection leaf"))
-            .collect();
-
+        let order = projection_order(projection);
         let mut cost = ScanCost::default();
         let mut cursors = vec![0usize; n_leaves];
         let mut buf: Vec<Value> = vec![Value::Null; projection.len()];
@@ -204,24 +235,175 @@ impl DremelStore {
             // index rows (level decoding, branching, replication).
             let t0 = Instant::now();
             let mut index_rows: Vec<Vec<Value>> = Vec::new();
-            for _ in rec..chunk_end {
+            let mut row_recs: Vec<u32> = Vec::new();
+            for r in rec..chunk_end {
                 let placeholder =
                     assemble_struct(self, self.schema.fields(), 0, 0, 0, &accessed, &mut cursors);
-                index_rows.extend(flatten_record_projected(&self.schema, &placeholder, &accessed));
+                index_rows.extend(flatten_record_projected(
+                    &self.schema,
+                    &placeholder,
+                    &accessed,
+                ));
+                row_recs.resize(index_rows.len(), self.source_id(r));
             }
             let compute = t0.elapsed();
             // Phase D: gather actual values by entry index.
             let t1 = Instant::now();
-            for row in &index_rows {
+            for (row, &rid) in index_rows.iter().zip(&row_recs) {
                 for (j, &leaf) in projection.iter().enumerate() {
                     buf[j] = match &row[order[j]] {
                         Value::Int(idx) => self.columns[leaf].value(*idx as usize),
                         _ => Value::Null,
                     };
                 }
-                emit(&buf);
+                emit(rid as usize, &buf);
             }
             let data = t1.elapsed();
+            cost.add(&ScanCost {
+                data_ns: data.as_nanos() as u64,
+                compute_ns: compute.as_nanos() as u64,
+                rows: index_rows.len(),
+                rows_visited: index_rows.len(),
+            });
+            rec = chunk_end;
+        }
+        cost
+    }
+
+    /// Vectorized scan.
+    ///
+    /// Record-level scans over non-repeated leaves yield *borrowed* short
+    /// columns (one entry per record — zero copies, `C = 0`). Otherwise
+    /// each chunk of records is assembled through the level streams
+    /// (compute `C`, the paper's FSM cost) and the referenced entries are
+    /// gathered into reusable typed scratch columns (data `D`) — no
+    /// per-value `Value` boxing on either phase.
+    /// `want_record_ids` as on [`crate::ColumnStore::scan_batches`].
+    pub fn scan_batches(
+        &self,
+        projection: &[usize],
+        record_level: bool,
+        want_record_ids: bool,
+        on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
+    ) -> ScanCost {
+        if record_level && projection.iter().all(|&l| self.max_rep[l] == 0) {
+            return self.scan_batches_record_level(projection, want_record_ids, on_batch);
+        }
+        self.scan_batches_assembled(projection, want_record_ids, on_batch)
+    }
+
+    /// Borrowed short-column batches (the "4x fewer rows" fast path).
+    fn scan_batches_record_level(
+        &self,
+        projection: &[usize],
+        want_record_ids: bool,
+        on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
+    ) -> ScanCost {
+        let mut cost = ScanCost::default();
+        let total = self.record_count;
+        let all_valid: Vec<bool> = projection
+            .iter()
+            .map(|&leaf| self.columns[leaf].valid.all_set())
+            .collect();
+        let mut selection = SelectionVector::new();
+        let mut record_ids: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + BATCH_ROWS).min(total);
+            let t0 = Instant::now();
+            record_ids.clear();
+            if want_record_ids {
+                record_ids.extend((start..end).map(|i| self.source_id(i)));
+            }
+            let batch = ColumnBatch {
+                len: end - start,
+                columns: projection
+                    .iter()
+                    .zip(&all_valid)
+                    .map(|(&leaf, &av)| {
+                        let col = &self.columns[leaf];
+                        crate::batch::borrowed_batch_column(&col.data, &col.valid, start, end, av)
+                    })
+                    .collect(),
+                record_ids: &record_ids,
+            };
+            selection.fill_identity(end - start);
+            let data = t0.elapsed();
+            on_batch(&batch, &mut selection);
+            cost.add(&ScanCost {
+                data_ns: data.as_nanos() as u64,
+                compute_ns: 0,
+                rows: end - start,
+                rows_visited: end - start,
+            });
+            start = end;
+        }
+        cost
+    }
+
+    /// Assembled batches: level decoding is compute, typed gathers are
+    /// data access.
+    fn scan_batches_assembled(
+        &self,
+        projection: &[usize],
+        want_record_ids: bool,
+        on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
+    ) -> ScanCost {
+        let n_leaves = self.columns.len();
+        let mut accessed = vec![false; n_leaves];
+        for &leaf in projection {
+            accessed[leaf] = true;
+        }
+        let order = projection_order(projection);
+        let leaves = self.schema.leaves();
+        let mut scratch =
+            BatchScratch::for_projection(projection.iter().map(|&l| leaves[l].scalar_type));
+        let mut cost = ScanCost::default();
+        let mut cursors = vec![0usize; n_leaves];
+        let mut selection = SelectionVector::new();
+        let mut rec = 0usize;
+        while rec < self.record_count {
+            let chunk_end = (rec + CHUNK_RECORDS).min(self.record_count);
+            // Phase C: record assembly through the level streams.
+            let t0 = Instant::now();
+            let mut index_rows: Vec<Vec<Value>> = Vec::new();
+            let mut row_recs: Vec<u32> = Vec::new();
+            for r in rec..chunk_end {
+                let placeholder =
+                    assemble_struct(self, self.schema.fields(), 0, 0, 0, &accessed, &mut cursors);
+                index_rows.extend(flatten_record_projected(
+                    &self.schema,
+                    &placeholder,
+                    &accessed,
+                ));
+                if want_record_ids {
+                    row_recs.resize(index_rows.len(), self.source_id(r));
+                }
+            }
+            let compute = t0.elapsed();
+            // Phase D: typed gather of the referenced column entries.
+            let t1 = Instant::now();
+            scratch.clear();
+            scratch.record_ids.extend_from_slice(&row_recs);
+            for row in &index_rows {
+                for (j, &leaf) in projection.iter().enumerate() {
+                    match &row[order[j]] {
+                        Value::Int(idx) => {
+                            let col = &self.columns[leaf];
+                            scratch.cols[j].push_from(&col.data, &col.valid, *idx as usize);
+                        }
+                        _ => scratch.cols[j].push(&Value::Null),
+                    }
+                }
+            }
+            let data = t1.elapsed();
+            selection.fill_identity(index_rows.len());
+            let batch = ColumnBatch {
+                len: index_rows.len(),
+                columns: scratch.columns(),
+                record_ids: &scratch.record_ids,
+            };
+            on_batch(&batch, &mut selection);
             cost.add(&ScanCost {
                 data_ns: data.as_nanos() as u64,
                 compute_ns: compute.as_nanos() as u64,
@@ -244,10 +426,26 @@ impl DremelStore {
             let placeholder =
                 assemble_struct(self, self.schema.fields(), 0, 0, 0, &accessed, &mut cursors);
             let mut leaf = 0usize;
-            out.push(materialize(self, &DataType::Struct(self.schema.fields().to_vec()), &placeholder, &mut leaf));
+            out.push(materialize(
+                self,
+                &DataType::Struct(self.schema.fields().to_vec()),
+                &placeholder,
+                &mut leaf,
+            ));
         }
         out
     }
+}
+
+/// `flatten_record_projected` emits accessed leaves in canonical order;
+/// maps canonical positions back to projection order.
+fn projection_order(projection: &[usize]) -> Vec<usize> {
+    let mut sorted: Vec<usize> = projection.to_vec();
+    sorted.sort_unstable();
+    projection
+        .iter()
+        .map(|l| sorted.binary_search(l).expect("projection leaf"))
+        .collect()
 }
 
 /// Shreds one struct level. `r` is the repetition level for the *first*
@@ -360,7 +558,9 @@ fn assemble_struct(
     let mut children = Vec::with_capacity(fields.len());
     for field in fields {
         let width = leaf_count(&field.data_type);
-        children.push(assemble_field(store, field, leaf, d, list_depth, accessed, cursors));
+        children.push(assemble_field(
+            store, field, leaf, d, list_depth, accessed, cursors,
+        ));
         leaf += width;
     }
     Value::Struct(children)
@@ -388,7 +588,15 @@ fn assemble_field(
         }
         d += 1;
     }
-    assemble_type(store, &field.data_type, leaf, d, list_depth, accessed, cursors)
+    assemble_type(
+        store,
+        &field.data_type,
+        leaf,
+        d,
+        list_depth,
+        accessed,
+        cursors,
+    )
 }
 
 fn assemble_type(
@@ -521,7 +729,10 @@ mod tests {
             Value::Struct(vec![
                 Value::Int(3),
                 Value::Float(30.0),
-                Value::List(vec![Value::Struct(vec![Value::Int(300), Value::Str("c".into())])]),
+                Value::List(vec![Value::Struct(vec![
+                    Value::Int(300),
+                    Value::Str("c".into()),
+                ])]),
             ]),
         ]
     }
@@ -571,7 +782,7 @@ mod tests {
         let records = sample_records();
         let store = DremelStore::build(&schema, records.iter());
         let mut rows = Vec::new();
-        let cost = store.scan(&[0, 1], true, &mut |row| rows.push(row.to_vec()));
+        let cost = store.scan(&[0, 1], true, &mut |_, row| rows.push(row.to_vec()));
         assert_eq!(rows.len(), 3); // one per record, not per element
         assert_eq!(cost.rows, 3);
         assert_eq!(rows[1], vec![Value::Int(2), Value::Float(20.0)]);
@@ -583,7 +794,7 @@ mod tests {
         let records = sample_records();
         let store = DremelStore::build(&schema, records.iter());
         let mut rows = Vec::new();
-        store.scan(&[0, 2], false, &mut |row| rows.push(row.to_vec()));
+        store.scan(&[0, 2], false, &mut |_, row| rows.push(row.to_vec()));
         let mut expected = Vec::new();
         let accessed = [true, false, true, false];
         for r in &records {
@@ -599,7 +810,7 @@ mod tests {
         let store = DremelStore::build(&schema, records.iter());
         let mut rows = Vec::new();
         // Reversed projection: q before o.
-        store.scan(&[2, 0], false, &mut |row| rows.push(row.to_vec()));
+        store.scan(&[2, 0], false, &mut |_, row| rows.push(row.to_vec()));
         assert_eq!(rows[0], vec![Value::Int(100), Value::Int(1)]);
     }
 
@@ -616,9 +827,7 @@ mod tests {
                     Value::Float(i as f64),
                     Value::List(
                         (0..30)
-                            .map(|j| {
-                                Value::Struct(vec![Value::Int(j), Value::Str("tag".into())])
-                            })
+                            .map(|j| Value::Struct(vec![Value::Int(j), Value::Str("tag".into())]))
                             .collect(),
                     ),
                 ])
@@ -643,20 +852,22 @@ mod tests {
                     Value::Int(i),
                     Value::Float(i as f64),
                     Value::List(
-                        (0..4).map(|j| Value::Struct(vec![Value::Int(j), Value::Null])).collect(),
+                        (0..4)
+                            .map(|j| Value::Struct(vec![Value::Int(j), Value::Null]))
+                            .collect(),
                     ),
                 ])
             })
             .collect();
         let store = DremelStore::build(&schema, records.iter());
         let mut n = 0usize;
-        let cost = store.scan(&[0, 2], false, &mut |_| n += 1);
+        let cost = store.scan(&[0, 2], false, &mut |_, _| n += 1);
         assert_eq!(n, 8000);
         // Element-level scans must show nonzero compute (level decoding).
         assert!(cost.compute_ns > 0);
         assert!(cost.data_ns > 0);
         // Record-level scans over short columns report zero compute.
-        let cost = store.scan(&[0, 1], true, &mut |_| {});
+        let cost = store.scan(&[0, 1], true, &mut |_, _| {});
         assert_eq!(cost.compute_ns, 0);
     }
 
@@ -666,11 +877,13 @@ mod tests {
             "m",
             DataType::List(Box::new(DataType::List(Box::new(DataType::Int)))),
         )]);
-        let records = [Value::Struct(vec![Value::List(vec![
+        let records = [
+            Value::Struct(vec![Value::List(vec![
                 Value::List(vec![Value::Int(1), Value::Int(2)]),
                 Value::List(vec![Value::Int(3)]),
             ])]),
-            Value::Struct(vec![Value::Null])];
+            Value::Struct(vec![Value::Null]),
+        ];
         let store = DremelStore::build(&schema, records.iter());
         let col = store.column(0);
         assert_eq!(col.rep, vec![0, 2, 1, 0]);
@@ -692,27 +905,40 @@ mod tests {
         ])];
         let store = DremelStore::build(&schema, records.iter());
         let rebuilt = store.to_records();
-        assert_eq!(flatten_record(&schema, &rebuilt[0]), flatten_record(&schema, &records[0]));
+        assert_eq!(
+            flatten_record(&schema, &rebuilt[0]),
+            flatten_record(&schema, &records[0])
+        );
         // Element-level scan of both lists = cartesian product (6 rows).
         let mut n = 0;
-        store.scan(&[0, 1], false, &mut |_| n += 1);
+        store.scan(&[0, 1], false, &mut |_, _| n += 1);
         assert_eq!(n, 6);
     }
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use recache_types::flatten_record;
 
-    fn record_strategy() -> impl Strategy<Value = Value> {
-        let item = (any::<i64>(), prop::option::of(0.0f64..10.0)).prop_map(|(q, tag)| {
-            Value::Struct(vec![Value::Int(q), tag.map(Value::Float).unwrap_or(Value::Null)])
-        });
-        (any::<i64>(), prop::collection::vec(item, 0..5)).prop_map(|(o, items)| {
-            Value::Struct(vec![Value::Int(o), Value::List(items)])
-        })
+    fn random_records(rng: &mut StdRng, max_records: usize) -> Vec<Value> {
+        (0..rng.random_range(1..max_records))
+            .map(|_| {
+                let items: Vec<Value> = (0..rng.random_range(0..5))
+                    .map(|_| {
+                        let w = if rng.random::<bool>() {
+                            Value::Float(rng.random_range(0.0..10.0))
+                        } else {
+                            Value::Null
+                        };
+                        Value::Struct(vec![Value::Int(rng.random::<i64>()), w])
+                    })
+                    .collect();
+                Value::Struct(vec![Value::Int(rng.random::<i64>()), Value::List(items)])
+            })
+            .collect()
     }
 
     fn test_schema() -> Schema {
@@ -728,39 +954,45 @@ mod proptests {
         ])
     }
 
-    proptest! {
-        #[test]
-        fn shred_assemble_preserves_flattened_view(
-            records in prop::collection::vec(record_strategy(), 1..30)
-        ) {
-            let schema = test_schema();
+    #[test]
+    fn shred_assemble_preserves_flattened_view() {
+        let schema = test_schema();
+        let mut rng = StdRng::seed_from_u64(0xD7E1);
+        for case in 0..100 {
+            let records = random_records(&mut rng, 30);
             let store = DremelStore::build(&schema, records.iter());
             let rebuilt = store.to_records();
-            prop_assert_eq!(records.len(), rebuilt.len());
+            assert_eq!(records.len(), rebuilt.len(), "case {case}");
             for (a, b) in records.iter().zip(&rebuilt) {
-                prop_assert_eq!(flatten_record(&schema, a), flatten_record(&schema, b));
+                assert_eq!(
+                    flatten_record(&schema, a),
+                    flatten_record(&schema, b),
+                    "case {case}: flattened view diverged for {a:?}"
+                );
             }
         }
+    }
 
-        #[test]
-        fn scans_agree_with_columnar_store(
-            records in prop::collection::vec(record_strategy(), 1..25)
-        ) {
-            let schema = test_schema();
+    #[test]
+    fn scans_agree_with_columnar_store() {
+        let schema = test_schema();
+        let mut rng = StdRng::seed_from_u64(0xD7E2);
+        for case in 0..100 {
+            let records = random_records(&mut rng, 25);
             let dremel = DremelStore::build(&schema, records.iter());
             let columnar = crate::columnar::ColumnStore::build(&schema, records.iter());
             // Element-level scans over the same projection must agree.
             let mut a = Vec::new();
-            dremel.scan(&[0, 2], false, &mut |row| a.push(row.to_vec()));
+            dremel.scan(&[0, 2], false, &mut |_, row| a.push(row.to_vec()));
             let mut b = Vec::new();
-            columnar.scan(&[0, 2], false, &mut |row| b.push(row.to_vec()));
-            prop_assert_eq!(&a, &b);
+            columnar.scan(&[0, 2], false, &mut |_, row| b.push(row.to_vec()));
+            assert_eq!(a, b, "case {case}: element-level scans diverged");
             // Record-level scans too.
             let mut a = Vec::new();
-            dremel.scan(&[0], true, &mut |row| a.push(row.to_vec()));
+            dremel.scan(&[0], true, &mut |_, row| a.push(row.to_vec()));
             let mut b = Vec::new();
-            columnar.scan(&[0], true, &mut |row| b.push(row.to_vec()));
-            prop_assert_eq!(a, b);
+            columnar.scan(&[0], true, &mut |_, row| b.push(row.to_vec()));
+            assert_eq!(a, b, "case {case}: record-level scans diverged");
         }
     }
 }

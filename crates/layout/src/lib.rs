@@ -21,6 +21,7 @@
 //! value gathering (data-access cost `D`) — and report measured
 //! [`ScanCost`]s, which feed ReCache's layout-selection cost model.
 
+pub mod batch;
 pub mod bitmap;
 pub mod column;
 pub mod columnar;
@@ -30,6 +31,7 @@ pub mod offsets;
 pub mod row;
 pub mod shape;
 
+pub use batch::{BatchColumn, BatchValues, ColumnBatch, SelectionVector, BATCH_ROWS};
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnData};
 pub use columnar::ColumnStore;
@@ -149,6 +151,12 @@ impl CacheData {
     }
 }
 
-/// Emit callback for scans: receives one flattened row (projected leaves
-/// only, in projection order).
-pub type RowSink<'a> = dyn FnMut(&[Value]) + 'a;
+/// Emit callback for row-at-a-time scans: receives the source record id
+/// and one flattened row (projected leaves only, in projection order).
+pub type RowSink<'a> = dyn FnMut(usize, &[Value]) + 'a;
+
+/// Emit callback for vectorized scans: a typed [`ColumnBatch`] plus the
+/// selection the store seeded (mask navigation already applied). The
+/// consumer may compact the selection further (predicate kernels) before
+/// gathering.
+pub type BatchSink<'a> = dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector) + 'a;

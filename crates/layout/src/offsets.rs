@@ -21,7 +21,10 @@ impl OffsetStore {
     pub fn build(mut record_ids: Vec<u32>, flattened_rows: usize) -> Self {
         record_ids.sort_unstable();
         record_ids.dedup();
-        OffsetStore { record_ids, flattened_rows }
+        OffsetStore {
+            record_ids,
+            flattened_rows,
+        }
     }
 
     pub fn record_ids(&self) -> &[u32] {

@@ -5,10 +5,10 @@
 //! touches, which is exactly the access pattern whose cache-miss count
 //! the row/column layout chooser estimates.
 
+use crate::batch::{BatchScratch, ColumnBatch, SelectionVector, BATCH_ROWS};
 use crate::shape;
 use crate::ScanCost;
-use bytes::{Buf, BufMut, BytesMut};
-use recache_types::{flatten_record_masks, list_dim_ranges, Schema, Value};
+use recache_types::{flatten_record_masks, Schema, Value};
 use std::time::Instant;
 
 const TAG_NULL: u8 = 0;
@@ -22,7 +22,7 @@ const TAG_STR: u8 = 5;
 #[derive(Debug, Clone)]
 pub struct RowStore {
     schema: Schema,
-    buf: BytesMut,
+    buf: Vec<u8>,
     /// Byte offset of each row, plus a final total-length entry.
     row_offsets: Vec<u32>,
     /// Per-row list-dimension masks (see [`ColumnStore`]'s field docs).
@@ -33,13 +33,16 @@ pub struct RowStore {
     shape_lens: Vec<u32>,
     shape_offsets: Vec<u32>,
     n_leaves: usize,
+    /// Source-file record ids (`None` ⇒ identity); see
+    /// [`crate::ColumnStore::set_source_record_ids`].
+    source_ids: Option<Vec<u32>>,
 }
 
 impl RowStore {
     /// Builds the store by flattening and packing `records`.
     pub fn build<'a>(schema: &Schema, records: impl IntoIterator<Item = &'a Value>) -> Self {
         let n_leaves = schema.leaves().len();
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         let mut row_offsets = vec![0u32];
         let mut masks = Vec::new();
         let mut record_rows = vec![0u32];
@@ -69,6 +72,26 @@ impl RowStore {
             shape_lens,
             shape_offsets,
             n_leaves,
+            source_ids: None,
+        }
+    }
+
+    /// Records the source-file record id of each cached record.
+    pub fn set_source_record_ids(&mut self, ids: Vec<u32>) {
+        debug_assert_eq!(ids.len(), self.record_count());
+        self.source_ids = Some(ids);
+    }
+
+    /// Source-file record ids, when known.
+    pub fn source_record_ids(&self) -> Option<&[u32]> {
+        self.source_ids.as_deref()
+    }
+
+    #[inline]
+    fn source_id(&self, rec: usize) -> u32 {
+        match &self.source_ids {
+            Some(ids) => ids[rec],
+            None => rec as u32,
         }
     }
 
@@ -93,27 +116,28 @@ impl RowStore {
             + self.shape_offsets.len() * 4
     }
 
-    /// Scans the store, emitting projected rows. Row layouts must walk
-    /// through every field of every visited tuple — the projection only
-    /// saves the value *materialization*, not the navigation.
+    /// Bitmask of list dimensions with no projected leaf (shared skip
+    /// rule — see [`crate::batch::unaccessed_list_dims`]).
+    fn unaccessed_dims(&self, projection: &[usize]) -> u64 {
+        crate::batch::unaccessed_list_dims(&self.schema, projection)
+    }
+
+    /// Scans the store, emitting the source record id and projected row.
+    /// Row layouts must walk through every field of every visited tuple —
+    /// the projection only saves the value *materialization*, not the
+    /// navigation.
     pub fn scan(
         &self,
         projection: &[usize],
         record_level: bool,
-        emit: &mut dyn FnMut(&[Value]),
+        emit: &mut dyn FnMut(usize, &[Value]),
     ) -> ScanCost {
         let mut cost = ScanCost::default();
         let total = self.row_count();
         let skip_dims = if record_level {
             u64::MAX
         } else {
-            let mut mask = 0u64;
-            for (d, (lo, hi)) in list_dim_ranges(&self.schema).into_iter().enumerate() {
-                if !projection.iter().any(|&leaf| leaf >= lo && leaf < hi) {
-                    mask |= 1 << d;
-                }
-            }
-            mask
+            self.unaccessed_dims(projection)
         };
         let mut out: Vec<Value> = vec![Value::Null; projection.len()];
         // slot_of[leaf] = position in the projection, or usize::MAX.
@@ -121,38 +145,126 @@ impl RowStore {
         for (j, &leaf) in projection.iter().enumerate() {
             slot_of[leaf] = j;
         }
+        let mut rec = 0usize;
         let mut start = 0usize;
-        let mut offsets: Vec<(u32, u32)> = Vec::with_capacity(4096);
+        let mut selected: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
         while start < total {
-            let end = (start + 4096).min(total);
+            let end = (start + BATCH_ROWS).min(total);
             // Phase C: select rows (mask walk).
             let t0 = Instant::now();
-            offsets.clear();
+            selected.clear();
             for i in start..end {
                 if self.masks[i] & skip_dims == 0 {
-                    offsets.push((self.row_offsets[i], self.row_offsets[i + 1]));
+                    selected.push(i as u32);
                 }
             }
             let compute = t0.elapsed();
             // Phase D: walk each tuple's bytes, decoding projected fields.
             let t1 = Instant::now();
-            for &(lo, hi) in &offsets {
-                let mut slice = &self.buf[lo as usize..hi as usize];
-                for leaf in 0..self.n_leaves {
-                    let slot = slot_of[leaf];
+            for &i in &selected {
+                while self.record_rows[rec + 1] <= i {
+                    rec += 1;
+                }
+                let lo = self.row_offsets[i as usize] as usize;
+                let hi = self.row_offsets[i as usize + 1] as usize;
+                let mut slice = &self.buf[lo..hi];
+                for &slot in &slot_of {
                     if slot != usize::MAX {
                         out[slot] = decode_value(&mut slice);
                     } else {
                         skip_value(&mut slice);
                     }
                 }
-                emit(&out);
+                emit(self.source_id(rec) as usize, &out);
             }
             let data = t1.elapsed();
             cost.add(&ScanCost {
                 data_ns: data.as_nanos() as u64,
                 compute_ns: compute.as_nanos() as u64,
-                rows: offsets.len(),
+                rows: selected.len(),
+                rows_visited: end - start,
+            });
+            start = end;
+        }
+        cost
+    }
+
+    /// Vectorized scan. Row layouts cannot expose borrowed column views —
+    /// tuples are packed — so each batch *gathers* the mask-surviving rows
+    /// into reusable typed scratch columns (full-tuple byte walk, data
+    /// cost `D`, exactly the access pattern the H2O row/column chooser
+    /// models) and yields them with an identity selection.
+    /// `want_record_ids` as on [`crate::ColumnStore::scan_batches`].
+    pub fn scan_batches(
+        &self,
+        projection: &[usize],
+        record_level: bool,
+        want_record_ids: bool,
+        on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
+    ) -> ScanCost {
+        let mut cost = ScanCost::default();
+        let total = self.row_count();
+        let skip_dims = if record_level {
+            u64::MAX
+        } else {
+            self.unaccessed_dims(projection)
+        };
+        let leaves = self.schema.leaves();
+        let mut scratch =
+            BatchScratch::for_projection(projection.iter().map(|&l| leaves[l].scalar_type));
+        let mut slot_of = vec![usize::MAX; self.n_leaves];
+        for (j, &leaf) in projection.iter().enumerate() {
+            slot_of[leaf] = j;
+        }
+        let mut selection = SelectionVector::new();
+        let mut selected: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
+        let mut rec = 0usize;
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + BATCH_ROWS).min(total);
+            // Phase C: mask walk.
+            let t0 = Instant::now();
+            selected.clear();
+            for i in start..end {
+                if self.masks[i] & skip_dims == 0 {
+                    selected.push(i as u32);
+                }
+            }
+            let compute = t0.elapsed();
+            // Phase D: decode surviving tuples into the scratch columns.
+            let t1 = Instant::now();
+            scratch.clear();
+            for &i in &selected {
+                if want_record_ids {
+                    while self.record_rows[rec + 1] <= i {
+                        rec += 1;
+                    }
+                    scratch.record_ids.push(self.source_id(rec));
+                }
+                let lo = self.row_offsets[i as usize] as usize;
+                let hi = self.row_offsets[i as usize + 1] as usize;
+                let mut slice = &self.buf[lo..hi];
+                for &slot in &slot_of {
+                    if slot != usize::MAX {
+                        let value = decode_value(&mut slice);
+                        scratch.cols[slot].push(&value);
+                    } else {
+                        skip_value(&mut slice);
+                    }
+                }
+            }
+            let data = t1.elapsed();
+            selection.fill_identity(selected.len());
+            let batch = ColumnBatch {
+                len: selected.len(),
+                columns: scratch.columns(),
+                record_ids: &scratch.record_ids,
+            };
+            on_batch(&batch, &mut selection);
+            cost.add(&ScanCost {
+                data_ns: data.as_nanos() as u64,
+                compute_ns: compute.as_nanos() as u64,
+                rows: selected.len(),
                 rows_visited: end - start,
             });
             start = end;
@@ -180,27 +292,29 @@ impl RowStore {
         let lo = self.row_offsets[row] as usize;
         let hi = self.row_offsets[row + 1] as usize;
         let mut slice = &self.buf[lo..hi];
-        (0..self.n_leaves).map(|_| decode_value(&mut slice)).collect()
+        (0..self.n_leaves)
+            .map(|_| decode_value(&mut slice))
+            .collect()
     }
 }
 
-fn encode_value(buf: &mut BytesMut, value: &Value) {
+fn encode_value(buf: &mut Vec<u8>, value: &Value) {
     match value {
-        Value::Null => buf.put_u8(TAG_NULL),
-        Value::Bool(false) => buf.put_u8(TAG_FALSE),
-        Value::Bool(true) => buf.put_u8(TAG_TRUE),
+        Value::Null => buf.push(TAG_NULL),
+        Value::Bool(false) => buf.push(TAG_FALSE),
+        Value::Bool(true) => buf.push(TAG_TRUE),
         Value::Int(v) => {
-            buf.put_u8(TAG_INT);
-            buf.put_i64_le(*v);
+            buf.push(TAG_INT);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
         Value::Float(v) => {
-            buf.put_u8(TAG_FLOAT);
-            buf.put_f64_le(*v);
+            buf.push(TAG_FLOAT);
+            buf.extend_from_slice(&v.to_le_bytes());
         }
         Value::Str(s) => {
-            buf.put_u8(TAG_STR);
-            buf.put_u32_le(s.len() as u32);
-            buf.put_slice(s.as_bytes());
+            buf.push(TAG_STR);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
         }
         Value::List(_) | Value::Struct(_) => {
             unreachable!("flattened rows contain only scalars")
@@ -208,17 +322,31 @@ fn encode_value(buf: &mut BytesMut, value: &Value) {
     }
 }
 
+#[inline]
+fn take_u8(slice: &mut &[u8]) -> u8 {
+    let b = slice[0];
+    *slice = &slice[1..];
+    b
+}
+
+#[inline]
+fn take_array<const N: usize>(slice: &mut &[u8]) -> [u8; N] {
+    let out: [u8; N] = slice[..N].try_into().expect("row buffer underrun");
+    *slice = &slice[N..];
+    out
+}
+
 fn decode_value(slice: &mut &[u8]) -> Value {
-    match slice.get_u8() {
+    match take_u8(slice) {
         TAG_NULL => Value::Null,
         TAG_FALSE => Value::Bool(false),
         TAG_TRUE => Value::Bool(true),
-        TAG_INT => Value::Int(slice.get_i64_le()),
-        TAG_FLOAT => Value::Float(slice.get_f64_le()),
+        TAG_INT => Value::Int(i64::from_le_bytes(take_array(slice))),
+        TAG_FLOAT => Value::Float(f64::from_le_bytes(take_array(slice))),
         TAG_STR => {
-            let len = slice.get_u32_le() as usize;
+            let len = u32::from_le_bytes(take_array(slice)) as usize;
             let s = String::from_utf8_lossy(&slice[..len]).into_owned();
-            slice.advance(len);
+            *slice = &slice[len..];
             Value::Str(s)
         }
         other => unreachable!("corrupt row tag {other}"),
@@ -226,12 +354,12 @@ fn decode_value(slice: &mut &[u8]) -> Value {
 }
 
 fn skip_value(slice: &mut &[u8]) {
-    match slice.get_u8() {
+    match take_u8(slice) {
         TAG_NULL | TAG_FALSE | TAG_TRUE => {}
-        TAG_INT | TAG_FLOAT => slice.advance(8),
+        TAG_INT | TAG_FLOAT => *slice = &slice[8..],
         TAG_STR => {
-            let len = slice.get_u32_le() as usize;
-            slice.advance(len);
+            let len = u32::from_le_bytes(take_array(slice)) as usize;
+            *slice = &slice[len..];
         }
         other => unreachable!("corrupt row tag {other}"),
     }
@@ -271,7 +399,10 @@ mod tests {
             store.decode_row(0),
             vec![Value::Int(1), Value::Str("one".into()), Value::Float(0.5)]
         );
-        assert_eq!(store.decode_row(2), vec![Value::Int(2), Value::Str("two".into()), Value::Null]);
+        assert_eq!(
+            store.decode_row(2),
+            vec![Value::Int(2), Value::Str("two".into()), Value::Null]
+        );
     }
 
     #[test]
@@ -279,7 +410,7 @@ mod tests {
         let rs = records();
         let store = RowStore::build(&schema(), rs.iter());
         let mut rows = Vec::new();
-        store.scan(&[2, 0], false, &mut |row| rows.push(row.to_vec()));
+        store.scan(&[2, 0], false, &mut |_, row| rows.push(row.to_vec()));
         assert_eq!(rows[0], vec![Value::Float(0.5), Value::Int(1)]);
         assert_eq!(rows.len(), 3);
     }
@@ -289,7 +420,7 @@ mod tests {
         let rs = records();
         let store = RowStore::build(&schema(), rs.iter());
         let mut rows = Vec::new();
-        let cost = store.scan(&[0], true, &mut |row| rows.push(row.to_vec()));
+        let cost = store.scan(&[0], true, &mut |_, row| rows.push(row.to_vec()));
         assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
         assert_eq!(cost.rows_visited, 3);
     }
@@ -301,10 +432,51 @@ mod tests {
         let row_store = RowStore::build(&schema(), rs.iter());
         let col_store = ColumnStore::build(&schema(), rs.iter());
         let mut a = Vec::new();
-        row_store.scan(&[0, 1, 2], false, &mut |r| a.push(r.to_vec()));
+        row_store.scan(&[0, 1, 2], false, &mut |id, r| a.push((id, r.to_vec())));
         let mut b = Vec::new();
-        col_store.scan(&[0, 1, 2], false, &mut |r| b.push(r.to_vec()));
+        col_store.scan(&[0, 1, 2], false, &mut |id, r| b.push((id, r.to_vec())));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scan_batches_matches_row_scan() {
+        let rs = records();
+        let mut store = RowStore::build(&schema(), rs.iter());
+        store.set_source_record_ids(vec![11, 29]);
+        for (projection, record_level) in [
+            (vec![0usize, 1, 2], false),
+            (vec![2, 0], false),
+            (vec![1], true),
+        ] {
+            let mut expected = Vec::new();
+            store.scan(&projection, record_level, &mut |id, row| {
+                expected.push((id as u32, row.to_vec()));
+            });
+            let mut got = Vec::new();
+            store.scan_batches(&projection, record_level, true, &mut |batch, sel| {
+                for &i in sel.as_slice() {
+                    let i = i as usize;
+                    let row: Vec<Value> = batch.columns.iter().map(|c| c.value(i)).collect();
+                    got.push((batch.record_ids[i], row));
+                }
+            });
+            assert_eq!(
+                got, expected,
+                "projection {projection:?} record_level {record_level}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_batches_tracks_nulls() {
+        let rs = records();
+        let store = RowStore::build(&schema(), rs.iter());
+        // Leaf 2 (tags) is null for the second record.
+        store.scan_batches(&[2], false, false, &mut |batch, sel| {
+            assert_eq!(sel.len(), 3);
+            assert!(batch.columns[0].is_valid(0));
+            assert!(!batch.columns[0].is_valid(2));
+        });
     }
 
     #[test]
@@ -325,7 +497,7 @@ mod tests {
         let store = RowStore::build(&schema(), std::iter::empty());
         assert_eq!(store.row_count(), 0);
         let mut n = 0;
-        store.scan(&[0], false, &mut |_| n += 1);
+        store.scan(&[0], false, &mut |_, _| n += 1);
         assert_eq!(n, 0);
     }
 }

@@ -22,7 +22,11 @@ pub fn capture(fields: &[Field], record: &Value, out: &mut Vec<u32>) {
         _ => &[],
     };
     for (i, field) in fields.iter().enumerate() {
-        capture_value(&field.data_type, children.get(i).unwrap_or(&Value::Null), out);
+        capture_value(
+            &field.data_type,
+            children.get(i).unwrap_or(&Value::Null),
+            out,
+        );
     }
 }
 
@@ -136,8 +140,7 @@ fn rebuild_struct(
     for (j, field) in fields.iter().enumerate() {
         // Child j's own row set: sample rows at multiples of its stride
         // (all other children held at combination 0).
-        let child_rows: Vec<&[Value]> =
-            (0..counts[j]).map(|i| rows[i * strides[j]]).collect();
+        let child_rows: Vec<&[Value]> = (0..counts[j]).map(|i| rows[i * strides[j]]).collect();
         children.push(rebuild_value(&field.data_type, &child_rows, leaf, cursor));
         leaf += leaf_count(&field.data_type);
     }
@@ -165,7 +168,12 @@ fn rebuild_value(
                     let mut probe = *cursor;
                     value_row_count(inner, &mut probe)
                 };
-                items.push(rebuild_value(inner, &rows[start..start + n], leaf_start, cursor));
+                items.push(rebuild_value(
+                    inner,
+                    &rows[start..start + n],
+                    leaf_start,
+                    cursor,
+                ));
                 start += n;
             }
             Value::List(items)
@@ -198,11 +206,19 @@ mod tests {
         capture(schema.fields(), record, &mut lens);
         let rows = flatten_record(schema, record);
         let mut cursor = ShapeCursor::new(&lens);
-        assert_eq!(row_count(schema.fields(), &mut cursor), rows.len(), "row_count");
+        assert_eq!(
+            row_count(schema.fields(), &mut cursor),
+            rows.len(),
+            "row_count"
+        );
         let mut cursor = ShapeCursor::new(&lens);
         let rebuilt = rebuild(schema.fields(), &rows, &mut cursor);
         // Flattened views must agree exactly.
-        assert_eq!(flatten_record(schema, &rebuilt), rows, "flatten(rebuild) == flatten");
+        assert_eq!(
+            flatten_record(schema, &rebuilt),
+            rows,
+            "flatten(rebuild) == flatten"
+        );
     }
 
     #[test]
@@ -245,7 +261,11 @@ mod tests {
                 Value::Struct(vec![Value::Int(1), Value::Null]),
                 Value::Struct(vec![Value::Int(2), Value::Null]),
             ]),
-            Value::List(vec![Value::Float(0.5), Value::Float(1.5), Value::Float(2.5)]),
+            Value::List(vec![
+                Value::Float(0.5),
+                Value::Float(1.5),
+                Value::Float(2.5),
+            ]),
         ]);
         // 2 items x 3 scores = 6 flattened rows.
         let rows = flatten_record(&schema, &record);
@@ -256,8 +276,7 @@ mod tests {
     #[test]
     fn empty_and_absent_lists_coincide() {
         let schema = nested_schema();
-        let with_empty =
-            Value::Struct(vec![Value::Int(1), Value::List(vec![]), Value::Null]);
+        let with_empty = Value::Struct(vec![Value::Int(1), Value::List(vec![]), Value::Null]);
         let with_null = Value::Struct(vec![Value::Int(1), Value::Null, Value::Null]);
         let mut lens_a = Vec::new();
         capture(schema.fields(), &with_empty, &mut lens_a);
@@ -291,29 +310,30 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
     use recache_types::{flatten_record, Schema};
 
-    /// Random records for a fixed nested schema.
-    fn record_strategy() -> impl Strategy<Value = Value> {
-        let item = (any::<i64>(), prop::collection::vec(0.0f64..10.0, 0..3)).prop_map(
-            |(q, tags)| {
-                Value::Struct(vec![
-                    Value::Int(q),
-                    Value::List(tags.into_iter().map(Value::Float).collect()),
-                ])
-            },
-        );
-        (any::<i64>(), prop::collection::vec(item, 0..4), prop::collection::vec(any::<bool>(), 0..3))
-            .prop_map(|(a, items, flags)| {
-                Value::Struct(vec![
-                    Value::Int(a),
-                    Value::List(items),
-                    Value::List(flags.into_iter().map(Value::Bool).collect()),
-                ])
+    /// Random record for the fixed nested test schema below.
+    fn random_record(rng: &mut StdRng) -> Value {
+        let items: Vec<Value> = (0..rng.random_range(0..4))
+            .map(|_| {
+                let tags: Vec<Value> = (0..rng.random_range(0..3))
+                    .map(|_| Value::Float(rng.random_range(0.0..10.0)))
+                    .collect();
+                Value::Struct(vec![Value::Int(rng.random::<i64>()), Value::List(tags)])
             })
+            .collect();
+        let flags: Vec<Value> = (0..rng.random_range(0..3))
+            .map(|_| Value::Bool(rng.random::<bool>()))
+            .collect();
+        Value::Struct(vec![
+            Value::Int(rng.random::<i64>()),
+            Value::List(items),
+            Value::List(flags),
+        ])
     }
 
     fn test_schema() -> Schema {
@@ -330,18 +350,28 @@ mod proptests {
         ])
     }
 
-    proptest! {
-        #[test]
-        fn capture_rebuild_preserves_flattened_view(record in record_strategy()) {
-            let schema = test_schema();
+    #[test]
+    fn capture_rebuild_preserves_flattened_view() {
+        let schema = test_schema();
+        let mut rng = StdRng::seed_from_u64(0x5A5A);
+        for case in 0..300 {
+            let record = random_record(&mut rng);
             let mut lens = Vec::new();
             capture(schema.fields(), &record, &mut lens);
             let rows = flatten_record(&schema, &record);
             let mut cursor = ShapeCursor::new(&lens);
-            prop_assert_eq!(row_count(schema.fields(), &mut cursor), rows.len());
+            assert_eq!(
+                row_count(schema.fields(), &mut cursor),
+                rows.len(),
+                "case {case}: row_count mismatch for {record:?}"
+            );
             let mut cursor = ShapeCursor::new(&lens);
             let rebuilt = rebuild(schema.fields(), &rows, &mut cursor);
-            prop_assert_eq!(flatten_record(&schema, &rebuilt), rows);
+            assert_eq!(
+                flatten_record(&schema, &rebuilt),
+                rows,
+                "case {case}: rebuild mismatch for {record:?}"
+            );
         }
     }
 }

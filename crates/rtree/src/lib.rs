@@ -70,7 +70,10 @@ impl<const D: usize, T> Default for RTree<D, T> {
 
 impl<const D: usize, T> RTree<D, T> {
     pub fn new() -> Self {
-        RTree { root: Node::Leaf(Vec::new()), len: 0 }
+        RTree {
+            root: Node::Leaf(Vec::new()),
+            len: 0,
+        }
     }
 
     /// Number of entries.
@@ -298,9 +301,7 @@ fn choose_subtree<const D: usize, T>(
     for (i, (mbr, _)) in children.iter().enumerate() {
         let area = mbr.area();
         let enlargement = mbr.union(rect).area() - area;
-        if enlargement < best_enlargement
-            || (enlargement == best_enlargement && area < best_area)
-        {
+        if enlargement < best_enlargement || (enlargement == best_enlargement && area < best_area) {
             best = i;
             best_enlargement = enlargement;
             best_area = area;
@@ -309,10 +310,13 @@ fn choose_subtree<const D: usize, T>(
     best
 }
 
+/// A rect-keyed entry list, as produced by node splits.
+type Entries<const D: usize, E> = Vec<(Rect<D>, E)>;
+
 /// Guttman's quadratic split over any entry kind with a rectangle key.
 fn quadratic_split<const D: usize, E>(
     entries: Vec<(Rect<D>, E)>,
-) -> (Vec<(Rect<D>, E)>, Vec<(Rect<D>, E)>) {
+) -> (Entries<D, E>, Entries<D, E>) {
     debug_assert!(entries.len() >= 2);
     // Pick the pair of seeds wasting the most area together.
     let mut seed_a = 0;
@@ -436,8 +440,11 @@ mod tests {
         tree.insert(interval(10.0, 20.0), 2);
         tree.insert(interval(40.0, 90.0), 3);
         // Query [45, 60] is covered by [0,100] and [40,90], not [10,20].
-        let mut found: Vec<u32> =
-            tree.covering_vec(&interval(45.0, 60.0)).iter().map(|(_, v)| **v).collect();
+        let mut found: Vec<u32> = tree
+            .covering_vec(&interval(45.0, 60.0))
+            .iter()
+            .map(|(_, v)| **v)
+            .collect();
         found.sort_unstable();
         assert_eq!(found, vec![1, 3]);
     }
@@ -513,7 +520,10 @@ mod tests {
             tree.insert(interval(i as f64, (i + 5) as f64), i);
         }
         for i in (0..300).step_by(2) {
-            assert!(tree.remove(&interval(i as f64, (i + 5) as f64), &i), "remove {i}");
+            assert!(
+                tree.remove(&interval(i as f64, (i + 5) as f64), &i),
+                "remove {i}"
+            );
         }
         assert_eq!(tree.len(), 150);
         let mut hits = Vec::new();
@@ -550,27 +560,34 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized_tests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    fn interval_strategy() -> impl Strategy<Value = (f64, f64)> {
-        (-1000.0f64..1000.0, 0.0f64..100.0).prop_map(|(lo, w)| (lo, lo + w))
+    fn random_interval(rng: &mut StdRng) -> (f64, f64) {
+        let lo = rng.random_range(-1000.0..1000.0);
+        (lo, lo + rng.random_range(0.0..100.0))
     }
 
-    proptest! {
-        #[test]
-        fn covering_matches_linear_scan(
-            intervals in prop::collection::vec(interval_strategy(), 1..120),
-            query in interval_strategy(),
-        ) {
+    fn random_intervals(rng: &mut StdRng, max: usize) -> Vec<(f64, f64)> {
+        (0..rng.random_range(1..max))
+            .map(|_| random_interval(rng))
+            .collect()
+    }
+
+    #[test]
+    fn covering_matches_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(0x47E1);
+        for case in 0..200 {
+            let intervals = random_intervals(&mut rng, 120);
+            let query = random_interval(&mut rng);
             let mut tree = RTree::new();
             for (i, &(lo, hi)) in intervals.iter().enumerate() {
                 tree.insert(Rect::new([lo], [hi]), i);
             }
             let q = Rect::new([query.0], [query.1]);
-            let mut got: Vec<usize> =
-                tree.covering_vec(&q).iter().map(|(_, v)| **v).collect();
+            let mut got: Vec<usize> = tree.covering_vec(&q).iter().map(|(_, v)| **v).collect();
             got.sort_unstable();
             let mut expected: Vec<usize> = intervals
                 .iter()
@@ -579,38 +596,41 @@ mod proptests {
                 .map(|(i, _)| i)
                 .collect();
             expected.sort_unstable();
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected, "case {case}");
         }
+    }
 
-        #[test]
-        fn insert_remove_roundtrip(
-            intervals in prop::collection::vec(interval_strategy(), 1..80),
-            remove_mask in prop::collection::vec(any::<bool>(), 1..80),
-        ) {
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x47E2);
+        for case in 0..200 {
+            let intervals = random_intervals(&mut rng, 80);
             let mut tree = RTree::new();
             for (i, &(lo, hi)) in intervals.iter().enumerate() {
                 tree.insert(Rect::new([lo], [hi]), i);
             }
             let mut kept = Vec::new();
             for (i, &(lo, hi)) in intervals.iter().enumerate() {
-                if remove_mask.get(i).copied().unwrap_or(false) {
-                    prop_assert!(tree.remove(&Rect::new([lo], [hi]), &i));
+                if rng.random::<bool>() {
+                    assert!(tree.remove(&Rect::new([lo], [hi]), &i), "case {case}");
                 } else {
                     kept.push(i);
                 }
             }
-            prop_assert_eq!(tree.len(), kept.len());
+            assert_eq!(tree.len(), kept.len(), "case {case}");
             let mut remaining = Vec::new();
             tree.for_each(&mut |_, v| remaining.push(*v));
             remaining.sort_unstable();
-            prop_assert_eq!(remaining, kept);
+            assert_eq!(remaining, kept, "case {case}");
         }
+    }
 
-        #[test]
-        fn intersecting_matches_linear_scan(
-            intervals in prop::collection::vec(interval_strategy(), 1..120),
-            query in interval_strategy(),
-        ) {
+    #[test]
+    fn intersecting_matches_linear_scan() {
+        let mut rng = StdRng::seed_from_u64(0x47E3);
+        for case in 0..200 {
+            let intervals = random_intervals(&mut rng, 120);
+            let query = random_interval(&mut rng);
             let mut tree = RTree::new();
             for (i, &(lo, hi)) in intervals.iter().enumerate() {
                 tree.insert(Rect::new([lo], [hi]), i);
@@ -626,7 +646,7 @@ mod proptests {
                 .map(|(i, _)| i)
                 .collect();
             expected.sort_unstable();
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected, "case {case}");
         }
     }
 }

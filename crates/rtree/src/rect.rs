@@ -10,13 +10,19 @@ pub struct Rect<const D: usize> {
 impl<const D: usize> Rect<D> {
     /// A rectangle from corner points. Debug-asserts `min <= max`.
     pub fn new(min: [f64; D], max: [f64; D]) -> Self {
-        debug_assert!(min.iter().zip(&max).all(|(a, b)| a <= b), "min must be <= max");
+        debug_assert!(
+            min.iter().zip(&max).all(|(a, b)| a <= b),
+            "min must be <= max"
+        );
         Rect { min, max }
     }
 
     /// The empty rectangle (inverted bounds); identity for [`Self::union`].
     pub fn empty() -> Self {
-        Rect { min: [f64::INFINITY; D], max: [f64::NEG_INFINITY; D] }
+        Rect {
+            min: [f64::INFINITY; D],
+            max: [f64::NEG_INFINITY; D],
+        }
     }
 
     /// A degenerate point rectangle.

@@ -78,12 +78,20 @@ impl Field {
     /// A nullable field (the common case for raw JSON, where any key may
     /// be absent).
     pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { name: name.into(), data_type, nullable: true }
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
     }
 
     /// A field that is guaranteed present (e.g. CSV columns).
     pub fn required(name: impl Into<String>, data_type: DataType) -> Self {
-        Field { name: name.into(), data_type, nullable: false }
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
     }
 }
 
@@ -256,9 +264,13 @@ mod tests {
     #[test]
     fn resolve_descends_through_lists() {
         let schema = order_lineitems_schema();
-        let ty = schema.resolve(&FieldPath::parse("lineitems.l_extendedprice")).unwrap();
+        let ty = schema
+            .resolve(&FieldPath::parse("lineitems.l_extendedprice"))
+            .unwrap();
         assert_eq!(ty, DataType::Float);
-        assert!(schema.resolve(&FieldPath::parse("lineitems.nope")).is_none());
+        assert!(schema
+            .resolve(&FieldPath::parse("lineitems.nope"))
+            .is_none());
         assert!(schema.resolve(&FieldPath::parse("nope")).is_none());
     }
 
@@ -272,8 +284,14 @@ mod tests {
     #[test]
     fn leaf_index_matches_leaves_order() {
         let schema = order_lineitems_schema();
-        assert_eq!(schema.leaf_index(&FieldPath::parse("o_totalprice")), Some(1));
-        assert_eq!(schema.leaf_index(&FieldPath::parse("lineitems.l_extendedprice")), Some(3));
+        assert_eq!(
+            schema.leaf_index(&FieldPath::parse("o_totalprice")),
+            Some(1)
+        );
+        assert_eq!(
+            schema.leaf_index(&FieldPath::parse("lineitems.l_extendedprice")),
+            Some(3)
+        );
         assert_eq!(schema.leaf_index(&FieldPath::parse("lineitems")), None);
     }
 
@@ -284,7 +302,10 @@ mod tests {
         assert!(!flat.has_nested());
         let deep = Schema::new(vec![Field::new(
             "outer",
-            DataType::Struct(vec![Field::new("inner", DataType::List(Box::new(DataType::Int)))]),
+            DataType::Struct(vec![Field::new(
+                "inner",
+                DataType::List(Box::new(DataType::Int)),
+            )]),
         )]);
         assert!(deep.has_nested());
     }

@@ -21,12 +21,18 @@ pub enum Error {
 impl Error {
     /// Convenience constructor for parse errors without a position.
     pub fn parse(msg: impl Into<String>) -> Self {
-        Error::Parse { msg: msg.into(), at: None }
+        Error::Parse {
+            msg: msg.into(),
+            at: None,
+        }
     }
 
     /// Convenience constructor for parse errors at a byte offset.
     pub fn parse_at(msg: impl Into<String>, at: usize) -> Self {
-        Error::Parse { msg: msg.into(), at: Some(at) }
+        Error::Parse {
+            msg: msg.into(),
+            at: Some(at),
+        }
     }
 
     /// Convenience constructor for schema errors.
@@ -82,12 +88,18 @@ mod tests {
 
     #[test]
     fn display_formats_are_stable() {
-        assert_eq!(Error::parse("bad token").to_string(), "parse error: bad token");
+        assert_eq!(
+            Error::parse("bad token").to_string(),
+            "parse error: bad token"
+        );
         assert_eq!(
             Error::parse_at("bad token", 42).to_string(),
             "parse error at byte 42: bad token"
         );
-        assert_eq!(Error::schema("no field x").to_string(), "schema error: no field x");
+        assert_eq!(
+            Error::schema("no field x").to_string(),
+            "schema error: no field x"
+        );
         assert_eq!(Error::plan("no table").to_string(), "plan error: no table");
         assert_eq!(Error::exec("boom").to_string(), "execution error: boom");
     }

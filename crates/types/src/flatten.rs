@@ -63,7 +63,10 @@ pub fn list_dim_ranges(schema: &Schema) -> Vec<(usize, usize)> {
 /// comes close).
 pub fn flatten_record_masks(schema: &Schema, record: &Value) -> Vec<(FlatRow, u64)> {
     let n_dims = list_dim_ranges(schema).len();
-    assert!(n_dims <= 64, "schemas with more than 64 list dimensions are unsupported");
+    assert!(
+        n_dims <= 64,
+        "schemas with more than 64 list dimensions are unsupported"
+    );
     let children = match record {
         Value::Struct(children) => children.as_slice(),
         _ => &[],
@@ -369,7 +372,14 @@ mod tests {
     #[test]
     fn projection_of_only_nested_leaf() {
         let rows = flatten_record_projected(&abc_schema(), &abc_record(), &[false, false, true]);
-        assert_eq!(rows, vec![vec![Value::Int(4)], vec![Value::Int(6)], vec![Value::Int(9)]]);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(4)],
+                vec![Value::Int(6)],
+                vec![Value::Int(9)]
+            ]
+        );
     }
 
     #[test]
@@ -442,7 +452,14 @@ mod tests {
             Value::List(vec![Value::Int(3)]),
         ])]);
         let rows = flatten_record(&schema, &record);
-        assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)]]);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+                vec![Value::Int(3)]
+            ]
+        );
     }
 
     #[test]
@@ -555,7 +572,11 @@ mod tests {
                 ]),
                 Value::Struct(vec![Value::Int(20), Value::Null]),
             ]),
-            Value::List(vec![Value::Float(0.5), Value::Float(1.5), Value::Float(2.5)]),
+            Value::List(vec![
+                Value::Float(0.5),
+                Value::Float(1.5),
+                Value::Float(2.5),
+            ]),
         ]);
         // Sweep every subset of {a, q, tags, scores}.
         for bits in 0..16u32 {

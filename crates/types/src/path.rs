@@ -17,12 +17,16 @@ impl FieldPath {
 
     /// Parses a dotted path such as `"a.b.c"`.
     pub fn parse(text: &str) -> Self {
-        FieldPath { steps: text.split('.').map(str::to_owned).collect() }
+        FieldPath {
+            steps: text.split('.').map(str::to_owned).collect(),
+        }
     }
 
     /// A single-step path (top-level field).
     pub fn root(name: impl Into<String>) -> Self {
-        FieldPath { steps: vec![name.into()] }
+        FieldPath {
+            steps: vec![name.into()],
+        }
     }
 
     pub fn steps(&self) -> &[String] {

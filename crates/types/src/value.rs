@@ -134,6 +134,13 @@ impl Value {
         }
     }
 
+    /// The type rank [`Value::cmp_sql`] falls back to for mismatched
+    /// types (numerics share a rank and inter-compare). Exposed so
+    /// vectorized comparison kernels reuse the exact same ordering.
+    pub fn sql_type_rank(&self) -> u8 {
+        type_rank(self)
+    }
+
     /// Default (zero) value for a scalar type, used by typed column
     /// builders for null slots.
     pub fn zero(ty: ScalarType) -> Value {
@@ -240,7 +247,10 @@ mod tests {
 
     #[test]
     fn string_comparison() {
-        assert_eq!(Value::from("abc").cmp_sql(&Value::from("abd")), Ordering::Less);
+        assert_eq!(
+            Value::from("abc").cmp_sql(&Value::from("abd")),
+            Ordering::Less
+        );
         assert!(Value::from("x").eq_sql(&Value::from("x")));
     }
 
@@ -278,7 +288,10 @@ mod tests {
         assert_eq!(Value::Float(2.0).to_string(), "2.0");
         assert_eq!(Value::from("a\"b").to_string(), "\"a\\\"b\"");
         assert_eq!(Value::Bool(true).to_string(), "true");
-        assert_eq!(Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(), "[1,2]");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "[1,2]"
+        );
     }
 
     #[test]

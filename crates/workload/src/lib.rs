@@ -56,8 +56,7 @@ pub fn spec_to_sql(spec: &QuerySpec) -> String {
 }
 
 /// Aggregate function pool used by the generators.
-pub(crate) const AGG_FUNCS: [AggFunc; 4] =
-    [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
+pub(crate) const AGG_FUNCS: [AggFunc; 4] = [AggFunc::Sum, AggFunc::Avg, AggFunc::Min, AggFunc::Max];
 
 #[cfg(test)]
 mod tests {

@@ -158,10 +158,10 @@ fn gen_join(
         aggregates,
         tables: vec![json_table.to_owned(), csv_table.to_owned()],
         predicates,
-        joins: vec![
-            (qualified(json_table, &FieldPath::root("id")),
-             qualified(csv_table, &FieldPath::root("id"))),
-        ],
+        joins: vec![(
+            qualified(json_table, &FieldPath::root("id")),
+            qualified(csv_table, &FieldPath::root("id")),
+        )],
     }
 }
 
@@ -190,9 +190,11 @@ mod tests {
             3,
         );
         assert_eq!(specs.len(), 100);
-        let business_count =
-            specs.iter().filter(|s| s.tables[0] == "business").count();
-        assert!(business_count > 20 && business_count < 80, "{business_count}");
+        let business_count = specs.iter().filter(|s| s.tables[0] == "business").count();
+        assert!(
+            business_count > 20 && business_count < 80,
+            "{business_count}"
+        );
     }
 
     #[test]

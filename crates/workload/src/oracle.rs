@@ -51,7 +51,10 @@ impl WorkloadOracle {
                 return true;
             }
             entry.subsumable
-                && entry.ranges.iter().all(|er| ranges.iter().any(|qr| er.covers(qr)))
+                && entry
+                    .ranges
+                    .iter()
+                    .all(|er| ranges.iter().any(|qr| er.covers(qr)))
         })
     }
 }

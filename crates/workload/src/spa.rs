@@ -44,7 +44,11 @@ pub struct SpaConfig {
 
 impl Default for SpaConfig {
     fn default() -> Self {
-        SpaConfig { max_aggs: 3, max_predicates: 2, selectivity: (0.05, 0.9) }
+        SpaConfig {
+            max_aggs: 3,
+            max_predicates: 2,
+            selectivity: (0.05, 0.9),
+        }
     }
 }
 
@@ -134,7 +138,12 @@ fn gen_query(
         });
     }
 
-    QuerySpec { aggregates, tables: vec![table.to_owned()], predicates, joins: vec![] }
+    QuerySpec {
+        aggregates,
+        tables: vec![table.to_owned()],
+        predicates,
+        joins: vec![],
+    }
 }
 
 #[cfg(test)]

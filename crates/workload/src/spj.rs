@@ -41,7 +41,10 @@ pub struct SpjConfig {
 
 impl Default for SpjConfig {
     fn default() -> Self {
-        SpjConfig { include_probability: 0.5, selectivity: (0.05, 0.9) }
+        SpjConfig {
+            include_probability: 0.5,
+            selectivity: (0.05, 0.9),
+        }
     }
 }
 
@@ -57,7 +60,9 @@ pub fn tpch_spj_workload(
         assert!(domains.contains_key(t), "missing domains for {t}");
     }
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0059_10f1);
-    (0..count).map(|_| gen_query(domains, config, &mut rng)).collect()
+    (0..count)
+        .map(|_| gen_query(domains, config, &mut rng))
+        .collect()
 }
 
 fn gen_query(
@@ -85,9 +90,7 @@ fn gen_query(
         let (a, ka, b, kb) = JOIN_EDGES
             .iter()
             .find(|(a, _, b, _)| {
-                (in_component.contains(a)
-                    && connected.contains(b)
-                    && !in_component.contains(b))
+                (in_component.contains(a) && connected.contains(b) && !in_component.contains(b))
                     || (in_component.contains(b)
                         && connected.contains(a)
                         && !in_component.contains(a))
@@ -111,10 +114,7 @@ fn gen_query(
         let pool = d.numeric_leaves(true);
         let leaf = pool[rng.random_range(0..pool.len())];
         let func = AGG_FUNCS[rng.random_range(0..AGG_FUNCS.len())];
-        aggregates.push((
-            func,
-            Some(qualified(table, &d.leaves()[leaf].path)),
-        ));
+        aggregates.push((func, Some(qualified(table, &d.leaves()[leaf].path))));
     }
 
     // One range predicate per included table.
@@ -184,8 +184,11 @@ fn connect(included: &mut Vec<&'static str>) -> Vec<&'static str> {
             }
         }
     }
-    let mut out: Vec<&'static str> =
-        TABLES.iter().copied().filter(|t| included.contains(t)).collect();
+    let mut out: Vec<&'static str> = TABLES
+        .iter()
+        .copied()
+        .filter(|t| included.contains(t))
+        .collect();
     out.dedup();
     out
 }
@@ -199,8 +202,9 @@ mod tests {
         let sf = 0.0002;
         let seed = 3;
         let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
-        let rows_to_records =
-            |rows: &[Vec<Value>]| -> Vec<Value> { rows.iter().map(|r| Value::Struct(r.clone())).collect() };
+        let rows_to_records = |rows: &[Vec<Value>]| -> Vec<Value> {
+            rows.iter().map(|r| Value::Struct(r.clone())).collect()
+        };
         let mut out = HashMap::new();
         out.insert(
             "orders".to_owned(),
@@ -321,9 +325,9 @@ mod tests {
         let domains = all_domains();
         let specs = tpch_spj_workload(&domains, 15, &SpjConfig::default(), 1);
         for spec in &specs {
-            session.run(spec).unwrap_or_else(|e| {
-                panic!("query failed: {e} — {}", crate::spec_to_sql(spec))
-            });
+            session
+                .run(spec)
+                .unwrap_or_else(|e| panic!("query failed: {e} — {}", crate::spec_to_sql(spec)));
         }
         assert!(session.cache().counters.admissions > 0);
     }

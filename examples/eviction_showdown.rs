@@ -13,7 +13,11 @@ use recache::workload::{tpch_spj_workload, Domains, SpjConfig, WorkloadOracle};
 use recache::{Admission, Eviction, ReCache};
 use std::collections::HashMap;
 
-fn build_session(eviction: Eviction, capacity: usize, sf: f64) -> (ReCache, HashMap<String, Domains>) {
+fn build_session(
+    eviction: Eviction,
+    capacity: usize,
+    sf: f64,
+) -> (ReCache, HashMap<String, Domains>) {
     let mut session = ReCache::builder()
         .eviction(eviction)
         .cache_capacity_bytes(capacity)
@@ -22,22 +26,39 @@ fn build_session(eviction: Eviction, capacity: usize, sf: f64) -> (ReCache, Hash
     let seed = 42;
     let mut domains = HashMap::new();
     let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
-    let to_records =
-        |rows: &[Vec<Value>]| -> Vec<Value> { rows.iter().map(|r| Value::Struct(r.clone())).collect() };
+    let to_records = |rows: &[Vec<Value>]| -> Vec<Value> {
+        rows.iter().map(|r| Value::Struct(r.clone())).collect()
+    };
 
     let schema = tpch::orders_schema();
-    domains.insert("orders".into(), Domains::compute(&schema, to_records(&orders).iter()));
+    domains.insert(
+        "orders".into(),
+        Domains::compute(&schema, to_records(&orders).iter()),
+    );
     session.register_csv_bytes("orders", csv::write_csv(&schema, &orders), schema);
     let schema = tpch::lineitem_schema();
-    domains
-        .insert("lineitem".into(), Domains::compute(&schema, to_records(&lineitems).iter()));
+    domains.insert(
+        "lineitem".into(),
+        Domains::compute(&schema, to_records(&lineitems).iter()),
+    );
     session.register_csv_bytes("lineitem", csv::write_csv(&schema, &lineitems), schema);
     for (name, schema, rows) in [
-        ("customer", tpch::customer_schema(), tpch::gen_customer(sf, seed)),
+        (
+            "customer",
+            tpch::customer_schema(),
+            tpch::gen_customer(sf, seed),
+        ),
         ("part", tpch::part_schema(), tpch::gen_part(sf, seed)),
-        ("partsupp", tpch::partsupp_schema(), tpch::gen_partsupp(sf, seed)),
+        (
+            "partsupp",
+            tpch::partsupp_schema(),
+            tpch::gen_partsupp(sf, seed),
+        ),
     ] {
-        domains.insert(name.into(), Domains::compute(&schema, to_records(&rows).iter()));
+        domains.insert(
+            name.into(),
+            Domains::compute(&schema, to_records(&rows).iter()),
+        );
         session.register_csv_bytes(name, csv::write_csv(&schema, &rows), schema);
     }
     (session, domains)

@@ -11,11 +11,7 @@ use recache::data::json;
 use recache::workload::{spa_workload, Domains, PoolPhase, SpaConfig};
 use recache::{Admission, LayoutPolicy, ReCache};
 
-fn run_phase(
-    session: &mut ReCache,
-    specs: &[recache::sql::QuerySpec],
-    label: &str,
-) -> f64 {
+fn run_phase(session: &mut ReCache, specs: &[recache::sql::QuerySpec], label: &str) -> f64 {
     let mut total = 0.0;
     let mut switches = Vec::new();
     for spec in specs {
@@ -48,11 +44,17 @@ fn main() {
     let records = tpch::gen_order_lineitems(0.001, 42);
     let schema = tpch::order_lineitems_schema();
     let domains = Domains::compute(&schema, records.iter());
-    session.register_json_bytes("orderLineitems", json::write_json(&schema, &records), schema);
+    session.register_json_bytes(
+        "orderLineitems",
+        json::write_json(&schema, &records),
+        schema,
+    );
 
     // Pre-populate the cache with the whole source so every query below
     // exercises the cached item (as the paper's layout experiments do).
-    session.sql("SELECT count(*) FROM orderLineitems").expect("warmup");
+    session
+        .sql("SELECT count(*) FROM orderLineitems")
+        .expect("warmup");
     let entry_layout = || -> String {
         // The warmed entry is the only unconstrained one.
         "cached".into()

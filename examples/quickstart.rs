@@ -85,7 +85,10 @@ fn main() {
              JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey \
              WHERE o_totalprice > 50000 AND l_quantity >= 25";
     let result = session.sql(q).expect("query");
-    println!("   joined rows: {}, max price: {}", result.rows_aggregated, result.rows[1]);
+    println!(
+        "   joined rows: {}, max price: {}",
+        result.rows_aggregated, result.rows[1]
+    );
 
     let counters = session.cache().counters;
     println!(

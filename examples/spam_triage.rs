@@ -73,7 +73,10 @@ fn main() {
         hits += usize::from(r.stats.cache_hit);
     }
     let counters = session.cache().counters;
-    println!("   {} queries in {total:.3}s, {hits} served (fully or partly) from cache", specs.len());
+    println!(
+        "   {} queries in {total:.3}s, {hits} served (fully or partly) from cache",
+        specs.len()
+    );
     println!(
         "   cache: {} entries / {} KiB (budget 2048 KiB), {} evictions, {} admissions",
         session.cache().len(),

@@ -6,8 +6,8 @@ use recache::data::gen::{spam, tpch, yelp};
 use recache::data::{csv, json};
 use recache::types::Value;
 use recache::workload::{
-    mixed_spa_workload, spa_workload, spam_mixed_workload, tpch_spj_workload, Domains,
-    PoolPhase, SpaConfig, SpamMixConfig, SpjConfig,
+    mixed_spa_workload, spa_workload, spam_mixed_workload, tpch_spj_workload, Domains, PoolPhase,
+    SpaConfig, SpamMixConfig, SpjConfig,
 };
 use recache::{Admission, Eviction, LayoutPolicy, ReCache, ReCacheBuilder};
 use std::collections::HashMap;
@@ -16,23 +16,39 @@ fn register_nested(session: &mut ReCache, sf: f64, seed: u64) -> Domains {
     let records = tpch::gen_order_lineitems(sf, seed);
     let schema = tpch::order_lineitems_schema();
     let domains = Domains::compute(&schema, records.iter());
-    session.register_json_bytes("orderLineitems", json::write_json(&schema, &records), schema);
+    session.register_json_bytes(
+        "orderLineitems",
+        json::write_json(&schema, &records),
+        schema,
+    );
     domains
 }
 
 fn register_tpch(session: &mut ReCache, sf: f64, seed: u64) -> HashMap<String, Domains> {
     let mut domains = HashMap::new();
-    let to_records =
-        |rows: &[Vec<Value>]| -> Vec<Value> { rows.iter().map(|r| Value::Struct(r.clone())).collect() };
+    let to_records = |rows: &[Vec<Value>]| -> Vec<Value> {
+        rows.iter().map(|r| Value::Struct(r.clone())).collect()
+    };
     let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
     for (name, schema, rows) in [
         ("orders", tpch::orders_schema(), orders),
         ("lineitem", tpch::lineitem_schema(), lineitems),
-        ("customer", tpch::customer_schema(), tpch::gen_customer(sf, seed)),
+        (
+            "customer",
+            tpch::customer_schema(),
+            tpch::gen_customer(sf, seed),
+        ),
         ("part", tpch::part_schema(), tpch::gen_part(sf, seed)),
-        ("partsupp", tpch::partsupp_schema(), tpch::gen_partsupp(sf, seed)),
+        (
+            "partsupp",
+            tpch::partsupp_schema(),
+            tpch::gen_partsupp(sf, seed),
+        ),
     ] {
-        domains.insert(name.to_owned(), Domains::compute(&schema, to_records(&rows).iter()));
+        domains.insert(
+            name.to_owned(),
+            Domains::compute(&schema, to_records(&rows).iter()),
+        );
         session.register_csv_bytes(name, csv::write_csv(&schema, &rows), schema);
     }
     domains
@@ -58,7 +74,8 @@ fn assert_all_configs_agree(
             Some(expected) => {
                 for (i, (got, want)) in results.iter().zip(expected).enumerate() {
                     assert_eq!(
-                        got, want,
+                        got,
+                        want,
                         "config '{name}' diverged on query {i}: {}",
                         recache::workload::spec_to_sql(&specs[i])
                     );
@@ -135,11 +152,15 @@ fn spj_results_survive_eviction_pressure() {
             ),
             (
                 "tiny-cache-lru",
-                ReCache::builder().cache_capacity_bytes(20_000).eviction(Eviction::Lru),
+                ReCache::builder()
+                    .cache_capacity_bytes(20_000)
+                    .eviction(Eviction::Lru),
             ),
             (
                 "tiny-cache-monetdb",
-                ReCache::builder().cache_capacity_bytes(20_000).eviction(Eviction::MonetDb),
+                ReCache::builder()
+                    .cache_capacity_bytes(20_000)
+                    .eviction(Eviction::MonetDb),
             ),
         ],
         &|s| {
@@ -165,8 +186,10 @@ fn spam_mix_results_are_config_independent() {
     register(&mut probe);
     let records = spam::gen_spam_json(n, seed);
     let jd = Domains::compute(&spam::spam_json_schema(), records.iter());
-    let rows: Vec<Value> =
-        spam::gen_spam_csv(n, seed).into_iter().map(Value::Struct).collect();
+    let rows: Vec<Value> = spam::gen_spam_csv(n, seed)
+        .into_iter()
+        .map(Value::Struct)
+        .collect();
     let cd = Domains::compute(&spam::spam_csv_schema(), rows.iter());
     let specs = spam_mixed_workload(
         "spam_json",

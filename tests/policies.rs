@@ -12,20 +12,36 @@ use recache::workload::{
 use recache::{Admission, Eviction, LayoutPolicy, ReCache};
 use std::collections::HashMap;
 
-fn tpch_session(builder: recache::ReCacheBuilder, sf: f64, seed: u64) -> (ReCache, HashMap<String, Domains>) {
+fn tpch_session(
+    builder: recache::ReCacheBuilder,
+    sf: f64,
+    seed: u64,
+) -> (ReCache, HashMap<String, Domains>) {
     let mut session = builder.build();
     let mut domains = HashMap::new();
-    let to_records =
-        |rows: &[Vec<Value>]| -> Vec<Value> { rows.iter().map(|r| Value::Struct(r.clone())).collect() };
+    let to_records = |rows: &[Vec<Value>]| -> Vec<Value> {
+        rows.iter().map(|r| Value::Struct(r.clone())).collect()
+    };
     let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
     for (name, schema, rows) in [
         ("orders", tpch::orders_schema(), orders),
         ("lineitem", tpch::lineitem_schema(), lineitems),
-        ("customer", tpch::customer_schema(), tpch::gen_customer(sf, seed)),
+        (
+            "customer",
+            tpch::customer_schema(),
+            tpch::gen_customer(sf, seed),
+        ),
         ("part", tpch::part_schema(), tpch::gen_part(sf, seed)),
-        ("partsupp", tpch::partsupp_schema(), tpch::gen_partsupp(sf, seed)),
+        (
+            "partsupp",
+            tpch::partsupp_schema(),
+            tpch::gen_partsupp(sf, seed),
+        ),
     ] {
-        domains.insert(name.to_owned(), Domains::compute(&schema, to_records(&rows).iter()));
+        domains.insert(
+            name.to_owned(),
+            Domains::compute(&schema, to_records(&rows).iter()),
+        );
         session.register_csv_bytes(name, csv::write_csv(&schema, &rows), schema);
     }
     (session, domains)
@@ -44,7 +60,9 @@ fn every_eviction_policy_respects_capacity() {
         Eviction::Vectorwise,
     ] {
         let (mut session, domains) = tpch_session(
-            ReCache::builder().eviction(eviction).cache_capacity_bytes(capacity),
+            ReCache::builder()
+                .eviction(eviction)
+                .cache_capacity_bytes(capacity),
             sf,
             7,
         );
@@ -66,7 +84,9 @@ fn offline_policies_work_with_workload_oracle() {
     let sf = 0.0004;
     for eviction in [Eviction::FarthestFirst, Eviction::LogOptimal] {
         let (mut session, domains) = tpch_session(
-            ReCache::builder().eviction(eviction).cache_capacity_bytes(40_000),
+            ReCache::builder()
+                .eviction(eviction)
+                .cache_capacity_bytes(40_000),
             sf,
             9,
         );
@@ -118,7 +138,11 @@ fn auto_layout_switches_on_phase_change() {
     let records = tpch::gen_order_lineitems(0.0006, 3);
     let schema = tpch::order_lineitems_schema();
     let domains = Domains::compute(&schema, records.iter());
-    session.register_json_bytes("orderLineitems", json::write_json(&schema, &records), schema);
+    session.register_json_bytes(
+        "orderLineitems",
+        json::write_json(&schema, &records),
+        schema,
+    );
     session.sql("SELECT count(*) FROM orderLineitems").unwrap();
     // The warm entry starts in the Dremel layout (nested default).
     let entry = session.cache().iter().next().unwrap();
@@ -180,19 +204,18 @@ fn benefit_metric_keeps_expensive_json_under_pressure() {
     // Size the budget from a probe run so the JSON entry plus a couple of
     // CSV entries fit, but the full flood does not.
     let probe_sizes = {
-        let mut session = ReCache::builder().admission(Admission::eager_only()).build();
+        let mut session = ReCache::builder()
+            .admission(Admission::eager_only())
+            .build();
         let (_, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
         let schema = tpch::lineitem_schema();
-        let records: Vec<Value> =
-            lineitems.iter().map(|r| Value::Struct(r.clone())).collect();
-        session.register_json_bytes(
-            "lineitem_json",
-            json::write_json(&schema, &records),
-            schema,
-        );
+        let records: Vec<Value> = lineitems.iter().map(|r| Value::Struct(r.clone())).collect();
+        session.register_json_bytes("lineitem_json", json::write_json(&schema, &records), schema);
         let schema = tpch::lineitem_schema();
         session.register_csv_bytes("lineitem_csv", csv::write_csv(&schema, &lineitems), schema);
-        session.sql("SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2").unwrap();
+        session
+            .sql("SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2")
+            .unwrap();
         session
             .sql("SELECT count(*) FROM lineitem_csv WHERE l_quantity BETWEEN 0 AND 30")
             .unwrap();
@@ -219,27 +242,22 @@ fn benefit_metric_keeps_expensive_json_under_pressure() {
             .build();
         let (_, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
         let schema = tpch::lineitem_schema();
-        let records: Vec<Value> =
-            lineitems.iter().map(|r| Value::Struct(r.clone())).collect();
-        session.register_json_bytes(
-            "lineitem_json",
-            json::write_json(&schema, &records),
-            schema,
-        );
+        let records: Vec<Value> = lineitems.iter().map(|r| Value::Struct(r.clone())).collect();
+        session.register_json_bytes("lineitem_json", json::write_json(&schema, &records), schema);
         let schema = tpch::lineitem_schema();
-        session.register_csv_bytes(
-            "lineitem_csv",
-            csv::write_csv(&schema, &lineitems),
-            schema,
-        );
+        session.register_csv_bytes("lineitem_csv", csv::write_csv(&schema, &lineitems), schema);
         session
     };
     let mut session = build(Eviction::GreedyDual);
     // Build one JSON-derived entry, reuse it a few times, then flood the
     // cache with CSV-derived entries.
-    session.sql("SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2").unwrap();
+    session
+        .sql("SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2")
+        .unwrap();
     for _ in 0..3 {
-        session.sql("SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2").unwrap();
+        session
+            .sql("SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2")
+            .unwrap();
     }
     for lo in 0..10 {
         session
@@ -250,5 +268,8 @@ fn benefit_metric_keeps_expensive_json_under_pressure() {
             .unwrap();
     }
     let json_alive = session.cache().iter().any(|e| e.source == "lineitem_json");
-    assert!(json_alive, "greedy-dual should keep the reused, expensive JSON entry");
+    assert!(
+        json_alive,
+        "greedy-dual should keep the reused, expensive JSON entry"
+    );
 }

@@ -1,0 +1,364 @@
+//! Vectorized ↔ row-at-a-time equivalence.
+//!
+//! Whatever the execution mode — typed batch kernels or per-row
+//! `Expr::eval_bool` — `QueryOutput.values` and `rows_aggregated` must be
+//! identical across all four cache layouts plus raw access, on flat
+//! TPC-H, nested TPC-H, Yelp-style, spam-generator, and NULL-heavy data,
+//! for record-level and element-level scans.
+
+use recache::data::gen::{spam, tpch, yelp};
+use recache::data::{csv, json, FileFormat, RawFile};
+use recache::engine::exec::{execute_with, ExecOptions};
+use recache::engine::expr::{CmpOp, Expr};
+use recache::engine::plan::{AccessPath, AggFunc, AggSpec, QueryPlan, TablePlan};
+use recache::layout::{ColumnStore, DremelStore, OffsetStore, RowStore};
+use recache::types::{DataType, Field, FieldPath, Schema, Value};
+use std::sync::Arc;
+
+const ROW: ExecOptions = ExecOptions { vectorized: false };
+const VECTORIZED: ExecOptions = ExecOptions { vectorized: true };
+
+struct Dataset {
+    name: &'static str,
+    schema: Schema,
+    records: Vec<Value>,
+    format: FileFormat,
+}
+
+fn flat_rows(records: &[Value]) -> Vec<Vec<Value>> {
+    records
+        .iter()
+        .map(|r| match r {
+            Value::Struct(fields) => fields.clone(),
+            other => panic!("expected struct record, got {other:?}"),
+        })
+        .collect()
+}
+
+fn datasets() -> Vec<Dataset> {
+    let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0005, 7);
+    let lineitem_records: Vec<Value> = lineitems.into_iter().map(Value::Struct).collect();
+    let null_heavy_schema = Schema::new(vec![
+        Field::new("x", DataType::Int),
+        Field::new("s", DataType::Str),
+        Field::new("tags", DataType::List(Box::new(DataType::Float))),
+    ]);
+    // Dense nulls in every column, plus empty/absent lists.
+    let null_heavy: Vec<Value> = (0..600i64)
+        .map(|i| {
+            let x = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 50)
+            };
+            let s = match i % 4 {
+                0 => Value::Null,
+                1 => Value::Str(String::new()),
+                _ => Value::Str(format!("s{}", i % 17)),
+            };
+            let tags = match i % 5 {
+                0 => Value::Null,
+                1 => Value::List(vec![]),
+                _ => Value::List((0..i % 4).map(|j| Value::Float(j as f64 * 0.5)).collect()),
+            };
+            Value::Struct(vec![x, s, tags])
+        })
+        .collect();
+    vec![
+        Dataset {
+            name: "tpch_lineitem_csv",
+            schema: tpch::lineitem_schema(),
+            records: lineitem_records,
+            format: FileFormat::Csv,
+        },
+        Dataset {
+            name: "tpch_order_lineitems_json",
+            schema: tpch::order_lineitems_schema(),
+            records: tpch::gen_order_lineitems(0.0005, 7),
+            format: FileFormat::Json,
+        },
+        Dataset {
+            name: "yelp_business_json",
+            schema: yelp::business_schema(),
+            records: yelp::gen_business(150, 7),
+            format: FileFormat::Json,
+        },
+        Dataset {
+            name: "spam_json",
+            schema: spam::spam_json_schema(),
+            records: spam::gen_spam_json(400, 7),
+            format: FileFormat::Json,
+        },
+        Dataset {
+            name: "null_heavy_json",
+            schema: null_heavy_schema,
+            records: null_heavy,
+            format: FileFormat::Json,
+        },
+    ]
+}
+
+/// Builds queries over a dataset: every numeric leaf gets a range query,
+/// the first string leaf an equality query, plus an unfiltered scan and a
+/// non-compilable (OR) predicate to exercise the fallback path. Both
+/// record-level (non-repeated leaves only) and element-level variants are
+/// generated where the schema allows.
+fn queries(schema: &Schema) -> Vec<(Vec<usize>, Option<Expr>, bool)> {
+    let leaves = schema.leaves();
+    let numeric: Vec<usize> = (0..leaves.len())
+        .filter(|&l| {
+            matches!(
+                leaves[l].scalar_type,
+                recache::types::ScalarType::Int | recache::types::ScalarType::Float
+            )
+        })
+        .collect();
+    let strings: Vec<usize> = (0..leaves.len())
+        .filter(|&l| leaves[l].scalar_type == recache::types::ScalarType::Str)
+        .collect();
+    let record_level = |accessed: &[usize]| accessed.iter().all(|&l| leaves[l].max_rep == 0);
+
+    let mut out = Vec::new();
+    // Range filter + aggregate over consecutive numeric leaf pairs.
+    for pair in numeric.windows(2).step_by(2) {
+        let accessed = vec![pair[0], pair[1]];
+        let pred = Some(Expr::between(0, 2.0, 5_000.0));
+        out.push((accessed.clone(), pred, record_level(&accessed)));
+    }
+    // Strict / inequality operators on the first numeric leaf.
+    if let Some(&leaf) = numeric.first() {
+        for op in [CmpOp::Lt, CmpOp::Gt, CmpOp::Ne, CmpOp::Eq] {
+            out.push((
+                vec![leaf],
+                Some(Expr::cmp(0, op, 10i64)),
+                record_level(&[leaf]),
+            ));
+        }
+    }
+    // String equality and ordering.
+    if let Some(&leaf) = strings.first() {
+        let accessed = vec![leaf];
+        out.push((
+            accessed.clone(),
+            Some(Expr::cmp(0, CmpOp::Ge, "m")),
+            record_level(&accessed),
+        ));
+    }
+    // Unfiltered element-level scan over the widest projection, plus a
+    // record-level scan over the non-repeated leaves (the planner only
+    // sets `record_level` when no repeated leaf is accessed).
+    let all: Vec<usize> = (0..leaves.len()).collect();
+    out.push((all, None, false));
+    let non_repeated: Vec<usize> = (0..leaves.len())
+        .filter(|&l| leaves[l].max_rep == 0)
+        .collect();
+    if !non_repeated.is_empty() {
+        out.push((non_repeated, None, true));
+    }
+    // Non-compilable OR predicate: exercises the row fallback even in
+    // vectorized mode.
+    if numeric.len() >= 2 {
+        let accessed = vec![numeric[0], numeric[1]];
+        let pred = Some(Expr::Or(vec![
+            Expr::cmp(0, CmpOp::Lt, 5i64),
+            Expr::cmp(1, CmpOp::Gt, 100i64),
+        ]));
+        out.push((accessed.clone(), pred, record_level(&accessed)));
+    }
+    out
+}
+
+fn aggregates_for(accessed: &[usize]) -> Vec<AggSpec> {
+    let mut aggs = vec![AggSpec {
+        table: 0,
+        slot: None,
+        func: AggFunc::Count,
+    }];
+    for (slot, _) in accessed.iter().enumerate().take(3) {
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Avg,
+            AggFunc::Min,
+            AggFunc::Max,
+        ] {
+            aggs.push(AggSpec {
+                table: 0,
+                slot: Some(slot),
+                func,
+            });
+        }
+    }
+    aggs
+}
+
+fn plan_for(access: AccessPath, query: &(Vec<usize>, Option<Expr>, bool)) -> QueryPlan {
+    let (accessed, predicate, record_level) = query;
+    QueryPlan {
+        tables: vec![TablePlan {
+            name: "t".into(),
+            access,
+            accessed: accessed.clone(),
+            predicate: predicate.clone(),
+            record_level: *record_level,
+            collect_satisfying: false,
+        }],
+        joins: vec![],
+        aggregates: aggregates_for(accessed),
+    }
+}
+
+#[test]
+fn vectorized_equals_row_across_layouts_and_datasets() {
+    for ds in datasets() {
+        let bytes = match ds.format {
+            FileFormat::Csv => csv::write_csv(&ds.schema, &flat_rows(&ds.records)),
+            FileFormat::Json => json::write_json(&ds.schema, &ds.records),
+        };
+        let file = Arc::new(RawFile::from_bytes(bytes, ds.format, ds.schema.clone()));
+        // Warm the positional map so the offsets path is available.
+        let all = vec![true; file.leaves().len()];
+        file.scan_projected(&all, &mut |_, _| {}).unwrap();
+        let offsets = Arc::new(OffsetStore::build(
+            (0..ds.records.len() as u32).collect(),
+            0,
+        ));
+        let columnar = Arc::new(ColumnStore::build(&ds.schema, ds.records.iter()));
+        let dremel = Arc::new(DremelStore::build(&ds.schema, ds.records.iter()));
+        let row = Arc::new(RowStore::build(&ds.schema, ds.records.iter()));
+
+        for (qi, query) in queries(&ds.schema).iter().enumerate() {
+            let accesses: Vec<(&str, AccessPath)> = vec![
+                ("raw", AccessPath::Raw(Arc::clone(&file))),
+                (
+                    "offsets",
+                    AccessPath::Offsets {
+                        file: Arc::clone(&file),
+                        store: Arc::clone(&offsets),
+                    },
+                ),
+                ("columnar", AccessPath::Columnar(Arc::clone(&columnar))),
+                ("dremel", AccessPath::Dremel(Arc::clone(&dremel))),
+                ("row", AccessPath::Row(Arc::clone(&row))),
+            ];
+            let reference =
+                execute_with(&plan_for(AccessPath::Raw(Arc::clone(&file)), query), &ROW).unwrap();
+            for (path_name, access) in accesses {
+                let plan = plan_for(access, query);
+                let row_out = execute_with(&plan, &ROW).unwrap();
+                let vec_out = execute_with(&plan, &VECTORIZED).unwrap();
+                let ctx = format!("dataset {} query {qi} path {path_name}", ds.name);
+                assert_eq!(
+                    row_out.values, vec_out.values,
+                    "{ctx}: vectorized values diverged from row-at-a-time"
+                );
+                assert_eq!(
+                    row_out.rows_aggregated, vec_out.rows_aggregated,
+                    "{ctx}: vectorized row count diverged"
+                );
+                assert_eq!(
+                    vec_out.values, reference.values,
+                    "{ctx}: cache path diverged from raw reference"
+                );
+                assert_eq!(
+                    vec_out.rows_aggregated, reference.rows_aggregated,
+                    "{ctx}: cache path row count diverged from raw reference"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn vectorized_cache_scans_report_nondegenerate_cost_split() {
+    // Dremel element-level scans must attribute both assembly (C) and
+    // value gathering (D); columnar scans must report their cost as
+    // (almost entirely) data access — the split Eq. 4 of the paper needs.
+    let records = tpch::gen_order_lineitems(0.001, 3);
+    let schema = tpch::order_lineitems_schema();
+    let dremel = Arc::new(DremelStore::build(&schema, records.iter()));
+    let columnar = Arc::new(ColumnStore::build(&schema, records.iter()));
+    let q = schema
+        .leaf_index(&FieldPath::parse("lineitems.l_quantity"))
+        .unwrap();
+    let p = schema
+        .leaf_index(&FieldPath::parse("lineitems.l_extendedprice"))
+        .unwrap();
+    let query = (
+        vec![q.min(p), q.max(p)],
+        Some(Expr::between(0, 5.0, 45.0)),
+        false,
+    );
+
+    let out = execute_with(&plan_for(AccessPath::Dremel(dremel), &query), &VECTORIZED).unwrap();
+    let cost = out.stats.tables[0].cache_scan.expect("cache scan cost");
+    assert!(
+        cost.compute_ns > 0,
+        "dremel assembly must show compute cost"
+    );
+    assert!(cost.data_ns > 0, "dremel gather must show data cost");
+    assert!(cost.rows > 0);
+
+    let out = execute_with(
+        &plan_for(AccessPath::Columnar(columnar), &query),
+        &VECTORIZED,
+    )
+    .unwrap();
+    let cost = out.stats.tables[0].cache_scan.expect("cache scan cost");
+    assert!(cost.total_ns() > 0);
+    assert!(cost.rows_visited > 0);
+}
+
+#[test]
+fn satisfying_ids_from_cache_scans_are_source_record_ids() {
+    // A store materialized from a subset of file records must report the
+    // *file* record ids of satisfying tuples, not store-local indices —
+    // the lazy/offsets admission path depends on it.
+    let schema = Schema::new(vec![
+        Field::required("k", DataType::Int),
+        Field::required("v", DataType::Float),
+    ]);
+    let cached_ids: Vec<u32> = vec![10, 25, 40, 55];
+    let records: Vec<Value> = cached_ids
+        .iter()
+        .map(|&id| Value::Struct(vec![Value::Int(id as i64), Value::Float(id as f64)]))
+        .collect();
+    let mut columnar = ColumnStore::build(&schema, records.iter());
+    columnar.set_source_record_ids(cached_ids.clone());
+    let mut dremel = DremelStore::build(&schema, records.iter());
+    dremel.set_source_record_ids(cached_ids.clone());
+    let mut row = RowStore::build(&schema, records.iter());
+    row.set_source_record_ids(cached_ids.clone());
+
+    for (name, access) in [
+        ("columnar", AccessPath::Columnar(Arc::new(columnar))),
+        ("dremel", AccessPath::Dremel(Arc::new(dremel))),
+        ("row", AccessPath::Row(Arc::new(row))),
+    ] {
+        for options in [&ROW, &VECTORIZED] {
+            let plan = QueryPlan {
+                tables: vec![TablePlan {
+                    name: "t".into(),
+                    access: access.clone(),
+                    accessed: vec![0, 1],
+                    predicate: Some(Expr::cmp(0, CmpOp::Ge, 25i64)),
+                    record_level: true,
+                    collect_satisfying: true,
+                }],
+                joins: vec![],
+                aggregates: vec![AggSpec {
+                    table: 0,
+                    slot: None,
+                    func: AggFunc::Count,
+                }],
+            };
+            let out = execute_with(&plan, options).unwrap();
+            assert_eq!(
+                out.stats.tables[0].satisfying,
+                Some(vec![25, 40, 55]),
+                "{name} (vectorized={}) must propagate source record ids",
+                options.vectorized
+            );
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate re-implements the slice of criterion's API the workspace's
+//! benches use: [`Criterion::benchmark_group`], `bench_function`,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology: each benchmark is warmed up, then an iteration count is
+//! calibrated so one sample takes a few milliseconds, and `sample_size`
+//! samples are measured. The median and mean nanoseconds per iteration
+//! are printed in a `name ... median X ns/iter (mean Y, N samples)`
+//! line — stable enough for before/after comparisons, with the median
+//! robust to scheduler noise. A benchmark-name filter may be passed on
+//! the command line, as with real criterion.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How `iter_batched` amortizes setup (kept for API compatibility; the
+/// stand-in times every routine call individually, excluding setup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+    measure_target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip flags (`--bench`, `--quiet`, ...) cargo forwards; the first
+        // bare argument is a substring filter on benchmark names.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion {
+            filter,
+            default_sample_size: 20,
+            measure_target: Duration::from_millis(4),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            harness: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(name, sample_size, f);
+        self
+    }
+
+    fn run_one(&mut self, name: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            measure_target: self.measure_target,
+            samples_ns_per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(name);
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    harness: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{name}", self.name);
+        let sample_size = self.sample_size.unwrap_or(self.harness.default_sample_size);
+        self.harness.run_one(&full, sample_size, f);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    sample_size: usize,
+    measure_target: Duration,
+    samples_ns_per_iter: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` (its return value is black-boxed).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm up and calibrate: how many iterations fill measure_target?
+        let t0 = Instant::now();
+        std_black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample =
+            (self.measure_target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+        for _ in 0..(per_sample / 4).max(1) {
+            std_black_box(routine());
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..per_sample {
+                std_black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / per_sample as f64;
+            self.samples_ns_per_iter.push(ns);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        std_black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.samples_ns_per_iter
+                .push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&mut self, name: &str) {
+        if self.samples_ns_per_iter.is_empty() {
+            println!("{name:<56} (no samples)");
+            return;
+        }
+        self.samples_ns_per_iter.sort_by(|a, b| a.total_cmp(b));
+        let n = self.samples_ns_per_iter.len();
+        let median = self.samples_ns_per_iter[n / 2];
+        let mean = self.samples_ns_per_iter.iter().sum::<f64>() / n as f64;
+        println!("{name:<56} median {median:>14.1} ns/iter (mean {mean:>14.1}, {n} samples)");
+    }
+}
+
+/// Collects benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_records_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            measure_target: Duration::from_micros(50),
+            samples_ns_per_iter: Vec::new(),
+        };
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples_ns_per_iter.len(), 5);
+        assert!(b.samples_ns_per_iter.iter().all(|&ns| ns > 0.0));
+    }
+
+    #[test]
+    fn iter_batched_records_samples() {
+        let mut b = Bencher {
+            sample_size: 4,
+            measure_target: Duration::from_micros(50),
+            samples_ns_per_iter: Vec::new(),
+        };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.samples_ns_per_iter.len(), 4);
+    }
+}

@@ -137,8 +137,14 @@ fn layout_scans(c: &mut Criterion) {
     group.finish();
 }
 
-const ROW: ExecOptions = ExecOptions { vectorized: false };
-const VECTORIZED: ExecOptions = ExecOptions { vectorized: true };
+const ROW: ExecOptions = ExecOptions {
+    vectorized: false,
+    threads: 1,
+};
+const VECTORIZED: ExecOptions = ExecOptions {
+    vectorized: true,
+    threads: 1,
+};
 
 /// One-table scan → filter → aggregate plan over a cache store.
 fn filter_agg_plan(access: AccessPath, accessed: Vec<usize>, record_level: bool) -> QueryPlan {
@@ -251,6 +257,73 @@ fn row_vs_vectorized(c: &mut Criterion) {
     group.bench_function("dremel_record_filter_agg_vectorized", |b| {
         b.iter(|| black_box(execute_with(&dremel_flat_plan, &VECTORIZED).unwrap().values))
     });
+    group.finish();
+}
+
+/// Thread scaling on the cache-store scan→filter→aggregate hot paths:
+/// the acceptance benches behind the `BENCH_pr<N>.json` trajectory. A
+/// larger dataset than `exec_mode` so the chunk grid is wide enough for
+/// the pool to matter (speedups need real cores; thread counts above the
+/// machine's parallelism are clamped by the pool).
+fn parallel_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+
+    let (_, lineitems) = tpch::gen_orders_and_lineitems(0.02, 42);
+    let li_schema = tpch::lineitem_schema();
+    let records: Vec<Value> = lineitems.iter().map(|r| Value::Struct(r.clone())).collect();
+    let columnar = Arc::new(ColumnStore::build(&li_schema, records.iter()));
+    let row = Arc::new(RowStore::build(&li_schema, records.iter()));
+    let quantity = li_schema
+        .leaf_index(&FieldPath::parse("l_quantity"))
+        .unwrap();
+    let price = li_schema
+        .leaf_index(&FieldPath::parse("l_extendedprice"))
+        .unwrap();
+    let col_plan = filter_agg_plan(AccessPath::Columnar(columnar), vec![quantity, price], true);
+    for threads in [1usize, 2, 4, 8] {
+        let options = ExecOptions {
+            vectorized: true,
+            threads,
+        };
+        group.bench_function(&format!("columnar_filter_agg_t{threads}"), |b| {
+            b.iter(|| black_box(execute_with(&col_plan, &options).unwrap().values))
+        });
+    }
+    let row_plan = filter_agg_plan(AccessPath::Row(row), vec![quantity, price], true);
+    for threads in [1usize, 4] {
+        let options = ExecOptions {
+            vectorized: true,
+            threads,
+        };
+        group.bench_function(&format!("rowstore_filter_agg_t{threads}"), |b| {
+            b.iter(|| black_box(execute_with(&row_plan, &options).unwrap().values))
+        });
+    }
+
+    let ol_records = tpch::gen_order_lineitems(0.02, 42);
+    let ol_schema = tpch::order_lineitems_schema();
+    let dremel = Arc::new(DremelStore::build(&ol_schema, ol_records.iter()));
+    let nested_quantity = ol_schema
+        .leaf_index(&FieldPath::parse("lineitems.l_quantity"))
+        .unwrap();
+    let nested_price = ol_schema
+        .leaf_index(&FieldPath::parse("lineitems.l_extendedprice"))
+        .unwrap();
+    let dremel_plan = filter_agg_plan(
+        AccessPath::Dremel(dremel),
+        vec![nested_quantity, nested_price],
+        false,
+    );
+    for threads in [1usize, 4] {
+        let options = ExecOptions {
+            vectorized: true,
+            threads,
+        };
+        group.bench_function(&format!("dremel_element_filter_agg_t{threads}"), |b| {
+            b.iter(|| black_box(execute_with(&dremel_plan, &options).unwrap().values))
+        });
+    }
     group.finish();
 }
 
@@ -401,6 +474,7 @@ criterion_group!(
     parse_costs,
     layout_scans,
     row_vs_vectorized,
+    parallel_scaling,
     layout_writes,
     rtree_ops,
     profiler_overhead,

@@ -1,0 +1,422 @@
+//! Perf-trajectory harness: the machine-readable bench CI runs per PR.
+//!
+//! Runs the row-at-a-time vs vectorized vs parallel micro benches on the
+//! three cache-store hot paths and writes `BENCH_pr<N>.json`:
+//!
+//! ```json
+//! {
+//!   "pr": 2,
+//!   "schema_version": 1,
+//!   "available_parallelism": 4,
+//!   "benches": [
+//!     {"name": "columnar_filter_agg", "mode": "parallel", "threads": 4,
+//!      "median_ns": 1234567.0, "rel_to_row": 0.11}
+//!   ],
+//!   "derived": {"columnar_speedup_4t_vs_1t": 3.4, ...}
+//! }
+//! ```
+//!
+//! `rel_to_row` is the bench's median normalized to its family's
+//! row-at-a-time median on the *same* machine and run — the number that
+//! is comparable across machines. The regression gate (`--baseline
+//! <file>`) therefore compares `rel_to_row` against the checked-in
+//! baseline and exits nonzero when a case slowed by more than
+//! `--tolerance` (default 0.25 = 25%); absolute `median_ns` is recorded
+//! for trajectory plots but only gated when `--absolute` is passed,
+//! since hosted CI machines differ too much for raw nanoseconds.
+//!
+//! Thread counts above the machine's parallelism are clamped by the
+//! pool, so speedup-derived values are only meaningful where
+//! `available_parallelism >= threads` (the JSON records both).
+
+use recache_bench::args::Args;
+use recache_data::gen::tpch;
+use recache_data::json as data_json;
+use recache_engine::exec::{execute_with, ExecOptions};
+use recache_engine::expr::Expr;
+use recache_engine::plan::{AccessPath, AggFunc, AggSpec, QueryPlan, TablePlan};
+use recache_layout::{ColumnStore, DremelStore, RowStore};
+use recache_types::{DataType, Field, FieldPath, Schema, Value};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct BenchResult {
+    name: &'static str,
+    mode: &'static str,
+    threads: usize,
+    median_ns: f64,
+    rel_to_row: f64,
+}
+
+/// Medians one case: `samples` timed runs after `warmup` untimed ones.
+fn measure(samples: usize, warmup: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn filter_agg_plan(access: AccessPath, accessed: Vec<usize>, record_level: bool) -> QueryPlan {
+    QueryPlan {
+        tables: vec![TablePlan {
+            name: "bench".into(),
+            access,
+            accessed,
+            predicate: Some(Expr::between(0, 10.0, 40.0)),
+            record_level,
+            collect_satisfying: false,
+        }],
+        joins: vec![],
+        aggregates: vec![
+            AggSpec {
+                table: 0,
+                slot: None,
+                func: AggFunc::Count,
+            },
+            AggSpec {
+                table: 0,
+                slot: Some(1),
+                func: AggFunc::Sum,
+            },
+            AggSpec {
+                table: 0,
+                slot: Some(1),
+                func: AggFunc::Min,
+            },
+            AggSpec {
+                table: 0,
+                slot: Some(1),
+                func: AggFunc::Max,
+            },
+        ],
+    }
+}
+
+fn run_case(plan: &QueryPlan, options: &ExecOptions, samples: usize) -> f64 {
+    measure(samples, 2, || {
+        black_box(execute_with(plan, options).unwrap().values);
+    })
+}
+
+/// One store family: row-path reference plus vectorized/parallel modes.
+fn family(
+    name: &'static str,
+    plan: &QueryPlan,
+    thread_counts: &[usize],
+    samples: usize,
+    out: &mut Vec<BenchResult>,
+) {
+    let row = ExecOptions {
+        vectorized: false,
+        threads: 1,
+    };
+    let row_ns = run_case(plan, &row, samples);
+    out.push(BenchResult {
+        name,
+        mode: "row",
+        threads: 1,
+        median_ns: row_ns,
+        rel_to_row: 1.0,
+    });
+    for &threads in thread_counts {
+        let options = ExecOptions {
+            vectorized: true,
+            threads,
+        };
+        let ns = run_case(plan, &options, samples);
+        out.push(BenchResult {
+            name,
+            mode: if threads == 1 {
+                "vectorized"
+            } else {
+                "parallel"
+            },
+            threads,
+            median_ns: ns,
+            rel_to_row: ns / row_ns,
+        });
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_json(
+    path: &str,
+    pr: u64,
+    results: &[BenchResult],
+    derived: &[(String, f64)],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"pr\": {pr},\n"));
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"available_parallelism\": {},\n",
+        workpool::available_parallelism()
+    ));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \"median_ns\": {:.1}, \"rel_to_row\": {:.6}}}{}\n",
+            json_escape(r.name),
+            json_escape(r.mode),
+            r.threads,
+            r.median_ns,
+            r.rel_to_row,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"derived\": {\n");
+    for (i, (k, v)) in derived.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {:.6}{}\n",
+            json_escape(k),
+            v,
+            if i + 1 < derived.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out)
+}
+
+/// Schema of a trajectory file, for the typed JSON parser the data crate
+/// already ships (the baseline is read back through the same machinery
+/// that parses data files — no extra parser to maintain).
+fn baseline_schema() -> Schema {
+    Schema::new(vec![
+        Field::required("pr", DataType::Int),
+        Field::required("schema_version", DataType::Int),
+        Field::required("available_parallelism", DataType::Int),
+        Field::new(
+            "benches",
+            DataType::List(Box::new(DataType::Struct(vec![
+                Field::required("name", DataType::Str),
+                Field::required("mode", DataType::Str),
+                Field::required("threads", DataType::Int),
+                Field::required("median_ns", DataType::Float),
+                Field::required("rel_to_row", DataType::Float),
+            ]))),
+        ),
+    ])
+}
+
+struct BaselineEntry {
+    name: String,
+    mode: String,
+    threads: i64,
+    median_ns: f64,
+    rel_to_row: f64,
+}
+
+fn load_baseline(path: &str) -> Result<Vec<BaselineEntry>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read {path}: {e}"))?;
+    let record = data_json::parse_record(&bytes, &baseline_schema(), None)
+        .map_err(|e| format!("parse {path}: {e:?}"))?;
+    let Value::Struct(fields) = record else {
+        return Err("baseline root must be an object".into());
+    };
+    let Some(Value::List(benches)) = fields.get(3) else {
+        return Err("baseline has no benches list".into());
+    };
+    benches
+        .iter()
+        .map(|b| {
+            let Value::Struct(cells) = b else {
+                return Err("bench entry must be an object".into());
+            };
+            Ok(BaselineEntry {
+                name: match &cells[0] {
+                    Value::Str(s) => s.clone(),
+                    _ => return Err("bench name must be a string".into()),
+                },
+                mode: match &cells[1] {
+                    Value::Str(s) => s.clone(),
+                    _ => return Err("bench mode must be a string".into()),
+                },
+                threads: cells[2].as_i64().unwrap_or(0),
+                median_ns: cells[3].as_f64().unwrap_or(0.0),
+                rel_to_row: cells[4].as_f64().unwrap_or(0.0),
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let pr = args.u64("pr", 2);
+    let sf = args.f64("sf", 0.02);
+    let samples = args.usize("samples", 9);
+    let out_path = args.str("out", &format!("BENCH_pr{pr}.json"));
+    let baseline_path = args.str("baseline", "");
+    let tolerance = args.f64("tolerance", 0.25);
+    let gate_absolute = args.flag("absolute");
+
+    eprintln!("trajectory: generating TPC-H data at sf {sf} ...");
+    let (_, lineitems) = tpch::gen_orders_and_lineitems(sf, 42);
+    let li_schema = tpch::lineitem_schema();
+    let records: Vec<Value> = lineitems.iter().map(|r| Value::Struct(r.clone())).collect();
+    let columnar = Arc::new(ColumnStore::build(&li_schema, records.iter()));
+    let row_store = Arc::new(RowStore::build(&li_schema, records.iter()));
+    let quantity = li_schema
+        .leaf_index(&FieldPath::parse("l_quantity"))
+        .unwrap();
+    let price = li_schema
+        .leaf_index(&FieldPath::parse("l_extendedprice"))
+        .unwrap();
+    eprintln!(
+        "trajectory: {} lineitems, {} batch chunks",
+        records.len(),
+        columnar.batch_chunks(&[quantity, price], true)
+    );
+    let ol_records = tpch::gen_order_lineitems(sf, 42);
+    let ol_schema = tpch::order_lineitems_schema();
+    let dremel = Arc::new(DremelStore::build(&ol_schema, ol_records.iter()));
+    let nested_quantity = ol_schema
+        .leaf_index(&FieldPath::parse("lineitems.l_quantity"))
+        .unwrap();
+    let nested_price = ol_schema
+        .leaf_index(&FieldPath::parse("lineitems.l_extendedprice"))
+        .unwrap();
+
+    let mut results: Vec<BenchResult> = Vec::new();
+    let col_plan = filter_agg_plan(AccessPath::Columnar(columnar), vec![quantity, price], true);
+    family(
+        "columnar_filter_agg",
+        &col_plan,
+        &[1, 2, 4],
+        samples,
+        &mut results,
+    );
+    let row_plan = filter_agg_plan(AccessPath::Row(row_store), vec![quantity, price], true);
+    family(
+        "rowstore_filter_agg",
+        &row_plan,
+        &[1, 4],
+        samples,
+        &mut results,
+    );
+    let dremel_plan = filter_agg_plan(
+        AccessPath::Dremel(dremel),
+        vec![nested_quantity, nested_price],
+        false,
+    );
+    family(
+        "dremel_element_filter_agg",
+        &dremel_plan,
+        &[1, 4],
+        samples,
+        &mut results,
+    );
+
+    // Derived trajectory metrics.
+    let median_of = |name: &str, threads: usize, vectorized: bool| -> Option<f64> {
+        results
+            .iter()
+            .find(|r| r.name == name && r.threads == threads && (r.mode != "row") == vectorized)
+            .map(|r| r.median_ns)
+    };
+    let mut derived: Vec<(String, f64)> = Vec::new();
+    for name in [
+        "columnar_filter_agg",
+        "rowstore_filter_agg",
+        "dremel_element_filter_agg",
+    ] {
+        if let (Some(t1), Some(t4)) = (median_of(name, 1, true), median_of(name, 4, true)) {
+            derived.push((format!("{name}_speedup_4t_vs_1t"), t1 / t4));
+        }
+        if let (Some(row), Some(vec1)) = (median_of(name, 1, false), median_of(name, 1, true)) {
+            derived.push((format!("{name}_vectorized_speedup_vs_row"), row / vec1));
+        }
+    }
+
+    for r in &results {
+        eprintln!(
+            "  {:<28} {:>10} t{} {:>14.0} ns  ({:.3}x row)",
+            r.name, r.mode, r.threads, r.median_ns, r.rel_to_row
+        );
+    }
+    for (k, v) in &derived {
+        eprintln!("  {k} = {v:.3}");
+    }
+
+    write_json(&out_path, pr, &results, &derived).expect("write trajectory JSON");
+    eprintln!("trajectory: wrote {out_path}");
+
+    // Regression gate.
+    if !baseline_path.is_empty() {
+        match load_baseline(&baseline_path) {
+            Err(e) => {
+                eprintln!("trajectory: SKIPPING gate, baseline unusable: {e}");
+            }
+            Ok(baseline) => {
+                let mut failures = Vec::new();
+                for b in &baseline {
+                    if b.threads as usize > workpool::available_parallelism() {
+                        // A thread count this machine cannot actually run
+                        // measures scheduler noise, not the engine; the
+                        // entry is recorded but not gated.
+                        eprintln!(
+                            "trajectory: not gating {} {} t{} (machine has {} cores)",
+                            b.name,
+                            b.mode,
+                            b.threads,
+                            workpool::available_parallelism()
+                        );
+                        continue;
+                    }
+                    let Some(cur) = results.iter().find(|r| {
+                        r.name == b.name && r.mode == b.mode && r.threads == b.threads as usize
+                    }) else {
+                        failures.push(format!("{} {} t{}: missing", b.name, b.mode, b.threads));
+                        continue;
+                    };
+                    // Machine-comparable gate: relative-to-row medians.
+                    if b.rel_to_row > 0.0 && cur.rel_to_row > b.rel_to_row * (1.0 + tolerance) {
+                        failures.push(format!(
+                            "{} {} t{}: rel_to_row {:.3} vs baseline {:.3} (>{:.0}% regression)",
+                            b.name,
+                            b.mode,
+                            b.threads,
+                            cur.rel_to_row,
+                            b.rel_to_row,
+                            tolerance * 100.0
+                        ));
+                    }
+                    if gate_absolute
+                        && b.median_ns > 0.0
+                        && cur.median_ns > b.median_ns * (1.0 + tolerance)
+                    {
+                        failures.push(format!(
+                            "{} {} t{}: median {:.0}ns vs baseline {:.0}ns",
+                            b.name, b.mode, b.threads, cur.median_ns, b.median_ns
+                        ));
+                    }
+                }
+                if failures.is_empty() {
+                    eprintln!(
+                        "trajectory: no regression vs {baseline_path} (tolerance {:.0}%)",
+                        tolerance * 100.0
+                    );
+                } else {
+                    eprintln!("trajectory: PERF REGRESSION vs {baseline_path}:");
+                    for f in &failures {
+                        eprintln!("  {f}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Order-independent exact summation of `f64` values.
+//!
+//! Parallel aggregation merges per-worker partial sums, and plain
+//! floating-point addition is not associative — merging `f64` partials
+//! would make `SUM`/`AVG` results depend on the task decomposition and
+//! diverge (in the last ulps) from the row-at-a-time path, breaking the
+//! bit-identical equivalence the vectorized/parallel test suite asserts.
+//!
+//! [`ExactSum`] sidesteps this by accumulating into a fixed-point
+//! *superaccumulator*: each `f64` is split into its integer mantissa and
+//! binary exponent and added into one of 64 overlapping `i128` bins, bin
+//! `k` weighted `2^(32k - 1075)` — wide enough to cover the entire finite
+//! `f64` range exactly. Integer addition is associative and commutative,
+//! so the accumulated state — and therefore the rounded result — is
+//! **independent of insertion order and of how partials were merged**.
+//! `finish` collapses the bins and rounds once to the nearest `f64`
+//! (ties to even), which also makes the sum *more* accurate than the
+//! naive running `f64` sum it replaces.
+//!
+//! Overflow headroom: an add deposits `< 2^85` into one bin, so a bin
+//! needs `> 2^42` same-signed adds to overflow `i128`; `add` counts and
+//! renormalizes long before that.
+
+/// Number of 32-bit-spaced bins covering the finite `f64` range:
+/// biased exponents 1..=2046 map to bin `exp >> 5` ∈ 0..=63.
+const BINS: usize = 64;
+
+/// Adds safe before a defensive renormalization (see module docs).
+const RENORM_EVERY: u64 = 1 << 40;
+
+/// An exact, order-independent accumulator for `f64` sums.
+#[derive(Debug, Clone)]
+pub struct ExactSum {
+    /// `sum = Σ bins[k] · 2^(32k - 1075)` (bins are signed and may
+    /// temporarily exceed 32 bits — the representation is redundant).
+    bins: Box<[i128; BINS]>,
+    /// Adds since the last renormalization.
+    adds: u64,
+    pos_inf: bool,
+    neg_inf: bool,
+    nan: bool,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExactSum {
+    pub fn new() -> Self {
+        ExactSum {
+            bins: Box::new([0i128; BINS]),
+            adds: 0,
+            pos_inf: false,
+            neg_inf: false,
+            nan: false,
+        }
+    }
+
+    /// Accumulates one value, exactly.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let bits = x.to_bits();
+        let exp = ((bits >> 52) & 0x7FF) as usize;
+        let frac = bits & ((1u64 << 52) - 1);
+        if exp == 0x7FF {
+            // Infinities and NaNs are tracked as flags.
+            if frac != 0 {
+                self.nan = true;
+            } else if bits >> 63 == 0 {
+                self.pos_inf = true;
+            } else {
+                self.neg_inf = true;
+            }
+            return;
+        }
+        // value = mant · 2^(e - 1075), with subnormals folded into e = 1.
+        let (mant, e) = if exp == 0 {
+            (frac, 1)
+        } else {
+            (frac | (1u64 << 52), exp)
+        };
+        if mant == 0 {
+            return; // ±0.0
+        }
+        let shifted = (mant as i128) << (e & 31);
+        let k = e >> 5;
+        if bits >> 63 == 0 {
+            self.bins[k] += shifted;
+        } else {
+            self.bins[k] -= shifted;
+        }
+        self.adds += 1;
+        if self.adds >= RENORM_EVERY {
+            self.renormalize();
+        }
+    }
+
+    /// Folds another accumulator in. Bin-wise integer addition, so the
+    /// merged state equals what a single accumulator fed both value
+    /// streams (in any order) would hold — the property that makes
+    /// parallel partial merges bit-identical to serial execution.
+    pub fn merge(&mut self, other: &ExactSum) {
+        for (a, b) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *a += b;
+        }
+        self.pos_inf |= other.pos_inf;
+        self.neg_inf |= other.neg_inf;
+        self.nan |= other.nan;
+        self.adds += other.adds;
+        if self.adds >= RENORM_EVERY {
+            self.renormalize();
+        }
+    }
+
+    /// Carries every bin into `[0, 2^32)` digits (top bin keeps the
+    /// overflow; it has > 40 bits of headroom above `f64::MAX`).
+    fn renormalize(&mut self) {
+        let mut carry: i128 = 0;
+        for bin in self.bins.iter_mut() {
+            let v = *bin + carry;
+            carry = v >> 32;
+            *bin = v - (carry << 32);
+        }
+        self.bins[BINS - 1] += carry << 32;
+        self.adds = 0;
+    }
+
+    /// Rounds the exact sum to the nearest `f64` (ties to even).
+    pub fn finish(&self) -> f64 {
+        if self.nan || (self.pos_inf && self.neg_inf) {
+            return f64::NAN;
+        }
+        if self.pos_inf {
+            return f64::INFINITY;
+        }
+        if self.neg_inf {
+            return f64::NEG_INFINITY;
+        }
+        // Normalize a copy into digits and extract the sign.
+        let mut digits = *self.bins;
+        let mut carry: i128 = 0;
+        for d in digits.iter_mut() {
+            let v = *d + carry;
+            carry = v >> 32;
+            *d = v - (carry << 32);
+        }
+        let mut top_extra = carry; // weight 2^(32·BINS − 1075)
+        let negative = if top_extra < 0 {
+            true
+        } else if top_extra > 0 {
+            false
+        } else {
+            match digits.iter().rposition(|&d| d != 0) {
+                Some(k) => digits[k] < 0,
+                None => return 0.0,
+            }
+        };
+        if negative {
+            top_extra = -top_extra;
+            for d in digits.iter_mut() {
+                *d = -*d;
+            }
+        }
+        // Digits may still be negative (mixed signs); borrow downward
+        // until every digit is in [0, 2^32).
+        let mut borrow: i128 = 0;
+        for d in digits.iter_mut() {
+            let mut v = *d + borrow;
+            borrow = 0;
+            while v < 0 {
+                v += 1i128 << 32;
+                borrow -= 1;
+            }
+            let c = v >> 32;
+            *d = v & 0xFFFF_FFFF;
+            borrow += c;
+        }
+        top_extra += borrow;
+        debug_assert!(top_extra >= 0, "magnitude underflow after sign fix");
+        // Split the top-bin carry into additional high digits: the top
+        // bin legitimately holds values near `f64::MAX` (biased exponents
+        // 2016..=2046 all map to bin 63), so a carry out of it is part of
+        // the magnitude, not automatically an overflow.
+        let mut high = [0i128; 3];
+        for d in high.iter_mut() {
+            *d = top_extra & 0xFFFF_FFFF;
+            top_extra >>= 32;
+        }
+        debug_assert_eq!(top_extra, 0, "carry exceeded high-digit headroom");
+        let all_digits = |k: usize| -> i128 {
+            if k < BINS {
+                digits[k]
+            } else {
+                high[k - BINS]
+            }
+        };
+        // Find the most significant bit across all digits.
+        let msb = match (0..BINS + high.len()).rev().find(|&k| all_digits(k) != 0) {
+            Some(k) => 32 * k as i64 + (127 - all_digits(k).leading_zeros() as i64),
+            None => return if negative { -0.0 } else { 0.0 },
+        };
+        // Gather the 128 bits below (and including) `msb` into a window,
+        // with a sticky low bit for anything beneath — enough for one
+        // correct round-to-nearest-even at any result exponent.
+        let lo_bit = msb - 127;
+        let mut window: u128 = 0;
+        let mut sticky = false;
+        for k in 0..BINS + high.len() {
+            let d = all_digits(k);
+            if d == 0 {
+                continue;
+            }
+            let base = 32 * k as i64; // weight exponent of this digit's LSB
+            if base + 32 <= lo_bit {
+                sticky = true;
+                continue;
+            }
+            let d = d as u128;
+            if base >= lo_bit {
+                window |= d << (base - lo_bit);
+            } else {
+                let cut = (lo_bit - base) as u32; // 1..=31
+                if d & ((1u128 << cut) - 1) != 0 {
+                    sticky = true;
+                }
+                window |= d >> cut;
+            }
+        }
+        if sticky {
+            window |= 1;
+        }
+        // value = window · 2^(lo_bit − 1075); `window as f64` performs the
+        // single round-to-nearest-even, then scaling by a power of two is
+        // exact for normal results.
+        let scale_exp = lo_bit - 1075;
+        let approx = window as f64;
+        let result = scale_by_pow2(approx, scale_exp);
+        if negative {
+            -result
+        } else {
+            result
+        }
+    }
+}
+
+/// `x · 2^e` via exponent arithmetic, in steps that keep every
+/// intermediate within the normal range where the scaling is exact.
+fn scale_by_pow2(mut x: f64, mut e: i64) -> f64 {
+    while e > 0 {
+        let step = e.min(1000);
+        x *= pow2(step);
+        e -= step;
+    }
+    while e < 0 {
+        let step = (-e).min(1000);
+        x /= pow2(step);
+        e += step;
+    }
+    x
+}
+
+/// Exact power of two for 0 ≤ e ≤ 1000.
+fn pow2(e: i64) -> f64 {
+    f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exact(values: &[f64]) -> f64 {
+        let mut s = ExactSum::new();
+        for &v in values {
+            s.add(v);
+        }
+        s.finish()
+    }
+
+    #[test]
+    fn simple_sums_are_exact() {
+        assert_eq!(exact(&[]), 0.0);
+        assert_eq!(exact(&[1.5]), 1.5);
+        assert_eq!(exact(&[0.5, 0.25, 0.25]), 1.0);
+        assert_eq!(
+            exact(&(0..10).map(|i| i as f64 * 0.5).collect::<Vec<_>>()),
+            22.5
+        );
+        assert_eq!(exact(&[1e300, -1e300]), 0.0);
+        assert_eq!(exact(&[-1.0, -2.0, -3.0]), -6.0);
+    }
+
+    #[test]
+    fn cancellation_beyond_f64_precision() {
+        // Naive summation loses the 1.0 entirely; the exact sum keeps it.
+        assert_eq!(exact(&[1e300, 1.0, -1e300]), 1.0);
+        assert_eq!(exact(&[1e16, 1.0, 1.0, -1e16]), 2.0);
+        // Classic error case: 0.1 ten times — exact fixed-point addition
+        // of the *representable* values, rounded once.
+        let point_one = [0.1f64; 10];
+        let expected = {
+            // Reference: integer mantissa arithmetic via i128 in units of
+            // 2^-1075... 0.1's scaled sum still fits comfortably.
+            let m = (0.1f64.to_bits() & ((1 << 52) - 1)) | (1 << 52);
+            let e = ((0.1f64.to_bits() >> 52) & 0x7FF) as i64;
+            // 10·m at exponent e: round to f64 manually via f64 ops on
+            // exact integers (10·m < 2^57 is exactly representable? no —
+            // 57 bits; compare against u128→f64 single rounding instead).
+            let total = (m as u128) * 10;
+            (total as f64) * pow2(e - 1075)
+        };
+        assert_eq!(exact(&point_one), expected);
+    }
+
+    #[test]
+    fn order_and_merge_independence_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(0xEAC5);
+        for case in 0..30 {
+            let n = rng.random_range(1..400);
+            let values: Vec<f64> = (0..n)
+                .map(|_| {
+                    let mag = rng.random_range(-300.0..300.0);
+                    let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                    sign * rng.random_range(0.0..10.0) * 10f64.powf(mag / 10.0)
+                })
+                .collect();
+            let forward = exact(&values);
+            let mut reversed = values.clone();
+            reversed.reverse();
+            assert_eq!(forward.to_bits(), exact(&reversed).to_bits(), "case {case}");
+            // Arbitrary 3-way split merged out of order.
+            let third = values.len().div_ceil(3);
+            let mut a = ExactSum::new();
+            let mut b = ExactSum::new();
+            let mut c = ExactSum::new();
+            for (i, &v) in values.iter().enumerate() {
+                match i / third {
+                    0 => a.add(v),
+                    1 => b.add(v),
+                    _ => c.add(v),
+                }
+            }
+            let mut merged = ExactSum::new();
+            merged.merge(&c);
+            merged.merge(&a);
+            merged.merge(&b);
+            assert_eq!(forward.to_bits(), merged.finish().to_bits(), "case {case}");
+        }
+    }
+
+    #[test]
+    fn matches_integer_reference_for_integral_values() {
+        let mut rng = StdRng::seed_from_u64(0xEAC6);
+        for _ in 0..50 {
+            let values: Vec<f64> = (0..200)
+                .map(|_| rng.random_range(-1_000_000i64..1_000_000) as f64)
+                .collect();
+            let reference: i64 = values.iter().map(|&v| v as i64).sum();
+            assert_eq!(exact(&values), reference as f64);
+        }
+    }
+
+    #[test]
+    fn specials_follow_ieee_conventions() {
+        assert_eq!(exact(&[f64::INFINITY, 1.0]), f64::INFINITY);
+        assert_eq!(exact(&[f64::NEG_INFINITY, 1.0]), f64::NEG_INFINITY);
+        assert!(exact(&[f64::INFINITY, f64::NEG_INFINITY]).is_nan());
+        assert!(exact(&[f64::NAN, 1.0]).is_nan());
+        // Overflowing finite sums saturate like IEEE addition does.
+        assert_eq!(exact(&[f64::MAX, f64::MAX]), f64::INFINITY);
+        assert_eq!(exact(&[f64::MIN, f64::MIN]), f64::NEG_INFINITY);
+        assert_eq!(exact(&[f64::MAX, f64::MAX, -f64::MAX]), f64::MAX);
+    }
+
+    #[test]
+    fn subnormals_accumulate_exactly() {
+        let tiny = f64::from_bits(3); // 3 · 2^-1074
+        assert_eq!(exact(&[tiny; 5]), f64::from_bits(15));
+        assert_eq!(exact(&[tiny, -tiny]), 0.0);
+        assert_eq!(exact(&[f64::MIN_POSITIVE / 2.0; 2]), f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn renormalization_preserves_the_sum() {
+        let mut s = ExactSum::new();
+        for _ in 0..1000 {
+            s.add(1e18);
+            s.add(-1.0);
+        }
+        s.renormalize();
+        assert_eq!(s.finish(), 1e21 - 1000.0);
+        let mut t = ExactSum::new();
+        t.add(1e21 - 1000.0);
+        assert_eq!(s.finish().to_bits(), t.finish().to_bits());
+    }
+
+    #[test]
+    fn rounding_is_to_nearest_even() {
+        // 2^53 + 1 is the first integer not representable: adding 1 to
+        // 2^53 must round back down (ties-to-even), while adding 2 rounds
+        // up to the next representable value.
+        let base = (1u64 << 53) as f64;
+        assert_eq!(exact(&[base, 1.0]), base);
+        assert_eq!(exact(&[base, 2.0]), base + 2.0);
+        // 2^53 + 1 + an epsilon must round UP (sticky bit breaks the tie).
+        assert_eq!(exact(&[base, 1.0, f64::MIN_POSITIVE]), base + 2.0);
+    }
+}

@@ -19,12 +19,14 @@
 //! `data_ns`. See `scan_store_batched` for how this relates to the row
 //! path's in-sink predicate evaluation.
 
+use crate::exactsum::ExactSum;
 use crate::kernel::{BatchAggregator, CompiledPredicate};
 use crate::plan::{AccessPath, AggFunc, QueryPlan, TablePlan};
 use recache_layout::{ColumnBatch, ColumnStore, DremelStore, RowStore, ScanCost, BATCH_ROWS};
 use recache_types::{Error, Result, Value};
 use std::collections::HashMap;
 use std::time::Instant;
+use workpool::ThreadPool;
 
 /// Execution knobs.
 #[derive(Debug, Clone, Copy)]
@@ -33,12 +35,66 @@ pub struct ExecOptions {
     /// Disabled, every access path runs row-at-a-time — kept for
     /// benchmarking and for the vectorized/row equivalence suite.
     pub vectorized: bool,
+    /// Threads driving vectorized cache-store scans: batch chunks are
+    /// share-nothing, so they are split into contiguous task ranges
+    /// executed on the shared work-stealing pool and merged in fixed
+    /// task order. `0` (the default) means all available parallelism;
+    /// `1` reproduces single-threaded execution exactly. Results are
+    /// bit-identical at every thread count (sums accumulate through
+    /// [`ExactSum`], extremes/ids merge in row order).
+    pub threads: usize,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { vectorized: true }
+        ExecOptions {
+            vectorized: true,
+            threads: 0,
+        }
     }
+}
+
+impl ExecOptions {
+    /// The thread count this configuration resolves to (`0` ⇒ machine
+    /// parallelism).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            workpool::available_parallelism()
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Contiguous task ranges per parallel scan: a few tasks per thread so
+/// range stealing can rebalance skew without shrinking batches.
+const TASKS_PER_THREAD: usize = 4;
+
+/// Splits `n_chunks` batch chunks into at most `threads ·
+/// TASKS_PER_THREAD` contiguous, near-even `(lo, hi)` ranges. Pure
+/// function of its inputs, so the task decomposition — and with it every
+/// merge order — is deterministic for a fixed thread count.
+fn task_ranges(n_chunks: usize, threads: usize) -> Vec<(usize, usize)> {
+    // `threads = 1` gets exactly one task: a single uninterrupted
+    // `scan_batches_range` over the whole grid, i.e. the serial scan.
+    let n_tasks = if threads <= 1 {
+        1
+    } else {
+        n_chunks
+            .min(threads.saturating_mul(TASKS_PER_THREAD))
+            .max(1)
+    };
+    let base = n_chunks / n_tasks;
+    let extra = n_chunks % n_tasks;
+    let mut lo = 0usize;
+    (0..n_tasks)
+        .map(|t| {
+            let len = base + usize::from(t < extra);
+            let range = (lo, lo + len);
+            lo += len;
+            range
+        })
+        .collect()
 }
 
 /// What kind of access path served a table, after the fact.
@@ -146,26 +202,62 @@ fn execute_single(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput
     let mut satisfying: Option<Vec<u32>> = table.collect_satisfying.then(Vec::new);
     let mut rows_out = 0usize;
 
-    // Vectorized fast path: cache store + (absent or compilable) predicate.
+    // Vectorized fast path: cache store + (absent or compilable)
+    // predicate. One sink body serves every thread count: the scan
+    // yields per-task sinks (a single inline task at `threads = 1`),
+    // merged in task (= row) order.
     if let Some((store, pred)) = batchable(table, options) {
-        let mut aggs: Vec<BatchAggregator> = plan
-            .aggregates
-            .iter()
-            .map(|a| BatchAggregator::new(a.func))
-            .collect();
         let want_ids = satisfying.is_some();
+        let threads = options.effective_threads();
+        struct TaskSink {
+            aggs: Vec<BatchAggregator>,
+            rows_out: usize,
+            ids: Option<Vec<u32>>,
+        }
         let t0 = Instant::now();
-        let scan = scan_store_batched(store, table, pred.as_ref(), want_ids, &mut |batch, sel| {
-            rows_out += sel.len();
-            if let Some(ids) = satisfying.as_mut() {
-                for &i in sel.as_slice() {
-                    ids.push(batch.record_ids[i as usize]);
+        let (scan, sinks) = scan_store_batched(
+            store,
+            table,
+            pred.as_ref(),
+            want_ids,
+            threads,
+            || TaskSink {
+                aggs: plan
+                    .aggregates
+                    .iter()
+                    .map(|a| BatchAggregator::new(a.func))
+                    .collect(),
+                rows_out: 0,
+                ids: want_ids.then(Vec::new),
+            },
+            |sink, batch, sel| {
+                sink.rows_out += sel.len();
+                if let Some(ids) = sink.ids.as_mut() {
+                    for &i in sel.as_slice() {
+                        ids.push(batch.record_ids[i as usize]);
+                    }
+                }
+                for (state, slot) in sink.aggs.iter_mut().zip(&agg_slots) {
+                    state.update(slot.map(|s| &batch.columns[s]), sel);
+                }
+            },
+        );
+        let mut merged: Option<Vec<BatchAggregator>> = None;
+        for sink in sinks {
+            rows_out += sink.rows_out;
+            if let (Some(all), Some(part)) = (satisfying.as_mut(), sink.ids) {
+                all.extend(part);
+            }
+            match merged.as_mut() {
+                None => merged = Some(sink.aggs),
+                Some(base) => {
+                    for (into, part) in base.iter_mut().zip(sink.aggs) {
+                        into.merge(part);
+                    }
                 }
             }
-            for (state, slot) in aggs.iter_mut().zip(&agg_slots) {
-                state.update(slot.map(|s| &batch.columns[s]), sel);
-            }
-        });
+        }
+        let aggs = merged.unwrap_or_default();
         let exec_ns = t0.elapsed().as_nanos() as u64;
         let values: Vec<Value> = aggs.into_iter().map(BatchAggregator::finish).collect();
         let stats = ExecStats {
@@ -224,22 +316,41 @@ fn execute_join(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> 
     // Scan all tables.
     let mut table_rows: Vec<Vec<Vec<Value>>> = Vec::with_capacity(plan.tables.len());
     let mut stats_list: Vec<TableStats> = Vec::with_capacity(plan.tables.len());
+    let threads = options.effective_threads();
     for table in &plan.tables {
         let mut rows: Vec<Vec<Value>> = Vec::new();
         let mut satisfying: Option<Vec<u32>> = table.collect_satisfying.then(Vec::new);
         let t0 = Instant::now();
         let scan = if let Some((store, pred)) = batchable(table, options) {
             let want_ids = satisfying.is_some();
-            scan_store_batched(store, table, pred.as_ref(), want_ids, &mut |batch, sel| {
-                rows.reserve(sel.len());
-                for &i in sel.as_slice() {
-                    let i = i as usize;
-                    rows.push(batch.columns.iter().map(|c| c.value(i)).collect());
-                    if let Some(ids) = satisfying.as_mut() {
-                        ids.push(batch.record_ids[i]);
+            // Per-task row buffers, concatenated in task (= row) order,
+            // so the materialized table is identical at every thread
+            // count (a single inline task at `threads = 1`).
+            let (scan, sinks) = scan_store_batched(
+                store,
+                table,
+                pred.as_ref(),
+                want_ids,
+                threads,
+                || (Vec::<Vec<Value>>::new(), want_ids.then(Vec::<u32>::new)),
+                |(rows, ids), batch, sel| {
+                    rows.reserve(sel.len());
+                    for &i in sel.as_slice() {
+                        let i = i as usize;
+                        rows.push(batch.columns.iter().map(|c| c.value(i)).collect());
+                        if let Some(ids) = ids.as_mut() {
+                            ids.push(batch.record_ids[i]);
+                        }
                     }
+                },
+            );
+            for (part_rows, part_ids) in sinks {
+                rows.extend(part_rows);
+                if let (Some(all), Some(part)) = (satisfying.as_mut(), part_ids) {
+                    all.extend(part);
                 }
-            })
+            }
+            scan
         } else {
             scan_table(table, &mut |record_id, row| {
                 rows.push(row.to_vec());
@@ -293,13 +404,9 @@ fn execute_join(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> 
         if joined_tables.contains(&build_table) {
             return Err(Error::plan("join would re-join an already joined table"));
         }
-        // Build a hash map over the new table.
-        let mut map: HashMap<JoinKey, Vec<usize>> = HashMap::new();
-        for (i, row) in table_rows[build_table].iter().enumerate() {
-            if let Some(key) = join_key(&row[build_slot]) {
-                map.entry(key).or_default().push(i);
-            }
-        }
+        // Build a hash map over the new table (partitioned across the
+        // pool for large builds).
+        let map = build_join_map(&table_rows[build_table], build_slot, threads);
         // Probe with the joined prefix.
         let probe_offset = offsets[probe_table] + probe_slot;
         let build_offset = offsets[build_table];
@@ -394,21 +501,51 @@ impl StoreRef<'_> {
         }
     }
 
-    fn scan_batches(
+    /// Size of the store's batch-chunk grid for this scan shape (the unit
+    /// the parallel executor partitions into task ranges).
+    fn batch_chunks(&self, projection: &[usize], record_level: bool) -> usize {
+        match self {
+            StoreRef::Columnar(s) => s.batch_chunks(projection, record_level),
+            StoreRef::Dremel(s) => s.batch_chunks(projection, record_level),
+            StoreRef::Row(s) => s.batch_chunks(projection, record_level),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn scan_batches_range(
         &self,
         projection: &[usize],
         record_level: bool,
         want_record_ids: bool,
+        chunk_lo: usize,
+        chunk_hi: usize,
         on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut recache_layout::SelectionVector),
     ) -> ScanCost {
         match self {
-            StoreRef::Columnar(s) => {
-                s.scan_batches(projection, record_level, want_record_ids, on_batch)
-            }
-            StoreRef::Dremel(s) => {
-                s.scan_batches(projection, record_level, want_record_ids, on_batch)
-            }
-            StoreRef::Row(s) => s.scan_batches(projection, record_level, want_record_ids, on_batch),
+            StoreRef::Columnar(s) => s.scan_batches_range(
+                projection,
+                record_level,
+                want_record_ids,
+                chunk_lo,
+                chunk_hi,
+                on_batch,
+            ),
+            StoreRef::Dremel(s) => s.scan_batches_range(
+                projection,
+                record_level,
+                want_record_ids,
+                chunk_lo,
+                chunk_hi,
+                on_batch,
+            ),
+            StoreRef::Row(s) => s.scan_batches_range(
+                projection,
+                record_level,
+                want_record_ids,
+                chunk_lo,
+                chunk_hi,
+                on_batch,
+            ),
         }
     }
 }
@@ -437,54 +574,80 @@ fn batchable<'a>(
     Some((store, pred))
 }
 
-/// Vectorized store scan: runs predicate kernels on each batch, then
-/// hands the surviving selection to `consume` (aggregation or join-side
-/// materialization). `want_record_ids` materializes per-row source ids
-/// (only needed when collecting satisfying ids — skipping it keeps the
-/// columnar mask walk a pure bitmask loop).
+/// Vectorized store scan, the one entry point for every thread count:
+/// the store's batch-chunk grid is split into contiguous task ranges
+/// ([`task_ranges`] — a single range at `threads = 1`, which the pool
+/// runs inline on the caller), each task runs predicate kernels and
+/// feeds the surviving selection to `consume` against its own sink
+/// (`make()`), and the per-task sinks are returned **in task order** —
+/// ascending row position — for the caller to merge. `want_record_ids`
+/// materializes per-row source ids (only needed when collecting
+/// satisfying ids — skipping it keeps the columnar mask walk a pure
+/// bitmask loop).
 ///
 /// Attribution: kernel time is charged to compute `C`, consumer gather
-/// time to data `D`. Note the row path cannot split these — it evaluates
-/// the predicate inside the store's gather loop, so its `data_ns`
-/// includes predicate time. Vectorized `C` is therefore a slight
-/// superset of the row path's (predicate moved from `D` to `C`), which
-/// matches the cost model's definition of `C` as "everything that is not
-/// a plain value load"; the session layer additionally collapses
-/// non-Dremel scans to pure `D` before feeding the layout model, so the
-/// shift is only visible where assembly already dominates.
-fn scan_store_batched(
+/// time to data `D`. The row path cannot split these — it evaluates the
+/// predicate inside the store's gather loop, so its `data_ns` includes
+/// predicate time; vectorized `C` is therefore a slight superset of the
+/// row path's, matching the cost model's definition of `C` as
+/// "everything that is not a plain value load". D/C phase timings
+/// accumulate per worker and are summed on merge, so the cost model
+/// sees total CPU work (`exec_ns` wall time still reflects the parallel
+/// speedup; the `D`/`C` split prices the work itself, which parallelism
+/// redistributes but does not shrink).
+fn scan_store_batched<T: Send>(
     store: StoreRef<'_>,
     table: &TablePlan,
     pred: Option<&CompiledPredicate>,
     want_record_ids: bool,
-    consume: &mut dyn FnMut(&ColumnBatch<'_>, &recache_layout::SelectionVector),
-) -> ScanOutcome {
-    let mut kernel_ns = 0u64;
-    let mut gather_ns = 0u64;
-    let mut cost = store.scan_batches(
-        &table.accessed,
-        table.record_level,
-        want_record_ids,
-        &mut |batch, sel| {
-            if let Some(pred) = pred {
-                let t0 = Instant::now();
-                pred.filter(&batch.columns, sel);
-                kernel_ns += t0.elapsed().as_nanos() as u64;
-            }
-            let t1 = Instant::now();
-            consume(batch, sel);
-            gather_ns += t1.elapsed().as_nanos() as u64;
-        },
-    );
-    cost.compute_ns += kernel_ns;
-    cost.data_ns += gather_ns;
-    ScanOutcome {
-        access: store.access_kind(),
-        rows_scanned: cost.rows_visited,
-        records_scanned: store.record_count(),
-        flattened_rows: Some(store.flattened_rows()),
-        cache_scan: Some(cost),
+    threads: usize,
+    make: impl Fn() -> T + Sync,
+    consume: impl Fn(&mut T, &ColumnBatch<'_>, &recache_layout::SelectionVector) + Sync,
+) -> (ScanOutcome, Vec<T>) {
+    let n_chunks = store.batch_chunks(&table.accessed, table.record_level);
+    let ranges = task_ranges(n_chunks, threads);
+    let tasks = ThreadPool::global().map_index(ranges.len(), threads, |t| {
+        let (lo, hi) = ranges[t];
+        let mut sink = make();
+        let mut kernel_ns = 0u64;
+        let mut gather_ns = 0u64;
+        let mut cost = store.scan_batches_range(
+            &table.accessed,
+            table.record_level,
+            want_record_ids,
+            lo,
+            hi,
+            &mut |batch, sel| {
+                if let Some(pred) = pred {
+                    let t0 = Instant::now();
+                    pred.filter(&batch.columns, sel);
+                    kernel_ns += t0.elapsed().as_nanos() as u64;
+                }
+                let t1 = Instant::now();
+                consume(&mut sink, batch, sel);
+                gather_ns += t1.elapsed().as_nanos() as u64;
+            },
+        );
+        cost.compute_ns += kernel_ns;
+        cost.data_ns += gather_ns;
+        (cost, sink)
+    });
+    let mut cost = ScanCost::default();
+    let mut sinks = Vec::with_capacity(tasks.len());
+    for (task_cost, sink) in tasks {
+        cost.add(&task_cost);
+        sinks.push(sink);
     }
+    (
+        ScanOutcome {
+            access: store.access_kind(),
+            rows_scanned: cost.rows_visited,
+            records_scanned: store.record_count(),
+            flattened_rows: Some(store.flattened_rows()),
+            cache_scan: Some(cost),
+        },
+        sinks,
+    )
 }
 
 /// Runs one table's scan + filter row-at-a-time, pushing the source
@@ -611,6 +774,46 @@ fn leaf_bitmap(width: usize, accessed: &[usize]) -> Vec<bool> {
     out
 }
 
+/// Rows below which a join build stays single-threaded (hashing a few
+/// thousand rows is cheaper than a pool dispatch).
+const PARALLEL_BUILD_MIN_ROWS: usize = 2 * BATCH_ROWS;
+
+/// Hash-join build: maps each key to the ascending row indices holding
+/// it. Large builds hash contiguous row partitions on the pool and merge
+/// the partition maps in partition order, so every key's index list —
+/// and therefore the probe output order — is identical to a serial
+/// build's.
+fn build_join_map(
+    rows: &[Vec<Value>],
+    slot: usize,
+    threads: usize,
+) -> HashMap<JoinKey, Vec<usize>> {
+    let hash_partition = |lo: usize, hi: usize| {
+        let mut map: HashMap<JoinKey, Vec<usize>> = HashMap::new();
+        for (i, row) in rows[lo..hi].iter().enumerate() {
+            if let Some(key) = join_key(&row[slot]) {
+                map.entry(key).or_default().push(lo + i);
+            }
+        }
+        map
+    };
+    if threads <= 1 || rows.len() < PARALLEL_BUILD_MIN_ROWS {
+        return hash_partition(0, rows.len());
+    }
+    let ranges = task_ranges(rows.len(), threads);
+    let partitions = ThreadPool::global().map_index(ranges.len(), threads, |p| {
+        let (lo, hi) = ranges[p];
+        hash_partition(lo, hi)
+    });
+    let mut merged: HashMap<JoinKey, Vec<usize>> = HashMap::new();
+    for partition in partitions {
+        for (key, indices) in partition {
+            merged.entry(key).or_default().extend(indices);
+        }
+    }
+    merged
+}
+
 /// Hashable join key with Int/Float normalization.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum JoinKey {
@@ -632,11 +835,13 @@ fn join_key(value: &Value) -> Option<JoinKey> {
     }
 }
 
-/// Streaming aggregate state.
+/// Streaming aggregate state. Sums go through [`ExactSum`] so the result
+/// is independent of accumulation order — the property that lets the
+/// vectorized and parallel paths match this one bit for bit.
 struct AggState {
     func: AggFunc,
     count: u64,
-    sum: f64,
+    sum: ExactSum,
     min: Option<Value>,
     max: Option<Value>,
 }
@@ -646,7 +851,7 @@ impl AggState {
         AggState {
             func,
             count: 0,
-            sum: 0.0,
+            sum: ExactSum::new(),
             min: None,
             max: None,
         }
@@ -661,7 +866,7 @@ impl AggState {
         match self.func {
             AggFunc::Count => {}
             AggFunc::Sum | AggFunc::Avg => {
-                self.sum += value.as_f64().unwrap_or(0.0);
+                self.sum.add(value.as_f64().unwrap_or(0.0));
             }
             AggFunc::Min => {
                 if self.min.as_ref().is_none_or(|m| value.cmp_sql(m).is_lt()) {
@@ -684,12 +889,12 @@ impl AggState {
     fn finish(self) -> Value {
         match self.func {
             AggFunc::Count => Value::Int(self.count as i64),
-            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Sum => Value::Float(self.sum.finish()),
             AggFunc::Avg => {
                 if self.count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(self.sum / self.count as f64)
+                    Value::Float(self.sum.finish() / self.count as f64)
                 }
             }
             AggFunc::Min => self.min.unwrap_or(Value::Null),
@@ -1025,6 +1230,162 @@ mod tests {
         assert_eq!(out.values[0], Value::Float(6.0 + 7.0 + 8.0));
         assert_eq!(out.stats.tables[0].access, AccessKind::CacheOffsets);
         assert_eq!(out.stats.tables[0].records_scanned, 4);
+    }
+
+    use recache_layout::ColumnStore;
+
+    /// Builds a columnar store large enough to span many batch chunks.
+    fn big_columnar() -> Arc<ColumnStore> {
+        let schema = Schema::new(vec![
+            Field::required("k", DataType::Int),
+            Field::required("v", DataType::Float),
+        ]);
+        let records: Vec<Value> = (0..30_000)
+            .map(|i| {
+                Value::Struct(vec![
+                    Value::Int(i % 1000),
+                    Value::Float((i as f64) * 0.3 - 4000.0),
+                ])
+            })
+            .collect();
+        Arc::new(ColumnStore::build(&schema, records.iter()))
+    }
+
+    #[test]
+    fn parallel_single_table_matches_serial_bitwise() {
+        let store = big_columnar();
+        let plan = QueryPlan {
+            tables: vec![TablePlan {
+                name: "t".into(),
+                access: AccessPath::Columnar(store),
+                accessed: vec![0, 1],
+                predicate: Some(Expr::cmp(0, CmpOp::Lt, 700i64)),
+                record_level: true,
+                collect_satisfying: true,
+            }],
+            joins: vec![],
+            aggregates: [
+                AggFunc::Count,
+                AggFunc::Sum,
+                AggFunc::Avg,
+                AggFunc::Min,
+                AggFunc::Max,
+            ]
+            .into_iter()
+            .map(|func| AggSpec {
+                table: 0,
+                slot: Some(1),
+                func,
+            })
+            .collect(),
+        };
+        let serial = execute_with(
+            &plan,
+            &ExecOptions {
+                vectorized: true,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = execute_with(
+                &plan,
+                &ExecOptions {
+                    vectorized: true,
+                    threads,
+                },
+            )
+            .unwrap();
+            assert_eq!(parallel.values, serial.values, "threads {threads}");
+            assert_eq!(parallel.rows_aggregated, serial.rows_aggregated);
+            assert_eq!(
+                parallel.stats.tables[0].satisfying, serial.stats.tables[0].satisfying,
+                "satisfying ids must merge in row order (threads {threads})"
+            );
+            let cost = parallel.stats.tables[0].cache_scan.unwrap();
+            assert_eq!(
+                cost.rows_visited,
+                serial.stats.tables[0].cache_scan.unwrap().rows_visited,
+                "per-worker rows_visited must sum to the full scan"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_join_matches_serial() {
+        let store = big_columnar();
+        let plan = QueryPlan {
+            tables: vec![
+                TablePlan {
+                    name: "a".into(),
+                    access: AccessPath::Columnar(Arc::clone(&store)),
+                    accessed: vec![0, 1],
+                    predicate: Some(Expr::cmp(0, CmpOp::Lt, 40i64)),
+                    record_level: true,
+                    collect_satisfying: false,
+                },
+                TablePlan {
+                    name: "b".into(),
+                    access: AccessPath::Columnar(store),
+                    accessed: vec![0, 1],
+                    predicate: Some(Expr::cmp(0, CmpOp::Lt, 20i64)),
+                    record_level: true,
+                    collect_satisfying: false,
+                },
+            ],
+            joins: vec![JoinSpec {
+                left_table: 0,
+                left_slot: 0,
+                right_table: 1,
+                right_slot: 0,
+            }],
+            aggregates: vec![
+                AggSpec {
+                    table: 0,
+                    slot: None,
+                    func: AggFunc::Count,
+                },
+                AggSpec {
+                    table: 1,
+                    slot: Some(1),
+                    func: AggFunc::Sum,
+                },
+            ],
+        };
+        let serial = execute_with(
+            &plan,
+            &ExecOptions {
+                vectorized: true,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        let parallel = execute_with(
+            &plan,
+            &ExecOptions {
+                vectorized: true,
+                threads: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(parallel.values, serial.values);
+        assert_eq!(parallel.rows_aggregated, serial.rows_aggregated);
+    }
+
+    #[test]
+    fn task_ranges_partition_the_chunk_grid() {
+        for (n_chunks, threads) in [(1usize, 4usize), (7, 2), (64, 4), (100, 3), (5, 16)] {
+            let ranges = task_ranges(n_chunks, threads);
+            assert!(ranges.len() <= n_chunks.max(1));
+            assert!(ranges.len() <= threads * TASKS_PER_THREAD);
+            let mut next = 0usize;
+            for &(lo, hi) in &ranges {
+                assert_eq!(lo, next, "ranges must be contiguous");
+                assert!(hi >= lo);
+                next = hi;
+            }
+            assert_eq!(next, n_chunks, "ranges must cover the grid");
+        }
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! sums, `cmp_sql` extremes, SQL null skipping) are identical to the row
 //! path, so both paths produce bit-identical `QueryOutput`s.
 
+use crate::exactsum::ExactSum;
 use crate::expr::{flip, CmpOp, Expr};
 use crate::plan::AggFunc;
 use recache_layout::{BatchColumn, BatchValues, SelectionVector};
@@ -185,11 +186,16 @@ impl Extreme {
 
 /// Batch aggregate state — the vectorized mirror of the executor's
 /// streaming `AggState`, with identical finish semantics.
+///
+/// Sums accumulate through [`ExactSum`], so partial aggregators produced
+/// by parallel workers [`merge`](BatchAggregator::merge) into exactly the
+/// state a single sequential pass would have built — `SUM`/`AVG` results
+/// are bit-identical across thread counts and task decompositions.
 #[derive(Debug)]
 pub struct BatchAggregator {
     func: AggFunc,
     count: u64,
-    sum: f64,
+    sum: ExactSum,
     extreme: Extreme,
 }
 
@@ -198,8 +204,37 @@ impl BatchAggregator {
         BatchAggregator {
             func,
             count: 0,
-            sum: 0.0,
+            sum: ExactSum::new(),
             extreme: Extreme::None,
+        }
+    }
+
+    /// Folds a partial aggregator over *later* rows into this one. The
+    /// fixed merge order (task/chunk order — ascending row position) is
+    /// what keeps MIN/MAX tie-breaking identical to the sequential
+    /// first-seen rule; sums and counts are order-independent.
+    pub fn merge(&mut self, other: BatchAggregator) {
+        self.count += other.count;
+        self.sum.merge(&other.sum);
+        let target = match self.func {
+            AggFunc::Min => Ordering::Less,
+            AggFunc::Max => Ordering::Greater,
+            _ => return,
+        };
+        let replace = match (&self.extreme, &other.extreme) {
+            (_, Extreme::None) => false,
+            (Extreme::None, _) => true,
+            (Extreme::Int(cur), Extreme::Int(v)) => v.cmp(cur) == target,
+            (Extreme::Float(cur), Extreme::Float(v)) => {
+                v.partial_cmp(cur).unwrap_or(Ordering::Equal) == target
+            }
+            (Extreme::Bool(cur), Extreme::Bool(v)) => v.cmp(cur) == target,
+            (Extreme::Str(cur), Extreme::Str(v)) => v.cmp(cur) == target,
+            // Typed columns never mix extreme variants; keep first-seen.
+            _ => false,
+        };
+        if replace {
+            self.extreme = other.extreme;
         }
     }
 
@@ -225,7 +260,7 @@ impl BatchAggregator {
                     let r = r as usize;
                     if col.is_valid(r) {
                         self.count += 1;
-                        self.sum += vals[r] as f64;
+                        self.sum.add(vals[r] as f64);
                     }
                 }
             }
@@ -234,7 +269,7 @@ impl BatchAggregator {
                     let r = r as usize;
                     if col.is_valid(r) {
                         self.count += 1;
-                        self.sum += vals[r];
+                        self.sum.add(vals[r]);
                     }
                 }
             }
@@ -243,7 +278,7 @@ impl BatchAggregator {
                     let r = r as usize;
                     if col.is_valid(r) {
                         self.count += 1;
-                        self.sum += f64::from(u8::from(vals[r]));
+                        self.sum.add(f64::from(u8::from(vals[r])));
                     }
                 }
             }
@@ -334,12 +369,12 @@ impl BatchAggregator {
     pub fn finish(self) -> Value {
         match self.func {
             AggFunc::Count => Value::Int(self.count as i64),
-            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Sum => Value::Float(self.sum.finish()),
             AggFunc::Avg => {
                 if self.count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(self.sum / self.count as f64)
+                    Value::Float(self.sum.finish() / self.count as f64)
                 }
             }
             AggFunc::Min | AggFunc::Max => self.extreme.into_value(),

@@ -49,6 +49,7 @@
 //!   non-Dremel scans to pure `D` before feeding layout histories, so
 //!   the shift only surfaces where assembly already dominates.
 
+pub mod exactsum;
 pub mod exec;
 pub mod expr;
 pub mod kernel;
@@ -56,6 +57,7 @@ pub mod plan;
 pub mod profiler;
 pub mod sql;
 
+pub use exactsum::ExactSum;
 pub use exec::{
     execute, execute_with, AccessKind, ExecOptions, ExecStats, QueryOutput, TableStats,
 };

@@ -180,6 +180,15 @@ impl ColumnStore {
         cost
     }
 
+    /// Number of fixed [`BATCH_ROWS`] windows a batched scan emits — the
+    /// chunk grid the parallel executor partitions into ranges. The
+    /// arguments are unused here (flattened stores chunk by row slot
+    /// regardless of projection) but keep the signature uniform across
+    /// the three store types.
+    pub fn batch_chunks(&self, _projection: &[usize], _record_level: bool) -> usize {
+        self.row_count().div_ceil(BATCH_ROWS)
+    }
+
     /// Vectorized scan: yields [`ColumnBatch`]es of borrowed typed column
     /// views over up to [`BATCH_ROWS`] contiguous flattened rows, with the
     /// mask-navigation selection pre-seeded. Zero values are copied — the
@@ -202,8 +211,33 @@ impl ColumnStore {
         want_record_ids: bool,
         on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
     ) -> ScanCost {
+        let chunks = self.batch_chunks(projection, record_level);
+        self.scan_batches_range(
+            projection,
+            record_level,
+            want_record_ids,
+            0,
+            chunks,
+            on_batch,
+        )
+    }
+
+    /// [`ColumnStore::scan_batches`] restricted to batch chunks
+    /// `[chunk_lo, chunk_hi)` of the [`ColumnStore::batch_chunks`] grid.
+    /// Chunks are share-nothing (each covers its own row window), so
+    /// disjoint ranges may be scanned concurrently from different
+    /// threads; a full-range call is bit-identical to `scan_batches`.
+    pub fn scan_batches_range(
+        &self,
+        projection: &[usize],
+        record_level: bool,
+        want_record_ids: bool,
+        chunk_lo: usize,
+        chunk_hi: usize,
+        on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
+    ) -> ScanCost {
         let mut cost = ScanCost::default();
-        let total = self.row_count();
+        let total = self.row_count().min(chunk_hi.saturating_mul(BATCH_ROWS));
         let skip_dims = if record_level {
             u64::MAX
         } else {
@@ -215,8 +249,12 @@ impl ColumnStore {
             .collect();
         let mut selection = SelectionVector::new();
         let mut record_ids: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
-        let mut rec = 0usize;
-        let mut start = 0usize;
+        let mut start = chunk_lo.saturating_mul(BATCH_ROWS);
+        // Record containing the first row of the range.
+        let mut rec = self
+            .record_rows
+            .partition_point(|&r| (r as usize) <= start)
+            .saturating_sub(1);
         while start < total {
             let end = (start + BATCH_ROWS).min(total);
             // Phase C: mask navigation seeds the selection; record-id
@@ -454,6 +492,65 @@ mod tests {
         store.scan_batches(&[0, 1], true, true, &mut |batch, _| {
             assert_eq!(batch.record_ids.len(), batch.len);
         });
+    }
+
+    #[test]
+    fn range_scan_concatenation_matches_full_scan() {
+        // Enough records to span several batches (3 rows per record).
+        let schema = schema();
+        let records: Vec<Value> = (0..5000)
+            .map(|i| {
+                Value::Struct(vec![
+                    Value::Int(i),
+                    Value::Float(i as f64),
+                    Value::List(
+                        (0..2)
+                            .map(|j| Value::Struct(vec![Value::Int(i * 10 + j)]))
+                            .collect(),
+                    ),
+                ])
+            })
+            .collect();
+        let mut store = ColumnStore::build(&schema, records.iter());
+        store.set_source_record_ids((0..5000u32).map(|i| i * 2).collect());
+        let chunks = store.batch_chunks(&[0, 2], false);
+        assert!(chunks > 2, "need a multi-chunk store, got {chunks}");
+        for record_level in [false, true] {
+            let projection = if record_level { vec![0, 1] } else { vec![0, 2] };
+            let mut expected = Vec::new();
+            store.scan_batches(&projection, record_level, true, &mut |batch, sel| {
+                for &i in sel.as_slice() {
+                    let i = i as usize;
+                    let row: Vec<Value> = batch.columns.iter().map(|c| c.value(i)).collect();
+                    expected.push((batch.record_ids[i], row));
+                }
+            });
+            // Split the chunk grid at several boundaries; concatenation
+            // of disjoint ranges must reproduce the full scan exactly.
+            let mut got = Vec::new();
+            let mut total = ScanCost::default();
+            for (lo, hi) in [(0, 1), (1, chunks / 2), (chunks / 2, chunks)] {
+                let cost = store.scan_batches_range(
+                    &projection,
+                    record_level,
+                    true,
+                    lo,
+                    hi,
+                    &mut |batch, sel| {
+                        for &i in sel.as_slice() {
+                            let i = i as usize;
+                            let row: Vec<Value> =
+                                batch.columns.iter().map(|c| c.value(i)).collect();
+                            got.push((batch.record_ids[i], row));
+                        }
+                    },
+                );
+                total.add(&cost);
+            }
+            assert_eq!(got, expected, "record_level {record_level}");
+            assert_eq!(total.rows, expected.len());
+            assert_eq!(total.rows_visited, store.row_count());
+        }
     }
 
     #[test]

@@ -78,6 +78,12 @@ pub struct DremelStore {
     max_rep: Vec<u16>,
     record_count: usize,
     flattened_rows: usize,
+    /// Per leaf: the column entry index at every [`CHUNK_RECORDS`]
+    /// record boundary (`chunk_starts[leaf][k]` = cursor of record
+    /// `k · CHUNK_RECORDS`), captured during shredding so a range scan
+    /// seeks to its start chunk in O(leaves) instead of replaying the
+    /// level streams.
+    chunk_starts: Vec<Vec<u32>>,
     /// Source-file record ids (`None` ⇒ identity); see
     /// [`crate::ColumnStore::set_source_record_ids`].
     source_ids: Option<Vec<u32>>,
@@ -97,10 +103,16 @@ impl DremelStore {
             })
             .collect();
         let max_rep: Vec<u16> = leaves.iter().map(|l| l.max_rep).collect();
+        let mut chunk_starts: Vec<Vec<u32>> = vec![Vec::new(); columns.len()];
         let mut record_count = 0usize;
         let mut flattened_rows = 0usize;
         let mut shape_buf = Vec::new();
         for record in records {
+            if record_count.is_multiple_of(CHUNK_RECORDS) {
+                for (leaf, col) in columns.iter().enumerate() {
+                    chunk_starts[leaf].push(col.len() as u32);
+                }
+            }
             shred_struct(schema.fields(), record, 0, 0, 0, 0, &mut columns);
             record_count += 1;
             shape_buf.clear();
@@ -114,6 +126,7 @@ impl DremelStore {
             max_rep,
             record_count,
             flattened_rows,
+            chunk_starts,
             source_ids: None,
         }
     }
@@ -156,6 +169,7 @@ impl DremelStore {
             .map(DremelColumn::byte_size)
             .sum::<usize>()
             + self.max_rep.len() * 2
+            + self.chunk_starts.iter().map(|s| s.len() * 4).sum::<usize>()
     }
 
     /// Column access for tests.
@@ -213,6 +227,56 @@ impl DremelStore {
         cost
     }
 
+    /// Assembles records `[rec, chunk_end)` through the level streams
+    /// into flattened *placeholder* index rows (each cell the column
+    /// entry index to gather, `Null` where nothing was projected), plus —
+    /// when `want_ids` — the source record id of every row. One shared
+    /// helper behind both the row-at-a-time and vectorized assembled
+    /// scans, so the chunked assembly loop cannot drift between them.
+    fn assemble_chunk(
+        &self,
+        accessed: &[bool],
+        cursors: &mut [usize],
+        rec: usize,
+        chunk_end: usize,
+        want_ids: bool,
+    ) -> (Vec<Vec<Value>>, Vec<u32>) {
+        let mut index_rows: Vec<Vec<Value>> = Vec::new();
+        let mut row_recs: Vec<u32> = Vec::new();
+        for r in rec..chunk_end {
+            let placeholder =
+                assemble_struct(self, self.schema.fields(), 0, 0, 0, accessed, cursors);
+            index_rows.extend(flatten_record_projected(
+                &self.schema,
+                &placeholder,
+                accessed,
+            ));
+            if want_ids {
+                row_recs.resize(index_rows.len(), self.source_id(r));
+            }
+        }
+        (index_rows, row_recs)
+    }
+
+    /// Per-leaf cursor positions at the start of record `start_rec`,
+    /// which must sit on a [`CHUNK_RECORDS`] boundary — an O(leaves)
+    /// lookup into the `chunk_starts` index captured at build time.
+    /// This is what lets an assembled range scan begin mid-store without
+    /// replaying the level streams, so parallel tasks do no duplicated
+    /// decode work.
+    fn cursors_at(&self, start_rec: usize) -> Vec<usize> {
+        debug_assert_eq!(
+            start_rec % CHUNK_RECORDS,
+            0,
+            "assembled ranges start on chunk boundaries"
+        );
+        let chunk = start_rec / CHUNK_RECORDS;
+        self.chunk_starts
+            .iter()
+            .map(|starts| starts.get(chunk).map_or(0, |&c| c as usize))
+            .collect()
+    }
+
     /// Level-driven record assembly producing flattened rows.
     fn scan_assembled(
         &self,
@@ -234,18 +298,8 @@ impl DremelStore {
             // Phase C: assemble placeholder records and flatten them into
             // index rows (level decoding, branching, replication).
             let t0 = Instant::now();
-            let mut index_rows: Vec<Vec<Value>> = Vec::new();
-            let mut row_recs: Vec<u32> = Vec::new();
-            for r in rec..chunk_end {
-                let placeholder =
-                    assemble_struct(self, self.schema.fields(), 0, 0, 0, &accessed, &mut cursors);
-                index_rows.extend(flatten_record_projected(
-                    &self.schema,
-                    &placeholder,
-                    &accessed,
-                ));
-                row_recs.resize(index_rows.len(), self.source_id(r));
-            }
+            let (index_rows, row_recs) =
+                self.assemble_chunk(&accessed, &mut cursors, rec, chunk_end, true);
             let compute = t0.elapsed();
             // Phase D: gather actual values by entry index.
             let t1 = Instant::now();
@@ -270,6 +324,25 @@ impl DremelStore {
         cost
     }
 
+    /// Whether a scan with this shape reads the short columns directly
+    /// (one entry per record) instead of assembling records.
+    fn short_column_path(&self, projection: &[usize], record_level: bool) -> bool {
+        record_level && projection.iter().all(|&l| self.max_rep[l] == 0)
+    }
+
+    /// Number of chunks a batched scan emits: [`BATCH_ROWS`] records per
+    /// chunk on the short-column path, [`CHUNK_RECORDS`] records per
+    /// chunk when records must be assembled (the pre-existing timed-scan
+    /// granularity in both cases).
+    pub fn batch_chunks(&self, projection: &[usize], record_level: bool) -> usize {
+        let per_chunk = if self.short_column_path(projection, record_level) {
+            BATCH_ROWS
+        } else {
+            CHUNK_RECORDS
+        };
+        self.record_count.div_ceil(per_chunk)
+    }
+
     /// Vectorized scan.
     ///
     /// Record-level scans over non-repeated leaves yield *borrowed* short
@@ -286,10 +359,43 @@ impl DremelStore {
         want_record_ids: bool,
         on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
     ) -> ScanCost {
-        if record_level && projection.iter().all(|&l| self.max_rep[l] == 0) {
-            return self.scan_batches_record_level(projection, want_record_ids, on_batch);
+        let chunks = self.batch_chunks(projection, record_level);
+        self.scan_batches_range(
+            projection,
+            record_level,
+            want_record_ids,
+            0,
+            chunks,
+            on_batch,
+        )
+    }
+
+    /// [`DremelStore::scan_batches`] restricted to batch chunks
+    /// `[chunk_lo, chunk_hi)` of the [`DremelStore::batch_chunks`] grid.
+    /// Chunks cover disjoint record ranges; an assembled-path range
+    /// first positions the level-stream cursors at its start record
+    /// ([`DremelStore::cursors_at`]), so disjoint ranges may be scanned
+    /// concurrently and a full-range call is bit-identical to
+    /// `scan_batches`.
+    pub fn scan_batches_range(
+        &self,
+        projection: &[usize],
+        record_level: bool,
+        want_record_ids: bool,
+        chunk_lo: usize,
+        chunk_hi: usize,
+        on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
+    ) -> ScanCost {
+        if self.short_column_path(projection, record_level) {
+            return self.scan_batches_record_level(
+                projection,
+                want_record_ids,
+                chunk_lo,
+                chunk_hi,
+                on_batch,
+            );
         }
-        self.scan_batches_assembled(projection, want_record_ids, on_batch)
+        self.scan_batches_assembled(projection, want_record_ids, chunk_lo, chunk_hi, on_batch)
     }
 
     /// Borrowed short-column batches (the "4x fewer rows" fast path).
@@ -297,17 +403,19 @@ impl DremelStore {
         &self,
         projection: &[usize],
         want_record_ids: bool,
+        chunk_lo: usize,
+        chunk_hi: usize,
         on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
     ) -> ScanCost {
         let mut cost = ScanCost::default();
-        let total = self.record_count;
+        let total = self.record_count.min(chunk_hi.saturating_mul(BATCH_ROWS));
         let all_valid: Vec<bool> = projection
             .iter()
             .map(|&leaf| self.columns[leaf].valid.all_set())
             .collect();
         let mut selection = SelectionVector::new();
         let mut record_ids: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
-        let mut start = 0usize;
+        let mut start = chunk_lo.saturating_mul(BATCH_ROWS);
         while start < total {
             let end = (start + BATCH_ROWS).min(total);
             let t0 = Instant::now();
@@ -347,6 +455,8 @@ impl DremelStore {
         &self,
         projection: &[usize],
         want_record_ids: bool,
+        chunk_lo: usize,
+        chunk_hi: usize,
         on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
     ) -> ScanCost {
         let n_leaves = self.columns.len();
@@ -359,27 +469,21 @@ impl DremelStore {
         let mut scratch =
             BatchScratch::for_projection(projection.iter().map(|&l| leaves[l].scalar_type));
         let mut cost = ScanCost::default();
-        let mut cursors = vec![0usize; n_leaves];
+        let total = self
+            .record_count
+            .min(chunk_hi.saturating_mul(CHUNK_RECORDS));
+        let mut rec = chunk_lo.saturating_mul(CHUNK_RECORDS);
+        if rec >= total {
+            return cost;
+        }
+        let mut cursors = self.cursors_at(rec);
         let mut selection = SelectionVector::new();
-        let mut rec = 0usize;
-        while rec < self.record_count {
-            let chunk_end = (rec + CHUNK_RECORDS).min(self.record_count);
+        while rec < total {
+            let chunk_end = (rec + CHUNK_RECORDS).min(total);
             // Phase C: record assembly through the level streams.
             let t0 = Instant::now();
-            let mut index_rows: Vec<Vec<Value>> = Vec::new();
-            let mut row_recs: Vec<u32> = Vec::new();
-            for r in rec..chunk_end {
-                let placeholder =
-                    assemble_struct(self, self.schema.fields(), 0, 0, 0, &accessed, &mut cursors);
-                index_rows.extend(flatten_record_projected(
-                    &self.schema,
-                    &placeholder,
-                    &accessed,
-                ));
-                if want_record_ids {
-                    row_recs.resize(index_rows.len(), self.source_id(r));
-                }
-            }
+            let (index_rows, row_recs) =
+                self.assemble_chunk(&accessed, &mut cursors, rec, chunk_end, want_record_ids);
             let compute = t0.elapsed();
             // Phase D: typed gather of the referenced column entries.
             let t1 = Instant::now();
@@ -869,6 +973,74 @@ mod tests {
         // Record-level scans over short columns report zero compute.
         let cost = store.scan(&[0, 1], true, &mut |_, _| {});
         assert_eq!(cost.compute_ns, 0);
+    }
+
+    #[test]
+    fn range_scan_concatenation_matches_full_scan() {
+        // Spans several assembly chunks (CHUNK_RECORDS = 256) and, on the
+        // short-column path, several BATCH_ROWS windows.
+        let schema = order_schema();
+        let records: Vec<Value> = (0..10_000)
+            .map(|i| {
+                let items = if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::List(
+                        (0..(i % 4))
+                            .map(|j| {
+                                Value::Struct(vec![
+                                    Value::Int(i * 10 + j),
+                                    if j % 2 == 0 {
+                                        Value::Str(format!("t{j}"))
+                                    } else {
+                                        Value::Null
+                                    },
+                                ])
+                            })
+                            .collect(),
+                    )
+                };
+                Value::Struct(vec![Value::Int(i), Value::Float(i as f64), items])
+            })
+            .collect();
+        let mut store = DremelStore::build(&schema, records.iter());
+        store.set_source_record_ids((0..10_000u32).map(|i| i + 100).collect());
+        for (projection, record_level) in [(vec![0usize, 2, 3], false), (vec![0, 1], true)] {
+            let chunks = store.batch_chunks(&projection, record_level);
+            assert!(chunks > 2, "need a multi-chunk store, got {chunks}");
+            let mut expected = Vec::new();
+            store.scan_batches(&projection, record_level, true, &mut |batch, sel| {
+                for &i in sel.as_slice() {
+                    let i = i as usize;
+                    let row: Vec<Value> = batch.columns.iter().map(|c| c.value(i)).collect();
+                    expected.push((batch.record_ids[i], row));
+                }
+            });
+            let mut got = Vec::new();
+            for (lo, hi) in [(0, 1), (1, chunks / 2), (chunks / 2, chunks)] {
+                store.scan_batches_range(
+                    &projection,
+                    record_level,
+                    true,
+                    lo,
+                    hi,
+                    &mut |batch, sel| {
+                        for &i in sel.as_slice() {
+                            let i = i as usize;
+                            let row: Vec<Value> =
+                                batch.columns.iter().map(|c| c.value(i)).collect();
+                            got.push((batch.record_ids[i], row));
+                        }
+                    },
+                );
+            }
+            assert_eq!(
+                got.len(),
+                expected.len(),
+                "projection {projection:?} record_level {record_level}"
+            );
+            assert_eq!(got, expected, "projection {projection:?}");
+        }
     }
 
     #[test]

@@ -189,6 +189,12 @@ impl RowStore {
         cost
     }
 
+    /// Number of fixed [`BATCH_ROWS`] windows a batched scan emits (see
+    /// [`crate::ColumnStore::batch_chunks`]).
+    pub fn batch_chunks(&self, _projection: &[usize], _record_level: bool) -> usize {
+        self.row_count().div_ceil(BATCH_ROWS)
+    }
+
     /// Vectorized scan. Row layouts cannot expose borrowed column views —
     /// tuples are packed — so each batch *gathers* the mask-surviving rows
     /// into reusable typed scratch columns (full-tuple byte walk, data
@@ -202,8 +208,32 @@ impl RowStore {
         want_record_ids: bool,
         on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
     ) -> ScanCost {
+        let chunks = self.batch_chunks(projection, record_level);
+        self.scan_batches_range(
+            projection,
+            record_level,
+            want_record_ids,
+            0,
+            chunks,
+            on_batch,
+        )
+    }
+
+    /// [`RowStore::scan_batches`] restricted to batch chunks
+    /// `[chunk_lo, chunk_hi)`; chunks are share-nothing, so disjoint
+    /// ranges may run concurrently (see
+    /// [`crate::ColumnStore::scan_batches_range`]).
+    pub fn scan_batches_range(
+        &self,
+        projection: &[usize],
+        record_level: bool,
+        want_record_ids: bool,
+        chunk_lo: usize,
+        chunk_hi: usize,
+        on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
+    ) -> ScanCost {
         let mut cost = ScanCost::default();
-        let total = self.row_count();
+        let total = self.row_count().min(chunk_hi.saturating_mul(BATCH_ROWS));
         let skip_dims = if record_level {
             u64::MAX
         } else {
@@ -218,8 +248,11 @@ impl RowStore {
         }
         let mut selection = SelectionVector::new();
         let mut selected: Vec<u32> = Vec::with_capacity(BATCH_ROWS);
-        let mut rec = 0usize;
-        let mut start = 0usize;
+        let mut start = chunk_lo.saturating_mul(BATCH_ROWS);
+        let mut rec = self
+            .record_rows
+            .partition_point(|&r| (r as usize) <= start)
+            .saturating_sub(1);
         while start < total {
             let end = (start + BATCH_ROWS).min(total);
             // Phase C: mask walk.
@@ -477,6 +510,43 @@ mod tests {
             assert!(batch.columns[0].is_valid(0));
             assert!(!batch.columns[0].is_valid(2));
         });
+    }
+
+    #[test]
+    fn range_scan_concatenation_matches_full_scan() {
+        let schema = schema();
+        let records: Vec<Value> = (0..9000)
+            .map(|i| {
+                Value::Struct(vec![
+                    Value::Int(i),
+                    Value::Str(format!("s{i}")),
+                    Value::List(vec![Value::Float(i as f64 * 0.5)]),
+                ])
+            })
+            .collect();
+        let mut store = RowStore::build(&schema, records.iter());
+        store.set_source_record_ids((0..9000u32).collect());
+        let chunks = store.batch_chunks(&[0, 1, 2], false);
+        assert!(chunks > 1, "need a multi-chunk store, got {chunks}");
+        let mut expected = Vec::new();
+        store.scan_batches(&[2, 1], false, true, &mut |batch, sel| {
+            for &i in sel.as_slice() {
+                let i = i as usize;
+                let row: Vec<Value> = batch.columns.iter().map(|c| c.value(i)).collect();
+                expected.push((batch.record_ids[i], row));
+            }
+        });
+        let mut got = Vec::new();
+        for (lo, hi) in [(0, chunks / 2), (chunks / 2, chunks)] {
+            store.scan_batches_range(&[2, 1], false, true, lo, hi, &mut |batch, sel| {
+                for &i in sel.as_slice() {
+                    let i = i as usize;
+                    let row: Vec<Value> = batch.columns.iter().map(|c| c.value(i)).collect();
+                    got.push((batch.record_ids[i], row));
+                }
+            });
+        }
+        assert_eq!(got, expected);
     }
 
     #[test]

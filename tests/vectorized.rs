@@ -1,10 +1,14 @@
-//! Vectorized ↔ row-at-a-time equivalence.
+//! Vectorized ↔ row-at-a-time equivalence, across a thread matrix.
 //!
 //! Whatever the execution mode — typed batch kernels or per-row
-//! `Expr::eval_bool` — `QueryOutput.values` and `rows_aggregated` must be
-//! identical across all four cache layouts plus raw access, on flat
-//! TPC-H, nested TPC-H, Yelp-style, spam-generator, and NULL-heavy data,
-//! for record-level and element-level scans.
+//! `Expr::eval_bool`, single-threaded or fanned out across the work
+//! pool — `QueryOutput.values` and `rows_aggregated` must be
+//! *bit-identical* across all four cache layouts plus raw access, on
+//! flat TPC-H, nested TPC-H, Yelp-style, spam-generator, and NULL-heavy
+//! data, for record-level and element-level scans. The suite runs at
+//! `threads ∈ {1, 2, 8}`; exact summation (`ExactSum`) plus fixed-order
+//! partial merges are what make float aggregates independent of the
+//! parallel task decomposition.
 
 use recache::data::gen::{spam, tpch, yelp};
 use recache::data::{csv, json, FileFormat, RawFile};
@@ -15,8 +19,17 @@ use recache::layout::{ColumnStore, DremelStore, OffsetStore, RowStore};
 use recache::types::{DataType, Field, FieldPath, Schema, Value};
 use std::sync::Arc;
 
-const ROW: ExecOptions = ExecOptions { vectorized: false };
-const VECTORIZED: ExecOptions = ExecOptions { vectorized: true };
+const ROW: ExecOptions = ExecOptions {
+    vectorized: false,
+    threads: 1,
+};
+
+const fn vectorized(threads: usize) -> ExecOptions {
+    ExecOptions {
+        vectorized: true,
+        threads,
+    }
+}
 
 struct Dataset {
     name: &'static str,
@@ -210,6 +223,21 @@ fn plan_for(access: AccessPath, query: &(Vec<usize>, Option<Expr>, bool)) -> Que
 
 #[test]
 fn vectorized_equals_row_across_layouts_and_datasets() {
+    equivalence_suite(1);
+}
+
+#[test]
+fn parallel_2_threads_equals_row_across_layouts_and_datasets() {
+    equivalence_suite(2);
+}
+
+#[test]
+fn parallel_8_threads_equals_row_across_layouts_and_datasets() {
+    equivalence_suite(8);
+}
+
+fn equivalence_suite(threads: usize) {
+    let options = vectorized(threads);
     for ds in datasets() {
         let bytes = match ds.format {
             FileFormat::Csv => csv::write_csv(&ds.schema, &flat_rows(&ds.records)),
@@ -246,8 +274,11 @@ fn vectorized_equals_row_across_layouts_and_datasets() {
             for (path_name, access) in accesses {
                 let plan = plan_for(access, query);
                 let row_out = execute_with(&plan, &ROW).unwrap();
-                let vec_out = execute_with(&plan, &VECTORIZED).unwrap();
-                let ctx = format!("dataset {} query {qi} path {path_name}", ds.name);
+                let vec_out = execute_with(&plan, &options).unwrap();
+                let ctx = format!(
+                    "dataset {} query {qi} path {path_name} threads {threads}",
+                    ds.name
+                );
                 assert_eq!(
                     row_out.values, vec_out.values,
                     "{ctx}: vectorized values diverged from row-at-a-time"
@@ -290,7 +321,11 @@ fn vectorized_cache_scans_report_nondegenerate_cost_split() {
         false,
     );
 
-    let out = execute_with(&plan_for(AccessPath::Dremel(dremel), &query), &VECTORIZED).unwrap();
+    let out = execute_with(
+        &plan_for(AccessPath::Dremel(dremel), &query),
+        &vectorized(1),
+    )
+    .unwrap();
     let cost = out.stats.tables[0].cache_scan.expect("cache scan cost");
     assert!(
         cost.compute_ns > 0,
@@ -301,7 +336,7 @@ fn vectorized_cache_scans_report_nondegenerate_cost_split() {
 
     let out = execute_with(
         &plan_for(AccessPath::Columnar(columnar), &query),
-        &VECTORIZED,
+        &vectorized(1),
     )
     .unwrap();
     let cost = out.stats.tables[0].cache_scan.expect("cache scan cost");
@@ -335,7 +370,7 @@ fn satisfying_ids_from_cache_scans_are_source_record_ids() {
         ("dremel", AccessPath::Dremel(Arc::new(dremel))),
         ("row", AccessPath::Row(Arc::new(row))),
     ] {
-        for options in [&ROW, &VECTORIZED] {
+        for options in [ROW, vectorized(1), vectorized(4)] {
             let plan = QueryPlan {
                 tables: vec![TablePlan {
                     name: "t".into(),
@@ -352,7 +387,7 @@ fn satisfying_ids_from_cache_scans_are_source_record_ids() {
                     func: AggFunc::Count,
                 }],
             };
-            let out = execute_with(&plan, options).unwrap();
+            let out = execute_with(&plan, &options).unwrap();
             assert_eq!(
                 out.stats.tables[0].satisfying,
                 Some(vec![25, 40, 55]),

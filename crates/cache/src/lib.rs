@@ -28,5 +28,7 @@ pub use eviction::{
     Lfu, LogOptimal, Lru, LruJsonPriority, MonetDbRecycler, VectorwiseRecycler,
 };
 pub use layout_model::{FlatLayoutChoice, LayoutDecision, LayoutHistory, QueryObservation};
-pub use registry::{CacheEntry, CacheRegistry, EntryId, FutureOracle, LeafRange, MatchResult};
-pub use stats::EntryStats;
+pub use registry::{
+    CacheEntry, CacheRegistry, EntryId, EntrySnapshot, FutureOracle, LeafRange, MatchResult,
+};
+pub use stats::{EntryStats, RegistryCounters};

@@ -1,16 +1,45 @@
 //! The cache registry: exact-match + R-tree range subsumption (§3.2–3.3),
 //! statistics upkeep, and capacity enforcement through an eviction policy.
+//!
+//! # Concurrency
+//!
+//! The registry is `Send + Sync` so independent sessions can admit, look
+//! up and evict concurrently. Entries are partitioned into lock-striped
+//! *shards* keyed by the hash of `(source, range_signature)`: an exact
+//! lookup or an admission touches only the entry's home shard, while
+//! subsumption walks the shards one at a time. The logical query clock,
+//! the byte total and the aggregate counters are atomics; the eviction
+//! policy (which is inherently stateful and global) lives behind its own
+//! mutex, which doubles as the eviction serializer.
+//!
+//! ## Locking discipline
+//!
+//! * Shard locks are only ever taken **one at a time** — no operation
+//!   nests one shard lock inside another. Multi-shard walks (subsumption,
+//!   eviction snapshots, diagnostics) visit shards in ascending index
+//!   order, releasing each before the next.
+//! * The policy mutex is never acquired **while a shard lock is held**.
+//!   Operations that need both (reuse bookkeeping, admission) update the
+//!   shard first, release it, then talk to the policy with copied stats.
+//!   Eviction holds the policy mutex across its shard visits (policy →
+//!   shard is the one permitted nesting direction), which also serializes
+//!   concurrent capacity enforcement.
 
 use crate::eviction::{EvictView, EvictionContext, EvictionPolicy};
 use crate::layout_model::LayoutHistory;
-use crate::stats::EntryStats;
+use crate::stats::{AtomicRegistryCounters, EntryStats};
 use recache_data::FileFormat;
-use recache_layout::CacheData;
+use recache_layout::{CacheData, LayoutKind};
 use recache_rtree::{RTree, Rect};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
 use std::time::Instant;
 
 pub use crate::eviction::EntryId;
+pub use crate::stats::RegistryCounters;
 
 /// A closed interval constraint on one leaf of the source schema.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,10 +93,27 @@ pub struct CacheEntry {
     pub history: LayoutHistory,
 }
 
+/// An owned point-in-time copy of one entry's metadata (diagnostics and
+/// experiment output — the sharded registry cannot hand out borrows).
+/// `data` is an `Arc` handle, so snapshotting does not copy cached bytes.
+#[derive(Debug, Clone)]
+pub struct EntrySnapshot {
+    pub id: EntryId,
+    pub source: String,
+    pub format: FileFormat,
+    pub signature: String,
+    pub ranges: Vec<LeafRange>,
+    pub subsumable: bool,
+    pub data: CacheData,
+    pub stats: EntryStats,
+    /// Layout switches performed so far (from the entry's history).
+    pub layout_switches: u32,
+}
+
 /// Oracle interface for the offline eviction algorithms: given an entry
 /// and the current query clock, report the next query index that would
-/// reuse it.
-pub trait FutureOracle: Send {
+/// reuse it. `Sync` because concurrent sessions may trigger evictions.
+pub trait FutureOracle: Send + Sync {
     fn next_use(&self, entry: &CacheEntry, clock: u64) -> Option<u64>;
 }
 
@@ -90,19 +136,9 @@ impl MatchResult {
     }
 }
 
-/// Aggregate registry counters (diagnostics and experiment output).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RegistryCounters {
-    pub admissions: u64,
-    pub evictions: u64,
-    pub bytes_evicted: u64,
-    pub hits_exact: u64,
-    pub hits_subsuming: u64,
-    pub misses: u64,
-}
-
-/// The ReCache cache: entries, indexes, policy, capacity.
-pub struct CacheRegistry {
+/// Entries and indexes of one lock stripe.
+#[derive(Default)]
+struct Shard {
     entries: HashMap<EntryId, CacheEntry>,
     /// (source, signature) → entry, for exact matches.
     by_signature: HashMap<(String, String), EntryId>,
@@ -110,76 +146,159 @@ pub struct CacheRegistry {
     rtrees: HashMap<(String, usize), RTree<1, EntryId>>,
     /// Entries with no range predicate (whole-source caches), per source.
     unconstrained: HashMap<String, Vec<EntryId>>,
-    policy: Box<dyn EvictionPolicy>,
-    oracle: Option<Box<dyn FutureOracle>>,
+}
+
+/// Default shard count. More stripes than any realistic session count so
+/// admissions on distinct signatures rarely contend.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// The ReCache cache: entries, indexes, policy, capacity. See the module
+/// docs for the concurrency design.
+pub struct CacheRegistry {
+    shards: Box<[RwLock<Shard>]>,
+    /// Eviction policy. The mutex also serializes capacity enforcement.
+    policy: Mutex<Box<dyn EvictionPolicy>>,
+    oracle: RwLock<Option<Box<dyn FutureOracle>>>,
     /// `None` = unlimited (the paper's "infinite cache" baseline).
     capacity: Option<usize>,
-    total_bytes: usize,
-    next_id: EntryId,
-    clock: u64,
-    pub counters: RegistryCounters,
+    total_bytes: AtomicUsize,
+    next_seq: AtomicU64,
+    clock: AtomicU64,
+    counters: AtomicRegistryCounters,
 }
 
 impl CacheRegistry {
     pub fn new(policy: Box<dyn EvictionPolicy>, capacity: Option<usize>) -> Self {
+        Self::with_shards(policy, capacity, DEFAULT_SHARDS)
+    }
+
+    /// A registry with an explicit shard count (tests; `1` reproduces a
+    /// single-lock registry).
+    pub fn with_shards(
+        policy: Box<dyn EvictionPolicy>,
+        capacity: Option<usize>,
+        shards: usize,
+    ) -> Self {
+        let shards = shards.max(1);
         CacheRegistry {
-            entries: HashMap::new(),
-            by_signature: HashMap::new(),
-            rtrees: HashMap::new(),
-            unconstrained: HashMap::new(),
-            policy,
-            oracle: None,
+            shards: (0..shards)
+                .map(|_| RwLock::new(Shard::default()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            policy: Mutex::new(policy),
+            oracle: RwLock::new(None),
             capacity,
-            total_bytes: 0,
-            next_id: 1,
-            clock: 0,
-            counters: RegistryCounters::default(),
+            total_bytes: AtomicUsize::new(0),
+            next_seq: AtomicU64::new(1),
+            clock: AtomicU64::new(0),
+            counters: AtomicRegistryCounters::default(),
         }
     }
 
     /// Installs an offline future oracle (required by the offline
     /// eviction baselines).
-    pub fn set_oracle(&mut self, oracle: Box<dyn FutureOracle>) {
-        self.oracle = Some(oracle);
+    pub fn set_oracle(&self, oracle: Box<dyn FutureOracle>) {
+        *self.oracle.write().expect("oracle lock") = Some(oracle);
     }
 
-    /// Advances the logical query clock; call once per query.
-    pub fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+    /// Advances the logical query clock; call once per query. Atomic, so
+    /// admission/reuse decisions stay monotonic across sessions.
+    pub fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     pub fn clock(&self) -> u64 {
-        self.clock
+        self.clock.load(Ordering::Acquire)
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("shard lock").entries.len())
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     pub fn total_bytes(&self) -> usize {
-        self.total_bytes
+        self.total_bytes.load(Ordering::Acquire)
     }
 
     pub fn capacity(&self) -> Option<usize> {
         self.capacity
     }
 
-    pub fn entry(&self, id: EntryId) -> Option<&CacheEntry> {
-        self.entries.get(&id)
+    /// Snapshot of the aggregate counters.
+    pub fn counters(&self) -> RegistryCounters {
+        self.counters.snapshot()
     }
 
-    pub fn entry_mut(&mut self, id: EntryId) -> Option<&mut CacheEntry> {
-        self.entries.get_mut(&id)
+    /// Counts one coalesced admission (a session reused an entry it
+    /// waited for instead of redoing the scan; bumped by the session
+    /// layer's single-flight logic).
+    pub fn note_coalesced(&self) {
+        self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Iterates over all entries (diagnostics).
-    pub fn iter(&self) -> impl Iterator<Item = &CacheEntry> {
-        self.entries.values()
+    /// Home shard of a `(source, signature)` pair.
+    fn shard_index(&self, source: &str, signature: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        source.hash(&mut h);
+        signature.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// Entry ids encode their home shard (`id % shards`), so id-keyed
+    /// operations find the right stripe without a global map.
+    fn shard_of_id(&self, id: EntryId) -> &RwLock<Shard> {
+        &self.shards[(id % self.shards.len() as u64) as usize]
+    }
+
+    /// Runs `f` against the entry under its shard's read lock.
+    pub fn with_entry<R>(&self, id: EntryId, f: impl FnOnce(&CacheEntry) -> R) -> Option<R> {
+        let shard = self.shard_of_id(id).read().expect("shard lock");
+        shard.entries.get(&id).map(f)
+    }
+
+    /// Runs `f` against the entry under its shard's write lock. Do not
+    /// swap `data` here — byte accounting lives in [`Self::replace_data`].
+    pub fn with_entry_mut<R>(
+        &self,
+        id: EntryId,
+        f: impl FnOnce(&mut CacheEntry) -> R,
+    ) -> Option<R> {
+        let mut shard = self.shard_of_id(id).write().expect("shard lock");
+        shard.entries.get_mut(&id).map(f)
+    }
+
+    /// Whether the entry is still resident.
+    pub fn contains(&self, id: EntryId) -> bool {
+        self.with_entry(id, |_| ()).is_some()
+    }
+
+    /// Owned snapshots of every entry, ordered by id (diagnostics).
+    pub fn snapshot(&self) -> Vec<EntrySnapshot> {
+        let mut out = Vec::new();
+        for lock in self.shards.iter() {
+            let shard = lock.read().expect("shard lock");
+            for e in shard.entries.values() {
+                out.push(EntrySnapshot {
+                    id: e.id,
+                    source: e.source.clone(),
+                    format: e.format,
+                    signature: e.signature.clone(),
+                    ranges: e.ranges.clone(),
+                    subsumable: e.subsumable,
+                    data: e.data.clone(),
+                    stats: e.stats.clone(),
+                    layout_switches: e.history.switches,
+                });
+            }
+        }
+        out.sort_by_key(|e| e.id);
+        out
     }
 
     /// True when a cached item from this source is resident *and has been
@@ -188,16 +307,36 @@ impl CacheRegistry {
     /// make the overhead threshold bind only on each file's very first
     /// query.
     pub fn source_in_working_set(&self, source: &str) -> bool {
-        self.entries
-            .values()
-            .any(|e| e.source == source && e.stats.n > 0)
+        self.shards.iter().any(|lock| {
+            lock.read()
+                .expect("shard lock")
+                .entries
+                .values()
+                .any(|e| e.source == source && e.stats.n > 0)
+        })
     }
 
     /// Looks up a match for a query over `source`: exact by `signature`,
     /// then subsumption over the query's conjunctive `ranges`. Returns
     /// the match and the measured lookup time `l` in nanoseconds.
     pub fn lookup(
-        &mut self,
+        &self,
+        source: &str,
+        signature: &str,
+        ranges: &[LeafRange],
+    ) -> (MatchResult, u64) {
+        let result = self.lookup_uncounted(source, signature, ranges);
+        self.count_lookup(&result.0);
+        result
+    }
+
+    /// [`Self::lookup`] without bumping the hit/miss counters. The
+    /// single-flight retry loop probes the cache repeatedly for one
+    /// logical table access; it counts the *final* outcome exactly once
+    /// via [`Self::count_lookup`], so coalescing never inflates the
+    /// hit-rate statistics.
+    pub fn lookup_uncounted(
+        &self,
         source: &str,
         signature: &str,
         ranges: &[LeafRange],
@@ -205,52 +344,68 @@ impl CacheRegistry {
         let t0 = Instant::now();
         let result = self.lookup_inner(source, signature, ranges);
         let lookup_ns = t0.elapsed().as_nanos() as u64;
-        match result {
-            MatchResult::Exact(_) => self.counters.hits_exact += 1,
-            MatchResult::Subsuming(_) => self.counters.hits_subsuming += 1,
-            MatchResult::Miss => self.counters.misses += 1,
-        }
         (result, lookup_ns)
     }
 
-    fn lookup_inner(&self, source: &str, signature: &str, ranges: &[LeafRange]) -> MatchResult {
-        // 1. Exact signature match.
-        if let Some(&id) = self
-            .by_signature
-            .get(&(source.to_owned(), signature.to_owned()))
-        {
-            return MatchResult::Exact(id);
-        }
-        // 2. Subsumption: gather candidates from the per-leaf interval
-        //    indexes, verify each candidate's full predicate is weaker.
-        let mut best: Option<(usize, EntryId)> = None;
-        let mut consider = |id: EntryId, entries: &HashMap<EntryId, CacheEntry>| {
-            let entry = &entries[&id];
-            let covers = entry
-                .ranges
-                .iter()
-                .all(|er| ranges.iter().any(|qr| er.covers(qr)));
-            if covers {
-                let cost_proxy = entry.data.flattened_rows();
-                if best.is_none_or(|(c, _)| cost_proxy < c) {
-                    best = Some((cost_proxy, id));
-                }
-            }
+    /// Counts one lookup outcome in the aggregate counters.
+    pub fn count_lookup(&self, result: &MatchResult) {
+        let counter = match result {
+            MatchResult::Exact(_) => &self.counters.hits_exact,
+            MatchResult::Subsuming(_) => &self.counters.hits_subsuming,
+            MatchResult::Miss => &self.counters.misses,
         };
-        for qr in ranges {
-            if let Some(tree) = self.rtrees.get(&(source.to_owned(), qr.leaf)) {
-                let query = Rect::new([qr.lo], [qr.hi]);
-                let mut ids = Vec::new();
-                tree.covering(&query, &mut |_, id| ids.push(*id));
-                for id in ids {
-                    consider(id, &self.entries);
-                }
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn lookup_inner(&self, source: &str, signature: &str, ranges: &[LeafRange]) -> MatchResult {
+        // 1. Exact signature match: only the home shard can hold it.
+        let exact_key = (source.to_owned(), signature.to_owned());
+        {
+            let home = self.shards[self.shard_index(source, signature)]
+                .read()
+                .expect("shard lock");
+            if let Some(&id) = home.by_signature.get(&exact_key) {
+                return MatchResult::Exact(id);
             }
         }
-        // 3. Whole-source caches subsume everything on the source.
-        if let Some(ids) = self.unconstrained.get(source) {
-            for &id in ids {
-                consider(id, &self.entries);
+        // 2. Subsumption: candidates live anywhere, so walk the shards
+        //    (one read lock at a time, ascending order), gathering ids
+        //    from the per-leaf interval indexes and whole-source lists,
+        //    then verify each candidate's full predicate is weaker.
+        //    Owned index keys are built once, outside the shard walk —
+        //    this sits on the measured-lookup hot path.
+        let range_keys: Vec<(String, usize)> = ranges
+            .iter()
+            .map(|qr| (source.to_owned(), qr.leaf))
+            .collect();
+        let mut best: Option<(usize, EntryId)> = None;
+        for lock in self.shards.iter() {
+            let shard = lock.read().expect("shard lock");
+            let mut candidates: Vec<EntryId> = Vec::new();
+            for (qr, key) in ranges.iter().zip(&range_keys) {
+                if let Some(tree) = shard.rtrees.get(key) {
+                    let query = Rect::new([qr.lo], [qr.hi]);
+                    tree.covering(&query, &mut |_, id| candidates.push(*id));
+                }
+            }
+            // 3. Whole-source caches subsume everything on the source.
+            if let Some(ids) = shard.unconstrained.get(source) {
+                candidates.extend_from_slice(ids);
+            }
+            for id in candidates {
+                let Some(entry) = shard.entries.get(&id) else {
+                    continue;
+                };
+                let covers = entry
+                    .ranges
+                    .iter()
+                    .all(|er| ranges.iter().any(|qr| er.covers(qr)));
+                if covers {
+                    let cost_proxy = entry.data.flattened_rows();
+                    if best.is_none_or(|(c, _)| cost_proxy < c) {
+                        best = Some((cost_proxy, id));
+                    }
+                }
             }
         }
         match best {
@@ -260,12 +415,22 @@ impl CacheRegistry {
     }
 
     /// Records a reuse of `id`: scan time `s`, lookup time `l`.
-    pub fn record_reuse(&mut self, id: EntryId, scan_ns: u64, lookup_ns: u64) {
-        let clock = self.clock;
-        if let Some(entry) = self.entries.get_mut(&id) {
+    pub fn record_reuse(&self, id: EntryId, scan_ns: u64, lookup_ns: u64) {
+        let clock = self.clock();
+        // Update under the shard lock, then notify the policy with copied
+        // stats (the policy mutex is never taken while a shard is held).
+        let stats = {
+            let mut shard = self.shard_of_id(id).write().expect("shard lock");
+            let Some(entry) = shard.entries.get_mut(&id) else {
+                return;
+            };
             entry.stats.record_reuse(scan_ns, lookup_ns, clock);
-            self.policy.on_access(id, &entry.stats);
-        }
+            entry.stats.clone()
+        };
+        self.policy
+            .lock()
+            .expect("policy lock")
+            .on_access(id, &stats);
     }
 
     /// Admits a new entry (then enforces capacity, which may evict it
@@ -273,9 +438,14 @@ impl CacheRegistry {
     ///
     /// `subsumable` must be false when the predicate has clauses beyond
     /// the conjunctive ranges (the entry then only serves exact matches).
+    ///
+    /// If an entry with the same `(source, signature)` was admitted
+    /// concurrently (a single-flight race that slipped through), the
+    /// existing entry wins and its id is returned — `by_signature` stays
+    /// a bijection and no orphan entry leaks into the range indexes.
     #[allow(clippy::too_many_arguments)]
     pub fn admit(
-        &mut self,
+        &self,
         source: &str,
         format: FileFormat,
         signature: String,
@@ -286,9 +456,11 @@ impl CacheRegistry {
         c_ns: u64,
         lookup_ns: u64,
     ) -> EntryId {
-        let id = self.next_id;
-        self.next_id += 1;
+        let shard_idx = self.shard_index(source, &signature);
+        let id = self.next_seq.fetch_add(1, Ordering::Relaxed) * self.shards.len() as u64
+            + shard_idx as u64;
         let bytes = data.byte_size();
+        let clock = self.clock();
         let stats = EntryStats {
             n: 0,
             t_ns,
@@ -296,10 +468,16 @@ impl CacheRegistry {
             s_ns: 0,
             l_ns: lookup_ns,
             bytes,
-            last_access: self.clock,
+            last_access: clock,
             access_count: 1,
-            created_at: self.clock,
+            created_at: clock,
         };
+        // Tag the policy before the entry becomes visible: a concurrent
+        // eviction round must find the admission tag in place.
+        self.policy
+            .lock()
+            .expect("policy lock")
+            .on_admit(id, &stats);
         let entry = CacheEntry {
             id,
             source: source.to_owned(),
@@ -311,119 +489,232 @@ impl CacheRegistry {
             stats,
             history: LayoutHistory::new(),
         };
-        // Index.
-        self.by_signature.insert((source.to_owned(), signature), id);
-        if subsumable {
-            if entry.ranges.is_empty() {
-                self.unconstrained
-                    .entry(source.to_owned())
-                    .or_default()
-                    .push(id);
+        let lost_race = {
+            let mut shard = self.shards[shard_idx].write().expect("shard lock");
+            let key = (source.to_owned(), signature);
+            if let Some(&existing) = shard.by_signature.get(&key) {
+                Some(existing)
             } else {
-                for r in &entry.ranges {
-                    self.rtrees
-                        .entry((source.to_owned(), r.leaf))
-                        .or_default()
-                        .insert(Rect::new([r.lo], [r.hi]), id);
+                shard.by_signature.insert(key, id);
+                if entry.subsumable {
+                    if entry.ranges.is_empty() {
+                        shard
+                            .unconstrained
+                            .entry(source.to_owned())
+                            .or_default()
+                            .push(id);
+                    } else {
+                        for r in &entry.ranges {
+                            shard
+                                .rtrees
+                                .entry((source.to_owned(), r.leaf))
+                                .or_default()
+                                .insert(Rect::new([r.lo], [r.hi]), id);
+                        }
+                    }
                 }
+                shard.entries.insert(id, entry);
+                // Account the bytes while the entry's shard is still
+                // locked: an entry is visible to eviction if and only if
+                // its bytes are in the total (a remover needs this same
+                // lock, so it can never subtract unaccounted bytes and
+                // wrap the counter).
+                self.total_bytes.fetch_add(bytes, Ordering::AcqRel);
+                None
             }
+        };
+        if let Some(existing) = lost_race {
+            // Retract the policy tag; the duplicate data is dropped.
+            self.policy.lock().expect("policy lock").on_remove(id);
+            return existing;
         }
-        self.policy.on_admit(id, &entry.stats);
-        self.total_bytes += bytes;
-        self.counters.admissions += 1;
-        self.entries.insert(id, entry);
+        self.counters.admissions.fetch_add(1, Ordering::Relaxed);
         self.enforce_capacity();
         id
     }
 
     /// Replaces an entry's data (layout switch or lazy→eager upgrade),
     /// optionally adding the transformation cost into `c`.
-    pub fn replace_data(&mut self, id: EntryId, data: CacheData, extra_c_ns: u64) {
-        let Some(entry) = self.entries.get_mut(&id) else {
-            return;
-        };
-        let old_bytes = entry.stats.bytes;
-        let new_bytes = data.byte_size();
-        entry.data = data;
-        entry.stats.bytes = new_bytes;
-        entry.stats.c_ns += extra_c_ns;
-        self.total_bytes = self.total_bytes - old_bytes + new_bytes;
-        self.enforce_capacity();
+    pub fn replace_data(&self, id: EntryId, data: CacheData, extra_c_ns: u64) {
+        self.replace_data_if(id, None, data, extra_c_ns);
     }
 
-    /// Removes an entry outright.
-    pub fn remove(&mut self, id: EntryId) {
-        let Some(entry) = self.entries.remove(&id) else {
-            return;
-        };
-        self.total_bytes -= entry.stats.bytes;
-        self.by_signature
-            .remove(&(entry.source.clone(), entry.signature.clone()));
-        if entry.subsumable {
-            if entry.ranges.is_empty() {
-                if let Some(ids) = self.unconstrained.get_mut(&entry.source) {
-                    ids.retain(|&x| x != id);
-                }
+    /// [`Self::replace_data`] guarded on the entry's current layout: the
+    /// swap only happens when the layout still matches `expected` (a
+    /// concurrent switch/upgrade otherwise wins and the new data is
+    /// dropped). Returns whether the swap was installed.
+    pub fn replace_data_if(
+        &self,
+        id: EntryId,
+        expected: Option<LayoutKind>,
+        data: CacheData,
+        extra_c_ns: u64,
+    ) -> bool {
+        {
+            let mut shard = self.shard_of_id(id).write().expect("shard lock");
+            let Some(entry) = shard.entries.get_mut(&id) else {
+                return false;
+            };
+            if expected.is_some_and(|kind| entry.data.layout() != kind) {
+                return false;
+            }
+            let old_bytes = entry.stats.bytes;
+            let new_bytes = data.byte_size();
+            entry.data = data;
+            entry.stats.bytes = new_bytes;
+            entry.stats.c_ns += extra_c_ns;
+            // Adjust the total before releasing the shard (same
+            // visible-iff-accounted invariant as `admit`).
+            if new_bytes >= old_bytes {
+                self.total_bytes
+                    .fetch_add(new_bytes - old_bytes, Ordering::AcqRel);
             } else {
-                for r in &entry.ranges {
-                    if let Some(tree) = self.rtrees.get_mut(&(entry.source.clone(), r.leaf)) {
-                        tree.remove(&Rect::new([r.lo], [r.hi]), &id);
+                self.total_bytes
+                    .fetch_sub(old_bytes - new_bytes, Ordering::AcqRel);
+            }
+        }
+        self.enforce_capacity();
+        true
+    }
+
+    /// Removes an entry outright. Returns whether it was resident.
+    pub fn remove(&self, id: EntryId) -> bool {
+        if self.remove_inner(id).is_some() {
+            self.policy.lock().expect("policy lock").on_remove(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// De-indexes and drops the entry under its shard lock, adjusting the
+    /// byte total. No policy callback — callers holding (or not holding)
+    /// the policy mutex handle that themselves. Returns the freed bytes.
+    fn remove_inner(&self, id: EntryId) -> Option<usize> {
+        let bytes = {
+            let mut shard = self.shard_of_id(id).write().expect("shard lock");
+            let entry = shard.entries.remove(&id)?;
+            shard
+                .by_signature
+                .remove(&(entry.source.clone(), entry.signature.clone()));
+            if entry.subsumable {
+                if entry.ranges.is_empty() {
+                    if let Some(ids) = shard.unconstrained.get_mut(&entry.source) {
+                        ids.retain(|&x| x != id);
+                    }
+                } else {
+                    for r in &entry.ranges {
+                        if let Some(tree) = shard.rtrees.get_mut(&(entry.source.clone(), r.leaf)) {
+                            tree.remove(&Rect::new([r.lo], [r.hi]), &id);
+                        }
                     }
                 }
             }
-        }
-        self.policy.on_remove(id);
+            // Subtract before releasing the shard (visible iff
+            // accounted, as in `admit`).
+            let bytes = entry.stats.bytes;
+            self.total_bytes.fetch_sub(bytes, Ordering::AcqRel);
+            bytes
+        };
+        Some(bytes)
     }
 
-    /// Evicts until `total_bytes <= capacity`.
-    fn enforce_capacity(&mut self) {
+    /// Evicts until `total_bytes <= capacity`. One evictor runs at a time
+    /// (the policy mutex); admissions racing past the limit re-enter here
+    /// and queue on the same mutex, so the budget holds at quiescence and
+    /// every admission returns with the cache at or under capacity as of
+    /// its own enforcement pass.
+    fn enforce_capacity(&self) {
         let Some(capacity) = self.capacity else {
             return;
         };
-        while self.total_bytes > capacity && !self.entries.is_empty() {
-            let need = self.total_bytes - capacity;
-            let views: Vec<EvictView<'_>> = self
-                .entries
-                .values()
-                .map(|e| EvictView {
-                    id: e.id,
-                    stats: &e.stats,
-                    format: e.format,
-                    source: &e.source,
-                    next_use: self.oracle.as_ref().and_then(|o| o.next_use(e, self.clock)),
+        if self.total_bytes() <= capacity {
+            return;
+        }
+        let mut policy = self.policy.lock().expect("policy lock");
+        loop {
+            let total = self.total_bytes();
+            if total <= capacity {
+                return;
+            }
+            let need = total - capacity;
+            let clock = self.clock();
+            let oracle = self.oracle.read().expect("oracle lock");
+            // Per-shard candidate snapshot: owned copies, gathered one
+            // shard at a time (the policy needs a global view, the shards
+            // must not be held while it deliberates).
+            struct Snap {
+                id: EntryId,
+                stats: EntryStats,
+                format: FileFormat,
+                source: String,
+                next_use: Option<u64>,
+            }
+            let mut snaps: Vec<Snap> = Vec::new();
+            for lock in self.shards.iter() {
+                let shard = lock.read().expect("shard lock");
+                for e in shard.entries.values() {
+                    snaps.push(Snap {
+                        id: e.id,
+                        stats: e.stats.clone(),
+                        format: e.format,
+                        source: e.source.clone(),
+                        next_use: oracle.as_ref().and_then(|o| o.next_use(e, clock)),
+                    });
+                }
+            }
+            if snaps.is_empty() {
+                return;
+            }
+            let views: Vec<EvictView<'_>> = snaps
+                .iter()
+                .map(|s| EvictView {
+                    id: s.id,
+                    stats: &s.stats,
+                    format: s.format,
+                    source: &s.source,
+                    next_use: s.next_use,
                 })
                 .collect();
             let ctx = EvictionContext {
                 entries: views,
                 need_bytes: need,
-                clock: self.clock,
-                has_oracle: self.oracle.is_some(),
+                clock,
+                has_oracle: oracle.is_some(),
             };
-            let victims = self.policy.select_victims(&ctx);
+            let mut victims = policy.select_victims(&ctx);
             if victims.is_empty() {
                 // A policy must always make progress; fall back to
                 // evicting the largest entry to avoid livelock.
-                let largest = self
-                    .entries
-                    .values()
-                    .max_by_key(|e| e.stats.bytes)
-                    .map(|e| e.id)
-                    .expect("entries non-empty");
-                self.evict(largest);
-                continue;
+                victims = snaps
+                    .iter()
+                    .max_by_key(|s| s.stats.bytes)
+                    .map(|s| vec![s.id])
+                    .unwrap_or_default();
             }
+            let mut progressed = false;
             for id in victims {
-                self.evict(id);
+                // `remove_inner` is atomic per entry: a concurrent
+                // `remove` and this eviction cannot both count it.
+                if let Some(bytes) = self.remove_inner(id) {
+                    progressed = true;
+                    self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.counters
+                        .bytes_evicted
+                        .fetch_add(bytes as u64, Ordering::Relaxed);
+                    policy.on_remove(id);
+                }
+            }
+            if !progressed {
+                // Every victim raced away (concurrent removes); the next
+                // iteration re-snapshots. If the cache is somehow still
+                // over budget with no removable entry, bail rather than
+                // spin.
+                if self.is_empty() {
+                    return;
+                }
             }
         }
-    }
-
-    fn evict(&mut self, id: EntryId) {
-        if let Some(entry) = self.entries.get(&id) {
-            self.counters.evictions += 1;
-            self.counters.bytes_evicted += entry.stats.bytes as u64;
-        }
-        self.remove(id);
     }
 }
 
@@ -451,7 +742,7 @@ mod tests {
     trait RegistryTestExt {
         #[allow(clippy::too_many_arguments)]
         fn admit_t(
-            &mut self,
+            &self,
             source: &str,
             format: FileFormat,
             rs: Vec<LeafRange>,
@@ -460,12 +751,12 @@ mod tests {
             c: u64,
             l: u64,
         ) -> EntryId;
-        fn lookup_t(&mut self, source: &str, rs: &[LeafRange]) -> (MatchResult, u64);
+        fn lookup_t(&self, source: &str, rs: &[LeafRange]) -> (MatchResult, u64);
     }
 
     impl RegistryTestExt for CacheRegistry {
         fn admit_t(
-            &mut self,
+            &self,
             source: &str,
             format: FileFormat,
             rs: Vec<LeafRange>,
@@ -478,7 +769,7 @@ mod tests {
             self.admit(source, format, sig, rs, true, data, t, c, l)
         }
 
-        fn lookup_t(&mut self, source: &str, rs: &[LeafRange]) -> (MatchResult, u64) {
+        fn lookup_t(&self, source: &str, rs: &[LeafRange]) -> (MatchResult, u64) {
             let sig = range_signature(rs);
             self.lookup(source, &sig, rs)
         }
@@ -486,7 +777,7 @@ mod tests {
 
     #[test]
     fn exact_match_round_trip() {
-        let mut reg = registry(None);
+        let reg = registry(None);
         let id = reg.admit_t(
             "t",
             FileFormat::Csv,
@@ -507,7 +798,7 @@ mod tests {
 
     #[test]
     fn subsumption_requires_full_coverage() {
-        let mut reg = registry(None);
+        let reg = registry(None);
         // Cached: leaf0 in [0, 100] AND leaf1 in [5, 10].
         let mut rs = ranges(0, 0.0, 100.0);
         rs.push(LeafRange {
@@ -540,7 +831,7 @@ mod tests {
 
     #[test]
     fn unconstrained_entry_subsumes_everything_on_source() {
-        let mut reg = registry(None);
+        let reg = registry(None);
         let id = reg.admit_t("t", FileFormat::Csv, vec![], data(100), 10, 5, 1);
         assert_eq!(
             reg.lookup_t("t", &ranges(3, 1.0, 2.0)).0,
@@ -556,7 +847,7 @@ mod tests {
 
     #[test]
     fn best_subsuming_match_is_smallest() {
-        let mut reg = registry(None);
+        let reg = registry(None);
         let _big = reg.admit_t(
             "t",
             FileFormat::Csv,
@@ -578,16 +869,18 @@ mod tests {
         // Both cover [20, 30]; the one with fewer flattened rows wins.
         // (Both offset stores report the same rows here, so the tie keeps
         // the first found; force different sizes.)
-        if let Some(e) = reg.entry_mut(small) {
-            e.data = CacheData::Offsets(std::sync::Arc::new(OffsetStore::build(vec![1], 1)));
-        }
+        reg.replace_data(
+            small,
+            CacheData::Offsets(std::sync::Arc::new(OffsetStore::build(vec![1], 1))),
+            0,
+        );
         let (m, _) = reg.lookup_t("t", &ranges(0, 20.0, 30.0));
         assert_eq!(m, MatchResult::Subsuming(small));
     }
 
     #[test]
     fn capacity_enforcement_evicts_lru() {
-        let mut reg = registry(Some(1000));
+        let reg = registry(Some(1000));
         let a = reg.admit_t(
             "t",
             FileFormat::Csv,
@@ -620,28 +913,39 @@ mod tests {
             1,
         );
         assert!(reg.total_bytes() <= 1000);
-        assert!(reg.entry(a).is_some());
-        assert!(reg.entry(b).is_none(), "LRU victim should be evicted");
-        assert_eq!(reg.counters.evictions, 1);
+        assert!(reg.contains(a));
+        assert!(!reg.contains(b), "LRU victim should be evicted");
+        assert_eq!(reg.counters().evictions, 1);
         // Evicted entries leave the indexes too.
         assert_eq!(reg.lookup_t("t", &ranges(0, 2.0, 3.0)).0, MatchResult::Miss);
     }
 
     #[test]
     fn replace_data_adjusts_totals() {
-        let mut reg = registry(None);
+        let reg = registry(None);
         let id = reg.admit_t("t", FileFormat::Csv, vec![], data(400), 10, 5, 1);
         let before = reg.total_bytes();
         reg.replace_data(id, data(800), 42);
         assert!(reg.total_bytes() > before);
-        let entry = reg.entry(id).unwrap();
-        assert_eq!(entry.stats.c_ns, 5 + 42);
-        assert_eq!(entry.stats.bytes, entry.data.byte_size());
+        reg.with_entry(id, |entry| {
+            assert_eq!(entry.stats.c_ns, 5 + 42);
+            assert_eq!(entry.stats.bytes, entry.data.byte_size());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn replace_data_if_guards_on_layout() {
+        let reg = registry(None);
+        let id = reg.admit_t("t", FileFormat::Csv, vec![], data(100), 10, 5, 1);
+        // Entry is an offsets store; a guard expecting columnar loses.
+        assert!(!reg.replace_data_if(id, Some(LayoutKind::Columnar), data(800), 1));
+        assert!(reg.replace_data_if(id, Some(LayoutKind::Offsets), data(800), 1));
     }
 
     #[test]
     fn reuse_updates_stats_and_counters() {
-        let mut reg = registry(None);
+        let reg = registry(None);
         let id = reg.admit_t(
             "t",
             FileFormat::Csv,
@@ -655,26 +959,60 @@ mod tests {
         let (m, l) = reg.lookup_t("t", &ranges(0, 1.0, 2.0));
         assert_eq!(m, MatchResult::Subsuming(id));
         reg.record_reuse(id, 123, l);
-        let entry = reg.entry(id).unwrap();
-        assert_eq!(entry.stats.n, 1);
-        assert_eq!(entry.stats.s_ns, 123);
-        assert_eq!(entry.stats.last_access, 1);
-        assert_eq!(reg.counters.hits_subsuming, 1);
+        reg.with_entry(id, |entry| {
+            assert_eq!(entry.stats.n, 1);
+            assert_eq!(entry.stats.s_ns, 123);
+            assert_eq!(entry.stats.last_access, 1);
+        })
+        .unwrap();
+        assert_eq!(reg.counters().hits_subsuming, 1);
     }
 
     #[test]
     fn working_set_tracking() {
-        let mut reg = registry(None);
+        let reg = registry(None);
         assert!(!reg.source_in_working_set("t"));
         let id = reg.admit_t("t", FileFormat::Csv, vec![], data(100), 10, 5, 1);
         // Residency alone is not enough: the entry must have been reused.
         assert!(!reg.source_in_working_set("t"));
         reg.record_reuse(id, 5, 1);
         assert!(reg.source_in_working_set("t"));
-        reg.remove(id);
+        assert!(reg.remove(id));
+        assert!(!reg.remove(id), "second remove is a no-op");
         assert!(!reg.source_in_working_set("t"));
         assert!(reg.is_empty());
         assert_eq!(reg.total_bytes(), 0);
+    }
+
+    #[test]
+    fn duplicate_signature_admission_returns_existing_entry() {
+        let reg = registry(None);
+        let first = reg.admit_t(
+            "t",
+            FileFormat::Csv,
+            ranges(0, 1.0, 2.0),
+            data(100),
+            10,
+            5,
+            1,
+        );
+        let second = reg.admit_t(
+            "t",
+            FileFormat::Csv,
+            ranges(0, 1.0, 2.0),
+            data(400),
+            10,
+            5,
+            1,
+        );
+        assert_eq!(first, second);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.counters().admissions, 1);
+        // The byte total reflects only the surviving entry.
+        assert_eq!(
+            reg.total_bytes(),
+            reg.snapshot().iter().map(|e| e.stats.bytes).sum::<usize>()
+        );
     }
 
     struct FixedOracle;
@@ -690,7 +1028,7 @@ mod tests {
 
     #[test]
     fn offline_policy_consults_oracle() {
-        let mut reg = CacheRegistry::new(EvictionKind::FarthestFirst.build(), Some(900));
+        let reg = CacheRegistry::new(EvictionKind::FarthestFirst.build(), Some(900));
         reg.set_oracle(Box::new(FixedOracle));
         let keep = reg.admit_t(
             "t",
@@ -719,11 +1057,8 @@ mod tests {
             5,
             1,
         );
-        assert!(reg.entry(keep).is_some());
-        assert!(
-            reg.entry(drop).is_none(),
-            "never-reused entry evicted first"
-        );
+        assert!(reg.contains(keep));
+        assert!(!reg.contains(drop), "never-reused entry evicted first");
     }
 
     #[test]
@@ -754,5 +1089,52 @@ mod tests {
         ];
         assert_eq!(range_signature(&a), range_signature(&b));
         assert_eq!(range_signature(&[]), "true");
+    }
+
+    #[test]
+    fn registry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CacheRegistry>();
+    }
+
+    #[test]
+    fn concurrent_admissions_respect_budget_and_reconcile() {
+        use std::sync::Arc;
+        let reg = Arc::new(CacheRegistry::with_shards(Box::new(Lru), Some(4_000), 8));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || {
+                    for i in 0..50u64 {
+                        reg.tick();
+                        let leaf = (t * 50 + i) as usize;
+                        let id = reg.admit_t(
+                            "t",
+                            FileFormat::Csv,
+                            ranges(leaf, 0.0, 1.0),
+                            data(400),
+                            10,
+                            5,
+                            1,
+                        );
+                        reg.lookup_t("t", &ranges(leaf, 0.2, 0.8));
+                        reg.record_reuse(id, 7, 1);
+                    }
+                });
+            }
+        });
+        assert!(reg.total_bytes() <= 4_000, "budget held at quiescence");
+        let c = reg.counters();
+        let snapshot = reg.snapshot();
+        assert_eq!(
+            c.admissions,
+            snapshot.len() as u64 + c.evictions,
+            "admissions must reconcile with residents + evictions"
+        );
+        assert_eq!(
+            reg.total_bytes(),
+            snapshot.iter().map(|e| e.stats.bytes).sum::<usize>(),
+            "atomic byte total must match the entries"
+        );
     }
 }

@@ -1,4 +1,8 @@
-//! Per-entry cost statistics and the benefit metric (Fig. 8).
+//! Per-entry cost statistics, the benefit metric (Fig. 8), and the
+//! registry's aggregate counters (atomic, so concurrent sessions can
+//! bump them without locking).
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Measured costs of one cached item, in the paper's notation:
 ///
@@ -56,6 +60,50 @@ impl EntryStats {
         self.last_access = clock;
         self.s_ns = running_mean(self.s_ns, scan_ns, self.n);
         self.l_ns = running_mean(self.l_ns, lookup_ns, self.n);
+    }
+}
+
+/// Aggregate registry counters (diagnostics and experiment output) — a
+/// plain snapshot taken from [`AtomicRegistryCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryCounters {
+    pub admissions: u64,
+    pub evictions: u64,
+    pub bytes_evicted: u64,
+    pub hits_exact: u64,
+    pub hits_subsuming: u64,
+    pub misses: u64,
+    /// Duplicate in-flight cacheable scans that waited for a concurrent
+    /// session's admission and reused it (single-flight coalescing).
+    pub coalesced: u64,
+}
+
+/// The registry's live counters. All fields are relaxed atomics: each is
+/// an independent monotonic event count, so cross-counter consistency is
+/// only guaranteed at quiescence (which is what the reconciliation tests
+/// assert).
+#[derive(Debug, Default)]
+pub struct AtomicRegistryCounters {
+    pub admissions: AtomicU64,
+    pub evictions: AtomicU64,
+    pub bytes_evicted: AtomicU64,
+    pub hits_exact: AtomicU64,
+    pub hits_subsuming: AtomicU64,
+    pub misses: AtomicU64,
+    pub coalesced: AtomicU64,
+}
+
+impl AtomicRegistryCounters {
+    pub fn snapshot(&self) -> RegistryCounters {
+        RegistryCounters {
+            admissions: self.admissions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            bytes_evicted: self.bytes_evicted.load(Ordering::Relaxed),
+            hits_exact: self.hits_exact.load(Ordering::Relaxed),
+            hits_subsuming: self.hits_subsuming.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
     }
 }
 

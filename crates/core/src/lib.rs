@@ -4,6 +4,8 @@
 //! ```text
 //! query ──parse──► QuerySpec ──resolve──► plan
 //!                                   │ cache lookup (exact / R-tree subsumption)
+//!                                   │   miss + same scan in flight elsewhere:
+//!                                   │   wait, then reuse (single-flight)
 //!                                   ▼
 //!                          engine::execute (raw scan | cache scan)
 //!                                   │
@@ -13,10 +15,15 @@
 //!                                   │
 //!                          evictions (cost-based Greedy-Dual or baseline)
 //! ```
+//!
+//! A [`ReCache`] session is `Send + Sync`: queries run through `&self`,
+//! the registry is sharded and lock-striped, and the [`Scheduler`] admits
+//! several query streams concurrently with per-session thread budgets.
 
 pub mod materialize;
 pub mod resolve;
 pub mod result;
+pub mod session;
 
 use materialize::{materialize_with_admission, upgrade_to_eager, StoreChoice};
 use recache_cache::admission::{AdmissionConfig, AdmissionDecision};
@@ -24,7 +31,7 @@ use recache_cache::eviction::EvictionKind;
 use recache_cache::layout_model::{LayoutDecision, QueryObservation};
 use recache_cache::registry::{CacheRegistry, EntryId, FutureOracle, MatchResult};
 use recache_data::{FileFormat, RawFile};
-use recache_engine::exec;
+use recache_engine::exec::{self, ExecOptions};
 use recache_engine::plan::{AccessPath, QueryPlan, TablePlan};
 use recache_engine::sql::{parse_query, QuerySpec};
 use recache_layout::{
@@ -33,7 +40,10 @@ use recache_layout::{
 use recache_types::{Result, Schema};
 use resolve::{resolve, ResolvedQuery};
 pub use result::{QueryResult, QueryStats, TableSummary};
-use std::collections::HashMap;
+pub use session::Scheduler;
+use session::{Begin, FlightGuard, FlightKey, Inflight};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -125,22 +135,28 @@ impl ReCacheBuilder {
         ReCache {
             sources: HashMap::new(),
             registry: CacheRegistry::new(self.eviction.build(), self.capacity),
+            inflight: Inflight::default(),
             admission: self.admission,
             layout: self.layout,
             caching: self.caching,
-            queries_run: 0,
+            queries_run: AtomicU64::new(0),
         }
     }
 }
 
 /// A ReCache session: registered sources plus the reactive cache.
+///
+/// `Send + Sync` — queries execute through `&self`, so independent
+/// streams may run concurrently against one session (see [`Scheduler`]).
 pub struct ReCache {
     sources: HashMap<String, Arc<RawFile>>,
     registry: CacheRegistry,
+    /// Single-flight table for in-flight cacheable scans.
+    inflight: Inflight,
     admission: AdmissionConfig,
     layout: LayoutPolicy,
     caching: bool,
-    queries_run: u64,
+    queries_run: AtomicU64,
 }
 
 impl ReCache {
@@ -198,13 +214,13 @@ impl ReCache {
     }
 
     /// Installs a future oracle for the offline eviction baselines.
-    pub fn set_oracle(&mut self, oracle: Box<dyn FutureOracle>) {
+    pub fn set_oracle(&self, oracle: Box<dyn FutureOracle>) {
         self.registry.set_oracle(oracle);
     }
 
     /// Queries executed so far.
     pub fn queries_run(&self) -> u64 {
-        self.queries_run
+        self.queries_run.load(Ordering::Relaxed)
     }
 
     /// Resolves a parsed query without executing it (used by workload
@@ -214,17 +230,24 @@ impl ReCache {
     }
 
     /// Parses and runs one SQL query.
-    pub fn sql(&mut self, text: &str) -> Result<QueryResult> {
+    pub fn sql(&self, text: &str) -> Result<QueryResult> {
         let spec = parse_query(text)?;
         self.run(&spec)
     }
 
-    /// Runs one parsed query.
-    pub fn run(&mut self, spec: &QuerySpec) -> Result<QueryResult> {
+    /// Runs one parsed query with default execution options.
+    pub fn run(&self, spec: &QuerySpec) -> Result<QueryResult> {
+        self.run_with(spec, &ExecOptions::default())
+    }
+
+    /// Runs one parsed query under explicit [`ExecOptions`] (the
+    /// [`Scheduler`] passes each session's negotiated thread budget).
+    pub fn run_with(&self, spec: &QuerySpec, options: &ExecOptions) -> Result<QueryResult> {
         let t_run = Instant::now();
-        self.queries_run += 1;
+        self.queries_run.fetch_add(1, Ordering::Relaxed);
         self.registry.tick();
         let resolved = resolve(spec, &self.sources)?;
+        let n_tables = resolved.tables.len();
 
         // Cache lookups per table.
         struct TableRoute {
@@ -232,36 +255,106 @@ impl ReCache {
             lookup_ns: u64,
             was_offsets: bool,
         }
-        let mut routes: Vec<TableRoute> = Vec::with_capacity(resolved.tables.len());
-        let mut table_plans: Vec<TablePlan> = Vec::with_capacity(resolved.tables.len());
-        for table in &resolved.tables {
+        // Process lookups in sorted-key order: single-flight leadership
+        // is then always acquired in a globally consistent order, so a
+        // query leading one key and waiting on another cannot deadlock
+        // against a query doing the reverse.
+        let mut order: Vec<usize> = (0..n_tables).collect();
+        let keys: Vec<FlightKey> = resolved
+            .tables
+            .iter()
+            .map(|t| (t.name.clone(), t.signature.clone()))
+            .collect();
+        order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+        let mut routes: Vec<Option<TableRoute>> = (0..n_tables).map(|_| None).collect();
+        let mut accesses: Vec<Option<AccessPath>> = (0..n_tables).map(|_| None).collect();
+        // Leadership guards live at most until after this query's
+        // admissions (waiters wake to a cache that already holds the new
+        // entry), and are completed eagerly per table the moment that
+        // table's admission is decided — followers don't sleep through
+        // the rest of a multi-table leader's query.
+        let mut flights: Vec<FlightGuard<'_>> = Vec::new();
+        let mut flight_of_table: Vec<Option<usize>> = vec![None; n_tables];
+        let mut held: HashSet<FlightKey> = HashSet::new();
+        for &i in &order {
+            let table = &resolved.tables[i];
             let (route, access) = if self.caching {
-                let (m, lookup_ns) =
-                    self.registry
-                        .lookup(&table.name, &table.signature, &table.ranges);
-                match m.entry() {
-                    Some(id) => {
-                        let entry = self.registry.entry(id).expect("entry exists");
-                        let was_offsets = matches!(entry.data, CacheData::Offsets(_));
-                        let access = access_path_for(&entry.data, &table.file);
-                        (
-                            TableRoute {
-                                hit: Some((id, m)),
-                                lookup_ns,
-                                was_offsets,
-                            },
-                            access,
-                        )
+                let mut lookup_ns_total = 0u64;
+                let mut waited = false;
+                // The retry loop probes the cache repeatedly for ONE
+                // logical access; only the final outcome is counted
+                // (below), so coalescing cannot skew hit/miss rates.
+                let outcome = loop {
+                    let (m, lookup_ns) = self.registry.lookup_uncounted(
+                        &table.name,
+                        &table.signature,
+                        &table.ranges,
+                    );
+                    lookup_ns_total += lookup_ns;
+                    if let Some(id) = m.entry() {
+                        // The entry can be evicted between lookup and
+                        // access; a vanished hit degrades to a miss.
+                        if let Some((was_offsets, access)) = self.registry.with_entry(id, |e| {
+                            (
+                                matches!(e.data, CacheData::Offsets(_)),
+                                access_path_for(&e.data, &table.file),
+                            )
+                        }) {
+                            if waited {
+                                // Coalesced admission: this session waited
+                                // for another's in-flight scan and reuses
+                                // its entry (C-phase cost paid once).
+                                self.registry.note_coalesced();
+                            }
+                            break (
+                                TableRoute {
+                                    hit: Some((id, m)),
+                                    lookup_ns: lookup_ns_total,
+                                    was_offsets,
+                                },
+                                access,
+                            );
+                        }
                     }
-                    None => (
-                        TableRoute {
-                            hit: None,
-                            lookup_ns,
-                            was_offsets: false,
-                        },
-                        AccessPath::Raw(Arc::clone(&table.file)),
-                    ),
-                }
+                    let miss = TableRoute {
+                        hit: None,
+                        lookup_ns: lookup_ns_total,
+                        was_offsets: false,
+                    };
+                    let raw = AccessPath::Raw(Arc::clone(&table.file));
+                    // One leadership per key per query (a self-join on
+                    // the same predicate must not wait on itself).
+                    if held.contains(&keys[i]) {
+                        break (miss, raw);
+                    }
+                    match self.inflight.begin(keys[i].clone()) {
+                        Begin::Leader(guard) => {
+                            flight_of_table[i] = Some(flights.len());
+                            flights.push(guard);
+                            held.insert(keys[i].clone());
+                            break (miss, raw);
+                        }
+                        Begin::Wait(flight) => {
+                            // Duplicate in-flight scan: wait for the
+                            // leading session's admission, then re-look
+                            // up and reuse instead of redoing D + C work.
+                            // A leader that admitted nothing leaves
+                            // nothing to reuse — scan raw concurrently
+                            // rather than queueing as the next serial
+                            // leader.
+                            if flight.wait() {
+                                waited = true;
+                            } else {
+                                break (miss, raw);
+                            }
+                        }
+                    }
+                };
+                self.registry.count_lookup(match &outcome.0.hit {
+                    Some((_, m)) => m,
+                    None => &MatchResult::Miss,
+                });
+                outcome
             } else {
                 (
                     TableRoute {
@@ -272,16 +365,21 @@ impl ReCache {
                     AccessPath::Raw(Arc::clone(&table.file)),
                 )
             };
-            let collect_satisfying = self.caching && route.hit.is_none();
+            routes[i] = Some(route);
+            accesses[i] = Some(access);
+        }
+        let routes: Vec<TableRoute> = routes.into_iter().map(|r| r.expect("route set")).collect();
+        let mut table_plans: Vec<TablePlan> = Vec::with_capacity(n_tables);
+        for (i, (table, access)) in resolved.tables.iter().zip(accesses).enumerate() {
+            let collect_satisfying = self.caching && routes[i].hit.is_none();
             table_plans.push(TablePlan {
                 name: table.name.clone(),
-                access,
+                access: access.expect("access set"),
                 accessed: table.accessed.clone(),
                 predicate: table.predicate.clone(),
                 record_level: table.record_level,
                 collect_satisfying,
             });
-            routes.push(route);
         }
 
         let plan = QueryPlan {
@@ -289,7 +387,7 @@ impl ReCache {
             joins: resolved.joins.clone(),
             aggregates: resolved.aggregates.clone(),
         };
-        let output = exec::execute(&plan)?;
+        let output = exec::execute_with(&plan, options)?;
 
         // Post-execution cache maintenance.
         let mut output = output;
@@ -316,7 +414,7 @@ impl ReCache {
                         .record_reuse(id, stats.exec_ns, route.lookup_ns);
                     // Layout bookkeeping for store scans.
                     if let Some(cost) = stats.cache_scan {
-                        if let Some(entry) = self.registry.entry_mut(id) {
+                        self.registry.with_entry_mut(id, |entry| {
                             let rows_needed = if stats.record_level {
                                 entry.data.record_count()
                             } else {
@@ -342,7 +440,7 @@ impl ReCache {
                                 cols: stats.cols_accessed,
                                 layout,
                             });
-                        }
+                        });
                         if self.layout == LayoutPolicy::Auto {
                             if let Some((switch, ns)) = self.maybe_switch_layout(id) {
                                 caching_ns += ns;
@@ -357,6 +455,7 @@ impl ReCache {
                     }
                 }
                 None if self.caching => {
+                    let mut admitted = false;
                     if let Some(satisfying) = satisfying_ids {
                         if !satisfying.is_empty() {
                             let rows_out = stats.rows_out;
@@ -386,7 +485,14 @@ impl ReCache {
                                 result.caching_ns,
                                 route.lookup_ns,
                             );
+                            admitted = true;
                         }
+                    }
+                    // This table's admission is decided: release
+                    // single-flight waiters now (remaining guards still
+                    // complete on drop along error paths).
+                    if let Some(idx) = flight_of_table[i] {
+                        flights[idx].complete_now(admitted);
                     }
                 }
                 None => {}
@@ -429,78 +535,114 @@ impl ReCache {
     }
 
     /// Applies the automatic layout model to an entry; returns the switch
-    /// performed and its cost in nanoseconds.
-    fn maybe_switch_layout(&mut self, id: EntryId) -> Option<((LayoutKind, LayoutKind), u64)> {
-        let entry = self.registry.entry(id)?;
-        let current = entry.data.layout();
-        let nested = match &entry.data {
-            CacheData::Columnar(s) => s.schema().has_nested(),
-            CacheData::Dremel(s) => s.schema().has_nested(),
-            CacheData::Row(s) => s.schema().has_nested(),
-            CacheData::Offsets(_) => return None,
-        };
-        let (new_data, duration) = if nested {
-            let decision = entry
-                .history
-                .decide_nested(current, entry.data.flattened_rows());
-            match (decision, &entry.data) {
-                (LayoutDecision::SwitchToColumnar, CacheData::Dremel(store)) => {
-                    let (new_store, d) = dremel_to_columnar(store);
-                    (CacheData::Columnar(Arc::new(new_store)), d)
-                }
-                (LayoutDecision::SwitchToDremel, CacheData::Columnar(store)) => {
-                    let (new_store, d) = columnar_to_dremel(store);
-                    (CacheData::Dremel(Arc::new(new_store)), d)
-                }
-                _ => return None,
-            }
-        } else {
-            // Flat data: H2O-style row/column choice.
-            let n_leaves = match &entry.data {
-                CacheData::Columnar(s) => s.schema().leaves().len(),
-                CacheData::Row(s) => s.schema().leaves().len(),
-                _ => return None,
+    /// performed and its cost in nanoseconds. The (expensive) layout
+    /// conversion runs outside any shard lock; the swap installs only if
+    /// the layout is still what the conversion started from, so racing
+    /// sessions cannot clobber each other's switches.
+    fn maybe_switch_layout(&self, id: EntryId) -> Option<((LayoutKind, LayoutKind), u64)> {
+        // Snapshot the decision inputs under the shard lock; the store
+        // itself is an `Arc`, so conversion needs no further locking.
+        enum Planned {
+            DremelToColumnar(Arc<recache_layout::DremelStore>),
+            ColumnarToDremel(Arc<recache_layout::ColumnStore>),
+            ColumnarToRow(Arc<recache_layout::ColumnStore>),
+            RowToColumnar(Arc<recache_layout::RowStore>),
+        }
+        let planned = self.registry.with_entry(id, |entry| {
+            let current = entry.data.layout();
+            let nested = match &entry.data {
+                CacheData::Columnar(s) => s.schema().has_nested(),
+                CacheData::Dremel(s) => s.schema().has_nested(),
+                CacheData::Row(s) => s.schema().has_nested(),
+                CacheData::Offsets(_) => return None,
             };
-            let choice = entry.history.decide_flat(n_leaves);
-            match (choice, &entry.data) {
-                (
-                    recache_cache::layout_model::FlatLayoutChoice::Row,
-                    CacheData::Columnar(store),
-                ) => {
-                    let (new_store, d) = columnar_to_row(store);
-                    (CacheData::Row(Arc::new(new_store)), d)
+            if nested {
+                let decision = entry
+                    .history
+                    .decide_nested(current, entry.data.flattened_rows());
+                match (decision, &entry.data) {
+                    (LayoutDecision::SwitchToColumnar, CacheData::Dremel(store)) => {
+                        Some(Planned::DremelToColumnar(Arc::clone(store)))
+                    }
+                    (LayoutDecision::SwitchToDremel, CacheData::Columnar(store)) => {
+                        Some(Planned::ColumnarToDremel(Arc::clone(store)))
+                    }
+                    _ => None,
                 }
-                (
-                    recache_cache::layout_model::FlatLayoutChoice::Columnar,
-                    CacheData::Row(store),
-                ) => {
-                    let (new_store, d) = row_to_columnar(store);
-                    (CacheData::Columnar(Arc::new(new_store)), d)
+            } else {
+                // Flat data: H2O-style row/column choice.
+                let n_leaves = match &entry.data {
+                    CacheData::Columnar(s) => s.schema().leaves().len(),
+                    CacheData::Row(s) => s.schema().leaves().len(),
+                    _ => return None,
+                };
+                let choice = entry.history.decide_flat(n_leaves);
+                match (choice, &entry.data) {
+                    (
+                        recache_cache::layout_model::FlatLayoutChoice::Row,
+                        CacheData::Columnar(store),
+                    ) => Some(Planned::ColumnarToRow(Arc::clone(store))),
+                    (
+                        recache_cache::layout_model::FlatLayoutChoice::Columnar,
+                        CacheData::Row(store),
+                    ) => Some(Planned::RowToColumnar(Arc::clone(store))),
+                    _ => None,
                 }
-                _ => return None,
+            }
+        })??;
+        let (from, new_data, duration) = match planned {
+            Planned::DremelToColumnar(store) => {
+                let (new_store, d) = dremel_to_columnar(&store);
+                (
+                    LayoutKind::Dremel,
+                    CacheData::Columnar(Arc::new(new_store)),
+                    d,
+                )
+            }
+            Planned::ColumnarToDremel(store) => {
+                let (new_store, d) = columnar_to_dremel(&store);
+                (
+                    LayoutKind::Columnar,
+                    CacheData::Dremel(Arc::new(new_store)),
+                    d,
+                )
+            }
+            Planned::ColumnarToRow(store) => {
+                let (new_store, d) = columnar_to_row(&store);
+                (LayoutKind::Columnar, CacheData::Row(Arc::new(new_store)), d)
+            }
+            Planned::RowToColumnar(store) => {
+                let (new_store, d) = row_to_columnar(&store);
+                (LayoutKind::Row, CacheData::Columnar(Arc::new(new_store)), d)
             }
         };
         let ns = duration.as_nanos() as u64;
         let to = new_data.layout();
-        self.registry.replace_data(id, new_data, ns);
-        if let Some(entry) = self.registry.entry_mut(id) {
-            entry.history.reset_window();
+        if !self.registry.replace_data_if(id, Some(from), new_data, ns) {
+            // Evicted, or another session switched first: discard.
+            return None;
         }
-        Some(((current, to), ns))
+        self.registry.with_entry_mut(id, |entry| {
+            entry.history.reset_window();
+        });
+        Some(((from, to), ns))
     }
 
-    /// Replaces a lazy entry's offsets with an eager store.
-    fn upgrade_entry(&mut self, table: &resolve::ResolvedTable, id: EntryId) -> Result<u64> {
-        let Some(entry) = self.registry.entry(id) else {
-            return Ok(0);
+    /// Replaces a lazy entry's offsets with an eager store. Guarded the
+    /// same way as layout switches: only the first concurrent upgrader
+    /// installs, later ones drop their redundant build.
+    fn upgrade_entry(&self, table: &resolve::ResolvedTable, id: EntryId) -> Result<u64> {
+        let store = match self.registry.with_entry(id, |entry| match &entry.data {
+            CacheData::Offsets(store) => Some(Arc::clone(store)),
+            _ => None,
+        }) {
+            Some(Some(store)) => store,
+            _ => return Ok(0),
         };
-        let CacheData::Offsets(store) = &entry.data else {
-            return Ok(0);
-        };
-        let store = Arc::clone(store);
         let choice = self.store_choice(&table.file);
         let (data, ns) = upgrade_to_eager(&table.file, choice, &store)?;
-        self.registry.replace_data(id, data, ns);
+        self.registry
+            .replace_data_if(id, Some(LayoutKind::Offsets), data, ns);
         Ok(ns)
     }
 }
@@ -559,7 +701,7 @@ mod tests {
 
     #[test]
     fn sql_end_to_end_over_csv() {
-        let mut session = lineitem_session(true);
+        let session = lineitem_session(true);
         let result = session
             .sql("SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 30")
             .unwrap();
@@ -571,12 +713,12 @@ mod tests {
             .unwrap();
         assert_eq!(result.rows, again.rows);
         assert!(again.stats.cache_hit);
-        assert_eq!(session.cache().counters.hits_exact, 1);
+        assert_eq!(session.cache().counters().hits_exact, 1);
     }
 
     #[test]
     fn subsumption_narrower_range_hits_and_matches_raw() {
-        let mut session = lineitem_session(true);
+        let session = lineitem_session(true);
         let wide = session
             .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 10")
             .unwrap();
@@ -586,7 +728,7 @@ mod tests {
             .unwrap();
         assert!(narrow.stats.cache_hit, "narrower range should be subsumed");
         // Cross-check against a caching-free session.
-        let mut baseline = lineitem_session(false);
+        let baseline = lineitem_session(false);
         let truth = baseline
             .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30")
             .unwrap();
@@ -595,7 +737,7 @@ mod tests {
 
     #[test]
     fn no_caching_session_never_hits() {
-        let mut session = lineitem_session(false);
+        let session = lineitem_session(false);
         for _ in 0..3 {
             let r = session
                 .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30")
@@ -607,7 +749,7 @@ mod tests {
 
     #[test]
     fn nested_json_queries_and_cache_agree() {
-        let mut session = nested_session();
+        let session = nested_session();
         let q = "SELECT sum(lineitems.l_quantity), count(*) FROM orderLineitems \
                  WHERE lineitems.l_quantity BETWEEN 5 AND 45";
         let first = session.sql(q).unwrap();
@@ -615,7 +757,7 @@ mod tests {
         assert!(second.stats.cache_hit);
         assert_eq!(first.rows, second.rows);
         // The cached store must be nested columnar by default.
-        let entry = session.cache().iter().next().unwrap();
+        let entry = session.cache().snapshot().into_iter().next().unwrap();
         assert!(matches!(
             entry.data.layout(),
             LayoutKind::Dremel | LayoutKind::Offsets
@@ -633,14 +775,14 @@ mod tests {
 
         let q = "SELECT count(*) FROM lineitem WHERE l_quantity <= 25";
         session.sql(q).unwrap();
-        let entry = session.cache().iter().next().unwrap();
+        let entry = session.cache().snapshot().into_iter().next().unwrap();
         assert!(matches!(entry.data, CacheData::Offsets(_)));
         // Reuse upgrades lazily cached offsets to an eager store ("if a
         // lazy cached item is accessed again, it is replaced by an eager
         // cache").
         let second = session.sql(q).unwrap();
         assert!(second.stats.cache_hit);
-        let entry = session.cache().iter().next().unwrap();
+        let entry = session.cache().snapshot().into_iter().next().unwrap();
         assert!(!matches!(entry.data, CacheData::Offsets(_)));
     }
 
@@ -685,12 +827,12 @@ mod tests {
             session.sql(&q).unwrap();
         }
         assert!(session.cache().total_bytes() <= 6_000);
-        assert!(session.cache().counters.evictions > 0);
+        assert!(session.cache().counters().evictions > 0);
     }
 
     #[test]
     fn unknown_table_and_attribute_errors() {
-        let mut session = lineitem_session(true);
+        let session = lineitem_session(true);
         assert!(session.sql("SELECT count(*) FROM nope").is_err());
         assert!(session.sql("SELECT sum(frobnicate) FROM lineitem").is_err());
     }

@@ -1,0 +1,428 @@
+//! Concurrent query admission: the session scheduler and single-flight
+//! scan coalescing.
+//!
+//! A [`ReCache`](crate::ReCache) session is `Send + Sync`, so K
+//! independent query streams can run against one shared cache. This
+//! module supplies the two pieces that make that *useful* rather than
+//! merely safe:
+//!
+//! * [`Scheduler`] — admits K streams concurrently and negotiates each
+//!   one's slice of the machine: a query's
+//!   [`ExecOptions::threads`](recache_engine::ExecOptions) budget is
+//!   `max(1, total_threads / active_sessions)`, re-negotiated per query
+//!   as sessions come and go, so one stream alone fans out across the
+//!   whole `workpool` while four streams get a quarter each.
+//! * [`Inflight`] — single-flight coalescing of duplicate cacheable
+//!   scans. When two sessions miss on the same `(source, signature)` at
+//!   the same time, the second *waits* for the first's admission instead
+//!   of redoing the raw scan and the cache-build (D + C) work, then
+//!   reuses the admitted entry. Keys are acquired in sorted order within
+//!   a query, so leader/follower waits cannot deadlock across
+//!   multi-table queries.
+
+use crate::{QueryResult, ReCache};
+use recache_engine::exec::ExecOptions;
+use recache_engine::sql::QuerySpec;
+use recache_types::{Error, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Key of one in-flight cacheable scan: `(source, signature)`.
+pub(crate) type FlightKey = (String, String);
+
+/// One in-flight admission another session can wait on.
+pub(crate) struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+    /// Whether the leader actually admitted an entry for this key.
+    /// Followers of a non-admitting leader (empty satisfying set, error)
+    /// fall back to their own concurrent raw scan instead of queueing up
+    /// behind each other as successive leaders.
+    admitted: AtomicBool,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+            admitted: AtomicBool::new(false),
+        }
+    }
+
+    /// Blocks until the leader completes (admission done, or abandoned);
+    /// returns whether an entry was admitted and is worth re-looking-up.
+    pub(crate) fn wait(&self) -> bool {
+        let mut done = self.done.lock().expect("flight lock");
+        while !*done {
+            done = self.cv.wait(done).expect("flight wait");
+        }
+        self.admitted.load(Ordering::Acquire)
+    }
+}
+
+/// Outcome of [`Inflight::begin`].
+pub(crate) enum Begin<'a> {
+    /// This caller owns the scan; dropping the guard releases waiters.
+    Leader(FlightGuard<'a>),
+    /// Another session is already scanning this key; wait on the flight,
+    /// then re-look-up.
+    Wait(Arc<Flight>),
+}
+
+/// The table of in-flight cacheable scans.
+#[derive(Default)]
+pub(crate) struct Inflight {
+    map: Mutex<HashMap<FlightKey, Arc<Flight>>>,
+}
+
+impl Inflight {
+    /// Claims leadership of `key`, or returns the existing flight to wait
+    /// on.
+    pub(crate) fn begin(&self, key: FlightKey) -> Begin<'_> {
+        let mut map = self.map.lock().expect("inflight lock");
+        match map.get(&key) {
+            Some(flight) => Begin::Wait(Arc::clone(flight)),
+            None => {
+                let flight = Arc::new(Flight::new());
+                map.insert(key.clone(), Arc::clone(&flight));
+                Begin::Leader(FlightGuard {
+                    inflight: self,
+                    key,
+                    flight,
+                })
+            }
+        }
+    }
+
+    fn complete(&self, key: &FlightKey, flight: &Flight) {
+        // Idempotent: only the first completion removes the key and
+        // wakes waiters (guards may complete eagerly at admission time
+        // and again on drop).
+        let removed = self.map.lock().expect("inflight lock").remove(key);
+        if removed.is_some() {
+            *flight.done.lock().expect("flight lock") = true;
+            flight.cv.notify_all();
+        }
+    }
+}
+
+/// Leadership of one in-flight scan. Completion happens at the latest on
+/// drop, so waiters are released even when the leading query errors out;
+/// [`FlightGuard::complete_admitted`] releases them eagerly the moment
+/// the table's entry is resident.
+pub(crate) struct FlightGuard<'a> {
+    inflight: &'a Inflight,
+    key: FlightKey,
+    flight: Arc<Flight>,
+}
+
+impl FlightGuard<'_> {
+    /// Completes the flight now instead of at drop: with `admitted`,
+    /// waiters wake to reuse the entry the moment it is resident rather
+    /// than sleeping through the rest of the leader's query; without it,
+    /// they wake to run their own concurrent raw scans.
+    pub(crate) fn complete_now(&self, admitted: bool) {
+        if admitted {
+            self.flight.admitted.store(true, Ordering::Release);
+        }
+        self.inflight.complete(&self.key, &self.flight);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.inflight.complete(&self.key, &self.flight);
+    }
+}
+
+/// Admits K independent query streams against one shared [`ReCache`]
+/// session, giving each stream a fair slice of the shared pool's
+/// parallelism.
+pub struct Scheduler {
+    total_threads: usize,
+    active: AtomicUsize,
+}
+
+impl Scheduler {
+    /// A scheduler dividing `total_threads` across active sessions
+    /// (`0` = the machine's full parallelism).
+    pub fn new(total_threads: usize) -> Self {
+        let total_threads = if total_threads == 0 {
+            workpool::available_parallelism()
+        } else {
+            total_threads
+        };
+        Scheduler {
+            total_threads,
+            active: AtomicUsize::new(0),
+        }
+    }
+
+    /// The pool-wide thread budget this scheduler divides.
+    pub fn total_threads(&self) -> usize {
+        self.total_threads
+    }
+
+    /// Streams currently inside [`Scheduler::run_streams`].
+    pub fn active_sessions(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// The per-query thread budget for one active session right now:
+    /// an equal share of the total, floored at one thread.
+    fn negotiate(&self) -> usize {
+        let active = self.active.load(Ordering::Acquire).max(1);
+        (self.total_threads / active).max(1)
+    }
+
+    /// Runs every stream to completion concurrently (one OS thread per
+    /// stream; scans inside each query fan out on the shared `workpool`
+    /// under the negotiated budget). Returns per-stream results in stream
+    /// order.
+    pub fn run_streams(
+        &self,
+        session: &ReCache,
+        streams: &[Vec<QuerySpec>],
+    ) -> Result<Vec<Vec<QueryResult>>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = streams
+                .iter()
+                .map(|stream| {
+                    scope.spawn(move || {
+                        self.active.fetch_add(1, Ordering::AcqRel);
+                        let out: Result<Vec<QueryResult>> = stream
+                            .iter()
+                            .map(|spec| {
+                                let options = ExecOptions {
+                                    vectorized: true,
+                                    threads: self.negotiate(),
+                                };
+                                session.run_with(spec, &options)
+                            })
+                            .collect();
+                        self.active.fetch_sub(1, Ordering::AcqRel);
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| Error::exec("session thread panicked"))?
+                })
+                .collect()
+        })
+    }
+
+    /// Deterministic replay: streams still run on their own threads (so
+    /// the `Send + Sync` paths are exercised), but queries execute one at
+    /// a time in the global order given by `turns` — `turns[k]` names the
+    /// stream that runs its next query at step `k`. With a fixed turn
+    /// sequence the admission order, and therefore the admitted-entry
+    /// set, is reproducible run over run (the seeded-interleaving
+    /// determinism checks rely on this).
+    pub fn run_streams_interleaved(
+        &self,
+        session: &ReCache,
+        streams: &[Vec<QuerySpec>],
+        turns: &[usize],
+    ) -> Result<Vec<Vec<QueryResult>>> {
+        let total: usize = streams.iter().map(Vec::len).sum();
+        if turns.len() != total {
+            return Err(Error::exec(format!(
+                "turn order has {} steps for {} queries",
+                turns.len(),
+                total
+            )));
+        }
+        for (s, stream) in streams.iter().enumerate() {
+            let assigned = turns.iter().filter(|&&t| t == s).count();
+            if assigned != stream.len() {
+                return Err(Error::exec(format!(
+                    "turn order gives stream {s} {assigned} turns for {} queries",
+                    stream.len()
+                )));
+            }
+        }
+        let step = Mutex::new(0usize);
+        let cv = Condvar::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = streams
+                .iter()
+                .enumerate()
+                .map(|(s, stream)| {
+                    let step = &step;
+                    let cv = &cv;
+                    scope.spawn(move || {
+                        self.active.fetch_add(1, Ordering::AcqRel);
+                        let mut out = Vec::with_capacity(stream.len());
+                        let mut failure = None;
+                        // A stream consumes ALL its turns even after one
+                        // of its queries fails: other streams' waits on
+                        // later steps must still be released, or the whole
+                        // replay would deadlock on the first error.
+                        for spec in stream {
+                            let mut current = step.lock().expect("turn lock");
+                            while turns[*current] != s {
+                                current = cv.wait(current).expect("turn wait");
+                            }
+                            if failure.is_none() {
+                                // Run while holding the turn lock: queries
+                                // are fully serialized in `turns` order —
+                                // exactly one query is live, so it gets
+                                // the scheduler's whole budget rather
+                                // than a 1/K share of it.
+                                let options = ExecOptions {
+                                    vectorized: true,
+                                    threads: self.total_threads,
+                                };
+                                match session.run_with(spec, &options) {
+                                    Ok(result) => out.push(result),
+                                    Err(e) => failure = Some(e),
+                                }
+                            }
+                            *current += 1;
+                            cv.notify_all();
+                            drop(current);
+                        }
+                        self.active.fetch_sub(1, Ordering::AcqRel);
+                        match failure {
+                            Some(e) => Err(e),
+                            None => Ok(out),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .map_err(|_| Error::exec("session thread panicked"))?
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Barrier;
+
+    #[test]
+    fn single_flight_follower_waits_for_leader() {
+        let inflight = Inflight::default();
+        let key = ("t".to_owned(), "sig".to_owned());
+        let Begin::Leader(guard) = inflight.begin(key.clone()) else {
+            panic!("first begin must lead");
+        };
+        let released = AtomicBool::new(false);
+        let barrier = Barrier::new(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let Begin::Wait(flight) = inflight.begin(key.clone()) else {
+                    panic!("second begin must wait");
+                };
+                barrier.wait();
+                let admitted = flight.wait();
+                assert!(
+                    released.load(Ordering::Acquire),
+                    "wait returned before the leader completed"
+                );
+                assert!(admitted, "leader completed with an admission");
+            });
+            barrier.wait();
+            // Deterministic ordering: the follower is provably inside
+            // wait() (it passed the barrier holding the flight) before
+            // the leader completes.
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            released.store(true, Ordering::Release);
+            guard.complete_now(true);
+            drop(guard);
+        });
+        // Key is free again: next begin leads.
+        assert!(matches!(inflight.begin(key), Begin::Leader(_)));
+    }
+
+    #[test]
+    fn abandoned_flight_reports_no_admission() {
+        let inflight = Inflight::default();
+        let key = ("t".to_owned(), "sig".to_owned());
+        let Begin::Leader(guard) = inflight.begin(key.clone()) else {
+            panic!("first begin must lead");
+        };
+        let Begin::Wait(flight) = inflight.begin(key.clone()) else {
+            panic!("second begin must wait");
+        };
+        drop(guard); // leader never admitted (error / empty result)
+        assert!(
+            !flight.wait(),
+            "waiters must learn there is nothing to reuse"
+        );
+        assert!(matches!(inflight.begin(key), Begin::Leader(_)));
+    }
+
+    #[test]
+    fn leader_guard_releases_on_drop_even_without_completion_value() {
+        let inflight = Inflight::default();
+        let key = ("t".to_owned(), "sig".to_owned());
+        {
+            let _guard = match inflight.begin(key.clone()) {
+                Begin::Leader(g) => g,
+                Begin::Wait(_) => panic!("must lead"),
+            };
+        } // dropped without any explicit complete
+        assert!(matches!(inflight.begin(key), Begin::Leader(_)));
+    }
+
+    #[test]
+    fn scheduler_negotiates_equal_shares() {
+        let scheduler = Scheduler::new(8);
+        assert_eq!(scheduler.total_threads(), 8);
+        assert_eq!(scheduler.negotiate(), 8, "idle scheduler gives it all");
+        scheduler.active.store(4, Ordering::Release);
+        assert_eq!(scheduler.negotiate(), 2);
+        scheduler.active.store(16, Ordering::Release);
+        assert_eq!(scheduler.negotiate(), 1, "budget floors at one thread");
+    }
+
+    #[test]
+    fn interleaved_replay_surfaces_errors_without_deadlocking() {
+        use recache_engine::plan::AggFunc;
+        // Stream 0's first query references an unknown table and errors;
+        // stream 1 still has turns scheduled *after* stream 0's remaining
+        // turn. The failed stream must keep consuming its turns or the
+        // replay deadlocks instead of returning the error.
+        let scheduler = Scheduler::new(1);
+        let session = crate::ReCache::builder().build();
+        let bad = QuerySpec {
+            aggregates: vec![(AggFunc::Count, None)],
+            tables: vec!["missing".into()],
+            predicates: vec![],
+            joins: vec![],
+        };
+        let streams = vec![vec![bad.clone(), bad.clone()], vec![bad.clone()]];
+        let turns = vec![0, 1, 0];
+        let result = scheduler.run_streams_interleaved(&session, &streams, &turns);
+        assert!(result.is_err(), "the query error must surface");
+    }
+
+    #[test]
+    fn interleaved_turn_order_is_validated() {
+        let scheduler = Scheduler::new(2);
+        let session = crate::ReCache::builder().build();
+        let streams: Vec<Vec<QuerySpec>> = vec![vec![], vec![]];
+        assert!(scheduler
+            .run_streams_interleaved(&session, &streams, &[0])
+            .is_err());
+        assert!(scheduler
+            .run_streams_interleaved(&session, &streams, &[])
+            .unwrap()
+            .iter()
+            .all(Vec::is_empty));
+    }
+}

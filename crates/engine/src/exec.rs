@@ -407,24 +407,18 @@ fn execute_join(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> 
         // Build a hash map over the new table (partitioned across the
         // pool for large builds).
         let map = build_join_map(&table_rows[build_table], build_slot, threads);
-        // Probe with the joined prefix.
+        // Probe with the joined prefix (partitioned across the pool for
+        // large probe sides).
         let probe_offset = offsets[probe_table] + probe_slot;
         let build_offset = offsets[build_table];
-        let mut next: Vec<Vec<Value>> = Vec::new();
-        for combined in &joined {
-            let Some(key) = join_key(&combined[probe_offset]) else {
-                continue;
-            };
-            if let Some(matches) = map.get(&key) {
-                for &i in matches {
-                    let mut out = combined.clone();
-                    let row = &table_rows[build_table][i];
-                    out[build_offset..build_offset + row.len()].clone_from_slice(row);
-                    next.push(out);
-                }
-            }
-        }
-        joined = next;
+        joined = probe_join_map(
+            &joined,
+            probe_offset,
+            &map,
+            &table_rows[build_table],
+            build_offset,
+            threads,
+        );
         joined_tables.push(build_table);
     }
     let join_ns = t_join.elapsed().as_nanos() as u64;
@@ -774,9 +768,9 @@ fn leaf_bitmap(width: usize, accessed: &[usize]) -> Vec<bool> {
     out
 }
 
-/// Rows below which a join build stays single-threaded (hashing a few
-/// thousand rows is cheaper than a pool dispatch).
-const PARALLEL_BUILD_MIN_ROWS: usize = 2 * BATCH_ROWS;
+/// Rows below which a join build or probe stays single-threaded (hashing
+/// or probing a few thousand rows is cheaper than a pool dispatch).
+const PARALLEL_JOIN_MIN_ROWS: usize = 2 * BATCH_ROWS;
 
 /// Hash-join build: maps each key to the ascending row indices holding
 /// it. Large builds hash contiguous row partitions on the pool and merge
@@ -797,7 +791,7 @@ fn build_join_map(
         }
         map
     };
-    if threads <= 1 || rows.len() < PARALLEL_BUILD_MIN_ROWS {
+    if threads <= 1 || rows.len() < PARALLEL_JOIN_MIN_ROWS {
         return hash_partition(0, rows.len());
     }
     let ranges = task_ranges(rows.len(), threads);
@@ -812,6 +806,53 @@ fn build_join_map(
         }
     }
     merged
+}
+
+/// Hash-join probe: joins each prefix row against the build map, emitting
+/// one combined row per match. Large probe sides are partitioned into
+/// contiguous row ranges probed on the pool, with per-partition match
+/// lists concatenated in partition order — the probe output (and with it
+/// every downstream aggregate) is identical to a serial probe's at any
+/// thread count (the same fixed-order-merge discipline as the scans).
+fn probe_join_map(
+    joined: &[Vec<Value>],
+    probe_offset: usize,
+    map: &HashMap<JoinKey, Vec<usize>>,
+    build_rows: &[Vec<Value>],
+    build_offset: usize,
+    threads: usize,
+) -> Vec<Vec<Value>> {
+    let probe_partition = |lo: usize, hi: usize| {
+        let mut out: Vec<Vec<Value>> = Vec::new();
+        for combined in &joined[lo..hi] {
+            let Some(key) = join_key(&combined[probe_offset]) else {
+                continue;
+            };
+            if let Some(matches) = map.get(&key) {
+                for &i in matches {
+                    let mut row = combined.clone();
+                    let build = &build_rows[i];
+                    row[build_offset..build_offset + build.len()].clone_from_slice(build);
+                    out.push(row);
+                }
+            }
+        }
+        out
+    };
+    if threads <= 1 || joined.len() < PARALLEL_JOIN_MIN_ROWS {
+        return probe_partition(0, joined.len());
+    }
+    let ranges = task_ranges(joined.len(), threads);
+    let mut partitions = ThreadPool::global().map_index(ranges.len(), threads, |p| {
+        let (lo, hi) = ranges[p];
+        probe_partition(lo, hi)
+    });
+    let total = partitions.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for partition in &mut partitions {
+        out.append(partition);
+    }
+    out
 }
 
 /// Hashable join key with Int/Float normalization.
@@ -1370,6 +1411,76 @@ mod tests {
         .unwrap();
         assert_eq!(parallel.values, serial.values);
         assert_eq!(parallel.rows_aggregated, serial.rows_aggregated);
+    }
+
+    #[test]
+    fn parallel_probe_matches_serial_on_large_probe_side() {
+        // The probe prefix (~21k rows after the filter) crosses
+        // PARALLEL_JOIN_MIN_ROWS, so the partitioned probe path runs.
+        let store = big_columnar();
+        let plan = QueryPlan {
+            tables: vec![
+                TablePlan {
+                    name: "probe".into(),
+                    access: AccessPath::Columnar(Arc::clone(&store)),
+                    accessed: vec![0, 1],
+                    predicate: Some(Expr::cmp(0, CmpOp::Lt, 700i64)),
+                    record_level: true,
+                    collect_satisfying: false,
+                },
+                TablePlan {
+                    name: "build".into(),
+                    access: AccessPath::Columnar(store),
+                    accessed: vec![0, 1],
+                    predicate: Some(Expr::cmp(0, CmpOp::Lt, 5i64)),
+                    record_level: true,
+                    collect_satisfying: false,
+                },
+            ],
+            joins: vec![JoinSpec {
+                left_table: 0,
+                left_slot: 0,
+                right_table: 1,
+                right_slot: 0,
+            }],
+            aggregates: vec![
+                AggSpec {
+                    table: 0,
+                    slot: None,
+                    func: AggFunc::Count,
+                },
+                AggSpec {
+                    table: 1,
+                    slot: Some(1),
+                    func: AggFunc::Sum,
+                },
+                AggSpec {
+                    table: 0,
+                    slot: Some(1),
+                    func: AggFunc::Min,
+                },
+            ],
+        };
+        let serial = execute_with(
+            &plan,
+            &ExecOptions {
+                vectorized: true,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        for threads in [2, 4, 8] {
+            let parallel = execute_with(
+                &plan,
+                &ExecOptions {
+                    vectorized: true,
+                    threads,
+                },
+            )
+            .unwrap();
+            assert_eq!(parallel.values, serial.values, "threads {threads}");
+            assert_eq!(parallel.rows_aggregated, serial.rows_aggregated);
+        }
     }
 
     #[test]

@@ -315,6 +315,15 @@ impl ScratchColumn {
         self.col.push_entry_from(data, valid, index);
     }
 
+    /// Appends a valid string straight from its encoded bytes into the
+    /// scratch arena — no intermediate `String` (see
+    /// [`ColumnData::push_str_bytes`]).
+    #[inline]
+    pub fn push_str_bytes(&mut self, s: &[u8]) {
+        self.col.valid.push(true);
+        self.col.data.push_str_bytes(s);
+    }
+
     pub fn as_batch_column(&self) -> BatchColumn<'_> {
         let values = self.col.data.slice(0, self.col.len());
         BatchColumn {

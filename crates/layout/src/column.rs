@@ -73,6 +73,21 @@ impl ColumnData {
         }
     }
 
+    /// Appends one string value directly from its encoded bytes — no
+    /// intermediate `String` allocation; the bytes land straight in the
+    /// shared heap (the row store's decode-into-arena path).
+    #[inline]
+    pub fn push_str_bytes(&mut self, s: &[u8]) {
+        match self {
+            ColumnData::Str { offsets, bytes } => {
+                bytes.extend_from_slice(s);
+                offsets.push(bytes.len() as u32);
+            }
+            // Scalar type of a leaf never changes within a store.
+            _ => unreachable!("push_str_bytes on a non-string column"),
+        }
+    }
+
     /// Reads a value (non-null slot).
     #[inline]
     pub fn get(&self, index: usize) -> Value {

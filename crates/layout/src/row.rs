@@ -279,8 +279,7 @@ impl RowStore {
                 let mut slice = &self.buf[lo..hi];
                 for &slot in &slot_of {
                     if slot != usize::MAX {
-                        let value = decode_value(&mut slice);
-                        scratch.cols[slot].push(&value);
+                        decode_value_into(&mut slice, &mut scratch.cols[slot]);
                     } else {
                         skip_value(&mut slice);
                     }
@@ -381,6 +380,26 @@ fn decode_value(slice: &mut &[u8]) -> Value {
             let s = String::from_utf8_lossy(&slice[..len]).into_owned();
             *slice = &slice[len..];
             Value::Str(s)
+        }
+        other => unreachable!("corrupt row tag {other}"),
+    }
+}
+
+/// Decodes one packed field straight into a scratch column. Strings copy
+/// from the row buffer into the column's byte arena without the owned
+/// `String` round-trip [`decode_value`] pays — one allocation+copy saved
+/// per string value on the vectorized row-store scan.
+fn decode_value_into(slice: &mut &[u8], col: &mut crate::batch::ScratchColumn) {
+    match take_u8(slice) {
+        TAG_NULL => col.push(&Value::Null),
+        TAG_FALSE => col.push(&Value::Bool(false)),
+        TAG_TRUE => col.push(&Value::Bool(true)),
+        TAG_INT => col.push(&Value::Int(i64::from_le_bytes(take_array(slice)))),
+        TAG_FLOAT => col.push(&Value::Float(f64::from_le_bytes(take_array(slice)))),
+        TAG_STR => {
+            let len = u32::from_le_bytes(take_array(slice)) as usize;
+            col.push_str_bytes(&slice[..len]);
+            *slice = &slice[len..];
         }
         other => unreachable!("corrupt row tag {other}"),
     }

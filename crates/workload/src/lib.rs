@@ -5,12 +5,14 @@
 //! session executes), plus the [`oracle`] the offline eviction baselines
 //! need.
 
+pub mod concurrent;
 pub mod domains;
 pub mod mixed;
 pub mod oracle;
 pub mod spa;
 pub mod spj;
 
+pub use concurrent::{seeded_turns, split_round_robin};
 pub use domains::Domains;
 pub use mixed::{mixed_spa_workload, spam_mixed_workload, SpamMixConfig};
 pub use oracle::WorkloadOracle;

@@ -151,6 +151,6 @@ mod tests {
         for spec in &workload {
             session.run(spec).unwrap();
         }
-        assert!(session.cache().counters.hits_exact > 0);
+        assert!(session.cache().counters().hits_exact > 0);
     }
 }

@@ -329,6 +329,6 @@ mod tests {
                 .run(spec)
                 .unwrap_or_else(|e| panic!("query failed: {e} — {}", crate::spec_to_sql(spec)));
         }
-        assert!(session.cache().counters.admissions > 0);
+        assert!(session.cache().counters().admissions > 0);
     }
 }

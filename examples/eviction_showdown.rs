@@ -80,7 +80,7 @@ fn main() {
         Eviction::FarthestFirst,
         Eviction::LogOptimal,
     ] {
-        let (mut session, domains) = build_session(eviction, capacity, sf);
+        let (session, domains) = build_session(eviction, capacity, sf);
         let specs = tpch_spj_workload(&domains, queries, &SpjConfig::default(), 42);
         if eviction.is_offline() {
             let oracle = WorkloadOracle::build(&session, &specs).expect("oracle");
@@ -90,7 +90,7 @@ fn main() {
         for spec in &specs {
             total += session.run(spec).expect("query").stats.total_ns as f64 / 1e9;
         }
-        let c = session.cache().counters;
+        let c = session.cache().counters();
         println!(
             "{:<26} {total:>8.3}  {:>6}  {:>7}  {:>9}",
             eviction.name(),

@@ -85,7 +85,7 @@ fn main() {
     );
     run_phase(&mut session, &phase2, "non-nested phase");
 
-    for entry in session.cache().iter() {
+    for entry in session.cache().snapshot().into_iter() {
         println!(
             "cached entry on {}: layout={}, {} records / {} flattened rows, {} KiB, reused {}x, switched {}x",
             entry.source,
@@ -94,7 +94,7 @@ fn main() {
             entry.data.flattened_rows(),
             entry.stats.bytes / 1024,
             entry.stats.n,
-            entry.history.switches,
+            entry.layout_switches,
         );
     }
 }

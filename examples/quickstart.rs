@@ -90,7 +90,7 @@ fn main() {
         result.rows_aggregated, result.rows[1]
     );
 
-    let counters = session.cache().counters;
+    let counters = session.cache().counters();
     println!(
         "\ncache state: {} entries / {} KiB; hits: {} exact + {} subsuming, misses: {}",
         session.cache().len(),

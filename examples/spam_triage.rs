@@ -72,7 +72,7 @@ fn main() {
         total += r.stats.total_ns as f64 / 1e9;
         hits += usize::from(r.stats.cache_hit);
     }
-    let counters = session.cache().counters;
+    let counters = session.cache().counters();
     println!(
         "   {} queries in {total:.3}s, {hits} served (fully or partly) from cache",
         specs.len()

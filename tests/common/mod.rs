@@ -1,0 +1,44 @@
+//! Shared fixtures for the integration suites.
+
+use recache::data::{csv, gen::tpch};
+use recache::types::Value;
+use recache::workload::Domains;
+use recache::{ReCache, ReCacheBuilder};
+use std::collections::HashMap;
+
+/// A session with the five TPC-H CSV tables registered, plus per-table
+/// value domains for the workload generators.
+pub fn tpch_session(
+    builder: ReCacheBuilder,
+    sf: f64,
+    seed: u64,
+) -> (ReCache, HashMap<String, Domains>) {
+    let mut session = builder.build();
+    let mut domains = HashMap::new();
+    let to_records = |rows: &[Vec<Value>]| -> Vec<Value> {
+        rows.iter().map(|r| Value::Struct(r.clone())).collect()
+    };
+    let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
+    for (name, schema, rows) in [
+        ("orders", tpch::orders_schema(), orders),
+        ("lineitem", tpch::lineitem_schema(), lineitems),
+        (
+            "customer",
+            tpch::customer_schema(),
+            tpch::gen_customer(sf, seed),
+        ),
+        ("part", tpch::part_schema(), tpch::gen_part(sf, seed)),
+        (
+            "partsupp",
+            tpch::partsupp_schema(),
+            tpch::gen_partsupp(sf, seed),
+        ),
+    ] {
+        domains.insert(
+            name.to_owned(),
+            Domains::compute(&schema, to_records(&rows).iter()),
+        );
+        session.register_csv_bytes(name, csv::write_csv(&schema, &rows), schema);
+    }
+    (session, domains)
+}

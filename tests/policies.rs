@@ -2,6 +2,9 @@
 //! session: admission thresholds, eviction policies with and without the
 //! offline oracle, layout switching, and the registry counters.
 
+mod common;
+
+use common::tpch_session;
 use recache::data::gen::tpch;
 use recache::data::{csv, json};
 use recache::layout::{CacheData, LayoutKind};
@@ -10,42 +13,6 @@ use recache::workload::{
     spa_workload, tpch_spj_workload, Domains, PoolPhase, SpaConfig, SpjConfig, WorkloadOracle,
 };
 use recache::{Admission, Eviction, LayoutPolicy, ReCache};
-use std::collections::HashMap;
-
-fn tpch_session(
-    builder: recache::ReCacheBuilder,
-    sf: f64,
-    seed: u64,
-) -> (ReCache, HashMap<String, Domains>) {
-    let mut session = builder.build();
-    let mut domains = HashMap::new();
-    let to_records = |rows: &[Vec<Value>]| -> Vec<Value> {
-        rows.iter().map(|r| Value::Struct(r.clone())).collect()
-    };
-    let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
-    for (name, schema, rows) in [
-        ("orders", tpch::orders_schema(), orders),
-        ("lineitem", tpch::lineitem_schema(), lineitems),
-        (
-            "customer",
-            tpch::customer_schema(),
-            tpch::gen_customer(sf, seed),
-        ),
-        ("part", tpch::part_schema(), tpch::gen_part(sf, seed)),
-        (
-            "partsupp",
-            tpch::partsupp_schema(),
-            tpch::gen_partsupp(sf, seed),
-        ),
-    ] {
-        domains.insert(
-            name.to_owned(),
-            Domains::compute(&schema, to_records(&rows).iter()),
-        );
-        session.register_csv_bytes(name, csv::write_csv(&schema, &rows), schema);
-    }
-    (session, domains)
-}
 
 #[test]
 fn every_eviction_policy_respects_capacity() {
@@ -59,7 +26,7 @@ fn every_eviction_policy_respects_capacity() {
         Eviction::MonetDb,
         Eviction::Vectorwise,
     ] {
-        let (mut session, domains) = tpch_session(
+        let (session, domains) = tpch_session(
             ReCache::builder()
                 .eviction(eviction)
                 .cache_capacity_bytes(capacity),
@@ -83,7 +50,7 @@ fn every_eviction_policy_respects_capacity() {
 fn offline_policies_work_with_workload_oracle() {
     let sf = 0.0004;
     for eviction in [Eviction::FarthestFirst, Eviction::LogOptimal] {
-        let (mut session, domains) = tpch_session(
+        let (session, domains) = tpch_session(
             ReCache::builder()
                 .eviction(eviction)
                 .cache_capacity_bytes(40_000),
@@ -97,7 +64,7 @@ fn offline_policies_work_with_workload_oracle() {
             session.run(spec).unwrap();
         }
         assert!(session.cache().total_bytes() <= 40_000);
-        let c = session.cache().counters;
+        let c = session.cache().counters();
         assert!(c.admissions > 0, "{}: no admissions", eviction.name());
     }
 }
@@ -107,7 +74,7 @@ fn admission_threshold_controls_eager_fraction() {
     let sf = 0.0006;
     let mut eager_counts = Vec::new();
     for threshold in [0.01, 0.5] {
-        let (mut session, domains) = tpch_session(
+        let (session, domains) = tpch_session(
             ReCache::builder().admission(Admission::with_threshold(threshold)),
             sf,
             11,
@@ -118,7 +85,8 @@ fn admission_threshold_controls_eager_fraction() {
         }
         let eager = session
             .cache()
-            .iter()
+            .snapshot()
+            .into_iter()
             .filter(|e| !matches!(e.data, CacheData::Offsets(_)))
             .count();
         eager_counts.push(eager);
@@ -145,7 +113,7 @@ fn auto_layout_switches_on_phase_change() {
     );
     session.sql("SELECT count(*) FROM orderLineitems").unwrap();
     // The warm entry starts in the Dremel layout (nested default).
-    let entry = session.cache().iter().next().unwrap();
+    let entry = session.cache().snapshot().into_iter().next().unwrap();
     assert_eq!(entry.data.layout(), LayoutKind::Dremel);
 
     // A sustained all-attributes phase should flip it to columnar.
@@ -221,13 +189,15 @@ fn benefit_metric_keeps_expensive_json_under_pressure() {
             .unwrap();
         let json_bytes = session
             .cache()
-            .iter()
+            .snapshot()
+            .into_iter()
             .find(|e| e.source == "lineitem_json")
             .map(|e| e.stats.bytes)
             .unwrap();
         let csv_bytes = session
             .cache()
-            .iter()
+            .snapshot()
+            .into_iter()
             .find(|e| e.source == "lineitem_csv")
             .map(|e| e.stats.bytes)
             .unwrap();
@@ -248,7 +218,7 @@ fn benefit_metric_keeps_expensive_json_under_pressure() {
         session.register_csv_bytes("lineitem_csv", csv::write_csv(&schema, &lineitems), schema);
         session
     };
-    let mut session = build(Eviction::GreedyDual);
+    let session = build(Eviction::GreedyDual);
     // Build one JSON-derived entry, reuse it a few times, then flood the
     // cache with CSV-derived entries.
     session
@@ -267,7 +237,11 @@ fn benefit_metric_keeps_expensive_json_under_pressure() {
             ))
             .unwrap();
     }
-    let json_alive = session.cache().iter().any(|e| e.source == "lineitem_json");
+    let json_alive = session
+        .cache()
+        .snapshot()
+        .into_iter()
+        .any(|e| e.source == "lineitem_json");
     assert!(
         json_alive,
         "greedy-dual should keep the reused, expensive JSON entry"

@@ -33,7 +33,7 @@ use recache_bench::args::Args;
 use recache_bench::concurrent::replay_concurrent;
 use recache_core::ReCache;
 use recache_data::gen::tpch;
-use recache_data::{csv as data_csv, json as data_json};
+use recache_data::{csv as data_csv, json as data_json, FileFormat, RawFile};
 use recache_engine::exec::{execute_with, ExecOptions};
 use recache_engine::expr::Expr;
 use recache_engine::plan::{AccessPath, AggFunc, AggSpec, QueryPlan, TablePlan};
@@ -148,6 +148,141 @@ fn family(
             rel_to_row: ns / row_ns,
         });
     }
+}
+
+/// The `raw` trajectory mode: scan+filter+agg straight off the CSV bytes.
+///
+/// Two families:
+/// * `raw_csv_filter_agg` — **first scans**: the file's scan state is
+///   reset before every run, so the row mode prices the per-record
+///   tokenizer and the vectorized modes price the batched tokenizer
+///   (typed scratch columns + posmap capture). This is the pair the
+///   `--gate-raw` speedup floor applies to.
+/// * `raw_csv_mapped_filter_agg` — **posmap-mapped re-scans**: the map is
+///   built once up front and both modes navigate it.
+fn raw_family(
+    bytes: &[u8],
+    schema: &Schema,
+    accessed: Vec<usize>,
+    thread_counts: &[usize],
+    samples: usize,
+    out: &mut Vec<BenchResult>,
+) {
+    let file = Arc::new(RawFile::from_bytes(
+        bytes.to_vec(),
+        FileFormat::Csv,
+        schema.clone(),
+    ));
+    let plan = filter_agg_plan(AccessPath::Raw(Arc::clone(&file)), accessed, true);
+    let row = ExecOptions {
+        vectorized: false,
+        threads: 1,
+    };
+    // First-scan family: reset inside the timed closure (the newline
+    // index rebuild is part of the batched path's cost, as tokenizing to
+    // a posmap is part of the row path's).
+    let row_ns = measure(samples, 2, || {
+        file.reset_scan_state();
+        black_box(execute_with(&plan, &row).unwrap().values);
+    });
+    out.push(BenchResult {
+        name: "raw_csv_filter_agg",
+        mode: "row",
+        threads: 1,
+        median_ns: row_ns,
+        rel_to_row: 1.0,
+    });
+    for &threads in thread_counts {
+        let options = ExecOptions {
+            vectorized: true,
+            threads,
+        };
+        let ns = measure(samples, 2, || {
+            file.reset_scan_state();
+            black_box(execute_with(&plan, &options).unwrap().values);
+        });
+        out.push(BenchResult {
+            name: "raw_csv_filter_agg",
+            mode: if threads == 1 {
+                "vectorized"
+            } else {
+                "parallel"
+            },
+            threads,
+            median_ns: ns,
+            rel_to_row: ns / row_ns,
+        });
+    }
+    // Mapped family: warm the map once, then both modes navigate it.
+    file.reset_scan_state();
+    let warm = vec![true; file.leaves().len()];
+    file.scan_projected(&warm, &mut |_, _| {})
+        .expect("warm scan");
+    family(
+        "raw_csv_mapped_filter_agg",
+        &plan,
+        thread_counts,
+        samples,
+        out,
+    );
+}
+
+/// Dict-eligible vs not: the same string-equality scan over a store whose
+/// predicate column is dictionary-encoded vs built plain. `rel_to_row`
+/// stays family-relative; the derived `columnar_str_eq_dict_vs_plain`
+/// ratio compares the two vectorized medians directly.
+fn dict_family(
+    schema: &Schema,
+    records: &[Value],
+    comment_leaf: usize,
+    price_leaf: usize,
+    literal: &str,
+    samples: usize,
+    out: &mut Vec<BenchResult>,
+) {
+    let dict = Arc::new(ColumnStore::build(schema, records.iter()));
+    assert!(
+        dict.leaf_is_dict(comment_leaf),
+        "bench comment column must dictionary-encode"
+    );
+    let plain = Arc::new(ColumnStore::build_with_dict(schema, records.iter(), None));
+    let str_eq_plan = |access: AccessPath| QueryPlan {
+        tables: vec![TablePlan {
+            name: "bench".into(),
+            access,
+            accessed: vec![comment_leaf, price_leaf],
+            predicate: Some(Expr::cmp(0, recache_engine::expr::CmpOp::Eq, literal)),
+            record_level: true,
+            collect_satisfying: false,
+        }],
+        joins: vec![],
+        aggregates: vec![
+            AggSpec {
+                table: 0,
+                slot: None,
+                func: AggFunc::Count,
+            },
+            AggSpec {
+                table: 0,
+                slot: Some(1),
+                func: AggFunc::Sum,
+            },
+        ],
+    };
+    family(
+        "columnar_str_eq_dict",
+        &str_eq_plan(AccessPath::Columnar(dict)),
+        &[1],
+        samples,
+        out,
+    );
+    family(
+        "columnar_str_eq_plain",
+        &str_eq_plan(AccessPath::Columnar(plain)),
+        &[1],
+        samples,
+        out,
+    );
 }
 
 fn json_escape(s: &str) -> String {
@@ -377,6 +512,36 @@ fn main() {
         samples,
         &mut results,
     );
+    // Raw-scan mode: batched vs row tokenizer, first-scan and mapped.
+    let li_bytes = data_csv::write_csv(&li_schema, &lineitems);
+    raw_family(
+        &li_bytes,
+        &li_schema,
+        vec![quantity, price],
+        &[1, 4],
+        samples,
+        &mut results,
+    );
+    // Dict-eligible vs not: string equality over l_comment.
+    let comment = li_schema
+        .leaf_index(&FieldPath::parse("l_comment"))
+        .unwrap();
+    let literal = match &records[0] {
+        Value::Struct(fields) => match &fields[comment] {
+            Value::Str(s) => s.clone(),
+            other => panic!("l_comment must be a string, got {other:?}"),
+        },
+        other => panic!("expected struct record, got {other:?}"),
+    };
+    dict_family(
+        &li_schema,
+        &records,
+        comment,
+        price,
+        &literal,
+        samples,
+        &mut results,
+    );
     // Multi-session replay (admissions + concurrent registry); `threads`
     // holds the session count for these rows.
     concurrent_family(sf, args.usize("concurrent_samples", 5), &mut results);
@@ -393,6 +558,8 @@ fn main() {
         "columnar_filter_agg",
         "rowstore_filter_agg",
         "dremel_element_filter_agg",
+        "raw_csv_filter_agg",
+        "raw_csv_mapped_filter_agg",
     ] {
         if let (Some(t1), Some(t4)) = (median_of(name, 1, true), median_of(name, 4, true)) {
             derived.push((format!("{name}_speedup_4t_vs_1t"), t1 / t4));
@@ -400,6 +567,15 @@ fn main() {
         if let (Some(row), Some(vec1)) = (median_of(name, 1, false), median_of(name, 1, true)) {
             derived.push((format!("{name}_vectorized_speedup_vs_row"), row / vec1));
         }
+    }
+    if let (Some(dict), Some(plain)) = (
+        median_of("columnar_str_eq_dict", 1, true),
+        median_of("columnar_str_eq_plain", 1, true),
+    ) {
+        derived.push((
+            "columnar_str_eq_dict_vs_plain_speedup".to_owned(),
+            plain / dict,
+        ));
     }
     {
         let replay_of = |sessions: usize| -> Option<f64> {
@@ -425,6 +601,35 @@ fn main() {
 
     write_json(&out_path, pr, &results, &derived).expect("write trajectory JSON");
     eprintln!("trajectory: wrote {out_path}");
+
+    // Raw-scan speedup floor: `--gate-raw 1.5` requires the batched
+    // first-scan (vectorized t1) to beat the row tokenizer by at least
+    // that factor on this machine.
+    let gate_raw = args.f64("gate-raw", 0.0);
+    if gate_raw > 0.0 {
+        match (
+            median_of("raw_csv_filter_agg", 1, false),
+            median_of("raw_csv_filter_agg", 1, true),
+        ) {
+            (Some(row), Some(vec1)) if vec1 > 0.0 => {
+                let speedup = row / vec1;
+                if speedup < gate_raw {
+                    eprintln!(
+                        "trajectory: RAW SCAN GATE FAILED: batched t1 is {speedup:.2}x the row \
+                         tokenizer, floor is {gate_raw:.2}x"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!(
+                    "trajectory: raw batched t1 {speedup:.2}x row tokenizer (floor {gate_raw:.2}x)"
+                );
+            }
+            _ => {
+                eprintln!("trajectory: RAW SCAN GATE FAILED: raw_csv_filter_agg rows missing");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // Regression gate.
     if !baseline_path.is_empty() {

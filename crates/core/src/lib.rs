@@ -229,6 +229,38 @@ impl ReCache {
         resolve(spec, &self.sources)
     }
 
+    /// Rough in-flight scan cost of a query under the current cache
+    /// state, in bytes to be scanned: a table that would hit the cache
+    /// contributes its store's (possibly dictionary-compressed) resident
+    /// size, a miss contributes the raw file's size — the same
+    /// bytes-scanned proxy the cost model's `D` term prices. The
+    /// [`Scheduler`] uses this to weight each stream's slice of the
+    /// thread budget, so one expensive raw scan is not starved behind K
+    /// cheap cache hits. Unresolvable queries estimate to 0 (the error
+    /// surfaces when the query actually runs).
+    pub fn estimate_scan_cost(&self, spec: &QuerySpec) -> u64 {
+        let Ok(resolved) = resolve(spec, &self.sources) else {
+            return 0;
+        };
+        resolved
+            .tables
+            .iter()
+            .map(|t| {
+                if self.caching {
+                    let (m, _) = self
+                        .registry
+                        .lookup_uncounted(&t.name, &t.signature, &t.ranges);
+                    if let Some(id) = m.entry() {
+                        if let Some(bytes) = self.registry.with_entry(id, |e| e.data.byte_size()) {
+                            return bytes as u64;
+                        }
+                    }
+                }
+                t.file.byte_len() as u64
+            })
+            .sum()
+    }
+
     /// Parses and runs one SQL query.
     pub fn sql(&self, text: &str) -> Result<QueryResult> {
         let spec = parse_query(text)?;

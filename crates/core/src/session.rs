@@ -8,10 +8,13 @@
 //!
 //! * [`Scheduler`] — admits K streams concurrently and negotiates each
 //!   one's slice of the machine: a query's
-//!   [`ExecOptions::threads`](recache_engine::ExecOptions) budget is
-//!   `max(1, total_threads / active_sessions)`, re-negotiated per query
-//!   as sessions come and go, so one stream alone fans out across the
-//!   whole `workpool` while four streams get a quarter each.
+//!   [`ExecOptions::threads`](recache_engine::ExecOptions) budget is its
+//!   share of `total_threads` **weighted by the stream's in-flight
+//!   estimated scan cost** (bytes to be scanned, from
+//!   [`ReCache::estimate_scan_cost`]) — re-negotiated per query as
+//!   sessions come and go, so one stream alone fans out across the whole
+//!   `workpool`, equal-cost streams split evenly, and one expensive raw
+//!   scan is not starved behind K cheap cache hits.
 //! * [`Inflight`] — single-flight coalescing of duplicate cacheable
 //!   scans. When two sessions miss on the same `(source, signature)` at
 //!   the same time, the second *waits* for the first's admission instead
@@ -25,8 +28,25 @@ use recache_engine::exec::ExecOptions;
 use recache_engine::sql::QuerySpec;
 use recache_types::{Error, Result};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Cost-weighted thread split: stream `mine`'s slice of `total_threads`,
+/// proportional to its share of the summed in-flight cost estimates
+/// (slots holding 0 are idle streams). Rounded to nearest and floored at
+/// one thread; the result may oversubscribe slightly on rounding, which
+/// is harmless — the work pool has a fixed worker count and `threads`
+/// only controls task splitting. With equal costs this reduces to the
+/// old `total / active` even split.
+fn weighted_share(total_threads: usize, costs: &[u64], mine: usize) -> usize {
+    let total_cost: u128 = costs.iter().map(|&c| u128::from(c)).sum();
+    let my_cost = u128::from(costs[mine]);
+    if total_cost == 0 || my_cost == 0 {
+        return total_threads.max(1);
+    }
+    let share = (total_threads as u128 * my_cost + total_cost / 2) / total_cost;
+    share.clamp(1, total_threads as u128) as usize
+}
 
 /// Key of one in-flight cacheable scan: `(source, signature)`.
 pub(crate) type FlightKey = (String, String);
@@ -170,38 +190,44 @@ impl Scheduler {
         self.active.load(Ordering::Acquire)
     }
 
-    /// The per-query thread budget for one active session right now:
-    /// an equal share of the total, floored at one thread.
-    fn negotiate(&self) -> usize {
-        let active = self.active.load(Ordering::Acquire).max(1);
-        (self.total_threads / active).max(1)
-    }
-
     /// Runs every stream to completion concurrently (one OS thread per
     /// stream; scans inside each query fan out on the shared `workpool`
-    /// under the negotiated budget). Returns per-stream results in stream
-    /// order.
+    /// under the negotiated budget). Before each query, a stream posts
+    /// its estimated scan cost (bytes to be scanned under the current
+    /// cache state) to a shared board and takes a cost-weighted slice of
+    /// the thread budget; idle streams hold cost 0 and drop out of the
+    /// split. Returns per-stream results in stream order.
     pub fn run_streams(
         &self,
         session: &ReCache,
         streams: &[Vec<QuerySpec>],
     ) -> Result<Vec<Vec<QueryResult>>> {
+        let costs: Vec<AtomicU64> = (0..streams.len()).map(|_| AtomicU64::new(0)).collect();
+        let costs = &costs;
         std::thread::scope(|scope| {
             let handles: Vec<_> = streams
                 .iter()
-                .map(|stream| {
+                .enumerate()
+                .map(|(s, stream)| {
                     scope.spawn(move || {
                         self.active.fetch_add(1, Ordering::AcqRel);
                         let out: Result<Vec<QueryResult>> = stream
                             .iter()
                             .map(|spec| {
+                                // `max(1)`: a zero estimate must still
+                                // count as in-flight, not idle.
+                                let estimate = session.estimate_scan_cost(spec).max(1);
+                                costs[s].store(estimate, Ordering::Release);
+                                let snapshot: Vec<u64> =
+                                    costs.iter().map(|c| c.load(Ordering::Acquire)).collect();
                                 let options = ExecOptions {
                                     vectorized: true,
-                                    threads: self.negotiate(),
+                                    threads: weighted_share(self.total_threads, &snapshot, s),
                                 };
                                 session.run_with(spec, &options)
                             })
                             .collect();
+                        costs[s].store(0, Ordering::Release);
                         self.active.fetch_sub(1, Ordering::AcqRel);
                         out
                     })
@@ -380,14 +406,89 @@ mod tests {
     }
 
     #[test]
-    fn scheduler_negotiates_equal_shares() {
+    fn weighted_share_reduces_to_equal_split_on_equal_costs() {
         let scheduler = Scheduler::new(8);
         assert_eq!(scheduler.total_threads(), 8);
-        assert_eq!(scheduler.negotiate(), 8, "idle scheduler gives it all");
-        scheduler.active.store(4, Ordering::Release);
-        assert_eq!(scheduler.negotiate(), 2);
-        scheduler.active.store(16, Ordering::Release);
-        assert_eq!(scheduler.negotiate(), 1, "budget floors at one thread");
+        // Lone stream gets everything.
+        assert_eq!(weighted_share(8, &[100], 0), 8);
+        // Four equal streams: a quarter each.
+        let costs = [50u64; 4];
+        for s in 0..4 {
+            assert_eq!(weighted_share(8, &costs, s), 2);
+        }
+        // More streams than threads: floor at one.
+        let costs = [10u64; 16];
+        assert_eq!(weighted_share(8, &costs, 3), 1);
+    }
+
+    #[test]
+    fn weighted_share_favours_expensive_streams() {
+        // One raw-scan-heavy stream vs three cheap cache-hit streams:
+        // the expensive one takes most of the budget.
+        let costs = [7_000u64, 500, 500, 500];
+        assert_eq!(weighted_share(8, &costs, 0), 7);
+        assert_eq!(weighted_share(8, &costs, 1), 1);
+        // Idle slots (cost 0) drop out of the split entirely.
+        let costs = [3_000u64, 0, 3_000, 0];
+        assert_eq!(weighted_share(8, &costs, 0), 4);
+        assert_eq!(weighted_share(8, &costs, 2), 4);
+        // A zero own-cost (not yet posted) falls back to the full budget.
+        assert_eq!(weighted_share(8, &costs, 1), 8);
+    }
+
+    #[test]
+    fn scan_cost_estimates_shrink_on_cache_hits() {
+        use recache_data::gen::tpch;
+        use recache_engine::sql::parse_query;
+        let mut session = crate::ReCache::builder().build();
+        let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0003, 9);
+        let schema = tpch::lineitem_schema();
+        let bytes = recache_data::csv::write_csv(&schema, &lineitems);
+        let raw_bytes = bytes.len() as u64;
+        session.register_csv_bytes("lineitem", bytes, schema);
+        let spec = parse_query("SELECT count(*) FROM lineitem WHERE l_quantity >= 30").unwrap();
+        // Miss: the estimate prices the whole raw file.
+        assert_eq!(session.estimate_scan_cost(&spec), raw_bytes);
+        session.run(&spec).unwrap();
+        // Hit: the estimate prices the (smaller) cached store.
+        let cached = session.estimate_scan_cost(&spec);
+        assert!(cached > 0);
+        assert!(
+            cached < raw_bytes,
+            "cached estimate {cached} must undercut the raw file {raw_bytes}"
+        );
+        // Unknown tables estimate to zero instead of erroring.
+        let bad = parse_query("SELECT count(*) FROM nope").unwrap();
+        assert_eq!(session.estimate_scan_cost(&bad), 0);
+    }
+
+    #[test]
+    fn cost_weighted_streams_still_run_to_completion() {
+        use recache_data::gen::tpch;
+        use recache_engine::sql::parse_query;
+        let mut session = crate::ReCache::builder().build();
+        let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0002, 3);
+        let schema = tpch::lineitem_schema();
+        session.register_csv_bytes(
+            "lineitem",
+            recache_data::csv::write_csv(&schema, &lineitems),
+            schema,
+        );
+        let q = |s: &str| parse_query(s).unwrap();
+        let streams = vec![
+            vec![
+                q("SELECT sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 10"),
+                q("SELECT sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 10"),
+            ],
+            vec![q("SELECT count(*) FROM lineitem WHERE l_quantity <= 20")],
+        ];
+        let scheduler = Scheduler::new(4);
+        let results = Scheduler::run_streams(&scheduler, &session, &streams).unwrap();
+        assert_eq!(results[0].len(), 2);
+        assert_eq!(results[1].len(), 1);
+        // Identical queries agree regardless of the negotiated split.
+        assert_eq!(results[0][0].rows, results[0][1].rows);
+        assert_eq!(scheduler.active_sessions(), 0);
     }
 
     #[test]

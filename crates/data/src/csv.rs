@@ -7,6 +7,7 @@
 //!   the positional map, paying nothing for the fields a query skips.
 
 use crate::posmap::PositionalMap;
+use recache_layout::ScratchColumn;
 use recache_types::{Error, Result, ScalarType, Schema, Value};
 
 /// Field delimiter: TPC-H convention.
@@ -117,6 +118,101 @@ pub fn parse_field(bytes: &[u8], ty: ScalarType) -> Result<Value> {
     }
 }
 
+/// Parses one CSV field straight into a typed scratch column — the
+/// batched tokenizer's hot path. No intermediate [`Value`], and string
+/// fields copy their bytes exactly once, directly into the column's
+/// arena (where [`parse_field`] allocates an owned `String` per field).
+/// Empty fields append nulls, matching [`parse_field`].
+#[inline]
+pub fn parse_field_into(bytes: &[u8], ty: ScalarType, col: &mut ScratchColumn) -> Result<()> {
+    if bytes.is_empty() {
+        col.push_null();
+        return Ok(());
+    }
+    match ty {
+        ScalarType::Int => match parse_i64(bytes) {
+            Some(v) => col.push_int(v),
+            None => {
+                return Err(Error::parse(format!(
+                    "invalid int: {}",
+                    String::from_utf8_lossy(bytes)
+                )))
+            }
+        },
+        ScalarType::Float => match parse_f64_fast(bytes).or_else(|| {
+            std::str::from_utf8(bytes)
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+        }) {
+            Some(v) => col.push_float(v),
+            None => {
+                return Err(Error::parse(format!(
+                    "invalid float: {}",
+                    String::from_utf8_lossy(bytes)
+                )))
+            }
+        },
+        ScalarType::Bool => match bytes {
+            b"true" | b"1" => col.push_bool(true),
+            b"false" | b"0" => col.push_bool(false),
+            _ => {
+                return Err(Error::parse(format!(
+                    "invalid bool: {}",
+                    String::from_utf8_lossy(bytes)
+                )))
+            }
+        },
+        ScalarType::Str => col.push_str_bytes(bytes),
+    }
+    Ok(())
+}
+
+/// Exact fast-path float parse for the plain `[-]digits[.digits]` forms
+/// the CSV writer emits. When the significand fits in 15 decimal digits
+/// it is exactly representable as an integer-valued `f64`, and for a
+/// fraction of at most 22 digits the power of ten is exact too, so the
+/// single division `mantissa / 10^frac` rounds exactly once — the result
+/// is **bit-identical** to `str::parse::<f64>` (both are the correctly
+/// rounded nearest double of the same rational). Anything else —
+/// exponents, >15 significant digits, inf/nan — returns `None` and falls
+/// back to the std parser.
+#[inline]
+fn parse_f64_fast(bytes: &[u8]) -> Option<f64> {
+    const POW10: [f64; 23] = [
+        1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15, 1e16,
+        1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+    ];
+    let (neg, rest) = match bytes.first()? {
+        b'-' => (true, &bytes[1..]),
+        b'+' => (false, &bytes[1..]),
+        _ => (false, bytes),
+    };
+    let mut mantissa: u64 = 0;
+    let mut digits = 0usize;
+    let mut frac = 0usize;
+    let mut seen_dot = false;
+    for &b in rest {
+        match b {
+            b'0'..=b'9' => {
+                mantissa = mantissa.wrapping_mul(10) + u64::from(b - b'0');
+                digits += 1;
+                if seen_dot {
+                    frac += 1;
+                }
+            }
+            b'.' if !seen_dot => seen_dot = true,
+            _ => return None,
+        }
+    }
+    // ≤ 15 digits also bounds the wrapping arithmetic above well below
+    // overflow.
+    if digits == 0 || digits > 15 || frac >= POW10.len() {
+        return None;
+    }
+    let v = mantissa as f64 / POW10[frac];
+    Some(if neg { -v } else { v })
+}
+
 /// Hand-rolled integer parse: the hot path of CSV scans.
 fn parse_i64(bytes: &[u8]) -> Option<i64> {
     let (negative, digits) = match bytes.first()? {
@@ -211,6 +307,187 @@ pub fn scan_build_map(
         field_offsets,
         n_fields,
     ))
+}
+
+/// SWAR byte-broadcast constants for the word-at-a-time delimiter scan.
+const SWAR_LO: u64 = 0x0101_0101_0101_0101;
+const SWAR_HI: u64 = 0x8080_8080_8080_8080;
+
+/// Marks every byte of `word` equal to `needle`: the classic SWAR
+/// "has-zero-byte" trick on `word ^ broadcast(needle)`. The returned mask
+/// has bit `8·j + 7` set iff byte `j` matches, so matches enumerate in
+/// ascending position via `trailing_zeros() / 8` (the word was loaded
+/// little-endian).
+#[inline]
+fn byte_eq_mask(word: u64, needle: u8) -> u64 {
+    let x = word ^ (SWAR_LO * u64::from(needle));
+    x.wrapping_sub(SWAR_LO) & !x & SWAR_HI
+}
+
+/// Record-start offsets of `bytes` (one newline scan, plus a final
+/// total-length entry): the cheap half of the positional map, enough to
+/// partition a batched first scan into fixed record windows before any
+/// field has been tokenized. The scan runs word-at-a-time (SWAR), so it
+/// costs a fraction of the tokenize/parse pass it enables. Offsets agree
+/// exactly with the ones [`scan_build_map`] produces.
+pub fn index_records(bytes: &[u8]) -> Vec<u64> {
+    let mut offsets = Vec::with_capacity(bytes.len() / 32 + 2);
+    if !bytes.is_empty() {
+        offsets.push(0);
+    }
+    let mut i = 0usize;
+    while i + 8 <= bytes.len() {
+        let word = u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8-byte window"));
+        let mut mask = byte_eq_mask(word, b'\n');
+        while mask != 0 {
+            let pos = i + (mask.trailing_zeros() / 8) as usize;
+            if pos + 1 < bytes.len() {
+                offsets.push((pos + 1) as u64);
+            }
+            mask &= mask - 1;
+        }
+        i += 8;
+    }
+    while i < bytes.len() {
+        if bytes[i] == b'\n' && i + 1 < bytes.len() {
+            offsets.push((i + 1) as u64);
+        }
+        i += 1;
+    }
+    offsets.push(bytes.len() as u64);
+    offsets
+}
+
+/// Batched tokenizing scan over records `[rec_lo, rec_hi)` of the
+/// [`index_records`] grid, in two tight passes:
+///
+/// 1. one word-at-a-time (SWAR) sweep over the window's bytes collects
+///    every delimiter/newline position into a positions buffer;
+/// 2. a per-record walk over that buffer validates the field count with
+///    one O(1) check (valid records have exactly `n_fields - 1`
+///    delimiters), bulk-appends the capture offsets, and parses **only
+///    the accessed fields**, located by direct position indexing — the
+///    per-byte tokenize branch and the per-unaccessed-field walk of the
+///    row tokenizer both disappear.
+///
+/// `capture` receives per-record field offsets in exactly
+/// [`scan_build_map`]'s layout (stride `n_fields + 1`, relative to the
+/// record start, final slot = record length incl. newline), so
+/// per-window capture slabs concatenate into a full positional map.
+#[allow(clippy::too_many_arguments)]
+pub fn tokenize_range_into(
+    bytes: &[u8],
+    record_offsets: &[u64],
+    rec_lo: usize,
+    rec_hi: usize,
+    n_fields: usize,
+    accessed_fields: &[(usize, ScalarType, usize)],
+    cols: &mut [ScratchColumn],
+    capture: &mut Vec<u32>,
+) -> Result<()> {
+    let range_start = record_offsets[rec_lo] as usize;
+    let range_end = record_offsets[rec_hi] as usize;
+    debug_assert!(
+        bytes.len() <= u32::MAX as usize,
+        "batched CSV is u32-indexed"
+    );
+
+    // Pass 1: every '|' and '\n' position in the window, ascending.
+    let window = &bytes[range_start..range_end];
+    let mut positions: Vec<u32> = Vec::with_capacity((rec_hi - rec_lo) * (n_fields + 1));
+    let mut i = 0usize;
+    while i + 8 <= window.len() {
+        let word = u64::from_le_bytes(window[i..i + 8].try_into().expect("8-byte window"));
+        let mut mask = byte_eq_mask(word, DELIMITER) | byte_eq_mask(word, b'\n');
+        while mask != 0 {
+            positions.push((range_start + i) as u32 + mask.trailing_zeros() / 8);
+            mask &= mask - 1;
+        }
+        i += 8;
+    }
+    for (pos, &b) in window.iter().enumerate().skip(i) {
+        if b == DELIMITER || b == b'\n' {
+            positions.push((range_start + pos) as u32);
+        }
+    }
+
+    // Pass 2: per-record walk. The positions at cursor `p` are this
+    // record's field delimiters, then (when present) its newline.
+    let d = n_fields.saturating_sub(1);
+    let mut p = 0usize;
+    for rec in rec_lo..rec_hi {
+        let line_start = record_offsets[rec] as usize;
+        let span_end = record_offsets[rec + 1] as usize;
+        // Content excludes the trailing newline when one exists (the
+        // last record of a file may end at EOF instead).
+        let content_end = if span_end > line_start && bytes[span_end - 1] == b'\n' {
+            span_end - 1
+        } else {
+            span_end
+        };
+        let content_end_u32 = content_end as u32;
+        // Exactly `d` delimiters before the record's end?
+        let valid = p + d <= positions.len()
+            && (d == 0 || positions[p + d - 1] < content_end_u32)
+            && positions.get(p + d).is_none_or(|&x| x >= content_end_u32);
+        if !valid {
+            let mut found = 0usize;
+            while p + found < positions.len() && positions[p + found] < content_end_u32 {
+                found += 1;
+            }
+            return Err(Error::parse_at(
+                format!("record {rec} has {} fields, expected {n_fields}", found + 1),
+                content_end,
+            ));
+        }
+        // Capture: field starts (relative), then the record-length slot
+        // counting the (possibly virtual) newline — same convention as
+        // `scan_build_map`.
+        capture.push(0);
+        let base = line_start as u32;
+        capture.extend(positions[p..p + d].iter().map(|&pos| pos + 1 - base));
+        capture.push(content_end_u32 + 1 - base);
+        // Parse the accessed fields, located by direct indexing.
+        for &(field, ty, slot) in accessed_fields {
+            let start = if field == 0 {
+                line_start
+            } else {
+                positions[p + field - 1] as usize + 1
+            };
+            let end = if field == d {
+                content_end
+            } else {
+                positions[p + field] as usize
+            };
+            parse_field_into(&bytes[start..end], ty, &mut cols[slot])?;
+        }
+        p += d;
+        // Consume the record's own newline position, if present.
+        if positions.get(p) == Some(&content_end_u32) {
+            p += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Batched positional-map scan over records `[rec_lo, rec_hi)`: parses
+/// the accessed fields (`(field, type, slot)` triples) through the map's
+/// field spans, straight into typed scratch columns.
+pub fn parse_range_with_map(
+    bytes: &[u8],
+    map: &PositionalMap,
+    rec_lo: usize,
+    rec_hi: usize,
+    accessed_fields: &[(usize, ScalarType, usize)],
+    cols: &mut [ScratchColumn],
+) -> Result<()> {
+    for rec in rec_lo..rec_hi {
+        for &(field, ty, slot) in accessed_fields {
+            let (start, end) = map.field_span(rec, field);
+            parse_field_into(&bytes[start..end.min(bytes.len())], ty, &mut cols[slot])?;
+        }
+    }
+    Ok(())
 }
 
 /// Positional-map-assisted scan: parses only the accessed fields of every
@@ -398,6 +675,167 @@ mod tests {
             let mut buf = [0u8; 20];
             assert_eq!(format_i64(v, &mut buf), v.to_string().as_bytes());
         }
+    }
+
+    #[test]
+    fn index_records_matches_scan_build_map_offsets() {
+        for bytes in [
+            sample(),
+            b"5|2.50|end".to_vec(), // no trailing newline
+            Vec::new(),
+        ] {
+            let mut from_scan: Vec<u64> = Vec::new();
+            // Rebuild via the tokenizer's spans: scan_build_map exposes
+            // them through the posmap record spans.
+            if !bytes.is_empty() {
+                let map = scan_build_map(&bytes, &schema(), &[false, false, false], |_, _| Ok(()))
+                    .unwrap();
+                for r in 0..map.record_count() {
+                    from_scan.push(map.record_span(r).0 as u64);
+                }
+                from_scan.push(bytes.len() as u64);
+            } else {
+                from_scan.push(0);
+            }
+            assert_eq!(index_records(&bytes), from_scan);
+        }
+    }
+
+    #[test]
+    fn tokenize_range_matches_row_scan_and_capture_layout() {
+        let bytes = sample();
+        let offsets = index_records(&bytes);
+        assert_eq!(offsets.len(), 4);
+        // Project fields 0 and 2 into slots 0 and 1.
+        let accessed = [(0usize, ScalarType::Int, 0usize), (2, ScalarType::Str, 1)];
+        let mut cols = vec![
+            ScratchColumn::new(ScalarType::Int),
+            ScratchColumn::new(ScalarType::Str),
+        ];
+        let mut capture = Vec::new();
+        tokenize_range_into(
+            &bytes,
+            &offsets,
+            0,
+            3,
+            3,
+            &accessed,
+            &mut cols,
+            &mut capture,
+        )
+        .unwrap();
+        let ints = cols[0].as_batch_column();
+        let strs = cols[1].as_batch_column();
+        assert_eq!(ints.value(0), Value::Int(1));
+        assert_eq!(ints.value(1), Value::Int(-2));
+        assert_eq!(ints.value(2), Value::Null);
+        assert_eq!(strs.value(0), Value::from("x"));
+        assert_eq!(strs.value(1), Value::from("yy"));
+        assert_eq!(strs.value(2), Value::Null); // empty field -> null
+                                                // Capture slab must equal the full tokenizer's field offsets: a
+                                                // map assembled from it answers the same spans.
+        let map = PositionalMap::with_fields(offsets.clone(), capture, 3);
+        let reference =
+            scan_build_map(&bytes, &schema(), &[false, false, false], |_, _| Ok(())).unwrap();
+        for rec in 0..3 {
+            for field in 0..3 {
+                assert_eq!(
+                    map.field_span(rec, field),
+                    reference.field_span(rec, field),
+                    "record {rec} field {field}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tokenize_range_detects_field_count_mismatch() {
+        let bytes = b"1|2.0\n1|2.0|x|y\n".to_vec();
+        let offsets = index_records(&bytes);
+        let mut capture = Vec::new();
+        assert!(
+            tokenize_range_into(&bytes, &offsets, 0, 1, 3, &[], &mut [], &mut capture).is_err()
+        );
+        capture.clear();
+        assert!(
+            tokenize_range_into(&bytes, &offsets, 1, 2, 3, &[], &mut [], &mut capture).is_err()
+        );
+    }
+
+    #[test]
+    fn parse_range_with_map_matches_scan_with_map() {
+        let bytes = sample();
+        let map = scan_build_map(&bytes, &schema(), &[false, false, false], |_, _| Ok(())).unwrap();
+        let mut cols = vec![
+            ScratchColumn::new(ScalarType::Float),
+            ScratchColumn::new(ScalarType::Str),
+        ];
+        parse_range_with_map(
+            &bytes,
+            &map,
+            1,
+            3,
+            &[(1, ScalarType::Float, 0), (2, ScalarType::Str, 1)],
+            &mut cols,
+        )
+        .unwrap();
+        let floats = cols[0].as_batch_column();
+        assert_eq!(floats.value(0), Value::Float(2.0));
+        assert_eq!(floats.value(1), Value::Float(3.25));
+        let strs = cols[1].as_batch_column();
+        assert_eq!(strs.value(0), Value::from("yy"));
+        assert_eq!(strs.value(1), Value::Null);
+    }
+
+    #[test]
+    fn fast_float_parse_is_bit_identical_to_std() {
+        // Plain decimal forms: must agree bit-for-bit with str::parse.
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "0.5",
+            "-0.5",
+            "53107.85",
+            "0.00",
+            "123456789012345",
+            "0.00000000000001",
+            "99999.99",
+            "-42.125",
+            "3.14159",
+            "1.",
+            ".5",
+            "+2.75",
+        ] {
+            let fast = parse_f64_fast(s.as_bytes()).unwrap_or_else(|| panic!("fast path on {s}"));
+            let std = s.parse::<f64>().unwrap();
+            assert_eq!(fast.to_bits(), std.to_bits(), "{s}");
+        }
+        // Forms outside the fast path fall back (None), never wrong.
+        for s in ["1e5", "inf", "nan", "1234567890123456", "1.2.3", ""] {
+            assert_eq!(parse_f64_fast(s.as_bytes()), None, "{s}");
+        }
+        // Seeded sweep over writer-shaped values.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..5000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let cents = (state >> 20) % 10_000_000;
+            let s = format!("{}.{:02}", cents / 100, cents % 100);
+            let fast = parse_f64_fast(s.as_bytes()).unwrap();
+            assert_eq!(fast.to_bits(), s.parse::<f64>().unwrap().to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_field_into_rejects_malformed_fields() {
+        let mut col = ScratchColumn::new(ScalarType::Int);
+        assert!(parse_field_into(b"4x", ScalarType::Int, &mut col).is_err());
+        let mut col = ScratchColumn::new(ScalarType::Bool);
+        assert!(parse_field_into(b"maybe", ScalarType::Bool, &mut col).is_err());
+        let mut col = ScratchColumn::new(ScalarType::Float);
+        assert!(parse_field_into(b"not-a-float", ScalarType::Float, &mut col).is_err());
     }
 
     #[test]

@@ -3,10 +3,12 @@
 
 use crate::posmap::PositionalMap;
 use crate::{csv, json};
+use recache_layout::{BatchScratch, ColumnBatch, ScanCost, SelectionVector, BATCH_ROWS};
 use recache_types::{
-    flatten_record_projected, DataType, FlatRow, LeafField, Result, Schema, Value,
+    flatten_record_projected, DataType, FlatRow, LeafField, Result, ScalarType, Schema, Value,
 };
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Raw file format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,6 +49,27 @@ pub struct RawFile {
     /// (drives selective JSON parsing).
     leaf_top: Vec<usize>,
     posmap: Mutex<Option<Arc<PositionalMap>>>,
+    /// Batched-scan state for flat CSV files: the newline record index
+    /// plus, until the positional map is assembled, per-chunk
+    /// field-offset capture slabs (see [`CsvBatchIndex`]).
+    batch: Mutex<Option<Arc<CsvBatchIndex>>>,
+}
+
+/// First-scan state of the batched CSV path. The newline index partitions
+/// the file into [`BATCH_ROWS`]-record chunks before any field has been
+/// tokenized; each chunk's scan captures its field offsets into a slab,
+/// and when every slab is filled they concatenate (the layout has a fixed
+/// per-record stride) into the full positional map — batched first scans
+/// preserve posmap capture even when chunks run on different threads, in
+/// any order.
+struct CsvBatchIndex {
+    record_offsets: Vec<u64>,
+    capture: Mutex<CaptureSlabs>,
+}
+
+struct CaptureSlabs {
+    slabs: Vec<Option<Vec<u32>>>,
+    filled: usize,
 }
 
 impl std::fmt::Debug for RawFile {
@@ -72,6 +95,7 @@ impl RawFile {
             leaves,
             leaf_top,
             posmap: Mutex::new(None),
+            batch: Mutex::new(None),
         }
     }
 
@@ -358,6 +382,212 @@ impl RawFile {
         Ok(out)
     }
 
+    /// Whether [`RawFile::scan_batches_range`] can serve this file:
+    /// flat CSV, where every leaf is a top-level scalar and each record
+    /// is exactly one flattened row, small enough for the tokenizer's
+    /// `u32` position indexing (4 GiB+ files fall back to the
+    /// `usize`-indexed row tokenizer, as do nested JSON shapes).
+    pub fn supports_batch_scan(&self) -> bool {
+        matches!(self.format, FileFormat::Csv) && self.bytes.len() <= u32::MAX as usize
+    }
+
+    /// Number of records, from the positional map or (for CSV) the
+    /// newline index, if either has been built.
+    pub fn known_record_count(&self) -> Option<usize> {
+        if let Some(n) = self.record_count() {
+            return Some(n);
+        }
+        self.batch
+            .lock()
+            .expect("batch lock")
+            .as_ref()
+            .map(|ix| ix.record_offsets.len() - 1)
+    }
+
+    /// Drops the positional map and batched-scan index, returning the
+    /// file to its never-scanned state (benchmarks re-measure first
+    /// scans with it; queries never need it).
+    pub fn reset_scan_state(&self) {
+        *self.posmap.lock().expect("posmap lock") = None;
+        *self.batch.lock().expect("batch lock") = None;
+    }
+
+    /// Size of the batched-scan chunk grid: [`BATCH_ROWS`]-record
+    /// windows. Builds the newline record index on first use (one cheap
+    /// byte pass — the expensive tokenize/parse work stays inside the
+    /// chunk scans, which is what makes the grid parallelizable).
+    pub fn batch_chunks(&self) -> usize {
+        assert!(self.supports_batch_scan(), "batched scans are CSV-only");
+        if let Some(map) = self.posmap() {
+            return map.record_count().div_ceil(BATCH_ROWS);
+        }
+        let index = self.batch_index();
+        (index.record_offsets.len() - 1).div_ceil(BATCH_ROWS)
+    }
+
+    fn batch_index(&self) -> Arc<CsvBatchIndex> {
+        let mut slot = self.batch.lock().expect("batch lock");
+        if let Some(index) = slot.as_ref() {
+            return Arc::clone(index);
+        }
+        let record_offsets = csv::index_records(&self.bytes);
+        let n_chunks = (record_offsets.len() - 1).div_ceil(BATCH_ROWS);
+        let index = Arc::new(CsvBatchIndex {
+            record_offsets,
+            capture: Mutex::new(CaptureSlabs {
+                slabs: vec![None; n_chunks],
+                filled: 0,
+            }),
+        });
+        if n_chunks == 0 {
+            // Empty file: nothing will ever scan a chunk, so install the
+            // (empty) positional map right away — the row path does the
+            // same on its first scan.
+            self.install_posmap(PositionalMap::with_fields(
+                vec![0],
+                Vec::new(),
+                self.schema.len(),
+            ));
+        }
+        *slot = Some(Arc::clone(&index));
+        index
+    }
+
+    /// Submits one chunk's captured field offsets; the call that
+    /// completes coverage (and only that call — redundant re-scans of an
+    /// already-filled chunk return early) concatenates the slabs into
+    /// the full positional map.
+    fn submit_capture(&self, index: &CsvBatchIndex, chunk: usize, slab: Vec<u32>) {
+        let mut capture = index.capture.lock().expect("capture lock");
+        if capture.slabs[chunk].is_some() {
+            return;
+        }
+        capture.slabs[chunk] = Some(slab);
+        capture.filled += 1;
+        if capture.filled < capture.slabs.len() {
+            return;
+        }
+        let total: usize = capture.slabs.iter().flatten().map(Vec::len).sum();
+        let mut field_offsets = Vec::with_capacity(total);
+        for slab in capture.slabs.iter_mut() {
+            field_offsets.extend_from_slice(slab.as_deref().unwrap_or(&[]));
+        }
+        drop(capture);
+        self.install_posmap(PositionalMap::with_fields(
+            index.record_offsets.clone(),
+            field_offsets,
+            self.schema.len(),
+        ));
+        // The index has served its purpose; mapped scans take over.
+        *self.batch.lock().expect("batch lock") = None;
+    }
+
+    /// Vectorized scan over chunks `[chunk_lo, chunk_hi)` of the
+    /// [`RawFile::batch_chunks`] grid: parses the projected fields of
+    /// each [`BATCH_ROWS`]-record window straight into typed scratch
+    /// columns and yields them as a [`ColumnBatch`] with an identity
+    /// selection (flat CSV: one row per record; `record_ids` are file
+    /// record ids). First scans tokenize and capture the positional map
+    /// as a side effect; once a map exists, field spans are navigated
+    /// directly. Chunks are share-nothing, so disjoint ranges may run
+    /// concurrently — the executor fans them out on its work pool exactly
+    /// as it does cache-store chunks.
+    ///
+    /// Cost attribution: tokenize/parse time is data access `D` (raw
+    /// scans are one fused navigate+load pass); batch assembly rides the
+    /// same timer. `compute_ns` stays 0, matching the row-path scans
+    /// which report no D/C split for raw access at all.
+    pub fn scan_batches_range(
+        &self,
+        projection: &[usize],
+        want_record_ids: bool,
+        chunk_lo: usize,
+        chunk_hi: usize,
+        on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
+    ) -> Result<ScanCost> {
+        assert!(self.supports_batch_scan(), "batched scans are CSV-only");
+        let types: Vec<ScalarType> = self
+            .schema
+            .fields()
+            .iter()
+            .map(|f| f.data_type.as_scalar().expect("CSV fields are scalars"))
+            .collect();
+        let accessed_fields: Vec<(usize, ScalarType, usize)> = projection
+            .iter()
+            .enumerate()
+            .map(|(slot, &leaf)| (leaf, types[leaf], slot))
+            .collect();
+        let mut scratch = BatchScratch::for_projection(projection.iter().map(|&leaf| types[leaf]));
+        let mut selection = SelectionVector::new();
+        let mut cost = ScanCost::default();
+
+        // Mapped vs first-scan mode is decided once per range: a posmap
+        // installed mid-scan (by this range's own capture or a racing
+        // scan) only benefits the *next* scan, keeping per-chunk work
+        // uniform within one fan-out.
+        let existing = self.posmap();
+        let index = existing.is_none().then(|| self.batch_index());
+        let n_records = match (&existing, &index) {
+            (Some(map), _) => map.record_count(),
+            (None, Some(ix)) => ix.record_offsets.len() - 1,
+            (None, None) => unreachable!(),
+        };
+        for chunk in chunk_lo..chunk_hi {
+            let rec_lo = chunk * BATCH_ROWS;
+            if rec_lo >= n_records {
+                break;
+            }
+            let rec_hi = (rec_lo + BATCH_ROWS).min(n_records);
+            let t0 = Instant::now();
+            scratch.clear();
+            match (&existing, &index) {
+                (Some(map), _) => {
+                    csv::parse_range_with_map(
+                        &self.bytes,
+                        map,
+                        rec_lo,
+                        rec_hi,
+                        &accessed_fields,
+                        &mut scratch.cols,
+                    )?;
+                }
+                (None, Some(ix)) => {
+                    let mut slab = Vec::with_capacity((rec_hi - rec_lo) * (self.schema.len() + 1));
+                    csv::tokenize_range_into(
+                        &self.bytes,
+                        &ix.record_offsets,
+                        rec_lo,
+                        rec_hi,
+                        self.schema.len(),
+                        &accessed_fields,
+                        &mut scratch.cols,
+                        &mut slab,
+                    )?;
+                    self.submit_capture(ix, chunk, slab);
+                }
+                (None, None) => unreachable!(),
+            }
+            if want_record_ids {
+                scratch.record_ids.extend(rec_lo as u32..rec_hi as u32);
+            }
+            selection.fill_identity(rec_hi - rec_lo);
+            let batch = ColumnBatch {
+                len: rec_hi - rec_lo,
+                columns: scratch.columns(),
+                record_ids: &scratch.record_ids,
+            };
+            let data = t0.elapsed();
+            on_batch(&batch, &mut selection);
+            cost.add(&ScanCost {
+                data_ns: data.as_nanos() as u64,
+                compute_ns: 0,
+                rows: rec_hi - rec_lo,
+                rows_visited: rec_hi - rec_lo,
+            });
+        }
+        Ok(cost)
+    }
+
     fn install_posmap(&self, map: PositionalMap) {
         *self.posmap.lock().expect("posmap lock") = Some(Arc::new(map));
     }
@@ -519,5 +749,150 @@ mod tests {
     fn leaf_top_mapping() {
         let file = json_file();
         assert_eq!(super::leaf_top_indices(file.schema()), vec![0, 1]);
+    }
+
+    fn wide_csv_file(rows: usize) -> RawFile {
+        let schema = Schema::new(vec![
+            Field::required("a", DataType::Int),
+            Field::required("b", DataType::Float),
+            Field::required("s", DataType::Str),
+        ]);
+        let records: Vec<Vec<Value>> = (0..rows as i64)
+            .map(|i| {
+                vec![
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i)
+                    },
+                    Value::Float(i as f64 * 0.25),
+                    Value::from(format!("s{}", i % 13)),
+                ]
+            })
+            .collect();
+        let bytes = csv::write_csv(&schema, &records);
+        RawFile::from_bytes(bytes, FileFormat::Csv, schema)
+    }
+
+    fn collect_batched(
+        file: &RawFile,
+        projection: &[usize],
+        chunk_ranges: &[(usize, usize)],
+    ) -> Vec<(u32, Vec<Value>)> {
+        let mut out = Vec::new();
+        for &(lo, hi) in chunk_ranges {
+            file.scan_batches_range(projection, true, lo, hi, &mut |batch, sel| {
+                for &i in sel.as_slice() {
+                    let i = i as usize;
+                    let row: Vec<Value> = batch.columns.iter().map(|c| c.value(i)).collect();
+                    out.push((batch.record_ids[i], row));
+                }
+            })
+            .unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn batched_first_scan_matches_row_scan_and_installs_posmap() {
+        let rows = 10_000; // several BATCH_ROWS chunks
+        let batched_file = wide_csv_file(rows);
+        let row_file = wide_csv_file(rows);
+        assert!(batched_file.supports_batch_scan());
+        let chunks = batched_file.batch_chunks();
+        assert!(chunks > 2, "need a multi-chunk file, got {chunks}");
+        assert!(batched_file.posmap().is_none());
+        assert_eq!(batched_file.known_record_count(), Some(rows));
+
+        let projection = [2usize, 0];
+        let got = collect_batched(&batched_file, &projection, &[(0, chunks)]);
+        let mut expected = Vec::new();
+        row_file
+            .scan_projected(&[true, false, true], &mut |id, row| {
+                // Row scans emit in leaf order; reorder to projection.
+                expected.push((id as u32, vec![row[1].clone(), row[0].clone()]));
+            })
+            .unwrap();
+        assert_eq!(got, expected);
+
+        // Posmap assembled from the capture slabs must agree with the
+        // row tokenizer's.
+        let batched_map = batched_file.posmap().expect("posmap installed");
+        let row_map = row_file.posmap().unwrap();
+        assert_eq!(batched_map.record_count(), row_map.record_count());
+        for rec in [0, 1, rows / 2, rows - 1] {
+            for field in 0..3 {
+                assert_eq!(
+                    batched_map.field_span(rec, field),
+                    row_map.field_span(rec, field),
+                    "record {rec} field {field}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_scan_out_of_order_ranges_still_assemble_the_posmap() {
+        let file = wide_csv_file(9500);
+        let chunks = file.batch_chunks();
+        assert!(chunks >= 3);
+        // Scan ranges in shuffled order (as parallel tasks would).
+        let full = collect_batched(&file, &[0, 1, 2], &[(chunks - 1, chunks), (0, 1)]);
+        assert!(!full.is_empty());
+        assert!(file.posmap().is_none(), "partial coverage: no posmap yet");
+        collect_batched(&file, &[0, 1, 2], &[(1, chunks - 1)]);
+        assert!(file.posmap().is_some(), "full coverage assembles the map");
+        // Mapped re-scan agrees with itself.
+        let again = collect_batched(&file, &[0, 1, 2], &[(0, chunks)]);
+        assert_eq!(again.len(), 9500);
+    }
+
+    #[test]
+    fn batched_mapped_scan_matches_first_scan() {
+        let file = wide_csv_file(6000);
+        let chunks = file.batch_chunks();
+        let first = collect_batched(&file, &[1, 2], &[(0, chunks)]);
+        assert!(file.posmap().is_some());
+        let mapped = collect_batched(&file, &[1, 2], &[(0, chunks)]);
+        assert_eq!(first, mapped);
+    }
+
+    #[test]
+    fn batched_scan_reports_parse_errors() {
+        let schema = Schema::new(vec![Field::required("a", DataType::Int)]);
+        let file = RawFile::from_bytes(b"1\nnope\n3\n".to_vec(), FileFormat::Csv, schema);
+        let chunks = file.batch_chunks();
+        let err = file.scan_batches_range(&[0], false, 0, chunks, &mut |_, _| {});
+        assert!(err.is_err());
+        assert!(file.posmap().is_none());
+    }
+
+    #[test]
+    fn reset_scan_state_forgets_maps_and_indexes() {
+        let file = wide_csv_file(100);
+        let chunks = file.batch_chunks();
+        collect_batched(&file, &[0], &[(0, chunks)]);
+        assert!(file.posmap().is_some());
+        file.reset_scan_state();
+        assert!(file.posmap().is_none());
+        assert_eq!(file.known_record_count(), None);
+        // Scans still work from scratch.
+        let again = collect_batched(&file, &[0], &[(0, file.batch_chunks())]);
+        assert_eq!(again.len(), 100);
+    }
+
+    #[test]
+    fn empty_csv_batched_scan_is_empty_and_installs_empty_map() {
+        let schema = Schema::new(vec![Field::required("a", DataType::Int)]);
+        let file = RawFile::from_bytes(Vec::new(), FileFormat::Csv, schema);
+        assert_eq!(file.batch_chunks(), 0);
+        assert_eq!(file.record_count(), Some(0));
+        let got = collect_batched(&file, &[0], &[(0, 0)]);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn json_files_do_not_support_batched_scans() {
+        assert!(!json_file().supports_batch_scan());
     }
 }

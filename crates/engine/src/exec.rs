@@ -22,6 +22,7 @@
 use crate::exactsum::ExactSum;
 use crate::kernel::{BatchAggregator, CompiledPredicate};
 use crate::plan::{AccessPath, AggFunc, QueryPlan, TablePlan};
+use recache_data::RawFile;
 use recache_layout::{ColumnBatch, ColumnStore, DremelStore, RowStore, ScanCost, BATCH_ROWS};
 use recache_types::{Error, Result, Value};
 use std::collections::HashMap;
@@ -241,7 +242,7 @@ fn execute_single(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput
                     state.update(slot.map(|s| &batch.columns[s]), sel);
                 }
             },
-        );
+        )?;
         let mut merged: Option<Vec<BatchAggregator>> = None;
         for sink in sinks {
             rows_out += sink.rows_out;
@@ -343,7 +344,7 @@ fn execute_join(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> 
                         }
                     }
                 },
-            );
+            )?;
             for (part_rows, part_ids) in sinks {
                 rows.extend(part_rows);
                 if let (Some(all), Some(part)) = (satisfying.as_mut(), part_ids) {
@@ -462,20 +463,36 @@ struct ScanOutcome {
     flattened_rows: Option<usize>,
 }
 
-/// A cache store that supports batched scans.
+/// A scan source that supports batched scans: the three cache stores,
+/// plus flat-CSV raw files (whose chunk grid tokenizes/parses records
+/// straight into typed scratch columns — no per-record `Value` tree).
 #[derive(Clone, Copy)]
 enum StoreRef<'a> {
     Columnar(&'a ColumnStore),
     Dremel(&'a DremelStore),
     Row(&'a RowStore),
+    Raw(&'a RawFile),
 }
 
 impl StoreRef<'_> {
+    /// The access label for stats. Must be sampled **before** the scan
+    /// runs: a raw first scan installs the positional map as a side
+    /// effect, so sampling afterwards would always report `RawMapped`.
+    /// (A racing stream can still install the map between this sample
+    /// and the scan's own per-range mode decision — the label is
+    /// best-effort under cross-stream races, exact otherwise.)
     fn access_kind(&self) -> AccessKind {
         match self {
             StoreRef::Columnar(_) => AccessKind::CacheColumnar,
             StoreRef::Dremel(_) => AccessKind::CacheDremel,
             StoreRef::Row(_) => AccessKind::CacheRow,
+            StoreRef::Raw(file) => {
+                if file.posmap().is_some() {
+                    AccessKind::RawMapped
+                } else {
+                    AccessKind::RawFirstScan
+                }
+            }
         }
     }
 
@@ -484,27 +501,38 @@ impl StoreRef<'_> {
             StoreRef::Columnar(s) => s.record_count(),
             StoreRef::Dremel(s) => s.record_count(),
             StoreRef::Row(s) => s.record_count(),
+            StoreRef::Raw(file) => file.known_record_count().unwrap_or(0),
         }
     }
 
-    fn flattened_rows(&self) -> usize {
+    /// Flattened row count `R` — cache stores only (raw scans report no
+    /// store statistics, matching the row-at-a-time raw path).
+    fn flattened_rows(&self) -> Option<usize> {
         match self {
-            StoreRef::Columnar(s) => s.row_count(),
-            StoreRef::Dremel(s) => s.flattened_rows(),
-            StoreRef::Row(s) => s.row_count(),
+            StoreRef::Columnar(s) => Some(s.row_count()),
+            StoreRef::Dremel(s) => Some(s.flattened_rows()),
+            StoreRef::Row(s) => Some(s.row_count()),
+            StoreRef::Raw(_) => None,
         }
     }
 
-    /// Size of the store's batch-chunk grid for this scan shape (the unit
-    /// the parallel executor partitions into task ranges).
+    fn is_cache_store(&self) -> bool {
+        !matches!(self, StoreRef::Raw(_))
+    }
+
+    /// Size of the source's batch-chunk grid for this scan shape (the
+    /// unit the parallel executor partitions into task ranges).
     fn batch_chunks(&self, projection: &[usize], record_level: bool) -> usize {
         match self {
             StoreRef::Columnar(s) => s.batch_chunks(projection, record_level),
             StoreRef::Dremel(s) => s.batch_chunks(projection, record_level),
             StoreRef::Row(s) => s.batch_chunks(projection, record_level),
+            StoreRef::Raw(file) => file.batch_chunks(),
         }
     }
 
+    /// Store scans are infallible; raw scans can hit parse errors, so the
+    /// shared signature is `Result` and store arms always return `Ok`.
     #[allow(clippy::too_many_arguments)]
     fn scan_batches_range(
         &self,
@@ -514,38 +542,41 @@ impl StoreRef<'_> {
         chunk_lo: usize,
         chunk_hi: usize,
         on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut recache_layout::SelectionVector),
-    ) -> ScanCost {
+    ) -> Result<ScanCost> {
         match self {
-            StoreRef::Columnar(s) => s.scan_batches_range(
+            StoreRef::Columnar(s) => Ok(s.scan_batches_range(
                 projection,
                 record_level,
                 want_record_ids,
                 chunk_lo,
                 chunk_hi,
                 on_batch,
-            ),
-            StoreRef::Dremel(s) => s.scan_batches_range(
+            )),
+            StoreRef::Dremel(s) => Ok(s.scan_batches_range(
                 projection,
                 record_level,
                 want_record_ids,
                 chunk_lo,
                 chunk_hi,
                 on_batch,
-            ),
-            StoreRef::Row(s) => s.scan_batches_range(
+            )),
+            StoreRef::Row(s) => Ok(s.scan_batches_range(
                 projection,
                 record_level,
                 want_record_ids,
                 chunk_lo,
                 chunk_hi,
                 on_batch,
-            ),
+            )),
+            StoreRef::Raw(file) => {
+                file.scan_batches_range(projection, want_record_ids, chunk_lo, chunk_hi, on_batch)
+            }
         }
     }
 }
 
-/// Whether this table can run vectorized: a cache-store access path whose
-/// predicate (if any) compiles to kernels.
+/// Whether this table can run vectorized: a cache store or flat-CSV raw
+/// file whose predicate (if any) compiles to kernels.
 fn batchable<'a>(
     table: &'a TablePlan,
     options: &ExecOptions,
@@ -557,6 +588,9 @@ fn batchable<'a>(
         AccessPath::Columnar(s) => StoreRef::Columnar(s),
         AccessPath::Dremel(s) => StoreRef::Dremel(s),
         AccessPath::Row(s) => StoreRef::Row(s),
+        // Flat CSV raw scans batch like stores; nested/JSON shapes keep
+        // the row-at-a-time flattening fallback.
+        AccessPath::Raw(file) if file.supports_batch_scan() => StoreRef::Raw(file),
         AccessPath::Raw(_) | AccessPath::Offsets { .. } => return None,
     };
     let pred = match table.predicate.as_ref() {
@@ -597,7 +631,10 @@ fn scan_store_batched<T: Send>(
     threads: usize,
     make: impl Fn() -> T + Sync,
     consume: impl Fn(&mut T, &ColumnBatch<'_>, &recache_layout::SelectionVector) + Sync,
-) -> (ScanOutcome, Vec<T>) {
+) -> Result<(ScanOutcome, Vec<T>)> {
+    // Sampled before the scan: a raw first scan installs the positional
+    // map as a side effect, so sampling afterwards would mislabel it.
+    let access = store.access_kind();
     let n_chunks = store.batch_chunks(&table.accessed, table.record_level);
     let ranges = task_ranges(n_chunks, threads);
     let tasks = ThreadPool::global().map_index(ranges.len(), threads, |t| {
@@ -605,7 +642,7 @@ fn scan_store_batched<T: Send>(
         let mut sink = make();
         let mut kernel_ns = 0u64;
         let mut gather_ns = 0u64;
-        let mut cost = store.scan_batches_range(
+        let scanned = store.scan_batches_range(
             &table.accessed,
             table.record_level,
             want_record_ids,
@@ -622,26 +659,33 @@ fn scan_store_batched<T: Send>(
                 gather_ns += t1.elapsed().as_nanos() as u64;
             },
         );
-        cost.compute_ns += kernel_ns;
-        cost.data_ns += gather_ns;
-        (cost, sink)
+        let scanned = scanned.map(|mut cost| {
+            cost.compute_ns += kernel_ns;
+            cost.data_ns += gather_ns;
+            cost
+        });
+        (scanned, sink)
     });
     let mut cost = ScanCost::default();
     let mut sinks = Vec::with_capacity(tasks.len());
     for (task_cost, sink) in tasks {
-        cost.add(&task_cost);
+        // A raw-scan parse error in any task fails the whole scan (the
+        // row path fails on the first bad record too).
+        cost.add(&task_cost?);
         sinks.push(sink);
     }
-    (
+    Ok((
         ScanOutcome {
-            access: store.access_kind(),
+            access,
             rows_scanned: cost.rows_visited,
             records_scanned: store.record_count(),
-            flattened_rows: Some(store.flattened_rows()),
-            cache_scan: Some(cost),
+            flattened_rows: store.flattened_rows(),
+            // Raw scans report no D/C split, matching the row-path raw
+            // scan — the cost model prices cache layouts, not files.
+            cache_scan: store.is_cache_store().then_some(cost),
         },
         sinks,
-    )
+    ))
 }
 
 /// Runs one table's scan + filter row-at-a-time, pushing the source
@@ -1480,6 +1524,219 @@ mod tests {
             .unwrap();
             assert_eq!(parallel.values, serial.values, "threads {threads}");
             assert_eq!(parallel.rows_aggregated, serial.rows_aggregated);
+        }
+    }
+
+    /// A CSV file large enough to span several batch chunks, with nulls
+    /// and a low-cardinality string column.
+    fn big_csv() -> Arc<RawFile> {
+        let schema = Schema::new(vec![
+            Field::required("k", DataType::Int),
+            Field::required("v", DataType::Float),
+            Field::required("s", DataType::Str),
+        ]);
+        let rows: Vec<Vec<Value>> = (0..20_000)
+            .map(|i| {
+                vec![
+                    if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i % 500)
+                    },
+                    Value::Float(i as f64 * 0.25 - 100.0),
+                    Value::from(format!("tag{}", i % 7)),
+                ]
+            })
+            .collect();
+        let bytes = csv::write_csv(&schema, &rows);
+        Arc::new(RawFile::from_bytes(bytes, FileFormat::Csv, schema))
+    }
+
+    #[test]
+    fn raw_batched_scan_matches_row_path_first_and_mapped() {
+        let plan_of = |file: Arc<RawFile>| QueryPlan {
+            tables: vec![TablePlan {
+                collect_satisfying: true,
+                ..raw_plan(
+                    file,
+                    Some(Expr::And(vec![
+                        Expr::cmp(0, CmpOp::Lt, 300i64),
+                        Expr::cmp(2, CmpOp::Eq, "tag3"),
+                    ])),
+                    vec![0, 1, 2],
+                )
+            }],
+            joins: vec![],
+            aggregates: [AggFunc::Count, AggFunc::Sum, AggFunc::Min, AggFunc::Max]
+                .into_iter()
+                .map(|func| AggSpec {
+                    table: 0,
+                    slot: Some(1),
+                    func,
+                })
+                .collect(),
+        };
+        let row_file = big_csv();
+        let row_plan = plan_of(Arc::clone(&row_file));
+        let row_opts = ExecOptions {
+            vectorized: false,
+            threads: 1,
+        };
+        let reference = execute_with(&row_plan, &row_opts).unwrap();
+        assert_eq!(reference.stats.tables[0].access, AccessKind::RawFirstScan);
+
+        for threads in [1usize, 4] {
+            let file = big_csv();
+            let plan = plan_of(Arc::clone(&file));
+            let opts = ExecOptions {
+                vectorized: true,
+                threads,
+            };
+            // First scan: tokenizes, captures the posmap.
+            let first = execute_with(&plan, &opts).unwrap();
+            assert_eq!(
+                first.stats.tables[0].access,
+                AccessKind::RawFirstScan,
+                "threads {threads}"
+            );
+            assert_eq!(first.values, reference.values, "threads {threads}");
+            assert_eq!(first.rows_aggregated, reference.rows_aggregated);
+            assert_eq!(
+                first.stats.tables[0].satisfying, reference.stats.tables[0].satisfying,
+                "threads {threads}: satisfying ids must merge in record order"
+            );
+            assert!(first.stats.tables[0].cache_scan.is_none());
+            assert!(file.posmap().is_some(), "batched first scan builds the map");
+            // Second scan: navigates the captured map.
+            let second = execute_with(&plan, &opts).unwrap();
+            assert_eq!(second.stats.tables[0].access, AccessKind::RawMapped);
+            assert_eq!(second.values, reference.values);
+            assert_eq!(
+                second.stats.tables[0].satisfying,
+                reference.stats.tables[0].satisfying
+            );
+        }
+    }
+
+    #[test]
+    fn raw_batched_posmap_agrees_with_row_tokenizer() {
+        // The map a parallel batched first scan assembles must be usable
+        // by the row-path mapped scan (offsets caches depend on it).
+        let file = big_csv();
+        let plan = QueryPlan {
+            tables: vec![raw_plan(Arc::clone(&file), None, vec![0, 2])],
+            joins: vec![],
+            aggregates: vec![AggSpec {
+                table: 0,
+                slot: None,
+                func: AggFunc::Count,
+            }],
+        };
+        execute_with(
+            &plan,
+            &ExecOptions {
+                vectorized: true,
+                threads: 4,
+            },
+        )
+        .unwrap();
+        let reference = big_csv();
+        reference
+            .scan_projected(&[true, true, true], &mut |_, _| {})
+            .unwrap();
+        let batched_map = file.posmap().unwrap();
+        let row_map = reference.posmap().unwrap();
+        assert_eq!(batched_map.record_count(), row_map.record_count());
+        for rec in [0usize, 1, 4096, 19_999] {
+            for field in 0..3 {
+                assert_eq!(
+                    batched_map.field_span(rec, field),
+                    row_map.field_span(rec, field)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raw_parse_errors_surface_from_parallel_scans() {
+        let schema = Schema::new(vec![Field::required("a", DataType::Int)]);
+        let mut bytes = Vec::new();
+        for i in 0..10_000 {
+            if i == 9_500 {
+                bytes.extend_from_slice(b"bogus\n");
+            } else {
+                bytes.extend_from_slice(format!("{i}\n").as_bytes());
+            }
+        }
+        let file = Arc::new(RawFile::from_bytes(bytes, FileFormat::Csv, schema));
+        let plan = QueryPlan {
+            tables: vec![raw_plan(file, None, vec![0])],
+            joins: vec![],
+            aggregates: vec![AggSpec {
+                table: 0,
+                slot: Some(0),
+                func: AggFunc::Sum,
+            }],
+        };
+        for threads in [1, 4] {
+            let err = execute_with(
+                &plan,
+                &ExecOptions {
+                    vectorized: true,
+                    threads,
+                },
+            );
+            assert!(err.is_err(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn raw_join_inputs_scan_batched() {
+        let file = big_csv();
+        let plan = QueryPlan {
+            tables: vec![
+                raw_plan(
+                    Arc::clone(&file),
+                    Some(Expr::cmp(0, CmpOp::Lt, 5i64)),
+                    vec![0, 1],
+                ),
+                raw_plan(
+                    Arc::clone(&file),
+                    Some(Expr::cmp(1, CmpOp::Eq, "tag0")),
+                    vec![0, 2],
+                ),
+            ],
+            joins: vec![JoinSpec {
+                left_table: 0,
+                left_slot: 0,
+                right_table: 1,
+                right_slot: 0,
+            }],
+            aggregates: vec![AggSpec {
+                table: 0,
+                slot: None,
+                func: AggFunc::Count,
+            }],
+        };
+        let row = execute_with(
+            &plan,
+            &ExecOptions {
+                vectorized: false,
+                threads: 1,
+            },
+        )
+        .unwrap();
+        for threads in [1, 4] {
+            let vec_out = execute_with(
+                &plan,
+                &ExecOptions {
+                    vectorized: true,
+                    threads,
+                },
+            )
+            .unwrap();
+            assert_eq!(vec_out.values, row.values, "threads {threads}");
+            assert_eq!(vec_out.rows_aggregated, row.rows_aggregated);
         }
     }
 

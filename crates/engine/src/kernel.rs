@@ -144,13 +144,45 @@ fn apply_clause(clause: &Clause, col: &BatchColumn<'_>, sel: &mut SelectionVecto
                 col.is_valid(r) && op.matches(values.str_at(r).cmp(x))
             });
         }
+        // Dictionary-encoded strings: resolve the literal to a code range
+        // once — `lo` pool entries order strictly before the literal,
+        // `hi` order before-or-equal (so an exact match is code `lo`,
+        // present iff `lo < hi`). The sorted pool makes code order equal
+        // string order, so every operator becomes an integer compare per
+        // row instead of a byte compare.
+        (
+            BatchValues::Dict {
+                codes,
+                pool_offsets,
+                pool_bytes,
+            },
+            Value::Str(x),
+        ) => {
+            let lo = dict_bound(pool_offsets, pool_bytes, x.as_bytes(), false);
+            let hi = dict_bound(pool_offsets, pool_bytes, x.as_bytes(), true);
+            sel.retain(|r| {
+                let r = r as usize;
+                if !col.is_valid(r) {
+                    return false;
+                }
+                let c = codes[r];
+                match op {
+                    CmpOp::Eq => c >= lo && c < hi,
+                    CmpOp::Ne => c < lo || c >= hi,
+                    CmpOp::Lt => c < lo,
+                    CmpOp::Le => c < hi,
+                    CmpOp::Gt => c >= hi,
+                    CmpOp::Ge => c >= lo,
+                }
+            });
+        }
         // Mixed non-numeric types: `cmp_sql` compares by type rank, a
         // per-row constant — only validity still varies.
         (values, lit) => {
             let col_rank = match values {
                 BatchValues::Bool(_) => 1u8,
                 BatchValues::Int(_) | BatchValues::Float(_) => 2,
-                BatchValues::Str { .. } => 3,
+                BatchValues::Str { .. } | BatchValues::Dict { .. } => 3,
             };
             let keep = op.matches(col_rank.cmp(&lit.sql_type_rank()));
             if keep {
@@ -160,6 +192,30 @@ fn apply_clause(clause: &Clause, col: &BatchColumn<'_>, sel: &mut SelectionVecto
             }
         }
     }
+}
+
+/// Number of dictionary-pool entries ordered before `lit` — strictly
+/// before when `include_equal` is false, before-or-equal otherwise. A
+/// binary search over the sorted pool: the only byte compares a dict
+/// clause ever pays, once per clause instead of once per row.
+fn dict_bound(pool_offsets: &[u32], pool_bytes: &[u8], lit: &[u8], include_equal: bool) -> u32 {
+    let mut lo = 0usize;
+    let mut hi = pool_offsets.len() - 1;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let entry = &pool_bytes[pool_offsets[mid] as usize..pool_offsets[mid + 1] as usize];
+        let before = match entry.cmp(lit) {
+            Ordering::Less => true,
+            Ordering::Equal => include_equal,
+            Ordering::Greater => false,
+        };
+        if before {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u32
 }
 
 /// Running MIN/MAX extreme, typed to the column being aggregated.
@@ -284,7 +340,9 @@ impl BatchAggregator {
             }
             // Strings have no numeric view (`as_f64` is `None`): the row
             // path counts them but adds 0.0 — mirror that exactly.
-            BatchValues::Str { .. } => self.count += count_valid(col, sel),
+            BatchValues::Str { .. } | BatchValues::Dict { .. } => {
+                self.count += count_valid(col, sel)
+            }
         }
     }
 
@@ -358,6 +416,34 @@ impl BatchAggregator {
                         if replace {
                             self.extreme = Extreme::Str(v.to_owned());
                         }
+                    }
+                }
+            }
+            // Dictionary columns: code order equals string order, so the
+            // per-batch extreme is found with integer compares and only
+            // the winning code is decoded (once per batch). Strict
+            // compare keeps the first-seen-on-tie rule: equal strings
+            // share a code.
+            values @ BatchValues::Dict { codes, .. } => {
+                let mut best: Option<(u32, usize)> = None;
+                for &r in sel {
+                    let r = r as usize;
+                    if col.is_valid(r) {
+                        self.count += 1;
+                        let c = codes[r];
+                        if best.is_none_or(|(b, _)| c.cmp(&b) == target) {
+                            best = Some((c, r));
+                        }
+                    }
+                }
+                if let Some((_, row)) = best {
+                    let v = values.str_at(row);
+                    let replace = match &self.extreme {
+                        Extreme::Str(cur) => v.cmp(cur.as_str()) == target,
+                        _ => true,
+                    };
+                    if replace {
+                        self.extreme = Extreme::Str(v.to_owned());
                     }
                 }
             }
@@ -602,6 +688,105 @@ mod tests {
         assert_eq!(max.finish(), Value::from("zebra"));
         // Sum over strings counts rows but keeps sum at 0.0 (as_f64 is
         // None on the row path).
+        let mut sum = BatchAggregator::new(AggFunc::Sum);
+        sum.update(Some(&col), &s);
+        assert_eq!(sum.finish(), Value::Float(0.0));
+    }
+
+    /// Pool ["aa", "b", "cc"], rows decode to ["cc", "aa", "b", "aa"].
+    fn dict_col<'a>(codes: &'a [u32], validity: Option<&'a [u64]>) -> BatchColumn<'a> {
+        const POOL_OFFSETS: [u32; 4] = [0, 2, 3, 5];
+        const POOL_BYTES: &[u8] = b"aabcc";
+        BatchColumn {
+            values: BatchValues::Dict {
+                codes,
+                pool_offsets: &POOL_OFFSETS,
+                pool_bytes: POOL_BYTES,
+            },
+            validity,
+        }
+    }
+
+    #[test]
+    fn dict_equality_resolves_to_one_code_compare() {
+        let codes = [2u32, 0, 1, 0];
+        let col = dict_col(&codes, None);
+        let p = CompiledPredicate::compile(&Expr::cmp(0, CmpOp::Eq, "aa")).unwrap();
+        let mut s = sel(4);
+        p.filter(std::slice::from_ref(&col), &mut s);
+        assert_eq!(s.as_slice(), &[1, 3]);
+        // Literal absent from the pool: Eq empties, Ne keeps all valid.
+        let p = CompiledPredicate::compile(&Expr::cmp(0, CmpOp::Eq, "zz")).unwrap();
+        let mut s = sel(4);
+        p.filter(std::slice::from_ref(&col), &mut s);
+        assert!(s.is_empty());
+        let p = CompiledPredicate::compile(&Expr::cmp(0, CmpOp::Ne, "zz")).unwrap();
+        let mut s = sel(4);
+        p.filter(std::slice::from_ref(&col), &mut s);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn dict_ordered_compares_match_plain_string_kernels() {
+        let codes = [2u32, 0, 1, 0];
+        let dict = dict_col(&codes, None);
+        // The same rows in plain arena form: "cc", "aa", "b", "aa".
+        let offsets = [0u32, 2, 4, 5, 7];
+        let bytes = b"ccaabaa";
+        let plain = BatchColumn {
+            values: BatchValues::Str {
+                offsets: &offsets,
+                bytes,
+            },
+            validity: None,
+        };
+        // Literals between, below, above, and inside the pool.
+        for lit in ["aa", "ab", "b", "cc", "", "zz"] {
+            for op in [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ] {
+                let p = CompiledPredicate::compile(&Expr::cmp(0, op, lit)).unwrap();
+                let mut a = sel(4);
+                p.filter(std::slice::from_ref(&dict), &mut a);
+                let mut b = sel(4);
+                p.filter(std::slice::from_ref(&plain), &mut b);
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "op {op:?} literal {lit:?} diverged between dict and plain"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dict_null_rows_never_satisfy() {
+        let codes = [2u32, 0, 1, 0];
+        // Row 1 invalid.
+        let words = [0b1101u64];
+        let col = dict_col(&codes, Some(&words));
+        let p = CompiledPredicate::compile(&Expr::cmp(0, CmpOp::Le, "zz")).unwrap();
+        let mut s = sel(4);
+        p.filter(std::slice::from_ref(&col), &mut s);
+        assert_eq!(s.as_slice(), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn dict_min_max_decode_once_per_batch() {
+        let codes = [2u32, 0, 1, 0];
+        let col = dict_col(&codes, None);
+        let s = sel(4);
+        let mut min = BatchAggregator::new(AggFunc::Min);
+        min.update(Some(&col), &s);
+        assert_eq!(min.finish(), Value::from("aa"));
+        let mut max = BatchAggregator::new(AggFunc::Max);
+        max.update(Some(&col), &s);
+        assert_eq!(max.finish(), Value::from("cc"));
         let mut sum = BatchAggregator::new(AggFunc::Sum);
         sum.update(Some(&col), &s);
         assert_eq!(sum.finish(), Value::Float(0.0));

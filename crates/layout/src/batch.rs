@@ -39,6 +39,16 @@ pub enum BatchValues<'a> {
         offsets: &'a [u32],
         bytes: &'a [u8],
     },
+    /// Dictionary-encoded strings: per-row codes into a sorted pool (see
+    /// [`crate::ColumnData::Dict`]). `codes` covers this batch's rows;
+    /// the pool views span the whole dictionary, since codes index it
+    /// absolutely. Predicate kernels resolve a literal to a code range
+    /// once per clause and compare `u32`s per row.
+    Dict {
+        codes: &'a [u32],
+        pool_offsets: &'a [u32],
+        pool_bytes: &'a [u8],
+    },
 }
 
 impl BatchValues<'_> {
@@ -48,6 +58,7 @@ impl BatchValues<'_> {
             BatchValues::Int(v) => v.len(),
             BatchValues::Float(v) => v.len(),
             BatchValues::Str { offsets, .. } => offsets.len().saturating_sub(1),
+            BatchValues::Dict { codes, .. } => codes.len(),
         }
     }
 
@@ -60,11 +71,11 @@ impl BatchValues<'_> {
             BatchValues::Bool(_) => ScalarType::Bool,
             BatchValues::Int(_) => ScalarType::Int,
             BatchValues::Float(_) => ScalarType::Float,
-            BatchValues::Str { .. } => ScalarType::Str,
+            BatchValues::Str { .. } | BatchValues::Dict { .. } => ScalarType::Str,
         }
     }
 
-    /// String at row `i` (only meaningful for the `Str` variant).
+    /// String at row `i` (only meaningful for the `Str`/`Dict` variants).
     #[inline]
     pub fn str_at(&self, i: usize) -> &str {
         match self {
@@ -74,6 +85,16 @@ impl BatchValues<'_> {
                 // Stores only append valid UTF-8; fall back to "" rather
                 // than panic if a corrupt heap slips through.
                 std::str::from_utf8(&bytes[lo..hi]).unwrap_or("")
+            }
+            BatchValues::Dict {
+                codes,
+                pool_offsets,
+                pool_bytes,
+            } => {
+                let code = codes[i] as usize;
+                let lo = pool_offsets[code] as usize;
+                let hi = pool_offsets[code + 1] as usize;
+                std::str::from_utf8(&pool_bytes[lo..hi]).unwrap_or("")
             }
             _ => "",
         }
@@ -86,7 +107,9 @@ impl BatchValues<'_> {
             BatchValues::Bool(v) => Value::Bool(v[i]),
             BatchValues::Int(v) => Value::Int(v[i]),
             BatchValues::Float(v) => Value::Float(v[i]),
-            BatchValues::Str { .. } => Value::Str(self.str_at(i).to_owned()),
+            BatchValues::Str { .. } | BatchValues::Dict { .. } => {
+                Value::Str(self.str_at(i).to_owned())
+            }
         }
     }
 }
@@ -243,12 +266,12 @@ pub(crate) fn borrowed_batch_column<'a>(
     }
 }
 
-/// Reusable per-scan buffers for stores that must *gather* batch columns
-/// (row-store tuple decoding, Dremel assembled gathers) instead of
-/// borrowing them. One scratch column per projection slot plus the
-/// record-id buffer.
+/// Reusable per-scan buffers for producers that must *gather* batch
+/// columns (row-store tuple decoding, Dremel assembled gathers, raw CSV
+/// tokenizing in `recache-data`) instead of borrowing them. One scratch
+/// column per projection slot plus the record-id buffer.
 #[derive(Debug, Default)]
-pub(crate) struct BatchScratch {
+pub struct BatchScratch {
     pub cols: Vec<ScratchColumn>,
     pub record_ids: Vec<u32>,
 }
@@ -282,7 +305,7 @@ impl BatchScratch {
 /// and bit layout live in one place) plus an any-null flag so fully
 /// valid batches skip validity views entirely.
 #[derive(Debug)]
-pub(crate) struct ScratchColumn {
+pub struct ScratchColumn {
     col: Column,
     any_null: bool,
 }
@@ -306,6 +329,46 @@ impl ScratchColumn {
     pub fn push(&mut self, value: &Value) {
         self.any_null |= value.is_null();
         self.col.push(value);
+    }
+
+    /// Appends a null: zero value slot, validity bit cleared. Typed twin
+    /// of `push(&Value::Null)` without the enum dispatch.
+    #[inline]
+    pub fn push_null(&mut self) {
+        self.any_null = true;
+        self.col.valid.push(false);
+        self.col.data.push(&Value::Null);
+    }
+
+    /// Appends a valid integer (the batched CSV tokenizer's hot path —
+    /// no `Value` boxing).
+    #[inline]
+    pub fn push_int(&mut self, v: i64) {
+        self.col.valid.push(true);
+        match &mut self.col.data {
+            ColumnData::Int(out) => out.push(v),
+            _ => unreachable!("push_int on a non-int column"),
+        }
+    }
+
+    /// Appends a valid float.
+    #[inline]
+    pub fn push_float(&mut self, v: f64) {
+        self.col.valid.push(true);
+        match &mut self.col.data {
+            ColumnData::Float(out) => out.push(v),
+            _ => unreachable!("push_float on a non-float column"),
+        }
+    }
+
+    /// Appends a valid bool.
+    #[inline]
+    pub fn push_bool(&mut self, v: bool) {
+        self.col.valid.push(true);
+        match &mut self.col.data {
+            ColumnData::Bool(out) => out.push(v),
+            _ => unreachable!("push_bool on a non-bool column"),
+        }
     }
 
     /// Copies entry `index` of a store column (typed, no `Value` boxing).
@@ -422,5 +485,46 @@ mod tests {
     #[test]
     fn batch_rows_sized_for_word_alignment() {
         assert_eq!(BATCH_ROWS % 64, 0);
+    }
+
+    #[test]
+    fn typed_pushes_match_value_pushes() {
+        let mut a = ScratchColumn::new(ScalarType::Int);
+        a.push_int(7);
+        a.push_null();
+        a.push_int(-3);
+        let view = a.as_batch_column();
+        assert_eq!(view.value(0), Value::Int(7));
+        assert_eq!(view.value(1), Value::Null);
+        assert_eq!(view.value(2), Value::Int(-3));
+
+        let mut f = ScratchColumn::new(ScalarType::Float);
+        f.push_float(1.5);
+        assert_eq!(f.as_batch_column().value(0), Value::Float(1.5));
+        let mut b = ScratchColumn::new(ScalarType::Bool);
+        b.push_bool(true);
+        b.push_null();
+        let view = b.as_batch_column();
+        assert_eq!(view.value(0), Value::Bool(true));
+        assert_eq!(view.value(1), Value::Null);
+    }
+
+    #[test]
+    fn dict_batch_views_decode_through_the_pool() {
+        // Pool: ["aa", "b", "cc"]; codes pick rows out of it.
+        let pool_offsets = [0u32, 2, 3, 5];
+        let pool_bytes = b"aabcc";
+        let codes = [2u32, 0, 1, 0];
+        let v = BatchValues::Dict {
+            codes: &codes,
+            pool_offsets: &pool_offsets,
+            pool_bytes,
+        };
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.scalar_type(), ScalarType::Str);
+        assert_eq!(v.str_at(0), "cc");
+        assert_eq!(v.str_at(1), "aa");
+        assert_eq!(v.value(2), Value::from("b"));
+        assert_eq!(v.value(3), Value::from("aa"));
     }
 }

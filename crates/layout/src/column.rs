@@ -4,6 +4,16 @@
 use crate::batch::{BatchColumn, BatchValues};
 use crate::bitmap::Bitmap;
 use recache_types::{ScalarType, Value};
+use std::collections::BTreeSet;
+
+/// Default dictionary-encoding threshold: a string column is encoded when
+/// `distinct / rows` is at most this ratio (the knob stores pass to
+/// [`ColumnData::dict_encode`]).
+pub const DICT_MAX_RATIO: f64 = 0.125;
+
+/// Rows below which dictionary encoding is never attempted — tiny columns
+/// gain nothing and the pool bookkeeping would dominate.
+pub const DICT_MIN_ROWS: usize = 64;
 
 /// Typed value storage.
 #[derive(Debug, Clone)]
@@ -16,6 +26,20 @@ pub enum ColumnData {
     Str {
         offsets: Vec<u32>,
         bytes: Vec<u8>,
+    },
+    /// Dictionary-encoded strings: one `u32` code per row into a pool of
+    /// distinct values kept **sorted**, so code order equals string order
+    /// and both equality and ordered predicates reduce to integer
+    /// compares on the codes (see `recache_engine`'s kernels). Built by
+    /// [`ColumnData::dict_encode`] after a store finishes building; a
+    /// sealed dictionary column is never pushed into again.
+    Dict {
+        codes: Vec<u32>,
+        /// Pool arena: entry `i` is
+        /// `pool_bytes[pool_offsets[i]..pool_offsets[i + 1]]`
+        /// (`pool_offsets` has `pool_len + 1` entries).
+        pool_offsets: Vec<u32>,
+        pool_bytes: Vec<u8>,
     },
 }
 
@@ -37,7 +61,7 @@ impl ColumnData {
             ColumnData::Bool(_) => ScalarType::Bool,
             ColumnData::Int(_) => ScalarType::Int,
             ColumnData::Float(_) => ScalarType::Float,
-            ColumnData::Str { .. } => ScalarType::Str,
+            ColumnData::Str { .. } | ColumnData::Dict { .. } => ScalarType::Str,
         }
     }
 
@@ -47,7 +71,13 @@ impl ColumnData {
             ColumnData::Int(v) => v.len(),
             ColumnData::Float(v) => v.len(),
             ColumnData::Str { offsets, .. } => offsets.len() - 1,
+            ColumnData::Dict { codes, .. } => codes.len(),
         }
+    }
+
+    /// True for dictionary-encoded string columns.
+    pub fn is_dict(&self) -> bool {
+        matches!(self, ColumnData::Dict { .. })
     }
 
     pub fn is_empty(&self) -> bool {
@@ -70,6 +100,8 @@ impl ColumnData {
                 }
                 offsets.push(bytes.len() as u32);
             }
+            // Encoding happens only after a store finishes building.
+            ColumnData::Dict { .. } => unreachable!("push into a sealed dictionary column"),
         }
     }
 
@@ -100,6 +132,16 @@ impl ColumnData {
                 let end = offsets[index + 1] as usize;
                 Value::Str(String::from_utf8_lossy(&bytes[start..end]).into_owned())
             }
+            ColumnData::Dict {
+                codes,
+                pool_offsets,
+                pool_bytes,
+            } => {
+                let code = codes[index] as usize;
+                let start = pool_offsets[code] as usize;
+                let end = pool_offsets[code + 1] as usize;
+                Value::Str(String::from_utf8_lossy(&pool_bytes[start..end]).into_owned())
+            }
         }
     }
 
@@ -110,6 +152,11 @@ impl ColumnData {
             ColumnData::Int(v) => v.len() * 8,
             ColumnData::Float(v) => v.len() * 8,
             ColumnData::Str { offsets, bytes } => offsets.len() * 4 + bytes.len(),
+            ColumnData::Dict {
+                codes,
+                pool_offsets,
+                pool_bytes,
+            } => codes.len() * 4 + pool_offsets.len() * 4 + pool_bytes.len(),
         }
     }
 
@@ -124,7 +171,64 @@ impl ColumnData {
                 offsets.push(0);
                 bytes.clear();
             }
+            ColumnData::Dict {
+                codes,
+                pool_offsets,
+                pool_bytes,
+            } => {
+                codes.clear();
+                pool_offsets.clear();
+                pool_offsets.push(0);
+                pool_bytes.clear();
+            }
         }
+    }
+
+    /// Dictionary-encodes a plain `Str` column in place when the column
+    /// has at least `min_rows` rows and `distinct / rows <= max_ratio`.
+    /// The pool is the column's distinct byte strings in sorted order, so
+    /// code order equals string order. Returns whether encoding happened.
+    /// Null slots keep their (empty) byte string; validity lives in the
+    /// owning [`Column`]'s bitmap, exactly as for plain string columns.
+    pub fn dict_encode(&mut self, max_ratio: f64, min_rows: usize) -> bool {
+        let ColumnData::Str { offsets, bytes } = self else {
+            return false;
+        };
+        let rows = offsets.len() - 1;
+        if rows < min_rows {
+            return false;
+        }
+        // Scale before truncating so tiny ratios keep a non-zero budget.
+        let max_distinct = ((rows as f64) * max_ratio).floor().max(1.0) as usize;
+        let mut pool: BTreeSet<&[u8]> = BTreeSet::new();
+        for i in 0..rows {
+            pool.insert(&bytes[offsets[i] as usize..offsets[i + 1] as usize]);
+            if pool.len() > max_distinct {
+                return false; // too many distinct values — bail early
+            }
+        }
+        // Sorted pool → arena; codes resolve by binary search (the pool
+        // is small by construction, so log2(pool) byte compares per row).
+        let sorted: Vec<&[u8]> = pool.into_iter().collect();
+        let mut pool_offsets: Vec<u32> = Vec::with_capacity(sorted.len() + 1);
+        pool_offsets.push(0);
+        let mut pool_bytes: Vec<u8> = Vec::new();
+        for s in &sorted {
+            pool_bytes.extend_from_slice(s);
+            pool_offsets.push(pool_bytes.len() as u32);
+        }
+        let codes: Vec<u32> = (0..rows)
+            .map(|i| {
+                let s = &bytes[offsets[i] as usize..offsets[i + 1] as usize];
+                sorted.binary_search(&s).expect("value in pool") as u32
+            })
+            .collect();
+        *self = ColumnData::Dict {
+            codes,
+            pool_offsets,
+            pool_bytes,
+        };
+        true
     }
 
     /// Copies entry `index` of another column of the same scalar type —
@@ -150,13 +254,32 @@ impl ColumnData {
                 }
                 offsets.push(bytes.len() as u32);
             }
+            // Gathering out of a dictionary column (Dremel assembled
+            // scans, layout conversions) decodes into the plain arena.
+            (
+                ColumnData::Str { offsets, bytes },
+                ColumnData::Dict {
+                    codes,
+                    pool_offsets,
+                    pool_bytes,
+                },
+            ) => {
+                if copy_bytes {
+                    let code = codes[index] as usize;
+                    let lo = pool_offsets[code] as usize;
+                    let hi = pool_offsets[code + 1] as usize;
+                    bytes.extend_from_slice(&pool_bytes[lo..hi]);
+                }
+                offsets.push(bytes.len() as u32);
+            }
             // Scalar type of a leaf never changes within a store.
             _ => unreachable!("column type mismatch in push_from"),
         }
     }
 
     /// Borrowed typed view over entries `[start, end)` — zero-copy; string
-    /// offsets stay absolute into the shared byte heap.
+    /// offsets stay absolute into the shared byte heap (and dictionary
+    /// pools are shared whole, since codes index the full pool).
     pub fn slice(&self, start: usize, end: usize) -> BatchValues<'_> {
         match self {
             ColumnData::Bool(v) => BatchValues::Bool(&v[start..end]),
@@ -165,6 +288,15 @@ impl ColumnData {
             ColumnData::Str { offsets, bytes } => BatchValues::Str {
                 offsets: &offsets[start..=end],
                 bytes,
+            },
+            ColumnData::Dict {
+                codes,
+                pool_offsets,
+                pool_bytes,
+            } => BatchValues::Dict {
+                codes: &codes[start..end],
+                pool_offsets,
+                pool_bytes,
             },
         }
     }
@@ -237,6 +369,18 @@ impl Column {
     pub fn batch_view(&self, start: usize, end: usize, all_valid: bool) -> BatchColumn<'_> {
         crate::batch::borrowed_batch_column(&self.data, &self.valid, start, end, all_valid)
     }
+
+    /// Dictionary-encodes a low-cardinality string column in place (see
+    /// [`ColumnData::dict_encode`]); no-op for other types. Returns
+    /// whether encoding happened.
+    pub fn maybe_dict_encode(&mut self, max_ratio: f64, min_rows: usize) -> bool {
+        self.data.dict_encode(max_ratio, min_rows)
+    }
+
+    /// True when this column is dictionary-encoded.
+    pub fn is_dict(&self) -> bool {
+        self.data.is_dict()
+    }
 }
 
 #[cfg(test)]
@@ -298,5 +442,106 @@ mod tests {
         }
         assert_eq!(col.data.byte_size(), 64 * 8);
         assert_eq!(col.byte_size(), 64 * 8 + 8);
+    }
+
+    fn low_card_column(rows: usize) -> Column {
+        let mut col = Column::new(ScalarType::Str);
+        for i in 0..rows {
+            if i % 7 == 3 {
+                col.push(&Value::Null);
+            } else {
+                col.push(&Value::Str(format!("tag{}", i % 5)));
+            }
+        }
+        col
+    }
+
+    #[test]
+    fn dict_encode_round_trips_values_and_nulls() {
+        let mut col = low_card_column(200);
+        let expected: Vec<Value> = (0..200).map(|i| col.get(i)).collect();
+        assert!(col.maybe_dict_encode(0.125, 64));
+        assert!(col.is_dict());
+        assert_eq!(col.len(), 200);
+        for (i, want) in expected.iter().enumerate() {
+            assert_eq!(&col.get(i), want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn dict_pool_is_sorted_so_code_order_is_string_order() {
+        let mut col = Column::new(ScalarType::Str);
+        let words = ["pear", "apple", "fig", "apple", "banana", "fig"];
+        for w in words.iter().cycle().take(128) {
+            col.push(&Value::Str((*w).to_owned()));
+        }
+        assert!(col.maybe_dict_encode(0.5, 64));
+        let ColumnData::Dict {
+            codes,
+            pool_offsets,
+            pool_bytes,
+        } = &col.data
+        else {
+            panic!("expected dict");
+        };
+        let pool: Vec<&[u8]> = (0..pool_offsets.len() - 1)
+            .map(|i| &pool_bytes[pool_offsets[i] as usize..pool_offsets[i + 1] as usize])
+            .collect();
+        assert_eq!(pool, vec![b"apple".as_slice(), b"banana", b"fig", b"pear"]);
+        // Codes follow pool order, not first-seen order.
+        assert_eq!(codes[0], 3); // pear
+        assert_eq!(codes[1], 0); // apple
+        assert_eq!(codes[2], 2); // fig
+    }
+
+    #[test]
+    fn dict_encode_rejects_high_cardinality_and_tiny_columns() {
+        let mut high = Column::new(ScalarType::Str);
+        for i in 0..500 {
+            high.push(&Value::Str(format!("unique-{i}")));
+        }
+        assert!(!high.maybe_dict_encode(0.125, 64));
+        assert!(!high.is_dict());
+
+        let mut tiny = Column::new(ScalarType::Str);
+        for _ in 0..10 {
+            tiny.push(&Value::Str("same".into()));
+        }
+        assert!(!tiny.maybe_dict_encode(0.125, 64));
+    }
+
+    #[test]
+    fn dict_encode_ignores_non_string_columns() {
+        let mut col = Column::new(ScalarType::Int);
+        for _ in 0..100 {
+            col.push(&Value::Int(1));
+        }
+        assert!(!col.maybe_dict_encode(0.125, 64));
+    }
+
+    #[test]
+    fn dict_byte_size_shrinks_repetitive_columns() {
+        let mut plain = low_card_column(2048);
+        let before = plain.byte_size();
+        assert!(plain.maybe_dict_encode(0.125, 64));
+        let after = plain.byte_size();
+        assert!(
+            after < before,
+            "dict encoding must shrink the footprint ({after} vs {before})"
+        );
+    }
+
+    #[test]
+    fn push_from_decodes_dict_sources() {
+        let mut src = low_card_column(100);
+        let expected: Vec<Value> = (0..100).map(|i| src.get(i)).collect();
+        assert!(src.maybe_dict_encode(0.25, 64));
+        let mut dst = Column::new(ScalarType::Str);
+        for i in 0..100 {
+            dst.push_entry_from(&src.data, &src.valid, i);
+        }
+        for (i, want) in expected.iter().enumerate() {
+            assert_eq!(&dst.get(i), want, "row {i}");
+        }
     }
 }

@@ -40,8 +40,22 @@ pub struct ColumnStore {
 }
 
 impl ColumnStore {
-    /// Builds the store by flattening `records`.
+    /// Builds the store by flattening `records`. Low-cardinality string
+    /// leaves are dictionary-encoded at the default threshold
+    /// ([`crate::DICT_MAX_RATIO`]); use [`ColumnStore::build_with_dict`]
+    /// to tune or disable that.
     pub fn build<'a>(schema: &Schema, records: impl IntoIterator<Item = &'a Value>) -> Self {
+        Self::build_with_dict(schema, records, Some(crate::column::DICT_MAX_RATIO))
+    }
+
+    /// [`ColumnStore::build`] with an explicit dictionary-encoding knob:
+    /// `dict_max_ratio` is the largest `distinct / rows` ratio a string
+    /// leaf may have and still be encoded (`None` disables encoding).
+    pub fn build_with_dict<'a>(
+        schema: &Schema,
+        records: impl IntoIterator<Item = &'a Value>,
+        dict_max_ratio: Option<f64>,
+    ) -> Self {
         let leaves = schema.leaves();
         let mut columns: Vec<Column> = leaves.iter().map(|l| Column::new(l.scalar_type)).collect();
         let mut masks = Vec::new();
@@ -62,6 +76,11 @@ impl ColumnStore {
             total_rows += rows.len() as u32;
             record_rows.push(total_rows);
         }
+        if let Some(ratio) = dict_max_ratio {
+            for col in &mut columns {
+                col.maybe_dict_encode(ratio, crate::column::DICT_MIN_ROWS);
+            }
+        }
         ColumnStore {
             schema: schema.clone(),
             columns,
@@ -71,6 +90,11 @@ impl ColumnStore {
             shape_offsets,
             source_ids: None,
         }
+    }
+
+    /// True when leaf `leaf` ended up dictionary-encoded.
+    pub fn leaf_is_dict(&self, leaf: usize) -> bool {
+        self.columns[leaf].is_dict()
     }
 
     /// Records the source-file record id of each cached record (same

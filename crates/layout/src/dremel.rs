@@ -90,8 +90,20 @@ pub struct DremelStore {
 }
 
 impl DremelStore {
-    /// Shreds `records` into striped columns.
+    /// Shreds `records` into striped columns. Low-cardinality string
+    /// leaves are dictionary-encoded at the default threshold (see
+    /// [`crate::ColumnStore::build`]).
     pub fn build<'a>(schema: &Schema, records: impl IntoIterator<Item = &'a Value>) -> Self {
+        Self::build_with_dict(schema, records, Some(crate::column::DICT_MAX_RATIO))
+    }
+
+    /// [`DremelStore::build`] with an explicit dictionary-encoding knob
+    /// (`None` disables encoding).
+    pub fn build_with_dict<'a>(
+        schema: &Schema,
+        records: impl IntoIterator<Item = &'a Value>,
+        dict_max_ratio: Option<f64>,
+    ) -> Self {
         let leaves = schema.leaves();
         let mut columns: Vec<DremelColumn> = leaves
             .iter()
@@ -119,6 +131,11 @@ impl DremelStore {
             shape::capture(schema.fields(), record, &mut shape_buf);
             let mut cursor = ShapeCursor::new(&shape_buf);
             flattened_rows += shape::row_count(schema.fields(), &mut cursor);
+        }
+        if let Some(ratio) = dict_max_ratio {
+            for col in &mut columns {
+                col.data.dict_encode(ratio, crate::column::DICT_MIN_ROWS);
+            }
         }
         DremelStore {
             schema: schema.clone(),
@@ -175,6 +192,11 @@ impl DremelStore {
     /// Column access for tests.
     pub fn column(&self, leaf: usize) -> &DremelColumn {
         &self.columns[leaf]
+    }
+
+    /// True when leaf `leaf` ended up dictionary-encoded.
+    pub fn leaf_is_dict(&self, leaf: usize) -> bool {
+        self.columns[leaf].data.is_dict()
     }
 
     /// Scans the store, emitting the source record id and projected row

@@ -31,9 +31,11 @@ pub mod offsets;
 pub mod row;
 pub mod shape;
 
-pub use batch::{BatchColumn, BatchValues, ColumnBatch, SelectionVector, BATCH_ROWS};
+pub use batch::{
+    BatchColumn, BatchScratch, BatchValues, ColumnBatch, ScratchColumn, SelectionVector, BATCH_ROWS,
+};
 pub use bitmap::Bitmap;
-pub use column::{Column, ColumnData};
+pub use column::{Column, ColumnData, DICT_MAX_RATIO, DICT_MIN_ROWS};
 pub use columnar::ColumnStore;
 pub use convert::{columnar_to_dremel, columnar_to_row, dremel_to_columnar, row_to_columnar};
 pub use dremel::DremelStore;

@@ -4,12 +4,21 @@
 //! `Expr::eval_bool`, single-threaded or fanned out across the work
 //! pool — `QueryOutput.values` and `rows_aggregated` must be
 //! *bit-identical* across all four cache layouts plus raw access, on
-//! flat TPC-H, nested TPC-H, Yelp-style, spam-generator, and NULL-heavy
-//! data, for record-level and element-level scans. The suite runs at
-//! `threads ∈ {1, 2, 8}`; exact summation (`ExactSum`) plus fixed-order
-//! partial merges are what make float aggregates independent of the
-//! parallel task decomposition.
+//! flat TPC-H, nested TPC-H, Yelp-style, spam-generator, NULL-heavy
+//! (JSON and CSV) and high-cardinality-string data, for record-level and
+//! element-level scans. The suite runs at `threads ∈ {1, 2, 8}`; exact
+//! summation (`ExactSum`) plus fixed-order partial merges are what make
+//! float aggregates independent of the parallel task decomposition.
+//!
+//! Two axes added with the batched raw-scan / dictionary work:
+//! * **raw batched vs row** — CSV datasets run the raw access path in
+//!   both modes (vectorized raw scans tokenize into typed batches; the
+//!   row mode is the per-record tokenizer), first-scan and posmap-mapped;
+//! * **dict vs plain** — stores built with dictionary encoding enabled
+//!   (the default) and disabled must agree with each other and with the
+//!   row path; the high-cardinality dataset must *not* dictionary-encode.
 
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use recache::data::gen::{spam, tpch, yelp};
 use recache::data::{csv, json, FileFormat, RawFile};
 use recache::engine::exec::{execute_with, ExecOptions};
@@ -77,11 +86,59 @@ fn datasets() -> Vec<Dataset> {
             Value::Struct(vec![x, s, tags])
         })
         .collect();
+    // Flat CSV with dense nulls in every column: exercises the batched
+    // raw tokenizer's null handling and validity bitmaps.
+    let null_heavy_csv_schema = Schema::new(vec![
+        Field::new("x", DataType::Int),
+        Field::new("s", DataType::Str),
+        Field::new("f", DataType::Float),
+    ]);
+    let null_heavy_csv: Vec<Value> = (0..700i64)
+        .map(|i| {
+            let x = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 40)
+            };
+            let s = if i % 4 == 0 {
+                Value::Null
+            } else {
+                Value::Str(format!("s{}", i % 11))
+            };
+            let f = if i % 5 == 0 {
+                Value::Null
+            } else {
+                Value::Float(i as f64 * 0.125 - 20.0)
+            };
+            Value::Struct(vec![x, s, f])
+        })
+        .collect();
+    // Every string unique: must NOT dictionary-encode, and dict-vs-plain
+    // equivalence degenerates to plain-vs-plain (still asserted).
+    let high_card_schema = Schema::new(vec![
+        Field::required("k", DataType::Int),
+        Field::required("u", DataType::Str),
+    ]);
+    let high_card: Vec<Value> = (0..800i64)
+        .map(|i| Value::Struct(vec![Value::Int(i), Value::Str(format!("uniq-{i:05}"))]))
+        .collect();
     vec![
         Dataset {
             name: "tpch_lineitem_csv",
             schema: tpch::lineitem_schema(),
             records: lineitem_records,
+            format: FileFormat::Csv,
+        },
+        Dataset {
+            name: "null_heavy_csv",
+            schema: null_heavy_csv_schema,
+            records: null_heavy_csv,
+            format: FileFormat::Csv,
+        },
+        Dataset {
+            name: "high_card_str_csv",
+            schema: high_card_schema,
+            records: high_card,
             format: FileFormat::Csv,
         },
         Dataset {
@@ -112,11 +169,13 @@ fn datasets() -> Vec<Dataset> {
 }
 
 /// Builds queries over a dataset: every numeric leaf gets a range query,
-/// the first string leaf an equality query, plus an unfiltered scan and a
-/// non-compilable (OR) predicate to exercise the fallback path. Both
-/// record-level (non-repeated leaves only) and element-level variants are
-/// generated where the schema allows.
-fn queries(schema: &Schema) -> Vec<(Vec<usize>, Option<Expr>, bool)> {
+/// the first string leaf equality/inequality/ordered queries (against
+/// `string_lit`, a literal sampled from the data so predicates actually
+/// select), plus an unfiltered scan and a non-compilable (OR) predicate
+/// to exercise the fallback path. Both record-level (non-repeated leaves
+/// only) and element-level variants are generated where the schema
+/// allows.
+fn queries(schema: &Schema, string_lit: Option<&str>) -> Vec<(Vec<usize>, Option<Expr>, bool)> {
     let leaves = schema.leaves();
     let numeric: Vec<usize> = (0..leaves.len())
         .filter(|&l| {
@@ -148,14 +207,23 @@ fn queries(schema: &Schema) -> Vec<(Vec<usize>, Option<Expr>, bool)> {
             ));
         }
     }
-    // String equality and ordering.
+    // String equality and ordering: both a fixed probe and, when the
+    // caller sampled one, a literal that actually occurs in the data —
+    // exercising the dict kernels' exact-match and code-range paths with
+    // real selections (and their miss paths via the probe).
     if let Some(&leaf) = strings.first() {
         let accessed = vec![leaf];
-        out.push((
-            accessed.clone(),
-            Some(Expr::cmp(0, CmpOp::Ge, "m")),
-            record_level(&accessed),
-        ));
+        let rl = record_level(&accessed);
+        out.push((accessed.clone(), Some(Expr::cmp(0, CmpOp::Ge, "m")), rl));
+        let mut lits = vec!["m".to_owned()];
+        if let Some(lit) = string_lit {
+            lits.push(lit.to_owned());
+        }
+        for lit in lits {
+            for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Gt] {
+                out.push((accessed.clone(), Some(Expr::cmp(0, op, lit.as_str())), rl));
+            }
+        }
     }
     // Unfiltered element-level scan over the widest projection, plus a
     // record-level scan over the non-repeated leaves (the planner only
@@ -236,6 +304,24 @@ fn parallel_8_threads_equals_row_across_layouts_and_datasets() {
     equivalence_suite(8);
 }
 
+/// First non-null value of the first string leaf, for predicates that
+/// actually select rows.
+fn sample_string_literal(schema: &Schema, records: &[Value]) -> Option<String> {
+    let leaves = schema.leaves();
+    let leaf =
+        (0..leaves.len()).find(|&l| leaves[l].scalar_type == recache::types::ScalarType::Str)?;
+    for record in records {
+        for row in recache::types::flatten_record(schema, record) {
+            if let Value::Str(s) = &row[leaf] {
+                if !s.is_empty() {
+                    return Some(s.clone());
+                }
+            }
+        }
+    }
+    None
+}
+
 fn equivalence_suite(threads: usize) {
     let options = vectorized(threads);
     for ds in datasets() {
@@ -243,8 +329,15 @@ fn equivalence_suite(threads: usize) {
             FileFormat::Csv => csv::write_csv(&ds.schema, &flat_rows(&ds.records)),
             FileFormat::Json => json::write_json(&ds.schema, &ds.records),
         };
+        // Two raw files per CSV dataset: a cold one whose batched-vs-row
+        // axis covers the *first-scan* tokenizers, and a warm one (posmap
+        // built) covering the mapped scans and the offsets path.
+        let cold_file = Arc::new(RawFile::from_bytes(
+            bytes.clone(),
+            ds.format,
+            ds.schema.clone(),
+        ));
         let file = Arc::new(RawFile::from_bytes(bytes, ds.format, ds.schema.clone()));
-        // Warm the positional map so the offsets path is available.
         let all = vec![true; file.leaves().len()];
         file.scan_projected(&all, &mut |_, _| {}).unwrap();
         let offsets = Arc::new(OffsetStore::build(
@@ -254,10 +347,25 @@ fn equivalence_suite(threads: usize) {
         let columnar = Arc::new(ColumnStore::build(&ds.schema, ds.records.iter()));
         let dremel = Arc::new(DremelStore::build(&ds.schema, ds.records.iter()));
         let row = Arc::new(RowStore::build(&ds.schema, ds.records.iter()));
+        // The dict-vs-plain axis: encoding disabled outright.
+        let columnar_plain = Arc::new(ColumnStore::build_with_dict(
+            &ds.schema,
+            ds.records.iter(),
+            None,
+        ));
+        let dremel_plain = Arc::new(DremelStore::build_with_dict(
+            &ds.schema,
+            ds.records.iter(),
+            None,
+        ));
+        let string_lit = sample_string_literal(&ds.schema, &ds.records);
 
-        for (qi, query) in queries(&ds.schema).iter().enumerate() {
-            let accesses: Vec<(&str, AccessPath)> = vec![
-                ("raw", AccessPath::Raw(Arc::clone(&file))),
+        for (qi, query) in queries(&ds.schema, string_lit.as_deref())
+            .iter()
+            .enumerate()
+        {
+            let mut accesses: Vec<(&str, AccessPath)> = vec![
+                ("raw_mapped", AccessPath::Raw(Arc::clone(&file))),
                 (
                     "offsets",
                     AccessPath::Offsets {
@@ -268,12 +376,33 @@ fn equivalence_suite(threads: usize) {
                 ("columnar", AccessPath::Columnar(Arc::clone(&columnar))),
                 ("dremel", AccessPath::Dremel(Arc::clone(&dremel))),
                 ("row", AccessPath::Row(Arc::clone(&row))),
+                (
+                    "columnar_plain",
+                    AccessPath::Columnar(Arc::clone(&columnar_plain)),
+                ),
+                (
+                    "dremel_plain",
+                    AccessPath::Dremel(Arc::clone(&dremel_plain)),
+                ),
             ];
+            if ds.format == FileFormat::Csv {
+                // Cold raw file: the vectorized run is the batched first
+                // scan. Reset per query so every predicate shape hits the
+                // tokenizer, not the map its predecessor built.
+                cold_file.reset_scan_state();
+                accesses.insert(
+                    0,
+                    ("raw_first_scan", AccessPath::Raw(Arc::clone(&cold_file))),
+                );
+            }
             let reference =
                 execute_with(&plan_for(AccessPath::Raw(Arc::clone(&file)), query), &ROW).unwrap();
             for (path_name, access) in accesses {
                 let plan = plan_for(access, query);
                 let row_out = execute_with(&plan, &ROW).unwrap();
+                if path_name == "raw_first_scan" {
+                    cold_file.reset_scan_state();
+                }
                 let vec_out = execute_with(&plan, &options).unwrap();
                 let ctx = format!(
                     "dataset {} query {qi} path {path_name} threads {threads}",
@@ -342,6 +471,175 @@ fn vectorized_cache_scans_report_nondegenerate_cost_split() {
     let cost = out.stats.tables[0].cache_scan.expect("cache scan cost");
     assert!(cost.total_ns() > 0);
     assert!(cost.rows_visited > 0);
+}
+
+#[test]
+fn dict_encoding_triggers_only_for_low_cardinality_leaves() {
+    for ds in datasets() {
+        let columnar = ColumnStore::build(&ds.schema, ds.records.iter());
+        let leaves = ds.schema.leaves();
+        for (leaf, meta) in leaves.iter().enumerate() {
+            if meta.scalar_type != recache::types::ScalarType::Str {
+                assert!(
+                    !columnar.leaf_is_dict(leaf),
+                    "{}: non-string leaf {leaf} must never dict-encode",
+                    ds.name
+                );
+            }
+        }
+        match ds.name {
+            // 64 distinct comments over thousands of rows.
+            "tpch_lineitem_csv" => {
+                let comment = ds
+                    .schema
+                    .leaf_index(&FieldPath::parse("l_comment"))
+                    .unwrap();
+                assert!(
+                    columnar.leaf_is_dict(comment),
+                    "l_comment is low-cardinality and must dict-encode"
+                );
+            }
+            // 11 tags (plus nulls) over 700 rows.
+            "null_heavy_csv" => {
+                let s = ds.schema.leaf_index(&FieldPath::parse("s")).unwrap();
+                assert!(columnar.leaf_is_dict(s));
+            }
+            // Unique per row: must NOT dict-encode.
+            "high_card_str_csv" => {
+                let u = ds.schema.leaf_index(&FieldPath::parse("u")).unwrap();
+                assert!(
+                    !columnar.leaf_is_dict(u),
+                    "high-cardinality strings must stay plain"
+                );
+            }
+            _ => {}
+        }
+    }
+    // The Dremel builder applies the same rule.
+    let records = tpch::gen_order_lineitems(0.0005, 7);
+    let schema = tpch::order_lineitems_schema();
+    let dremel = DremelStore::build(&schema, records.iter());
+    let comment = schema
+        .leaf_index(&FieldPath::parse("lineitems.l_comment"))
+        .unwrap();
+    assert!(dremel.leaf_is_dict(comment));
+    let plain = DremelStore::build_with_dict(&schema, records.iter(), None);
+    assert!(!plain.leaf_is_dict(comment));
+}
+
+#[test]
+fn dict_encoding_shrinks_reported_store_bytes() {
+    // The bytes the eviction budget sees are the store's real footprint:
+    // dictionary encoding must show up as a smaller byte_size, not a
+    // cosmetic view.
+    let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0005, 7);
+    let schema = tpch::lineitem_schema();
+    let records: Vec<Value> = lineitems.into_iter().map(Value::Struct).collect();
+    let dict = ColumnStore::build(&schema, records.iter());
+    let plain = ColumnStore::build_with_dict(&schema, records.iter(), None);
+    assert!(
+        dict.byte_size() < plain.byte_size(),
+        "dict {} must be smaller than plain {}",
+        dict.byte_size(),
+        plain.byte_size()
+    );
+}
+
+/// Seeded property test: across random pools, row counts, null rates and
+/// literals (present and absent), dictionary code-range compares must
+/// agree with the row path's `cmp_sql` for every operator — on all three
+/// eager store layouts.
+#[test]
+fn dict_code_range_compares_agree_with_cmp_sql_property() {
+    let mut rng = StdRng::seed_from_u64(0x00d1_c7c0);
+    let schema = Schema::new(vec![
+        Field::new("s", DataType::Str),
+        Field::required("k", DataType::Int),
+    ]);
+    for case in 0..25 {
+        let rows = rng.random_range(64..400usize);
+        let pool_size = rng.random_range(1..20usize);
+        let null_pct = rng.random_range(0..40u32);
+        // Random distinct strings of varied lengths (some share
+        // prefixes, which stresses byte-wise ordering).
+        let pool: Vec<String> = (0..pool_size)
+            .map(|i| {
+                let len = rng.random_range(1..10usize);
+                let mut s = String::new();
+                for _ in 0..len {
+                    s.push(char::from(b'a' + rng.random_range(0..4u8)));
+                }
+                format!("{s}{i}")
+            })
+            .collect();
+        let records: Vec<Value> = (0..rows)
+            .map(|i| {
+                let s = if rng.random_range(0..100u32) < null_pct {
+                    Value::Null
+                } else {
+                    Value::Str(pool[rng.random_range(0..pool.len())].clone())
+                };
+                Value::Struct(vec![s, Value::Int(i as i64)])
+            })
+            .collect();
+        // Force encoding regardless of cardinality: ratio 1.0 admits
+        // every pool (the property must hold for any encoded column).
+        let columnar = Arc::new(ColumnStore::build_with_dict(
+            &schema,
+            records.iter(),
+            Some(1.0),
+        ));
+        assert!(columnar.leaf_is_dict(0), "case {case}: ratio 1.0 encodes");
+        let dremel = Arc::new(DremelStore::build_with_dict(
+            &schema,
+            records.iter(),
+            Some(1.0),
+        ));
+        let row = Arc::new(RowStore::build(&schema, records.iter()));
+
+        // Literals: from the pool, mutated (absent), below-all, above-all.
+        let mut literals: Vec<String> = vec![
+            pool[rng.random_range(0..pool.len())].clone(),
+            format!("{}x", pool[rng.random_range(0..pool.len())]),
+            String::new(),
+            "zzzzzzzzzz".to_owned(),
+        ];
+        literals.push(format!("b{}", rng.random_range(0..10u32)));
+        for lit in &literals {
+            for op in [
+                CmpOp::Eq,
+                CmpOp::Ne,
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+            ] {
+                let query = (vec![0usize, 1], Some(Expr::cmp(0, op, lit.as_str())), true);
+                let reference = execute_with(
+                    &plan_for(AccessPath::Columnar(Arc::clone(&columnar)), &query),
+                    &ROW,
+                )
+                .unwrap();
+                for (name, access) in [
+                    ("columnar", AccessPath::Columnar(Arc::clone(&columnar))),
+                    ("dremel", AccessPath::Dremel(Arc::clone(&dremel))),
+                    ("row", AccessPath::Row(Arc::clone(&row))),
+                ] {
+                    let plan = plan_for(access, &query);
+                    let vec_out = execute_with(&plan, &vectorized(1)).unwrap();
+                    assert_eq!(
+                        vec_out.values, reference.values,
+                        "case {case} layout {name} op {op:?} lit {lit:?}"
+                    );
+                    let row_out = execute_with(&plan, &ROW).unwrap();
+                    assert_eq!(
+                        row_out.values, reference.values,
+                        "case {case} layout {name} op {op:?} lit {lit:?} (row)"
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -150,29 +150,35 @@ fn family(
     }
 }
 
-/// The `raw` trajectory mode: scan+filter+agg straight off the CSV bytes.
+/// The `raw` trajectory mode: scan+filter+agg straight off the raw
+/// bytes, for one format (CSV or flat JSON — both run the batched
+/// tokenizer path when vectorized).
 ///
-/// Two families:
-/// * `raw_csv_filter_agg` — **first scans**: the file's scan state is
+/// Two families per format:
+/// * `raw_<fmt>_filter_agg` — **first scans**: the file's scan state is
 ///   reset before every run, so the row mode prices the per-record
 ///   tokenizer and the vectorized modes price the batched tokenizer
-///   (typed scratch columns + posmap capture). This is the pair the
+///   (typed scratch columns + posmap capture). These are the pairs the
 ///   `--gate-raw` speedup floor applies to.
-/// * `raw_csv_mapped_filter_agg` — **posmap-mapped re-scans**: the map is
-///   built once up front and both modes navigate it.
+/// * `raw_<fmt>_mapped_filter_agg` — **posmap-mapped re-scans**: the map
+///   is built once up front and both modes navigate it.
+#[allow(clippy::too_many_arguments)]
 fn raw_family(
+    name_first: &'static str,
+    name_mapped: &'static str,
     bytes: &[u8],
     schema: &Schema,
+    format: FileFormat,
     accessed: Vec<usize>,
     thread_counts: &[usize],
     samples: usize,
     out: &mut Vec<BenchResult>,
 ) {
-    let file = Arc::new(RawFile::from_bytes(
-        bytes.to_vec(),
-        FileFormat::Csv,
-        schema.clone(),
-    ));
+    let file = Arc::new(RawFile::from_bytes(bytes.to_vec(), format, schema.clone()));
+    assert!(
+        file.supports_batch_scan(),
+        "{name_first}: raw trajectory sources must be flat"
+    );
     let plan = filter_agg_plan(AccessPath::Raw(Arc::clone(&file)), accessed, true);
     let row = ExecOptions {
         vectorized: false,
@@ -186,7 +192,7 @@ fn raw_family(
         black_box(execute_with(&plan, &row).unwrap().values);
     });
     out.push(BenchResult {
-        name: "raw_csv_filter_agg",
+        name: name_first,
         mode: "row",
         threads: 1,
         median_ns: row_ns,
@@ -202,7 +208,7 @@ fn raw_family(
             black_box(execute_with(&plan, &options).unwrap().values);
         });
         out.push(BenchResult {
-            name: "raw_csv_filter_agg",
+            name: name_first,
             mode: if threads == 1 {
                 "vectorized"
             } else {
@@ -218,13 +224,7 @@ fn raw_family(
     let warm = vec![true; file.leaves().len()];
     file.scan_projected(&warm, &mut |_, _| {})
         .expect("warm scan");
-    family(
-        "raw_csv_mapped_filter_agg",
-        &plan,
-        thread_counts,
-        samples,
-        out,
-    );
+    family(name_mapped, &plan, thread_counts, samples, out);
 }
 
 /// Dict-eligible vs not: the same string-equality scan over a store whose
@@ -448,7 +448,7 @@ fn concurrent_family(sf: f64, samples: usize, out: &mut Vec<BenchResult>) {
 
 fn main() {
     let args = Args::parse();
-    let pr = args.u64("pr", 3);
+    let pr = args.u64("pr", 5);
     let sf = args.f64("sf", 0.02);
     let samples = args.usize("samples", 9);
     let out_path = args.str("out", &format!("BENCH_pr{pr}.json"));
@@ -512,11 +512,29 @@ fn main() {
         samples,
         &mut results,
     );
-    // Raw-scan mode: batched vs row tokenizer, first-scan and mapped.
+    // Raw-scan mode: batched vs row tokenizer, first-scan and mapped,
+    // for both flat formats — CSV and line-delimited flat JSON over the
+    // same lineitem rows (the JSON pair is the heterogeneous half of the
+    // paper's claim; `--gate-raw` floors both).
     let li_bytes = data_csv::write_csv(&li_schema, &lineitems);
     raw_family(
+        "raw_csv_filter_agg",
+        "raw_csv_mapped_filter_agg",
         &li_bytes,
         &li_schema,
+        FileFormat::Csv,
+        vec![quantity, price],
+        &[1, 4],
+        samples,
+        &mut results,
+    );
+    let li_json_bytes = data_json::write_json(&li_schema, &records);
+    raw_family(
+        "raw_json_filter_agg",
+        "raw_json_mapped_filter_agg",
+        &li_json_bytes,
+        &li_schema,
+        FileFormat::Json,
         vec![quantity, price],
         &[1, 4],
         samples,
@@ -560,6 +578,8 @@ fn main() {
         "dremel_element_filter_agg",
         "raw_csv_filter_agg",
         "raw_csv_mapped_filter_agg",
+        "raw_json_filter_agg",
+        "raw_json_mapped_filter_agg",
     ] {
         if let (Some(t1), Some(t4)) = (median_of(name, 1, true), median_of(name, 4, true)) {
             derived.push((format!("{name}_speedup_4t_vs_1t"), t1 / t4));
@@ -602,31 +622,31 @@ fn main() {
     write_json(&out_path, pr, &results, &derived).expect("write trajectory JSON");
     eprintln!("trajectory: wrote {out_path}");
 
-    // Raw-scan speedup floor: `--gate-raw 1.5` requires the batched
-    // first-scan (vectorized t1) to beat the row tokenizer by at least
-    // that factor on this machine.
+    // Raw-scan speedup floor: `--gate-raw 1.5` requires every batched
+    // first-scan family (CSV *and* flat JSON, vectorized t1) to beat its
+    // row tokenizer by at least that factor on this machine.
     let gate_raw = args.f64("gate-raw", 0.0);
     if gate_raw > 0.0 {
-        match (
-            median_of("raw_csv_filter_agg", 1, false),
-            median_of("raw_csv_filter_agg", 1, true),
-        ) {
-            (Some(row), Some(vec1)) if vec1 > 0.0 => {
-                let speedup = row / vec1;
-                if speedup < gate_raw {
+        for fam in ["raw_csv_filter_agg", "raw_json_filter_agg"] {
+            match (median_of(fam, 1, false), median_of(fam, 1, true)) {
+                (Some(row), Some(vec1)) if vec1 > 0.0 => {
+                    let speedup = row / vec1;
+                    if speedup < gate_raw {
+                        eprintln!(
+                            "trajectory: RAW SCAN GATE FAILED: {fam} batched t1 is {speedup:.2}x \
+                             the row tokenizer, floor is {gate_raw:.2}x"
+                        );
+                        std::process::exit(1);
+                    }
                     eprintln!(
-                        "trajectory: RAW SCAN GATE FAILED: batched t1 is {speedup:.2}x the row \
-                         tokenizer, floor is {gate_raw:.2}x"
+                        "trajectory: {fam} batched t1 {speedup:.2}x row tokenizer \
+                         (floor {gate_raw:.2}x)"
                     );
+                }
+                _ => {
+                    eprintln!("trajectory: RAW SCAN GATE FAILED: {fam} rows missing");
                     std::process::exit(1);
                 }
-                eprintln!(
-                    "trajectory: raw batched t1 {speedup:.2}x row tokenizer (floor {gate_raw:.2}x)"
-                );
-            }
-            _ => {
-                eprintln!("trajectory: RAW SCAN GATE FAILED: raw_csv_filter_agg rows missing");
-                std::process::exit(1);
             }
         }
     }

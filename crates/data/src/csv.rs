@@ -7,6 +7,10 @@
 //!   the positional map, paying nothing for the fields a query skips.
 
 use crate::posmap::PositionalMap;
+use crate::raw_batch::byte_eq_mask;
+// Re-exported from the shared raw-batch machinery (the record index is
+// format-agnostic; both the CSV and JSON batched paths partition on it).
+pub use crate::raw_batch::index_records;
 use recache_layout::ScratchColumn;
 use recache_types::{Error, Result, ScalarType, Schema, Value};
 
@@ -309,55 +313,6 @@ pub fn scan_build_map(
     ))
 }
 
-/// SWAR byte-broadcast constants for the word-at-a-time delimiter scan.
-const SWAR_LO: u64 = 0x0101_0101_0101_0101;
-const SWAR_HI: u64 = 0x8080_8080_8080_8080;
-
-/// Marks every byte of `word` equal to `needle`: the classic SWAR
-/// "has-zero-byte" trick on `word ^ broadcast(needle)`. The returned mask
-/// has bit `8·j + 7` set iff byte `j` matches, so matches enumerate in
-/// ascending position via `trailing_zeros() / 8` (the word was loaded
-/// little-endian).
-#[inline]
-fn byte_eq_mask(word: u64, needle: u8) -> u64 {
-    let x = word ^ (SWAR_LO * u64::from(needle));
-    x.wrapping_sub(SWAR_LO) & !x & SWAR_HI
-}
-
-/// Record-start offsets of `bytes` (one newline scan, plus a final
-/// total-length entry): the cheap half of the positional map, enough to
-/// partition a batched first scan into fixed record windows before any
-/// field has been tokenized. The scan runs word-at-a-time (SWAR), so it
-/// costs a fraction of the tokenize/parse pass it enables. Offsets agree
-/// exactly with the ones [`scan_build_map`] produces.
-pub fn index_records(bytes: &[u8]) -> Vec<u64> {
-    let mut offsets = Vec::with_capacity(bytes.len() / 32 + 2);
-    if !bytes.is_empty() {
-        offsets.push(0);
-    }
-    let mut i = 0usize;
-    while i + 8 <= bytes.len() {
-        let word = u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8-byte window"));
-        let mut mask = byte_eq_mask(word, b'\n');
-        while mask != 0 {
-            let pos = i + (mask.trailing_zeros() / 8) as usize;
-            if pos + 1 < bytes.len() {
-                offsets.push((pos + 1) as u64);
-            }
-            mask &= mask - 1;
-        }
-        i += 8;
-    }
-    while i < bytes.len() {
-        if bytes[i] == b'\n' && i + 1 < bytes.len() {
-            offsets.push((i + 1) as u64);
-        }
-        i += 1;
-    }
-    offsets.push(bytes.len() as u64);
-    offsets
-}
-
 /// Batched tokenizing scan over records `[rec_lo, rec_hi)` of the
 /// [`index_records`] grid, in two tight passes:
 ///
@@ -370,10 +325,19 @@ pub fn index_records(bytes: &[u8]) -> Vec<u64> {
 ///    per-byte tokenize branch and the per-unaccessed-field walk of the
 ///    row tokenizer both disappear.
 ///
-/// `capture` receives per-record field offsets in exactly
+/// `capture`, when given, receives per-record field offsets in exactly
 /// [`scan_build_map`]'s layout (stride `n_fields + 1`, relative to the
 /// record start, final slot = record length incl. newline), so
 /// per-window capture slabs concatenate into a full positional map.
+///
+/// When the positional map no longer needs this window's capture
+/// (`capture = None` — e.g. a redundant re-scan of a chunk whose slab is
+/// already filled), the scan switches to a bounded per-record tokenize
+/// that stops at the last *accessed* field and never examines the
+/// trailing unaccessed bytes of each record — the same trust level as a
+/// mapped re-scan, which already knows its field bounds. Full
+/// field-count validation only happens in capture mode (the pass that
+/// builds the map is the pass that vouches for the file).
 #[allow(clippy::too_many_arguments)]
 pub fn tokenize_range_into(
     bytes: &[u8],
@@ -383,8 +347,19 @@ pub fn tokenize_range_into(
     n_fields: usize,
     accessed_fields: &[(usize, ScalarType, usize)],
     cols: &mut [ScratchColumn],
-    capture: &mut Vec<u32>,
+    capture: Option<&mut Vec<u32>>,
 ) -> Result<()> {
+    let Some(capture) = capture else {
+        return tokenize_range_skip_trailing(
+            bytes,
+            record_offsets,
+            rec_lo,
+            rec_hi,
+            n_fields,
+            accessed_fields,
+            cols,
+        );
+    };
     let range_start = record_offsets[rec_lo] as usize;
     let range_end = record_offsets[rec_hi] as usize;
     debug_assert!(
@@ -465,6 +440,88 @@ pub fn tokenize_range_into(
         // Consume the record's own newline position, if present.
         if positions.get(p) == Some(&content_end_u32) {
             p += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Capture-free batched tokenize: per record, delimiters are collected
+/// only until every *accessed* field is bounded, then the cursor jumps
+/// straight to the next record start (known from the index) — trailing
+/// unaccessed fields are never tokenized, parsed, or even read. Used for
+/// first-scan chunks whose capture slab is already filled (a redundant
+/// re-scan can't contribute to the positional map, so it shouldn't pay
+/// for it either).
+fn tokenize_range_skip_trailing(
+    bytes: &[u8],
+    record_offsets: &[u64],
+    rec_lo: usize,
+    rec_hi: usize,
+    n_fields: usize,
+    accessed_fields: &[(usize, ScalarType, usize)],
+    cols: &mut [ScratchColumn],
+) -> Result<()> {
+    let Some(max_field) = accessed_fields.iter().map(|&(f, _, _)| f).max() else {
+        // Nothing projected (count(*)-style): the record windows alone
+        // carry all the information this scan produces.
+        return Ok(());
+    };
+    let d = n_fields.saturating_sub(1);
+    // Delimiters needed to bound every accessed field: the max accessed
+    // field ends at its following delimiter, or at the record end when
+    // it is the schema's last field.
+    let needed = if max_field == d {
+        max_field
+    } else {
+        max_field + 1
+    };
+    let mut positions: Vec<u32> = Vec::with_capacity(needed + 8);
+    for rec in rec_lo..rec_hi {
+        let line_start = record_offsets[rec] as usize;
+        let span_end = record_offsets[rec + 1] as usize;
+        let content_end = if span_end > line_start && bytes[span_end - 1] == b'\n' {
+            span_end - 1
+        } else {
+            span_end
+        };
+        positions.clear();
+        let mut i = line_start;
+        while positions.len() < needed && i + 8 <= content_end {
+            let word = u64::from_le_bytes(bytes[i..i + 8].try_into().expect("8-byte window"));
+            let mut mask = byte_eq_mask(word, DELIMITER);
+            while mask != 0 {
+                positions.push(i as u32 + mask.trailing_zeros() / 8);
+                mask &= mask - 1;
+            }
+            i += 8;
+        }
+        while positions.len() < needed && i < content_end {
+            if bytes[i] == DELIMITER {
+                positions.push(i as u32);
+            }
+            i += 1;
+        }
+        if positions.len() < needed {
+            return Err(Error::parse_at(
+                format!(
+                    "record {rec} has {} fields, expected {n_fields}",
+                    positions.len() + 1
+                ),
+                content_end,
+            ));
+        }
+        for &(field, ty, slot) in accessed_fields {
+            let start = if field == 0 {
+                line_start
+            } else {
+                positions[field - 1] as usize + 1
+            };
+            let end = if field == d {
+                content_end
+            } else {
+                positions[field] as usize
+            };
+            parse_field_into(&bytes[start..end], ty, &mut cols[slot])?;
         }
     }
     Ok(())
@@ -721,7 +778,7 @@ mod tests {
             3,
             &accessed,
             &mut cols,
-            &mut capture,
+            Some(&mut capture),
         )
         .unwrap();
         let ints = cols[0].as_batch_column();
@@ -754,12 +811,75 @@ mod tests {
         let offsets = index_records(&bytes);
         let mut capture = Vec::new();
         assert!(
-            tokenize_range_into(&bytes, &offsets, 0, 1, 3, &[], &mut [], &mut capture).is_err()
+            tokenize_range_into(&bytes, &offsets, 0, 1, 3, &[], &mut [], Some(&mut capture))
+                .is_err()
         );
         capture.clear();
         assert!(
-            tokenize_range_into(&bytes, &offsets, 1, 2, 3, &[], &mut [], &mut capture).is_err()
+            tokenize_range_into(&bytes, &offsets, 1, 2, 3, &[], &mut [], Some(&mut capture))
+                .is_err()
         );
+    }
+
+    #[test]
+    fn capture_free_tokenize_skips_trailing_fields_and_matches_full_mode() {
+        // Wide records where only leading fields are accessed: the
+        // capture-free mode must parse identically while never needing
+        // the trailing delimiters.
+        let schema = Schema::new(vec![
+            Field::required("a", DataType::Int),
+            Field::required("b", DataType::Float),
+            Field::required("c", DataType::Str),
+        ]);
+        let bytes = write_csv(
+            &schema,
+            &[
+                vec![Value::Int(7), Value::Float(0.5), Value::from("tail-a")],
+                vec![Value::Null, Value::Float(1.5), Value::from("tail-b")],
+            ],
+        );
+        let offsets = index_records(&bytes);
+        let accessed = [(0usize, ScalarType::Int, 0usize), (1, ScalarType::Float, 1)];
+        let run = |capture: bool| {
+            let mut cols = vec![
+                ScratchColumn::new(ScalarType::Int),
+                ScratchColumn::new(ScalarType::Float),
+            ];
+            let mut slab = Vec::new();
+            tokenize_range_into(
+                &bytes,
+                &offsets,
+                0,
+                2,
+                3,
+                &accessed,
+                &mut cols,
+                capture.then_some(&mut slab),
+            )
+            .unwrap();
+            let views: Vec<_> = cols.iter().map(|c| c.as_batch_column()).collect();
+            (0..2)
+                .map(|r| views.iter().map(|v| v.value(r)).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+        // Capture-free mode still validates that accessed fields exist.
+        let short = b"1|2.0\n".to_vec();
+        let short_offsets = index_records(&short);
+        let mut cols = vec![ScratchColumn::new(ScalarType::Str)];
+        assert!(tokenize_range_into(
+            &short,
+            &short_offsets,
+            0,
+            1,
+            4,
+            &[(3usize, ScalarType::Str, 0usize)],
+            &mut cols,
+            None,
+        )
+        .is_err());
+        // No accessed fields: nothing to tokenize, trivially succeeds.
+        tokenize_range_into(&short, &short_offsets, 0, 1, 3, &[], &mut [], None).unwrap();
     }
 
     #[test]

@@ -214,36 +214,9 @@ impl<'a> Cursor<'a> {
     /// Parses a JSON number into `Int` (integral literal) or `Float`.
     fn parse_number(&mut self) -> Result<Value> {
         self.skip_ws();
-        let start = self.pos;
-        let mut is_float = false;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while let Some(b) = self.peek() {
-            match b {
-                b'0'..=b'9' => self.pos += 1,
-                b'.' | b'e' | b'E' | b'+' | b'-' => {
-                    is_float = true;
-                    self.pos += 1;
-                }
-                _ => break,
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| Error::parse_at("invalid number", start))?;
-        if text.is_empty() || text == "-" {
-            return Err(Error::parse_at("invalid number", start));
-        }
-        if is_float {
-            text.parse::<f64>()
-                .map(Value::Float)
-                .map_err(|_| Error::parse_at(format!("invalid float '{text}'"), start))
-        } else {
-            text.parse::<i64>()
-                .map(Value::Int)
-                .or_else(|_| text.parse::<f64>().map(Value::Float))
-                .map_err(|_| Error::parse_at(format!("invalid int '{text}'"), start))
-        }
+        let (value, pos) = parse_number_at(self.bytes, self.pos)?;
+        self.pos = pos;
+        Ok(value)
     }
 
     /// Skips any JSON value without materializing it. This is the cheap
@@ -411,6 +384,59 @@ impl<'a> Cursor<'a> {
         }
         Ok(Value::Struct(children))
     }
+}
+
+/// Parses the JSON number literal starting at `bytes[pos]`, returning
+/// the value (`Int` for integral literals, `Float` otherwise — i64
+/// overflow widens to float) and the position just past it. One routine
+/// shared by the row tokenizer and the batched flat-JSON tokenizer
+/// (`json_batch`), so the accepted character set and the
+/// integral-vs-float split can never diverge between the two paths.
+pub(crate) fn parse_number_at(bytes: &[u8], pos: usize) -> Result<(Value, usize)> {
+    let start = pos;
+    let mut pos = pos;
+    let mut is_float = false;
+    if bytes.get(pos) == Some(&b'-') {
+        pos += 1;
+    }
+    while let Some(b) = bytes.get(pos) {
+        match b {
+            b'0'..=b'9' => pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..pos])
+        .map_err(|_| Error::parse_at("invalid number", start))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::parse_at("invalid number", start));
+    }
+    let value = if is_float {
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::parse_at(format!("invalid float '{text}'"), start))?
+    } else {
+        text.parse::<i64>()
+            .map(Value::Int)
+            .or_else(|_| text.parse::<f64>().map(Value::Float))
+            .map_err(|_| Error::parse_at(format!("invalid int '{text}'"), start))?
+    };
+    Ok((value, pos))
+}
+
+/// Decodes the JSON string whose opening quote sits at `bytes[pos]`,
+/// returning the decoded content and the position just past the closing
+/// quote. This is the row tokenizer's [`Cursor::parse_string`] — shared
+/// so the batched flat-JSON tokenizer (`json_batch`) decodes escapes
+/// with byte-identical semantics (including `\u` surrogate fallback and
+/// unknown-escape errors).
+pub(crate) fn decode_string_at(bytes: &[u8], pos: usize) -> Result<(String, usize)> {
+    let mut cursor = Cursor { bytes, pos };
+    let s = cursor.parse_string()?;
+    Ok((s, cursor.pos))
 }
 
 fn coerce_bool(b: bool, ty: &DataType) -> Value {

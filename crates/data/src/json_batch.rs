@@ -1,0 +1,559 @@
+//! Batched tokenizer for **flat** line-delimited JSON: parses the
+//! accessed keys of each record straight into typed [`ScratchColumn`]s —
+//! no per-record `Value` tree, no per-key `String`, no flattening pass.
+//!
+//! Two passes per chunk, mirroring the batched CSV tokenizer:
+//!
+//! 1. a word-at-a-time (SWAR) **structural sweep** over the chunk's bytes
+//!    collects every *unescaped* quote position (a quote preceded by an
+//!    odd run of backslashes is string content, not a boundary). In valid
+//!    JSON unescaped quotes strictly alternate open/close, so this buffer
+//!    is the string skeleton of the chunk: every key span, string-value
+//!    span and string-inside-skipped-container is a `O(1)` jump instead
+//!    of a byte scan;
+//! 2. a per-record **key-cursor walk** matches each key (raw bytes — no
+//!    decode unless the key itself contains escapes) against the accessed
+//!    field names, parses matching values straight into scratch columns,
+//!    and skips everything else (unknown keys, unaccessed fields, nested
+//!    junk) through the skeleton without materializing a thing.
+//!
+//! Semantics are byte-identical to the row tokenizer (`json::Cursor`):
+//! numbers follow the same integral-vs-float literal rules and schema
+//! coercions (float into `Int` truncates, overflow widens, `-0.0` and
+//! exponent forms round-trip through the same `str::parse`), escaped
+//! strings decode through the *same* `decode_string_at` routine, type
+//! mismatches degrade to `Null`, duplicate keys keep the last value, and
+//! absent keys are `Null`. Nested shapes never reach this module —
+//! `RawFile::supports_batch_scan` routes them to the row-at-a-time
+//! flattening fallback.
+
+use crate::json;
+use crate::raw_batch::byte_eq_mask;
+use recache_layout::ScratchColumn;
+use recache_types::{Error, Field, Result, ScalarType};
+
+/// A parsed-but-not-yet-pushed value for one accessed field of the record
+/// being walked. Staging (instead of pushing mid-record) is what makes
+/// arbitrary key order, duplicate keys (last wins) and missing keys
+/// (null) line up with the row tokenizer: columns receive exactly one
+/// value per record, in slot order, after the record closes.
+enum Staged<'a> {
+    Missing,
+    Null,
+    Int(i64),
+    Float(f64),
+    Bool(bool),
+    /// Escape-free string content, pushed straight from the input bytes
+    /// into the column arena (single copy).
+    Bytes(&'a [u8]),
+    /// Escaped string content, decoded through the row tokenizer's
+    /// escape machinery.
+    Owned(String),
+}
+
+/// Tokenizes records `[rec_lo, rec_hi)` of the `record_offsets` grid into
+/// `cols` (one scratch column per projection slot). `accessed_fields`
+/// holds `(top-level field index, scalar type, slot)` triples; `fields`
+/// is the flat schema the field indices refer to. All fields must be
+/// scalar (the caller guarantees flatness via `supports_batch_scan`).
+pub fn tokenize_range_into(
+    bytes: &[u8],
+    record_offsets: &[u64],
+    rec_lo: usize,
+    rec_hi: usize,
+    fields: &[Field],
+    accessed_fields: &[(usize, ScalarType, usize)],
+    cols: &mut [ScratchColumn],
+) -> Result<()> {
+    debug_assert!(
+        bytes.len() <= u32::MAX as usize,
+        "batched JSON is u32-indexed"
+    );
+    let range_start = record_offsets[rec_lo] as usize;
+    let range_end = record_offsets[rec_hi] as usize;
+
+    // Pass 1: the unescaped-quote skeleton of the window.
+    let quotes = quote_index(bytes, range_start, range_end);
+
+    // Pass 2: per-record key-cursor walk.
+    let names: Vec<&[u8]> = accessed_fields
+        .iter()
+        .map(|&(field, _, _)| fields[field].name.as_bytes())
+        .collect();
+    let mut staged: Vec<Staged<'_>> = (0..accessed_fields.len())
+        .map(|_| Staged::Missing)
+        .collect();
+    let mut qi = 0usize;
+    for rec in rec_lo..rec_hi {
+        let line_start = record_offsets[rec] as usize;
+        let span_end = record_offsets[rec + 1] as usize;
+        // Content excludes the trailing newline when one exists (the last
+        // record of a file may end at EOF instead).
+        let end = if span_end > line_start && bytes[span_end - 1] == b'\n' {
+            span_end - 1
+        } else {
+            span_end
+        };
+        // Resync the skeleton cursor past any quotes in skipped trailing
+        // bytes of the previous record.
+        while qi < quotes.len() && (quotes[qi] as usize) < line_start {
+            qi += 1;
+        }
+        for slot in staged.iter_mut() {
+            *slot = Staged::Missing;
+        }
+        let mut walk = RecordWalk {
+            bytes,
+            end,
+            pos: line_start,
+            quotes: &quotes,
+            qi,
+        };
+        walk.parse_record(&names, accessed_fields, &mut staged)?;
+        qi = walk.qi;
+        for (slot, &(_, _, col_slot)) in staged.iter_mut().zip(accessed_fields) {
+            let col = &mut cols[col_slot];
+            match std::mem::replace(slot, Staged::Missing) {
+                Staged::Missing | Staged::Null => col.push_null(),
+                Staged::Int(v) => col.push_int(v),
+                Staged::Float(v) => col.push_float(v),
+                Staged::Bool(v) => col.push_bool(v),
+                Staged::Bytes(s) => col.push_str_bytes(s),
+                Staged::Owned(s) => col.push_str_bytes(s.as_bytes()),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Absolute positions of every unescaped `"` in `bytes[start..end)`,
+/// ascending. The SWAR sweep visits quote and backslash bytes only; a
+/// quote immediately preceded by an odd-length backslash run is escaped
+/// string content and excluded.
+fn quote_index(bytes: &[u8], start: usize, end: usize) -> Vec<u32> {
+    struct Sweep {
+        quotes: Vec<u32>,
+        last_bs: usize,
+        bs_run: usize,
+    }
+    impl Sweep {
+        #[inline]
+        fn note(&mut self, pos: usize, b: u8) {
+            if b == b'\\' {
+                if self.last_bs.wrapping_add(1) == pos {
+                    self.bs_run += 1;
+                } else {
+                    self.bs_run = 1;
+                }
+                self.last_bs = pos;
+            } else if !(self.last_bs.wrapping_add(1) == pos && self.bs_run % 2 == 1) {
+                self.quotes.push(pos as u32);
+            }
+        }
+    }
+    let window = &bytes[start..end];
+    let mut sweep = Sweep {
+        quotes: Vec::with_capacity(window.len() / 16 + 8),
+        last_bs: usize::MAX,
+        bs_run: 0,
+    };
+    let mut i = 0usize;
+    while i + 8 <= window.len() {
+        let word = u64::from_le_bytes(window[i..i + 8].try_into().expect("8-byte window"));
+        let mut mask = byte_eq_mask(word, b'"') | byte_eq_mask(word, b'\\');
+        while mask != 0 {
+            let pos = i + (mask.trailing_zeros() / 8) as usize;
+            sweep.note(start + pos, window[pos]);
+            mask &= mask - 1;
+        }
+        i += 8;
+    }
+    for (pos, &b) in window.iter().enumerate().skip(i) {
+        if b == b'"' || b == b'\\' {
+            sweep.note(start + pos, b);
+        }
+    }
+    sweep.quotes
+}
+
+/// Cursor over one record's bytes (`[pos, end)`) plus the chunk-wide
+/// quote skeleton. Whitespace, `expect`, literal and number handling
+/// mirror the row tokenizer's `Cursor` exactly.
+struct RecordWalk<'a> {
+    bytes: &'a [u8],
+    end: usize,
+    pos: usize,
+    quotes: &'a [u32],
+    qi: usize,
+}
+
+impl<'a> RecordWalk<'a> {
+    #[inline]
+    fn skip_ws(&mut self) {
+        while self.pos < self.end && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        if self.pos < self.end {
+            Some(self.bytes[self.pos])
+        } else {
+            None
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse_at(
+                format!("expected '{}'", b as char),
+                self.pos,
+            ))
+        }
+    }
+
+    fn try_consume(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// At an opening quote: returns the content span and advances past
+    /// the closing quote, consuming the pair from the skeleton. The
+    /// cursor resync at entry tolerates quotes skipped over by the
+    /// lenient scalar skip.
+    fn string_span(&mut self) -> Result<(usize, usize)> {
+        while self.qi < self.quotes.len() && (self.quotes[self.qi] as usize) < self.pos {
+            self.qi += 1;
+        }
+        if self.qi + 1 >= self.quotes.len() || self.quotes[self.qi] as usize != self.pos {
+            return Err(Error::parse_at("unterminated string", self.pos));
+        }
+        let close = self.quotes[self.qi + 1] as usize;
+        if close >= self.end {
+            return Err(Error::parse_at("unterminated string", self.pos));
+        }
+        let open = self.pos;
+        self.qi += 2;
+        self.pos = close + 1;
+        Ok((open + 1, close))
+    }
+
+    /// Skips a `{...}` / `[...]` value (unknown keys carrying nested
+    /// junk, or a container where a scalar was expected): depth counting
+    /// over structural bytes, with strings jumped through the skeleton.
+    fn skip_container(&mut self) -> Result<()> {
+        let mut depth = 0usize;
+        while self.pos < self.end {
+            match self.bytes[self.pos] {
+                b'{' | b'[' => {
+                    depth += 1;
+                    self.pos += 1;
+                }
+                b'}' | b']' => {
+                    depth -= 1;
+                    self.pos += 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                b'"' => {
+                    self.string_span()?;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Err(Error::parse_at("unterminated container", self.pos))
+    }
+
+    /// Skips any value without materializing it — same leniency as the
+    /// row tokenizer's `skip_value` (scalars scan to the next
+    /// `,` / `}` / `]`, nothing inside is validated).
+    fn skip_value_lenient(&mut self) -> Result<()> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => self.string_span().map(|_| ()),
+            Some(b'{') | Some(b'[') => self.skip_container(),
+            Some(_) => {
+                while let Some(b) = self.peek() {
+                    match b {
+                        b',' | b'}' | b']' => break,
+                        _ => self.pos += 1,
+                    }
+                }
+                Ok(())
+            }
+            None => Err(Error::parse_at("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &[u8]) -> Result<()> {
+        if self.end - self.pos >= lit.len() && &self.bytes[self.pos..self.pos + lit.len()] == lit {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(Error::parse_at(
+                format!("expected '{}'", String::from_utf8_lossy(lit)),
+                self.pos,
+            ))
+        }
+    }
+
+    /// Parses a number literal and stages it under the schema type. The
+    /// literal itself goes through the row tokenizer's *own*
+    /// `parse_number_at` (shared, like string decoding), and the schema
+    /// coercions mirror `parse_typed` exactly: `Float` into an `Int`
+    /// field truncates (`as_i64`), `Int` into a `Float` field widens,
+    /// numbers into bool/string fields degrade to null.
+    fn stage_number(&mut self, ty: ScalarType) -> Result<Staged<'a>> {
+        self.skip_ws();
+        // Bound the shared parser by the record end, as the row
+        // tokenizer's per-record cursor is.
+        let (num, pos) = json::parse_number_at(&self.bytes[..self.end], self.pos)?;
+        self.pos = pos;
+        Ok(match ty {
+            ScalarType::Int => Staged::Int(num.as_i64().unwrap_or(0)),
+            ScalarType::Float => Staged::Float(num.as_f64().unwrap_or(0.0)),
+            ScalarType::Bool | ScalarType::Str => Staged::Null,
+        })
+    }
+
+    /// Parses an accessed field's value under its schema type.
+    fn stage_value(&mut self, ty: ScalarType) -> Result<Staged<'a>> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_literal(b"null")?;
+                Ok(Staged::Null)
+            }
+            Some(b't') => {
+                self.expect_literal(b"true")?;
+                Ok(stage_bool(true, ty))
+            }
+            Some(b'f') => {
+                self.expect_literal(b"false")?;
+                Ok(stage_bool(false, ty))
+            }
+            Some(b'"') => {
+                let open = self.pos;
+                let (lo, hi) = self.string_span()?;
+                if ty != ScalarType::Str {
+                    // String into a non-string field: null, as in the
+                    // row path's type-mismatch tolerance.
+                    return Ok(Staged::Null);
+                }
+                let span = &self.bytes[lo..hi];
+                if span.contains(&b'\\') {
+                    let (s, _) = json::decode_string_at(self.bytes, open)?;
+                    Ok(Staged::Owned(s))
+                } else {
+                    std::str::from_utf8(span)
+                        .map_err(|_| Error::parse_at("invalid utf-8 in string", lo))?;
+                    Ok(Staged::Bytes(span))
+                }
+            }
+            Some(b'{') | Some(b'[') => {
+                self.skip_container()?;
+                Ok(Staged::Null)
+            }
+            Some(_) => self.stage_number(ty),
+            None => Err(Error::parse_at("unexpected end of input", self.pos)),
+        }
+    }
+
+    /// Walks one `{...}` record, staging accessed fields and skipping the
+    /// rest. Keys match as raw bytes against the accessed names (decoded
+    /// first only when the key itself contains escapes); keys are
+    /// UTF-8-validated exactly as the row tokenizer's `parse_string`
+    /// validates every key it touches.
+    fn parse_record(
+        &mut self,
+        names: &[&[u8]],
+        accessed_fields: &[(usize, ScalarType, usize)],
+        staged: &mut [Staged<'a>],
+    ) -> Result<()> {
+        self.expect(b'{')?;
+        if self.try_consume(b'}') {
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(Error::parse_at("expected '\"'", self.pos));
+            }
+            let key_open = self.pos;
+            let (klo, khi) = self.string_span()?;
+            let key_span = &self.bytes[klo..khi];
+            let slot = if key_span.contains(&b'\\') {
+                let (decoded, _) = json::decode_string_at(self.bytes, key_open)?;
+                names.iter().position(|n| *n == decoded.as_bytes())
+            } else {
+                std::str::from_utf8(key_span)
+                    .map_err(|_| Error::parse_at("invalid utf-8 in string", klo))?;
+                names.iter().position(|n| *n == key_span)
+            };
+            self.expect(b':')?;
+            match slot {
+                Some(ai) => staged[ai] = self.stage_value(accessed_fields[ai].1)?,
+                None => self.skip_value_lenient()?,
+            }
+            if !self.try_consume(b',') {
+                break;
+            }
+        }
+        self.expect(b'}')?;
+        Ok(())
+    }
+}
+
+fn stage_bool(b: bool, ty: ScalarType) -> Staged<'static> {
+    match ty {
+        ScalarType::Bool => Staged::Bool(b),
+        // Bool into an int field coerces, everything else degrades to
+        // null — `coerce_bool` in the row tokenizer.
+        ScalarType::Int => Staged::Int(i64::from(b)),
+        ScalarType::Float | ScalarType::Str => Staged::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::raw_batch::index_records;
+    use recache_types::{DataType, Value};
+
+    fn flat_fields() -> Vec<Field> {
+        vec![
+            Field::new("i", DataType::Int),
+            Field::new("f", DataType::Float),
+            Field::new("s", DataType::Str),
+            Field::new("b", DataType::Bool),
+        ]
+    }
+
+    fn tokenize_all(bytes: &[u8], fields: &[Field]) -> Result<Vec<Vec<Value>>> {
+        let accessed: Vec<(usize, ScalarType, usize)> = fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (i, f.data_type.as_scalar().unwrap(), i))
+            .collect();
+        let mut cols: Vec<ScratchColumn> = accessed
+            .iter()
+            .map(|&(_, ty, _)| ScratchColumn::new(ty))
+            .collect();
+        let offsets = index_records(bytes);
+        let n = offsets.len() - 1;
+        tokenize_range_into(bytes, &offsets, 0, n, fields, &accessed, &mut cols)?;
+        let views: Vec<_> = cols.iter().map(|c| c.as_batch_column()).collect();
+        Ok((0..n)
+            .map(|r| views.iter().map(|v| v.value(r)).collect())
+            .collect())
+    }
+
+    #[test]
+    fn parses_keys_in_any_order_with_missing_and_unknown_keys() {
+        let fields = flat_fields();
+        let bytes = concat!(
+            "{\"s\":\"x\",\"i\":3}\n",
+            "{\"junk\":[1,{\"w\":\"}\"}],\"f\":2.5,\"b\":true,\"i\":-7}\n",
+            "{}\n",
+            "{\"b\":false,\"unknown\":\"a,b:c\"}\n",
+        )
+        .as_bytes()
+        .to_vec();
+        let rows = tokenize_all(&bytes, &fields).unwrap();
+        assert_eq!(
+            rows[0],
+            vec![Value::Int(3), Value::Null, Value::from("x"), Value::Null]
+        );
+        assert_eq!(
+            rows[1],
+            vec![
+                Value::Int(-7),
+                Value::Float(2.5),
+                Value::Null,
+                Value::Bool(true)
+            ]
+        );
+        assert_eq!(rows[2], vec![Value::Null; 4]);
+        assert_eq!(
+            rows[3],
+            vec![Value::Null, Value::Null, Value::Null, Value::Bool(false)]
+        );
+    }
+
+    #[test]
+    fn escapes_and_numeric_edge_forms_match_row_semantics() {
+        let fields = flat_fields();
+        let bytes = concat!(
+            "{\"s\":\"a\\\"b\\\\c\\nd\\u00e9\",\"i\":3.9,\"f\":4}\n",
+            "{\"i\":-0.0,\"f\":-1.5e2,\"s\":\"plain\"}\n",
+            "{\"i\":1e3,\"f\":2.5e-2,\"b\":1}\n",
+        )
+        .as_bytes()
+        .to_vec();
+        let rows = tokenize_all(&bytes, &fields).unwrap();
+        assert_eq!(rows[0][2], Value::from("a\"b\\c\ndé"));
+        assert_eq!(rows[0][0], Value::Int(3)); // float into int truncates
+        assert_eq!(rows[0][1], Value::Float(4.0)); // int widens
+        assert_eq!(rows[1][0], Value::Int(0)); // -0.0 truncates to 0
+        assert_eq!(rows[1][1], Value::Float(-150.0));
+        assert_eq!(rows[2][0], Value::Int(1000));
+        assert_eq!(rows[2][1], Value::Float(0.025));
+        assert_eq!(rows[2][3], Value::Null); // number into bool -> null
+    }
+
+    #[test]
+    fn type_mismatches_and_explicit_nulls_degrade_like_the_row_path() {
+        let fields = flat_fields();
+        let bytes = concat!(
+            "{\"i\":\"nope\",\"s\":42,\"b\":null,\"f\":true}\n",
+            "{\"i\":true,\"s\":{\"nested\":1},\"f\":[1,2]}\n",
+        )
+        .as_bytes()
+        .to_vec();
+        let rows = tokenize_all(&bytes, &fields).unwrap();
+        assert_eq!(rows[0], vec![Value::Null; 4]);
+        // Bool into int coerces; containers into scalars degrade to null.
+        assert_eq!(
+            rows[1],
+            vec![Value::Int(1), Value::Null, Value::Null, Value::Null]
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_keep_the_last_value() {
+        let fields = flat_fields();
+        let rows = tokenize_all(b"{\"i\":1,\"i\":2}\n", &fields).unwrap();
+        assert_eq!(rows[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn malformed_records_error() {
+        let fields = flat_fields();
+        assert!(tokenize_all(b"{\"i\":}\n", &fields).is_err());
+        assert!(tokenize_all(b"{\"i\":1\n", &fields).is_err());
+        assert!(tokenize_all(b"{\"i\" 1}\n", &fields).is_err());
+        assert!(tokenize_all(b"{\"s\":\"unterminated}\n", &fields).is_err());
+        assert!(tokenize_all(b"not json\n", &fields).is_err());
+    }
+
+    #[test]
+    fn quote_index_handles_escape_parity() {
+        // "a\"b" and "c\\" — the escaped quote is excluded, the quote
+        // after an even backslash run is not.
+        let bytes = br#"{"k":"a\"b","m":"c\\"}"#;
+        let quotes = quote_index(bytes, 0, bytes.len());
+        let expected: Vec<u32> = vec![1, 3, 5, 10, 12, 14, 16, 20];
+        assert_eq!(quotes, expected);
+    }
+}

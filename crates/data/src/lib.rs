@@ -15,7 +15,9 @@
 pub mod csv;
 pub mod gen;
 pub mod json;
+pub mod json_batch;
 pub mod posmap;
+pub mod raw_batch;
 pub mod source;
 
 pub use posmap::PositionalMap;

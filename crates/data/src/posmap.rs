@@ -55,6 +55,13 @@ impl PositionalMap {
         self.record_offsets.len().saturating_sub(1)
     }
 
+    /// The raw record-offset table (`record_count() + 1` entries; the
+    /// last is the file length). Batched scans hand this to the chunk
+    /// tokenizers, which take record windows as offset slices.
+    pub fn record_offsets(&self) -> &[u64] {
+        &self.record_offsets
+    }
+
     /// Byte range of a record (including any trailing newline).
     pub fn record_span(&self, record: usize) -> (usize, usize) {
         (

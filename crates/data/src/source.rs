@@ -2,7 +2,8 @@
 //! map, exposing flattened, projected scans to the query engine.
 
 use crate::posmap::PositionalMap;
-use crate::{csv, json};
+use crate::raw_batch::{self, RawBatchIndex};
+use crate::{csv, json, json_batch};
 use recache_layout::{BatchScratch, ColumnBatch, ScanCost, SelectionVector, BATCH_ROWS};
 use recache_types::{
     flatten_record_projected, DataType, FlatRow, LeafField, Result, ScalarType, Schema, Value,
@@ -49,27 +50,11 @@ pub struct RawFile {
     /// (drives selective JSON parsing).
     leaf_top: Vec<usize>,
     posmap: Mutex<Option<Arc<PositionalMap>>>,
-    /// Batched-scan state for flat CSV files: the newline record index
-    /// plus, until the positional map is assembled, per-chunk
-    /// field-offset capture slabs (see [`CsvBatchIndex`]).
-    batch: Mutex<Option<Arc<CsvBatchIndex>>>,
-}
-
-/// First-scan state of the batched CSV path. The newline index partitions
-/// the file into [`BATCH_ROWS`]-record chunks before any field has been
-/// tokenized; each chunk's scan captures its field offsets into a slab,
-/// and when every slab is filled they concatenate (the layout has a fixed
-/// per-record stride) into the full positional map — batched first scans
-/// preserve posmap capture even when chunks run on different threads, in
-/// any order.
-struct CsvBatchIndex {
-    record_offsets: Vec<u64>,
-    capture: Mutex<CaptureSlabs>,
-}
-
-struct CaptureSlabs {
-    slabs: Vec<Option<Vec<u32>>>,
-    filled: usize,
+    /// Batched-scan state for flat files (CSV and flat JSON): the SWAR
+    /// newline record index plus, until the positional map is assembled,
+    /// per-chunk capture slabs — shared chunk-grid machinery in
+    /// [`raw_batch`], format-specific tokenize + map assembly here.
+    batch: Mutex<Option<Arc<RawBatchIndex>>>,
 }
 
 impl std::fmt::Debug for RawFile {
@@ -382,17 +367,27 @@ impl RawFile {
         Ok(out)
     }
 
-    /// Whether [`RawFile::scan_batches_range`] can serve this file:
-    /// flat CSV, where every leaf is a top-level scalar and each record
-    /// is exactly one flattened row, small enough for the tokenizer's
-    /// `u32` position indexing (4 GiB+ files fall back to the
-    /// `usize`-indexed row tokenizer, as do nested JSON shapes).
+    /// Whether [`RawFile::scan_batches_range`] can serve this file. The
+    /// shape test: every leaf must be a top-level scalar, so each record
+    /// is exactly one flattened row — true for all CSV by construction,
+    /// and for JSON whose schema is flat (nested or ragged shapes keep
+    /// the row-at-a-time flattening fallback). The file must also be
+    /// small enough for the tokenizers' `u32` position indexing (4 GiB+
+    /// files fall back to the `usize`-indexed row tokenizers).
     pub fn supports_batch_scan(&self) -> bool {
-        matches!(self.format, FileFormat::Csv) && self.bytes.len() <= u32::MAX as usize
+        let flat = match self.format {
+            FileFormat::Csv => true,
+            FileFormat::Json => self
+                .schema
+                .fields()
+                .iter()
+                .all(|f| f.data_type.as_scalar().is_some()),
+        };
+        flat && self.bytes.len() <= u32::MAX as usize
     }
 
-    /// Number of records, from the positional map or (for CSV) the
-    /// newline index, if either has been built.
+    /// Number of records, from the positional map or the batched-scan
+    /// record index, if either has been built.
     pub fn known_record_count(&self) -> Option<usize> {
         if let Some(n) = self.record_count() {
             return Some(n);
@@ -401,7 +396,7 @@ impl RawFile {
             .lock()
             .expect("batch lock")
             .as_ref()
-            .map(|ix| ix.record_offsets.len() - 1)
+            .map(|ix| ix.n_records())
     }
 
     /// Drops the positional map and batched-scan index, returning the
@@ -417,81 +412,96 @@ impl RawFile {
     /// byte pass — the expensive tokenize/parse work stays inside the
     /// chunk scans, which is what makes the grid parallelizable).
     pub fn batch_chunks(&self) -> usize {
-        assert!(self.supports_batch_scan(), "batched scans are CSV-only");
-        if let Some(map) = self.posmap() {
-            return map.record_count().div_ceil(BATCH_ROWS);
+        assert!(
+            self.supports_batch_scan(),
+            "batched scans require a flat source"
+        );
+        loop {
+            if let Some(map) = self.posmap() {
+                return map.record_count().div_ceil(BATCH_ROWS);
+            }
+            if let Some(index) = self.batch_index() {
+                return index.n_chunks();
+            }
+            // batch_index() saw an installed map (a racing scan completed
+            // coverage) that a concurrent reset_scan_state() has since
+            // cleared: start over from the cold state.
         }
-        let index = self.batch_index();
-        (index.record_offsets.len() - 1).div_ceil(BATCH_ROWS)
     }
 
-    fn batch_index(&self) -> Arc<CsvBatchIndex> {
+    /// The first-scan chunk index, built on demand. Returns `None` when
+    /// a positional map already exists — in particular when a racing
+    /// scan completed coverage (installing the map and retiring the
+    /// index) between the caller's posmap sample and this call:
+    /// rebuilding then would re-index the whole file into an index no
+    /// one would ever complete. Callers take the mapped path instead.
+    fn batch_index(&self) -> Option<Arc<RawBatchIndex>> {
         let mut slot = self.batch.lock().expect("batch lock");
         if let Some(index) = slot.as_ref() {
-            return Arc::clone(index);
+            return Some(Arc::clone(index));
         }
-        let record_offsets = csv::index_records(&self.bytes);
-        let n_chunks = (record_offsets.len() - 1).div_ceil(BATCH_ROWS);
-        let index = Arc::new(CsvBatchIndex {
-            record_offsets,
-            capture: Mutex::new(CaptureSlabs {
-                slabs: vec![None; n_chunks],
-                filled: 0,
-            }),
-        });
-        if n_chunks == 0 {
+        if self.posmap.lock().expect("posmap lock").is_some() {
+            return None;
+        }
+        let index = Arc::new(RawBatchIndex::new(raw_batch::index_records(&self.bytes)));
+        if index.n_chunks() == 0 {
             // Empty file: nothing will ever scan a chunk, so install the
             // (empty) positional map right away — the row path does the
             // same on its first scan.
-            self.install_posmap(PositionalMap::with_fields(
-                vec![0],
-                Vec::new(),
-                self.schema.len(),
-            ));
+            self.install_posmap(self.assemble_posmap(vec![0], Vec::new()));
         }
         *slot = Some(Arc::clone(&index));
-        index
+        Some(index)
     }
 
-    /// Submits one chunk's captured field offsets; the call that
-    /// completes coverage (and only that call — redundant re-scans of an
-    /// already-filled chunk return early) concatenates the slabs into
-    /// the full positional map.
-    fn submit_capture(&self, index: &CsvBatchIndex, chunk: usize, slab: Vec<u32>) {
-        let mut capture = index.capture.lock().expect("capture lock");
-        if capture.slabs[chunk].is_some() {
-            return;
+    /// The positional map a completed batched first scan installs: CSV
+    /// gets record + field offsets (the concatenated capture slabs),
+    /// JSON a record-level map — the same shapes the row tokenizers
+    /// build.
+    fn assemble_posmap(&self, record_offsets: Vec<u64>, field_offsets: Vec<u32>) -> PositionalMap {
+        match self.format {
+            FileFormat::Csv => {
+                PositionalMap::with_fields(record_offsets, field_offsets, self.schema.len())
+            }
+            FileFormat::Json => PositionalMap::records_only(record_offsets),
         }
-        capture.slabs[chunk] = Some(slab);
-        capture.filled += 1;
-        if capture.filled < capture.slabs.len() {
-            return;
-        }
-        let total: usize = capture.slabs.iter().flatten().map(Vec::len).sum();
-        let mut field_offsets = Vec::with_capacity(total);
-        for slab in capture.slabs.iter_mut() {
-            field_offsets.extend_from_slice(slab.as_deref().unwrap_or(&[]));
-        }
-        drop(capture);
-        self.install_posmap(PositionalMap::with_fields(
-            index.record_offsets.clone(),
-            field_offsets,
-            self.schema.len(),
-        ));
-        // The index has served its purpose; mapped scans take over.
-        *self.batch.lock().expect("batch lock") = None;
+    }
+
+    /// Submits one chunk's capture slab; the call that completes
+    /// coverage (and only that call — redundant re-scans of an
+    /// already-filled chunk are ignored inside the index) assembles the
+    /// positional map and retires the index. The install runs *inside*
+    /// the index's capture critical section (see
+    /// [`RawBatchIndex::submit_with`]): a racing session that finishes
+    /// its own scan of this file can only have done so after interacting
+    /// with the coverage-completing chunk under that lock, so by the
+    /// time it reaches map-dependent work (offsets re-reads, cache
+    /// materialization) the map is guaranteed to be installed.
+    ///
+    /// Lock order: capture → posmap / batch (nothing acquires capture
+    /// while holding either of those).
+    fn submit_capture(&self, index: &RawBatchIndex, chunk: usize, slab: Vec<u32>) {
+        index.submit_with(chunk, slab, |field_offsets| {
+            self.install_posmap(
+                self.assemble_posmap(index.record_offsets().to_vec(), field_offsets),
+            );
+            // The index has served its purpose; mapped scans take over.
+            *self.batch.lock().expect("batch lock") = None;
+        });
     }
 
     /// Vectorized scan over chunks `[chunk_lo, chunk_hi)` of the
     /// [`RawFile::batch_chunks`] grid: parses the projected fields of
     /// each [`BATCH_ROWS`]-record window straight into typed scratch
     /// columns and yields them as a [`ColumnBatch`] with an identity
-    /// selection (flat CSV: one row per record; `record_ids` are file
-    /// record ids). First scans tokenize and capture the positional map
-    /// as a side effect; once a map exists, field spans are navigated
-    /// directly. Chunks are share-nothing, so disjoint ranges may run
-    /// concurrently — the executor fans them out on its work pool exactly
-    /// as it does cache-store chunks.
+    /// selection (flat sources: one row per record; `record_ids` are
+    /// file record ids). First scans tokenize and capture the positional
+    /// map as a side effect (CSV: field offsets; JSON: record coverage
+    /// only); once a map exists, CSV navigates field spans directly and
+    /// JSON re-tokenizes from known record spans. Chunks are
+    /// share-nothing, so disjoint ranges may run concurrently — the
+    /// executor fans them out on its work pool exactly as it does
+    /// cache-store chunks.
     ///
     /// Cost attribution: tokenize/parse time is data access `D` (raw
     /// scans are one fused navigate+load pass); batch assembly rides the
@@ -505,12 +515,19 @@ impl RawFile {
         chunk_hi: usize,
         on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
     ) -> Result<ScanCost> {
-        assert!(self.supports_batch_scan(), "batched scans are CSV-only");
+        assert!(
+            self.supports_batch_scan(),
+            "batched scans require a flat source"
+        );
         let types: Vec<ScalarType> = self
             .schema
             .fields()
             .iter()
-            .map(|f| f.data_type.as_scalar().expect("CSV fields are scalars"))
+            .map(|f| {
+                f.data_type
+                    .as_scalar()
+                    .expect("flat sources have scalar fields")
+            })
             .collect();
         let accessed_fields: Vec<(usize, ScalarType, usize)> = projection
             .iter()
@@ -525,12 +542,27 @@ impl RawFile {
         // installed mid-scan (by this range's own capture or a racing
         // scan) only benefits the *next* scan, keeping per-chunk work
         // uniform within one fan-out.
-        let existing = self.posmap();
-        let index = existing.is_none().then(|| self.batch_index());
+        let (existing, index) = loop {
+            let existing = self.posmap();
+            if existing.is_some() {
+                break (existing, None);
+            }
+            if let Some(index) = self.batch_index() {
+                break (None, Some(index));
+            }
+            // batch_index() declined because a racing scan installed the
+            // map; this range runs mapped — unless a concurrent
+            // reset_scan_state() cleared it again, in which case retry
+            // from the cold state.
+            let resampled = self.posmap();
+            if resampled.is_some() {
+                break (resampled, None);
+            }
+        };
         let n_records = match (&existing, &index) {
             (Some(map), _) => map.record_count(),
-            (None, Some(ix)) => ix.record_offsets.len() - 1,
-            (None, None) => unreachable!(),
+            (None, Some(ix)) => ix.n_records(),
+            (None, None) => unreachable!("the mode loop breaks with a map or an index"),
         };
         for chunk in chunk_lo..chunk_hi {
             let rec_lo = chunk * BATCH_ROWS;
@@ -540,8 +572,8 @@ impl RawFile {
             let rec_hi = (rec_lo + BATCH_ROWS).min(n_records);
             let t0 = Instant::now();
             scratch.clear();
-            match (&existing, &index) {
-                (Some(map), _) => {
+            match (&existing, &index, self.format) {
+                (Some(map), _, FileFormat::Csv) => {
                     csv::parse_range_with_map(
                         &self.bytes,
                         map,
@@ -551,21 +583,67 @@ impl RawFile {
                         &mut scratch.cols,
                     )?;
                 }
-                (None, Some(ix)) => {
-                    let mut slab = Vec::with_capacity((rec_hi - rec_lo) * (self.schema.len() + 1));
-                    csv::tokenize_range_into(
+                // JSON maps carry no field offsets; mapped chunks
+                // re-tokenize from the known record spans (the win over
+                // the row path is the typed-batch parse, not the map).
+                (Some(map), _, FileFormat::Json) => {
+                    json_batch::tokenize_range_into(
                         &self.bytes,
-                        &ix.record_offsets,
+                        map.record_offsets(),
                         rec_lo,
                         rec_hi,
-                        self.schema.len(),
+                        self.schema.fields(),
                         &accessed_fields,
                         &mut scratch.cols,
-                        &mut slab,
                     )?;
-                    self.submit_capture(ix, chunk, slab);
                 }
-                (None, None) => unreachable!(),
+                (None, Some(ix), FileFormat::Csv) => {
+                    if ix.chunk_filled(chunk) {
+                        // This chunk's capture is already in: re-scan in
+                        // capture-free mode, which skips tokenizing the
+                        // trailing unaccessed fields entirely.
+                        csv::tokenize_range_into(
+                            &self.bytes,
+                            ix.record_offsets(),
+                            rec_lo,
+                            rec_hi,
+                            self.schema.len(),
+                            &accessed_fields,
+                            &mut scratch.cols,
+                            None,
+                        )?;
+                    } else {
+                        let mut slab =
+                            Vec::with_capacity((rec_hi - rec_lo) * (self.schema.len() + 1));
+                        csv::tokenize_range_into(
+                            &self.bytes,
+                            ix.record_offsets(),
+                            rec_lo,
+                            rec_hi,
+                            self.schema.len(),
+                            &accessed_fields,
+                            &mut scratch.cols,
+                            Some(&mut slab),
+                        )?;
+                        self.submit_capture(ix, chunk, slab);
+                    }
+                }
+                (None, Some(ix), FileFormat::Json) => {
+                    json_batch::tokenize_range_into(
+                        &self.bytes,
+                        ix.record_offsets(),
+                        rec_lo,
+                        rec_hi,
+                        self.schema.fields(),
+                        &accessed_fields,
+                        &mut scratch.cols,
+                    )?;
+                    // JSON capture is coverage-only: an empty slab marks
+                    // the chunk scanned; full coverage installs the
+                    // records-only map.
+                    self.submit_capture(ix, chunk, Vec::new());
+                }
+                (None, None, _) => unreachable!(),
             }
             if want_record_ids {
                 scratch.record_ids.extend(rec_lo as u32..rec_hi as u32);
@@ -892,7 +970,106 @@ mod tests {
     }
 
     #[test]
-    fn json_files_do_not_support_batched_scans() {
+    fn nested_json_files_do_not_support_batched_scans() {
         assert!(!json_file().supports_batch_scan());
+    }
+
+    fn flat_json_file(rows: usize) -> RawFile {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+            Field::new("s", DataType::Str),
+        ]);
+        let records: Vec<Value> = (0..rows as i64)
+            .map(|i| {
+                Value::Struct(vec![
+                    if i % 5 == 0 {
+                        Value::Null // written as an absent key
+                    } else {
+                        Value::Int(i)
+                    },
+                    Value::Float(i as f64 * 0.25),
+                    Value::from(format!("s{}", i % 13)),
+                ])
+            })
+            .collect();
+        let bytes = json::write_json(&schema, &records);
+        RawFile::from_bytes(bytes, FileFormat::Json, schema)
+    }
+
+    #[test]
+    fn flat_json_batched_first_scan_matches_row_scan_and_installs_posmap() {
+        let rows = 10_000; // several BATCH_ROWS chunks
+        let batched_file = flat_json_file(rows);
+        let row_file = flat_json_file(rows);
+        assert!(batched_file.supports_batch_scan());
+        let chunks = batched_file.batch_chunks();
+        assert!(chunks > 2, "need a multi-chunk file, got {chunks}");
+        assert!(batched_file.posmap().is_none());
+        assert_eq!(batched_file.known_record_count(), Some(rows));
+
+        let projection = [2usize, 0];
+        let got = collect_batched(&batched_file, &projection, &[(0, chunks)]);
+        let mut expected = Vec::new();
+        row_file
+            .scan_projected(&[true, false, true], &mut |id, row| {
+                // Row scans emit in leaf order; reorder to projection.
+                expected.push((id as u32, vec![row[1].clone(), row[0].clone()]));
+            })
+            .unwrap();
+        assert_eq!(got, expected);
+
+        // Coverage-complete batched scans install a records-only map
+        // that agrees with the row tokenizer's.
+        let batched_map = batched_file.posmap().expect("posmap installed");
+        let row_map = row_file.posmap().unwrap();
+        assert_eq!(batched_map.record_count(), row_map.record_count());
+        assert!(!batched_map.has_field_offsets());
+        for rec in [0, 1, rows / 2, rows - 1] {
+            assert_eq!(batched_map.record_span(rec), row_map.record_span(rec));
+        }
+        // Mapped batched re-scan agrees with the first scan.
+        let again = collect_batched(&batched_file, &projection, &[(0, chunks)]);
+        assert_eq!(again, got);
+    }
+
+    #[test]
+    fn flat_json_out_of_order_ranges_assemble_the_posmap() {
+        let file = flat_json_file(9_500);
+        let chunks = file.batch_chunks();
+        assert!(chunks >= 3);
+        collect_batched(&file, &[0, 1, 2], &[(chunks - 1, chunks), (0, 1)]);
+        assert!(file.posmap().is_none(), "partial coverage: no posmap yet");
+        collect_batched(&file, &[0, 1, 2], &[(1, chunks - 1)]);
+        assert!(file.posmap().is_some(), "full coverage assembles the map");
+        file.reset_scan_state();
+        assert!(file.posmap().is_none());
+        assert_eq!(
+            collect_batched(&file, &[1], &[(0, file.batch_chunks())]).len(),
+            9_500
+        );
+    }
+
+    #[test]
+    fn flat_json_batched_scan_reports_parse_errors() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let file = RawFile::from_bytes(
+            b"{\"a\":1}\nnot json\n{\"a\":3}\n".to_vec(),
+            FileFormat::Json,
+            schema,
+        );
+        let chunks = file.batch_chunks();
+        let err = file.scan_batches_range(&[0], false, 0, chunks, &mut |_, _| {});
+        assert!(err.is_err());
+        assert!(file.posmap().is_none());
+    }
+
+    #[test]
+    fn empty_flat_json_batched_scan_installs_empty_records_map() {
+        let schema = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let file = RawFile::from_bytes(Vec::new(), FileFormat::Json, schema);
+        assert_eq!(file.batch_chunks(), 0);
+        assert_eq!(file.record_count(), Some(0));
+        assert!(collect_batched(&file, &[0], &[(0, 0)]).is_empty());
     }
 }

@@ -3,15 +3,17 @@
 //!
 //! # Vectorized vs row-at-a-time execution
 //!
-//! Cache-store scans (columnar / Dremel / row layouts) run *vectorized*
-//! by default: the store yields typed [`ColumnBatch`]es (see
-//! `recache_layout::batch`), compiled predicate kernels compact each
-//! batch's [`SelectionVector`] clause by clause, and batch aggregate
-//! kernels fold the survivors — no per-row `Value` materialization on the
-//! hot path. Raw-file scans (first scans and positional-map re-reads)
-//! and non-compilable predicates (`OR`, `NOT`, slot-vs-slot) fall back to
-//! the row-at-a-time path, which both [`ExecOptions::vectorized`]` =
-//! false` and the micro-benchmarks keep exercisable.
+//! Cache-store scans (columnar / Dremel / row layouts) and *flat* raw
+//! files (CSV and flat JSON, via `RawFile::supports_batch_scan`) run
+//! *vectorized* by default: the source yields typed [`ColumnBatch`]es
+//! (see `recache_layout::batch`), compiled predicate kernels compact
+//! each batch's [`SelectionVector`] clause by clause, and batch
+//! aggregate kernels fold the survivors — no per-row `Value`
+//! materialization on the hot path. Nested/ragged JSON shapes, offsets
+//! re-reads, and non-compilable predicates (`OR`, `NOT`, slot-vs-slot)
+//! fall back to the row-at-a-time path, which both
+//! [`ExecOptions::vectorized`]` = false` and the micro-benchmarks keep
+//! exercisable.
 //!
 //! D/C attribution: predicate-kernel time joins the store's
 //! mask-navigation/assembly time in `compute_ns`; aggregate and
@@ -312,29 +314,55 @@ fn execute_single(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput
 
 /// Join path: materialize filtered tables, fold hash joins, aggregate.
 /// Probe/build inputs coming from cache stores are scanned batched —
-/// predicate kernels run before any `Value` is materialized.
+/// predicate kernels run before any `Value` is materialized, and every
+/// slot that feeds a join extracts its typed [`JoinKey`] column straight
+/// from the batch views during the scan. The fold then hashes and probes
+/// those key columns; it never touches a `Value` to key a row.
 fn execute_join(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> {
+    // Which slots of each table serve as a join key (probe or build
+    // side). Their key columns are built once, at scan time.
+    let mut key_slots: Vec<Vec<usize>> = vec![Vec::new(); plan.tables.len()];
+    for join in &plan.joins {
+        for (t, s) in [
+            (join.left_table, join.left_slot),
+            (join.right_table, join.right_slot),
+        ] {
+            if t < plan.tables.len() && !key_slots[t].contains(&s) {
+                key_slots[t].push(s);
+            }
+        }
+    }
+
     // Scan all tables.
     let mut table_rows: Vec<Vec<Vec<Value>>> = Vec::with_capacity(plan.tables.len());
+    let mut table_keys: Vec<Vec<Vec<Option<JoinKey>>>> = Vec::with_capacity(plan.tables.len());
     let mut stats_list: Vec<TableStats> = Vec::with_capacity(plan.tables.len());
     let threads = options.effective_threads();
-    for table in &plan.tables {
+    for (t, table) in plan.tables.iter().enumerate() {
+        let slots = &key_slots[t];
         let mut rows: Vec<Vec<Value>> = Vec::new();
+        let mut keys: Vec<Vec<Option<JoinKey>>> = vec![Vec::new(); slots.len()];
         let mut satisfying: Option<Vec<u32>> = table.collect_satisfying.then(Vec::new);
         let t0 = Instant::now();
         let scan = if let Some((store, pred)) = batchable(table, options) {
             let want_ids = satisfying.is_some();
-            // Per-task row buffers, concatenated in task (= row) order,
-            // so the materialized table is identical at every thread
-            // count (a single inline task at `threads = 1`).
+            // Per-task row/key buffers, concatenated in task (= row)
+            // order, so the materialized table is identical at every
+            // thread count (a single inline task at `threads = 1`).
             let (scan, sinks) = scan_store_batched(
                 store,
                 table,
                 pred.as_ref(),
                 want_ids,
                 threads,
-                || (Vec::<Vec<Value>>::new(), want_ids.then(Vec::<u32>::new)),
-                |(rows, ids), batch, sel| {
+                || {
+                    (
+                        Vec::<Vec<Value>>::new(),
+                        want_ids.then(Vec::<u32>::new),
+                        vec![Vec::<Option<JoinKey>>::new(); slots.len()],
+                    )
+                },
+                |(rows, ids, keys), batch, sel| {
                     rows.reserve(sel.len());
                     for &i in sel.as_slice() {
                         let i = i as usize;
@@ -343,25 +371,43 @@ fn execute_join(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> 
                             ids.push(batch.record_ids[i]);
                         }
                     }
+                    // Join keys straight from the typed views — no
+                    // `Value` round trip, dict strings decode once here.
+                    for (out, &slot) in keys.iter_mut().zip(slots) {
+                        let col = &batch.columns[slot];
+                        for &i in sel.as_slice() {
+                            out.push(batch_join_key(col, i as usize));
+                        }
+                    }
                 },
             )?;
-            for (part_rows, part_ids) in sinks {
+            for (part_rows, part_ids, part_keys) in sinks {
                 rows.extend(part_rows);
                 if let (Some(all), Some(part)) = (satisfying.as_mut(), part_ids) {
+                    all.extend(part);
+                }
+                for (all, part) in keys.iter_mut().zip(part_keys) {
                     all.extend(part);
                 }
             }
             scan
         } else {
-            scan_table(table, &mut |record_id, row| {
+            let scan = scan_table(table, &mut |record_id, row| {
                 rows.push(row.to_vec());
                 if let Some(ids) = satisfying.as_mut() {
                     ids.push(record_id as u32);
                 }
-            })?
+            })?;
+            // Row-fallback tables derive their key columns from the
+            // materialized rows (same values, same normalization).
+            for (out, &slot) in keys.iter_mut().zip(slots) {
+                out.extend(rows.iter().map(|r| join_key(&r[slot])));
+            }
+            scan
         };
         let exec_ns = t0.elapsed().as_nanos() as u64;
         stats_list.push(table_stats(table, scan, exec_ns, rows.len(), satisfying));
+        table_keys.push(keys);
         table_rows.push(rows);
     }
 
@@ -375,6 +421,11 @@ fn execute_join(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> 
     }
     let mut joined: Vec<Vec<Value>> = Vec::new();
     let mut joined_tables: Vec<usize> = vec![0];
+    // Per joined row, the source row index in each joined table (in
+    // `joined_tables` order, stride = `joined_tables.len()`): probe keys
+    // are looked up through it in the scan-time key columns instead of
+    // being re-derived from the combined `Value` row on every fold.
+    let mut src: Vec<u32> = (0..table_rows[0].len() as u32).collect();
     // Seed with table 0.
     for row in &table_rows[0] {
         let mut combined = vec![Value::Null; widths.iter().sum()];
@@ -405,16 +456,26 @@ fn execute_join(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> 
         if joined_tables.contains(&build_table) {
             return Err(Error::plan("join would re-join an already joined table"));
         }
-        // Build a hash map over the new table (partitioned across the
-        // pool for large builds).
-        let map = build_join_map(&table_rows[build_table], build_slot, threads);
-        // Probe with the joined prefix (partitioned across the pool for
-        // large probe sides).
-        let probe_offset = offsets[probe_table] + probe_slot;
+        // Build a hash map over the new table's key column (partitioned
+        // across the pool for large builds).
+        let map = build_join_map(
+            keys_for(&key_slots, &table_keys, build_table, build_slot),
+            threads,
+        );
+        // Probe with the joined prefix's key column (partitioned across
+        // the pool for large probe sides).
+        let probe_keys = keys_for(&key_slots, &table_keys, probe_table, probe_slot);
+        let probe_pos = joined_tables
+            .iter()
+            .position(|&t| t == probe_table)
+            .expect("probe table is in the joined prefix");
         let build_offset = offsets[build_table];
-        joined = probe_join_map(
+        (joined, src) = probe_join_map(
             &joined,
-            probe_offset,
+            &src,
+            joined_tables.len(),
+            probe_pos,
+            probe_keys,
             &map,
             &table_rows[build_table],
             build_offset,
@@ -464,8 +525,10 @@ struct ScanOutcome {
 }
 
 /// A scan source that supports batched scans: the three cache stores,
-/// plus flat-CSV raw files (whose chunk grid tokenizes/parses records
-/// straight into typed scratch columns — no per-record `Value` tree).
+/// plus flat raw files — CSV and flat JSON — whose chunk grids
+/// tokenize/parse records straight into typed scratch columns (no
+/// per-record `Value` tree, no flattening pass). The executor never
+/// branches on the raw format; `RawFile` dispatches internally.
 #[derive(Clone, Copy)]
 enum StoreRef<'a> {
     Columnar(&'a ColumnStore),
@@ -575,8 +638,8 @@ impl StoreRef<'_> {
     }
 }
 
-/// Whether this table can run vectorized: a cache store or flat-CSV raw
-/// file whose predicate (if any) compiles to kernels.
+/// Whether this table can run vectorized: a cache store or flat raw
+/// file (CSV / flat JSON) whose predicate (if any) compiles to kernels.
 fn batchable<'a>(
     table: &'a TablePlan,
     options: &ExecOptions,
@@ -588,8 +651,8 @@ fn batchable<'a>(
         AccessPath::Columnar(s) => StoreRef::Columnar(s),
         AccessPath::Dremel(s) => StoreRef::Dremel(s),
         AccessPath::Row(s) => StoreRef::Row(s),
-        // Flat CSV raw scans batch like stores; nested/JSON shapes keep
-        // the row-at-a-time flattening fallback.
+        // Flat raw scans (any format) batch like stores; nested/ragged
+        // JSON shapes keep the row-at-a-time flattening fallback.
         AccessPath::Raw(file) if file.supports_batch_scan() => StoreRef::Raw(file),
         AccessPath::Raw(_) | AccessPath::Offsets { .. } => return None,
     };
@@ -816,29 +879,64 @@ fn leaf_bitmap(width: usize, accessed: &[usize]) -> Vec<bool> {
 /// or probing a few thousand rows is cheaper than a pool dispatch).
 const PARALLEL_JOIN_MIN_ROWS: usize = 2 * BATCH_ROWS;
 
-/// Hash-join build: maps each key to the ascending row indices holding
-/// it. Large builds hash contiguous row partitions on the pool and merge
-/// the partition maps in partition order, so every key's index list —
-/// and therefore the probe output order — is identical to a serial
-/// build's.
-fn build_join_map(
-    rows: &[Vec<Value>],
+/// The scan-time key column for one `(table, slot)` join input.
+fn keys_for<'a>(
+    key_slots: &[Vec<usize>],
+    table_keys: &'a [Vec<Vec<Option<JoinKey>>>],
+    table: usize,
     slot: usize,
-    threads: usize,
-) -> HashMap<JoinKey, Vec<usize>> {
+) -> &'a [Option<JoinKey>] {
+    let idx = key_slots[table]
+        .iter()
+        .position(|&s| s == slot)
+        .expect("join slot was registered before the scans");
+    &table_keys[table][idx]
+}
+
+/// [`JoinKey`] of batch row `i`, read straight off the typed column view
+/// — the vectorized twin of [`join_key`], with identical Int/Float
+/// normalization (so batched and row-fallback inputs hash identically).
+fn batch_join_key(col: &recache_layout::BatchColumn<'_>, i: usize) -> Option<JoinKey> {
+    use recache_layout::BatchValues;
+    if !col.is_valid(i) {
+        return None;
+    }
+    match &col.values {
+        BatchValues::Int(vals) => Some(JoinKey::Int(vals[i])),
+        BatchValues::Float(vals) => {
+            let v = vals[i];
+            if v.fract() == 0.0 && v.abs() < 9e15 {
+                Some(JoinKey::Int(v as i64))
+            } else {
+                Some(JoinKey::Bits(v.to_bits()))
+            }
+        }
+        BatchValues::Bool(vals) => Some(JoinKey::Bool(vals[i])),
+        values @ (BatchValues::Str { .. } | BatchValues::Dict { .. }) => {
+            Some(JoinKey::Str(values.str_at(i).to_owned()))
+        }
+    }
+}
+
+/// Hash-join build over a scan-time key column: maps each key to the
+/// ascending row indices holding it. Large builds hash contiguous
+/// partitions on the pool and merge the partition maps in partition
+/// order, so every key's index list — and therefore the probe output
+/// order — is identical to a serial build's.
+fn build_join_map(keys: &[Option<JoinKey>], threads: usize) -> HashMap<JoinKey, Vec<usize>> {
     let hash_partition = |lo: usize, hi: usize| {
         let mut map: HashMap<JoinKey, Vec<usize>> = HashMap::new();
-        for (i, row) in rows[lo..hi].iter().enumerate() {
-            if let Some(key) = join_key(&row[slot]) {
-                map.entry(key).or_default().push(lo + i);
+        for (i, key) in keys[lo..hi].iter().enumerate() {
+            if let Some(key) = key {
+                map.entry(key.clone()).or_default().push(lo + i);
             }
         }
         map
     };
-    if threads <= 1 || rows.len() < PARALLEL_JOIN_MIN_ROWS {
-        return hash_partition(0, rows.len());
+    if threads <= 1 || keys.len() < PARALLEL_JOIN_MIN_ROWS {
+        return hash_partition(0, keys.len());
     }
-    let ranges = task_ranges(rows.len(), threads);
+    let ranges = task_ranges(keys.len(), threads);
     let partitions = ThreadPool::global().map_index(ranges.len(), threads, |p| {
         let (lo, hi) = ranges[p];
         hash_partition(lo, hi)
@@ -853,35 +951,46 @@ fn build_join_map(
 }
 
 /// Hash-join probe: joins each prefix row against the build map, emitting
-/// one combined row per match. Large probe sides are partitioned into
+/// one combined row (and its extended source-index row) per match. The
+/// probe key comes from the probe table's scan-time key column, located
+/// through the prefix row's source indices — no `Value` is read or
+/// normalized during the probe. Large probe sides are partitioned into
 /// contiguous row ranges probed on the pool, with per-partition match
 /// lists concatenated in partition order — the probe output (and with it
 /// every downstream aggregate) is identical to a serial probe's at any
 /// thread count (the same fixed-order-merge discipline as the scans).
+#[allow(clippy::too_many_arguments)]
 fn probe_join_map(
     joined: &[Vec<Value>],
-    probe_offset: usize,
+    src: &[u32],
+    stride: usize,
+    probe_pos: usize,
+    probe_keys: &[Option<JoinKey>],
     map: &HashMap<JoinKey, Vec<usize>>,
     build_rows: &[Vec<Value>],
     build_offset: usize,
     threads: usize,
-) -> Vec<Vec<Value>> {
+) -> (Vec<Vec<Value>>, Vec<u32>) {
     let probe_partition = |lo: usize, hi: usize| {
         let mut out: Vec<Vec<Value>> = Vec::new();
-        for combined in &joined[lo..hi] {
-            let Some(key) = join_key(&combined[probe_offset]) else {
+        let mut out_src: Vec<u32> = Vec::new();
+        for (j, combined) in joined[lo..hi].iter().enumerate() {
+            let row_src = &src[(lo + j) * stride..(lo + j + 1) * stride];
+            let Some(key) = probe_keys[row_src[probe_pos] as usize].as_ref() else {
                 continue;
             };
-            if let Some(matches) = map.get(&key) {
+            if let Some(matches) = map.get(key) {
                 for &i in matches {
                     let mut row = combined.clone();
                     let build = &build_rows[i];
                     row[build_offset..build_offset + build.len()].clone_from_slice(build);
                     out.push(row);
+                    out_src.extend_from_slice(row_src);
+                    out_src.push(i as u32);
                 }
             }
         }
-        out
+        (out, out_src)
     };
     if threads <= 1 || joined.len() < PARALLEL_JOIN_MIN_ROWS {
         return probe_partition(0, joined.len());
@@ -891,12 +1000,14 @@ fn probe_join_map(
         let (lo, hi) = ranges[p];
         probe_partition(lo, hi)
     });
-    let total = partitions.iter().map(Vec::len).sum();
+    let total = partitions.iter().map(|(rows, _)| rows.len()).sum();
     let mut out = Vec::with_capacity(total);
-    for partition in &mut partitions {
-        out.append(partition);
+    let mut out_src = Vec::with_capacity(total * (stride + 1));
+    for (rows, srcs) in &mut partitions {
+        out.append(rows);
+        out_src.append(srcs);
     }
-    out
+    (out, out_src)
 }
 
 /// Hashable join key with Int/Float normalization.

@@ -12,7 +12,8 @@ mod common;
 
 use recache::cache::eviction::Lru;
 use recache::cache::registry::{range_signature, CacheRegistry, LeafRange};
-use recache::data::FileFormat;
+use recache::data::gen::tpch;
+use recache::data::{csv as data_csv, json as data_json, FileFormat};
 use recache::layout::{CacheData, OffsetStore};
 use recache::types::Value;
 use recache::workload::{
@@ -149,6 +150,115 @@ fn single_flight_coalesces_duplicate_scans() {
         coalesced_seen,
         "no run coalesced an admission: followers never overlapped a leader"
     );
+}
+
+/// Mixed-format replay: the same SPA workload shape runs over the CSV
+/// `lineitem` and over a flat-JSON copy of the same rows, interleaved
+/// across concurrent sessions — so the sharded registry and the
+/// single-flight table are exercised by both raw formats at once (flat
+/// JSON misses now take the batched tokenizer path, CSV misses the
+/// batched CSV path). Per-query results must match a serial replay, the
+/// CSV and JSON twins must answer identically, and both sources must
+/// end up resident in the shared registry.
+#[test]
+fn mixed_csv_json_replay_matches_serial() {
+    let sessions = sessions_knob();
+    let threads = threads_knob();
+    let seed = 13;
+    let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0004, seed);
+    let li_schema = tpch::lineitem_schema();
+    let li_records: Vec<Value> = lineitems.iter().map(|r| Value::Struct(r.clone())).collect();
+    let domains = Domains::compute(&li_schema, li_records.iter());
+    let csv_bytes = data_csv::write_csv(&li_schema, &lineitems);
+    let json_bytes = data_json::write_json(&li_schema, &li_records);
+    let build = || {
+        let mut session = ReCache::builder().build();
+        session.register_csv_bytes("lineitem", csv_bytes.clone(), li_schema.clone());
+        session.register_json_bytes("lineitem_json", json_bytes.clone(), li_schema.clone());
+        session
+    };
+    // Same seed over the same domains: the JSON stream asks the exact
+    // queries the CSV stream does, just against the other format.
+    let spa = |source: &'static str| {
+        spa_workload(
+            source,
+            &domains,
+            &[(PoolPhase::AllAttrs, 16)],
+            &SpaConfig::default(),
+            seed,
+        )
+    };
+    let specs: Vec<recache::sql::QuerySpec> = spa("lineitem")
+        .into_iter()
+        .zip(spa("lineitem_json"))
+        .flat_map(|(a, b)| [a, b])
+        .collect();
+
+    let serial_session = build();
+    let serial: Vec<Vec<Value>> = specs
+        .iter()
+        .map(|s| serial_session.run(s).unwrap().rows)
+        .collect();
+    // The two formats are copies of one table: twin queries must agree.
+    for (i, pair) in serial.chunks(2).enumerate() {
+        assert_eq!(
+            pair[0], pair[1],
+            "query {i}: CSV and JSON copies answered differently"
+        );
+    }
+
+    let shared = build();
+    let streams = split_round_robin(&specs, sessions);
+    let scheduler = Scheduler::new(threads);
+    let results = scheduler.run_streams(&shared, &streams).unwrap();
+    for (i, expected) in serial.iter().enumerate() {
+        let got = &results[i % sessions][i / sessions];
+        assert_eq!(
+            &got.rows, expected,
+            "query {i} differs between mixed-format concurrent ({sessions} sessions, \
+             {threads} threads) and serial execution"
+        );
+    }
+    assert_eq!(shared.queries_run() as usize, specs.len());
+    let snapshot = shared.cache().snapshot();
+    assert!(
+        snapshot.iter().any(|e| e.source == "lineitem"),
+        "CSV source must be resident"
+    );
+    assert!(
+        snapshot.iter().any(|e| e.source == "lineitem_json"),
+        "JSON source must be resident"
+    );
+
+    // Single-flight across the JSON format: duplicate in-flight scans of
+    // the same JSON query collapse to one admission (the CSV variant is
+    // covered by `single_flight_coalesces_duplicate_scans`).
+    let q = "SELECT count(*), sum(l_extendedprice) FROM lineitem_json WHERE l_quantity >= 10";
+    let fresh = build();
+    let expected = {
+        let baseline = build();
+        baseline.sql(q).unwrap().rows
+    };
+    let barrier = Barrier::new(sessions);
+    std::thread::scope(|scope| {
+        for _ in 0..sessions {
+            scope.spawn(|| {
+                barrier.wait();
+                assert_eq!(fresh.sql(q).unwrap().rows, expected);
+            });
+        }
+    });
+    let entries = fresh
+        .cache()
+        .snapshot()
+        .into_iter()
+        .filter(|e| e.source == "lineitem_json")
+        .count();
+    assert_eq!(
+        entries, 1,
+        "duplicate JSON admissions must collapse to one entry"
+    );
+    assert_eq!(fresh.cache().counters().admissions, 1);
 }
 
 /// Seeded-interleaving determinism: the same seed produces the same

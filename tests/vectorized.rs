@@ -11,9 +11,12 @@
 //! float aggregates independent of the parallel task decomposition.
 //!
 //! Two axes added with the batched raw-scan / dictionary work:
-//! * **raw batched vs row** — CSV datasets run the raw access path in
-//!   both modes (vectorized raw scans tokenize into typed batches; the
-//!   row mode is the per-record tokenizer), first-scan and posmap-mapped;
+//! * **raw batched vs row** — every *flat* dataset (CSV, and flat JSON
+//!   since the batched JSON tokenizer landed) runs the raw access path
+//!   in both modes (vectorized raw scans tokenize into typed batches;
+//!   the row mode is the per-record tokenizer), first-scan and
+//!   posmap-mapped; nested JSON datasets assert the row fallback
+//!   engages instead;
 //! * **dict vs plain** — stores built with dictionary encoding enabled
 //!   (the default) and disabled must agree with each other and with the
 //!   row path; the high-cardinality dataset must *not* dictionary-encode.
@@ -122,6 +125,66 @@ fn datasets() -> Vec<Dataset> {
     let high_card: Vec<Value> = (0..800i64)
         .map(|i| Value::Struct(vec![Value::Int(i), Value::Str(format!("uniq-{i:05}"))]))
         .collect();
+    // Flat JSON: every top-level field scalar, so the batched JSON
+    // tokenizer serves the raw path. Absent keys (the writer omits
+    // nulls) and a bool column exercise the staging walk.
+    let flat_json_schema = Schema::new(vec![
+        Field::required("k", DataType::Int),
+        Field::new("v", DataType::Float),
+        Field::new("tag", DataType::Str),
+        Field::new("flag", DataType::Bool),
+    ]);
+    let flat_json: Vec<Value> = (0..900i64)
+        .map(|i| {
+            Value::Struct(vec![
+                Value::Int(i % 120),
+                if i % 7 == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(i as f64 * 0.5 - 55.0)
+                },
+                if i % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::Str(format!("t{}", i % 19))
+                },
+                if i % 3 == 0 {
+                    Value::Null
+                } else {
+                    Value::Bool(i % 2 == 0)
+                },
+            ])
+        })
+        .collect();
+    // NULL-/missing-key-heavy flat JSON: most keys absent on most
+    // records (the writer drops null fields), so the batched walk's
+    // missing-key staging dominates.
+    let sparse_json_schema = Schema::new(vec![
+        Field::new("x", DataType::Int),
+        Field::new("s", DataType::Str),
+        Field::new("f", DataType::Float),
+    ]);
+    let sparse_json: Vec<Value> = (0..700i64)
+        .map(|i| {
+            Value::Struct(vec![
+                if i % 2 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 40)
+                },
+                if i % 3 != 1 {
+                    Value::Null
+                } else {
+                    Value::Str(format!("s{}", i % 11))
+                },
+                if i % 4 != 2 {
+                    Value::Null
+                } else {
+                    Value::Float(i as f64 * 0.125 - 20.0)
+                },
+            ])
+        })
+        .collect();
     vec![
         Dataset {
             name: "tpch_lineitem_csv",
@@ -140,6 +203,18 @@ fn datasets() -> Vec<Dataset> {
             schema: high_card_schema,
             records: high_card,
             format: FileFormat::Csv,
+        },
+        Dataset {
+            name: "flat_json",
+            schema: flat_json_schema,
+            records: flat_json,
+            format: FileFormat::Json,
+        },
+        Dataset {
+            name: "null_heavy_flat_json",
+            schema: sparse_json_schema,
+            records: sparse_json,
+            format: FileFormat::Json,
         },
         Dataset {
             name: "tpch_order_lineitems_json",
@@ -385,10 +460,12 @@ fn equivalence_suite(threads: usize) {
                     AccessPath::Dremel(Arc::clone(&dremel_plain)),
                 ),
             ];
-            if ds.format == FileFormat::Csv {
-                // Cold raw file: the vectorized run is the batched first
-                // scan. Reset per query so every predicate shape hits the
-                // tokenizer, not the map its predecessor built.
+            if cold_file.supports_batch_scan() {
+                // Cold flat raw file (CSV or flat JSON): the vectorized
+                // run is the batched first scan. Reset per query so every
+                // predicate shape hits the tokenizer, not the map its
+                // predecessor built. Nested JSON files never enter this
+                // axis — they take the row fallback, asserted separately.
                 cold_file.reset_scan_state();
                 accesses.insert(
                     0,
@@ -639,6 +716,200 @@ fn dict_code_range_compares_agree_with_cmp_sql_property() {
                 }
             }
         }
+    }
+}
+
+/// Shape detection drives the raw dispatch: flat JSON must take the
+/// batched path, nested/ragged JSON must take the row-at-a-time
+/// flattening fallback (`supports_batch_scan` is exactly the predicate
+/// the executor's `batchable` uses, so asserting it here asserts which
+/// path a vectorized plan runs). The nested files still execute
+/// correctly under vectorized options — via the fallback — and install
+/// the same records-only posmap the row scan builds.
+#[test]
+fn nested_json_engages_the_row_fallback_and_flat_json_batches() {
+    let mut saw_flat = false;
+    let mut saw_nested = false;
+    for ds in datasets() {
+        if ds.format != FileFormat::Json {
+            continue;
+        }
+        let bytes = json::write_json(&ds.schema, &ds.records);
+        let file = Arc::new(RawFile::from_bytes(bytes, ds.format, ds.schema.clone()));
+        assert_eq!(
+            file.supports_batch_scan(),
+            !ds.schema.has_nested(),
+            "{}: flat JSON batches, nested JSON falls back",
+            ds.name
+        );
+        if ds.schema.has_nested() {
+            saw_nested = true;
+            // A vectorized execution on the nested file runs the row
+            // fallback: results match the row mode exactly, a first scan
+            // is reported, and the posmap the scan installs is the row
+            // tokenizer's records-only map.
+            let leaves = ds.schema.leaves();
+            let accessed: Vec<usize> = (0..leaves.len()).collect();
+            let plan = plan_for(AccessPath::Raw(Arc::clone(&file)), &(accessed, None, false));
+            let vec_out = execute_with(&plan, &vectorized(4)).unwrap();
+            assert_eq!(
+                vec_out.stats.tables[0].access,
+                recache::engine::exec::AccessKind::RawFirstScan
+            );
+            let row_out = execute_with(&plan, &ROW).unwrap();
+            assert_eq!(vec_out.values, row_out.values, "{}", ds.name);
+            assert_eq!(vec_out.rows_aggregated, row_out.rows_aggregated);
+            let map = file.posmap().expect("fallback scan installs the map");
+            assert!(!map.has_field_offsets());
+            assert_eq!(map.record_count(), ds.records.len());
+        } else {
+            saw_flat = true;
+        }
+    }
+    assert!(saw_flat, "suite must include a flat JSON dataset");
+    assert!(saw_nested, "suite must include nested JSON datasets");
+}
+
+/// Seeded property test: the batched flat-JSON tokenizer must agree with
+/// the row tokenizer record for record, value for value, across
+/// randomized key orders, absent keys, duplicate keys, unknown keys with
+/// nested junk, string escapes (`\"`, `\\`, `\n`, `\t`, `\u`), numeric
+/// edge forms (exponent notation, `-0.0`, int/float mixes, i64
+/// overflow), explicit nulls, type mismatches, and random whitespace —
+/// on random projections, first-scan and posmap-mapped.
+#[test]
+fn json_batched_tokenizer_agrees_with_row_tokenizer_property() {
+    let mut rng = StdRng::seed_from_u64(0x4a50_11f5);
+    let schema = Schema::new(vec![
+        Field::new("i", DataType::Int),
+        Field::new("f", DataType::Float),
+        Field::new("s", DataType::Str),
+        Field::new("b", DataType::Bool),
+    ]);
+    let keys = ["i", "f", "s", "b"];
+    // Value literals drawn regardless of field: the schema type decides
+    // how each parses (mismatches degrade to null on both paths).
+    let literals = [
+        "null",
+        "true",
+        "false",
+        "3",
+        "-7",
+        "0",
+        "9223372036854775807",
+        "92233720368547758990", // i64 overflow -> widens to f64
+        "3.9",
+        "-0.0",
+        "1e3",
+        "2.5e-2",
+        "-1.5E2",
+        "0.1",
+        "123456.789",
+        "\"plain\"",
+        "\"a\\\"b\\\\c\"",
+        "\"x\\ny\\tz\"",
+        "\"\\u00e9clair\"",
+        "\"s,with:braces}and[\"",
+        "[1,2,3]",
+        "{\"nested\":{\"deep\":[1,\"}\"]}}",
+    ];
+    let junk_values = [
+        "[1,{\"w\":\"}\"},3]",
+        "\"ignored, with : and }\"",
+        "-12.5e2",
+        "{\"a\":[{\"b\":null}]}",
+        "true",
+    ];
+    for case in 0..20 {
+        let rows = rng.random_range(40..250usize);
+        let mut bytes: Vec<u8> = Vec::new();
+        for _ in 0..rows {
+            let mut order: Vec<usize> = (0..keys.len()).collect();
+            for i in (1..order.len()).rev() {
+                let j = rng.random_range(0..(i as u32 + 1)) as usize;
+                order.swap(i, j);
+            }
+            let mut parts: Vec<String> = Vec::new();
+            for &k in &order {
+                if rng.random_range(0..100u32) < 25 {
+                    continue; // absent key
+                }
+                let lit = literals[rng.random_range(0..literals.len() as u32) as usize];
+                let ws1 = if rng.random_range(0..4u32) == 0 {
+                    " "
+                } else {
+                    ""
+                };
+                let ws2 = if rng.random_range(0..4u32) == 0 {
+                    " "
+                } else {
+                    ""
+                };
+                parts.push(format!("\"{}\"{ws1}:{ws2}{lit}", keys[k]));
+            }
+            if rng.random_range(0..100u32) < 35 {
+                let junk = junk_values[rng.random_range(0..junk_values.len() as u32) as usize];
+                let pos = rng.random_range(0..(parts.len() as u32 + 1)) as usize;
+                parts.insert(pos, format!("\"z{}\":{junk}", rng.random_range(0..3u32)));
+            }
+            if rng.random_range(0..100u32) < 10 {
+                // Duplicate key: last value wins on both paths.
+                parts.push("\"i\":5".to_owned());
+            }
+            bytes.extend_from_slice(format!("{{{}}}\n", parts.join(",")).as_bytes());
+        }
+
+        let row_file = RawFile::from_bytes(bytes.clone(), FileFormat::Json, schema.clone());
+        let batched_file = RawFile::from_bytes(bytes, FileFormat::Json, schema.clone());
+        assert!(batched_file.supports_batch_scan(), "case {case}");
+
+        // Random non-empty ascending projection (row scans emit accessed
+        // leaves in leaf order).
+        let mut projection: Vec<usize> = (0..keys.len())
+            .filter(|_| rng.random_range(0..2u32) == 0)
+            .collect();
+        if projection.is_empty() {
+            projection = (0..keys.len()).collect();
+        }
+        let mut accessed = vec![false; keys.len()];
+        for &leaf in &projection {
+            accessed[leaf] = true;
+        }
+        let mut expected: Vec<(u32, Vec<Value>)> = Vec::new();
+        row_file
+            .scan_projected(&accessed, &mut |id, row| {
+                expected.push((id as u32, row));
+            })
+            .unwrap();
+
+        let collect = |file: &RawFile| {
+            let chunks = file.batch_chunks();
+            let mut got: Vec<(u32, Vec<Value>)> = Vec::new();
+            file.scan_batches_range(&projection, true, 0, chunks, &mut |batch, sel| {
+                for &i in sel.as_slice() {
+                    let i = i as usize;
+                    got.push((
+                        batch.record_ids[i],
+                        batch.columns.iter().map(|c| c.value(i)).collect(),
+                    ));
+                }
+            })
+            .unwrap();
+            got
+        };
+        // First scan (tokenizes + installs the posmap), then mapped.
+        let first = collect(&batched_file);
+        assert_eq!(first, expected, "case {case}: batched first scan diverged");
+        let map = batched_file.posmap().expect("coverage installs the map");
+        assert_eq!(
+            map.record_count(),
+            row_file.posmap().unwrap().record_count()
+        );
+        let mapped = collect(&batched_file);
+        assert_eq!(
+            mapped, expected,
+            "case {case}: batched mapped scan diverged"
+        );
     }
 }
 

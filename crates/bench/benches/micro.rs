@@ -140,10 +140,12 @@ fn layout_scans(c: &mut Criterion) {
 const ROW: ExecOptions = ExecOptions {
     vectorized: false,
     threads: 1,
+    cancel: None,
 };
 const VECTORIZED: ExecOptions = ExecOptions {
     vectorized: true,
     threads: 1,
+    cancel: None,
 };
 
 /// One-table scan → filter → aggregate plan over a cache store.
@@ -285,6 +287,7 @@ fn parallel_scaling(c: &mut Criterion) {
         let options = ExecOptions {
             vectorized: true,
             threads,
+            cancel: None,
         };
         group.bench_function(&format!("columnar_filter_agg_t{threads}"), |b| {
             b.iter(|| black_box(execute_with(&col_plan, &options).unwrap().values))
@@ -295,6 +298,7 @@ fn parallel_scaling(c: &mut Criterion) {
         let options = ExecOptions {
             vectorized: true,
             threads,
+            cancel: None,
         };
         group.bench_function(&format!("rowstore_filter_agg_t{threads}"), |b| {
             b.iter(|| black_box(execute_with(&row_plan, &options).unwrap().values))
@@ -319,6 +323,7 @@ fn parallel_scaling(c: &mut Criterion) {
         let options = ExecOptions {
             vectorized: true,
             threads,
+            cancel: None,
         };
         group.bench_function(&format!("dremel_element_filter_agg_t{threads}"), |b| {
             b.iter(|| black_box(execute_with(&dremel_plan, &options).unwrap().values))

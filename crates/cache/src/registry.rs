@@ -24,6 +24,22 @@
 //!   Eviction holds the policy mutex across its shard visits (policy →
 //!   shard is the one permitted nesting direction), which also serializes
 //!   concurrent capacity enforcement.
+//!
+//! ## Lock poisoning
+//!
+//! Every lock acquisition in this module recovers from poisoning with
+//! `unwrap_or_else(|e| e.into_inner())` instead of propagating the
+//! panic. Poisoning only records that *some* holder panicked — it says
+//! nothing about whether the guarded data is torn. Here it never is:
+//! shard critical sections mutate `HashMap`/`RTree` structures through
+//! single panic-safe calls, and the one cross-structure invariant
+//! (an entry's bytes are in `total_bytes` iff the entry is visible in
+//! its shard) has no panic point between its two halves — both updates
+//! happen under the same lock with only infallible operations between
+//! them. The registry is shared by every session, so wedging all future
+//! queries because one scan thread panicked (e.g. an injected fault in
+//! the chaos suite) would turn a contained failure into a total outage.
+//! Individual sites note any extra reasoning they rely on.
 
 use crate::eviction::{EvictView, EvictionContext, EvictionPolicy};
 use crate::layout_model::LayoutHistory;
@@ -198,7 +214,7 @@ impl CacheRegistry {
     /// Installs an offline future oracle (required by the offline
     /// eviction baselines).
     pub fn set_oracle(&self, oracle: Box<dyn FutureOracle>) {
-        *self.oracle.write().expect("oracle lock") = Some(oracle);
+        *self.oracle.write().unwrap_or_else(|e| e.into_inner()) = Some(oracle);
     }
 
     /// Advances the logical query clock; call once per query. Atomic, so
@@ -214,7 +230,7 @@ impl CacheRegistry {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.read().expect("shard lock").entries.len())
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).entries.len())
             .sum()
     }
 
@@ -242,6 +258,39 @@ impl CacheRegistry {
         self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one query that surfaced a non-retryable scan failure.
+    pub fn note_failed_scan(&self) {
+        self.counters.failed_scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` chunk retries absorbed by the bounded-retry loop.
+    pub fn note_retried_chunks(&self, n: u64) {
+        if n > 0 {
+            self.counters.retried_chunks.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one query that hit its deadline or was cancelled.
+    pub fn note_timeout(&self) {
+        self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one batched raw scan that completed via the row-at-a-time
+    /// degraded fallback.
+    pub fn note_degraded_fallback(&self) {
+        self.counters
+            .degraded_fallbacks
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one single-flight follower promoted to leader after the
+    /// previous leader failed or abandoned the flight.
+    pub fn note_leader_failover(&self) {
+        self.counters
+            .leader_failovers
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Home shard of a `(source, signature)` pair.
     fn shard_index(&self, source: &str, signature: &str) -> usize {
         let mut h = DefaultHasher::new();
@@ -258,7 +307,10 @@ impl CacheRegistry {
 
     /// Runs `f` against the entry under its shard's read lock.
     pub fn with_entry<R>(&self, id: EntryId, f: impl FnOnce(&CacheEntry) -> R) -> Option<R> {
-        let shard = self.shard_of_id(id).read().expect("shard lock");
+        let shard = self
+            .shard_of_id(id)
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
         shard.entries.get(&id).map(f)
     }
 
@@ -269,7 +321,10 @@ impl CacheRegistry {
         id: EntryId,
         f: impl FnOnce(&mut CacheEntry) -> R,
     ) -> Option<R> {
-        let mut shard = self.shard_of_id(id).write().expect("shard lock");
+        let mut shard = self
+            .shard_of_id(id)
+            .write()
+            .unwrap_or_else(|e| e.into_inner());
         shard.entries.get_mut(&id).map(f)
     }
 
@@ -282,7 +337,7 @@ impl CacheRegistry {
     pub fn snapshot(&self) -> Vec<EntrySnapshot> {
         let mut out = Vec::new();
         for lock in self.shards.iter() {
-            let shard = lock.read().expect("shard lock");
+            let shard = lock.read().unwrap_or_else(|e| e.into_inner());
             for e in shard.entries.values() {
                 out.push(EntrySnapshot {
                     id: e.id,
@@ -309,7 +364,7 @@ impl CacheRegistry {
     pub fn source_in_working_set(&self, source: &str) -> bool {
         self.shards.iter().any(|lock| {
             lock.read()
-                .expect("shard lock")
+                .unwrap_or_else(|e| e.into_inner())
                 .entries
                 .values()
                 .any(|e| e.source == source && e.stats.n > 0)
@@ -363,7 +418,7 @@ impl CacheRegistry {
         {
             let home = self.shards[self.shard_index(source, signature)]
                 .read()
-                .expect("shard lock");
+                .unwrap_or_else(|e| e.into_inner());
             if let Some(&id) = home.by_signature.get(&exact_key) {
                 return MatchResult::Exact(id);
             }
@@ -380,7 +435,7 @@ impl CacheRegistry {
             .collect();
         let mut best: Option<(usize, EntryId)> = None;
         for lock in self.shards.iter() {
-            let shard = lock.read().expect("shard lock");
+            let shard = lock.read().unwrap_or_else(|e| e.into_inner());
             let mut candidates: Vec<EntryId> = Vec::new();
             for (qr, key) in ranges.iter().zip(&range_keys) {
                 if let Some(tree) = shard.rtrees.get(key) {
@@ -420,7 +475,10 @@ impl CacheRegistry {
         // Update under the shard lock, then notify the policy with copied
         // stats (the policy mutex is never taken while a shard is held).
         let stats = {
-            let mut shard = self.shard_of_id(id).write().expect("shard lock");
+            let mut shard = self
+                .shard_of_id(id)
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
             let Some(entry) = shard.entries.get_mut(&id) else {
                 return;
             };
@@ -429,7 +487,7 @@ impl CacheRegistry {
         };
         self.policy
             .lock()
-            .expect("policy lock")
+            .unwrap_or_else(|e| e.into_inner())
             .on_access(id, &stats);
     }
 
@@ -476,7 +534,7 @@ impl CacheRegistry {
         // eviction round must find the admission tag in place.
         self.policy
             .lock()
-            .expect("policy lock")
+            .unwrap_or_else(|e| e.into_inner())
             .on_admit(id, &stats);
         let entry = CacheEntry {
             id,
@@ -490,7 +548,9 @@ impl CacheRegistry {
             history: LayoutHistory::new(),
         };
         let lost_race = {
-            let mut shard = self.shards[shard_idx].write().expect("shard lock");
+            let mut shard = self.shards[shard_idx]
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
             let key = (source.to_owned(), signature);
             if let Some(&existing) = shard.by_signature.get(&key) {
                 Some(existing)
@@ -525,7 +585,10 @@ impl CacheRegistry {
         };
         if let Some(existing) = lost_race {
             // Retract the policy tag; the duplicate data is dropped.
-            self.policy.lock().expect("policy lock").on_remove(id);
+            self.policy
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .on_remove(id);
             return existing;
         }
         self.counters.admissions.fetch_add(1, Ordering::Relaxed);
@@ -551,7 +614,10 @@ impl CacheRegistry {
         extra_c_ns: u64,
     ) -> bool {
         {
-            let mut shard = self.shard_of_id(id).write().expect("shard lock");
+            let mut shard = self
+                .shard_of_id(id)
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
             let Some(entry) = shard.entries.get_mut(&id) else {
                 return false;
             };
@@ -580,7 +646,11 @@ impl CacheRegistry {
     /// Removes an entry outright. Returns whether it was resident.
     pub fn remove(&self, id: EntryId) -> bool {
         if self.remove_inner(id).is_some() {
-            self.policy.lock().expect("policy lock").on_remove(id);
+            self.policy
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .on_remove(id);
+            self.counters.removals.fetch_add(1, Ordering::Relaxed);
             true
         } else {
             false
@@ -592,7 +662,10 @@ impl CacheRegistry {
     /// the policy mutex handle that themselves. Returns the freed bytes.
     fn remove_inner(&self, id: EntryId) -> Option<usize> {
         let bytes = {
-            let mut shard = self.shard_of_id(id).write().expect("shard lock");
+            let mut shard = self
+                .shard_of_id(id)
+                .write()
+                .unwrap_or_else(|e| e.into_inner());
             let entry = shard.entries.remove(&id)?;
             shard
                 .by_signature
@@ -631,7 +704,7 @@ impl CacheRegistry {
         if self.total_bytes() <= capacity {
             return;
         }
-        let mut policy = self.policy.lock().expect("policy lock");
+        let mut policy = self.policy.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             let total = self.total_bytes();
             if total <= capacity {
@@ -639,7 +712,7 @@ impl CacheRegistry {
             }
             let need = total - capacity;
             let clock = self.clock();
-            let oracle = self.oracle.read().expect("oracle lock");
+            let oracle = self.oracle.read().unwrap_or_else(|e| e.into_inner());
             // Per-shard candidate snapshot: owned copies, gathered one
             // shard at a time (the policy needs a global view, the shards
             // must not be held while it deliberates).
@@ -652,7 +725,7 @@ impl CacheRegistry {
             }
             let mut snaps: Vec<Snap> = Vec::new();
             for lock in self.shards.iter() {
-                let shard = lock.read().expect("shard lock");
+                let shard = lock.read().unwrap_or_else(|e| e.into_inner());
                 for e in shard.entries.values() {
                     snaps.push(Snap {
                         id: e.id,

@@ -76,6 +76,24 @@ pub struct RegistryCounters {
     /// Duplicate in-flight cacheable scans that waited for a concurrent
     /// session's admission and reused it (single-flight coalescing).
     pub coalesced: u64,
+    /// Entries explicitly removed (`remove`), as opposed to evicted by
+    /// the policy. Closes the reconciliation identity
+    /// `admissions == residents + evictions + removals`.
+    pub removals: u64,
+    /// Queries that surfaced a non-retryable scan error (after any
+    /// degraded fallback also failed).
+    pub failed_scans: u64,
+    /// Chunk-granularity retries of transient scan faults that were
+    /// absorbed by the bounded-retry loop.
+    pub retried_chunks: u64,
+    /// Queries that hit their deadline or were cancelled.
+    pub timeouts: u64,
+    /// Batched raw scans that fell back to the row-at-a-time path after
+    /// an I/O failure and completed there.
+    pub degraded_fallbacks: u64,
+    /// Single-flight followers promoted to leader after the previous
+    /// leader's scan failed or was abandoned.
+    pub leader_failovers: u64,
 }
 
 /// The registry's live counters. All fields are relaxed atomics: each is
@@ -91,6 +109,12 @@ pub struct AtomicRegistryCounters {
     pub hits_subsuming: AtomicU64,
     pub misses: AtomicU64,
     pub coalesced: AtomicU64,
+    pub removals: AtomicU64,
+    pub failed_scans: AtomicU64,
+    pub retried_chunks: AtomicU64,
+    pub timeouts: AtomicU64,
+    pub degraded_fallbacks: AtomicU64,
+    pub leader_failovers: AtomicU64,
 }
 
 impl AtomicRegistryCounters {
@@ -103,6 +127,12 @@ impl AtomicRegistryCounters {
             hits_subsuming: self.hits_subsuming.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            removals: self.removals.load(Ordering::Relaxed),
+            failed_scans: self.failed_scans.load(Ordering::Relaxed),
+            retried_chunks: self.retried_chunks.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            degraded_fallbacks: self.degraded_fallbacks.load(Ordering::Relaxed),
+            leader_failovers: self.leader_failovers.load(Ordering::Relaxed),
         }
     }
 }

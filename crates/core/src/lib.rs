@@ -30,22 +30,22 @@ use recache_cache::admission::{AdmissionConfig, AdmissionDecision};
 use recache_cache::eviction::EvictionKind;
 use recache_cache::layout_model::{LayoutDecision, QueryObservation};
 use recache_cache::registry::{CacheRegistry, EntryId, FutureOracle, MatchResult};
-use recache_data::{FileFormat, RawFile};
+use recache_data::{FaultPlan, FileFormat, RawFile, RetryPolicy};
 use recache_engine::exec::{self, ExecOptions};
 use recache_engine::plan::{AccessPath, QueryPlan, TablePlan};
 use recache_engine::sql::{parse_query, QuerySpec};
 use recache_layout::{
     columnar_to_dremel, columnar_to_row, dremel_to_columnar, row_to_columnar, CacheData, LayoutKind,
 };
-use recache_types::{Result, Schema};
+use recache_types::{CancelToken, Error, Result, Schema};
 use resolve::{resolve, ResolvedQuery};
 pub use result::{QueryResult, QueryStats, TableSummary};
 pub use session::Scheduler;
-use session::{Begin, FlightGuard, FlightKey, Inflight};
+use session::{Begin, FlightGuard, FlightKey, FlightOutcome, Inflight};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 // Re-exports so downstream users need only this crate.
 pub use recache_cache::admission::AdmissionConfig as Admission;
@@ -203,6 +203,30 @@ impl ReCache {
         self.sources.insert(name.into(), Arc::new(file));
     }
 
+    /// Installs (or, with `None`, clears) a seeded fault-injection plan
+    /// on a registered source. Returns whether the source exists.
+    pub fn set_fault_plan(&self, name: &str, plan: Option<FaultPlan>) -> bool {
+        match self.sources.get(name) {
+            Some(file) => {
+                file.set_fault_plan(plan);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Overrides the bounded-retry policy applied to a registered
+    /// source's chunk scans. Returns whether the source exists.
+    pub fn set_retry_policy(&self, name: &str, retry: RetryPolicy) -> bool {
+        match self.sources.get(name) {
+            Some(file) => {
+                file.set_retry_policy(retry);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The registered source, if any.
     pub fn source(&self, name: &str) -> Option<&Arc<RawFile>> {
         self.sources.get(name)
@@ -272,12 +296,31 @@ impl ReCache {
         self.run_with(spec, &ExecOptions::default())
     }
 
+    /// Runs one parsed query under a wall-clock deadline: a cancel token
+    /// armed with the deadline is installed into the options, so the
+    /// scan loops stop at chunk granularity and the query returns
+    /// [`Error::Timeout`] instead of running long.
+    pub fn run_with_timeout(
+        &self,
+        spec: &QuerySpec,
+        options: &ExecOptions,
+        timeout: Duration,
+    ) -> Result<QueryResult> {
+        let mut options = options.clone();
+        options.cancel = Some(Arc::new(CancelToken::with_timeout(timeout)));
+        self.run_with(spec, &options)
+    }
+
     /// Runs one parsed query under explicit [`ExecOptions`] (the
     /// [`Scheduler`] passes each session's negotiated thread budget).
     pub fn run_with(&self, spec: &QuerySpec, options: &ExecOptions) -> Result<QueryResult> {
         let t_run = Instant::now();
         self.queries_run.fetch_add(1, Ordering::Relaxed);
         self.registry.tick();
+        if let Err(err) = options.check_cancel() {
+            self.registry.note_timeout();
+            return Err(err);
+        }
         let resolved = resolve(spec, &self.sources)?;
         let n_tables = resolved.tables.len();
 
@@ -313,6 +356,14 @@ impl ReCache {
             let (route, access) = if self.caching {
                 let mut lookup_ns_total = 0u64;
                 let mut waited = false;
+                let mut saw_leader_failure = false;
+                let mut failovers = 0u32;
+                // Bound on re-elections after failed leaders: past it, a
+                // waiter stops queueing behind dying leaders and runs its
+                // own concurrent raw scan. Bounded and stampede-free —
+                // each `begin` race promotes exactly one new leader, the
+                // rest re-queue behind the new flight.
+                const MAX_LEADER_FAILOVERS: u32 = 2;
                 // The retry loop probes the cache repeatedly for ONE
                 // logical access; only the final outcome is counted
                 // (below), so coalescing cannot skew hit/miss rates.
@@ -361,6 +412,12 @@ impl ReCache {
                     }
                     match self.inflight.begin(keys[i].clone()) {
                         Begin::Leader(guard) => {
+                            if saw_leader_failure {
+                                // Won the re-election after watching the
+                                // previous leader die: this session now
+                                // redoes the scan on behalf of the rest.
+                                self.registry.note_leader_failover();
+                            }
                             flight_of_table[i] = Some(flights.len());
                             flights.push(guard);
                             held.insert(keys[i].clone());
@@ -370,14 +427,32 @@ impl ReCache {
                             // Duplicate in-flight scan: wait for the
                             // leading session's admission, then re-look
                             // up and reuse instead of redoing D + C work.
-                            // A leader that admitted nothing leaves
-                            // nothing to reuse — scan raw concurrently
-                            // rather than queueing as the next serial
-                            // leader.
-                            if flight.wait() {
-                                waited = true;
-                            } else {
-                                break (miss, raw);
+                            let outcome = match flight.wait(options.cancel.as_deref()) {
+                                Ok(outcome) => outcome,
+                                Err(err) => {
+                                    // Cancelled/timed out while waiting;
+                                    // guards already held drop → Failed,
+                                    // promoting one of *their* waiters.
+                                    self.registry.note_timeout();
+                                    return Err(err);
+                                }
+                            };
+                            match outcome {
+                                FlightOutcome::Admitted => waited = true,
+                                // A leader that admitted nothing leaves
+                                // nothing to reuse — scan raw concurrently
+                                // rather than queueing as the next serial
+                                // leader.
+                                FlightOutcome::NotAdmitted => break (miss, raw),
+                                FlightOutcome::Failed => {
+                                    saw_leader_failure = true;
+                                    failovers += 1;
+                                    if failovers > MAX_LEADER_FAILOVERS {
+                                        break (miss, raw);
+                                    }
+                                    // Loop: re-probe the cache, then race
+                                    // for the vacated leadership slot.
+                                }
                             }
                         }
                     }
@@ -419,7 +494,19 @@ impl ReCache {
             joins: resolved.joins.clone(),
             aggregates: resolved.aggregates.clone(),
         };
-        let output = exec::execute_with(&plan, options)?;
+        let output = match exec::execute_with(&plan, options) {
+            Ok(output) => output,
+            Err(err) => {
+                // Classify the failure before it propagates. Any flight
+                // guards this query leads drop right here, publishing
+                // `Failed` so one waiter per key promotes itself.
+                match &err {
+                    Error::Timeout | Error::Cancelled => self.registry.note_timeout(),
+                    _ => self.registry.note_failed_scan(),
+                }
+                return Err(err);
+            }
+        };
 
         // Post-execution cache maintenance.
         let mut output = output;
@@ -433,6 +520,10 @@ impl ReCache {
             let stats = &output.stats.tables[i];
             let route = &routes[i];
             lookup_ns_total += route.lookup_ns;
+            self.registry.note_retried_chunks(stats.retried_chunks);
+            if stats.degraded_fallback {
+                self.registry.note_degraded_fallback();
+            }
             let mut summary = TableSummary {
                 name: table.name.clone(),
                 access: stats.access,
@@ -481,9 +572,18 @@ impl ReCache {
                         }
                     }
                     if route.was_offsets {
-                        // Lazy entry reused: upgrade to eager.
-                        caching_ns += self.upgrade_entry(table, id)?;
-                        summary.admission = Some(AdmissionDecision::Eager);
+                        // Lazy entry reused: upgrade to eager. The
+                        // upgrade re-reads raw data and may fail (e.g.
+                        // injected faults); the query's answer is already
+                        // computed, so a failed upgrade is counted and
+                        // skipped — the entry simply stays lazy.
+                        match self.upgrade_entry(table, id) {
+                            Ok(ns) => {
+                                caching_ns += ns;
+                                summary.admission = Some(AdmissionDecision::Eager);
+                            }
+                            Err(_) => self.registry.note_failed_scan(),
+                        }
                     }
                 }
                 None if self.caching => {
@@ -495,7 +595,16 @@ impl ReCache {
                             let to1 = exec_ns + caching_ns;
                             let choice = self.store_choice(&table.file);
                             let working_set = self.registry.source_in_working_set(&table.name);
-                            let result = materialize_with_admission(
+                            // Materialization re-reads raw data and may
+                            // fail under injected faults. The query's
+                            // answer is already computed: a failed build
+                            // loses only the cache entry, so count it,
+                            // skip the admission, and let the flight
+                            // complete as not-admitted below (waiters run
+                            // their own scans; nothing half-admitted is
+                            // left behind — `admit` was never called, so
+                            // no byte accounting needs rolling back).
+                            match materialize_with_admission(
                                 &table.file,
                                 choice,
                                 &self.admission,
@@ -503,28 +612,36 @@ impl ReCache {
                                 rows_out,
                                 to1,
                                 working_set,
-                            )?;
-                            caching_ns += result.caching_ns;
-                            summary.admission = Some(result.decision);
-                            self.registry.admit(
-                                &table.name,
-                                table.file.format(),
-                                table.signature.clone(),
-                                table.ranges.clone(),
-                                table.subsumable,
-                                result.data,
-                                exec_ns_table,
-                                result.caching_ns,
-                                route.lookup_ns,
-                            );
-                            admitted = true;
+                            ) {
+                                Ok(result) => {
+                                    caching_ns += result.caching_ns;
+                                    summary.admission = Some(result.decision);
+                                    self.registry.admit(
+                                        &table.name,
+                                        table.file.format(),
+                                        table.signature.clone(),
+                                        table.ranges.clone(),
+                                        table.subsumable,
+                                        result.data,
+                                        exec_ns_table,
+                                        result.caching_ns,
+                                        route.lookup_ns,
+                                    );
+                                    admitted = true;
+                                }
+                                Err(_) => self.registry.note_failed_scan(),
+                            }
                         }
                     }
                     // This table's admission is decided: release
                     // single-flight waiters now (remaining guards still
                     // complete on drop along error paths).
                     if let Some(idx) = flight_of_table[i] {
-                        flights[idx].complete_now(admitted);
+                        flights[idx].complete_now(if admitted {
+                            FlightOutcome::Admitted
+                        } else {
+                            FlightOutcome::NotAdmitted
+                        });
                     }
                 }
                 None => {}

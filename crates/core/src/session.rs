@@ -26,10 +26,70 @@
 use crate::{QueryResult, ReCache};
 use recache_engine::exec::ExecOptions;
 use recache_engine::sql::QuerySpec;
-use recache_types::{Error, Result};
+use recache_types::{CancelToken, Error, Result};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Renders a panic payload for error reporting (`&str` and `String`
+/// payloads cover `panic!`/`assert!`; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Joins every stream handle, then reports the first panicking stream by
+/// index with its payload message. Joining *all* handles first matters
+/// twice over: the surviving streams run to completion (their cache
+/// admissions land) even when another stream dies, and manually joining
+/// each handle keeps `thread::scope` from re-raising a second panic over
+/// the typed error.
+fn join_streams<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, Result<T>>>) -> Result<Vec<T>> {
+    let joined: Vec<_> = handles.into_iter().map(|h| h.join()).collect();
+    joined
+        .into_iter()
+        .enumerate()
+        .map(|(s, r)| {
+            r.map_err(|payload| {
+                Error::exec(format!(
+                    "query stream {s} panicked: {}",
+                    panic_message(payload.as_ref())
+                ))
+            })?
+        })
+        .collect()
+}
+
+/// Releases one stream's scheduler slot on drop — including during a
+/// panic unwind, so a dying stream gives back its active-session count
+/// and zeroes its posted cost instead of skewing the survivors' thread
+/// shares until the scope ends.
+struct StreamSlot<'a> {
+    active: &'a AtomicUsize,
+    cost: Option<&'a AtomicU64>,
+}
+
+impl<'a> StreamSlot<'a> {
+    fn enter(active: &'a AtomicUsize, cost: Option<&'a AtomicU64>) -> Self {
+        active.fetch_add(1, Ordering::AcqRel);
+        StreamSlot { active, cost }
+    }
+}
+
+impl Drop for StreamSlot<'_> {
+    fn drop(&mut self) {
+        if let Some(cost) = self.cost {
+            cost.store(0, Ordering::Release);
+        }
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
 
 /// Cost-weighted thread split: stream `mine`'s slice of `total_threads`,
 /// proportional to its share of the summed in-flight cost estimates
@@ -51,15 +111,37 @@ fn weighted_share(total_threads: usize, costs: &[u64], mine: usize) -> usize {
 /// Key of one in-flight cacheable scan: `(source, signature)`.
 pub(crate) type FlightKey = (String, String);
 
+/// Terminal state of one in-flight admission, as seen by its followers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlightOutcome {
+    /// The leader admitted an entry worth re-looking-up.
+    Admitted,
+    /// The leader finished cleanly but admitted nothing (empty
+    /// satisfying set, admission declined). Nothing will appear for
+    /// this key from that query — followers run their own concurrent
+    /// raw scans instead of queueing as successive serial leaders.
+    NotAdmitted,
+    /// The leader's query failed or panicked before the admission was
+    /// decided. Exactly one follower should promote itself to the new
+    /// leader and redo the scan; the rest queue behind the new flight.
+    Failed,
+}
+
+const OUTCOME_PENDING: u8 = 0;
+const OUTCOME_ADMITTED: u8 = 1;
+const OUTCOME_NOT_ADMITTED: u8 = 2;
+const OUTCOME_FAILED: u8 = 3;
+
+/// How often a cancellable wait re-checks its token. Purely a bound on
+/// cancellation latency — completion still wakes waiters immediately.
+const WAIT_POLL: Duration = Duration::from_millis(5);
+
 /// One in-flight admission another session can wait on.
 pub(crate) struct Flight {
     done: Mutex<bool>,
     cv: Condvar,
-    /// Whether the leader actually admitted an entry for this key.
-    /// Followers of a non-admitting leader (empty satisfying set, error)
-    /// fall back to their own concurrent raw scan instead of queueing up
-    /// behind each other as successive leaders.
-    admitted: AtomicBool,
+    /// One of the `OUTCOME_*` codes; `Pending` until completion.
+    outcome: AtomicU8,
 }
 
 impl Flight {
@@ -67,18 +149,41 @@ impl Flight {
         Flight {
             done: Mutex::new(false),
             cv: Condvar::new(),
-            admitted: AtomicBool::new(false),
+            outcome: AtomicU8::new(OUTCOME_PENDING),
         }
     }
 
-    /// Blocks until the leader completes (admission done, or abandoned);
-    /// returns whether an entry was admitted and is worth re-looking-up.
-    pub(crate) fn wait(&self) -> bool {
-        let mut done = self.done.lock().expect("flight lock");
+    /// Blocks until the leader completes (admission done, abandoned, or
+    /// failed) and returns the outcome. With a cancel token the wait
+    /// polls, so a cancelled/timed-out follower stops waiting promptly
+    /// instead of sleeping until the leader finishes.
+    ///
+    /// Lock poisoning is recovered, not propagated: the guarded value is
+    /// a lone `bool` flipped in one store, so it cannot be torn, and a
+    /// panicking completer poisons the mutex *after* publishing `done` —
+    /// waiters observing the poison can still trust the flag.
+    pub(crate) fn wait(&self, cancel: Option<&CancelToken>) -> Result<FlightOutcome> {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
         while !*done {
-            done = self.cv.wait(done).expect("flight wait");
+            match cancel {
+                None => done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner()),
+                Some(token) => {
+                    token.check()?;
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(done, WAIT_POLL)
+                        .unwrap_or_else(|e| e.into_inner());
+                    done = guard;
+                }
+            }
         }
-        self.admitted.load(Ordering::Acquire)
+        Ok(match self.outcome.load(Ordering::Acquire) {
+            OUTCOME_ADMITTED => FlightOutcome::Admitted,
+            OUTCOME_NOT_ADMITTED => FlightOutcome::NotAdmitted,
+            // `Pending` is unreachable once `done` is set; map it to
+            // `Failed` defensively rather than panicking a follower.
+            _ => FlightOutcome::Failed,
+        })
     }
 }
 
@@ -100,8 +205,12 @@ pub(crate) struct Inflight {
 impl Inflight {
     /// Claims leadership of `key`, or returns the existing flight to wait
     /// on.
+    ///
+    /// The map lock recovers from poisoning: every critical section on it
+    /// is a single `HashMap` insert/remove/get, each panic-safe on its
+    /// own, so a panicking holder cannot leave the table mid-mutation.
     pub(crate) fn begin(&self, key: FlightKey) -> Begin<'_> {
-        let mut map = self.map.lock().expect("inflight lock");
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
         match map.get(&key) {
             Some(flight) => Begin::Wait(Arc::clone(flight)),
             None => {
@@ -116,13 +225,26 @@ impl Inflight {
         }
     }
 
-    fn complete(&self, key: &FlightKey, flight: &Flight) {
-        // Idempotent: only the first completion removes the key and
-        // wakes waiters (guards may complete eagerly at admission time
-        // and again on drop).
-        let removed = self.map.lock().expect("inflight lock").remove(key);
+    fn complete(&self, key: &FlightKey, flight: &Flight, outcome: FlightOutcome) {
+        // Idempotent: only the first completion removes the key, records
+        // the outcome and wakes waiters (guards may complete eagerly at
+        // admission time and again on drop — the drop's `Failed` then
+        // loses to the earlier real outcome).
+        let removed = self
+            .map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key);
         if removed.is_some() {
-            *flight.done.lock().expect("flight lock") = true;
+            let code = match outcome {
+                FlightOutcome::Admitted => OUTCOME_ADMITTED,
+                FlightOutcome::NotAdmitted => OUTCOME_NOT_ADMITTED,
+                FlightOutcome::Failed => OUTCOME_FAILED,
+            };
+            // Publish the outcome before `done`: waiters load it only
+            // after observing the flag.
+            flight.outcome.store(code, Ordering::Release);
+            *flight.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
             flight.cv.notify_all();
         }
     }
@@ -139,21 +261,23 @@ pub(crate) struct FlightGuard<'a> {
 }
 
 impl FlightGuard<'_> {
-    /// Completes the flight now instead of at drop: with `admitted`,
+    /// Completes the flight now instead of at drop: with `Admitted`,
     /// waiters wake to reuse the entry the moment it is resident rather
-    /// than sleeping through the rest of the leader's query; without it,
-    /// they wake to run their own concurrent raw scans.
-    pub(crate) fn complete_now(&self, admitted: bool) {
-        if admitted {
-            self.flight.admitted.store(true, Ordering::Release);
-        }
-        self.inflight.complete(&self.key, &self.flight);
+    /// than sleeping through the rest of the leader's query; with
+    /// `NotAdmitted`, they wake to run their own concurrent raw scans.
+    pub(crate) fn complete_now(&self, outcome: FlightOutcome) {
+        self.inflight.complete(&self.key, &self.flight, outcome);
     }
 }
 
 impl Drop for FlightGuard<'_> {
     fn drop(&mut self) {
-        self.inflight.complete(&self.key, &self.flight);
+        // Reaching drop without an explicit completion means the leading
+        // query errored out or panicked mid-scan (unwinding runs this
+        // too): publish `Failed` so one waiter promotes itself to the
+        // new leader. When `complete_now` already ran, this is a no-op.
+        self.inflight
+            .complete(&self.key, &self.flight, FlightOutcome::Failed);
     }
 }
 
@@ -210,7 +334,7 @@ impl Scheduler {
                 .enumerate()
                 .map(|(s, stream)| {
                     scope.spawn(move || {
-                        self.active.fetch_add(1, Ordering::AcqRel);
+                        let _slot = StreamSlot::enter(&self.active, Some(&costs[s]));
                         let out: Result<Vec<QueryResult>> = stream
                             .iter()
                             .map(|spec| {
@@ -223,23 +347,16 @@ impl Scheduler {
                                 let options = ExecOptions {
                                     vectorized: true,
                                     threads: weighted_share(self.total_threads, &snapshot, s),
+                                    cancel: None,
                                 };
                                 session.run_with(spec, &options)
                             })
                             .collect();
-                        costs[s].store(0, Ordering::Release);
-                        self.active.fetch_sub(1, Ordering::AcqRel);
                         out
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .map_err(|_| Error::exec("session thread panicked"))?
-                })
-                .collect()
+            join_streams(handles)
         })
     }
 
@@ -283,7 +400,7 @@ impl Scheduler {
                     let step = &step;
                     let cv = &cv;
                     scope.spawn(move || {
-                        self.active.fetch_add(1, Ordering::AcqRel);
+                        let _slot = StreamSlot::enter(&self.active, None);
                         let mut out = Vec::with_capacity(stream.len());
                         let mut failure = None;
                         // A stream consumes ALL its turns even after one
@@ -291,9 +408,14 @@ impl Scheduler {
                         // later steps must still be released, or the whole
                         // replay would deadlock on the first error.
                         for spec in stream {
-                            let mut current = step.lock().expect("turn lock");
+                            // Poison recovery: the turn counter is a bare
+                            // usize bumped in one store, so a panicking
+                            // holder leaves it either bumped or not —
+                            // never torn — and the surviving streams must
+                            // keep draining turns rather than wedge.
+                            let mut current = step.lock().unwrap_or_else(|e| e.into_inner());
                             while turns[*current] != s {
-                                current = cv.wait(current).expect("turn wait");
+                                current = cv.wait(current).unwrap_or_else(|e| e.into_inner());
                             }
                             if failure.is_none() {
                                 // Run while holding the turn lock: queries
@@ -304,6 +426,7 @@ impl Scheduler {
                                 let options = ExecOptions {
                                     vectorized: true,
                                     threads: self.total_threads,
+                                    cancel: None,
                                 };
                                 match session.run_with(spec, &options) {
                                     Ok(result) => out.push(result),
@@ -314,7 +437,6 @@ impl Scheduler {
                             cv.notify_all();
                             drop(current);
                         }
-                        self.active.fetch_sub(1, Ordering::AcqRel);
                         match failure {
                             Some(e) => Err(e),
                             None => Ok(out),
@@ -322,13 +444,7 @@ impl Scheduler {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .map_err(|_| Error::exec("session thread panicked"))?
-                })
-                .collect()
+            join_streams(handles)
         })
     }
 }
@@ -354,12 +470,16 @@ mod tests {
                     panic!("second begin must wait");
                 };
                 barrier.wait();
-                let admitted = flight.wait();
+                let outcome = flight.wait(None).unwrap();
                 assert!(
                     released.load(Ordering::Acquire),
                     "wait returned before the leader completed"
                 );
-                assert!(admitted, "leader completed with an admission");
+                assert_eq!(
+                    outcome,
+                    FlightOutcome::Admitted,
+                    "leader completed with an admission"
+                );
             });
             barrier.wait();
             // Deterministic ordering: the follower is provably inside
@@ -367,7 +487,7 @@ mod tests {
             // the leader completes.
             std::thread::sleep(std::time::Duration::from_millis(10));
             released.store(true, Ordering::Release);
-            guard.complete_now(true);
+            guard.complete_now(FlightOutcome::Admitted);
             drop(guard);
         });
         // Key is free again: next begin leads.
@@ -375,7 +495,7 @@ mod tests {
     }
 
     #[test]
-    fn abandoned_flight_reports_no_admission() {
+    fn abandoned_flight_reports_failure() {
         let inflight = Inflight::default();
         let key = ("t".to_owned(), "sig".to_owned());
         let Begin::Leader(guard) = inflight.begin(key.clone()) else {
@@ -384,12 +504,69 @@ mod tests {
         let Begin::Wait(flight) = inflight.begin(key.clone()) else {
             panic!("second begin must wait");
         };
-        drop(guard); // leader never admitted (error / empty result)
-        assert!(
-            !flight.wait(),
-            "waiters must learn there is nothing to reuse"
+        drop(guard); // leader died without deciding the admission
+        assert_eq!(
+            flight.wait(None).unwrap(),
+            FlightOutcome::Failed,
+            "waiters must learn the leader died so one can promote"
         );
         assert!(matches!(inflight.begin(key), Begin::Leader(_)));
+    }
+
+    #[test]
+    fn leader_without_admission_reports_not_admitted() {
+        let inflight = Inflight::default();
+        let key = ("t".to_owned(), "sig".to_owned());
+        let Begin::Leader(guard) = inflight.begin(key.clone()) else {
+            panic!("first begin must lead");
+        };
+        let Begin::Wait(flight) = inflight.begin(key.clone()) else {
+            panic!("second begin must wait");
+        };
+        guard.complete_now(FlightOutcome::NotAdmitted);
+        // The eager completion's outcome wins over the drop's `Failed`.
+        drop(guard);
+        assert_eq!(flight.wait(None).unwrap(), FlightOutcome::NotAdmitted);
+    }
+
+    #[test]
+    fn panicking_leader_wakes_followers_with_failed_outcome() {
+        let inflight = Inflight::default();
+        let key = ("t".to_owned(), "sig".to_owned());
+        let Begin::Leader(guard) = inflight.begin(key.clone()) else {
+            panic!("first begin must lead");
+        };
+        let Begin::Wait(flight) = inflight.begin(key.clone()) else {
+            panic!("second begin must wait");
+        };
+        // The leader panics mid-scan; unwinding drops the guard, which
+        // must publish `Failed` rather than leave the follower hanging.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = guard;
+            panic!("injected mid-scan panic");
+        }));
+        assert!(result.is_err());
+        assert_eq!(flight.wait(None).unwrap(), FlightOutcome::Failed);
+        // The key is free again: a follower can claim leadership.
+        assert!(matches!(inflight.begin(key), Begin::Leader(_)));
+    }
+
+    #[test]
+    fn cancelled_or_expired_follower_stops_waiting() {
+        let inflight = Inflight::default();
+        let key = ("t".to_owned(), "sig".to_owned());
+        let Begin::Leader(_guard) = inflight.begin(key.clone()) else {
+            panic!("first begin must lead");
+        };
+        let Begin::Wait(flight) = inflight.begin(key.clone()) else {
+            panic!("second begin must wait");
+        };
+        let token = CancelToken::new();
+        token.cancel();
+        assert!(matches!(flight.wait(Some(&token)), Err(Error::Cancelled)));
+        let expired = CancelToken::with_timeout(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(matches!(flight.wait(Some(&expired)), Err(Error::Timeout)));
     }
 
     #[test]
@@ -488,6 +665,36 @@ mod tests {
         assert_eq!(results[1].len(), 1);
         // Identical queries agree regardless of the negotiated split.
         assert_eq!(results[0][0].rows, results[0][1].rows);
+        assert_eq!(scheduler.active_sessions(), 0);
+    }
+
+    #[test]
+    fn panicking_stream_is_identified_and_others_complete() {
+        use recache_data::gen::tpch;
+        use recache_data::FaultPlan;
+        use recache_engine::sql::parse_query;
+        let mut session = crate::ReCache::builder().build();
+        let (_, lineitems) = tpch::gen_orders_and_lineitems(0.0002, 13);
+        let schema = tpch::lineitem_schema();
+        let bytes = recache_data::csv::write_csv(&schema, &lineitems);
+        session.register_csv_bytes("lineitem", bytes.clone(), schema.clone());
+        session.register_csv_bytes("faulty", bytes, schema);
+        // Every scan of `faulty` panics; `lineitem` is clean.
+        session.set_fault_plan("faulty", Some(FaultPlan::new(5).panics(1.0)));
+        let streams = vec![
+            vec![parse_query("SELECT count(*) FROM faulty WHERE l_quantity >= 10").unwrap()],
+            vec![parse_query("SELECT count(*) FROM lineitem WHERE l_quantity >= 10").unwrap()],
+        ];
+        let scheduler = Scheduler::new(2);
+        let err = scheduler.run_streams(&session, &streams).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("stream 0"), "must name the dead stream: {msg}");
+        assert!(
+            msg.contains("injected panic"),
+            "must carry the payload: {msg}"
+        );
+        // The surviving stream ran to completion: its admission landed.
+        assert!(!session.cache().is_empty(), "clean stream's entry missing");
         assert_eq!(scheduler.active_sessions(), 0);
     }
 

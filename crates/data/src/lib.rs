@@ -13,6 +13,7 @@
 //! * expose per-scan metrics that feed the cost-based cache policies.
 
 pub mod csv;
+pub mod fault;
 pub mod gen;
 pub mod json;
 pub mod json_batch;
@@ -20,5 +21,6 @@ pub mod posmap;
 pub mod raw_batch;
 pub mod source;
 
+pub use fault::{FaultKind, FaultPlan, FaultSite, RetryPolicy};
 pub use posmap::PositionalMap;
 pub use source::{FileFormat, RawFile, ScanMetrics};

@@ -1,13 +1,16 @@
 //! [`RawFile`]: a raw CSV or JSON source with a lazily built positional
 //! map, exposing flattened, projected scans to the query engine.
 
+use crate::fault::{FaultPlan, FaultSite, RetryPolicy};
 use crate::posmap::PositionalMap;
 use crate::raw_batch::{self, RawBatchIndex};
 use crate::{csv, json, json_batch};
 use recache_layout::{BatchScratch, ColumnBatch, ScanCost, SelectionVector, BATCH_ROWS};
 use recache_types::{
-    flatten_record_projected, DataType, FlatRow, LeafField, Result, ScalarType, Schema, Value,
+    flatten_record_projected, DataType, FlatRow, LeafField, Result, ScalarType, ScanCtl, Schema,
+    Value,
 };
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -55,6 +58,19 @@ pub struct RawFile {
     /// per-chunk capture slabs — shared chunk-grid machinery in
     /// [`raw_batch`], format-specific tokenize + map assembly here.
     batch: Mutex<Option<Arc<RawBatchIndex>>>,
+    /// Fault injection + retry configuration. Sampled once per scan
+    /// call (not per chunk); a `None` plan is production mode and costs
+    /// that single sample.
+    faults: Mutex<FaultState>,
+    /// Ordinal of row-path scans, used as the fault-decision coordinate
+    /// for [`FaultSite::RowScan`] (chunked scans use the chunk index).
+    row_scan_seq: AtomicU64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FaultState {
+    plan: Option<Arc<FaultPlan>>,
+    retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for RawFile {
@@ -81,6 +97,49 @@ impl RawFile {
             leaf_top,
             posmap: Mutex::new(None),
             batch: Mutex::new(None),
+            faults: Mutex::new(FaultState::default()),
+            row_scan_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Installs (or clears, with `None`) a seeded fault-injection plan.
+    /// Scans already in flight keep the configuration they sampled at
+    /// their start.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        self.faults.lock().expect("faults lock").plan = plan.map(Arc::new);
+    }
+
+    /// Overrides the bounded-retry policy for transient chunk faults.
+    pub fn set_retry_policy(&self, retry: RetryPolicy) {
+        self.faults.lock().expect("faults lock").retry = retry;
+    }
+
+    /// One sample of the fault configuration, taken at scan start.
+    fn fault_state(&self) -> FaultState {
+        self.faults.lock().expect("faults lock").clone()
+    }
+
+    /// Fault gate for row-at-a-time scan entry points. Injection (and
+    /// bounded retry of transient faults) happens *before* any row is
+    /// emitted: a mid-stream retry would re-emit rows the consumer has
+    /// already seen, so the row paths only fault at scan start. The
+    /// decision coordinate is the row-scan ordinal.
+    fn row_scan_gate(&self) -> Result<()> {
+        let FaultState { plan, retry } = self.fault_state();
+        let Some(plan) = plan else {
+            return Ok(());
+        };
+        let ordinal = self.row_scan_seq.fetch_add(1, Ordering::Relaxed);
+        let mut attempt = 0u32;
+        loop {
+            match plan.inject(FaultSite::RowScan, ordinal, attempt) {
+                Ok(()) => return Ok(()),
+                Err(err) if err.is_transient() && attempt + 1 < retry.max_attempts.max(1) => {
+                    attempt += 1;
+                    std::thread::sleep(retry.delay(attempt));
+                }
+                Err(err) => return Err(err),
+            }
         }
     }
 
@@ -135,6 +194,7 @@ impl RawFile {
         on_row: &mut dyn FnMut(usize, FlatRow),
     ) -> Result<ScanMetrics> {
         debug_assert_eq!(accessed.len(), self.leaves.len());
+        self.row_scan_gate()?;
         let existing = self.posmap();
         let mut metrics = ScanMetrics {
             records: 0,
@@ -202,6 +262,7 @@ impl RawFile {
         accessed: &[bool],
         on_row: &mut dyn FnMut(usize, FlatRow),
     ) -> Result<ScanMetrics> {
+        self.row_scan_gate()?;
         let map = self
             .posmap()
             .ok_or_else(|| recache_types::Error::exec("no positional map for offset re-read"))?;
@@ -280,6 +341,7 @@ impl RawFile {
     /// Scans full records as nested values (used by cache materialization
     /// when the whole tuple is cached).
     pub fn scan_records(&self, on_record: &mut dyn FnMut(usize, Value)) -> Result<usize> {
+        self.row_scan_gate()?;
         match self.format {
             FileFormat::Csv => {
                 let accessed = vec![true; self.schema.len()];
@@ -334,6 +396,7 @@ impl RawFile {
     /// and an `Arc` bump per call, which dominates at materialization
     /// scale).
     pub fn read_records(&self, record_ids: &[u32]) -> Result<Vec<Value>> {
+        self.row_scan_gate()?;
         let map = self
             .posmap()
             .ok_or_else(|| recache_types::Error::exec("no positional map for record read"))?;
@@ -515,6 +578,41 @@ impl RawFile {
         chunk_hi: usize,
         on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
     ) -> Result<ScanCost> {
+        self.scan_batches_range_ctl(
+            projection,
+            want_record_ids,
+            chunk_lo,
+            chunk_hi,
+            None,
+            on_batch,
+        )
+    }
+
+    /// [`RawFile::scan_batches_range`] with a per-scan control block.
+    ///
+    /// With a [`ScanCtl`]: each chunk is gated on admission first —
+    /// external cancellation/timeout aborts the range with a typed
+    /// error, and a chunk is *skipped* when another task has already
+    /// recorded a failure at a lower chunk index (its output would be
+    /// discarded anyway). Chunk failures that survive bounded retry are
+    /// recorded in the control block keyed by chunk index, so the error
+    /// the merge surfaces is the first-by-chunk-index one regardless of
+    /// interleaving. Transient faults (see [`Error::is_transient`])
+    /// retry at chunk granularity with capped backoff; each attempt
+    /// starts from cleared scratch and a fresh capture slab, and the
+    /// slab is only submitted on success, so retries never corrupt the
+    /// positional-map capture.
+    ///
+    /// [`Error::is_transient`]: recache_types::Error::is_transient
+    pub fn scan_batches_range_ctl(
+        &self,
+        projection: &[usize],
+        want_record_ids: bool,
+        chunk_lo: usize,
+        chunk_hi: usize,
+        ctl: Option<&ScanCtl>,
+        on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut SelectionVector),
+    ) -> Result<ScanCost> {
         assert!(
             self.supports_batch_scan(),
             "batched scans require a flat source"
@@ -537,6 +635,10 @@ impl RawFile {
         let mut scratch = BatchScratch::for_projection(projection.iter().map(|&leaf| types[leaf]));
         let mut selection = SelectionVector::new();
         let mut cost = ScanCost::default();
+        let FaultState {
+            plan: fault_plan,
+            retry,
+        } = self.fault_state();
 
         // Mapped vs first-scan mode is decided once per range: a posmap
         // installed mid-scan (by this range's own capture or a racing
@@ -569,82 +671,118 @@ impl RawFile {
             if rec_lo >= n_records {
                 break;
             }
+            if let Some(ctl) = ctl {
+                // Err: the query was cancelled or timed out. Ok(false):
+                // a chunk at a lower index already failed, so this
+                // chunk's output would be discarded — skip the work.
+                if !ctl.admit(chunk)? {
+                    continue;
+                }
+            }
             let rec_hi = (rec_lo + BATCH_ROWS).min(n_records);
-            let t0 = Instant::now();
-            scratch.clear();
-            match (&existing, &index, self.format) {
-                (Some(map), _, FileFormat::Csv) => {
-                    csv::parse_range_with_map(
-                        &self.bytes,
-                        map,
-                        rec_lo,
-                        rec_hi,
-                        &accessed_fields,
-                        &mut scratch.cols,
-                    )?;
-                }
-                // JSON maps carry no field offsets; mapped chunks
-                // re-tokenize from the known record spans (the win over
-                // the row path is the typed-batch parse, not the map).
-                (Some(map), _, FileFormat::Json) => {
-                    json_batch::tokenize_range_into(
-                        &self.bytes,
-                        map.record_offsets(),
-                        rec_lo,
-                        rec_hi,
-                        self.schema.fields(),
-                        &accessed_fields,
-                        &mut scratch.cols,
-                    )?;
-                }
-                (None, Some(ix), FileFormat::Csv) => {
-                    if ix.chunk_filled(chunk) {
-                        // This chunk's capture is already in: re-scan in
-                        // capture-free mode, which skips tokenizing the
-                        // trailing unaccessed fields entirely.
-                        csv::tokenize_range_into(
-                            &self.bytes,
-                            ix.record_offsets(),
-                            rec_lo,
-                            rec_hi,
-                            self.schema.len(),
-                            &accessed_fields,
-                            &mut scratch.cols,
-                            None,
-                        )?;
-                    } else {
-                        let mut slab =
-                            Vec::with_capacity((rec_hi - rec_lo) * (self.schema.len() + 1));
-                        csv::tokenize_range_into(
-                            &self.bytes,
-                            ix.record_offsets(),
-                            rec_lo,
-                            rec_hi,
-                            self.schema.len(),
-                            &accessed_fields,
-                            &mut scratch.cols,
-                            Some(&mut slab),
-                        )?;
-                        self.submit_capture(ix, chunk, slab);
+            // Chunk work is transactional: every attempt starts from
+            // cleared scratch and a fresh capture slab (submitted only
+            // on success), so a transient fault retries cleanly.
+            let mut attempt = 0u32;
+            let data_ns = loop {
+                let t0 = Instant::now();
+                scratch.clear();
+                let outcome: Result<()> = (|| {
+                    if let Some(plan) = &fault_plan {
+                        plan.inject(FaultSite::Chunk, chunk as u64, attempt)?;
+                    }
+                    match (&existing, &index, self.format) {
+                        (Some(map), _, FileFormat::Csv) => {
+                            csv::parse_range_with_map(
+                                &self.bytes,
+                                map,
+                                rec_lo,
+                                rec_hi,
+                                &accessed_fields,
+                                &mut scratch.cols,
+                            )?;
+                        }
+                        // JSON maps carry no field offsets; mapped chunks
+                        // re-tokenize from the known record spans (the win over
+                        // the row path is the typed-batch parse, not the map).
+                        (Some(map), _, FileFormat::Json) => {
+                            json_batch::tokenize_range_into(
+                                &self.bytes,
+                                map.record_offsets(),
+                                rec_lo,
+                                rec_hi,
+                                self.schema.fields(),
+                                &accessed_fields,
+                                &mut scratch.cols,
+                            )?;
+                        }
+                        (None, Some(ix), FileFormat::Csv) => {
+                            if ix.chunk_filled(chunk) {
+                                // This chunk's capture is already in: re-scan in
+                                // capture-free mode, which skips tokenizing the
+                                // trailing unaccessed fields entirely.
+                                csv::tokenize_range_into(
+                                    &self.bytes,
+                                    ix.record_offsets(),
+                                    rec_lo,
+                                    rec_hi,
+                                    self.schema.len(),
+                                    &accessed_fields,
+                                    &mut scratch.cols,
+                                    None,
+                                )?;
+                            } else {
+                                let mut slab =
+                                    Vec::with_capacity((rec_hi - rec_lo) * (self.schema.len() + 1));
+                                csv::tokenize_range_into(
+                                    &self.bytes,
+                                    ix.record_offsets(),
+                                    rec_lo,
+                                    rec_hi,
+                                    self.schema.len(),
+                                    &accessed_fields,
+                                    &mut scratch.cols,
+                                    Some(&mut slab),
+                                )?;
+                                self.submit_capture(ix, chunk, slab);
+                            }
+                        }
+                        (None, Some(ix), FileFormat::Json) => {
+                            json_batch::tokenize_range_into(
+                                &self.bytes,
+                                ix.record_offsets(),
+                                rec_lo,
+                                rec_hi,
+                                self.schema.fields(),
+                                &accessed_fields,
+                                &mut scratch.cols,
+                            )?;
+                            // JSON capture is coverage-only: an empty slab marks
+                            // the chunk scanned; full coverage installs the
+                            // records-only map.
+                            self.submit_capture(ix, chunk, Vec::new());
+                        }
+                        (None, None, _) => unreachable!(),
+                    }
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) => break t0.elapsed().as_nanos() as u64,
+                    Err(err) if err.is_transient() && attempt + 1 < retry.max_attempts.max(1) => {
+                        attempt += 1;
+                        if let Some(ctl) = ctl {
+                            ctl.note_retry();
+                        }
+                        std::thread::sleep(retry.delay(attempt));
+                    }
+                    Err(err) => {
+                        if let Some(ctl) = ctl {
+                            ctl.record_failure(chunk, err.clone());
+                        }
+                        return Err(err);
                     }
                 }
-                (None, Some(ix), FileFormat::Json) => {
-                    json_batch::tokenize_range_into(
-                        &self.bytes,
-                        ix.record_offsets(),
-                        rec_lo,
-                        rec_hi,
-                        self.schema.fields(),
-                        &accessed_fields,
-                        &mut scratch.cols,
-                    )?;
-                    // JSON capture is coverage-only: an empty slab marks
-                    // the chunk scanned; full coverage installs the
-                    // records-only map.
-                    self.submit_capture(ix, chunk, Vec::new());
-                }
-                (None, None, _) => unreachable!(),
-            }
+            };
             if want_record_ids {
                 scratch.record_ids.extend(rec_lo as u32..rec_hi as u32);
             }
@@ -654,10 +792,9 @@ impl RawFile {
                 columns: scratch.columns(),
                 record_ids: &scratch.record_ids,
             };
-            let data = t0.elapsed();
             on_batch(&batch, &mut selection);
             cost.add(&ScanCost {
-                data_ns: data.as_nanos() as u64,
+                data_ns,
                 compute_ns: 0,
                 rows: rec_hi - rec_lo,
                 rows_visited: rec_hi - rec_lo,
@@ -1071,5 +1208,113 @@ mod tests {
         assert_eq!(file.batch_chunks(), 0);
         assert_eq!(file.record_count(), Some(0));
         assert!(collect_batched(&file, &[0], &[(0, 0)]).is_empty());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_the_fault_free_result() {
+        let clean = wide_csv_file(30_000);
+        let faulty = wide_csv_file(30_000);
+        // 50% transient rate per attempt over ~8 chunks: some chunk
+        // faults, and with 10 attempts no chunk exhausts its retries
+        // (deterministic — the plan is a pure function of
+        // (seed, chunk, attempt)).
+        faulty.set_fault_plan(Some(FaultPlan::new(42).transient(0.5)));
+        faulty.set_retry_policy(RetryPolicy {
+            max_attempts: 10,
+            base_backoff: std::time::Duration::ZERO,
+            max_backoff: std::time::Duration::ZERO,
+        });
+        let chunks = faulty.batch_chunks();
+        let ctl = ScanCtl::new(None);
+        let mut got = Vec::new();
+        faulty
+            .scan_batches_range_ctl(
+                &[0, 1, 2],
+                true,
+                0,
+                chunks,
+                Some(&ctl),
+                &mut |batch, sel| {
+                    for &i in sel.as_slice() {
+                        let i = i as usize;
+                        got.push((
+                            batch.record_ids[i],
+                            batch.columns.iter().map(|c| c.value(i)).collect::<Vec<_>>(),
+                        ));
+                    }
+                },
+            )
+            .expect("transient faults must be absorbed by retry");
+        assert!(ctl.retries() > 0, "the seed must actually inject faults");
+        let expected = collect_batched(&clean, &[0, 1, 2], &[(0, clean.batch_chunks())]);
+        assert_eq!(got, expected, "retried scan must be fault-free-identical");
+        // Retried captures must still assemble a correct posmap.
+        assert!(faulty.posmap().is_some());
+    }
+
+    #[test]
+    fn persistent_faults_surface_a_typed_io_error_and_record_into_ctl() {
+        let file = wide_csv_file(10_000);
+        file.set_fault_plan(Some(FaultPlan::new(7).persistent(1.0)));
+        let chunks = file.batch_chunks();
+        let ctl = ScanCtl::new(None);
+        let err = file
+            .scan_batches_range_ctl(&[0], false, 0, chunks, Some(&ctl), &mut |_, _| {})
+            .unwrap_err();
+        assert!(matches!(err, recache_types::Error::Io(_)), "got {err}");
+        assert!(!err.is_transient());
+        assert_eq!(ctl.first_failed_chunk(), Some(0));
+        // Clearing the plan restores a fully working file.
+        file.set_fault_plan(None);
+        let again = collect_batched(&file, &[0], &[(0, chunks)]);
+        assert_eq!(again.len(), 10_000);
+    }
+
+    #[test]
+    fn cancelled_scan_returns_the_typed_error() {
+        let file = wide_csv_file(10_000);
+        let token = Arc::new(recache_types::CancelToken::new());
+        token.cancel();
+        let ctl = ScanCtl::new(Some(Arc::clone(&token)));
+        let err = file
+            .scan_batches_range_ctl(
+                &[0],
+                false,
+                0,
+                file.batch_chunks(),
+                Some(&ctl),
+                &mut |_, _| {},
+            )
+            .unwrap_err();
+        assert!(matches!(err, recache_types::Error::Cancelled));
+    }
+
+    #[test]
+    fn chunks_above_a_recorded_failure_are_skipped() {
+        let file = wide_csv_file(10_000);
+        let chunks = file.batch_chunks();
+        assert!(chunks >= 3);
+        let ctl = ScanCtl::new(None);
+        ctl.record_failure(0, recache_types::Error::exec("peer failure"));
+        let mut batches = 0usize;
+        file.scan_batches_range_ctl(&[0], false, 1, chunks, Some(&ctl), &mut |_, _| {
+            batches += 1;
+        })
+        .expect("skipped chunks are not errors");
+        assert_eq!(batches, 0, "every chunk above the failure short-circuits");
+    }
+
+    #[test]
+    fn row_scan_gate_faults_before_any_row_is_emitted() {
+        let file = csv_file();
+        file.set_fault_plan(Some(FaultPlan::new(3).persistent(1.0)));
+        let mut rows = 0usize;
+        let err = file
+            .scan_projected(&[true, true], &mut |_, _| rows += 1)
+            .unwrap_err();
+        assert!(matches!(err, recache_types::Error::Io(_)));
+        assert_eq!(rows, 0, "no partial emission before the fault");
+        file.set_fault_plan(None);
+        assert!(file.scan_projected(&[true, true], &mut |_, _| {}).is_ok());
     }
 }

@@ -26,13 +26,14 @@ use crate::kernel::{BatchAggregator, CompiledPredicate};
 use crate::plan::{AccessPath, AggFunc, QueryPlan, TablePlan};
 use recache_data::RawFile;
 use recache_layout::{ColumnBatch, ColumnStore, DremelStore, RowStore, ScanCost, BATCH_ROWS};
-use recache_types::{Error, Result, Value};
+use recache_types::{CancelToken, Error, Result, ScanCtl, Value};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Instant;
 use workpool::ThreadPool;
 
 /// Execution knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Use batched kernels for cache-store scans when possible (default).
     /// Disabled, every access path runs row-at-a-time — kept for
@@ -46,6 +47,12 @@ pub struct ExecOptions {
     /// bit-identical at every thread count (sums accumulate through
     /// [`ExactSum`], extremes/ids merge in row order).
     pub threads: usize,
+    /// Cooperative cancellation/deadline for this query. Polled at
+    /// chunk granularity inside parallel scans and between join-fold
+    /// phases; a tripped token surfaces as [`Error::Cancelled`] /
+    /// [`Error::Timeout`] and releases the query's thread budget
+    /// promptly (workers finish their current chunk and stop).
+    pub cancel: Option<Arc<CancelToken>>,
 }
 
 impl Default for ExecOptions {
@@ -53,6 +60,7 @@ impl Default for ExecOptions {
         ExecOptions {
             vectorized: true,
             threads: 0,
+            cancel: None,
         }
     }
 }
@@ -65,6 +73,14 @@ impl ExecOptions {
             workpool::available_parallelism()
         } else {
             self.threads
+        }
+    }
+
+    /// Polls the cancel token, if one is installed.
+    pub fn check_cancel(&self) -> Result<()> {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
         }
     }
 }
@@ -149,6 +165,12 @@ pub struct TableStats {
     pub flattened_rows: Option<usize>,
     /// Record ids of satisfying tuples, when collection was requested.
     pub satisfying: Option<Vec<u32>>,
+    /// Chunk attempts beyond the first (transient faults absorbed by
+    /// bounded retry during this table's scan).
+    pub retried_chunks: u64,
+    /// Whether the batched scan failed with an I/O error and the table
+    /// was served by the row-at-a-time fallback instead.
+    pub degraded_fallback: bool,
 }
 
 /// Whole-query execution statistics.
@@ -202,82 +224,35 @@ pub fn execute_with(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutp
 fn execute_single(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> {
     let table = &plan.tables[0];
     let agg_slots: Vec<Option<usize>> = plan.aggregates.iter().map(|a| a.slot).collect();
-    let mut satisfying: Option<Vec<u32>> = table.collect_satisfying.then(Vec::new);
-    let mut rows_out = 0usize;
 
     // Vectorized fast path: cache store + (absent or compilable)
     // predicate. One sink body serves every thread count: the scan
     // yields per-task sinks (a single inline task at `threads = 1`),
     // merged in task (= row) order.
+    let mut degraded = false;
     if let Some((store, pred)) = batchable(table, options) {
-        let want_ids = satisfying.is_some();
-        let threads = options.effective_threads();
-        struct TaskSink {
-            aggs: Vec<BatchAggregator>,
-            rows_out: usize,
-            ids: Option<Vec<u32>>,
+        let raw = !store.is_cache_store();
+        match execute_single_batched(plan, table, &agg_slots, store, pred, options) {
+            Ok(output) => return Ok(output),
+            // A raw batched scan whose I/O error survived bounded retry
+            // degrades to the row-at-a-time fallback below: the row
+            // tokenizer re-reads the source independently (its own
+            // fault draws, its own retry), honoring the cache's
+            // always-can-recompute-from-raw invariant. Parse errors are
+            // deterministic data problems and timeouts/cancellations
+            // are final, so only `Error::Io` degrades.
+            Err(Error::Io(_)) if raw => degraded = true,
+            Err(err) => return Err(err),
         }
-        let t0 = Instant::now();
-        let (scan, sinks) = scan_store_batched(
-            store,
-            table,
-            pred.as_ref(),
-            want_ids,
-            threads,
-            || TaskSink {
-                aggs: plan
-                    .aggregates
-                    .iter()
-                    .map(|a| BatchAggregator::new(a.func))
-                    .collect(),
-                rows_out: 0,
-                ids: want_ids.then(Vec::new),
-            },
-            |sink, batch, sel| {
-                sink.rows_out += sel.len();
-                if let Some(ids) = sink.ids.as_mut() {
-                    for &i in sel.as_slice() {
-                        ids.push(batch.record_ids[i as usize]);
-                    }
-                }
-                for (state, slot) in sink.aggs.iter_mut().zip(&agg_slots) {
-                    state.update(slot.map(|s| &batch.columns[s]), sel);
-                }
-            },
-        )?;
-        let mut merged: Option<Vec<BatchAggregator>> = None;
-        for sink in sinks {
-            rows_out += sink.rows_out;
-            if let (Some(all), Some(part)) = (satisfying.as_mut(), sink.ids) {
-                all.extend(part);
-            }
-            match merged.as_mut() {
-                None => merged = Some(sink.aggs),
-                Some(base) => {
-                    for (into, part) in base.iter_mut().zip(sink.aggs) {
-                        into.merge(part);
-                    }
-                }
-            }
-        }
-        let aggs = merged.unwrap_or_default();
-        let exec_ns = t0.elapsed().as_nanos() as u64;
-        let values: Vec<Value> = aggs.into_iter().map(BatchAggregator::finish).collect();
-        let stats = ExecStats {
-            tables: vec![table_stats(table, scan, exec_ns, rows_out, satisfying)],
-            join_ns: 0,
-            agg_ns: 0, // folded into exec_ns on the streaming path
-            total_ns: 0,
-        };
-        return Ok(QueryOutput {
-            values,
-            rows_aggregated: rows_out,
-            stats,
-        });
     }
 
     // Row-at-a-time path: raw files, offsets re-reads, non-compilable
-    // predicates, or vectorization disabled.
+    // predicates, vectorization disabled, or degraded fallback. The
+    // cancel token is polled at scan start only — row scans are the
+    // fallback path, not the latency-sensitive one.
+    options.check_cancel()?;
+    let mut satisfying: Option<Vec<u32>> = table.collect_satisfying.then(Vec::new);
+    let mut rows_out = 0usize;
     let mut aggs: Vec<AggState> = plan
         .aggregates
         .iter()
@@ -299,6 +274,86 @@ fn execute_single(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput
     let exec_ns = t0.elapsed().as_nanos() as u64;
 
     let values: Vec<Value> = aggs.into_iter().map(AggState::finish).collect();
+    let mut stats = ExecStats {
+        tables: vec![table_stats(table, scan, exec_ns, rows_out, satisfying)],
+        join_ns: 0,
+        agg_ns: 0, // folded into exec_ns on the streaming path
+        total_ns: 0,
+    };
+    stats.tables[0].degraded_fallback = degraded;
+    Ok(QueryOutput {
+        values,
+        rows_aggregated: rows_out,
+        stats,
+    })
+}
+
+/// The vectorized arm of [`execute_single`], separated so a failed raw
+/// batched scan can fall back to the row path.
+fn execute_single_batched(
+    plan: &QueryPlan,
+    table: &TablePlan,
+    agg_slots: &[Option<usize>],
+    store: StoreRef<'_>,
+    pred: Option<CompiledPredicate>,
+    options: &ExecOptions,
+) -> Result<QueryOutput> {
+    let mut satisfying: Option<Vec<u32>> = table.collect_satisfying.then(Vec::new);
+    let mut rows_out = 0usize;
+    let want_ids = satisfying.is_some();
+    let threads = options.effective_threads();
+    struct TaskSink {
+        aggs: Vec<BatchAggregator>,
+        rows_out: usize,
+        ids: Option<Vec<u32>>,
+    }
+    let t0 = Instant::now();
+    let (scan, sinks) = scan_store_batched(
+        store,
+        table,
+        pred.as_ref(),
+        want_ids,
+        threads,
+        options.cancel.as_ref(),
+        || TaskSink {
+            aggs: plan
+                .aggregates
+                .iter()
+                .map(|a| BatchAggregator::new(a.func))
+                .collect(),
+            rows_out: 0,
+            ids: want_ids.then(Vec::new),
+        },
+        |sink, batch, sel| {
+            sink.rows_out += sel.len();
+            if let Some(ids) = sink.ids.as_mut() {
+                for &i in sel.as_slice() {
+                    ids.push(batch.record_ids[i as usize]);
+                }
+            }
+            for (state, slot) in sink.aggs.iter_mut().zip(agg_slots) {
+                state.update(slot.map(|s| &batch.columns[s]), sel);
+            }
+        },
+    )?;
+    let mut merged: Option<Vec<BatchAggregator>> = None;
+    for sink in sinks {
+        rows_out += sink.rows_out;
+        if let (Some(all), Some(part)) = (satisfying.as_mut(), sink.ids) {
+            all.extend(part);
+        }
+        match merged.as_mut() {
+            None => merged = Some(sink.aggs),
+            Some(base) => {
+                for (into, part) in base.iter_mut().zip(sink.aggs) {
+                    into.merge(part);
+                }
+            }
+        }
+    }
+    let aggs = merged.unwrap_or_default();
+    let exec_ns = t0.elapsed().as_nanos() as u64;
+    let values: Vec<Value> = aggs.into_iter().map(BatchAggregator::finish).collect();
     let stats = ExecStats {
         tables: vec![table_stats(table, scan, exec_ns, rows_out, satisfying)],
         join_ns: 0,
@@ -339,22 +394,26 @@ fn execute_join(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> 
     let mut stats_list: Vec<TableStats> = Vec::with_capacity(plan.tables.len());
     let threads = options.effective_threads();
     for (t, table) in plan.tables.iter().enumerate() {
+        options.check_cancel()?;
         let slots = &key_slots[t];
         let mut rows: Vec<Vec<Value>> = Vec::new();
         let mut keys: Vec<Vec<Option<JoinKey>>> = vec![Vec::new(); slots.len()];
         let mut satisfying: Option<Vec<u32>> = table.collect_satisfying.then(Vec::new);
         let t0 = Instant::now();
-        let scan = if let Some((store, pred)) = batchable(table, options) {
+        let mut degraded = false;
+        let batched = if let Some((store, pred)) = batchable(table, options) {
+            let raw = !store.is_cache_store();
             let want_ids = satisfying.is_some();
             // Per-task row/key buffers, concatenated in task (= row)
             // order, so the materialized table is identical at every
             // thread count (a single inline task at `threads = 1`).
-            let (scan, sinks) = scan_store_batched(
+            let attempt = scan_store_batched(
                 store,
                 table,
                 pred.as_ref(),
                 want_ids,
                 threads,
+                options.cancel.as_ref(),
                 || {
                     (
                         Vec::<Vec<Value>>::new(),
@@ -380,33 +439,55 @@ fn execute_join(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> 
                         }
                     }
                 },
-            )?;
-            for (part_rows, part_ids, part_keys) in sinks {
-                rows.extend(part_rows);
-                if let (Some(all), Some(part)) = (satisfying.as_mut(), part_ids) {
-                    all.extend(part);
+            );
+            match attempt {
+                Ok((scan, sinks)) => {
+                    for (part_rows, part_ids, part_keys) in sinks {
+                        rows.extend(part_rows);
+                        if let (Some(all), Some(part)) = (satisfying.as_mut(), part_ids) {
+                            all.extend(part);
+                        }
+                        for (all, part) in keys.iter_mut().zip(part_keys) {
+                            all.extend(part);
+                        }
+                    }
+                    Some(scan)
                 }
-                for (all, part) in keys.iter_mut().zip(part_keys) {
-                    all.extend(part);
+                // Same degraded-mode rule as the single-table path: a
+                // raw batched scan whose I/O error survived retry falls
+                // back to the row tokenizer (nothing was merged into
+                // `rows`/`keys` yet — the error preempts the merge).
+                Err(Error::Io(_)) if raw => {
+                    degraded = true;
+                    None
                 }
+                Err(err) => return Err(err),
             }
-            scan
         } else {
-            let scan = scan_table(table, &mut |record_id, row| {
-                rows.push(row.to_vec());
-                if let Some(ids) = satisfying.as_mut() {
-                    ids.push(record_id as u32);
+            None
+        };
+        let scan = match batched {
+            Some(scan) => scan,
+            None => {
+                options.check_cancel()?;
+                let scan = scan_table(table, &mut |record_id, row| {
+                    rows.push(row.to_vec());
+                    if let Some(ids) = satisfying.as_mut() {
+                        ids.push(record_id as u32);
+                    }
+                })?;
+                // Row-fallback tables derive their key columns from the
+                // materialized rows (same values, same normalization).
+                for (out, &slot) in keys.iter_mut().zip(slots) {
+                    out.extend(rows.iter().map(|r| join_key(&r[slot])));
                 }
-            })?;
-            // Row-fallback tables derive their key columns from the
-            // materialized rows (same values, same normalization).
-            for (out, &slot) in keys.iter_mut().zip(slots) {
-                out.extend(rows.iter().map(|r| join_key(&r[slot])));
+                scan
             }
-            scan
         };
         let exec_ns = t0.elapsed().as_nanos() as u64;
-        stats_list.push(table_stats(table, scan, exec_ns, rows.len(), satisfying));
+        let mut stats = table_stats(table, scan, exec_ns, rows.len(), satisfying);
+        stats.degraded_fallback = degraded;
+        stats_list.push(stats);
         table_keys.push(keys);
         table_rows.push(rows);
     }
@@ -433,6 +514,9 @@ fn execute_join(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> 
         joined.push(combined);
     }
     for join in &plan.joins {
+        // One poll per fold step: joins over large inputs are the
+        // longest compute phases outside scans.
+        options.check_cancel()?;
         let (probe_table, probe_slot, build_table, build_slot) =
             if joined_tables.contains(&join.left_table) {
                 (
@@ -486,6 +570,7 @@ fn execute_join(plan: &QueryPlan, options: &ExecOptions) -> Result<QueryOutput> 
     let join_ns = t_join.elapsed().as_nanos() as u64;
 
     // Aggregate.
+    options.check_cancel()?;
     let t_agg = Instant::now();
     let mut aggs: Vec<AggState> = plan
         .aggregates
@@ -522,6 +607,7 @@ struct ScanOutcome {
     rows_scanned: usize,
     records_scanned: usize,
     flattened_rows: Option<usize>,
+    retried_chunks: u64,
 }
 
 /// A scan source that supports batched scans: the three cache stores,
@@ -594,45 +680,64 @@ impl StoreRef<'_> {
         }
     }
 
-    /// Store scans are infallible; raw scans can hit parse errors, so the
-    /// shared signature is `Result` and store arms always return `Ok`.
+    /// Store scans are infallible; raw scans can hit parse errors and
+    /// injected faults, so the shared signature is `Result` and store
+    /// arms only fail on cancellation.
+    ///
+    /// Raw arms thread the [`ScanCtl`] through to the source, which
+    /// gates every chunk on admission (cancel/timeout, skip-above-
+    /// failure) and records failures by chunk index. Cache-store scans
+    /// cannot fail, but when a cancel token is present they run
+    /// chunk-at-a-time with a poll between chunks, bounding
+    /// cancellation latency; without a token they run the whole range
+    /// in one call — the unhardened fast path, unchanged.
     #[allow(clippy::too_many_arguments)]
-    fn scan_batches_range(
+    fn scan_batches_range_ctl(
         &self,
         projection: &[usize],
         record_level: bool,
         want_record_ids: bool,
         chunk_lo: usize,
         chunk_hi: usize,
+        ctl: Option<&ScanCtl>,
         on_batch: &mut dyn FnMut(&ColumnBatch<'_>, &mut recache_layout::SelectionVector),
     ) -> Result<ScanCost> {
-        match self {
-            StoreRef::Columnar(s) => Ok(s.scan_batches_range(
+        if let StoreRef::Raw(file) = self {
+            return file.scan_batches_range_ctl(
                 projection,
-                record_level,
                 want_record_ids,
                 chunk_lo,
                 chunk_hi,
+                ctl,
                 on_batch,
-            )),
-            StoreRef::Dremel(s) => Ok(s.scan_batches_range(
-                projection,
-                record_level,
-                want_record_ids,
-                chunk_lo,
-                chunk_hi,
-                on_batch,
-            )),
-            StoreRef::Row(s) => Ok(s.scan_batches_range(
-                projection,
-                record_level,
-                want_record_ids,
-                chunk_lo,
-                chunk_hi,
-                on_batch,
-            )),
-            StoreRef::Raw(file) => {
-                file.scan_batches_range(projection, want_record_ids, chunk_lo, chunk_hi, on_batch)
+            );
+        }
+        let run = |lo: usize,
+                   hi: usize,
+                   on_batch: &mut dyn FnMut(
+            &ColumnBatch<'_>,
+            &mut recache_layout::SelectionVector,
+        )| match self {
+            StoreRef::Columnar(s) => {
+                s.scan_batches_range(projection, record_level, want_record_ids, lo, hi, on_batch)
+            }
+            StoreRef::Dremel(s) => {
+                s.scan_batches_range(projection, record_level, want_record_ids, lo, hi, on_batch)
+            }
+            StoreRef::Row(s) => {
+                s.scan_batches_range(projection, record_level, want_record_ids, lo, hi, on_batch)
+            }
+            StoreRef::Raw(_) => unreachable!("raw handled above"),
+        };
+        match ctl.and_then(ScanCtl::cancel_token) {
+            None => Ok(run(chunk_lo, chunk_hi, on_batch)),
+            Some(token) => {
+                let mut cost = ScanCost::default();
+                for chunk in chunk_lo..chunk_hi {
+                    token.check()?;
+                    cost.add(&run(chunk, chunk + 1, on_batch));
+                }
+                Ok(cost)
             }
         }
     }
@@ -686,12 +791,14 @@ fn batchable<'a>(
 /// sees total CPU work (`exec_ns` wall time still reflects the parallel
 /// speedup; the `D`/`C` split prices the work itself, which parallelism
 /// redistributes but does not shrink).
+#[allow(clippy::too_many_arguments)]
 fn scan_store_batched<T: Send>(
     store: StoreRef<'_>,
     table: &TablePlan,
     pred: Option<&CompiledPredicate>,
     want_record_ids: bool,
     threads: usize,
+    cancel: Option<&Arc<CancelToken>>,
     make: impl Fn() -> T + Sync,
     consume: impl Fn(&mut T, &ColumnBatch<'_>, &recache_layout::SelectionVector) + Sync,
 ) -> Result<(ScanOutcome, Vec<T>)> {
@@ -700,17 +807,23 @@ fn scan_store_batched<T: Send>(
     let access = store.access_kind();
     let n_chunks = store.batch_chunks(&table.accessed, table.record_level);
     let ranges = task_ranges(n_chunks, threads);
+    // One control block per scan, shared by every task: external
+    // cancellation fans in through it, chunk failures record into it
+    // keyed by chunk index, and tasks consult it to skip chunks above
+    // an already-failed one.
+    let ctl = ScanCtl::new(cancel.cloned());
     let tasks = ThreadPool::global().map_index(ranges.len(), threads, |t| {
         let (lo, hi) = ranges[t];
         let mut sink = make();
         let mut kernel_ns = 0u64;
         let mut gather_ns = 0u64;
-        let scanned = store.scan_batches_range(
+        let scanned = store.scan_batches_range_ctl(
             &table.accessed,
             table.record_level,
             want_record_ids,
             lo,
             hi,
+            Some(&ctl),
             &mut |batch, sel| {
                 if let Some(pred) = pred {
                     let t0 = Instant::now();
@@ -731,11 +844,33 @@ fn scan_store_batched<T: Send>(
     });
     let mut cost = ScanCost::default();
     let mut sinks = Vec::with_capacity(tasks.len());
+    let mut first_task_err: Option<Error> = None;
     for (task_cost, sink) in tasks {
-        // A raw-scan parse error in any task fails the whole scan (the
-        // row path fails on the first bad record too).
-        cost.add(&task_cost?);
-        sinks.push(sink);
+        match task_cost {
+            Ok(c) => {
+                cost.add(&c);
+                sinks.push(sink);
+            }
+            Err(err) => {
+                if first_task_err.is_none() {
+                    first_task_err = Some(err);
+                }
+            }
+        }
+    }
+    // Deterministic error selection. Task ranges cover contiguous
+    // ascending chunk ranges and a chunk is only skipped when a failure
+    // at a *lower* index is already recorded, so the globally-first
+    // failing chunk always runs and records into the control block —
+    // its error is what the scan reports, regardless of which task
+    // finished (or was cancelled) first. Errors that bypass the control
+    // block (cancellation/timeout) are identical across tasks, so
+    // falling back to the first-in-task-order one is equally stable.
+    if let Some(err) = ctl.take_error() {
+        return Err(err);
+    }
+    if let Some(err) = first_task_err {
+        return Err(err);
     }
     Ok((
         ScanOutcome {
@@ -746,6 +881,7 @@ fn scan_store_batched<T: Send>(
             // Raw scans report no D/C split, matching the row-path raw
             // scan — the cost model prices cache layouts, not files.
             cache_scan: store.is_cache_store().then_some(cost),
+            retried_chunks: ctl.retries(),
         },
         sinks,
     ))
@@ -774,6 +910,7 @@ fn scan_table(table: &TablePlan, sink: &mut dyn FnMut(usize, &[Value])) -> Resul
                 rows_scanned: metrics.rows,
                 records_scanned: metrics.records,
                 flattened_rows: None,
+                retried_chunks: 0,
             })
         }
         AccessPath::Offsets { file, store } => {
@@ -798,6 +935,7 @@ fn scan_table(table: &TablePlan, sink: &mut dyn FnMut(usize, &[Value])) -> Resul
                 rows_scanned: metrics.rows,
                 records_scanned: metrics.records,
                 flattened_rows: None,
+                retried_chunks: 0,
             })
         }
         AccessPath::Columnar(store) => {
@@ -812,6 +950,7 @@ fn scan_table(table: &TablePlan, sink: &mut dyn FnMut(usize, &[Value])) -> Resul
                 records_scanned: store.record_count(),
                 flattened_rows: Some(store.row_count()),
                 cache_scan: Some(cost),
+                retried_chunks: 0,
             })
         }
         AccessPath::Dremel(store) => {
@@ -826,6 +965,7 @@ fn scan_table(table: &TablePlan, sink: &mut dyn FnMut(usize, &[Value])) -> Resul
                 records_scanned: store.record_count(),
                 flattened_rows: Some(store.flattened_rows()),
                 cache_scan: Some(cost),
+                retried_chunks: 0,
             })
         }
         AccessPath::Row(store) => {
@@ -840,6 +980,7 @@ fn scan_table(table: &TablePlan, sink: &mut dyn FnMut(usize, &[Value])) -> Resul
                 records_scanned: store.record_count(),
                 flattened_rows: Some(store.row_count()),
                 cache_scan: Some(cost),
+                retried_chunks: 0,
             })
         }
     }
@@ -864,6 +1005,8 @@ fn table_stats(
         record_level: table.record_level,
         flattened_rows: scan.flattened_rows,
         satisfying,
+        retried_chunks: scan.retried_chunks,
+        degraded_fallback: false,
     }
 }
 
@@ -1480,6 +1623,7 @@ mod tests {
             &ExecOptions {
                 vectorized: true,
                 threads: 1,
+                cancel: None,
             },
         )
         .unwrap();
@@ -1489,6 +1633,7 @@ mod tests {
                 &ExecOptions {
                     vectorized: true,
                     threads,
+                    cancel: None,
                 },
             )
             .unwrap();
@@ -1553,6 +1698,7 @@ mod tests {
             &ExecOptions {
                 vectorized: true,
                 threads: 1,
+                cancel: None,
             },
         )
         .unwrap();
@@ -1561,6 +1707,7 @@ mod tests {
             &ExecOptions {
                 vectorized: true,
                 threads: 4,
+                cancel: None,
             },
         )
         .unwrap();
@@ -1621,6 +1768,7 @@ mod tests {
             &ExecOptions {
                 vectorized: true,
                 threads: 1,
+                cancel: None,
             },
         )
         .unwrap();
@@ -1630,6 +1778,7 @@ mod tests {
                 &ExecOptions {
                     vectorized: true,
                     threads,
+                    cancel: None,
                 },
             )
             .unwrap();
@@ -1692,6 +1841,7 @@ mod tests {
         let row_opts = ExecOptions {
             vectorized: false,
             threads: 1,
+            cancel: None,
         };
         let reference = execute_with(&row_plan, &row_opts).unwrap();
         assert_eq!(reference.stats.tables[0].access, AccessKind::RawFirstScan);
@@ -1702,6 +1852,7 @@ mod tests {
             let opts = ExecOptions {
                 vectorized: true,
                 threads,
+                cancel: None,
             };
             // First scan: tokenizes, captures the posmap.
             let first = execute_with(&plan, &opts).unwrap();
@@ -1748,6 +1899,7 @@ mod tests {
             &ExecOptions {
                 vectorized: true,
                 threads: 4,
+                cancel: None,
             },
         )
         .unwrap();
@@ -1795,6 +1947,7 @@ mod tests {
                 &ExecOptions {
                     vectorized: true,
                     threads,
+                    cancel: None,
                 },
             );
             assert!(err.is_err(), "threads {threads}");
@@ -1834,6 +1987,7 @@ mod tests {
             &ExecOptions {
                 vectorized: false,
                 threads: 1,
+                cancel: None,
             },
         )
         .unwrap();
@@ -1843,6 +1997,7 @@ mod tests {
                 &ExecOptions {
                     vectorized: true,
                     threads,
+                    cancel: None,
                 },
             )
             .unwrap();

@@ -1,0 +1,248 @@
+//! Cooperative cancellation and per-scan failure control.
+//!
+//! Two small primitives shared by the data layer and the executor:
+//!
+//! * [`CancelToken`] — a query-scoped flag plus optional deadline.
+//!   Workers poll [`CancelToken::check`] at chunk granularity and bail
+//!   with a typed [`Error::Cancelled`] / [`Error::Timeout`] instead of
+//!   running to completion. Cancellation is *cooperative*: nothing is
+//!   interrupted mid-chunk, so no partially-written batch or capture
+//!   slab is ever observable.
+//! * [`ScanCtl`] — a per-scan control block that makes parallel error
+//!   handling deterministic. Failing chunks record their error keyed by
+//!   chunk index; only the lowest-index error survives, and chunks
+//!   *above* a recorded failure short-circuit. Because the executor's
+//!   task ranges cover contiguous ascending chunk ranges, a chunk is
+//!   only ever skipped when a failure at a lower index has already been
+//!   recorded — so the globally-first failing chunk always runs and
+//!   records, and the surfaced error is independent of thread
+//!   interleaving.
+
+use crate::error::{Error, Result};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Query-scoped cancellation flag with an optional deadline.
+#[derive(Debug, Default)]
+pub struct CancelToken {
+    cancelled: std::sync::atomic::AtomicBool,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`CancelToken::cancel`] is called.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// A token that also trips once `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        CancelToken {
+            cancelled: std::sync::atomic::AtomicBool::new(false),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// A token that trips `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// Requests cancellation; every subsequent [`check`](Self::check)
+    /// fails with [`Error::Cancelled`].
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called (deadline not
+    /// consulted).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The deadline, if one was set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Polls the token: `Err(Cancelled)` after an explicit cancel,
+    /// `Err(Timeout)` past the deadline, `Ok(())` otherwise.
+    pub fn check(&self) -> Result<()> {
+        if self.is_cancelled() {
+            return Err(Error::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(Error::Timeout);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sentinel for "no chunk has failed".
+const NO_FAILURE: usize = usize::MAX;
+
+/// Per-scan control block: external cancellation plus deterministic
+/// first-failure selection across parallel chunk tasks.
+#[derive(Debug, Default)]
+pub struct ScanCtl {
+    cancel: Option<Arc<CancelToken>>,
+    /// Lowest chunk index that has recorded a failure ([`NO_FAILURE`]
+    /// when none has). Read lock-free on the admit fast path.
+    failed_chunk: AtomicUsize,
+    /// The error recorded for `failed_chunk`.
+    error: Mutex<Option<(usize, Error)>>,
+    /// Chunk attempts beyond the first (bounded-retry observability).
+    retried_chunks: AtomicU64,
+    /// Faults the scan absorbed (retried or surfaced).
+    failures: AtomicU64,
+}
+
+impl ScanCtl {
+    /// A control block, optionally tied to a query cancel token.
+    pub fn new(cancel: Option<Arc<CancelToken>>) -> Self {
+        ScanCtl {
+            cancel,
+            failed_chunk: AtomicUsize::new(NO_FAILURE),
+            error: Mutex::new(None),
+            retried_chunks: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The query cancel token, if any.
+    pub fn cancel_token(&self) -> Option<&Arc<CancelToken>> {
+        self.cancel.as_ref()
+    }
+
+    /// Gate run before each chunk: `Err` when the query is cancelled or
+    /// timed out, `Ok(false)` when a chunk at a lower index has already
+    /// failed (this chunk's work would be discarded — skip it),
+    /// `Ok(true)` to proceed.
+    pub fn admit(&self, chunk: usize) -> Result<bool> {
+        if let Some(cancel) = &self.cancel {
+            cancel.check()?;
+        }
+        Ok(chunk <= self.failed_chunk.load(Ordering::Acquire))
+    }
+
+    /// Records a chunk failure, keeping only the lowest-index error.
+    pub fn record_failure(&self, chunk: usize, err: Error) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        // The mutex serializes the compare-and-keep; the atomic mirrors
+        // the winning index for the lock-free admit gate. Recovering
+        // from poison is sound: the slot is a plain Option and the
+        // atomic is updated after the write, so a panicking holder
+        // leaves either the old or the new (index, error) pair — both
+        // valid states.
+        let mut slot = self.error.lock().unwrap_or_else(|e| e.into_inner());
+        match &*slot {
+            Some((existing, _)) if *existing <= chunk => {}
+            _ => {
+                *slot = Some((chunk, err));
+                self.failed_chunk.store(chunk, Ordering::Release);
+            }
+        }
+    }
+
+    /// Counts one retry attempt.
+    pub fn note_retry(&self) {
+        self.retried_chunks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Chunk attempts beyond the first.
+    pub fn retries(&self) -> u64 {
+        self.retried_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Faults absorbed by this scan (including ones a retry recovered).
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// The lowest failed chunk index, if any chunk failed.
+    pub fn first_failed_chunk(&self) -> Option<usize> {
+        match self.failed_chunk.load(Ordering::Acquire) {
+            NO_FAILURE => None,
+            chunk => Some(chunk),
+        }
+    }
+
+    /// Takes the recorded first-by-chunk-index error, if any.
+    pub fn take_error(&self) -> Option<Error> {
+        let mut slot = self.error.lock().unwrap_or_else(|e| e.into_inner());
+        slot.take().map(|(_, err)| err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Error as IoError, ErrorKind};
+
+    #[test]
+    fn cancel_token_reports_cancellation() {
+        let token = CancelToken::new();
+        assert!(token.check().is_ok());
+        token.cancel();
+        assert!(matches!(token.check(), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn expired_deadline_reports_timeout() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(matches!(token.check(), Err(Error::Timeout)));
+        // Explicit cancellation wins over the deadline.
+        token.cancel();
+        assert!(matches!(token.check(), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn future_deadline_passes() {
+        let token = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(token.check().is_ok());
+        assert!(token.deadline().is_some());
+    }
+
+    #[test]
+    fn lowest_chunk_error_wins_regardless_of_arrival_order() {
+        let ctl = ScanCtl::new(None);
+        ctl.record_failure(7, Error::exec("late chunk"));
+        ctl.record_failure(2, Error::Io(IoError::new(ErrorKind::InvalidData, "early")));
+        ctl.record_failure(5, Error::exec("middle chunk"));
+        assert_eq!(ctl.first_failed_chunk(), Some(2));
+        let err = ctl.take_error().expect("recorded error");
+        assert!(err.to_string().contains("early"), "got {err}");
+    }
+
+    #[test]
+    fn chunks_above_a_failure_are_skipped_but_lower_ones_admitted() {
+        let ctl = ScanCtl::new(None);
+        assert!(ctl.admit(9).expect("no cancel"));
+        ctl.record_failure(4, Error::exec("boom"));
+        assert!(!ctl.admit(9).expect("no cancel"), "above failure: skip");
+        assert!(ctl.admit(4).expect("no cancel"), "the failed chunk itself");
+        assert!(ctl.admit(1).expect("no cancel"), "below failure: admitted");
+    }
+
+    #[test]
+    fn admit_surfaces_external_cancellation() {
+        let token = Arc::new(CancelToken::new());
+        let ctl = ScanCtl::new(Some(Arc::clone(&token)));
+        assert!(ctl.admit(0).is_ok());
+        token.cancel();
+        assert!(matches!(ctl.admit(0), Err(Error::Cancelled)));
+    }
+
+    #[test]
+    fn retry_and_failure_counters_accumulate() {
+        let ctl = ScanCtl::new(None);
+        ctl.note_retry();
+        ctl.note_retry();
+        ctl.record_failure(0, Error::exec("x"));
+        assert_eq!(ctl.retries(), 2);
+        assert_eq!(ctl.failures(), 1);
+    }
+}

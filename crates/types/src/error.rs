@@ -16,6 +16,10 @@ pub enum Error {
     Exec(String),
     /// Underlying I/O error.
     Io(std::io::Error),
+    /// The query's deadline elapsed before execution finished.
+    Timeout,
+    /// The query was cancelled cooperatively via its cancel token.
+    Cancelled,
 }
 
 impl Error {
@@ -49,6 +53,28 @@ impl Error {
     pub fn exec(msg: impl Into<String>) -> Self {
         Error::Exec(msg.into())
     }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Only I/O errors are retryable, and only the kinds the operating
+    /// system reports for conditions that clear on their own:
+    /// interrupted calls, backpressure, timeouts, and short reads (a
+    /// read that returned fewer bytes than expected may complete on a
+    /// second attempt). Parse/schema/plan errors are deterministic and
+    /// `Timeout`/`Cancelled` are final by definition.
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind;
+        match self {
+            Error::Io(e) => matches!(
+                e.kind(),
+                ErrorKind::Interrupted
+                    | ErrorKind::WouldBlock
+                    | ErrorKind::TimedOut
+                    | ErrorKind::UnexpectedEof
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -60,6 +86,28 @@ impl fmt::Display for Error {
             Error::Plan(msg) => write!(f, "plan error: {msg}"),
             Error::Exec(msg) => write!(f, "execution error: {msg}"),
             Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Timeout => write!(f, "query deadline exceeded"),
+            Error::Cancelled => write!(f, "query cancelled"),
+        }
+    }
+}
+
+/// `std::io::Error` is not `Clone`, so cloning re-wraps its kind and
+/// rendered message (the source chain is not preserved — callers that
+/// need the original should move it, not clone).
+impl Clone for Error {
+    fn clone(&self) -> Self {
+        match self {
+            Error::Parse { msg, at } => Error::Parse {
+                msg: msg.clone(),
+                at: *at,
+            },
+            Error::Schema(msg) => Error::Schema(msg.clone()),
+            Error::Plan(msg) => Error::Plan(msg.clone()),
+            Error::Exec(msg) => Error::Exec(msg.clone()),
+            Error::Io(e) => Error::Io(std::io::Error::new(e.kind(), e.to_string())),
+            Error::Timeout => Error::Timeout,
+            Error::Cancelled => Error::Cancelled,
         }
     }
 }
@@ -102,6 +150,21 @@ mod tests {
         );
         assert_eq!(Error::plan("no table").to_string(), "plan error: no table");
         assert_eq!(Error::exec("boom").to_string(), "execution error: boom");
+        assert_eq!(Error::Timeout.to_string(), "query deadline exceeded");
+        assert_eq!(Error::Cancelled.to_string(), "query cancelled");
+    }
+
+    #[test]
+    fn transience_follows_io_kind() {
+        use std::io::{Error as IoError, ErrorKind};
+        assert!(Error::Io(IoError::new(ErrorKind::Interrupted, "eintr")).is_transient());
+        assert!(Error::Io(IoError::new(ErrorKind::TimedOut, "slow disk")).is_transient());
+        assert!(Error::Io(IoError::new(ErrorKind::WouldBlock, "busy")).is_transient());
+        assert!(Error::Io(IoError::new(ErrorKind::UnexpectedEof, "short read")).is_transient());
+        assert!(!Error::Io(IoError::new(ErrorKind::InvalidData, "torn page")).is_transient());
+        assert!(!Error::parse("bad token").is_transient());
+        assert!(!Error::Timeout.is_transient());
+        assert!(!Error::Cancelled.is_transient());
     }
 
     #[test]

@@ -16,12 +16,14 @@
 //!   relational rows: the semantics the relational-columnar cache layout
 //!   stores and the Dremel layout reconstructs.
 
+pub mod ctl;
 pub mod datatype;
 pub mod error;
 pub mod flatten;
 pub mod path;
 pub mod value;
 
+pub use ctl::{CancelToken, ScanCtl};
 pub use datatype::{DataType, Field, LeafField, ScalarType, Schema};
 pub use error::{Error, Result};
 pub use flatten::{

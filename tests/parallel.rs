@@ -21,6 +21,7 @@ fn options(threads: usize) -> ExecOptions {
     ExecOptions {
         vectorized: true,
         threads,
+        cancel: None,
     }
 }
 

@@ -34,12 +34,14 @@ use std::sync::Arc;
 const ROW: ExecOptions = ExecOptions {
     vectorized: false,
     threads: 1,
+    cancel: None,
 };
 
 const fn vectorized(threads: usize) -> ExecOptions {
     ExecOptions {
         vectorized: true,
         threads,
+        cancel: None,
     }
 }
 

@@ -11,7 +11,7 @@
 use recache_bench::datasets::register_order_lineitems;
 use recache_bench::output::{self, Table};
 use recache_bench::{warm_full_cache, Args};
-use recache_core::{Admission, LayoutPolicy, ReCache};
+use recache_core::{Admission, LayoutPolicy, QueryRequest, ReCache};
 use recache_engine::sql::QuerySpec;
 use recache_workload::{spa_workload, PoolPhase, SpaConfig};
 
@@ -33,7 +33,9 @@ fn measure(policy: LayoutPolicy, sf: f64, seed: u64, specs: &[QuerySpec]) -> Vec
     warm_full_cache(&mut session, "orderLineitems").expect("warmup");
     let mut out = Vec::with_capacity(specs.len());
     for spec in specs {
-        let result = session.run(spec).expect("query");
+        let result = session
+            .execute(&QueryRequest::spec(spec.clone()))
+            .expect("query");
         let t = &result.stats.exec.tables[0];
         let cost = t.cache_scan.expect("cache scan");
         let total_rows = t.flattened_rows.expect("cached table");

@@ -1,0 +1,120 @@
+//! Open-loop load driver CLI for `recache-server`.
+//!
+//! Replays the seeded mixed CSV/JSON serving workload against a live
+//! server at a target QPS and reports client-side tail latency + shed
+//! rate:
+//!
+//! ```text
+//! recache-server &                       # RECACHE_SF/RECACHE_SEED match below
+//! loadgen --addr 127.0.0.1:7654 --qps 200 --requests 500 \
+//!         --connections 4 --sf 0.001 --seed 42 --verify --shutdown
+//! ```
+//!
+//! * `--verify` re-executes the whole workload locally (serial) and
+//!   compares every wire result; any mismatch fails the run.
+//! * `--deadline-ms N` ships a per-request deadline in each frame.
+//! * `--shutdown` sends a shutdown frame after the run (CI smoke uses
+//!   this to check graceful drain).
+//! * `--out FILE` appends a machine-readable JSON report.
+//!
+//! Exits nonzero on mismatches or non-shed errors; sheds are an
+//! expected overload outcome and are only reported.
+
+use recache_bench::args::Args;
+use recache_bench::loadgen::{run_load, LoadConfig};
+use recache_server::Client;
+use std::time::Duration;
+
+fn main() {
+    let args = Args::parse();
+    let config = LoadConfig {
+        addr: args.str("addr", "127.0.0.1:7654"),
+        qps: args.f64("qps", 100.0),
+        requests: args.usize("requests", 200),
+        connections: args.usize("connections", 4),
+        sf: args.f64("sf", 0.001),
+        seed: args.u64("seed", 42),
+        deadline: match args.u64("deadline-ms", 0) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
+        verify: args.flag("verify"),
+    };
+    let out_path = args.str("out", "");
+
+    eprintln!(
+        "loadgen: {} requests at {} qps over {} connections against {}{}",
+        config.requests,
+        config.qps,
+        config.connections,
+        config.addr,
+        if config.verify { " (verifying)" } else { "" }
+    );
+    let report = match run_load(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let ms = |ns: u64| ns as f64 / 1e6;
+    println!(
+        "loadgen: sent {} ok {} shed {} failed {} mismatched {}",
+        report.sent, report.ok, report.shed, report.failed, report.mismatched
+    );
+    println!(
+        "loadgen: p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  (scheduled-arrival latency)",
+        ms(report.quantile_ns(0.50)),
+        ms(report.quantile_ns(0.95)),
+        ms(report.quantile_ns(0.99)),
+    );
+    println!(
+        "loadgen: shed rate {:.4}  achieved {:.1} qps (target {:.1})",
+        report.shed_rate(),
+        report.achieved_qps(),
+        config.qps
+    );
+
+    if !out_path.is_empty() {
+        let json = format!(
+            "{{\"sent\": {}, \"ok\": {}, \"shed\": {}, \"failed\": {}, \"mismatched\": {}, \
+             \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+             \"shed_rate\": {:.6}, \"achieved_qps\": {:.3}}}\n",
+            report.sent,
+            report.ok,
+            report.shed,
+            report.failed,
+            report.mismatched,
+            report.quantile_ns(0.50),
+            report.quantile_ns(0.95),
+            report.quantile_ns(0.99),
+            report.shed_rate(),
+            report.achieved_qps()
+        );
+        std::fs::write(&out_path, json).expect("write load report");
+        eprintln!("loadgen: wrote {out_path}");
+    }
+
+    if args.flag("shutdown") {
+        match Client::connect(&config.addr).and_then(|mut c| c.shutdown_server()) {
+            Ok(()) => eprintln!("loadgen: server acknowledged shutdown"),
+            Err(e) => {
+                eprintln!("loadgen: shutdown failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if report.mismatched > 0 || report.failed > 0 {
+        eprintln!(
+            "loadgen: FAILED ({} mismatched, {} hard errors)",
+            report.mismatched, report.failed
+        );
+        std::process::exit(1);
+    }
+    if report.ok == 0 {
+        eprintln!("loadgen: FAILED (no request succeeded)");
+        std::process::exit(1);
+    }
+}

@@ -38,6 +38,7 @@
 
 use recache_bench::args::Args;
 use recache_bench::concurrent::replay_concurrent;
+use recache_bench::loadgen::{run_load, LoadConfig, LoadReport};
 use recache_core::ReCache;
 use recache_data::gen::tpch;
 use recache_data::{csv as data_csv, json as data_json, FileFormat, RawFile};
@@ -45,6 +46,8 @@ use recache_engine::exec::{execute_with, ExecOptions};
 use recache_engine::expr::Expr;
 use recache_engine::plan::{AccessPath, AggFunc, AggSpec, QueryPlan, TablePlan};
 use recache_layout::{ColumnStore, DremelStore, RowStore};
+use recache_server::dataset::serving_session;
+use recache_server::{Server, ServerConfig};
 use recache_types::{DataType, Field, FieldPath, Schema, Value};
 use recache_workload::{mixed_spa_workload, Domains, SpaConfig};
 use std::hint::black_box;
@@ -457,9 +460,46 @@ fn concurrent_family(sf: f64, samples: usize, out: &mut Vec<BenchResult>) {
     }
 }
 
+/// The `server` trajectory mode: boots an in-process `recache-server` on
+/// an ephemeral port, drives it with the open-loop load driver at a
+/// fixed arrival rate, and records client-side tail latency as three
+/// rows (`mode` = `p50`/`p95`/`p99`; `threads` holds the connection
+/// count). The rows are recorded for the trajectory but never gated —
+/// absolute tail latency on shared CI machines is too noisy, and the
+/// checked-in baseline carries no server rows.
+fn server_family(sf: f64, requests: usize, out: &mut Vec<BenchResult>) -> LoadReport {
+    let seed = 42;
+    let session = Arc::new(serving_session(sf, seed));
+    let server = Server::bind(ServerConfig::default(), session).expect("bind server");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let load = LoadConfig {
+        addr: addr.to_string(),
+        qps: 150.0,
+        requests,
+        connections: 4,
+        sf,
+        seed,
+        deadline: None,
+        verify: false,
+    };
+    let report = run_load(&load).expect("server load run");
+    for (mode, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+        out.push(BenchResult {
+            name: "server_mixed_serving",
+            mode,
+            threads: load.connections,
+            median_ns: report.quantile_ns(q) as f64,
+            rel_to_row: 1.0,
+        });
+    }
+    handle.shutdown().expect("drain server");
+    report
+}
+
 fn main() {
     let args = Args::parse();
-    let pr = args.u64("pr", 5);
+    let pr = args.u64("pr", 7);
     let sf = args.f64("sf", 0.02);
     let samples = args.usize("samples", 9);
     let out_path = args.str("out", &format!("BENCH_pr{pr}.json"));
@@ -574,6 +614,13 @@ fn main() {
     // Multi-session replay (admissions + concurrent registry); `threads`
     // holds the session count for these rows.
     concurrent_family(sf, args.usize("concurrent_samples", 5), &mut results);
+    // Serving tail latency over the wire (open-loop driver against an
+    // in-process server on an ephemeral port).
+    let server_report = server_family(
+        args.f64("server_sf", 0.001),
+        args.usize("server_requests", 300),
+        &mut results,
+    );
 
     // Derived trajectory metrics.
     let median_of = |name: &str, threads: usize, vectorized: bool| -> Option<f64> {
@@ -619,6 +666,11 @@ fn main() {
             derived.push(("mixed_spa_replay_speedup_4s_vs_1s".to_owned(), s1 / s4));
         }
     }
+    derived.push(("server_shed_rate".to_owned(), server_report.shed_rate()));
+    derived.push((
+        "server_achieved_qps".to_owned(),
+        server_report.achieved_qps(),
+    ));
 
     for r in &results {
         eprintln!(

@@ -62,7 +62,7 @@ pub fn replay_interleaved(
 mod tests {
     use super::*;
     use crate::datasets::register_order_lineitems;
-    use recache_core::ReCache;
+    use recache_core::{QueryRequest, ReCache};
     use recache_workload::{spa_workload, PoolPhase, SpaConfig};
 
     #[test]
@@ -82,7 +82,13 @@ mod tests {
         );
         let serial: Vec<_> = specs
             .iter()
-            .map(|s| serial_session.run(s).unwrap().rows)
+            .map(|s| {
+                serial_session
+                    .execute(&QueryRequest::spec(s.clone()))
+                    .unwrap()
+                    .into_result()
+                    .rows
+            })
             .collect();
 
         let (shared, _) = build();

@@ -140,6 +140,7 @@ pub fn register_yelp(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use recache_core::QueryRequest;
 
     #[test]
     fn tpch_registration_round_trips_queries() {
@@ -147,7 +148,9 @@ mod tests {
         let domains = register_tpch(&mut session, 0.0001, 1, true);
         assert_eq!(domains.len(), 5);
         let r = session
-            .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 1")
+            .execute(&QueryRequest::sql(
+                "SELECT count(*) FROM lineitem WHERE l_quantity >= 1",
+            ))
             .unwrap();
         assert!(r.rows[0].as_i64().unwrap() > 0);
     }
@@ -161,7 +164,9 @@ mod tests {
         let yd = register_yelp(&mut session, 20, 30, 40, 2);
         assert_eq!(yd.len(), 3);
         let r = session
-            .sql("SELECT count(*) FROM business WHERE stars >= 1")
+            .execute(&QueryRequest::sql(
+                "SELECT count(*) FROM business WHERE stars >= 1",
+            ))
             .unwrap();
         assert_eq!(r.rows[0], Value::Int(20));
     }

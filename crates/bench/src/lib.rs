@@ -7,10 +7,12 @@
 pub mod args;
 pub mod concurrent;
 pub mod datasets;
+pub mod loadgen;
 pub mod output;
 pub mod runner;
 
 pub use args::Args;
 pub use concurrent::{replay_concurrent, replay_interleaved, ConcurrentReplay};
+pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use output::{moving_avg, print_cdf, print_header, Table};
 pub use runner::{run_workload, warm_full_cache, Outcome};

@@ -1,0 +1,241 @@
+//! Open-loop load driver for `recache-server`.
+//!
+//! Replays the seeded mixed CSV/JSON serving workload (see
+//! `recache_server::dataset`) against a live server at a target arrival
+//! rate. The schedule is **open loop**: request `i`'s arrival time is
+//! fixed at `start + i / qps` before the run begins, and a slow server
+//! does not slow the arrival process down — exactly the regime where
+//! tail latency and shed behavior show up. Latency is measured from the
+//! *scheduled* arrival, not the actual send, so a driver thread stuck
+//! behind a slow response still charges the wait to the server
+//! (the standard coordinated-omission correction).
+//!
+//! Because the workload is regenerated from `(sf, seed, requests)` on
+//! both sides, the driver can optionally verify every wire result
+//! against local serial execution without shipping any data.
+
+use recache_core::QueryRequest;
+use recache_server::dataset::{serving_session, serving_workload};
+use recache_server::Client;
+use recache_types::{Error, Result, Value};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Load-driver knobs.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Target arrival rate, requests per second.
+    pub qps: f64,
+    /// Total requests in the run (= workload size).
+    pub requests: usize,
+    /// Driver connections; each is one blocking client thread.
+    pub connections: usize,
+    /// Scale factor of the seeded serving dataset.
+    pub sf: f64,
+    /// Seed of the serving dataset + workload.
+    pub seed: u64,
+    /// Optional per-request deadline shipped in the request frame.
+    pub deadline: Option<Duration>,
+    /// Verify every result against local serial execution.
+    pub verify: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7654".to_owned(),
+            qps: 100.0,
+            requests: 200,
+            connections: 4,
+            sf: 0.001,
+            seed: 42,
+            deadline: None,
+            verify: false,
+        }
+    }
+}
+
+/// Outcome of one load run.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Requests sent (= configured request count).
+    pub sent: usize,
+    /// Requests answered with a result frame.
+    pub ok: usize,
+    /// Requests shed by admission control (`Error::Overloaded`).
+    pub shed: usize,
+    /// Requests failing with any other error (deadline, I/O, ...).
+    pub failed: usize,
+    /// Verified results that differed from local serial execution.
+    pub mismatched: usize,
+    /// Wall time of the whole run.
+    pub wall_ns: u64,
+    /// Sorted scheduled-arrival-to-completion latencies of `ok`
+    /// requests.
+    pub latencies_ns: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Exact client-side `q`-quantile over successful requests
+    /// (nanoseconds); 0 when none succeeded.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.latencies_ns.len() as f64).ceil() as usize;
+        self.latencies_ns[rank.clamp(1, self.latencies_ns.len()) - 1]
+    }
+
+    /// Fraction of requests shed by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        if self.sent == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.sent as f64
+        }
+    }
+
+    /// Successful requests per second over the whole run.
+    pub fn achieved_qps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.ok as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+}
+
+/// Per-worker tallies, merged into the final report.
+#[derive(Default)]
+struct WorkerTally {
+    ok: usize,
+    shed: usize,
+    failed: usize,
+    mismatched: usize,
+    latencies_ns: Vec<u64>,
+}
+
+/// Runs one open-loop load session against a live server.
+pub fn run_load(config: &LoadConfig) -> Result<LoadReport> {
+    let specs = serving_workload(config.sf, config.seed, config.requests);
+    let expected: Option<Vec<Vec<Value>>> = if config.verify {
+        let session = serving_session(config.sf, config.seed);
+        let mut rows = Vec::with_capacity(specs.len());
+        for spec in &specs {
+            rows.push(
+                session
+                    .execute(&QueryRequest::spec(spec.clone()))?
+                    .rows
+                    .clone(),
+            );
+        }
+        Some(rows)
+    } else {
+        None
+    };
+
+    let interval_ns = if config.qps > 0.0 {
+        (1e9 / config.qps) as u64
+    } else {
+        0
+    };
+    let next = AtomicUsize::new(0);
+    let connections = config.connections.max(1);
+    let start = Instant::now();
+    let tallies: Vec<Result<WorkerTally>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| {
+                let specs = &specs;
+                let expected = expected.as_ref();
+                let next = &next;
+                scope.spawn(move || -> Result<WorkerTally> {
+                    let mut client = Client::connect(&config.addr)?;
+                    let mut tally = WorkerTally::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= specs.len() {
+                            return Ok(tally);
+                        }
+                        let due = Duration::from_nanos(i as u64 * interval_ns);
+                        let elapsed = start.elapsed();
+                        if due > elapsed {
+                            std::thread::sleep(due - elapsed);
+                        }
+                        let mut request = QueryRequest::spec(specs[i].clone());
+                        if let Some(deadline) = config.deadline {
+                            request = request.deadline(deadline);
+                        }
+                        match client.query(&request) {
+                            Ok(reply) => {
+                                tally.ok += 1;
+                                tally
+                                    .latencies_ns
+                                    .push((start.elapsed() - due).as_nanos() as u64);
+                                if let Some(expected) = expected {
+                                    if reply.rows != expected[i] {
+                                        tally.mismatched += 1;
+                                    }
+                                }
+                            }
+                            Err(Error::Overloaded) => tally.shed += 1,
+                            Err(_) => tally.failed += 1,
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    let wall_ns = start.elapsed().as_nanos() as u64;
+
+    let mut report = LoadReport {
+        sent: specs.len(),
+        wall_ns,
+        ..LoadReport::default()
+    };
+    for tally in tallies {
+        let tally = tally?;
+        report.ok += tally.ok;
+        report.shed += tally.shed;
+        report.failed += tally.failed;
+        report.mismatched += tally.mismatched;
+        report.latencies_ns.extend(tally.latencies_ns);
+    }
+    report.latencies_ns.sort_unstable();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_read_sorted_samples() {
+        let report = LoadReport {
+            sent: 4,
+            ok: 4,
+            latencies_ns: vec![10, 20, 30, 40],
+            wall_ns: 1_000_000_000,
+            ..LoadReport::default()
+        };
+        assert_eq!(report.quantile_ns(0.0), 10);
+        assert_eq!(report.quantile_ns(0.5), 20);
+        assert_eq!(report.quantile_ns(0.99), 40);
+        assert_eq!(report.quantile_ns(1.0), 40);
+        assert_eq!(report.achieved_qps(), 4.0);
+        assert_eq!(report.shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_report_is_well_defined() {
+        let report = LoadReport::default();
+        assert_eq!(report.quantile_ns(0.99), 0);
+        assert_eq!(report.shed_rate(), 0.0);
+        assert_eq!(report.achieved_qps(), 0.0);
+    }
+}

@@ -1,6 +1,6 @@
 //! Workload execution helpers.
 
-use recache_core::{QueryResult, ReCache};
+use recache_core::{QueryRequest, QueryResult, ReCache};
 use recache_engine::sql::QuerySpec;
 use recache_types::Result;
 
@@ -37,7 +37,7 @@ impl Outcome {
 pub fn run_workload(session: &mut ReCache, specs: &[QuerySpec]) -> Result<Vec<Outcome>> {
     let mut out = Vec::with_capacity(specs.len());
     for spec in specs {
-        let result = session.run(spec)?;
+        let result = session.execute(&QueryRequest::spec(spec.clone()))?;
         out.push(Outcome::from_result(&result));
     }
     Ok(out)
@@ -48,7 +48,7 @@ pub fn run_workload(session: &mut ReCache, specs: &[QuerySpec]) -> Result<Vec<Ou
 /// "we populate the caches beforehand in order to isolate the performance
 /// of the cache from the cost of populating them".
 pub fn warm_full_cache(session: &mut ReCache, table: &str) -> Result<()> {
-    session.sql(&format!("SELECT count(*) FROM {table}"))?;
+    session.execute(&QueryRequest::sql(format!("SELECT count(*) FROM {table}")))?;
     Ok(())
 }
 

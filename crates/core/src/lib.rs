@@ -21,6 +21,7 @@
 //! several query streams concurrently with per-session thread budgets.
 
 pub mod materialize;
+pub mod request;
 pub mod resolve;
 pub mod result;
 pub mod session;
@@ -37,10 +38,11 @@ use recache_engine::sql::{parse_query, QuerySpec};
 use recache_layout::{
     columnar_to_dremel, columnar_to_row, dremel_to_columnar, row_to_columnar, CacheData, LayoutKind,
 };
-use recache_types::{CancelToken, Error, Result, Schema};
+use recache_types::{Error, Result, Schema};
+pub use request::{CacheOutcome, QueryBody, QueryRequest, QueryResponse, QueryTelemetry};
 use resolve::{resolve, ResolvedQuery};
 pub use result::{QueryResult, QueryStats, TableSummary};
-pub use session::Scheduler;
+pub use session::{AdmissionGate, AdmissionPermit, AdmissionStats, Scheduler, StreamLease};
 use session::{Begin, FlightGuard, FlightKey, FlightOutcome, Inflight};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -285,35 +287,80 @@ impl ReCache {
             .sum()
     }
 
+    /// Executes one [`QueryRequest`] — the single entry point for SQL
+    /// text and parsed specs alike, in-process and over the wire. The
+    /// request's deadline (if armed) is folded into its cancel token
+    /// here, so the clock starts at this call.
+    pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse> {
+        let options = request.resolved_options();
+        let parsed;
+        let spec = match request.body() {
+            QueryBody::Sql(text) => {
+                parsed = parse_query(text)?;
+                &parsed
+            }
+            QueryBody::Spec(spec) => spec,
+        };
+        let result = self.run_spec(spec, &options)?;
+        Ok(QueryResponse::new(
+            result,
+            options.effective_threads(),
+            request.get_tag(),
+        ))
+    }
+
     /// Parses and runs one SQL query.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a QueryRequest::sql and call ReCache::execute"
+    )]
     pub fn sql(&self, text: &str) -> Result<QueryResult> {
-        let spec = parse_query(text)?;
-        self.run(&spec)
+        self.execute(&QueryRequest::sql(text))
+            .map(QueryResponse::into_result)
     }
 
     /// Runs one parsed query with default execution options.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a QueryRequest::spec and call ReCache::execute"
+    )]
     pub fn run(&self, spec: &QuerySpec) -> Result<QueryResult> {
-        self.run_with(spec, &ExecOptions::default())
+        self.execute(&QueryRequest::spec(spec.clone()))
+            .map(QueryResponse::into_result)
     }
 
-    /// Runs one parsed query under a wall-clock deadline: a cancel token
-    /// armed with the deadline is installed into the options, so the
-    /// scan loops stop at chunk granularity and the query returns
-    /// [`Error::Timeout`] instead of running long.
+    /// Runs one parsed query under a wall-clock deadline.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use QueryRequest::spec(..).options(..).deadline(..) with ReCache::execute"
+    )]
     pub fn run_with_timeout(
         &self,
         spec: &QuerySpec,
         options: &ExecOptions,
         timeout: Duration,
     ) -> Result<QueryResult> {
-        let mut options = options.clone();
-        options.cancel = Some(Arc::new(CancelToken::with_timeout(timeout)));
-        self.run_with(spec, &options)
+        self.execute(
+            &QueryRequest::spec(spec.clone())
+                .options(options.clone())
+                .deadline(timeout),
+        )
+        .map(QueryResponse::into_result)
     }
 
-    /// Runs one parsed query under explicit [`ExecOptions`] (the
-    /// [`Scheduler`] passes each session's negotiated thread budget).
+    /// Runs one parsed query under explicit [`ExecOptions`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use QueryRequest::spec(..).options(..) with ReCache::execute"
+    )]
     pub fn run_with(&self, spec: &QuerySpec, options: &ExecOptions) -> Result<QueryResult> {
+        self.execute(&QueryRequest::spec(spec.clone()).options(options.clone()))
+            .map(QueryResponse::into_result)
+    }
+
+    /// The execution core behind [`ReCache::execute`]: one resolved
+    /// spec under final options (deadline already folded into `cancel`).
+    fn run_spec(&self, spec: &QuerySpec, options: &ExecOptions) -> Result<QueryResult> {
         let t_run = Instant::now();
         self.queries_run.fetch_add(1, Ordering::Relaxed);
         self.registry.tick();
@@ -329,6 +376,8 @@ impl ReCache {
             hit: Option<(EntryId, MatchResult)>,
             lookup_ns: u64,
             was_offsets: bool,
+            /// Served by waiting on another session's in-flight scan.
+            coalesced: bool,
         }
         // Process lookups in sorted-key order: single-flight leadership
         // is then always acquired in a globally consistent order, so a
@@ -394,6 +443,7 @@ impl ReCache {
                                     hit: Some((id, m)),
                                     lookup_ns: lookup_ns_total,
                                     was_offsets,
+                                    coalesced: waited,
                                 },
                                 access,
                             );
@@ -403,6 +453,7 @@ impl ReCache {
                         hit: None,
                         lookup_ns: lookup_ns_total,
                         was_offsets: false,
+                        coalesced: false,
                     };
                     let raw = AccessPath::Raw(Arc::clone(&table.file));
                     // One leadership per key per query (a self-join on
@@ -468,6 +519,7 @@ impl ReCache {
                         hit: None,
                         lookup_ns: 0,
                         was_offsets: false,
+                        coalesced: false,
                     },
                     AccessPath::Raw(Arc::clone(&table.file)),
                 )
@@ -528,6 +580,7 @@ impl ReCache {
                 name: table.name.clone(),
                 access: stats.access,
                 hit: route.hit.map(|(_, m)| m),
+                coalesced: route.coalesced,
                 admission: None,
                 layout_switch: None,
             };
@@ -852,13 +905,17 @@ mod tests {
     fn sql_end_to_end_over_csv() {
         let session = lineitem_session(true);
         let result = session
-            .sql("SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 30")
+            .execute(&QueryRequest::sql(
+                "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 30",
+            ))
             .unwrap();
         assert!(result.rows[0].as_i64().unwrap() > 0);
         assert!(!result.stats.cache_hit);
         // Second identical query: exact cache hit.
         let again = session
-            .sql("SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 30")
+            .execute(&QueryRequest::sql(
+                "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 30",
+            ))
             .unwrap();
         assert_eq!(result.rows, again.rows);
         assert!(again.stats.cache_hit);
@@ -869,17 +926,23 @@ mod tests {
     fn subsumption_narrower_range_hits_and_matches_raw() {
         let session = lineitem_session(true);
         let wide = session
-            .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 10")
+            .execute(&QueryRequest::sql(
+                "SELECT count(*) FROM lineitem WHERE l_quantity >= 10",
+            ))
             .unwrap();
         assert!(!wide.stats.cache_hit);
         let narrow = session
-            .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30")
+            .execute(&QueryRequest::sql(
+                "SELECT count(*) FROM lineitem WHERE l_quantity >= 30",
+            ))
             .unwrap();
         assert!(narrow.stats.cache_hit, "narrower range should be subsumed");
         // Cross-check against a caching-free session.
         let baseline = lineitem_session(false);
         let truth = baseline
-            .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30")
+            .execute(&QueryRequest::sql(
+                "SELECT count(*) FROM lineitem WHERE l_quantity >= 30",
+            ))
             .unwrap();
         assert_eq!(narrow.rows, truth.rows);
     }
@@ -889,7 +952,9 @@ mod tests {
         let session = lineitem_session(false);
         for _ in 0..3 {
             let r = session
-                .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 30")
+                .execute(&QueryRequest::sql(
+                    "SELECT count(*) FROM lineitem WHERE l_quantity >= 30",
+                ))
                 .unwrap();
             assert!(!r.stats.cache_hit);
         }
@@ -901,8 +966,8 @@ mod tests {
         let session = nested_session();
         let q = "SELECT sum(lineitems.l_quantity), count(*) FROM orderLineitems \
                  WHERE lineitems.l_quantity BETWEEN 5 AND 45";
-        let first = session.sql(q).unwrap();
-        let second = session.sql(q).unwrap();
+        let first = session.execute(&QueryRequest::sql(q)).unwrap();
+        let second = session.execute(&QueryRequest::sql(q)).unwrap();
         assert!(second.stats.cache_hit);
         assert_eq!(first.rows, second.rows);
         // The cached store must be nested columnar by default.
@@ -923,13 +988,13 @@ mod tests {
         session.register_csv_bytes("lineitem", csv::write_csv(&schema, &lineitems), schema);
 
         let q = "SELECT count(*) FROM lineitem WHERE l_quantity <= 25";
-        session.sql(q).unwrap();
+        session.execute(&QueryRequest::sql(q)).unwrap();
         let entry = session.cache().snapshot().into_iter().next().unwrap();
         assert!(matches!(entry.data, CacheData::Offsets(_)));
         // Reuse upgrades lazily cached offsets to an eager store ("if a
         // lazy cached item is accessed again, it is replaced by an eager
         // cache").
-        let second = session.sql(q).unwrap();
+        let second = session.execute(&QueryRequest::sql(q)).unwrap();
         assert!(second.stats.cache_hit);
         let entry = session.cache().snapshot().into_iter().next().unwrap();
         assert!(!matches!(entry.data, CacheData::Offsets(_)));
@@ -950,10 +1015,10 @@ mod tests {
         let q = "SELECT count(*), avg(o_totalprice) FROM orders \
                  JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey \
                  WHERE o_totalprice > 1000 AND l_quantity >= 10";
-        let first = session.sql(q).unwrap();
+        let first = session.execute(&QueryRequest::sql(q)).unwrap();
         assert!(first.rows[0].as_i64().unwrap() > 0);
         // Both tables get cached; rerun hits both.
-        let second = session.sql(q).unwrap();
+        let second = session.execute(&QueryRequest::sql(q)).unwrap();
         assert_eq!(first.rows, second.rows);
         assert!(second.stats.cache_hit);
         assert!(second.stats.tables.iter().all(|t| t.hit.is_some()));
@@ -973,7 +1038,7 @@ mod tests {
                 "SELECT count(*) FROM lineitem WHERE l_quantity BETWEEN {lo} AND {}",
                 lo + 4
             );
-            session.sql(&q).unwrap();
+            session.execute(&QueryRequest::sql(&q)).unwrap();
         }
         assert!(session.cache().total_bytes() <= 6_000);
         assert!(session.cache().counters().evictions > 0);
@@ -982,8 +1047,12 @@ mod tests {
     #[test]
     fn unknown_table_and_attribute_errors() {
         let session = lineitem_session(true);
-        assert!(session.sql("SELECT count(*) FROM nope").is_err());
-        assert!(session.sql("SELECT sum(frobnicate) FROM lineitem").is_err());
+        assert!(session
+            .execute(&QueryRequest::sql("SELECT count(*) FROM nope"))
+            .is_err());
+        assert!(session
+            .execute(&QueryRequest::sql("SELECT sum(frobnicate) FROM lineitem"))
+            .is_err());
     }
 
     #[test]
@@ -995,7 +1064,9 @@ mod tests {
         let schema = tpch::lineitem_schema();
         session.register_csv_bytes("lineitem", csv::write_csv(&schema, &lineitems), schema);
         let r = session
-            .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 2")
+            .execute(&QueryRequest::sql(
+                "SELECT count(*) FROM lineitem WHERE l_quantity >= 2",
+            ))
             .unwrap();
         assert!(r.stats.caching_ns > 0);
         assert!(r.stats.total_ns >= r.stats.caching_ns);
@@ -1009,16 +1080,18 @@ mod tests {
         let records = recache_data::gen::spam::gen_spam_json(300, 3);
         session.register_json_bytes("spam", json::write_json(&schema, &records), schema);
         let q = "SELECT count(*) FROM spam WHERE lang = 'en' AND size >= 1000";
-        let first = session.sql(q).unwrap();
+        let first = session.execute(&QueryRequest::sql(q)).unwrap();
         assert!(!first.stats.cache_hit);
         // Exact repeat hits.
-        let second = session.sql(q).unwrap();
+        let second = session.execute(&QueryRequest::sql(q)).unwrap();
         assert!(second.stats.cache_hit);
         assert_eq!(first.rows, second.rows);
         // A weaker range query must NOT be served by the string-filtered
         // entry (it is not subsumable).
         let other = session
-            .sql("SELECT count(*) FROM spam WHERE size >= 2000")
+            .execute(&QueryRequest::sql(
+                "SELECT count(*) FROM spam WHERE size >= 2000",
+            ))
             .unwrap();
         assert!(!other.stats.cache_hit);
         // Correctness check vs no-caching.
@@ -1026,6 +1099,9 @@ mod tests {
         let schema = recache_data::gen::spam::spam_json_schema();
         let records = recache_data::gen::spam::gen_spam_json(300, 3);
         baseline.register_json_bytes("spam", json::write_json(&schema, &records), schema);
-        assert_eq!(baseline.sql(q).unwrap().rows, second.rows);
+        assert_eq!(
+            baseline.execute(&QueryRequest::sql(q)).unwrap().rows,
+            second.rows
+        );
     }
 }

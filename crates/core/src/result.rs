@@ -14,6 +14,9 @@ pub struct TableSummary {
     pub access: AccessKind,
     /// Cache match, if any.
     pub hit: Option<MatchResult>,
+    /// Whether this table waited on another session's in-flight scan
+    /// and reused its admission (single-flight coalescing).
+    pub coalesced: bool,
     /// Admission decision when a new item was cached (or a lazy item
     /// upgraded) during this query.
     pub admission: Option<AdmissionDecision>,

@@ -22,8 +22,15 @@
 //!   reuses the admitted entry. Keys are acquired in sorted order within
 //!   a query, so leader/follower waits cannot deadlock across
 //!   multi-table queries.
+//! * [`AdmissionGate`] — bounded admission with shed-on-overload for
+//!   serving layers: at most `max_running` queries execute while at most
+//!   `max_queued` wait their turn; anything beyond that is *shed* with a
+//!   typed [`Error::Overloaded`] instead of buffered without bound. The
+//!   TCP front end (`recache-server`) takes a permit per request, so a
+//!   traffic spike degrades into fast typed errors, never into unbounded
+//!   queues or OOM.
 
-use crate::{QueryResult, ReCache};
+use crate::{QueryRequest, QueryResponse, QueryResult, ReCache};
 use recache_engine::exec::ExecOptions;
 use recache_engine::sql::QuerySpec;
 use recache_types::{CancelToken, Error, Result};
@@ -66,44 +73,18 @@ fn join_streams<T>(handles: Vec<std::thread::ScopedJoinHandle<'_, Result<T>>>) -
         .collect()
 }
 
-/// Releases one stream's scheduler slot on drop — including during a
-/// panic unwind, so a dying stream gives back its active-session count
-/// and zeroes its posted cost instead of skewing the survivors' thread
-/// shares until the scope ends.
-struct StreamSlot<'a> {
-    active: &'a AtomicUsize,
-    cost: Option<&'a AtomicU64>,
-}
-
-impl<'a> StreamSlot<'a> {
-    fn enter(active: &'a AtomicUsize, cost: Option<&'a AtomicU64>) -> Self {
-        active.fetch_add(1, Ordering::AcqRel);
-        StreamSlot { active, cost }
-    }
-}
-
-impl Drop for StreamSlot<'_> {
-    fn drop(&mut self) {
-        if let Some(cost) = self.cost {
-            cost.store(0, Ordering::Release);
-        }
-        self.active.fetch_sub(1, Ordering::AcqRel);
-    }
-}
-
-/// Cost-weighted thread split: stream `mine`'s slice of `total_threads`,
-/// proportional to its share of the summed in-flight cost estimates
-/// (slots holding 0 are idle streams). Rounded to nearest and floored at
-/// one thread; the result may oversubscribe slightly on rounding, which
-/// is harmless — the work pool has a fixed worker count and `threads`
-/// only controls task splitting. With equal costs this reduces to the
-/// old `total / active` even split.
-fn weighted_share(total_threads: usize, costs: &[u64], mine: usize) -> usize {
-    let total_cost: u128 = costs.iter().map(|&c| u128::from(c)).sum();
-    let my_cost = u128::from(costs[mine]);
+/// Cost-weighted thread split: a stream posting `my_cost`'s slice of
+/// `total_threads`, proportional to its share of the summed in-flight
+/// cost estimates (slots holding 0 are idle streams). Rounded to nearest
+/// and floored at one thread; the result may oversubscribe slightly on
+/// rounding, which is harmless — the work pool has a fixed worker count
+/// and `threads` only controls task splitting. With equal costs this
+/// reduces to an even `total / active` split.
+fn weighted_share(total_threads: usize, total_cost: u64, my_cost: u64) -> usize {
     if total_cost == 0 || my_cost == 0 {
         return total_threads.max(1);
     }
+    let (total_cost, my_cost) = (u128::from(total_cost), u128::from(my_cost));
     let share = (total_threads as u128 * my_cost + total_cost / 2) / total_cost;
     share.clamp(1, total_threads as u128) as usize
 }
@@ -281,12 +262,197 @@ impl Drop for FlightGuard<'_> {
     }
 }
 
+/// Default cancellation poll while waiting in the admission queue.
+const ADMIT_POLL: Duration = Duration::from_millis(5);
+
+/// Live view of an [`AdmissionGate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Requests granted a permit so far.
+    pub admitted: u64,
+    /// Requests shed with [`Error::Overloaded`].
+    pub shed: u64,
+    /// Permits currently held.
+    pub running: usize,
+    /// Requests currently waiting in the bounded queue.
+    pub queued: usize,
+}
+
+/// Bounded query admission with shed-on-overload.
+///
+/// At most `max_running` permits are out at once; while all are taken,
+/// at most `max_queued` callers wait their turn (FIFO-ish via condvar
+/// wakeups); any caller beyond that is shed *immediately* with
+/// [`Error::Overloaded`] — the queue never grows without bound, so a
+/// traffic spike costs each shed request one mutex acquisition, not a
+/// buffer. Waiters poll their cancel token, so a queued request honors
+/// its deadline instead of timing out while still in line.
+pub struct AdmissionGate {
+    max_running: usize,
+    max_queued: usize,
+    /// `(running, queued)` — both bounded small; one mutex is plenty.
+    state: Mutex<(usize, usize)>,
+    cv: Condvar,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl AdmissionGate {
+    /// A gate running at most `max_running` queries (floored at 1) with
+    /// at most `max_queued` waiting.
+    pub fn new(max_running: usize, max_queued: usize) -> Self {
+        AdmissionGate {
+            max_running: max_running.max(1),
+            max_queued,
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Takes an execution permit, waiting in the bounded queue if the
+    /// gate is full and shedding with [`Error::Overloaded`] if the queue
+    /// is too. A cancelled/expired `cancel` token surfaces while queued.
+    ///
+    /// Lock poisoning is recovered: the guarded state is a pair of
+    /// counters adjusted one at a time, so a panicking holder cannot
+    /// leave them torn (a permit dropped during unwind still decrements
+    /// through its own guard).
+    pub fn admit(&self, cancel: Option<&CancelToken>) -> Result<AdmissionPermit<'_>> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.0 >= self.max_running {
+            if state.1 >= self.max_queued {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(Error::Overloaded);
+            }
+            state.1 += 1;
+            while state.0 >= self.max_running {
+                if let Some(token) = cancel {
+                    if let Err(err) = token.check() {
+                        state.1 -= 1;
+                        // The slot this waiter vacated may unblock an
+                        // admit that raced to a full queue after us —
+                        // nobody waits on *queue* room today, but the
+                        // wakeup is cheap and keeps the invariant local.
+                        drop(state);
+                        self.cv.notify_all();
+                        return Err(err);
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(state, ADMIT_POLL)
+                        .unwrap_or_else(|e| e.into_inner());
+                    state = guard;
+                } else {
+                    state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+            state.1 -= 1;
+        }
+        state.0 += 1;
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        Ok(AdmissionPermit { gate: self })
+    }
+
+    /// Counter + occupancy snapshot.
+    pub fn stats(&self) -> AdmissionStats {
+        let state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        AdmissionStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            running: state.0,
+            queued: state.1,
+        }
+    }
+
+    fn release(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.0 = state.0.saturating_sub(1);
+        drop(state);
+        self.cv.notify_all();
+    }
+}
+
+/// One granted execution slot; returning it on drop wakes a queued
+/// waiter — including during a panic unwind, so a dying query never
+/// leaks its slot.
+pub struct AdmissionPermit<'a> {
+    gate: &'a AdmissionGate,
+}
+
+impl std::fmt::Debug for AdmissionPermit<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionPermit").finish_non_exhaustive()
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        self.gate.release();
+    }
+}
+
+/// One registered query stream's seat at the [`Scheduler`]: a slot on
+/// the shared cost board. Dropping the lease (including during unwind)
+/// frees the slot and zeroes its posted cost, so a dead stream stops
+/// skewing the survivors' thread shares. Obtained from
+/// [`Scheduler::register_stream`]; the TCP server holds one per live
+/// connection.
+pub struct StreamLease<'a> {
+    scheduler: &'a Scheduler,
+    slot: usize,
+    cost: Arc<AtomicU64>,
+}
+
+impl StreamLease<'_> {
+    /// Posts this stream's in-flight cost estimate (floored at 1 so an
+    /// active stream never reads as idle) and returns its cost-weighted
+    /// slice of the thread budget. The posted cost stays on the board
+    /// until the next `negotiate`, [`clear`](Self::clear), or drop.
+    pub fn negotiate(&self, cost: u64) -> usize {
+        self.cost.store(cost.max(1), Ordering::Release);
+        let total = self.scheduler.posted_cost_total();
+        weighted_share(
+            self.scheduler.total_threads,
+            total,
+            self.cost.load(Ordering::Acquire),
+        )
+    }
+
+    /// Marks the stream idle between queries (cost 0 drops out of every
+    /// other stream's split).
+    pub fn clear(&self) {
+        self.cost.store(0, Ordering::Release);
+    }
+}
+
+impl Drop for StreamLease<'_> {
+    fn drop(&mut self) {
+        let mut board = self
+            .scheduler
+            .board
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        board[self.slot] = None;
+        drop(board);
+        self.scheduler.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// Admits K independent query streams against one shared [`ReCache`]
 /// session, giving each stream a fair slice of the shared pool's
-/// parallelism.
+/// parallelism. Streams register dynamically ([`register_stream`]
+/// (Self::register_stream)) — batch replays ([`run_streams`]
+/// (Self::run_streams)) and long-lived server connections share the
+/// same cost board.
 pub struct Scheduler {
     total_threads: usize,
     active: AtomicUsize,
+    /// Cost board: one slot per registered stream, `None` when free.
+    /// Slots are reused so the board stays as small as the peak stream
+    /// count, not the total ever registered.
+    board: Mutex<Vec<Option<Arc<AtomicU64>>>>,
 }
 
 impl Scheduler {
@@ -301,6 +467,7 @@ impl Scheduler {
         Scheduler {
             total_threads,
             active: AtomicUsize::new(0),
+            board: Mutex::new(Vec::new()),
         }
     }
 
@@ -309,47 +476,77 @@ impl Scheduler {
         self.total_threads
     }
 
-    /// Streams currently inside [`Scheduler::run_streams`].
+    /// Streams currently registered (inside [`Scheduler::run_streams`]
+    /// or holding a [`StreamLease`]).
     pub fn active_sessions(&self) -> usize {
         self.active.load(Ordering::Acquire)
+    }
+
+    /// Registers a query stream and returns its lease on the cost
+    /// board. The stream starts idle (cost 0) until it negotiates.
+    pub fn register_stream(&self) -> StreamLease<'_> {
+        let cost = Arc::new(AtomicU64::new(0));
+        let mut board = self.board.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = match board.iter().position(Option::is_none) {
+            Some(free) => {
+                board[free] = Some(Arc::clone(&cost));
+                free
+            }
+            None => {
+                board.push(Some(Arc::clone(&cost)));
+                board.len() - 1
+            }
+        };
+        drop(board);
+        self.active.fetch_add(1, Ordering::AcqRel);
+        StreamLease {
+            scheduler: self,
+            slot,
+            cost,
+        }
+    }
+
+    /// Sum of every registered stream's posted cost.
+    fn posted_cost_total(&self) -> u64 {
+        let board = self.board.lock().unwrap_or_else(|e| e.into_inner());
+        board
+            .iter()
+            .flatten()
+            .map(|c| c.load(Ordering::Acquire))
+            .sum()
     }
 
     /// Runs every stream to completion concurrently (one OS thread per
     /// stream; scans inside each query fan out on the shared `workpool`
     /// under the negotiated budget). Before each query, a stream posts
     /// its estimated scan cost (bytes to be scanned under the current
-    /// cache state) to a shared board and takes a cost-weighted slice of
-    /// the thread budget; idle streams hold cost 0 and drop out of the
-    /// split. Returns per-stream results in stream order.
+    /// cache state) to the shared board and takes a cost-weighted slice
+    /// of the thread budget; idle streams hold cost 0 and drop out of
+    /// the split. Returns per-stream results in stream order.
     pub fn run_streams(
         &self,
         session: &ReCache,
         streams: &[Vec<QuerySpec>],
     ) -> Result<Vec<Vec<QueryResult>>> {
-        let costs: Vec<AtomicU64> = (0..streams.len()).map(|_| AtomicU64::new(0)).collect();
-        let costs = &costs;
         std::thread::scope(|scope| {
             let handles: Vec<_> = streams
                 .iter()
-                .enumerate()
-                .map(|(s, stream)| {
+                .map(|stream| {
                     scope.spawn(move || {
-                        let _slot = StreamSlot::enter(&self.active, Some(&costs[s]));
+                        let lease = self.register_stream();
                         let out: Result<Vec<QueryResult>> = stream
                             .iter()
                             .map(|spec| {
-                                // `max(1)`: a zero estimate must still
-                                // count as in-flight, not idle.
-                                let estimate = session.estimate_scan_cost(spec).max(1);
-                                costs[s].store(estimate, Ordering::Release);
-                                let snapshot: Vec<u64> =
-                                    costs.iter().map(|c| c.load(Ordering::Acquire)).collect();
-                                let options = ExecOptions {
-                                    vectorized: true,
-                                    threads: weighted_share(self.total_threads, &snapshot, s),
-                                    cancel: None,
-                                };
-                                session.run_with(spec, &options)
+                                // `max(1)` inside negotiate: a zero
+                                // estimate still counts as in-flight.
+                                let estimate = session.estimate_scan_cost(spec);
+                                let threads = lease.negotiate(estimate);
+                                session
+                                    .execute(
+                                        &QueryRequest::spec(spec.clone())
+                                            .options(ExecOptions::with_threads(threads)),
+                                    )
+                                    .map(QueryResponse::into_result)
                             })
                             .collect();
                         out
@@ -400,7 +597,10 @@ impl Scheduler {
                     let step = &step;
                     let cv = &cv;
                     scope.spawn(move || {
-                        let _slot = StreamSlot::enter(&self.active, None);
+                        // Registered but never negotiating: interleaved
+                        // replay is serialized, so each live query takes
+                        // the whole budget below.
+                        let _lease = self.register_stream();
                         let mut out = Vec::with_capacity(stream.len());
                         let mut failure = None;
                         // A stream consumes ALL its turns even after one
@@ -423,13 +623,10 @@ impl Scheduler {
                                 // exactly one query is live, so it gets
                                 // the scheduler's whole budget rather
                                 // than a 1/K share of it.
-                                let options = ExecOptions {
-                                    vectorized: true,
-                                    threads: self.total_threads,
-                                    cancel: None,
-                                };
-                                match session.run_with(spec, &options) {
-                                    Ok(result) => out.push(result),
+                                let request = QueryRequest::spec(spec.clone())
+                                    .options(ExecOptions::with_threads(self.total_threads));
+                                match session.execute(&request) {
+                                    Ok(response) => out.push(response.into_result()),
                                     Err(e) => failure = Some(e),
                                 }
                             }
@@ -587,30 +784,103 @@ mod tests {
         let scheduler = Scheduler::new(8);
         assert_eq!(scheduler.total_threads(), 8);
         // Lone stream gets everything.
-        assert_eq!(weighted_share(8, &[100], 0), 8);
+        assert_eq!(weighted_share(8, 100, 100), 8);
         // Four equal streams: a quarter each.
-        let costs = [50u64; 4];
-        for s in 0..4 {
-            assert_eq!(weighted_share(8, &costs, s), 2);
-        }
+        assert_eq!(weighted_share(8, 200, 50), 2);
         // More streams than threads: floor at one.
-        let costs = [10u64; 16];
-        assert_eq!(weighted_share(8, &costs, 3), 1);
+        assert_eq!(weighted_share(8, 160, 10), 1);
     }
 
     #[test]
     fn weighted_share_favours_expensive_streams() {
         // One raw-scan-heavy stream vs three cheap cache-hit streams:
         // the expensive one takes most of the budget.
-        let costs = [7_000u64, 500, 500, 500];
-        assert_eq!(weighted_share(8, &costs, 0), 7);
-        assert_eq!(weighted_share(8, &costs, 1), 1);
-        // Idle slots (cost 0) drop out of the split entirely.
-        let costs = [3_000u64, 0, 3_000, 0];
-        assert_eq!(weighted_share(8, &costs, 0), 4);
-        assert_eq!(weighted_share(8, &costs, 2), 4);
+        let total = 7_000u64 + 500 + 500 + 500;
+        assert_eq!(weighted_share(8, total, 7_000), 7);
+        assert_eq!(weighted_share(8, total, 500), 1);
+        // Idle slots (cost 0) drop out of the split entirely: the board
+        // only sums posted costs.
+        assert_eq!(weighted_share(8, 6_000, 3_000), 4);
         // A zero own-cost (not yet posted) falls back to the full budget.
-        assert_eq!(weighted_share(8, &costs, 1), 8);
+        assert_eq!(weighted_share(8, 6_000, 0), 8);
+    }
+
+    #[test]
+    fn stream_leases_reuse_board_slots_and_free_on_drop() {
+        let scheduler = Scheduler::new(8);
+        let a = scheduler.register_stream();
+        let b = scheduler.register_stream();
+        assert_eq!(scheduler.active_sessions(), 2);
+        // Until `b` posts a cost it reads as idle: `a` takes everything.
+        assert_eq!(a.negotiate(1_000), 8);
+        // Equal posted costs split the budget evenly.
+        assert_eq!(b.negotiate(1_000), 4);
+        assert_eq!(a.negotiate(1_000), 4);
+        // Clearing marks a stream idle: the survivor takes everything.
+        b.clear();
+        assert_eq!(a.negotiate(1_000), 8);
+        drop(a);
+        assert_eq!(scheduler.active_sessions(), 1);
+        // The freed slot is reused, not appended.
+        let c = scheduler.register_stream();
+        assert_eq!(scheduler.active_sessions(), 2);
+        assert_eq!(c.negotiate(3_000), 8);
+        drop(b);
+        drop(c);
+        assert_eq!(scheduler.active_sessions(), 0);
+    }
+
+    #[test]
+    fn admission_gate_sheds_beyond_bounded_queue() {
+        let gate = AdmissionGate::new(1, 1);
+        let running = gate.admit(None).unwrap();
+        // The queue holds one waiter; a second concurrent caller beyond
+        // it must shed immediately with a typed, transient error.
+        std::thread::scope(|scope| {
+            let queued = scope.spawn(|| gate.admit(None).map(drop));
+            // Wait until the waiter is provably queued.
+            while gate.stats().queued == 0 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let shed = gate.admit(None);
+            assert!(matches!(shed, Err(Error::Overloaded)));
+            assert!(shed.unwrap_err().is_transient());
+            // Releasing the running permit admits the queued waiter.
+            drop(running);
+            queued.join().unwrap().unwrap();
+        });
+        let stats = gate.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.running, 0);
+        assert_eq!(stats.queued, 0);
+    }
+
+    #[test]
+    fn queued_admit_honors_deadline_and_cancel() {
+        let gate = AdmissionGate::new(1, 4);
+        let _running = gate.admit(None).unwrap();
+        let expired = CancelToken::with_timeout(Duration::from_millis(10));
+        let started = std::time::Instant::now();
+        assert!(matches!(gate.admit(Some(&expired)), Err(Error::Timeout)));
+        assert!(started.elapsed() < Duration::from_secs(2));
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        assert!(matches!(
+            gate.admit(Some(&cancelled)),
+            Err(Error::Cancelled)
+        ));
+        // Failed waits left no queue residue.
+        assert_eq!(gate.stats().queued, 0);
+        assert_eq!(gate.stats().running, 1);
+    }
+
+    #[test]
+    fn zero_queue_gate_sheds_instead_of_waiting() {
+        let gate = AdmissionGate::new(2, 0);
+        let _a = gate.admit(None).unwrap();
+        let _b = gate.admit(None).unwrap();
+        assert!(matches!(gate.admit(None), Err(Error::Overloaded)));
     }
 
     #[test]
@@ -626,7 +896,7 @@ mod tests {
         let spec = parse_query("SELECT count(*) FROM lineitem WHERE l_quantity >= 30").unwrap();
         // Miss: the estimate prices the whole raw file.
         assert_eq!(session.estimate_scan_cost(&spec), raw_bytes);
-        session.run(&spec).unwrap();
+        session.execute(&QueryRequest::spec(spec.clone())).unwrap();
         // Hit: the estimate prices the (smaller) cached store.
         let cached = session.estimate_scan_cost(&spec);
         assert!(cached > 0);

@@ -66,6 +66,33 @@ impl Default for ExecOptions {
 }
 
 impl ExecOptions {
+    /// Vectorized options with an explicit thread budget — the one
+    /// defaulting rule every scheduler/bench/test call site shares
+    /// instead of hand-rolling struct literals.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecOptions {
+            threads,
+            ..ExecOptions::default()
+        }
+    }
+
+    /// The row-at-a-time reference configuration (single-threaded,
+    /// non-vectorized): the baseline the equivalence suites and the
+    /// trajectory benches compare against.
+    pub fn row_reference() -> Self {
+        ExecOptions {
+            vectorized: false,
+            threads: 1,
+            cancel: None,
+        }
+    }
+
+    /// Returns these options with `cancel` replaced.
+    pub fn with_cancel(mut self, cancel: Arc<CancelToken>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
     /// The thread count this configuration resolves to (`0` ⇒ machine
     /// parallelism).
     pub fn effective_threads(&self) -> usize {

@@ -1,0 +1,45 @@
+//! The `recache-server` binary: boots the seeded demo dataset and
+//! serves the wire protocol until a SHUTDOWN frame.
+//!
+//! Configuration is environment-only (see [`ServerConfig::from_env`]):
+//! `RECACHE_ADDR` (default `127.0.0.1:0`), `RECACHE_MAX_RUNNING`,
+//! `RECACHE_MAX_QUEUED`, `RECACHE_THREADS`, `RECACHE_DEADLINE_MS`, plus
+//! `RECACHE_SF` / `RECACHE_SEED` for the dataset — the load driver
+//! regenerates the same data client-side from the same two numbers.
+//! Prints `recache-server listening on <addr>` once ready (the CI smoke
+//! job and the load driver parse this line for the ephemeral port).
+
+use recache_core::ReCache;
+use recache_server::{dataset, Server, ServerConfig};
+use std::sync::{Arc, OnceLock};
+
+/// The engine is process-global and built exactly once — reconnecting
+/// clients and every connection thread share one cache.
+static ENGINE: OnceLock<Arc<ReCache>> = OnceLock::new();
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let sf: f64 = env_parse("RECACHE_SF", 0.001);
+    let seed: u64 = env_parse("RECACHE_SEED", 42);
+    let session = ENGINE.get_or_init(|| Arc::new(dataset::serving_session(sf, seed)));
+    let config = ServerConfig::from_env();
+    let server = match Server::bind(config, Arc::clone(session)) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("recache-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("recache-server listening on {}", server.local_addr());
+    if let Err(e) = server.run() {
+        eprintln!("recache-server: {e}");
+        std::process::exit(1);
+    }
+    println!("recache-server drained and stopped");
+}

@@ -1,0 +1,67 @@
+//! Blocking client for the wire protocol (tests and the load driver).
+
+use crate::protocol::{
+    decode_response, encode_request, read_frame, write_frame, QueryReply, Request, Response,
+    StatsReply,
+};
+use recache_core::QueryRequest;
+use recache_types::{Error, Result};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a `recache-server`; requests run one at a time per
+/// connection (open several clients for concurrency).
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr).map_err(Error::Io)?;
+        stream.set_nodelay(true).map_err(Error::Io)?;
+        Ok(Client { stream })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response> {
+        write_frame(&mut self.stream, &encode_request(request)).map_err(Error::Io)?;
+        let payload = read_frame(&mut self.stream)
+            .map_err(Error::Io)?
+            .ok_or_else(|| Error::exec("server closed the connection mid-request"))?;
+        decode_response(&payload)
+    }
+
+    /// Executes a query, reconstructing typed errors (code + transience)
+    /// from error frames — `Err(Error::Overloaded)` here round-tripped
+    /// the wire and is still `is_transient()`.
+    pub fn query(&mut self, request: &QueryRequest) -> Result<QueryReply> {
+        match self.round_trip(&Request::Query(request.clone()))? {
+            Response::Result(reply) => Ok(reply),
+            Response::Error {
+                code,
+                transient,
+                message,
+            } => Err(Error::from_wire(code, transient, &message)),
+            _ => Err(Error::exec("unexpected response frame to a query")),
+        }
+    }
+
+    /// Snapshots server statistics.
+    pub fn stats(&mut self) -> Result<StatsReply> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            Response::Error {
+                code,
+                transient,
+                message,
+            } => Err(Error::from_wire(code, transient, &message)),
+            _ => Err(Error::exec("unexpected response frame to a stats probe")),
+        }
+    }
+
+    /// Asks the server to drain in-flight queries and stop.
+    pub fn shutdown_server(&mut self) -> Result<()> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            _ => Err(Error::exec("unexpected response frame to shutdown")),
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Server configuration from environment variables.
+
+use std::time::Duration;
+
+/// Everything the serving layer needs to boot, with `RECACHE_*`
+/// environment overrides so the CI smoke job and the load driver can
+/// shape the server without a config file.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`RECACHE_ADDR`, default `127.0.0.1:0` — an
+    /// ephemeral port the server prints on boot).
+    pub addr: String,
+    /// Queries executing at once (`RECACHE_MAX_RUNNING`, default = the
+    /// machine's parallelism).
+    pub max_running: usize,
+    /// Bounded admission queue depth beyond the running set
+    /// (`RECACHE_MAX_QUEUED`, default 16); anything past it is shed.
+    pub max_queued: usize,
+    /// Pool-wide thread budget divided across connections
+    /// (`RECACHE_THREADS`, default 0 = machine parallelism).
+    pub total_threads: usize,
+    /// Deadline imposed on requests that do not carry their own
+    /// (`RECACHE_DEADLINE_MS`, default none).
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_running: workpool::available_parallelism(),
+            max_queued: 16,
+            total_threads: 0,
+            default_deadline: None,
+        }
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
+    std::env::var(key).ok()?.parse().ok()
+}
+
+impl ServerConfig {
+    /// Defaults overridden by any `RECACHE_*` variables present.
+    pub fn from_env() -> Self {
+        let defaults = ServerConfig::default();
+        ServerConfig {
+            addr: std::env::var("RECACHE_ADDR").unwrap_or(defaults.addr),
+            max_running: env_parse("RECACHE_MAX_RUNNING").unwrap_or(defaults.max_running),
+            max_queued: env_parse("RECACHE_MAX_QUEUED").unwrap_or(defaults.max_queued),
+            total_threads: env_parse("RECACHE_THREADS").unwrap_or(defaults.total_threads),
+            default_deadline: env_parse::<u64>("RECACHE_DEADLINE_MS")
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis)
+                .or(defaults.default_deadline),
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The serving demo dataset and workload: seeded, so the server process
+//! and a remote load driver regenerate *identical* data and queries from
+//! `(sf, seed)` alone — the driver can verify wire results against local
+//! serial execution without shipping bytes.
+
+use recache_core::ReCache;
+use recache_data::gen::tpch;
+use recache_data::{csv, json};
+use recache_engine::sql::QuerySpec;
+use recache_types::Value;
+use recache_workload::{spam_mixed_workload, Domains, SpamMixConfig};
+
+/// CSV side of the mix.
+pub const CSV_TABLE: &str = "lineitem";
+/// JSON side of the mix (nested order→lineitems records).
+pub const JSON_TABLE: &str = "orderLineitems";
+
+/// A session with the mixed CSV/JSON serving tables registered.
+pub fn serving_session(sf: f64, seed: u64) -> ReCache {
+    let mut session = ReCache::builder().build();
+    let (_, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
+    let csv_schema = tpch::lineitem_schema();
+    session.register_csv_bytes(
+        CSV_TABLE,
+        csv::write_csv(&csv_schema, &lineitems),
+        csv_schema,
+    );
+    let records = tpch::gen_order_lineitems(sf, seed);
+    let json_schema = tpch::order_lineitems_schema();
+    session.register_json_bytes(
+        JSON_TABLE,
+        json::write_json(&json_schema, &records),
+        json_schema,
+    );
+    session
+}
+
+/// The mixed workload over [`serving_session`]'s tables: half CSV range
+/// aggregates, half JSON (some over nested attributes), deterministic in
+/// `(sf, seed, count)`.
+pub fn serving_workload(sf: f64, seed: u64, count: usize) -> Vec<QuerySpec> {
+    let (_, lineitems) = tpch::gen_orders_and_lineitems(sf, seed);
+    let csv_schema = tpch::lineitem_schema();
+    let csv_records: Vec<Value> = lineitems
+        .iter()
+        .map(|row| Value::Struct(row.clone()))
+        .collect();
+    let csv_domains = Domains::compute(&csv_schema, csv_records.iter());
+    let json_records = tpch::gen_order_lineitems(sf, seed);
+    let json_schema = tpch::order_lineitems_schema();
+    let json_domains = Domains::compute(&json_schema, json_records.iter());
+    let config = SpamMixConfig {
+        json_fraction: 0.5,
+        nested_fraction: 0.5,
+        // The two tables share no join key; keep the mix join-free.
+        join_fraction: 0.0,
+        ..SpamMixConfig::default()
+    };
+    spam_mixed_workload(
+        JSON_TABLE,
+        &json_domains,
+        CSV_TABLE,
+        &csv_domains,
+        count,
+        &config,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recache_core::QueryRequest;
+
+    #[test]
+    fn workload_is_deterministic_and_runnable() {
+        let sf = 0.0002;
+        let seed = 17;
+        let a = serving_workload(sf, seed, 8);
+        let b = serving_workload(sf, seed, 8);
+        assert_eq!(a, b, "same (sf, seed, count) must regenerate identically");
+        assert!(a.iter().any(|q| q.tables == [CSV_TABLE]));
+        assert!(a.iter().any(|q| q.tables == [JSON_TABLE]));
+        let session = serving_session(sf, seed);
+        for spec in &a {
+            session
+                .execute(&QueryRequest::spec(spec.clone()))
+                .expect("generated query must run on the generated session");
+        }
+    }
+}

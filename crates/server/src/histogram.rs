@@ -1,0 +1,113 @@
+//! Lock-free power-of-two latency histogram.
+//!
+//! Sixty-four buckets, bucket `i` covering `[2^(i-1), 2^i)` nanoseconds
+//! (bucket 0 holds zero). Recording is one relaxed atomic increment, so
+//! every connection thread shares one histogram without contention;
+//! quantiles are read as the upper bound of the bucket holding the
+//! requested rank (≤ 2× truncation error, plenty for tail *tracking* —
+//! the load driver computes exact client-side percentiles from raw
+//! samples).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared latency histogram (nanoseconds).
+pub struct Histogram {
+    buckets: [AtomicU64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn bucket_of(value_ns: u64) -> usize {
+        (64 - value_ns.leading_zeros()) as usize
+    }
+
+    /// Upper bound of bucket `i` in nanoseconds.
+    fn bound_of(bucket: usize) -> u64 {
+        if bucket == 0 {
+            0
+        } else {
+            1u64 << (bucket.min(63))
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value_ns: u64) {
+        self.buckets[Self::bucket_of(value_ns).min(63)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) as the holding bucket's upper
+    /// bound; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return Self::bound_of(i);
+            }
+        }
+        Self::bound_of(63)
+    }
+
+    /// Non-empty `(bucket upper bound ns, count)` pairs, for the wire.
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let count = b.load(Ordering::Relaxed);
+                (count > 0).then(|| (Self::bound_of(i), count))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_quantiles_and_snapshot() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.99), 0, "empty histogram reads zero");
+        for v in [0, 1, 3, 100, 1_000, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        // The p100 lands in 1_000_000's bucket: bound 2^20.
+        assert_eq!(h.quantile(1.0), 1 << 20);
+        // The median lands at 3's bucket (samples 0,1,3 below it).
+        assert_eq!(h.quantile(0.5), 4);
+        let snapshot = h.snapshot();
+        assert_eq!(snapshot.iter().map(|&(_, c)| c).sum::<u64>(), 6);
+        assert!(snapshot.iter().all(|&(_, c)| c > 0));
+        // u64::MAX clamps into the last bucket instead of panicking.
+        h.record(u64::MAX);
+        assert_eq!(h.quantile(1.0), 1 << 63);
+    }
+}

@@ -1,0 +1,28 @@
+//! The ReCache serving layer: a TCP front end over
+//! [`recache_core::ReCache`].
+//!
+//! * [`protocol`] — the length-prefixed binary wire protocol: a
+//!   [`QueryRequest`](recache_core::QueryRequest) frame in (SQL or
+//!   serialized spec, options, deadline, tag), result rows + telemetry
+//!   or a typed error frame (stable code + transience) out.
+//! * [`server`] — thread-per-connection serving with bounded admission
+//!   (shed-on-overload), cost-weighted thread shares across
+//!   connections, per-query deadline propagation into the engine's
+//!   cancellation machinery, and graceful drain on shutdown.
+//! * [`client`] — a blocking client used by the integration tests and
+//!   the `recache-bench` open-loop load driver.
+//! * [`dataset`] — the seeded demo dataset + workload shared by the
+//!   server binary and the load driver, so results verify end to end.
+
+pub mod client;
+pub mod config;
+pub mod dataset;
+pub mod histogram;
+pub mod protocol;
+pub mod server;
+
+pub use client::Client;
+pub use config::ServerConfig;
+pub use histogram::Histogram;
+pub use protocol::{QueryReply, Request, Response, StatsReply};
+pub use server::{Server, ServerHandle};

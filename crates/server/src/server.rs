@@ -1,0 +1,298 @@
+//! The TCP front end: thread-per-connection serving with bounded
+//! admission, deadline propagation, and graceful drain.
+//!
+//! Every connection gets an OS thread (connection counts here are small
+//! — this is an analytics engine, not a web server) and a
+//! [`StreamLease`] on the shared [`Scheduler`] cost board, so concurrent
+//! connections split the machine's thread budget by in-flight scan cost
+//! exactly like in-process streams do. Each query takes an
+//! [`AdmissionGate`] permit first: the gate bounds running + queued
+//! requests and sheds the excess with a typed
+//! [`Error::Overloaded`](recache_types::Error) frame, so overload
+//! degrades into fast retryable errors instead of unbounded buffering.
+//!
+//! Shutdown (the `SHUTDOWN` frame, or [`ServerHandle::shutdown`]) flips
+//! one flag: the accept loop stops accepting, every connection finishes
+//! the request it is executing (responses are written before the flag is
+//! re-checked), and [`Server::run`] joins all connection threads before
+//! returning — in-flight queries drain, nothing is aborted mid-write.
+
+use crate::config::ServerConfig;
+use crate::histogram::Histogram;
+use crate::protocol::{self, read_frame, write_frame, QueryReply, Request, Response, StatsReply};
+use recache_core::{AdmissionGate, QueryBody, QueryRequest, ReCache, Scheduler, StreamLease};
+use recache_engine::exec::ExecOptions;
+use recache_engine::sql::parse_query;
+use recache_types::{Error, Result};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often blocked I/O loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    session: Arc<ReCache>,
+    scheduler: Scheduler,
+    gate: AdmissionGate,
+    latency: Histogram,
+    shutdown: AtomicBool,
+    config: ServerConfig,
+}
+
+impl Shared {
+    /// Executes one query request end to end: deadline armed (queue wait
+    /// counts against it), permit taken, thread share negotiated,
+    /// engine invoked.
+    fn run_query(&self, lease: &StreamLease<'_>, request: QueryRequest) -> Result<QueryReply> {
+        let request = match (request.get_deadline(), self.config.default_deadline) {
+            (None, Some(default)) => request.deadline(default),
+            _ => request,
+        };
+        // Resolve options now so the deadline clock starts before the
+        // admission wait — a request queued past its deadline times out
+        // in line instead of executing late.
+        let options = request.resolved_options();
+        let spec = match request.body() {
+            QueryBody::Sql(text) => parse_query(text)?,
+            QueryBody::Spec(spec) => spec.clone(),
+        };
+        let permit = self.gate.admit(options.cancel.as_deref())?;
+        // `threads == 0` means "let the server decide": negotiate a
+        // cost-weighted share against the other live connections. An
+        // explicit client budget is honored as-is.
+        let threads = if options.threads == 0 {
+            lease.negotiate(self.session.estimate_scan_cost(&spec))
+        } else {
+            options.threads
+        };
+        let mut exec = QueryRequest::spec(spec).options(ExecOptions {
+            vectorized: options.vectorized,
+            threads,
+            cancel: options.cancel,
+        });
+        if let Some(tag) = request.get_tag() {
+            exec = exec.tag(tag);
+        }
+        let result = self.session.execute(&exec);
+        lease.clear();
+        drop(permit);
+        result.map(|response| QueryReply::from_response(&response))
+    }
+
+    fn stats(&self) -> StatsReply {
+        let c = self.session.cache().counters();
+        let counters = vec![
+            ("admissions".to_owned(), c.admissions),
+            ("evictions".to_owned(), c.evictions),
+            ("bytes_evicted".to_owned(), c.bytes_evicted),
+            ("hits_exact".to_owned(), c.hits_exact),
+            ("hits_subsuming".to_owned(), c.hits_subsuming),
+            ("misses".to_owned(), c.misses),
+            ("coalesced".to_owned(), c.coalesced),
+            ("removals".to_owned(), c.removals),
+            ("failed_scans".to_owned(), c.failed_scans),
+            ("retried_chunks".to_owned(), c.retried_chunks),
+            ("timeouts".to_owned(), c.timeouts),
+            ("degraded_fallbacks".to_owned(), c.degraded_fallbacks),
+            ("leader_failovers".to_owned(), c.leader_failovers),
+        ];
+        StatsReply {
+            queries_run: self.session.queries_run(),
+            counters,
+            admission: self.gate.stats(),
+            latency_buckets: self.latency.snapshot(),
+        }
+    }
+
+    /// Serves one connection until EOF, error, or shutdown. Returns
+    /// whether this connection requested server shutdown.
+    fn serve_connection(&self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        // A finite read timeout turns the blocking read loop into a
+        // shutdown poll: between frames the thread wakes every POLL to
+        // check the flag.
+        let _ = stream.set_read_timeout(Some(POLL));
+        let mut reader = std::io::BufReader::new(match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => return,
+        });
+        let mut writer = std::io::BufWriter::new(stream);
+        let lease = self.scheduler.register_stream();
+        loop {
+            let payload = match read_frame(&mut reader) {
+                Ok(Some(payload)) => payload,
+                // Peer closed cleanly.
+                Ok(None) => return,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(_) => return,
+            };
+            let response = match protocol::decode_request(&payload) {
+                Err(err) => Response::from_error(&err),
+                Ok(Request::Stats) => Response::Stats(self.stats()),
+                Ok(Request::Shutdown) => {
+                    self.shutdown.store(true, Ordering::Release);
+                    let _ = write_frame(&mut writer, &protocol::encode_response(&Response::Ok));
+                    return;
+                }
+                Ok(Request::Query(request)) => {
+                    let started = Instant::now();
+                    match self.run_query(&lease, request) {
+                        Ok(reply) => {
+                            self.latency.record(started.elapsed().as_nanos() as u64);
+                            Response::Result(reply)
+                        }
+                        Err(err) => Response::from_error(&err),
+                    }
+                }
+            };
+            // The in-flight response is always written before shutdown
+            // is honored: drain means every accepted request answers.
+            if write_frame(&mut writer, &protocol::encode_response(&response)).is_err() {
+                return;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+        }
+    }
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the listen socket and wires the serving state around an
+    /// existing session (shared with in-process callers and tests).
+    pub fn bind(config: ServerConfig, session: Arc<ReCache>) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr).map_err(Error::Io)?;
+        let local_addr = listener.local_addr().map_err(Error::Io)?;
+        listener.set_nonblocking(true).map_err(Error::Io)?;
+        let shared = Arc::new(Shared {
+            session,
+            scheduler: Scheduler::new(config.total_threads),
+            gate: AdmissionGate::new(config.max_running, config.max_queued),
+            latency: Histogram::new(),
+            shutdown: AtomicBool::new(false),
+            config,
+        });
+        Ok(Server {
+            shared,
+            listener,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` configs).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared session (tests install fault plans through this).
+    pub fn session(&self) -> Arc<ReCache> {
+        Arc::clone(&self.shared.session)
+    }
+
+    /// Runs the accept loop until shutdown, then joins every connection
+    /// thread so in-flight queries drain before returning.
+    pub fn run(self) -> Result<()> {
+        let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.shutdown.load(Ordering::Acquire) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&self.shared);
+                    connections.push(std::thread::spawn(move || {
+                        shared.serve_connection(stream);
+                    }));
+                    // Reap finished connections so a long-lived server
+                    // doesn't accumulate dead handles.
+                    connections.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(Error::Io(e)),
+            }
+        }
+        // Drain: every live connection finishes its in-flight request
+        // (the per-connection loop re-checks the flag only after the
+        // response is on the wire).
+        for handle in connections {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning a handle for
+    /// shutdown and joining (tests, and the load driver's smoke mode).
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr;
+        let shared = Arc::clone(&self.shared);
+        let join = std::thread::spawn(move || self.run());
+        ServerHandle {
+            addr,
+            shared,
+            join: Some(join),
+        }
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    join: Option<std::thread::JoinHandle<Result<()>>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether shutdown has been requested (by a frame or this handle).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Requests shutdown and blocks until every in-flight query drained
+    /// and the accept loop exited.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.shared.shutdown.store(true, Ordering::Release);
+        match self.join.take() {
+            Some(join) => join
+                .join()
+                .map_err(|_| Error::exec("server thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+
+    /// Blocks until the server stops on its own (a `SHUTDOWN` frame).
+    pub fn wait(mut self) -> Result<()> {
+        match self.join.take() {
+            Some(join) => join
+                .join()
+                .map_err(|_| Error::exec("server thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}

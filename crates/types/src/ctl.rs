@@ -28,6 +28,11 @@ use std::time::{Duration, Instant};
 pub struct CancelToken {
     cancelled: std::sync::atomic::AtomicBool,
     deadline: Option<Instant>,
+    /// An outer token this one also honors: a child trips when either
+    /// its own flag/deadline trips or the parent's does. Lets a
+    /// per-query deadline compose with a caller-held cancel handle
+    /// without merging their lifetimes.
+    parent: Option<Arc<CancelToken>>,
 }
 
 impl CancelToken {
@@ -41,12 +46,25 @@ impl CancelToken {
         CancelToken {
             cancelled: std::sync::atomic::AtomicBool::new(false),
             deadline: Some(deadline),
+            parent: None,
         }
     }
 
     /// A token that trips `timeout` from now.
     pub fn with_timeout(timeout: Duration) -> Self {
         CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// A child token that trips `timeout` from now *or* whenever
+    /// `parent` trips, whichever comes first. The parent is polled on
+    /// every [`check`](Self::check), so cancelling it cancels every
+    /// child; the child's own deadline never propagates upward.
+    pub fn child_with_timeout(parent: Arc<CancelToken>, timeout: Duration) -> Self {
+        CancelToken {
+            cancelled: std::sync::atomic::AtomicBool::new(false),
+            deadline: Some(Instant::now() + timeout),
+            parent: Some(parent),
+        }
     }
 
     /// Requests cancellation; every subsequent [`check`](Self::check)
@@ -67,8 +85,13 @@ impl CancelToken {
     }
 
     /// Polls the token: `Err(Cancelled)` after an explicit cancel,
-    /// `Err(Timeout)` past the deadline, `Ok(())` otherwise.
+    /// `Err(Timeout)` past the deadline, `Ok(())` otherwise. A linked
+    /// parent token is polled too, and its verdict wins (so an outer
+    /// cancel surfaces as `Cancelled` even inside a child deadline).
     pub fn check(&self) -> Result<()> {
+        if let Some(parent) = &self.parent {
+            parent.check()?;
+        }
         if self.is_cancelled() {
             return Err(Error::Cancelled);
         }
@@ -204,6 +227,21 @@ mod tests {
         let token = CancelToken::with_timeout(Duration::from_secs(3600));
         assert!(token.check().is_ok());
         assert!(token.deadline().is_some());
+    }
+
+    #[test]
+    fn child_token_honors_parent_and_own_deadline() {
+        let parent = Arc::new(CancelToken::new());
+        let child = CancelToken::child_with_timeout(Arc::clone(&parent), Duration::from_secs(3600));
+        assert!(child.check().is_ok());
+        parent.cancel();
+        assert!(matches!(child.check(), Err(Error::Cancelled)));
+
+        let parent = Arc::new(CancelToken::new());
+        let expired = CancelToken::child_with_timeout(Arc::clone(&parent), Duration::ZERO);
+        assert!(matches!(expired.check(), Err(Error::Timeout)));
+        // The child's deadline never propagates upward.
+        assert!(parent.check().is_ok());
     }
 
     #[test]

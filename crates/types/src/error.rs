@@ -20,6 +20,10 @@ pub enum Error {
     Timeout,
     /// The query was cancelled cooperatively via its cancel token.
     Cancelled,
+    /// The serving layer's bounded admission queue was full and the
+    /// request was shed instead of buffered. Retryable by definition:
+    /// overload clears as in-flight queries drain.
+    Overloaded,
 }
 
 impl Error {
@@ -56,11 +60,13 @@ impl Error {
 
     /// Whether retrying the failed operation could plausibly succeed.
     ///
-    /// Only I/O errors are retryable, and only the kinds the operating
+    /// I/O errors are retryable only for the kinds the operating
     /// system reports for conditions that clear on their own:
     /// interrupted calls, backpressure, timeouts, and short reads (a
     /// read that returned fewer bytes than expected may complete on a
-    /// second attempt). Parse/schema/plan errors are deterministic and
+    /// second attempt). `Overloaded` is transient by definition — the
+    /// admission queue drains as in-flight queries finish.
+    /// Parse/schema/plan errors are deterministic and
     /// `Timeout`/`Cancelled` are final by definition.
     pub fn is_transient(&self) -> bool {
         use std::io::ErrorKind;
@@ -72,7 +78,54 @@ impl Error {
                     | ErrorKind::TimedOut
                     | ErrorKind::UnexpectedEof
             ),
+            Error::Overloaded => true,
             _ => false,
+        }
+    }
+
+    /// Stable numeric code for this error's variant, for wire protocols
+    /// and logs. Codes are append-only: a variant's code never changes
+    /// and removed codes are never reused.
+    pub fn code(&self) -> u16 {
+        match self {
+            Error::Parse { .. } => 1,
+            Error::Schema(_) => 2,
+            Error::Plan(_) => 3,
+            Error::Exec(_) => 4,
+            Error::Io(_) => 5,
+            Error::Timeout => 6,
+            Error::Cancelled => 7,
+            Error::Overloaded => 8,
+        }
+    }
+
+    /// Reconstructs a typed error from its wire form: the stable
+    /// [`code`](Self::code), the sender's [`is_transient`](Self::is_transient)
+    /// flag, and the rendered message. The byte offset of `Parse` and
+    /// the source chain of `Io` are not preserved — only the variant,
+    /// the transience class, and the text. An unknown code (from a
+    /// newer peer) degrades to `Exec` so clients keep a typed error.
+    pub fn from_wire(code: u16, transient: bool, msg: &str) -> Self {
+        use std::io::ErrorKind;
+        match code {
+            1 => Error::parse(msg),
+            2 => Error::schema(msg),
+            3 => Error::plan(msg),
+            4 => Error::exec(msg),
+            // The local kind is chosen purely to round-trip the
+            // transience class through `is_transient`.
+            5 => Error::Io(std::io::Error::new(
+                if transient {
+                    ErrorKind::Interrupted
+                } else {
+                    ErrorKind::InvalidData
+                },
+                msg.to_owned(),
+            )),
+            6 => Error::Timeout,
+            7 => Error::Cancelled,
+            8 => Error::Overloaded,
+            other => Error::exec(format!("remote error (unknown code {other}): {msg}")),
         }
     }
 }
@@ -88,6 +141,7 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "I/O error: {e}"),
             Error::Timeout => write!(f, "query deadline exceeded"),
             Error::Cancelled => write!(f, "query cancelled"),
+            Error::Overloaded => write!(f, "server overloaded: admission queue full"),
         }
     }
 }
@@ -108,6 +162,7 @@ impl Clone for Error {
             Error::Io(e) => Error::Io(std::io::Error::new(e.kind(), e.to_string())),
             Error::Timeout => Error::Timeout,
             Error::Cancelled => Error::Cancelled,
+            Error::Overloaded => Error::Overloaded,
         }
     }
 }
@@ -165,6 +220,52 @@ mod tests {
         assert!(!Error::parse("bad token").is_transient());
         assert!(!Error::Timeout.is_transient());
         assert!(!Error::Cancelled.is_transient());
+    }
+
+    #[test]
+    fn codes_are_stable_and_cover_every_variant() {
+        let variants = [
+            (Error::parse("x"), 1),
+            (Error::schema("x"), 2),
+            (Error::plan("x"), 3),
+            (Error::exec("x"), 4),
+            (
+                Error::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "x")),
+                5,
+            ),
+            (Error::Timeout, 6),
+            (Error::Cancelled, 7),
+            (Error::Overloaded, 8),
+        ];
+        for (err, code) in variants {
+            assert_eq!(err.code(), code, "{err}");
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_variant_and_transience() {
+        use std::io::{Error as IoError, ErrorKind};
+        let cases = [
+            Error::parse("bad token"),
+            Error::schema("no field"),
+            Error::plan("no table"),
+            Error::exec("boom"),
+            Error::Io(IoError::new(ErrorKind::Interrupted, "eintr")),
+            Error::Io(IoError::new(ErrorKind::InvalidData, "torn page")),
+            Error::Timeout,
+            Error::Cancelled,
+            Error::Overloaded,
+        ];
+        for err in cases {
+            let back = Error::from_wire(err.code(), err.is_transient(), &err.to_string());
+            assert_eq!(back.code(), err.code(), "{err}");
+            assert_eq!(back.is_transient(), err.is_transient(), "{err}");
+        }
+        assert!(Error::Overloaded.is_transient());
+        // Unknown codes from a newer peer degrade to a typed Exec error.
+        let unknown = Error::from_wire(999, false, "future variant");
+        assert_eq!(unknown.code(), 4);
+        assert!(unknown.to_string().contains("999"));
     }
 
     #[test]

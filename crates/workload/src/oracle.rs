@@ -149,7 +149,9 @@ mod tests {
         let oracle = WorkloadOracle::build(&session, &workload).unwrap();
         session.set_oracle(Box::new(oracle));
         for spec in &workload {
-            session.run(spec).unwrap();
+            session
+                .execute(&recache_core::QueryRequest::spec(spec.clone()))
+                .unwrap();
         }
         assert!(session.cache().counters().hits_exact > 0);
     }

@@ -326,7 +326,7 @@ mod tests {
         let specs = tpch_spj_workload(&domains, 15, &SpjConfig::default(), 1);
         for spec in &specs {
             session
-                .run(spec)
+                .execute(&recache_core::QueryRequest::spec(spec.clone()))
                 .unwrap_or_else(|e| panic!("query failed: {e} — {}", crate::spec_to_sql(spec)));
         }
         assert!(session.cache().counters().admissions > 0);

@@ -10,7 +10,7 @@ use recache::data::csv;
 use recache::data::gen::tpch;
 use recache::types::Value;
 use recache::workload::{tpch_spj_workload, Domains, SpjConfig, WorkloadOracle};
-use recache::{Admission, Eviction, ReCache};
+use recache::{Admission, Eviction, QueryRequest, ReCache};
 use std::collections::HashMap;
 
 fn build_session(
@@ -88,7 +88,12 @@ fn main() {
         }
         let mut total = 0.0;
         for spec in &specs {
-            total += session.run(spec).expect("query").stats.total_ns as f64 / 1e9;
+            total += session
+                .execute(&QueryRequest::spec(spec.clone()))
+                .expect("query")
+                .stats
+                .total_ns as f64
+                / 1e9;
         }
         let c = session.cache().counters();
         println!(

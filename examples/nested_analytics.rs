@@ -9,13 +9,15 @@
 use recache::data::gen::tpch;
 use recache::data::json;
 use recache::workload::{spa_workload, Domains, PoolPhase, SpaConfig};
-use recache::{Admission, LayoutPolicy, ReCache};
+use recache::{Admission, LayoutPolicy, QueryRequest, ReCache};
 
 fn run_phase(session: &mut ReCache, specs: &[recache::sql::QuerySpec], label: &str) -> f64 {
     let mut total = 0.0;
     let mut switches = Vec::new();
     for spec in specs {
-        let result = session.run(spec).expect("query");
+        let result = session
+            .execute(&QueryRequest::spec(spec.clone()))
+            .expect("query");
         total += result.stats.total_ns as f64 / 1e9;
         for t in &result.stats.tables {
             if let Some((from, to)) = t.layout_switch {
@@ -53,7 +55,7 @@ fn main() {
     // Pre-populate the cache with the whole source so every query below
     // exercises the cached item (as the paper's layout experiments do).
     session
-        .sql("SELECT count(*) FROM orderLineitems")
+        .execute(&QueryRequest::sql("SELECT count(*) FROM orderLineitems"))
         .expect("warmup");
     let entry_layout = || -> String {
         // The warmed entry is the only unconstrained one.

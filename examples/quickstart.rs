@@ -6,7 +6,7 @@
 
 use recache::data::gen::tpch;
 use recache::data::{csv, json};
-use recache::{Admission, Eviction, ReCache};
+use recache::{Admission, Eviction, QueryRequest, ReCache};
 
 fn main() {
     // A session with a 64 MiB cache, ReCache's cost-based eviction and
@@ -33,12 +33,12 @@ fn main() {
     let q = "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 30";
     // 1. Cold: raw scan; the reactive admission policy judges eager
     //    caching too expensive for a one-off and keeps only offsets.
-    let cold = session.sql(q).expect("query");
+    let cold = session.execute(&QueryRequest::sql(q)).expect("query");
     // 2. First reuse: the lazy entry proves useful and is upgraded to a
     //    fully materialized store (pays the parse once, here).
-    let upgrade = session.sql(q).expect("query");
+    let upgrade = session.execute(&QueryRequest::sql(q)).expect("query");
     // 3. Steady state: pure in-memory scan.
-    let hot = session.sql(q).expect("query");
+    let hot = session.execute(&QueryRequest::sql(q)).expect("query");
     println!(
         "   cold (raw scan, lazy admit): {:>9.3} ms  (hit: {})",
         cold.stats.total_ns as f64 / 1e6,
@@ -59,7 +59,9 @@ fn main() {
 
     println!("\n== subsumption: a narrower range is answered from the wider cache");
     let narrow = session
-        .sql("SELECT count(*) FROM lineitem WHERE l_quantity >= 40")
+        .execute(&QueryRequest::sql(
+            "SELECT count(*) FROM lineitem WHERE l_quantity >= 40",
+        ))
         .expect("query");
     println!(
         "   l_quantity >= 40 -> {} rows matched, served from cache: {}",
@@ -69,9 +71,9 @@ fn main() {
     println!("\n== nested JSON with automatic cache layout");
     let q = "SELECT avg(lineitems.l_extendedprice) FROM orderLineitems \
              WHERE lineitems.l_quantity BETWEEN 10 AND 40";
-    let first = session.sql(q).expect("query");
-    let _upgrade = session.sql(q).expect("query"); // may pay the eager upgrade
-    let hot = session.sql(q).expect("query");
+    let first = session.execute(&QueryRequest::sql(q)).expect("query");
+    let _upgrade = session.execute(&QueryRequest::sql(q)).expect("query"); // may pay the eager upgrade
+    let hot = session.execute(&QueryRequest::sql(q)).expect("query");
     println!(
         "   cold: {:.3} ms, hot: {:.3} ms (hit: {}) — {:.1}x",
         first.stats.total_ns as f64 / 1e6,
@@ -84,7 +86,7 @@ fn main() {
     let q = "SELECT count(*), max(o_totalprice) FROM orders \
              JOIN lineitem ON orders.o_orderkey = lineitem.l_orderkey \
              WHERE o_totalprice > 50000 AND l_quantity >= 25";
-    let result = session.sql(q).expect("query");
+    let result = session.execute(&QueryRequest::sql(q)).expect("query");
     println!(
         "   joined rows: {}, max price: {}",
         result.rows_aggregated, result.rows[1]

@@ -10,7 +10,7 @@ use recache::data::gen::spam;
 use recache::data::{csv, json};
 use recache::types::Value;
 use recache::workload::{spam_mixed_workload, Domains, SpamMixConfig};
-use recache::{Admission, Eviction, ReCache};
+use recache::{Admission, Eviction, QueryRequest, ReCache};
 
 fn main() {
     let n = 3_000;
@@ -40,7 +40,7 @@ fn main() {
         "SELECT count(*) FROM spam_json JOIN spam_csv ON spam_json.id = spam_csv.id \
          WHERE spam_score >= 5 AND confidence >= 0.5",
     ] {
-        let r = session.sql(q).expect("query");
+        let r = session.execute(&QueryRequest::sql(q)).expect("query");
         println!(
             "   {:>8.2} ms  hit={:5}  {}",
             r.stats.total_ns as f64 / 1e6,
@@ -68,7 +68,9 @@ fn main() {
     let mut total = 0.0;
     let mut hits = 0usize;
     for spec in &specs {
-        let r = session.run(spec).expect("query");
+        let r = session
+            .execute(&QueryRequest::spec(spec.clone()))
+            .expect("query");
         total += r.stats.total_ns as f64 / 1e9;
         hits += usize::from(r.stats.cache_hit);
     }

@@ -20,7 +20,7 @@
 //! ## Quickstart
 //!
 //! ```
-//! use recache::{Admission, Eviction, ReCache};
+//! use recache::{Admission, Eviction, QueryRequest, ReCache};
 //! use recache::data::gen::tpch;
 //! use recache::data::csv;
 //!
@@ -39,8 +39,8 @@
 //! // First run scans the raw file and caches the selection result;
 //! // repeats (and narrower ranges) are served from memory.
 //! let q = "SELECT sum(l_extendedprice), count(*) FROM lineitem WHERE l_quantity >= 30";
-//! let cold = session.sql(q).unwrap();
-//! let warm = session.sql(q).unwrap();
+//! let cold = session.execute(&QueryRequest::sql(q)).unwrap();
+//! let warm = session.execute(&QueryRequest::sql(q)).unwrap();
 //! assert_eq!(cold.rows, warm.rows);
 //! assert!(warm.stats.cache_hit);
 //! ```

@@ -21,7 +21,7 @@ use recache::engine::exec::ExecOptions;
 use recache::sql::{parse_query, QuerySpec};
 use recache::types::{CancelToken, Error, Schema, Value};
 use recache::workload::split_round_robin;
-use recache::{ReCache, Scheduler};
+use recache::{QueryRequest, ReCache, Scheduler};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -104,7 +104,13 @@ fn reference_rows(format: FileFormat) -> Vec<Vec<Value>> {
     let clean = lineitem_session(format);
     chaos_specs()
         .iter()
-        .map(|spec| clean.run(spec).unwrap().rows)
+        .map(|spec| {
+            clean
+                .execute(&QueryRequest::spec(spec.clone()))
+                .unwrap()
+                .rows
+                .clone()
+        })
         .collect()
 }
 
@@ -190,7 +196,9 @@ fn chaos_matrix_returns_clean_results_or_typed_errors() {
                             cancel: None,
                         };
                         for (spec, expected) in specs.iter().zip(&reference) {
-                            let outcome = session.run_with(spec, &options).map(|r| r.rows);
+                            let outcome = session
+                                .execute(&QueryRequest::spec(spec.clone()).options(options.clone()))
+                                .map(|r| r.rows.clone());
                             assert_clean_or_typed(&outcome, expected, &context);
                         }
                     } else {
@@ -255,7 +263,11 @@ fn transient_faults_are_absorbed_by_retry() {
         ));
         assert!(session.set_retry_policy("lineitem", generous));
         for (spec, expected) in specs.iter().zip(&reference) {
-            let rows = session.run_with(spec, &options).unwrap().rows;
+            let rows = session
+                .execute(&QueryRequest::spec(spec.clone()).options(options.clone()))
+                .unwrap()
+                .rows
+                .clone();
             assert_eq!(&rows, expected, "retried query diverged from clean result");
         }
         let counters = session.cache().counters();
@@ -285,7 +297,9 @@ fn persistent_faults_surface_typed_io_errors() {
     ));
     assert!(session.set_retry_policy("lineitem", CHAOS_RETRY));
     for spec in &specs {
-        let err = session.run(spec).unwrap_err();
+        let err = session
+            .execute(&QueryRequest::spec(spec.clone()))
+            .unwrap_err();
         assert!(
             matches!(err, Error::Io(_)),
             "persistent fault must surface as Io, got: {err}"
@@ -325,7 +339,9 @@ fn degraded_fallback_completes_on_batched_scan_faults() {
         threads: 2,
         cancel: None,
     };
-    let result = session.run_with(&specs[0], &options).unwrap();
+    let result = session
+        .execute(&QueryRequest::spec(specs[0].clone()).options(options.clone()))
+        .unwrap();
     assert_eq!(
         result.rows, reference[0],
         "degraded fallback must reproduce the fault-free result"
@@ -354,7 +370,11 @@ fn deadlines_and_cancellation_return_typed_errors() {
 
     // An already-expired deadline fails before any scan work.
     let err = session
-        .run_with_timeout(&specs[0], &options, Duration::ZERO)
+        .execute(
+            &QueryRequest::spec(specs[0].clone())
+                .options(options.clone())
+                .deadline(Duration::ZERO),
+        )
         .unwrap_err();
     assert!(matches!(err, Error::Timeout), "got: {err}");
     assert_eq!(session.cache().counters().timeouts, 1);
@@ -366,7 +386,9 @@ fn deadlines_and_cancellation_return_typed_errors() {
         cancel: Some(cancelled),
         ..options.clone()
     };
-    let err = session.run_with(&specs[0], &cancel_options).unwrap_err();
+    let err = session
+        .execute(&QueryRequest::spec(specs[0].clone()).options(cancel_options))
+        .unwrap_err();
     assert!(matches!(err, Error::Cancelled), "got: {err}");
 
     // Injected latency spikes push execution past a short deadline.
@@ -375,7 +397,11 @@ fn deadlines_and_cancellation_return_typed_errors() {
         Some(FaultPlan::new(fault_seed()).latency(1.0, Duration::from_millis(30)))
     ));
     let err = session
-        .run_with_timeout(&specs[0], &options, Duration::from_millis(5))
+        .execute(
+            &QueryRequest::spec(specs[0].clone())
+                .options(options.clone())
+                .deadline(Duration::from_millis(5)),
+        )
         .unwrap_err();
     assert!(matches!(err, Error::Timeout), "got: {err}");
 
@@ -383,7 +409,11 @@ fn deadlines_and_cancellation_return_typed_errors() {
     // completes with the fault-free result.
     assert!(session.set_fault_plan("lineitem", None));
     let result = session
-        .run_with_timeout(&specs[0], &options, Duration::from_secs(60))
+        .execute(
+            &QueryRequest::spec(specs[0].clone())
+                .options(options.clone())
+                .deadline(Duration::from_secs(60)),
+        )
         .unwrap();
     assert_eq!(result.rows, reference[0]);
     assert_registry_invariants(&session, "deadlines");
@@ -422,7 +452,13 @@ fn panic_faults_keep_the_registry_consistent() {
     // re-run the workload clean.
     assert!(session.set_fault_plan("lineitem", None));
     for (spec, expected) in specs.iter().zip(&reference) {
-        assert_eq!(&session.run(spec).unwrap().rows, expected);
+        assert_eq!(
+            &session
+                .execute(&QueryRequest::spec(spec.clone()))
+                .unwrap()
+                .rows,
+            expected
+        );
     }
     assert_registry_invariants(&session, "panic-faults/recovered");
 }

@@ -20,7 +20,7 @@ use recache::workload::{
     seeded_turns, spa_workload, split_round_robin, tpch_spj_workload, Domains, PoolPhase,
     SpaConfig, SpjConfig,
 };
-use recache::{ReCache, Scheduler};
+use recache::{QueryRequest, ReCache, Scheduler};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
@@ -81,7 +81,13 @@ fn concurrent_replay_matches_serial() {
     let specs = mixed_spa_spj(&domains, 32, 7);
     let serial: Vec<Vec<Value>> = specs
         .iter()
-        .map(|s| serial_session.run(s).unwrap().rows)
+        .map(|s| {
+            serial_session
+                .execute(&QueryRequest::spec(s.clone()))
+                .unwrap()
+                .rows
+                .clone()
+        })
         .collect();
 
     let (shared, _) = tpch_session(sf, 7);
@@ -117,14 +123,18 @@ fn single_flight_coalesces_duplicate_scans() {
         let session = &session;
         let expected = {
             let (baseline, _) = tpch_session(0.0008, 11);
-            baseline.sql(q).unwrap().rows
+            baseline
+                .execute(&QueryRequest::sql(q))
+                .unwrap()
+                .rows
+                .clone()
         };
         let barrier = Barrier::new(sessions);
         std::thread::scope(|scope| {
             for _ in 0..sessions {
                 scope.spawn(|| {
                     barrier.wait();
-                    let result = session.sql(q).unwrap();
+                    let result = session.execute(&QueryRequest::sql(q)).unwrap();
                     assert_eq!(result.rows, expected);
                 });
             }
@@ -197,7 +207,13 @@ fn mixed_csv_json_replay_matches_serial() {
     let serial_session = build();
     let serial: Vec<Vec<Value>> = specs
         .iter()
-        .map(|s| serial_session.run(s).unwrap().rows)
+        .map(|s| {
+            serial_session
+                .execute(&QueryRequest::spec(s.clone()))
+                .unwrap()
+                .rows
+                .clone()
+        })
         .collect();
     // The two formats are copies of one table: twin queries must agree.
     for (i, pair) in serial.chunks(2).enumerate() {
@@ -237,14 +253,18 @@ fn mixed_csv_json_replay_matches_serial() {
     let fresh = build();
     let expected = {
         let baseline = build();
-        baseline.sql(q).unwrap().rows
+        baseline
+            .execute(&QueryRequest::sql(q))
+            .unwrap()
+            .rows
+            .clone()
     };
     let barrier = Barrier::new(sessions);
     std::thread::scope(|scope| {
         for _ in 0..sessions {
             scope.spawn(|| {
                 barrier.wait();
-                assert_eq!(fresh.sql(q).unwrap().rows, expected);
+                assert_eq!(fresh.execute(&QueryRequest::sql(q)).unwrap().rows, expected);
             });
         }
     });

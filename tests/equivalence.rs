@@ -9,7 +9,7 @@ use recache::workload::{
     mixed_spa_workload, spa_workload, spam_mixed_workload, tpch_spj_workload, Domains, PoolPhase,
     SpaConfig, SpamMixConfig, SpjConfig,
 };
-use recache::{Admission, Eviction, LayoutPolicy, ReCache, ReCacheBuilder};
+use recache::{Admission, Eviction, LayoutPolicy, QueryRequest, ReCache, ReCacheBuilder};
 use std::collections::HashMap;
 
 fn register_nested(session: &mut ReCache, sf: f64, seed: u64) -> Domains {
@@ -67,7 +67,13 @@ fn assert_all_configs_agree(
         register(&mut session);
         let results: Vec<Vec<Value>> = specs
             .iter()
-            .map(|spec| session.run(spec).expect("query").rows)
+            .map(|spec| {
+                session
+                    .execute(&QueryRequest::spec(spec.clone()))
+                    .expect("query")
+                    .rows
+                    .clone()
+            })
             .collect();
         match &reference {
             None => reference = Some(results),

@@ -12,7 +12,7 @@ use recache::types::Value;
 use recache::workload::{
     spa_workload, tpch_spj_workload, Domains, PoolPhase, SpaConfig, SpjConfig, WorkloadOracle,
 };
-use recache::{Admission, Eviction, LayoutPolicy, ReCache};
+use recache::{Admission, Eviction, LayoutPolicy, QueryRequest, ReCache};
 
 #[test]
 fn every_eviction_policy_respects_capacity() {
@@ -35,7 +35,7 @@ fn every_eviction_policy_respects_capacity() {
         );
         let specs = tpch_spj_workload(&domains, 30, &SpjConfig::default(), 7);
         for spec in &specs {
-            session.run(spec).unwrap();
+            session.execute(&QueryRequest::spec(spec.clone())).unwrap();
             assert!(
                 session.cache().total_bytes() <= capacity,
                 "{} exceeded capacity: {} > {capacity}",
@@ -61,7 +61,7 @@ fn offline_policies_work_with_workload_oracle() {
         let oracle = WorkloadOracle::build(&session, &specs).unwrap();
         session.set_oracle(Box::new(oracle));
         for spec in &specs {
-            session.run(spec).unwrap();
+            session.execute(&QueryRequest::spec(spec.clone())).unwrap();
         }
         assert!(session.cache().total_bytes() <= 40_000);
         let c = session.cache().counters();
@@ -81,7 +81,7 @@ fn admission_threshold_controls_eager_fraction() {
         );
         let specs = tpch_spj_workload(&domains, 25, &SpjConfig::default(), 11);
         for spec in &specs {
-            session.run(spec).unwrap();
+            session.execute(&QueryRequest::spec(spec.clone())).unwrap();
         }
         let eager = session
             .cache()
@@ -111,7 +111,9 @@ fn auto_layout_switches_on_phase_change() {
         json::write_json(&schema, &records),
         schema,
     );
-    session.sql("SELECT count(*) FROM orderLineitems").unwrap();
+    session
+        .execute(&QueryRequest::sql("SELECT count(*) FROM orderLineitems"))
+        .unwrap();
     // The warm entry starts in the Dremel layout (nested default).
     let entry = session.cache().snapshot().into_iter().next().unwrap();
     assert_eq!(entry.data.layout(), LayoutKind::Dremel);
@@ -126,7 +128,7 @@ fn auto_layout_switches_on_phase_change() {
     );
     let mut switched_to_columnar = false;
     for spec in &specs {
-        let r = session.run(spec).unwrap();
+        let r = session.execute(&QueryRequest::spec(spec.clone())).unwrap();
         for t in &r.stats.tables {
             if let Some((from, to)) = t.layout_switch {
                 assert_eq!(from, LayoutKind::Dremel);
@@ -151,7 +153,7 @@ fn auto_layout_switches_on_phase_change() {
     );
     let mut switched_back = false;
     for spec in &specs {
-        let r = session.run(spec).unwrap();
+        let r = session.execute(&QueryRequest::spec(spec.clone())).unwrap();
         for t in &r.stats.tables {
             if let Some((_, to)) = t.layout_switch {
                 switched_back |= to == LayoutKind::Dremel;
@@ -182,10 +184,14 @@ fn benefit_metric_keeps_expensive_json_under_pressure() {
         let schema = tpch::lineitem_schema();
         session.register_csv_bytes("lineitem_csv", csv::write_csv(&schema, &lineitems), schema);
         session
-            .sql("SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2")
+            .execute(&QueryRequest::sql(
+                "SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2",
+            ))
             .unwrap();
         session
-            .sql("SELECT count(*) FROM lineitem_csv WHERE l_quantity BETWEEN 0 AND 30")
+            .execute(&QueryRequest::sql(
+                "SELECT count(*) FROM lineitem_csv WHERE l_quantity BETWEEN 0 AND 30",
+            ))
             .unwrap();
         let json_bytes = session
             .cache()
@@ -222,19 +228,23 @@ fn benefit_metric_keeps_expensive_json_under_pressure() {
     // Build one JSON-derived entry, reuse it a few times, then flood the
     // cache with CSV-derived entries.
     session
-        .sql("SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2")
+        .execute(&QueryRequest::sql(
+            "SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2",
+        ))
         .unwrap();
     for _ in 0..3 {
         session
-            .sql("SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2")
+            .execute(&QueryRequest::sql(
+                "SELECT count(*) FROM lineitem_json WHERE l_quantity >= 2",
+            ))
             .unwrap();
     }
     for lo in 0..10 {
         session
-            .sql(&format!(
+            .execute(&QueryRequest::sql(format!(
                 "SELECT count(*) FROM lineitem_csv WHERE l_quantity BETWEEN {lo} AND {}",
                 lo + 30
-            ))
+            )))
             .unwrap();
     }
     let json_alive = session

@@ -1,0 +1,204 @@
+//! End-to-end tests for the TCP serving layer: wire equivalence against
+//! local serial execution, bounded-admission shedding, and graceful
+//! shutdown draining in-flight queries.
+
+use recache::data::FaultPlan;
+use recache::types::Error;
+use recache::QueryRequest;
+use recache_server::dataset::{serving_session, serving_workload, CSV_TABLE, JSON_TABLE};
+use recache_server::{Client, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::sync::{mpsc, Arc, Barrier};
+use std::time::Duration;
+
+const SF: f64 = 0.0005;
+const SEED: u64 = 11;
+
+fn boot(
+    config: ServerConfig,
+) -> (
+    recache_server::ServerHandle,
+    SocketAddr,
+    Arc<recache::ReCache>,
+) {
+    let server = Server::bind(config, Arc::new(serving_session(SF, SEED))).expect("bind");
+    let addr = server.local_addr();
+    let session = server.session();
+    (server.spawn(), addr, session)
+}
+
+/// N client threads replay a mixed CSV/JSON workload over the wire; every
+/// result must equal local serial execution of the same seeded workload.
+#[test]
+fn concurrent_clients_match_serial_execution() {
+    let specs = serving_workload(SF, SEED, 24);
+    let serial = serving_session(SF, SEED);
+    let expected: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            serial
+                .execute(&QueryRequest::spec(s.clone()))
+                .unwrap()
+                .rows
+                .clone()
+        })
+        .collect();
+
+    let (handle, addr, _) = boot(ServerConfig::default());
+    let clients = 3;
+    std::thread::scope(|scope| {
+        for t in 0..clients {
+            let specs = &specs;
+            let expected = &expected;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for (i, spec) in specs.iter().enumerate() {
+                    if i % clients != t {
+                        continue;
+                    }
+                    let reply = client
+                        .query(&QueryRequest::spec(spec.clone()).tag(format!("q{i}")))
+                        .unwrap_or_else(|e| panic!("query {i} failed over the wire: {e}"));
+                    assert_eq!(reply.rows, expected[i], "query {i} differs over the wire");
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).expect("connect for stats");
+    let stats = client.stats().expect("stats");
+    assert!(stats.queries_run >= specs.len() as u64);
+    assert!(stats.admission.admitted >= specs.len() as u64);
+    assert_eq!(stats.admission.running, 0, "all permits released");
+    let histogram_total: u64 = stats.latency_buckets.iter().map(|&(_, c)| c).sum();
+    assert!(histogram_total >= specs.len() as u64);
+    handle.shutdown().expect("drain");
+}
+
+/// A tiny admission gate (1 running, 0 queued) under a slow scan sheds
+/// concurrent queries with a typed, transient `Overloaded` error — and
+/// the server keeps serving afterwards.
+#[test]
+fn overload_sheds_with_typed_error_and_server_survives() {
+    let (handle, addr, session) = boot(ServerConfig {
+        max_running: 1,
+        max_queued: 0,
+        ..ServerConfig::default()
+    });
+    // Every raw chunk read on the CSV table stalls 300ms, so the one
+    // admitted query holds its permit long enough for the rest of the
+    // burst to arrive and shed.
+    assert!(session.set_fault_plan(
+        CSV_TABLE,
+        Some(FaultPlan::new(1).latency(1.0, Duration::from_millis(300)))
+    ));
+
+    let burst = 6;
+    let barrier = Barrier::new(burst);
+    let sql =
+        format!("SELECT sum(l_extendedprice), count(*) FROM {CSV_TABLE} WHERE l_quantity >= 1");
+    let outcomes: Vec<Result<_, Error>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..burst)
+            .map(|_| {
+                let barrier = &barrier;
+                let sql = &sql;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    barrier.wait();
+                    client.query(&QueryRequest::sql(sql.clone()))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let oks = outcomes.iter().filter(|o| o.is_ok()).count();
+    let sheds = outcomes
+        .iter()
+        .filter(|o| matches!(o, Err(Error::Overloaded)))
+        .count();
+    assert!(oks >= 1, "the admitted query must succeed: {outcomes:?}");
+    assert!(
+        sheds >= 1,
+        "a zero-depth queue must shed the burst: {outcomes:?}"
+    );
+    assert_eq!(
+        oks + sheds,
+        burst,
+        "only Ok or Overloaded expected: {outcomes:?}"
+    );
+    for outcome in &outcomes {
+        if let Err(e) = outcome {
+            assert!(
+                e.is_transient(),
+                "Overloaded must stay transient over the wire"
+            );
+        }
+    }
+
+    // The server is still live: clear the fault and serve another query.
+    session.set_fault_plan(CSV_TABLE, None);
+    let mut client = Client::connect(addr).expect("reconnect");
+    let reply = client
+        .query(&QueryRequest::sql(format!(
+            "SELECT count(*) FROM {JSON_TABLE}"
+        )))
+        .expect("server must keep serving after shedding");
+    assert!(!reply.rows.is_empty());
+    let stats = client.stats().expect("stats");
+    assert!(stats.admission.shed >= sheds as u64);
+    handle.shutdown().expect("drain");
+}
+
+/// A `SHUTDOWN` frame while a slow query is on the wire: the in-flight
+/// query still completes with the correct result, and the server thread
+/// exits cleanly once it drained.
+#[test]
+fn graceful_shutdown_drains_in_flight_queries() {
+    let (handle, addr, session) = boot(ServerConfig::default());
+    assert!(session.set_fault_plan(
+        CSV_TABLE,
+        Some(FaultPlan::new(2).latency(1.0, Duration::from_millis(400)))
+    ));
+
+    let slow_sql =
+        format!("SELECT sum(l_extendedprice), count(*) FROM {CSV_TABLE} WHERE l_quantity >= 1");
+    let expected = serving_session(SF, SEED)
+        .execute(&QueryRequest::sql(slow_sql.clone()))
+        .unwrap()
+        .rows
+        .clone();
+
+    let (sent, in_flight) = mpsc::channel();
+    let slow = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connect");
+        // Prove the connection is established and serving before the
+        // slow query goes out, so the shutdown below races the query's
+        // execution, not its connection setup.
+        client
+            .query(&QueryRequest::sql(format!(
+                "SELECT count(*) FROM {JSON_TABLE}"
+            )))
+            .expect("warm-up query");
+        sent.send(()).unwrap();
+        client.query(&QueryRequest::sql(slow_sql))
+    });
+
+    in_flight.recv().expect("warm-up finished");
+    // Give the slow request time to be read and admitted (its scan then
+    // stalls on the injected 400ms latency), then pull the plug.
+    std::thread::sleep(Duration::from_millis(150));
+    let mut shutter = Client::connect(addr).expect("connect shutter");
+    shutter.shutdown_server().expect("shutdown acknowledged");
+    assert!(handle.is_shutting_down());
+
+    let reply = slow
+        .join()
+        .unwrap()
+        .expect("in-flight query must drain to completion");
+    assert_eq!(
+        reply.rows, expected,
+        "drained query returns the correct result"
+    );
+    handle.wait().expect("server run loop exits cleanly");
+}

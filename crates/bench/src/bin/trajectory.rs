@@ -39,7 +39,7 @@
 use recache_bench::args::Args;
 use recache_bench::concurrent::replay_concurrent;
 use recache_bench::loadgen::{run_load, LoadConfig, LoadReport};
-use recache_core::ReCache;
+use recache_core::{QueryRequest, ReCache};
 use recache_data::gen::tpch;
 use recache_data::{csv as data_csv, json as data_json, FileFormat, RawFile};
 use recache_engine::exec::{execute_with, ExecOptions};
@@ -460,6 +460,76 @@ fn concurrent_family(sf: f64, samples: usize, out: &mut Vec<BenchResult>) {
     }
 }
 
+/// The `result_cache` trajectory mode: replays a fixed pool of repeated
+/// queries against two identically-provisioned sessions — one with the
+/// semantic result cache off (the data cache still answers repeats) and
+/// one with it on — and records the pool-replay median for each. The
+/// warmup replay populates the result cache, so the timed "cached" runs
+/// price pure result-cache serving; the derived
+/// `result_cache_repeat_speedup` is the repeated-fraction improvement
+/// and `result_cache_hit_rate` is read from the session counters. Rows
+/// are recorded for the trajectory but not gated (the checked-in
+/// baseline predates the result cache, and the gate skips unknown rows).
+fn result_cache_family(sf: f64, samples: usize, out: &mut Vec<BenchResult>) -> (f64, f64) {
+    let (orders, lineitems) = tpch::gen_orders_and_lineitems(sf, 42);
+    let li_schema = tpch::lineitem_schema();
+    let o_schema = tpch::orders_schema();
+    let li_records: Vec<Value> = lineitems.iter().map(|r| Value::Struct(r.clone())).collect();
+    let o_records: Vec<Value> = orders.iter().map(|r| Value::Struct(r.clone())).collect();
+    let li_domains = Domains::compute(&li_schema, li_records.iter());
+    let o_domains = Domains::compute(&o_schema, o_records.iter());
+    let li_bytes = data_csv::write_csv(&li_schema, &lineitems);
+    let o_bytes = data_csv::write_csv(&o_schema, &orders);
+    let specs = mixed_spa_workload(
+        &[("lineitem", &li_domains), ("orders", &o_domains)],
+        0.0,
+        12,
+        &SpaConfig::default(),
+        42,
+    );
+    let build_session = |results_on: bool| {
+        let mut session = ReCache::builder().result_cache_enabled(results_on).build();
+        session.register_csv_bytes("lineitem", li_bytes.clone(), li_schema.clone());
+        session.register_csv_bytes("orders", o_bytes.clone(), o_schema.clone());
+        session
+    };
+    let replay_pool = |session: &ReCache| {
+        for spec in &specs {
+            black_box(
+                session
+                    .execute(&QueryRequest::spec(spec.clone()))
+                    .expect("result-cache trajectory query")
+                    .rows
+                    .len(),
+            );
+        }
+    };
+    // Both sessions get one warmup replay: it admits the data-cache
+    // entries for the off-session and additionally populates the result
+    // cache for the on-session, so timed runs price steady-state repeats.
+    let off = build_session(false);
+    let off_ns = measure(samples, 1, || replay_pool(&off));
+    out.push(BenchResult {
+        name: "result_cache_repeat",
+        mode: "data_cache",
+        threads: 1,
+        median_ns: off_ns,
+        rel_to_row: 1.0,
+    });
+    let on = build_session(true);
+    let on_ns = measure(samples, 1, || replay_pool(&on));
+    out.push(BenchResult {
+        name: "result_cache_repeat",
+        mode: "result_cache",
+        threads: 1,
+        median_ns: on_ns,
+        rel_to_row: on_ns / off_ns,
+    });
+    let c = on.cache().counters();
+    let probes = (c.result_hits + c.result_misses).max(1);
+    (off_ns / on_ns, c.result_hits as f64 / probes as f64)
+}
+
 /// The `server` trajectory mode: boots an in-process `recache-server` on
 /// an ephemeral port, drives it with the open-loop load driver at a
 /// fixed arrival rate, and records client-side tail latency as three
@@ -499,7 +569,7 @@ fn server_family(sf: f64, requests: usize, out: &mut Vec<BenchResult>) -> LoadRe
 
 fn main() {
     let args = Args::parse();
-    let pr = args.u64("pr", 7);
+    let pr = args.u64("pr", 8);
     let sf = args.f64("sf", 0.02);
     let samples = args.usize("samples", 9);
     let out_path = args.str("out", &format!("BENCH_pr{pr}.json"));
@@ -614,6 +684,12 @@ fn main() {
     // Multi-session replay (admissions + concurrent registry); `threads`
     // holds the session count for these rows.
     concurrent_family(sf, args.usize("concurrent_samples", 5), &mut results);
+    // Repeated-query replay: semantic result cache vs data cache alone.
+    let (result_cache_speedup, result_cache_hit_rate) = result_cache_family(
+        args.f64("result_cache_sf", 0.005),
+        args.usize("result_cache_samples", 5),
+        &mut results,
+    );
     // Serving tail latency over the wire (open-loop driver against an
     // in-process server on an ephemeral port).
     let server_report = server_family(
@@ -666,6 +742,11 @@ fn main() {
             derived.push(("mixed_spa_replay_speedup_4s_vs_1s".to_owned(), s1 / s4));
         }
     }
+    derived.push((
+        "result_cache_repeat_speedup".to_owned(),
+        result_cache_speedup,
+    ));
+    derived.push(("result_cache_hit_rate".to_owned(), result_cache_hit_rate));
     derived.push(("server_shed_rate".to_owned(), server_report.shed_rate()));
     derived.push((
         "server_achieved_qps".to_owned(),

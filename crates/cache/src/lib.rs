@@ -29,6 +29,7 @@ pub use eviction::{
 };
 pub use layout_model::{FlatLayoutChoice, LayoutDecision, LayoutHistory, QueryObservation};
 pub use registry::{
-    CacheEntry, CacheRegistry, EntryId, EntrySnapshot, FutureOracle, LeafRange, MatchResult,
+    CacheEntry, CacheRegistry, EntryId, EntrySnapshot, FutureOracle, InvalidationListener,
+    LeafRange, MatchResult,
 };
 pub use stats::{EntryStats, RegistryCounters};

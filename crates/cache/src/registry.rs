@@ -88,6 +88,14 @@ pub fn range_signature(ranges: &[LeafRange]) -> String {
     out
 }
 
+/// What `remove_inner` hands back: the freed bytes plus the departed
+/// entry's identity (for result-cache invalidation).
+struct RemovedEntry {
+    bytes: usize,
+    source: String,
+    signature: String,
+}
+
 /// One cached operator result.
 pub struct CacheEntry {
     pub id: EntryId,
@@ -168,6 +176,16 @@ struct Shard {
 /// admissions on distinct signatures rarely contend.
 pub const DEFAULT_SHARDS: usize = 16;
 
+/// Callback fired when an entry leaves the registry (eviction or
+/// explicit removal), identified by its `(source, signature)` pair.
+/// Returns how many dependent result-cache entries it invalidated; the
+/// registry charges that to `result_invalidations`.
+///
+/// The listener runs with registry locks held (the eviction path holds
+/// the policy mutex), so it must be a *leaf*: it may take its own locks
+/// but must never call back into the registry.
+pub type InvalidationListener = Box<dyn Fn(&str, &str) -> u64 + Send + Sync>;
+
 /// The ReCache cache: entries, indexes, policy, capacity. See the module
 /// docs for the concurrency design.
 pub struct CacheRegistry {
@@ -175,6 +193,9 @@ pub struct CacheRegistry {
     /// Eviction policy. The mutex also serializes capacity enforcement.
     policy: Mutex<Box<dyn EvictionPolicy>>,
     oracle: RwLock<Option<Box<dyn FutureOracle>>>,
+    /// Precise result-cache invalidation hook (see
+    /// [`InvalidationListener`]); fired on every eviction/removal.
+    invalidation: RwLock<Option<InvalidationListener>>,
     /// `None` = unlimited (the paper's "infinite cache" baseline).
     capacity: Option<usize>,
     total_bytes: AtomicUsize,
@@ -203,6 +224,7 @@ impl CacheRegistry {
                 .into_boxed_slice(),
             policy: Mutex::new(policy),
             oracle: RwLock::new(None),
+            invalidation: RwLock::new(None),
             capacity,
             total_bytes: AtomicUsize::new(0),
             next_seq: AtomicU64::new(1),
@@ -289,6 +311,55 @@ impl CacheRegistry {
         self.counters
             .leader_failovers
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one query served whole from the semantic result cache.
+    pub fn note_result_hit(&self) {
+        self.counters.result_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one result-cache lookup that fell through to the executor.
+    pub fn note_result_miss(&self) {
+        self.counters.result_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` result entries evicted by the result cache's byte budget.
+    pub fn note_result_evictions(&self, n: u64) {
+        if n > 0 {
+            self.counters
+                .result_evictions
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` result entries invalidated outside the per-entry listener
+    /// path (whole-source invalidation on source registration/change).
+    pub fn note_result_invalidations(&self, n: u64) {
+        if n > 0 {
+            self.counters
+                .result_invalidations
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Installs the result-cache invalidation listener. At most one is
+    /// active; the session layer installs it at build time.
+    pub fn set_invalidation_listener(&self, listener: InvalidationListener) {
+        *self.invalidation.write().unwrap_or_else(|e| e.into_inner()) = Some(listener);
+    }
+
+    /// Fires the invalidation listener (if any) for a departed entry and
+    /// charges the dependent-result count to `result_invalidations`.
+    fn fire_invalidation(&self, source: &str, signature: &str) {
+        let guard = self.invalidation.read().unwrap_or_else(|e| e.into_inner());
+        if let Some(listener) = guard.as_ref() {
+            let n = listener(source, signature);
+            if n > 0 {
+                self.counters
+                    .result_invalidations
+                    .fetch_add(n, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Home shard of a `(source, signature)` pair.
@@ -644,13 +715,16 @@ impl CacheRegistry {
     }
 
     /// Removes an entry outright. Returns whether it was resident.
+    /// Dependent result-cache entries are invalidated through the
+    /// listener before this returns.
     pub fn remove(&self, id: EntryId) -> bool {
-        if self.remove_inner(id).is_some() {
+        if let Some(removed) = self.remove_inner(id) {
             self.policy
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .on_remove(id);
             self.counters.removals.fetch_add(1, Ordering::Relaxed);
+            self.fire_invalidation(&removed.source, &removed.signature);
             true
         } else {
             false
@@ -659,9 +733,10 @@ impl CacheRegistry {
 
     /// De-indexes and drops the entry under its shard lock, adjusting the
     /// byte total. No policy callback — callers holding (or not holding)
-    /// the policy mutex handle that themselves. Returns the freed bytes.
-    fn remove_inner(&self, id: EntryId) -> Option<usize> {
-        let bytes = {
+    /// the policy mutex handle that themselves. Returns the freed bytes
+    /// and the entry's identity so callers can fire result invalidation.
+    fn remove_inner(&self, id: EntryId) -> Option<RemovedEntry> {
+        let removed = {
             let mut shard = self
                 .shard_of_id(id)
                 .write()
@@ -687,9 +762,13 @@ impl CacheRegistry {
             // accounted, as in `admit`).
             let bytes = entry.stats.bytes;
             self.total_bytes.fetch_sub(bytes, Ordering::AcqRel);
-            bytes
+            RemovedEntry {
+                bytes,
+                source: entry.source,
+                signature: entry.signature,
+            }
         };
-        Some(bytes)
+        Some(removed)
     }
 
     /// Evicts until `total_bytes <= capacity`. One evictor runs at a time
@@ -769,13 +848,17 @@ impl CacheRegistry {
             for id in victims {
                 // `remove_inner` is atomic per entry: a concurrent
                 // `remove` and this eviction cannot both count it.
-                if let Some(bytes) = self.remove_inner(id) {
+                if let Some(removed) = self.remove_inner(id) {
                     progressed = true;
                     self.counters.evictions.fetch_add(1, Ordering::Relaxed);
                     self.counters
                         .bytes_evicted
-                        .fetch_add(bytes as u64, Ordering::Relaxed);
+                        .fetch_add(removed.bytes as u64, Ordering::Relaxed);
                     policy.on_remove(id);
+                    // Listener is a leaf lock (never re-enters the
+                    // registry), so firing it under the policy mutex is
+                    // deadlock-free.
+                    self.fire_invalidation(&removed.source, &removed.signature);
                 }
             }
             if !progressed {

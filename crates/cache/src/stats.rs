@@ -94,6 +94,16 @@ pub struct RegistryCounters {
     /// Single-flight followers promoted to leader after the previous
     /// leader's scan failed or was abandoned.
     pub leader_failovers: u64,
+    /// Queries served whole from the semantic result cache (no executor
+    /// work — distinct from the data-cache `hits_*` counters).
+    pub result_hits: u64,
+    /// Result-cache lookups that fell through to the executor.
+    pub result_misses: u64,
+    /// Result entries evicted by the result cache's own byte budget.
+    pub result_evictions: u64,
+    /// Result entries dropped because a pinned `(source, signature)`
+    /// data-cache entry was evicted/removed, or a source changed.
+    pub result_invalidations: u64,
 }
 
 /// The registry's live counters. All fields are relaxed atomics: each is
@@ -115,6 +125,10 @@ pub struct AtomicRegistryCounters {
     pub timeouts: AtomicU64,
     pub degraded_fallbacks: AtomicU64,
     pub leader_failovers: AtomicU64,
+    pub result_hits: AtomicU64,
+    pub result_misses: AtomicU64,
+    pub result_evictions: AtomicU64,
+    pub result_invalidations: AtomicU64,
 }
 
 impl AtomicRegistryCounters {
@@ -133,6 +147,10 @@ impl AtomicRegistryCounters {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             degraded_fallbacks: self.degraded_fallbacks.load(Ordering::Relaxed),
             leader_failovers: self.leader_failovers.load(Ordering::Relaxed),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            result_misses: self.result_misses.load(Ordering::Relaxed),
+            result_evictions: self.result_evictions.load(Ordering::Relaxed),
+            result_invalidations: self.result_invalidations.load(Ordering::Relaxed),
         }
     }
 }

@@ -24,6 +24,7 @@ pub mod materialize;
 pub mod request;
 pub mod resolve;
 pub mod result;
+pub mod result_cache;
 pub mod session;
 
 use materialize::{materialize_with_admission, upgrade_to_eager, StoreChoice};
@@ -42,6 +43,7 @@ use recache_types::{Error, Result, Schema};
 pub use request::{CacheOutcome, QueryBody, QueryRequest, QueryResponse, QueryTelemetry};
 use resolve::{resolve, ResolvedQuery};
 pub use result::{QueryResult, QueryStats, TableSummary};
+pub use result_cache::{ResultCache, ResultCacheConfig};
 pub use session::{AdmissionGate, AdmissionPermit, AdmissionStats, Scheduler, StreamLease};
 use session::{Begin, FlightGuard, FlightKey, FlightOutcome, Inflight};
 use std::collections::{HashMap, HashSet};
@@ -76,6 +78,7 @@ pub struct ReCacheBuilder {
     admission: AdmissionConfig,
     layout: LayoutPolicy,
     caching: bool,
+    result_cache: result_cache::ResultCacheConfig,
 }
 
 impl Default for ReCacheBuilder {
@@ -86,6 +89,9 @@ impl Default for ReCacheBuilder {
             admission: AdmissionConfig::default(),
             layout: LayoutPolicy::Auto,
             caching: true,
+            // Off unless `RECACHE_RESULT_CACHE_ENABLED` opts the process
+            // in (the server front end enables serving sessions itself).
+            result_cache: result_cache::ResultCacheConfig::from_env(),
         }
     }
 }
@@ -133,10 +139,43 @@ impl ReCacheBuilder {
         self
     }
 
+    /// Enables/disables the semantic result cache for this session
+    /// (default: off, unless `RECACHE_RESULT_CACHE_ENABLED` says
+    /// otherwise). Per-request [`QueryRequest::result_cache`] overrides.
+    pub fn result_cache_enabled(mut self, enabled: bool) -> Self {
+        self.result_cache.enabled = enabled;
+        self
+    }
+
+    /// Byte budget for the result cache (default 64 MiB, or
+    /// `RECACHE_RESULT_CACHE_BYTES`) — separate from the data cache's
+    /// capacity.
+    pub fn result_cache_capacity_bytes(mut self, bytes: usize) -> Self {
+        self.result_cache.capacity_bytes = bytes;
+        self
+    }
+
+    /// Replaces the whole result-cache configuration.
+    pub fn result_cache(mut self, config: result_cache::ResultCacheConfig) -> Self {
+        self.result_cache = config;
+        self
+    }
+
+    /// Builds the session. The result cache is wired to the registry's
+    /// invalidation listener here, so every data-cache eviction/removal
+    /// precisely drops the result entries pinned to the departed
+    /// `(source, signature)`.
     pub fn build(self) -> ReCache {
+        let registry = CacheRegistry::new(self.eviction.build(), self.capacity);
+        let results = Arc::new(result_cache::ResultCache::new(self.result_cache));
+        let listener = Arc::clone(&results);
+        registry.set_invalidation_listener(Box::new(move |source, signature| {
+            listener.invalidate_pin(source, signature)
+        }));
         ReCache {
             sources: HashMap::new(),
-            registry: CacheRegistry::new(self.eviction.build(), self.capacity),
+            registry,
+            results,
             inflight: Inflight::default(),
             admission: self.admission,
             layout: self.layout,
@@ -153,6 +192,9 @@ impl ReCacheBuilder {
 pub struct ReCache {
     sources: HashMap<String, Arc<RawFile>>,
     registry: CacheRegistry,
+    /// The semantic result cache (shared with the registry's
+    /// invalidation listener).
+    results: Arc<result_cache::ResultCache>,
     /// Single-flight table for in-flight cacheable scans.
     inflight: Inflight,
     admission: AdmissionConfig,
@@ -200,9 +242,24 @@ impl ReCache {
         self.register_source(name, RawFile::from_bytes(bytes, FileFormat::Json, schema));
     }
 
-    /// Registers a pre-built raw file.
+    /// Registers a pre-built raw file. Re-registering a name counts as a
+    /// source change: the old source's data-cache entries (whose offsets
+    /// and positional maps describe the *old* bytes) are purged, and every
+    /// cached result that touched it is invalidated.
     pub fn register_source(&mut self, name: impl Into<String>, file: RawFile) {
-        self.sources.insert(name.into(), Arc::new(file));
+        let name = name.into();
+        for entry in self.registry.snapshot() {
+            if entry.source == name {
+                // `remove` fires the invalidation listener, dropping
+                // results pinned to this entry.
+                self.registry.remove(entry.id);
+            }
+        }
+        // Catch-all for results whose pinned entries were already gone
+        // (each result is dropped — and counted — at most once).
+        let dropped = self.results.invalidate_source(&name);
+        self.registry.note_result_invalidations(dropped);
+        self.sources.insert(name, Arc::new(file));
     }
 
     /// Installs (or, with `None`, clears) a seeded fault-injection plan
@@ -237,6 +294,23 @@ impl ReCache {
     /// Read access to the cache registry (stats, entries, counters).
     pub fn cache(&self) -> &CacheRegistry {
         &self.registry
+    }
+
+    /// The session's semantic result cache (enable/disable, budget,
+    /// diagnostics). See [`result_cache`] for the design.
+    pub fn result_cache(&self) -> &result_cache::ResultCache {
+        &self.results
+    }
+
+    /// Whether a result-cache hit would serve this spec right now, under
+    /// the given per-request override (`None` = session default). The
+    /// server uses this to skip scan-cost lease negotiation on expected
+    /// hits; the probe touches no LRU clock or counter. The answer can
+    /// go stale before execution — benign: the query then simply runs
+    /// with the thread budget the probe implied.
+    pub fn result_cached(&self, spec: &QuerySpec, per_request: Option<bool>) -> bool {
+        per_request.unwrap_or_else(|| self.results.is_enabled())
+            && self.results.probe(&result_cache::normalized_key(spec))
     }
 
     /// Installs a future oracle for the offline eviction baselines.
@@ -291,6 +365,14 @@ impl ReCache {
     /// text and parsed specs alike, in-process and over the wire. The
     /// request's deadline (if armed) is folded into its cancel token
     /// here, so the clock starts at this call.
+    ///
+    /// When the semantic result cache is on (session default or the
+    /// request's [`QueryRequest::result_cache`] override), the query's
+    /// [normalized key](result_cache::normalized_key) is looked up
+    /// first: a hit returns the cached rows with outcome
+    /// [`CacheOutcome::ResultHit`] and zero executor time; a miss runs
+    /// the executor and caches the result, pinned to the
+    /// `(source, signature)` data-cache identities it was computed from.
     pub fn execute(&self, request: &QueryRequest) -> Result<QueryResponse> {
         let options = request.resolved_options();
         let parsed;
@@ -301,7 +383,52 @@ impl ReCache {
             }
             QueryBody::Spec(spec) => spec,
         };
+        let use_results = request
+            .get_result_cache()
+            .unwrap_or_else(|| self.results.is_enabled());
+        if !use_results {
+            let result = self.run_spec(spec, &options)?;
+            return Ok(QueryResponse::new(
+                result,
+                options.effective_threads(),
+                request.get_tag(),
+            ));
+        }
+        let t_lookup = Instant::now();
+        let key = result_cache::normalized_key(spec);
+        if let Some(cached) = self.results.lookup(&key) {
+            // A result hit is still a query: the clocks and per-query
+            // counters advance so serving stats stay meaningful.
+            self.queries_run.fetch_add(1, Ordering::Relaxed);
+            self.registry.tick();
+            self.registry.note_result_hit();
+            return Ok(QueryResponse::result_hit(
+                cached.rows,
+                cached.rows_aggregated,
+                t_lookup.elapsed().as_nanos() as u64,
+                request.get_tag(),
+            ));
+        }
+        self.registry.note_result_miss();
         let result = self.run_spec(spec, &options)?;
+        // Pin the result to the per-table `(source, signature)`
+        // identities it priced in; any of them departing the registry
+        // invalidates it. Between this execution and the insert a
+        // pinned entry may already have been evicted — the entry then
+        // lives until the *next* departure or its own eviction, which is
+        // still correct: sources are immutable, so the rows themselves
+        // can never be stale.
+        if let Ok(resolved) = resolve(spec, &self.sources) {
+            let pins = resolved
+                .tables
+                .iter()
+                .map(|t| (t.name.clone(), t.signature.clone()))
+                .collect();
+            let evicted =
+                self.results
+                    .insert(key, result.rows.clone(), result.rows_aggregated, pins);
+            self.registry.note_result_evictions(evicted);
+        }
         Ok(QueryResponse::new(
             result,
             options.effective_threads(),
@@ -312,7 +439,7 @@ impl ReCache {
     /// Parses and runs one SQL query.
     #[deprecated(
         since = "0.2.0",
-        note = "build a QueryRequest::sql and call ReCache::execute"
+        note = "use `session.execute(&QueryRequest::sql(text)).map(QueryResponse::into_result)`"
     )]
     pub fn sql(&self, text: &str) -> Result<QueryResult> {
         self.execute(&QueryRequest::sql(text))
@@ -322,7 +449,7 @@ impl ReCache {
     /// Runs one parsed query with default execution options.
     #[deprecated(
         since = "0.2.0",
-        note = "build a QueryRequest::spec and call ReCache::execute"
+        note = "use `session.execute(&QueryRequest::spec(spec.clone())).map(QueryResponse::into_result)`"
     )]
     pub fn run(&self, spec: &QuerySpec) -> Result<QueryResult> {
         self.execute(&QueryRequest::spec(spec.clone()))
@@ -332,7 +459,7 @@ impl ReCache {
     /// Runs one parsed query under a wall-clock deadline.
     #[deprecated(
         since = "0.2.0",
-        note = "use QueryRequest::spec(..).options(..).deadline(..) with ReCache::execute"
+        note = "use `session.execute(&QueryRequest::spec(spec.clone()).options(options.clone()).deadline(timeout)).map(QueryResponse::into_result)`"
     )]
     pub fn run_with_timeout(
         &self,
@@ -351,7 +478,7 @@ impl ReCache {
     /// Runs one parsed query under explicit [`ExecOptions`].
     #[deprecated(
         since = "0.2.0",
-        note = "use QueryRequest::spec(..).options(..) with ReCache::execute"
+        note = "use `session.execute(&QueryRequest::spec(spec.clone()).options(options.clone())).map(QueryResponse::into_result)`"
     )]
     pub fn run_with(&self, spec: &QuerySpec, options: &ExecOptions) -> Result<QueryResult> {
         self.execute(&QueryRequest::spec(spec.clone()).options(options.clone()))

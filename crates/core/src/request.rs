@@ -48,6 +48,7 @@ pub struct QueryRequest {
     options: ExecOptions,
     deadline: Option<Duration>,
     tag: Option<String>,
+    result_cache: Option<bool>,
 }
 
 impl QueryRequest {
@@ -68,6 +69,7 @@ impl QueryRequest {
             options: ExecOptions::default(),
             deadline: None,
             tag: None,
+            result_cache: None,
         }
     }
 
@@ -112,6 +114,16 @@ impl QueryRequest {
         self
     }
 
+    /// Overrides the session's result-cache default for this request:
+    /// `true` consults (and populates) the semantic result cache even
+    /// when the session default is off, `false` bypasses it even when
+    /// on. Unset requests follow the session default
+    /// ([`ResultCache::is_enabled`](crate::result_cache::ResultCache::is_enabled)).
+    pub fn result_cache(mut self, enabled: bool) -> Self {
+        self.result_cache = Some(enabled);
+        self
+    }
+
     /// The request body.
     pub fn body(&self) -> &QueryBody {
         &self.body
@@ -131,6 +143,12 @@ impl QueryRequest {
     /// The client tag, if any.
     pub fn get_tag(&self) -> Option<&str> {
         self.tag.as_deref()
+    }
+
+    /// The per-request result-cache override, if any (`None` = follow
+    /// the session default).
+    pub fn get_result_cache(&self) -> Option<bool> {
+        self.result_cache
     }
 
     /// The execution options this request resolves to at execute time:
@@ -159,6 +177,10 @@ pub enum CacheOutcome {
     /// At least one table waited on another session's in-flight scan
     /// and reused its admission (single-flight coalescing).
     Coalesced,
+    /// The whole query was served from the semantic result cache — no
+    /// executor work at all (`data_ns`, `compute_ns` and `exec_ns` are
+    /// all zero).
+    ResultHit,
 }
 
 /// Per-query telemetry returned alongside the result — the numbers a
@@ -224,6 +246,40 @@ impl QueryResponse {
             compute_ns,
             exec_ns: result.stats.exec_ns,
             total_ns: result.stats.total_ns,
+        };
+        QueryResponse { result, telemetry }
+    }
+
+    /// Assembles a response served whole from the semantic result cache:
+    /// outcome [`CacheOutcome::ResultHit`], zero data/compute/exec time
+    /// (no executor ran), only the cache lookup on the clock.
+    pub(crate) fn result_hit(
+        rows: Vec<recache_types::Value>,
+        rows_aggregated: usize,
+        lookup_ns: u64,
+        tag: Option<&str>,
+    ) -> Self {
+        let result = QueryResult {
+            rows,
+            rows_aggregated,
+            stats: crate::result::QueryStats {
+                total_ns: lookup_ns,
+                exec_ns: 0,
+                caching_ns: 0,
+                lookup_ns,
+                cache_hit: false,
+                tables: Vec::new(),
+                exec: recache_engine::exec::ExecStats::default(),
+            },
+        };
+        let telemetry = QueryTelemetry {
+            tag: tag.map(str::to_owned),
+            threads_granted: 1,
+            outcome: CacheOutcome::ResultHit,
+            data_ns: 0,
+            compute_ns: 0,
+            exec_ns: 0,
+            total_ns: lookup_ns,
         };
         QueryResponse { result, telemetry }
     }

@@ -1,7 +1,7 @@
 //! Concurrent query admission: the session scheduler and single-flight
 //! scan coalescing.
 //!
-//! A [`ReCache`](crate::ReCache) session is `Send + Sync`, so K
+//! A [`ReCache`] session is `Send + Sync`, so K
 //! independent query streams can run against one shared cache. This
 //! module supplies the two pieces that make that *useful* rather than
 //! merely safe:
@@ -15,7 +15,7 @@
 //!   sessions come and go, so one stream alone fans out across the whole
 //!   `workpool`, equal-cost streams split evenly, and one expensive raw
 //!   scan is not starved behind K cheap cache hits.
-//! * [`Inflight`] — single-flight coalescing of duplicate cacheable
+//! * `Inflight` (crate-private) — single-flight coalescing of duplicate cacheable
 //!   scans. When two sessions miss on the same `(source, signature)` at
 //!   the same time, the second *waits* for the first's admission instead
 //!   of redoing the raw scan and the cache-build (D + C) work, then
@@ -207,24 +207,37 @@ impl Inflight {
     }
 
     fn complete(&self, key: &FlightKey, flight: &Flight, outcome: FlightOutcome) {
-        // Idempotent: only the first completion removes the key, records
-        // the outcome and wakes waiters (guards may complete eagerly at
-        // admission time and again on drop — the drop's `Failed` then
-        // loses to the earlier real outcome).
-        let removed = self
-            .map
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .remove(key);
-        if removed.is_some() {
-            let code = match outcome {
-                FlightOutcome::Admitted => OUTCOME_ADMITTED,
-                FlightOutcome::NotAdmitted => OUTCOME_NOT_ADMITTED,
-                FlightOutcome::Failed => OUTCOME_FAILED,
-            };
-            // Publish the outcome before `done`: waiters load it only
-            // after observing the flag.
-            flight.outcome.store(code, Ordering::Release);
+        // De-index only *this* flight. A guard completes up to twice
+        // (eagerly at admission time and again on drop), and between the
+        // two a new leader may have claimed the key with a fresh flight —
+        // removing by key alone would silently orphan that flight, and
+        // its waiters would sleep forever when its own completion later
+        // finds the map empty and skipped publishing.
+        {
+            let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            if map
+                .get(key)
+                .is_some_and(|current| std::ptr::eq(current.as_ref(), flight))
+            {
+                map.remove(key);
+            }
+        }
+        let code = match outcome {
+            FlightOutcome::Admitted => OUTCOME_ADMITTED,
+            FlightOutcome::NotAdmitted => OUTCOME_NOT_ADMITTED,
+            FlightOutcome::Failed => OUTCOME_FAILED,
+        };
+        // Publish idempotently on the flight itself — first completion
+        // wins (the drop's `Failed` loses to an earlier eager outcome),
+        // and publication is decoupled from map residency so a flight
+        // de-indexed by any path still wakes its waiters exactly once.
+        if flight
+            .outcome
+            .compare_exchange(OUTCOME_PENDING, code, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            // Set `done` before notifying: waiters re-check it under the
+            // mutex, and they load `outcome` only after observing it.
             *flight.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
             flight.cv.notify_all();
         }
@@ -442,10 +455,10 @@ impl Drop for StreamLease<'_> {
 
 /// Admits K independent query streams against one shared [`ReCache`]
 /// session, giving each stream a fair slice of the shared pool's
-/// parallelism. Streams register dynamically ([`register_stream`]
-/// (Self::register_stream)) — batch replays ([`run_streams`]
-/// (Self::run_streams)) and long-lived server connections share the
-/// same cost board.
+/// parallelism. Streams register dynamically
+/// ([`Scheduler::register_stream`]) — batch replays
+/// ([`Scheduler::run_streams`]) and long-lived server connections
+/// share the same cost board.
 pub struct Scheduler {
     total_threads: usize,
     active: AtomicUsize,
@@ -724,6 +737,33 @@ mod tests {
         // The eager completion's outcome wins over the drop's `Failed`.
         drop(guard);
         assert_eq!(flight.wait(None).unwrap(), FlightOutcome::NotAdmitted);
+    }
+
+    #[test]
+    fn stale_guard_drop_does_not_orphan_a_successor_flight() {
+        // Regression: a guard completes eagerly, a *new* leader claims
+        // the same key, and only then does the old guard drop. The
+        // drop's late completion must neither de-index the successor
+        // flight (its own completion would then find the map empty and
+        // skip publishing, hanging every follower forever) nor disturb
+        // the already-published outcome.
+        let inflight = Inflight::default();
+        let key = ("t".to_owned(), "sig".to_owned());
+        let Begin::Leader(first) = inflight.begin(key.clone()) else {
+            panic!("first begin must lead");
+        };
+        first.complete_now(FlightOutcome::Admitted);
+        let Begin::Leader(second) = inflight.begin(key.clone()) else {
+            panic!("completed key must be claimable again");
+        };
+        let Begin::Wait(flight) = inflight.begin(key.clone()) else {
+            panic!("third begin must wait on the second leader");
+        };
+        drop(first); // stale drop while the successor is in flight
+        second.complete_now(FlightOutcome::Admitted);
+        drop(second);
+        assert_eq!(flight.wait(None).unwrap(), FlightOutcome::Admitted);
+        assert!(matches!(inflight.begin(key), Begin::Leader(_)));
     }
 
     #[test]

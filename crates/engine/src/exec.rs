@@ -7,7 +7,7 @@
 //! files (CSV and flat JSON, via `RawFile::supports_batch_scan`) run
 //! *vectorized* by default: the source yields typed [`ColumnBatch`]es
 //! (see `recache_layout::batch`), compiled predicate kernels compact
-//! each batch's [`SelectionVector`] clause by clause, and batch
+//! each batch's `SelectionVector` clause by clause, and batch
 //! aggregate kernels fold the survivors — no per-row `Value`
 //! materialization on the hot path. Nested/ragged JSON shapes, offsets
 //! re-reads, and non-compilable predicates (`OR`, `NOT`, slot-vs-slot)

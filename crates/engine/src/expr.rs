@@ -77,7 +77,8 @@ impl Expr {
     }
 
     /// Evaluates to a value (for aggregate inputs). Only computed nodes
-    /// allocate; slot and literal references go through [`Expr::eval_ref`].
+    /// allocate; slot and literal references borrow via the internal
+    /// `eval_ref`.
     pub fn eval(&self, row: &[Value]) -> Value {
         match self.eval_ref(row) {
             ValueRef::Borrowed(v) => v.clone(),

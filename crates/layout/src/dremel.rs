@@ -353,7 +353,7 @@ impl DremelStore {
     }
 
     /// Number of chunks a batched scan emits: [`BATCH_ROWS`] records per
-    /// chunk on the short-column path, [`CHUNK_RECORDS`] records per
+    /// chunk on the short-column path, `CHUNK_RECORDS` records per
     /// chunk when records must be assembled (the pre-existing timed-scan
     /// granularity in both cases).
     pub fn batch_chunks(&self, projection: &[usize], record_level: bool) -> usize {
@@ -396,7 +396,7 @@ impl DremelStore {
     /// `[chunk_lo, chunk_hi)` of the [`DremelStore::batch_chunks`] grid.
     /// Chunks cover disjoint record ranges; an assembled-path range
     /// first positions the level-stream cursors at its start record
-    /// ([`DremelStore::cursors_at`]), so disjoint ranges may be scanned
+    /// (the internal `cursors_at`), so disjoint ranges may be scanned
     /// concurrently and a full-range call is bit-identical to
     /// `scan_batches`.
     pub fn scan_batches_range(

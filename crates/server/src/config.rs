@@ -22,6 +22,16 @@ pub struct ServerConfig {
     /// Deadline imposed on requests that do not carry their own
     /// (`RECACHE_DEADLINE_MS`, default none).
     pub default_deadline: Option<Duration>,
+    /// Whether the serving session's semantic result cache is on
+    /// (`RECACHE_RESULT_CACHE_ENABLED`, default **true** — served
+    /// traffic repeats queries, which is exactly what the result cache
+    /// absorbs). Applied to the session at
+    /// [`Server::bind`](crate::Server::bind); per-request
+    /// `QueryRequest::result_cache(..)` still overrides.
+    pub result_cache_enabled: bool,
+    /// Result-cache byte budget override (`RECACHE_RESULT_CACHE_BYTES`;
+    /// `None` keeps the session's configured budget).
+    pub result_cache_bytes: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -32,12 +42,28 @@ impl Default for ServerConfig {
             max_queued: 16,
             total_threads: 0,
             default_deadline: None,
+            result_cache_enabled: true,
+            result_cache_bytes: None,
         }
     }
 }
 
 fn env_parse<T: std::str::FromStr>(key: &str) -> Option<T> {
     std::env::var(key).ok()?.parse().ok()
+}
+
+/// Accepts `1`/`true`/`yes`/`on` and `0`/`false`/`no`/`off`.
+fn env_bool(key: &str) -> Option<bool> {
+    match std::env::var(key)
+        .ok()?
+        .trim()
+        .to_ascii_lowercase()
+        .as_str()
+    {
+        "1" | "true" | "yes" | "on" => Some(true),
+        "0" | "false" | "no" | "off" => Some(false),
+        _ => None,
+    }
 }
 
 impl ServerConfig {
@@ -53,6 +79,10 @@ impl ServerConfig {
                 .filter(|&ms| ms > 0)
                 .map(Duration::from_millis)
                 .or(defaults.default_deadline),
+            result_cache_enabled: env_bool("RECACHE_RESULT_CACHE_ENABLED")
+                .unwrap_or(defaults.result_cache_enabled),
+            result_cache_bytes: env_parse("RECACHE_RESULT_CACHE_BYTES")
+                .or(defaults.result_cache_bytes),
         }
     }
 }

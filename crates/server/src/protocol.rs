@@ -484,6 +484,13 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
                     put_string(&mut out, tag);
                 }
             }
+            // Result-cache override: one mandatory byte (0 = follow the
+            // server session's default, 1 = force on, 2 = force off).
+            out.push(match query.get_result_cache() {
+                None => 0,
+                Some(true) => 1,
+                Some(false) => 2,
+            });
         }
     }
     out
@@ -513,6 +520,12 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
             }
             if cur.u8()? != 0 {
                 query = query.tag(cur.string()?);
+            }
+            match cur.u8()? {
+                0 => {}
+                1 => query = query.result_cache(true),
+                2 => query = query.result_cache(false),
+                other => return Err(Error::exec(format!("unknown result-cache flag {other}"))),
             }
             Request::Query(query)
         }
@@ -555,6 +568,7 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 CacheOutcome::Miss => 0,
                 CacheOutcome::Hit => 1,
                 CacheOutcome::Coalesced => 2,
+                CacheOutcome::ResultHit => 3,
             });
             put_u64(&mut out, t.data_ns);
             put_u64(&mut out, t.compute_ns);
@@ -606,6 +620,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
                 0 => CacheOutcome::Miss,
                 1 => CacheOutcome::Hit,
                 2 => CacheOutcome::Coalesced,
+                3 => CacheOutcome::ResultHit,
                 other => return Err(Error::exec(format!("unknown outcome tag {other}"))),
             };
             Response::Result(QueryReply {
@@ -668,7 +683,9 @@ mod tests {
                 .threads(4)
                 .vectorized(false)
                 .deadline(Duration::from_millis(750))
-                .tag("req-9"),
+                .tag("req-9")
+                .result_cache(true),
+            QueryRequest::spec(spec.clone()).result_cache(false),
             QueryRequest::spec(spec),
         ] {
             let bytes = encode_request(&Request::Query(request.clone()));
@@ -690,7 +707,13 @@ mod tests {
             );
             assert_eq!(request.get_deadline(), decoded.get_deadline());
             assert_eq!(request.get_tag(), decoded.get_tag());
+            assert_eq!(request.get_result_cache(), decoded.get_result_cache());
         }
+        // An out-of-range result-cache flag is a typed error.
+        let mut bytes =
+            encode_request(&Request::Query(QueryRequest::sql("SELECT count(*) FROM t")));
+        *bytes.last_mut().unwrap() = 9;
+        assert!(decode_request(&bytes).is_err());
     }
 
     #[test]
@@ -756,6 +779,19 @@ mod tests {
         assert_eq!(decoded.telemetry.tag, reply.telemetry.tag);
         assert_eq!(decoded.telemetry.outcome, CacheOutcome::Coalesced);
         assert_eq!(decoded.telemetry.total_ns, 40);
+        // The result-cache outcome survives the wire with its zero
+        // executor timings.
+        let mut hit = reply;
+        hit.telemetry.outcome = CacheOutcome::ResultHit;
+        hit.telemetry.data_ns = 0;
+        hit.telemetry.compute_ns = 0;
+        hit.telemetry.exec_ns = 0;
+        let bytes = encode_response(&Response::Result(hit));
+        let Response::Result(decoded) = decode_response(&bytes).unwrap() else {
+            panic!("result frame expected");
+        };
+        assert_eq!(decoded.telemetry.outcome, CacheOutcome::ResultHit);
+        assert_eq!(decoded.telemetry.exec_ns, 0);
     }
 
     #[test]

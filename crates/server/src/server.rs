@@ -61,10 +61,19 @@ impl Shared {
             QueryBody::Spec(spec) => spec.clone(),
         };
         let permit = self.gate.admit(options.cancel.as_deref())?;
-        // `threads == 0` means "let the server decide": negotiate a
-        // cost-weighted share against the other live connections. An
-        // explicit client budget is honored as-is.
-        let threads = if options.threads == 0 {
+        // An expected result-cache hit runs no scan: don't post a scan
+        // cost to the board or take a negotiated thread share away from
+        // connections doing real work. The probe can go stale before
+        // execution (benign — the query then just runs with one thread).
+        let threads = if self
+            .session
+            .result_cached(&spec, request.get_result_cache())
+        {
+            1
+        } else if options.threads == 0 {
+            // `threads == 0` means "let the server decide": negotiate a
+            // cost-weighted share against the other live connections. An
+            // explicit client budget is honored as-is.
             lease.negotiate(self.session.estimate_scan_cost(&spec))
         } else {
             options.threads
@@ -76,6 +85,9 @@ impl Shared {
         });
         if let Some(tag) = request.get_tag() {
             exec = exec.tag(tag);
+        }
+        if let Some(enabled) = request.get_result_cache() {
+            exec = exec.result_cache(enabled);
         }
         let result = self.session.execute(&exec);
         lease.clear();
@@ -99,6 +111,10 @@ impl Shared {
             ("timeouts".to_owned(), c.timeouts),
             ("degraded_fallbacks".to_owned(), c.degraded_fallbacks),
             ("leader_failovers".to_owned(), c.leader_failovers),
+            ("result_hits".to_owned(), c.result_hits),
+            ("result_misses".to_owned(), c.result_misses),
+            ("result_evictions".to_owned(), c.result_evictions),
+            ("result_invalidations".to_owned(), c.result_invalidations),
         ];
         StatsReply {
             queries_run: self.session.queries_run(),
@@ -176,7 +192,18 @@ pub struct Server {
 impl Server {
     /// Binds the listen socket and wires the serving state around an
     /// existing session (shared with in-process callers and tests).
+    ///
+    /// The config's result-cache settings are applied to the session
+    /// here: serving sessions default the semantic result cache **on**
+    /// (embedded sessions default it off), because served traffic
+    /// repeats whole queries.
     pub fn bind(config: ServerConfig, session: Arc<ReCache>) -> Result<Server> {
+        session
+            .result_cache()
+            .set_enabled(config.result_cache_enabled);
+        if let Some(bytes) = config.result_cache_bytes {
+            session.result_cache().set_capacity_bytes(bytes);
+        }
         let listener = TcpListener::bind(&config.addr).map_err(Error::Io)?;
         let local_addr = listener.local_addr().map_err(Error::Io)?;
         listener.set_nonblocking(true).map_err(Error::Io)?;

@@ -1,0 +1,283 @@
+//! The semantic result cache, end to end: hits serve identical rows
+//! with zero executor work, per-request toggles override the session
+//! default, registry eviction/removal of a pinned source *precisely*
+//! invalidates dependent results (forcing re-execution — no stale
+//! serves), SQL-text variants of one query collapse to one cache key,
+//! and concurrent admit/evict races never produce a wrong answer.
+
+mod common;
+
+use recache::types::Value;
+use recache::workload::{spa_workload, Domains, PoolPhase, SpaConfig};
+use recache::{CacheOutcome, QueryRequest, ReCache};
+use std::collections::HashMap;
+
+const Q: &str = "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 30";
+
+fn session_with_results(sf: f64, seed: u64) -> (ReCache, HashMap<String, Domains>) {
+    common::tpch_session(ReCache::builder().result_cache_enabled(true), sf, seed)
+}
+
+/// Acceptance criterion: a repeated query is served from the result
+/// cache — outcome `ResultHit`, zero data/compute/exec nanoseconds,
+/// identical rows — without even probing the data cache.
+#[test]
+fn result_hits_serve_identical_rows_without_executor_work() {
+    let (session, _) = session_with_results(0.0005, 3);
+    let first = session.execute(&QueryRequest::sql(Q)).unwrap();
+    assert_eq!(first.telemetry.outcome, CacheOutcome::Miss);
+    let second = session
+        .execute(&QueryRequest::sql(Q).tag("repeat"))
+        .unwrap();
+    assert_eq!(second.telemetry.outcome, CacheOutcome::ResultHit);
+    assert_eq!(second.rows, first.rows);
+    assert_eq!(second.rows_aggregated, first.rows_aggregated);
+    assert_eq!(second.telemetry.data_ns, 0);
+    assert_eq!(second.telemetry.compute_ns, 0);
+    assert_eq!(second.telemetry.exec_ns, 0);
+    assert_eq!(second.stats.exec_ns, 0);
+    assert_eq!(second.telemetry.tag.as_deref(), Some("repeat"));
+    // Result hits still count as queries (serving stats), and the
+    // executor/data cache never saw the repeat.
+    assert_eq!(session.queries_run(), 2);
+    let c = session.cache().counters();
+    assert_eq!(c.result_hits, 1);
+    assert_eq!(c.result_misses, 1);
+    assert_eq!(
+        c.hits_exact, 0,
+        "data cache must not be probed on a result hit"
+    );
+}
+
+/// Textual variants of one query — whitespace, keyword case, int vs
+/// float literals, conjunct order, BETWEEN vs explicit bounds — collapse
+/// to one key; a genuinely different predicate does not.
+#[test]
+fn normalization_collapses_variants_end_to_end() {
+    let (session, _) = session_with_results(0.0005, 3);
+    let base = session.execute(&QueryRequest::sql(Q)).unwrap();
+    for variant in [
+        "select   COUNT(*), SUM(l_extendedprice)\n FROM lineitem  WHERE l_quantity >= 30.0",
+        "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity BETWEEN 30 AND 50 \
+         AND l_quantity <= 50",
+    ] {
+        let response = session.execute(&QueryRequest::sql(variant)).unwrap();
+        if variant.contains("BETWEEN") {
+            // Different predicate: BETWEEN caps the range at 50, so it
+            // must execute (possibly as a subsuming data-cache hit) —
+            // never serve from the result cache.
+            assert_ne!(response.telemetry.outcome, CacheOutcome::ResultHit);
+        } else {
+            assert_eq!(
+                response.telemetry.outcome,
+                CacheOutcome::ResultHit,
+                "variant should hit: {variant}"
+            );
+            assert_eq!(response.rows, base.rows);
+        }
+    }
+    // The BETWEEN form and its >=/<= expansion do share a key.
+    let expanded = session
+        .execute(&QueryRequest::sql(
+            "SELECT count(*), sum(l_extendedprice) FROM lineitem \
+             WHERE l_quantity <= 50 AND l_quantity >= 30 AND l_quantity <= 50",
+        ))
+        .unwrap();
+    assert_eq!(expanded.telemetry.outcome, CacheOutcome::ResultHit);
+}
+
+/// The per-request toggle overrides the session default in both
+/// directions.
+#[test]
+fn per_request_toggle_overrides_session_default() {
+    // Session default OFF: repeats re-execute unless the request opts in.
+    let (session, _) = common::tpch_session(ReCache::builder(), 0.0005, 3);
+    assert!(!session.result_cache().is_enabled());
+    session.execute(&QueryRequest::sql(Q)).unwrap();
+    let repeat = session.execute(&QueryRequest::sql(Q)).unwrap();
+    assert_ne!(repeat.telemetry.outcome, CacheOutcome::ResultHit);
+    assert_eq!(session.cache().counters().result_hits, 0);
+    // Opting in per request populates and then serves the cache.
+    session
+        .execute(&QueryRequest::sql(Q).result_cache(true))
+        .unwrap();
+    let opted = session
+        .execute(&QueryRequest::sql(Q).result_cache(true))
+        .unwrap();
+    assert_eq!(opted.telemetry.outcome, CacheOutcome::ResultHit);
+    // Session default ON, request opts out: no result hit.
+    session.result_cache().set_enabled(true);
+    let bypass = session
+        .execute(&QueryRequest::sql(Q).result_cache(false))
+        .unwrap();
+    assert_ne!(bypass.telemetry.outcome, CacheOutcome::ResultHit);
+    assert_eq!(bypass.rows, opted.rows);
+}
+
+/// Acceptance criterion: removing/evicting a data-cache entry a result
+/// is pinned to drops the result — the repeat re-executes instead of
+/// serving from the result cache.
+#[test]
+fn removing_pinned_entry_forces_reexecution() {
+    let (session, _) = session_with_results(0.0005, 3);
+    let first = session.execute(&QueryRequest::sql(Q)).unwrap();
+    assert!(!session.result_cache().is_empty());
+    // Remove the lineitem data-cache entry the result pinned.
+    let victims: Vec<u64> = session
+        .cache()
+        .snapshot()
+        .iter()
+        .filter(|e| e.source == "lineitem")
+        .map(|e| e.id)
+        .collect();
+    assert!(!victims.is_empty(), "the first run should have admitted");
+    for id in victims {
+        assert!(session.cache().remove(id));
+    }
+    let c = session.cache().counters();
+    assert!(
+        c.result_invalidations >= 1,
+        "removal of a pinned entry must invalidate the dependent result"
+    );
+    assert_eq!(session.result_cache().len(), 0);
+    // The repeat re-executes (a fresh miss), with the same answer.
+    let again = session.execute(&QueryRequest::sql(Q)).unwrap();
+    assert_ne!(again.telemetry.outcome, CacheOutcome::ResultHit);
+    assert_eq!(again.rows, first.rows);
+}
+
+/// Same contract under capacity pressure: when the registry's own
+/// eviction (not an explicit remove) expels the pinned entry, the
+/// dependent result goes with it.
+#[test]
+fn capacity_eviction_invalidates_dependent_results() {
+    let (session, domains) = common::tpch_session(
+        // Small enough that a stream of distinct selections keeps
+        // evicting, large enough to admit entries at all.
+        ReCache::builder()
+            .result_cache_enabled(true)
+            .cache_capacity_bytes(64 << 10),
+        0.0005,
+        3,
+    );
+    session.execute(&QueryRequest::sql(Q)).unwrap();
+    assert!(!session.result_cache().is_empty());
+    // Chew through distinct range selections until eviction fires.
+    let specs = spa_workload(
+        "lineitem",
+        &domains["lineitem"],
+        &[(PoolPhase::AllAttrs, 24)],
+        &SpaConfig::default(),
+        17,
+    );
+    for spec in &specs {
+        session.execute(&QueryRequest::spec(spec.clone())).unwrap();
+        if session.cache().counters().evictions > 0 {
+            break;
+        }
+    }
+    let c = session.cache().counters();
+    assert!(c.evictions > 0, "capacity pressure should have evicted");
+    assert!(
+        c.result_invalidations > 0,
+        "evicting pinned entries must invalidate dependent results"
+    );
+}
+
+/// Re-registering a source (a source change) invalidates every result
+/// computed from it, and the fresh registration answers queries against
+/// the *new* bytes.
+#[test]
+fn source_reregistration_invalidates_results() {
+    use recache::data::{csv, gen::tpch};
+    let mut session = ReCache::builder().result_cache_enabled(true).build();
+    let schema = tpch::lineitem_schema();
+    let (_, rows) = tpch::gen_orders_and_lineitems(0.0005, 3);
+    session.register_csv_bytes("lineitem", csv::write_csv(&schema, &rows), schema);
+    let first = session.execute(&QueryRequest::sql(Q)).unwrap();
+    assert_eq!(session.result_cache().len(), 1);
+    // Replace the source with a halved dataset.
+    let schema = tpch::lineitem_schema();
+    let half: Vec<_> = rows[..rows.len() / 2].to_vec();
+    session.register_csv_bytes("lineitem", csv::write_csv(&schema, &half), schema);
+    assert_eq!(
+        session.result_cache().len(),
+        0,
+        "source change must drop dependent results"
+    );
+    assert!(session.cache().counters().result_invalidations >= 1);
+    let after = session.execute(&QueryRequest::sql(Q)).unwrap();
+    assert_ne!(after.telemetry.outcome, CacheOutcome::ResultHit);
+    assert!(
+        after.rows_aggregated <= first.rows_aggregated,
+        "the re-registered (smaller) source must answer, not the stale result"
+    );
+}
+
+/// Stale-result impossibility under races: concurrent sessions hammer a
+/// small pool of repeated queries against a capacity-constrained shared
+/// session (admissions and evictions racing result inserts and
+/// invalidations the whole time); every single answer must equal the
+/// no-caching truth, and the result-cache counters must reconcile.
+#[test]
+fn concurrent_admit_evict_races_never_serve_stale_results() {
+    let sf = 0.0004;
+    let (truth_session, domains) = common::tpch_session(ReCache::builder().no_caching(), sf, 7);
+    let specs = spa_workload(
+        "lineitem",
+        &domains["lineitem"],
+        &[(PoolPhase::AllAttrs, 8)],
+        &SpaConfig::default(),
+        7,
+    );
+    let truth: Vec<Vec<Value>> = specs
+        .iter()
+        .map(|s| {
+            truth_session
+                .execute(&QueryRequest::spec(s.clone()))
+                .unwrap()
+                .rows
+                .clone()
+        })
+        .collect();
+
+    let (shared, _) = common::tpch_session(
+        ReCache::builder()
+            .result_cache_enabled(true)
+            // Tight data-cache budget: entries keep getting evicted,
+            // firing result invalidation concurrently with lookups.
+            .cache_capacity_bytes(48 << 10),
+        sf,
+        7,
+    );
+    let workers = 4;
+    std::thread::scope(|scope| {
+        for t in 0..workers {
+            let shared = &shared;
+            let specs = &specs;
+            let truth = &truth;
+            scope.spawn(move || {
+                for i in 0..40usize {
+                    let j = (t + i) % specs.len();
+                    let response = shared
+                        .execute(&QueryRequest::spec(specs[j].clone()))
+                        .unwrap();
+                    assert_eq!(
+                        response.rows, truth[j],
+                        "query {j} (worker {t}, iter {i}) diverged from the no-caching truth"
+                    );
+                }
+            });
+        }
+    });
+    let c = shared.cache().counters();
+    // Every query either hit or missed the result cache; at quiescence
+    // the resident results are bounded by inserts minus departures.
+    assert_eq!(c.result_hits + c.result_misses, (workers * 40) as u64);
+    assert!(c.result_hits > 0, "repeats should produce result hits");
+    assert!(
+        (shared.result_cache().len() as u64)
+            <= c.result_misses - c.result_evictions - c.result_invalidations,
+        "residents cannot exceed inserts minus evictions/invalidations"
+    );
+}

@@ -13,42 +13,74 @@
 //! * `--verify` re-executes the whole workload locally (serial) and
 //!   compares every wire result; any mismatch fails the run.
 //! * `--deadline-ms N` ships a per-request deadline in each frame.
+//! * `--chaos` injects seeded wire faults (resets, torn frames, stalls,
+//!   latency) into every driver connection and turns on retry with
+//!   backoff; `--chaos-seed N` picks the fault pattern (default: the
+//!   workload seed). The run fails if any request is *lost* — i.e. the
+//!   transport died and retries ran out without a response or a typed
+//!   error.
+//! * `--retries N` sets the attempt budget per request (default 1;
+//!   `--chaos` defaults it to 6).
 //! * `--shutdown` sends a shutdown frame after the run (CI smoke uses
 //!   this to check graceful drain).
 //! * `--out FILE` appends a machine-readable JSON report.
 //!
-//! Exits nonzero on mismatches or non-shed errors; sheds are an
-//! expected overload outcome and are only reported.
+//! Exits nonzero on mismatches, lost requests, or non-shed errors;
+//! sheds are an expected overload outcome and are only reported.
 
 use recache_bench::args::Args;
 use recache_bench::loadgen::{run_load, LoadConfig};
-use recache_server::Client;
+use recache_server::{Client, RetryPolicy, WireFaultPlan};
 use std::time::Duration;
 
 fn main() {
     let args = Args::parse();
+    let chaos_enabled = args.flag("chaos");
+    let seed = args.u64("seed", 42);
+    let chaos_seed = args.u64("chaos-seed", seed);
+    let retries = args.usize("retries", if chaos_enabled { 6 } else { 1 }) as u32;
     let config = LoadConfig {
         addr: args.str("addr", "127.0.0.1:7654"),
         qps: args.f64("qps", 100.0),
         requests: args.usize("requests", 200),
         connections: args.usize("connections", 4),
         sf: args.f64("sf", 0.001),
-        seed: args.u64("seed", 42),
+        seed,
         deadline: match args.u64("deadline-ms", 0) {
             0 => None,
             ms => Some(Duration::from_millis(ms)),
         },
         verify: args.flag("verify"),
+        retry: if retries > 1 {
+            RetryPolicy::retries(retries, chaos_seed)
+        } else {
+            RetryPolicy::none()
+        },
+        chaos: chaos_enabled.then(|| {
+            // Modest rates: enough that a few-hundred-request run hits
+            // every fault kind, low enough that the retry budget always
+            // covers the unlucky tail.
+            WireFaultPlan::new(chaos_seed)
+                .resets(0.02)
+                .torn_frames(0.02)
+                .stalls(0.01, Duration::from_millis(50))
+                .latency(0.05, Duration::from_millis(2))
+        }),
     };
     let out_path = args.str("out", "");
 
     eprintln!(
-        "loadgen: {} requests at {} qps over {} connections against {}{}",
+        "loadgen: {} requests at {} qps over {} connections against {}{}{}",
         config.requests,
         config.qps,
         config.connections,
         config.addr,
-        if config.verify { " (verifying)" } else { "" }
+        if config.verify { " (verifying)" } else { "" },
+        if chaos_enabled {
+            format!(" (chaos seed {chaos_seed}, {retries} attempts)")
+        } else {
+            String::new()
+        }
     );
     let report = match run_load(&config) {
         Ok(report) => report,
@@ -60,8 +92,12 @@ fn main() {
 
     let ms = |ns: u64| ns as f64 / 1e6;
     println!(
-        "loadgen: sent {} ok {} shed {} failed {} mismatched {}",
-        report.sent, report.ok, report.shed, report.failed, report.mismatched
+        "loadgen: sent {} ok {} shed {} failed {} lost {} mismatched {}",
+        report.sent, report.ok, report.shed, report.failed, report.lost, report.mismatched
+    );
+    println!(
+        "loadgen: retries {} reconnects {} (resilience work, excluded from ok/failed)",
+        report.retries, report.reconnects
     );
     println!(
         "loadgen: p50 {:.3} ms  p95 {:.3} ms  p99 {:.3} ms  (scheduled-arrival latency)",
@@ -78,14 +114,18 @@ fn main() {
 
     if !out_path.is_empty() {
         let json = format!(
-            "{{\"sent\": {}, \"ok\": {}, \"shed\": {}, \"failed\": {}, \"mismatched\": {}, \
+            "{{\"sent\": {}, \"ok\": {}, \"shed\": {}, \"failed\": {}, \"lost\": {}, \
+             \"mismatched\": {}, \"retries\": {}, \"reconnects\": {}, \
              \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
              \"shed_rate\": {:.6}, \"achieved_qps\": {:.3}}}\n",
             report.sent,
             report.ok,
             report.shed,
             report.failed,
+            report.lost,
             report.mismatched,
+            report.retries,
+            report.reconnects,
             report.quantile_ns(0.50),
             report.quantile_ns(0.95),
             report.quantile_ns(0.99),
@@ -106,10 +146,10 @@ fn main() {
         }
     }
 
-    if report.mismatched > 0 || report.failed > 0 {
+    if report.mismatched > 0 || report.failed > 0 || report.lost > 0 {
         eprintln!(
-            "loadgen: FAILED ({} mismatched, {} hard errors)",
-            report.mismatched, report.failed
+            "loadgen: FAILED ({} mismatched, {} hard errors, {} lost)",
+            report.mismatched, report.failed, report.lost
         );
         std::process::exit(1);
     }

@@ -552,6 +552,7 @@ fn server_family(sf: f64, requests: usize, out: &mut Vec<BenchResult>) -> LoadRe
         seed,
         deadline: None,
         verify: false,
+        ..LoadConfig::default()
     };
     let report = run_load(&load).expect("server load run");
     for (mode, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {

@@ -13,12 +13,22 @@
 //! Because the workload is regenerated from `(sf, seed, requests)` on
 //! both sides, the driver can optionally verify every wire result
 //! against local serial execution without shipping any data.
+//!
+//! **Chaos mode** installs a seeded [`WireFaultPlan`] on every driver
+//! connection (client-side resets, torn frames, stalls, latency) and a
+//! retrying [`RetryPolicy`]; the report then separates *retries* and
+//! *reconnects* (resilience work, kept out of the latency samples'
+//! meaning — latency is still scheduled-arrival to final completion)
+//! from *lost* requests, which exhausted the retry budget on a
+//! transport failure. A healthy chaos run loses nothing: every fault
+//! either retries into a result or surfaces as a typed error.
 
 use recache_core::QueryRequest;
 use recache_server::dataset::{serving_session, serving_workload};
-use recache_server::Client;
+use recache_server::{Client, RetryPolicy, WireFaultPlan};
 use recache_types::{Error, Result, Value};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Load-driver knobs.
@@ -40,6 +50,10 @@ pub struct LoadConfig {
     pub deadline: Option<Duration>,
     /// Verify every result against local serial execution.
     pub verify: bool,
+    /// Retry policy applied by every driver connection.
+    pub retry: RetryPolicy,
+    /// Client-side wire-fault plan (chaos mode); `None` = clean wire.
+    pub chaos: Option<WireFaultPlan>,
 }
 
 impl Default for LoadConfig {
@@ -53,6 +67,8 @@ impl Default for LoadConfig {
             seed: 42,
             deadline: None,
             verify: false,
+            retry: RetryPolicy::none(),
+            chaos: None,
         }
     }
 }
@@ -66,14 +82,25 @@ pub struct LoadReport {
     pub ok: usize,
     /// Requests shed by admission control (`Error::Overloaded`).
     pub shed: usize,
-    /// Requests failing with any other error (deadline, I/O, ...).
+    /// Requests failing with a typed non-transport error (deadline,
+    /// execution, internal, ...).
     pub failed: usize,
+    /// Requests lost to the wire: the transport died and the retry
+    /// budget ran out before a response arrived. A chaos run with
+    /// enough retries must report zero.
+    pub lost: usize,
     /// Verified results that differed from local serial execution.
     pub mismatched: usize,
+    /// Attempts beyond the first, across all connections (resilience
+    /// work, reported separately from latency).
+    pub retries: u64,
+    /// Fresh connections opened to replace dead ones.
+    pub reconnects: u64,
     /// Wall time of the whole run.
     pub wall_ns: u64,
     /// Sorted scheduled-arrival-to-completion latencies of `ok`
-    /// requests.
+    /// requests (retries included in the sample's span — a request that
+    /// succeeded on attempt three is charged all three).
     pub latencies_ns: Vec<u64>,
 }
 
@@ -113,7 +140,10 @@ struct WorkerTally {
     ok: usize,
     shed: usize,
     failed: usize,
+    lost: usize,
     mismatched: usize,
+    retries: u64,
+    reconnects: u64,
     latencies_ns: Vec<u64>,
 }
 
@@ -143,19 +173,35 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport> {
     };
     let next = AtomicUsize::new(0);
     let connections = config.connections.max(1);
+    let chaos = config.chaos.clone().map(Arc::new);
     let start = Instant::now();
     let tallies: Vec<Result<WorkerTally>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
-            .map(|_| {
+            .map(|worker| {
                 let specs = &specs;
                 let expected = expected.as_ref();
                 let next = &next;
+                let chaos = chaos.clone();
+                let retry = config.retry.clone();
                 scope.spawn(move || -> Result<WorkerTally> {
-                    let mut client = Client::connect(&config.addr)?;
+                    // Each worker's fault coordinates live in their own
+                    // stripe; in-client reconnect generations stride
+                    // within it.
+                    let coordinate = |generation: u64| (worker as u64) << 32 | generation;
+                    let mut generation = 0u64;
+                    let mut client = Client::connect_with(
+                        &config.addr,
+                        retry.clone(),
+                        chaos.clone(),
+                        coordinate(generation),
+                    )?;
                     let mut tally = WorkerTally::default();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= specs.len() {
+                            let stats = client.stats_local();
+                            tally.retries += stats.retries;
+                            tally.reconnects += stats.reconnects;
                             return Ok(tally);
                         }
                         let due = Duration::from_nanos(i as u64 * interval_ns);
@@ -180,6 +226,25 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport> {
                                 }
                             }
                             Err(Error::Overloaded) => tally.shed += 1,
+                            Err(Error::ConnectionLost(_)) | Err(Error::Io(_)) => {
+                                // The retry budget (if any) is spent and
+                                // the transport is dead: the request is
+                                // lost. Replace the client on a fresh
+                                // fault coordinate so the rest of this
+                                // worker's schedule still runs.
+                                tally.lost += 1;
+                                let stats = client.stats_local();
+                                tally.retries += stats.retries;
+                                tally.reconnects += stats.reconnects;
+                                generation += 1;
+                                tally.reconnects += 1;
+                                client = Client::connect_with(
+                                    &config.addr,
+                                    retry.clone(),
+                                    chaos.clone(),
+                                    coordinate(generation),
+                                )?;
+                            }
                             Err(_) => tally.failed += 1,
                         }
                     }
@@ -203,7 +268,10 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport> {
         report.ok += tally.ok;
         report.shed += tally.shed;
         report.failed += tally.failed;
+        report.lost += tally.lost;
         report.mismatched += tally.mismatched;
+        report.retries += tally.retries;
+        report.reconnects += tally.reconnects;
         report.latencies_ns.extend(tally.latencies_ns);
     }
     report.latencies_ns.sort_unstable();

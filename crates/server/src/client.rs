@@ -1,50 +1,262 @@
-//! Blocking client for the wire protocol (tests and the load driver).
+//! Blocking client for the wire protocol (tests and the load driver),
+//! with an opt-in resilience layer: typed connection-loss errors,
+//! policy-driven retry with exponential backoff and decorrelated
+//! jitter, and automatic reconnect.
+//!
+//! Retry is safe by construction — queries are read-only, so resending
+//! one cannot double-apply anything — but it is **off by default**:
+//! `Client::connect` behaves exactly like the pre-resilience client
+//! (one attempt, typed errors surfaced as-is), so callers that count
+//! shed responses see every shed. Chaos tests and `loadgen --chaos`
+//! opt in with [`RetryPolicy`].
+//!
+//! Reconnecting deliberately moves to a **new fault-plan coordinate**
+//! (the connection id advances by generation), so under seeded fault
+//! injection a retried request does not deterministically replay the
+//! fault that killed its predecessor.
 
-use crate::protocol::{
-    decode_response, encode_request, read_frame, write_frame, QueryReply, Request, Response,
-    StatsReply,
-};
+use crate::netfault::{FaultyStream, WireFaultPlan};
+use crate::protocol::{decode_response, encode_request, QueryReply, Request, Response, StatsReply};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use recache_core::QueryRequest;
 use recache_types::{Error, Result};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Retry policy for transient failures (`Error::is_transient()`):
+/// connection loss, overload sheds, retryable I/O.
+///
+/// Sleeps follow *decorrelated jitter*: each sleep is drawn uniformly
+/// from `[base, prev * 3]` and clamped to `cap`, which spreads
+/// concurrent retriers apart instead of synchronizing them into waves
+/// the way fixed exponential backoff does. The jitter RNG is seeded, so
+/// a chaos run's retry timing is reproducible.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retry.
+    pub max_attempts: u32,
+    /// Lower bound of every backoff sleep.
+    pub base: Duration,
+    /// Upper bound any sleep is clamped to.
+    pub cap: Duration,
+    /// Seed for the jitter RNG.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: fail on the first error (the default).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base: Duration::from_millis(0),
+            cap: Duration::from_millis(0),
+            seed: 0,
+        }
+    }
+
+    /// A sensible chaos-tolerant policy: `attempts` tries with
+    /// decorrelated jitter between 5 ms and 250 ms.
+    pub fn retries(attempts: u32, seed: u64) -> Self {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(250),
+            seed,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// What the resilience layer did on a client's behalf — the load driver
+/// reports these separately from latency, so retries are visible
+/// instead of silently folded into response times.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Attempts beyond the first, across all requests.
+    pub retries: u64,
+    /// Fresh connections opened to replace dead ones.
+    pub reconnects: u64,
+}
 
 /// One connection to a `recache-server`; requests run one at a time per
 /// connection (open several clients for concurrency).
+///
+/// The transport is a [`FaultyStream`]: fault-free unless a
+/// [`WireFaultPlan`] is installed via
+/// [`connect_with`](Self::connect_with), in which case every frame in
+/// both directions consults the plan — this is how chaos tests inject
+/// resets, torn frames, and stalls into client-side I/O.
 pub struct Client {
-    stream: TcpStream,
+    transport: FaultyStream,
+    peer: SocketAddr,
+    policy: RetryPolicy,
+    faults: Option<Arc<WireFaultPlan>>,
+    /// Base fault-plan coordinate for this client; each reconnect
+    /// advances the generation so retried requests draw fresh faults.
+    connection: u64,
+    generation: u64,
+    jitter: StdRng,
+    stats: ClientStats,
 }
 
 impl Client {
+    /// Connects with no retry and no fault injection — the conservative
+    /// default used by tests that count typed errors.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Client::connect_with(addr, RetryPolicy::none(), None, 0)
+    }
+
+    /// Connects with a retry policy and (for chaos runs) a client-side
+    /// wire-fault plan anchored at connection coordinate `connection`.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+        faults: Option<Arc<WireFaultPlan>>,
+        connection: u64,
+    ) -> Result<Client> {
         let stream = TcpStream::connect(addr).map_err(Error::Io)?;
         stream.set_nodelay(true).map_err(Error::Io)?;
-        Ok(Client { stream })
+        let peer = stream.peer_addr().map_err(Error::Io)?;
+        let jitter = StdRng::seed_from_u64(policy.seed ^ connection);
+        Ok(Client {
+            transport: FaultyStream::with_faults(stream, faults.clone(), connection),
+            peer,
+            policy,
+            faults,
+            connection,
+            generation: 0,
+            jitter,
+            stats: ClientStats::default(),
+        })
+    }
+
+    /// What the resilience layer has done so far.
+    pub fn stats_local(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Opens a fresh connection to the same peer at the next fault-plan
+    /// generation (a new coordinate — injected faults redraw).
+    fn reconnect(&mut self) -> Result<()> {
+        let stream = TcpStream::connect(self.peer).map_err(Error::Io)?;
+        stream.set_nodelay(true).map_err(Error::Io)?;
+        self.generation += 1;
+        self.stats.reconnects += 1;
+        // Generations stride by a large odd constant so successive
+        // coordinates land far apart in the plan's hash space.
+        let coordinate = self
+            .connection
+            .wrapping_add(self.generation.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        self.transport = FaultyStream::with_faults(stream, self.faults.clone(), coordinate);
+        Ok(())
+    }
+
+    /// Maps a transport-level I/O failure to the typed, transient
+    /// [`Error::ConnectionLost`] when the failure mode says the peer (or
+    /// an injected fault) killed the connection; other kinds stay
+    /// `Error::Io`.
+    fn classify_io(context: &str, e: std::io::Error) -> Error {
+        match e.kind() {
+            ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::NotConnected
+            | ErrorKind::UnexpectedEof => Error::connection_lost(format!("{context}: {e}")),
+            _ => Error::Io(e),
+        }
     }
 
     fn round_trip(&mut self, request: &Request) -> Result<Response> {
-        write_frame(&mut self.stream, &encode_request(request)).map_err(Error::Io)?;
-        let payload = read_frame(&mut self.stream)
-            .map_err(Error::Io)?
-            .ok_or_else(|| Error::exec("server closed the connection mid-request"))?;
+        self.transport
+            .send_frame(&encode_request(request))
+            .map_err(|e| Self::classify_io("request write failed", e))?;
+        let payload = self
+            .transport
+            .recv_frame()
+            .map_err(|e| Self::classify_io("response read failed", e))?
+            .ok_or_else(|| {
+                // EOF between our request and its response: the server
+                // (or a fault) closed the connection mid-request. Typed
+                // and transient — queries are read-only, resending is
+                // safe.
+                Error::connection_lost("server closed the connection mid-request")
+            })?;
         decode_response(&payload)
+    }
+
+    /// One decorrelated-jitter backoff sleep; returns the slept length.
+    fn backoff(&mut self, prev: Duration) -> Duration {
+        let base = self.policy.base;
+        let ceiling = prev.saturating_mul(3).clamp(base, self.policy.cap);
+        let sleep = if ceiling > base {
+            let span = (ceiling - base).as_micros() as u64;
+            base + Duration::from_micros(self.jitter.random_range(0..=span))
+        } else {
+            base
+        };
+        if !sleep.is_zero() {
+            std::thread::sleep(sleep);
+        }
+        sleep
     }
 
     /// Executes a query, reconstructing typed errors (code + transience)
     /// from error frames — `Err(Error::Overloaded)` here round-tripped
     /// the wire and is still `is_transient()`.
+    ///
+    /// Under a retrying [`RetryPolicy`], transient failures are retried
+    /// with backoff — reconnecting first when the transport died — until
+    /// the attempt budget runs out or the request's own deadline would
+    /// be overrun (a retry that cannot finish in time is not attempted;
+    /// the caller gets the transient error instead of a guaranteed
+    /// `Timeout`).
     pub fn query(&mut self, request: &QueryRequest) -> Result<QueryReply> {
-        match self.round_trip(&Request::Query(request.clone()))? {
-            Response::Result(reply) => Ok(reply),
-            Response::Error {
-                code,
-                transient,
-                message,
-            } => Err(Error::from_wire(code, transient, &message)),
-            _ => Err(Error::exec("unexpected response frame to a query")),
+        let started = Instant::now();
+        let budget = request.get_deadline();
+        let mut prev_sleep = self.policy.base;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let err = match self.round_trip(&Request::Query(request.clone())) {
+                Ok(Response::Result(reply)) => return Ok(reply),
+                Ok(Response::Error {
+                    code,
+                    transient,
+                    message,
+                }) => Error::from_wire(code, transient, &message),
+                Ok(_) => return Err(Error::exec("unexpected response frame to a query")),
+                Err(err) => err,
+            };
+            if attempt >= self.policy.max_attempts || !err.is_transient() {
+                return Err(err);
+            }
+            // A dead transport must be replaced before the next attempt;
+            // a typed server-side shed rides the same connection.
+            if matches!(err, Error::ConnectionLost(_) | Error::Io(_)) && self.reconnect().is_err() {
+                return Err(err);
+            }
+            if let Some(budget) = budget {
+                // Budget check after reconnect (connect time counts):
+                // only retry if there is plausibly time left to finish.
+                if started.elapsed() + prev_sleep >= budget {
+                    return Err(err);
+                }
+            }
+            self.stats.retries += 1;
+            prev_sleep = self.backoff(prev_sleep);
         }
     }
 
-    /// Snapshots server statistics.
+    /// Snapshots server statistics (never retried — stats probes are
+    /// cheap for callers to reissue and often used to observe failures).
     pub fn stats(&mut self) -> Result<StatsReply> {
         match self.round_trip(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),

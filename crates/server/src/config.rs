@@ -22,6 +22,35 @@ pub struct ServerConfig {
     /// Deadline imposed on requests that do not carry their own
     /// (`RECACHE_DEADLINE_MS`, default none).
     pub default_deadline: Option<Duration>,
+    /// Per-frame read deadline: once the first byte of a request frame
+    /// arrives, the whole frame must complete within this budget or the
+    /// connection is killed (`RECACHE_FRAME_DEADLINE_MS`, default
+    /// 2000 ms; `0` disables). This is the slowloris bound — a peer
+    /// that sends one byte and stalls costs one deadline, not a wedged
+    /// connection thread.
+    pub frame_deadline: Duration,
+    /// Socket write timeout for response frames
+    /// (`RECACHE_WRITE_TIMEOUT_MS`, default 5000 ms; `0` disables). A
+    /// peer that stops reading makes the write fail instead of pinning
+    /// the connection thread on a full socket buffer.
+    pub write_timeout: Option<Duration>,
+    /// Maximum concurrently served connections
+    /// (`RECACHE_MAX_CONNECTIONS`, default 256). Accepts beyond the cap
+    /// are shed with a typed transient `Overloaded` error frame —
+    /// distinct from query-gate sheds, counted in `conn_shed_at_accept`.
+    pub max_connections: usize,
+    /// Idle-connection reaping: a connection with no complete frame for
+    /// this long is closed (`RECACHE_IDLE_TIMEOUT_MS`, default none —
+    /// long-lived clients are legitimate; enable it on internet-facing
+    /// deployments).
+    pub idle_timeout: Option<Duration>,
+    /// Panic-injection hook for exercising the connection-level panic
+    /// firewall (`RECACHE_PANIC_TAG`, default none): a query whose
+    /// request tag equals this value panics inside execution, which the
+    /// server must convert into a typed `Internal` error frame on a
+    /// connection that keeps serving. Chaos tests only — leave unset in
+    /// production.
+    pub panic_tag: Option<String>,
     /// Whether the serving session's semantic result cache is on
     /// (`RECACHE_RESULT_CACHE_ENABLED`, default **true** — served
     /// traffic repeats queries, which is exactly what the result cache
@@ -42,6 +71,11 @@ impl Default for ServerConfig {
             max_queued: 16,
             total_threads: 0,
             default_deadline: None,
+            frame_deadline: Duration::from_millis(2000),
+            write_timeout: Some(Duration::from_millis(5000)),
+            max_connections: 256,
+            idle_timeout: None,
+            panic_tag: None,
             result_cache_enabled: true,
             result_cache_bytes: None,
         }
@@ -79,6 +113,29 @@ impl ServerConfig {
                 .filter(|&ms| ms > 0)
                 .map(Duration::from_millis)
                 .or(defaults.default_deadline),
+            frame_deadline: match env_parse::<u64>("RECACHE_FRAME_DEADLINE_MS") {
+                // 0 disables: read_frame_bounded treats an unreachable
+                // deadline as "never".
+                Some(0) => Duration::from_secs(u64::MAX),
+                Some(ms) => Duration::from_millis(ms),
+                None => defaults.frame_deadline,
+            },
+            write_timeout: match env_parse::<u64>("RECACHE_WRITE_TIMEOUT_MS") {
+                Some(0) => None,
+                Some(ms) => Some(Duration::from_millis(ms)),
+                None => defaults.write_timeout,
+            },
+            max_connections: env_parse("RECACHE_MAX_CONNECTIONS")
+                .filter(|&n: &usize| n > 0)
+                .unwrap_or(defaults.max_connections),
+            idle_timeout: env_parse::<u64>("RECACHE_IDLE_TIMEOUT_MS")
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis)
+                .or(defaults.idle_timeout),
+            panic_tag: std::env::var("RECACHE_PANIC_TAG")
+                .ok()
+                .filter(|tag| !tag.is_empty())
+                .or(defaults.panic_tag),
             result_cache_enabled: env_bool("RECACHE_RESULT_CACHE_ENABLED")
                 .unwrap_or(defaults.result_cache_enabled),
             result_cache_bytes: env_parse("RECACHE_RESULT_CACHE_BYTES")

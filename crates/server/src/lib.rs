@@ -10,7 +10,15 @@
 //!   connections, per-query deadline propagation into the engine's
 //!   cancellation machinery, and graceful drain on shutdown.
 //! * [`client`] — a blocking client used by the integration tests and
-//!   the `recache-bench` open-loop load driver.
+//!   the `recache-bench` open-loop load driver, with opt-in retry
+//!   (exponential backoff + decorrelated jitter over transient errors)
+//!   and automatic reconnect.
+//! * [`netfault`] — seeded wire-level fault injection: a
+//!   [`WireFaultPlan`] decides per
+//!   `(connection, frame, direction)` whether a frame is reset, torn,
+//!   stalled, or delayed, and [`FaultyStream`]
+//!   applies it to real sockets on both the client and server response
+//!   paths.
 //! * [`dataset`] — the seeded demo dataset + workload shared by the
 //!   server binary and the load driver, so results verify end to end.
 
@@ -18,11 +26,13 @@ pub mod client;
 pub mod config;
 pub mod dataset;
 pub mod histogram;
+pub mod netfault;
 pub mod protocol;
 pub mod server;
 
-pub use client::Client;
+pub use client::{Client, ClientStats, RetryPolicy};
 pub use config::ServerConfig;
 pub use histogram::Histogram;
+pub use netfault::{FaultyStream, WireDirection, WireFault, WireFaultPlan};
 pub use protocol::{QueryReply, Request, Response, StatsReply};
-pub use server::{Server, ServerHandle};
+pub use server::{ConnectionCounters, Server, ServerHandle};

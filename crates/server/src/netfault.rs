@@ -1,0 +1,422 @@
+//! Seeded, deterministic fault injection for the wire.
+//!
+//! The transport twin of `recache_data::fault`: a [`WireFaultPlan`]
+//! decides — per `(connection, frame, direction)` — whether a frame
+//! send or receive fails, and how: a **connection reset** (the socket
+//! is shut down both ways), a **torn frame** (the length prefix and a
+//! partial payload reach the wire, then the socket dies — the peer
+//! sees a half-sent frame), a **mid-frame stall** (half the frame goes
+//! out, then the sender sleeps before finishing — exercising the
+//! receiver's frame deadline), or **byte-level latency** (the frame is
+//! delayed but intact).
+//!
+//! Decisions are **stateless**: each one hashes `(seed, connection,
+//! frame, direction)` into a fresh [`StdRng`], so the fault pattern is
+//! a pure function of the seed — independent of thread interleaving or
+//! how many requests ran before. Reconnecting yields a new connection
+//! coordinate, so a retried request does not replay the fault that
+//! killed its predecessor by construction (it redraws at the new
+//! coordinate).
+//!
+//! [`FaultyStream`] is the frame transport that applies a plan: both
+//! the [`Client`](crate::Client) and the server's response path speak
+//! frames through it, so chaos tests and `loadgen --chaos` inject
+//! faults into client *and* server I/O with one mechanism.
+
+use crate::protocol::{read_frame, write_frame};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+/// Which way a frame is moving when a fault decision is made. Each
+/// direction draws an independent pattern, so a torn request and a torn
+/// response are separate coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireDirection {
+    /// The frame is being written to the peer.
+    Send,
+    /// The frame is being read from the peer.
+    Recv,
+}
+
+impl WireDirection {
+    fn code(self) -> u64 {
+        match self {
+            WireDirection::Send => 0x5345_4E44_0000_0000, // "SEND"
+            WireDirection::Recv => 0x5245_4356_0000_0000, // "RECV"
+        }
+    }
+}
+
+/// What an injected wire fault does to the frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// The socket is shut down both ways before the frame moves; the
+    /// local caller gets `ConnectionReset` and the peer sees EOF.
+    Reset,
+    /// Sending: the length prefix plus half the payload reach the wire,
+    /// then the socket dies — the peer observes a frame that never
+    /// completes. Receiving: the reader abandons the frame mid-payload
+    /// and kills the connection.
+    Torn,
+    /// Sending: half the frame goes out, then the sender sleeps the
+    /// configured stall before finishing — a well-behaved peer needs a
+    /// frame deadline to not wedge on this. Receiving: the read is
+    /// delayed by the stall, then proceeds.
+    Stall,
+    /// The frame is delayed by the configured latency, then moves
+    /// intact.
+    Latency,
+}
+
+/// Seeded wire-fault plan. All rates are probabilities in `[0, 1]`; a
+/// default plan injects nothing.
+#[derive(Debug, Clone)]
+pub struct WireFaultPlan {
+    seed: u64,
+    reset_rate: f64,
+    torn_rate: f64,
+    stall_rate: f64,
+    stall: Duration,
+    latency_rate: f64,
+    latency: Duration,
+}
+
+impl WireFaultPlan {
+    /// A plan with the given seed and all rates zero.
+    pub fn new(seed: u64) -> Self {
+        WireFaultPlan {
+            seed,
+            reset_rate: 0.0,
+            torn_rate: 0.0,
+            stall_rate: 0.0,
+            stall: Duration::from_millis(50),
+            latency_rate: 0.0,
+            latency: Duration::from_millis(2),
+        }
+    }
+
+    /// Sets the connection-reset rate.
+    pub fn resets(mut self, rate: f64) -> Self {
+        self.reset_rate = rate;
+        self
+    }
+
+    /// Sets the torn-frame rate.
+    pub fn torn_frames(mut self, rate: f64) -> Self {
+        self.torn_rate = rate;
+        self
+    }
+
+    /// Sets the mid-frame stall rate and stall length.
+    pub fn stalls(mut self, rate: f64, stall: Duration) -> Self {
+        self.stall_rate = rate;
+        self.stall = stall;
+        self
+    }
+
+    /// Sets the frame-latency rate and delay.
+    pub fn latency(mut self, rate: f64, delay: Duration) -> Self {
+        self.latency_rate = rate;
+        self.latency = delay;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The configured mid-frame stall length.
+    pub fn stall_duration(&self) -> Duration {
+        self.stall
+    }
+
+    fn rng(&self, connection: u64, frame: u64, direction: WireDirection) -> StdRng {
+        // seed_from_u64 runs SplitMix64, so a cheap xor/multiply mix of
+        // the coordinates decorrelates nearby frames (same construction
+        // as recache_data::fault::FaultPlan).
+        let mut key = self.seed ^ direction.code();
+        key = key
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(connection);
+        key = key.wrapping_mul(0xBF58_476D_1CE4_E5B9).wrapping_add(frame);
+        StdRng::seed_from_u64(key)
+    }
+
+    /// The fault (if any) for one `(connection, frame, direction)`
+    /// coordinate. Pure function of the plan — no interior state.
+    pub fn decide(
+        &self,
+        connection: u64,
+        frame: u64,
+        direction: WireDirection,
+    ) -> Option<WireFault> {
+        let mut rng = self.rng(connection, frame, direction);
+        if self.reset_rate > 0.0 && rng.random_bool(self.reset_rate) {
+            return Some(WireFault::Reset);
+        }
+        if self.torn_rate > 0.0 && rng.random_bool(self.torn_rate) {
+            return Some(WireFault::Torn);
+        }
+        if self.stall_rate > 0.0 && rng.random_bool(self.stall_rate) {
+            return Some(WireFault::Stall);
+        }
+        if self.latency_rate > 0.0 && rng.random_bool(self.latency_rate) {
+            return Some(WireFault::Latency);
+        }
+        None
+    }
+}
+
+/// The frame transport: a `TcpStream` plus an optional [`WireFaultPlan`]
+/// applied per frame. With no plan installed it is a plain framed
+/// socket; with one, every [`send_frame`](Self::send_frame) and
+/// [`recv_frame`](Self::recv_frame) consults the plan at its
+/// `(connection, frame, direction)` coordinate first.
+///
+/// After a reset or torn-frame fault the stream is dead: further calls
+/// fail with `NotConnected` until the owner reconnects (the
+/// [`Client`](crate::Client) maps this to the typed, transient
+/// [`Error::ConnectionLost`](recache_types::Error) and its retry layer
+/// opens a fresh connection — which is a fresh fault coordinate).
+pub struct FaultyStream {
+    stream: TcpStream,
+    plan: Option<std::sync::Arc<WireFaultPlan>>,
+    connection: u64,
+    sent: u64,
+    received: u64,
+    dead: bool,
+}
+
+impl FaultyStream {
+    /// A fault-free framed transport.
+    pub fn plain(stream: TcpStream) -> Self {
+        FaultyStream {
+            stream,
+            plan: None,
+            connection: 0,
+            sent: 0,
+            received: 0,
+            dead: false,
+        }
+    }
+
+    /// A transport with faults drawn from `plan` at connection
+    /// coordinate `connection`.
+    pub fn with_faults(
+        stream: TcpStream,
+        plan: Option<std::sync::Arc<WireFaultPlan>>,
+        connection: u64,
+    ) -> Self {
+        FaultyStream {
+            stream,
+            plan,
+            connection,
+            sent: 0,
+            received: 0,
+            dead: false,
+        }
+    }
+
+    /// The wrapped socket (timeout configuration, peer address).
+    pub fn socket(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    fn kill(&mut self, context: &str) -> std::io::Error {
+        self.dead = true;
+        let _ = self.stream.shutdown(Shutdown::Both);
+        std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            format!("injected {context} (connection {}, frame)", self.connection),
+        )
+    }
+
+    fn dead_err() -> std::io::Error {
+        std::io::Error::new(
+            std::io::ErrorKind::NotConnected,
+            "connection killed by an injected wire fault",
+        )
+    }
+
+    /// Writes one frame, applying this frame's fault decision.
+    pub fn send_frame(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        if self.dead {
+            return Err(Self::dead_err());
+        }
+        let frame = self.sent;
+        self.sent += 1;
+        let fault = self
+            .plan
+            .as_ref()
+            .and_then(|p| p.decide(self.connection, frame, WireDirection::Send));
+        match fault {
+            None => write_frame(&mut self.stream, payload),
+            Some(WireFault::Latency) => {
+                let delay = self.plan.as_ref().map(|p| p.latency).unwrap_or_default();
+                std::thread::sleep(delay);
+                write_frame(&mut self.stream, payload)
+            }
+            Some(WireFault::Stall) => {
+                // Half the frame, a long pause, then the rest: the peer
+                // sees a frame that stops making progress mid-payload.
+                let stall = self.plan.as_ref().map(|p| p.stall).unwrap_or_default();
+                let split = payload.len() / 2;
+                self.stream
+                    .write_all(&(payload.len() as u32).to_le_bytes())?;
+                self.stream.write_all(&payload[..split])?;
+                self.stream.flush()?;
+                std::thread::sleep(stall);
+                // The peer's frame deadline may have killed us during
+                // the stall; surface that as a reset, not a success.
+                self.stream.write_all(&payload[split..])?;
+                self.stream.flush()
+            }
+            Some(WireFault::Torn) => {
+                let split = payload.len() / 2;
+                let _ = self
+                    .stream
+                    .write_all(&(payload.len() as u32).to_le_bytes())
+                    .and_then(|()| self.stream.write_all(&payload[..split]))
+                    .and_then(|()| self.stream.flush());
+                Err(self.kill("torn frame"))
+            }
+            Some(WireFault::Reset) => Err(self.kill("connection reset")),
+        }
+    }
+
+    /// Reads one frame, applying this frame's fault decision.
+    /// `Ok(None)` is a clean EOF at a frame boundary.
+    pub fn recv_frame(&mut self) -> std::io::Result<Option<Vec<u8>>> {
+        if self.dead {
+            return Err(Self::dead_err());
+        }
+        let frame = self.received;
+        self.received += 1;
+        let fault = self
+            .plan
+            .as_ref()
+            .and_then(|p| p.decide(self.connection, frame, WireDirection::Recv));
+        match fault {
+            None => read_frame(&mut self.stream),
+            Some(WireFault::Latency) => {
+                let delay = self.plan.as_ref().map(|p| p.latency).unwrap_or_default();
+                std::thread::sleep(delay);
+                read_frame(&mut self.stream)
+            }
+            Some(WireFault::Stall) => {
+                let stall = self.plan.as_ref().map(|p| p.stall).unwrap_or_default();
+                std::thread::sleep(stall);
+                read_frame(&mut self.stream)
+            }
+            Some(WireFault::Torn) => {
+                // Abandon the frame mid-payload: pull the length prefix
+                // and half the bytes off the wire, then die.
+                let mut prefix = [0u8; 4];
+                if self.stream.read_exact(&mut prefix).is_ok() {
+                    let len = u32::from_le_bytes(prefix) as usize;
+                    let mut half = vec![0u8; len / 2];
+                    let _ = self.stream.read_exact(&mut half);
+                }
+                Err(self.kill("torn read"))
+            }
+            Some(WireFault::Reset) => Err(self.kill("connection reset")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_per_coordinate() {
+        let a = WireFaultPlan::new(42).resets(0.2).torn_frames(0.2);
+        let b = WireFaultPlan::new(42).resets(0.2).torn_frames(0.2);
+        for conn in 0..10 {
+            for frame in 0..50 {
+                for direction in [WireDirection::Send, WireDirection::Recv] {
+                    assert_eq!(
+                        a.decide(conn, frame, direction),
+                        b.decide(conn, frame, direction)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let plan = WireFaultPlan::new(7);
+        for frame in 0..500 {
+            assert_eq!(plan.decide(0, frame, WireDirection::Send), None);
+            assert_eq!(plan.decide(0, frame, WireDirection::Recv), None);
+        }
+    }
+
+    #[test]
+    fn directions_and_connections_draw_independent_patterns() {
+        let plan = WireFaultPlan::new(3).resets(0.5);
+        let dir_differs = (0..200).any(|frame| {
+            plan.decide(0, frame, WireDirection::Send) != plan.decide(0, frame, WireDirection::Recv)
+        });
+        assert!(dir_differs, "directions must not mirror each other");
+        let conn_differs = (0..200).any(|frame| {
+            plan.decide(0, frame, WireDirection::Send) != plan.decide(1, frame, WireDirection::Send)
+        });
+        assert!(conn_differs, "connections must not mirror each other");
+    }
+
+    #[test]
+    fn all_fault_kinds_are_reachable() {
+        let plan = WireFaultPlan::new(9)
+            .resets(0.25)
+            .torn_frames(0.25)
+            .stalls(0.25, Duration::from_millis(1))
+            .latency(0.25, Duration::from_millis(1));
+        let mut seen = std::collections::HashSet::new();
+        for frame in 0..500 {
+            if let Some(fault) = plan.decide(0, frame, WireDirection::Send) {
+                seen.insert(format!("{fault:?}"));
+            }
+        }
+        assert_eq!(seen.len(), 4, "expected all kinds over 500 draws: {seen:?}");
+    }
+
+    #[test]
+    fn faulty_stream_tears_and_resets_real_sockets() {
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut peer, _) = listener.accept().unwrap();
+            // Drain whatever partial bytes arrive until EOF.
+            let mut sink = Vec::new();
+            let _ = peer.read_to_end(&mut sink);
+            sink
+        });
+        // A plan that always tears the first sent frame.
+        let plan = WireFaultPlan::new(0).torn_frames(1.0);
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut faulty = FaultyStream::with_faults(stream, Some(std::sync::Arc::new(plan)), 0);
+        let payload = vec![0xAB; 64];
+        let err = faulty.send_frame(&payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+        // Subsequent use fails fast without touching the socket.
+        let err = faulty.send_frame(&payload).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::NotConnected);
+        let on_wire = server.join().unwrap();
+        assert!(
+            on_wire.len() < 4 + payload.len(),
+            "a torn frame must not arrive whole ({} bytes)",
+            on_wire.len()
+        );
+        assert!(
+            !on_wire.is_empty(),
+            "a torn frame leaves a partial prefix on the wire"
+        );
+    }
+}

@@ -176,6 +176,118 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> std::io::Result<bool>
     Ok(true)
 }
 
+/// Marker payload of the error [`read_frame_bounded`] returns when a
+/// frame fails to complete within its deadline; detect it with
+/// [`is_frame_deadline`].
+#[derive(Debug)]
+pub struct FrameDeadlineExceeded;
+
+impl std::fmt::Display for FrameDeadlineExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "frame read deadline exceeded")
+    }
+}
+
+impl std::error::Error for FrameDeadlineExceeded {}
+
+/// Whether an I/O error is a frame-deadline kill from
+/// [`read_frame_bounded`] (as opposed to an ordinary timeout between
+/// frames, which surfaces as a bare `WouldBlock`/`TimedOut`).
+pub fn is_frame_deadline(e: &std::io::Error) -> bool {
+    e.get_ref()
+        .is_some_and(|inner| inner.is::<FrameDeadlineExceeded>())
+}
+
+/// [`read_frame`] with a per-frame completion deadline.
+///
+/// The deadline clock starts when the **first byte** of a frame (its
+/// length prefix) arrives, and covers the whole frame. Timeouts *between*
+/// frames still surface as bare `WouldBlock`/`TimedOut` (the caller's
+/// idle/shutdown poll); once a frame has started, timeouts retry until
+/// the deadline, then fail with a [`FrameDeadlineExceeded`]-carrying
+/// `TimedOut` error — so a peer that sends one byte and stalls (a
+/// slowloris) costs one deadline, not a wedged reader thread. The reader
+/// should have a finite read timeout installed; that timeout is the
+/// poll granularity of the deadline.
+pub fn read_frame_bounded(
+    r: &mut impl Read,
+    frame_deadline: Duration,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut deadline: Option<std::time::Instant> = None;
+    let mut len = [0u8; 4];
+    if !read_exact_or_deadline(r, &mut len, &mut deadline, frame_deadline)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact_or_deadline(r, &mut payload, &mut deadline, frame_deadline)?;
+    Ok(Some(payload))
+}
+
+/// [`read_exact_or_eof`] with the frame deadline threaded through:
+/// `deadline` is armed on the first byte of the frame and shared by the
+/// prefix and payload reads, so the whole frame gets one budget.
+fn read_exact_or_deadline(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    deadline: &mut Option<std::time::Instant>,
+    frame_deadline: Duration,
+) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if let Some(at) = *deadline {
+            // Checked on every iteration, not only on timeouts: a peer
+            // dripping one byte per poll interval never times out a
+            // single read but still exhausts the frame budget.
+            if std::time::Instant::now() >= at {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    FrameDeadlineExceeded,
+                ));
+            }
+        }
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 && deadline.is_none() => return Ok(false),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => {
+                filled += n;
+                if deadline.is_none() {
+                    // `checked_add` so a huge configured deadline means
+                    // "never" instead of a panic.
+                    *deadline = std::time::Instant::now().checked_add(frame_deadline);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle between frames: hand control back to the caller's
+                // poll loop. Mid-frame: keep retrying until the deadline
+                // check above fires.
+                if deadline.is_none() {
+                    return Err(e);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
 // ---------------------------------------------------------------------
 // Byte-level encode/decode
 
@@ -814,6 +926,111 @@ mod tests {
         let mut bomb = vec![REQ_QUERY, 1];
         bomb.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(decode_request(&bomb).is_err());
+    }
+
+    /// Scripted reader: a sequence of byte chunks, `WouldBlock`s, and a
+    /// final behavior (endless blocking or EOF).
+    struct ScriptedReader {
+        events: std::collections::VecDeque<Option<Vec<u8>>>,
+        then_eof: bool,
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.events.pop_front() {
+                Some(Some(bytes)) => {
+                    assert!(buf.len() >= bytes.len(), "script chunk larger than ask");
+                    buf[..bytes.len()].copy_from_slice(&bytes);
+                    Ok(bytes.len())
+                }
+                Some(None) => Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "scripted timeout",
+                )),
+                None if self.then_eof => Ok(0),
+                None => Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "scripted idle",
+                )),
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_read_passes_idle_timeouts_through() {
+        let mut r = ScriptedReader {
+            events: [None].into(),
+            then_eof: false,
+        };
+        let err = read_frame_bounded(&mut r, Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+        assert!(
+            !is_frame_deadline(&err),
+            "an idle timeout is not a deadline kill"
+        );
+    }
+
+    #[test]
+    fn bounded_read_kills_a_stalled_frame() {
+        // One byte of the length prefix arrives, then nothing: the
+        // canonical slowloris. The frame deadline must fire.
+        let mut r = ScriptedReader {
+            events: [Some(vec![7u8])].into(),
+            then_eof: false,
+        };
+        let err = read_frame_bounded(&mut r, Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::TimedOut);
+        assert!(is_frame_deadline(&err), "expected a frame-deadline kill");
+    }
+
+    #[test]
+    fn bounded_read_assembles_dripped_frames_within_deadline() {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"chunks").unwrap();
+        // Frame dribbles in byte by byte with timeouts in between but
+        // finishes well inside the deadline.
+        let mut events = std::collections::VecDeque::new();
+        for byte in framed {
+            events.push_back(Some(vec![byte]));
+            events.push_back(None);
+        }
+        let mut r = ScriptedReader {
+            events,
+            then_eof: false,
+        };
+        let payload = read_frame_bounded(&mut r, Duration::from_secs(5))
+            .unwrap()
+            .unwrap();
+        assert_eq!(payload, b"chunks");
+    }
+
+    #[test]
+    fn bounded_read_reports_eof_and_boundaries_like_read_frame() {
+        let mut framed = Vec::new();
+        write_frame(&mut framed, b"hello").unwrap();
+        let mut r = ScriptedReader {
+            events: [Some(framed[..4].to_vec()), Some(framed[4..].to_vec())].into(),
+            then_eof: true,
+        };
+        assert_eq!(
+            read_frame_bounded(&mut r, Duration::from_secs(5))
+                .unwrap()
+                .unwrap(),
+            b"hello"
+        );
+        assert!(
+            read_frame_bounded(&mut r, Duration::from_secs(5))
+                .unwrap()
+                .is_none(),
+            "clean EOF at a frame boundary"
+        );
+        // EOF mid-frame is an error even before the deadline.
+        let mut r = ScriptedReader {
+            events: [Some(framed[..3].to_vec())].into(),
+            then_eof: true,
+        };
+        let err = read_frame_bounded(&mut r, Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
     }
 
     #[test]

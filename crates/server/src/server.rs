@@ -1,5 +1,6 @@
 //! The TCP front end: thread-per-connection serving with bounded
-//! admission, deadline propagation, and graceful drain.
+//! admission, deadline propagation, connection lifecycle hardening, and
+//! graceful drain.
 //!
 //! Every connection gets an OS thread (connection counts here are small
 //! — this is an analytics engine, not a web server) and a
@@ -11,6 +12,23 @@
 //! [`Error::Overloaded`](recache_types::Error) frame, so overload
 //! degrades into fast retryable errors instead of unbounded buffering.
 //!
+//! The wire is treated as a failure domain of its own:
+//!
+//! * a **per-frame read deadline** kills a connection whose request
+//!   frame stops making progress (a one-byte slowloris costs one
+//!   deadline, not a wedged thread);
+//! * a **write timeout** fails responses to peers that stopped reading;
+//! * a **max-connections cap** sheds accepts beyond it with a typed
+//!   transient `Overloaded` frame (distinct from query-gate sheds);
+//! * **idle reaping** (when configured) closes connections that go
+//!   quiet between frames;
+//! * query execution runs under `catch_unwind`, so a panicking query
+//!   becomes a typed [`Error::Internal`](recache_types::Error) frame
+//!   and the connection keeps serving;
+//! * every connection-death cause is classified into
+//!   [`ConnectionCounters`], served in the stats frame — wedge vs crash
+//!   is diagnosable from a stats probe.
+//!
 //! Shutdown (the `SHUTDOWN` frame, or [`ServerHandle::shutdown`]) flips
 //! one flag: the accept loop stops accepting, every connection finishes
 //! the request it is executing (responses are written before the flag is
@@ -19,19 +37,105 @@
 
 use crate::config::ServerConfig;
 use crate::histogram::Histogram;
-use crate::protocol::{self, read_frame, write_frame, QueryReply, Request, Response, StatsReply};
+use crate::netfault::{FaultyStream, WireFaultPlan};
+use crate::protocol::{
+    self, is_frame_deadline, read_frame_bounded, QueryReply, Request, Response, StatsReply,
+};
 use recache_core::{AdmissionGate, QueryBody, QueryRequest, ReCache, Scheduler, StreamLease};
 use recache_engine::exec::ExecOptions;
 use recache_engine::sql::parse_query;
 use recache_types::{Error, Result};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// How often blocked I/O loops re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(25);
+
+/// Connection lifecycle telemetry: how connections arrive, live, and —
+/// crucially — *why* they die. Served in the stats frame as
+/// `conn_*`-prefixed named counter pairs, so a wedged client, a crashed
+/// peer, and a protocol violator are distinguishable from one probe.
+#[derive(Debug, Default)]
+pub struct ConnectionCounters {
+    /// Connections the listener accepted (including ones shed at
+    /// accept).
+    pub accepted: AtomicU64,
+    /// Connections currently being served (gauge).
+    pub active: AtomicU64,
+    /// Connections that ended with a clean EOF at a frame boundary.
+    pub closed_clean: AtomicU64,
+    /// Accepts shed because the connection cap was reached.
+    pub shed_at_accept: AtomicU64,
+    /// Connections closed by the idle timeout.
+    pub idle_reaped: AtomicU64,
+    /// Connections killed by a read failure (peer died mid-frame,
+    /// socket error).
+    pub read_errors: AtomicU64,
+    /// Connections killed by a response write failure (peer stopped
+    /// reading or vanished).
+    pub write_errors: AtomicU64,
+    /// Framing/decode violations (oversized frame, malformed length).
+    pub decode_errors: AtomicU64,
+    /// Connections killed because a request frame missed the per-frame
+    /// read deadline (slowloris kills).
+    pub frame_deadline_kills: AtomicU64,
+    /// Queries that panicked during execution and were answered with a
+    /// typed `Internal` error frame instead of a dead connection.
+    pub query_panics: AtomicU64,
+}
+
+impl ConnectionCounters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Named `(name, value)` pairs for the stats frame, following the
+    /// protocol's named-counter evolution rule (receivers ignore names
+    /// they don't know).
+    pub fn snapshot_pairs(&self) -> Vec<(String, u64)> {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("conn_accepted".to_owned(), read(&self.accepted)),
+            ("conn_active".to_owned(), read(&self.active)),
+            ("conn_closed_clean".to_owned(), read(&self.closed_clean)),
+            ("conn_shed_at_accept".to_owned(), read(&self.shed_at_accept)),
+            ("conn_idle_reaped".to_owned(), read(&self.idle_reaped)),
+            ("conn_read_errors".to_owned(), read(&self.read_errors)),
+            ("conn_write_errors".to_owned(), read(&self.write_errors)),
+            ("conn_decode_errors".to_owned(), read(&self.decode_errors)),
+            (
+                "conn_frame_deadline_kills".to_owned(),
+                read(&self.frame_deadline_kills),
+            ),
+            ("conn_query_panics".to_owned(), read(&self.query_panics)),
+        ]
+    }
+}
+
+/// Holds the `active` gauge up for exactly the lifetime of one served
+/// connection — created *before* the connection thread spawns (so the
+/// accept-side cap check races at most one in-flight spawn) and dropped
+/// when serving ends, however it ends (including unwind).
+struct ActiveGuard {
+    shared: Arc<Shared>,
+}
+
+impl ActiveGuard {
+    fn new(shared: Arc<Shared>) -> Self {
+        shared.counters.active.fetch_add(1, Ordering::AcqRel);
+        ActiveGuard { shared }
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.shared.counters.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
 
 /// State shared by the accept loop and every connection thread.
 struct Shared {
@@ -40,6 +144,10 @@ struct Shared {
     gate: AdmissionGate,
     latency: Histogram,
     shutdown: AtomicBool,
+    counters: ConnectionCounters,
+    /// Response-path fault injection (tests and chaos drivers only);
+    /// set once before the server runs.
+    wire_faults: OnceLock<Arc<WireFaultPlan>>,
     config: ServerConfig,
 }
 
@@ -61,6 +169,14 @@ impl Shared {
             QueryBody::Spec(spec) => spec.clone(),
         };
         let permit = self.gate.admit(options.cancel.as_deref())?;
+        // Panic-injection hook (chaos tests): unwinds from inside the
+        // admitted section, so the firewall test also proves the permit
+        // releases through its drop guard.
+        if let (Some(trigger), Some(tag)) = (&self.config.panic_tag, request.get_tag()) {
+            if tag == trigger {
+                panic!("injected panic: request tag {tag:?} matches the configured panic tag");
+            }
+        }
         // An expected result-cache hit runs no scan: don't post a scan
         // cost to the board or take a negotiated thread share away from
         // connections doing real work. The probe can go stale before
@@ -95,9 +211,34 @@ impl Shared {
         result.map(|response| QueryReply::from_response(&response))
     }
 
+    /// Runs a query with a panic firewall: a panicking query (injected
+    /// faults, engine bugs) is converted into a typed `Internal` error
+    /// frame instead of unwinding the connection thread — the admission
+    /// permit releases through its drop guard, the lease is re-cleared
+    /// here, and the connection keeps serving.
+    fn run_query_guarded(
+        &self,
+        lease: &StreamLease<'_>,
+        request: QueryRequest,
+    ) -> Result<QueryReply> {
+        match catch_unwind(AssertUnwindSafe(|| self.run_query(lease, request))) {
+            Ok(outcome) => outcome,
+            Err(panic) => {
+                ConnectionCounters::bump(&self.counters.query_panics);
+                lease.clear();
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                Err(Error::internal(format!("query execution panicked: {msg}")))
+            }
+        }
+    }
+
     fn stats(&self) -> StatsReply {
         let c = self.session.cache().counters();
-        let counters = vec![
+        let mut counters = vec![
             ("admissions".to_owned(), c.admissions),
             ("evictions".to_owned(), c.evictions),
             ("bytes_evicted".to_owned(), c.bytes_evicted),
@@ -116,6 +257,7 @@ impl Shared {
             ("result_evictions".to_owned(), c.result_evictions),
             ("result_invalidations".to_owned(), c.result_invalidations),
         ];
+        counters.extend(self.counters.snapshot_pairs());
         StatsReply {
             queries_run: self.session.queries_run(),
             counters,
@@ -124,44 +266,86 @@ impl Shared {
         }
     }
 
-    /// Serves one connection until EOF, error, or shutdown. Returns
-    /// whether this connection requested server shutdown.
-    fn serve_connection(&self, stream: TcpStream) {
+    /// Serves one connection until EOF, error, deadline kill, idle
+    /// reap, or shutdown. Every exit path classifies the death cause
+    /// into [`ConnectionCounters`].
+    fn serve_connection(&self, stream: TcpStream, connection: u64, _active: ActiveGuard) {
         let _ = stream.set_nodelay(true);
         // A finite read timeout turns the blocking read loop into a
-        // shutdown poll: between frames the thread wakes every POLL to
-        // check the flag.
+        // shutdown/idle poll between frames and the progress poll of
+        // the frame deadline within one.
         let _ = stream.set_read_timeout(Some(POLL));
+        let _ = stream.set_write_timeout(self.config.write_timeout);
         let mut reader = std::io::BufReader::new(match stream.try_clone() {
             Ok(clone) => clone,
-            Err(_) => return,
+            Err(_) => {
+                ConnectionCounters::bump(&self.counters.read_errors);
+                return;
+            }
         });
-        let mut writer = std::io::BufWriter::new(stream);
+        // Responses go out through the faulty-stream transport so chaos
+        // runs can tear and stall server->client frames too; with no
+        // plan installed this is a plain framed socket.
+        let mut writer =
+            FaultyStream::with_faults(stream, self.wire_faults.get().cloned(), connection);
         let lease = self.scheduler.register_stream();
+        let mut last_frame = Instant::now();
         loop {
-            let payload = match read_frame(&mut reader) {
-                Ok(Some(payload)) => payload,
-                // Peer closed cleanly.
-                Ok(None) => return,
+            let payload = match read_frame_bounded(&mut reader, self.config.frame_deadline) {
+                Ok(Some(payload)) => {
+                    last_frame = Instant::now();
+                    payload
+                }
+                // Peer closed cleanly between frames.
+                Ok(None) => {
+                    ConnectionCounters::bump(&self.counters.closed_clean);
+                    return;
+                }
+                Err(e) if is_frame_deadline(&e) => {
+                    // A frame started and never finished: the slowloris
+                    // path. Kill the connection; concurrent connections
+                    // are untouched.
+                    ConnectionCounters::bump(&self.counters.frame_deadline_kills);
+                    return;
+                }
                 Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                     if self.shutdown.load(Ordering::Acquire) {
                         return;
                     }
+                    if let Some(idle) = self.config.idle_timeout {
+                        if last_frame.elapsed() >= idle {
+                            ConnectionCounters::bump(&self.counters.idle_reaped);
+                            return;
+                        }
+                    }
                     continue;
                 }
-                Err(_) => return,
+                // An oversized/garbage length prefix is a protocol
+                // violation, not a transport failure.
+                Err(e) if e.kind() == ErrorKind::InvalidData => {
+                    ConnectionCounters::bump(&self.counters.decode_errors);
+                    return;
+                }
+                Err(_) => {
+                    ConnectionCounters::bump(&self.counters.read_errors);
+                    return;
+                }
             };
             let response = match protocol::decode_request(&payload) {
-                Err(err) => Response::from_error(&err),
+                Err(err) => {
+                    ConnectionCounters::bump(&self.counters.decode_errors);
+                    Response::from_error(&err)
+                }
                 Ok(Request::Stats) => Response::Stats(self.stats()),
                 Ok(Request::Shutdown) => {
                     self.shutdown.store(true, Ordering::Release);
-                    let _ = write_frame(&mut writer, &protocol::encode_response(&Response::Ok));
+                    let _ = writer.send_frame(&protocol::encode_response(&Response::Ok));
+                    ConnectionCounters::bump(&self.counters.closed_clean);
                     return;
                 }
                 Ok(Request::Query(request)) => {
                     let started = Instant::now();
-                    match self.run_query(&lease, request) {
+                    match self.run_query_guarded(&lease, request) {
                         Ok(reply) => {
                             self.latency.record(started.elapsed().as_nanos() as u64);
                             Response::Result(reply)
@@ -172,13 +356,32 @@ impl Shared {
             };
             // The in-flight response is always written before shutdown
             // is honored: drain means every accepted request answers.
-            if write_frame(&mut writer, &protocol::encode_response(&response)).is_err() {
+            if writer
+                .send_frame(&protocol::encode_response(&response))
+                .is_err()
+            {
+                ConnectionCounters::bump(&self.counters.write_errors);
                 return;
             }
             if self.shutdown.load(Ordering::Acquire) {
                 return;
             }
         }
+    }
+
+    /// Sheds one accepted connection at the cap: a typed transient
+    /// `Overloaded` frame (distinct from query-gate sheds via its
+    /// message and the `conn_shed_at_accept` counter), then close.
+    fn shed_at_accept(&self, stream: TcpStream) {
+        ConnectionCounters::bump(&self.counters.shed_at_accept);
+        let _ = stream.set_write_timeout(self.config.write_timeout.or(Some(POLL)));
+        let shed = Response::Error {
+            code: Error::Overloaded.code(),
+            transient: true,
+            message: "server overloaded: connection limit reached".to_owned(),
+        };
+        let mut stream = stream;
+        let _ = protocol::write_frame(&mut stream, &protocol::encode_response(&shed));
     }
 }
 
@@ -213,6 +416,8 @@ impl Server {
             gate: AdmissionGate::new(config.max_running, config.max_queued),
             latency: Histogram::new(),
             shutdown: AtomicBool::new(false),
+            counters: ConnectionCounters::default(),
+            wire_faults: OnceLock::new(),
             config,
         });
         Ok(Server {
@@ -232,22 +437,51 @@ impl Server {
         Arc::clone(&self.shared.session)
     }
 
+    /// Installs a wire-fault plan on the **response** path: every
+    /// server-to-client frame consults it, so chaos tests exercise torn
+    /// and stalled responses too. Set once, before the server runs.
+    pub fn set_wire_faults(&self, plan: Arc<WireFaultPlan>) {
+        let _ = self.shared.wire_faults.set(plan);
+    }
+
     /// Runs the accept loop until shutdown, then joins every connection
     /// thread so in-flight queries drain before returning.
     pub fn run(self) -> Result<()> {
         let mut connections: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        let mut next_connection: u64 = 0;
         while !self.shared.shutdown.load(Ordering::Acquire) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    ConnectionCounters::bump(&self.shared.counters.accepted);
                     let shared = Arc::clone(&self.shared);
-                    connections.push(std::thread::spawn(move || {
-                        shared.serve_connection(stream);
-                    }));
-                    // Reap finished connections so a long-lived server
-                    // doesn't accumulate dead handles.
+                    let active = self.shared.counters.active.load(Ordering::Acquire);
+                    if active as usize >= self.shared.config.max_connections {
+                        // Shed on a short-lived thread so a peer that
+                        // never reads its shed frame can't stall the
+                        // accept loop.
+                        connections.push(std::thread::spawn(move || {
+                            shared.shed_at_accept(stream);
+                        }));
+                    } else {
+                        let connection = next_connection;
+                        next_connection += 1;
+                        // The active guard is taken on the accept side,
+                        // before the thread runs, so the cap check above
+                        // observes this connection immediately.
+                        let guard = ActiveGuard::new(Arc::clone(&shared));
+                        connections.push(std::thread::spawn(move || {
+                            shared.serve_connection(stream, connection, guard);
+                        }));
+                    }
                     connections.retain(|h| !h.is_finished());
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    // Reap finished handles on the idle tick too: a
+                    // quiet listener must not accumulate dead handles
+                    // from connections that have long since closed.
+                    connections.retain(|h| !h.is_finished());
+                    std::thread::sleep(POLL);
+                }
                 Err(e) if e.kind() == ErrorKind::Interrupted => {}
                 Err(e) => return Err(Error::Io(e)),
             }

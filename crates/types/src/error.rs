@@ -24,6 +24,15 @@ pub enum Error {
     /// request was shed instead of buffered. Retryable by definition:
     /// overload clears as in-flight queries drain.
     Overloaded,
+    /// The transport under a request died: the peer reset the
+    /// connection, closed it mid-frame, or vanished before the response
+    /// arrived. Transient by definition — queries are read-only, so a
+    /// client may safely reconnect and resend.
+    ConnectionLost(String),
+    /// The server failed internally while executing an otherwise valid
+    /// request (e.g. a panicking query caught at the connection
+    /// boundary). Not transient: the same request panics the same way.
+    Internal(String),
 }
 
 impl Error {
@@ -58,6 +67,16 @@ impl Error {
         Error::Exec(msg.into())
     }
 
+    /// Convenience constructor for connection-loss errors.
+    pub fn connection_lost(msg: impl Into<String>) -> Self {
+        Error::ConnectionLost(msg.into())
+    }
+
+    /// Convenience constructor for internal server errors.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+
     /// Whether retrying the failed operation could plausibly succeed.
     ///
     /// I/O errors are retryable only for the kinds the operating
@@ -66,8 +85,11 @@ impl Error {
     /// read that returned fewer bytes than expected may complete on a
     /// second attempt). `Overloaded` is transient by definition — the
     /// admission queue drains as in-flight queries finish.
-    /// Parse/schema/plan errors are deterministic and
-    /// `Timeout`/`Cancelled` are final by definition.
+    /// `ConnectionLost` is transient because queries are read-only: a
+    /// client may reconnect and resend without risking double effects.
+    /// Parse/schema/plan errors are deterministic,
+    /// `Timeout`/`Cancelled` are final by definition, and `Internal`
+    /// (a server-side panic) reproduces on retry.
     pub fn is_transient(&self) -> bool {
         use std::io::ErrorKind;
         match self {
@@ -78,7 +100,7 @@ impl Error {
                     | ErrorKind::TimedOut
                     | ErrorKind::UnexpectedEof
             ),
-            Error::Overloaded => true,
+            Error::Overloaded | Error::ConnectionLost(_) => true,
             _ => false,
         }
     }
@@ -96,6 +118,8 @@ impl Error {
             Error::Timeout => 6,
             Error::Cancelled => 7,
             Error::Overloaded => 8,
+            Error::ConnectionLost(_) => 9,
+            Error::Internal(_) => 10,
         }
     }
 
@@ -125,6 +149,8 @@ impl Error {
             6 => Error::Timeout,
             7 => Error::Cancelled,
             8 => Error::Overloaded,
+            9 => Error::connection_lost(msg),
+            10 => Error::internal(msg),
             other => Error::exec(format!("remote error (unknown code {other}): {msg}")),
         }
     }
@@ -142,6 +168,8 @@ impl fmt::Display for Error {
             Error::Timeout => write!(f, "query deadline exceeded"),
             Error::Cancelled => write!(f, "query cancelled"),
             Error::Overloaded => write!(f, "server overloaded: admission queue full"),
+            Error::ConnectionLost(msg) => write!(f, "connection lost: {msg}"),
+            Error::Internal(msg) => write!(f, "internal server error: {msg}"),
         }
     }
 }
@@ -163,6 +191,8 @@ impl Clone for Error {
             Error::Timeout => Error::Timeout,
             Error::Cancelled => Error::Cancelled,
             Error::Overloaded => Error::Overloaded,
+            Error::ConnectionLost(msg) => Error::ConnectionLost(msg.clone()),
+            Error::Internal(msg) => Error::Internal(msg.clone()),
         }
     }
 }
@@ -207,6 +237,14 @@ mod tests {
         assert_eq!(Error::exec("boom").to_string(), "execution error: boom");
         assert_eq!(Error::Timeout.to_string(), "query deadline exceeded");
         assert_eq!(Error::Cancelled.to_string(), "query cancelled");
+        assert_eq!(
+            Error::connection_lost("peer reset").to_string(),
+            "connection lost: peer reset"
+        );
+        assert_eq!(
+            Error::internal("query panicked").to_string(),
+            "internal server error: query panicked"
+        );
     }
 
     #[test]
@@ -220,6 +258,8 @@ mod tests {
         assert!(!Error::parse("bad token").is_transient());
         assert!(!Error::Timeout.is_transient());
         assert!(!Error::Cancelled.is_transient());
+        assert!(Error::connection_lost("reset").is_transient());
+        assert!(!Error::internal("panicked").is_transient());
     }
 
     #[test]
@@ -236,6 +276,8 @@ mod tests {
             (Error::Timeout, 6),
             (Error::Cancelled, 7),
             (Error::Overloaded, 8),
+            (Error::connection_lost("x"), 9),
+            (Error::internal("x"), 10),
         ];
         for (err, code) in variants {
             assert_eq!(err.code(), code, "{err}");
@@ -255,6 +297,8 @@ mod tests {
             Error::Timeout,
             Error::Cancelled,
             Error::Overloaded,
+            Error::connection_lost("mid-request reset"),
+            Error::internal("query panicked"),
         ];
         for err in cases {
             let back = Error::from_wire(err.code(), err.is_transient(), &err.to_string());

@@ -1,0 +1,437 @@
+//! Wire-level chaos tests: seeded transport faults (resets, torn
+//! frames, stalls) on both sides of the connection, composed with the
+//! in-process data-fault plans from the failure-hardening layer.
+//!
+//! The invariant under test, for every seed: a query either returns the
+//! **fault-free answer** (possibly after retries and reconnects) or a
+//! **typed error** — never a wedged connection, never a leaked
+//! admission permit or lease share, and the server always drains
+//! cleanly at the end.
+//!
+//! Seeds come from `RECACHE_FAULT_SEED` (default `0xC1A0_5EED`); CI
+//! runs the suite under several to widen coverage without losing
+//! reproducibility — any failure names a seed that replays it exactly.
+
+use recache::data::FaultPlan;
+use recache::types::Error;
+use recache::QueryRequest;
+use recache_server::dataset::{serving_session, serving_workload, CSV_TABLE, JSON_TABLE};
+use recache_server::{Client, RetryPolicy, Server, ServerConfig, WireFaultPlan};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const SF: f64 = 0.0005;
+const SEED: u64 = 11;
+
+fn fault_seed() -> u64 {
+    std::env::var("RECACHE_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC1A0_5EED)
+}
+
+fn boot(
+    config: ServerConfig,
+) -> (
+    recache_server::ServerHandle,
+    SocketAddr,
+    Arc<recache::ReCache>,
+) {
+    let server = Server::bind(config, Arc::new(serving_session(SF, SEED))).expect("bind");
+    let addr = server.local_addr();
+    let session = server.session();
+    (server.spawn(), addr, session)
+}
+
+fn boot_with_wire_faults(
+    config: ServerConfig,
+    plan: WireFaultPlan,
+) -> (
+    recache_server::ServerHandle,
+    SocketAddr,
+    Arc<recache::ReCache>,
+) {
+    let server = Server::bind(config, Arc::new(serving_session(SF, SEED))).expect("bind");
+    let addr = server.local_addr();
+    let session = server.session();
+    server.set_wire_faults(Arc::new(plan));
+    (server.spawn(), addr, session)
+}
+
+fn counter(stats: &recache_server::StatsReply, name: &str) -> u64 {
+    stats
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|&(_, v)| v)
+        .unwrap_or_else(|| panic!("stats frame has no counter {name:?}"))
+}
+
+/// The capstone matrix: server-side wire faults × client-side wire
+/// faults × in-process data faults, across several derived seeds. Every
+/// query converges to the fault-free answer or a typed error, and the
+/// server drains cleanly while faults are still firing.
+#[test]
+fn seeded_wire_chaos_converges_to_fault_free_answers() {
+    let specs = serving_workload(SF, SEED, 18);
+    let serial = serving_session(SF, SEED);
+    let expected: Vec<_> = specs
+        .iter()
+        .map(|s| {
+            serial
+                .execute(&QueryRequest::spec(s.clone()))
+                .unwrap()
+                .rows
+                .clone()
+        })
+        .collect();
+
+    for round in 0..3u64 {
+        let seed = fault_seed().wrapping_add(round);
+        let (handle, addr, session) = boot_with_wire_faults(
+            ServerConfig {
+                frame_deadline: Duration::from_millis(500),
+                ..ServerConfig::default()
+            },
+            // Server-side response faults: resets and torn responses the
+            // client must absorb by reconnect + retry.
+            WireFaultPlan::new(seed)
+                .resets(0.03)
+                .torn_frames(0.03)
+                .latency(0.10, Duration::from_millis(1)),
+        );
+        // Compose with the in-process fault layer: transient chunk
+        // failures the engine retries internally, plus latency spikes —
+        // wire faults and data faults fire in the same run.
+        assert!(session.set_fault_plan(
+            CSV_TABLE,
+            Some(
+                FaultPlan::new(seed)
+                    .transient(0.05)
+                    .latency(0.05, Duration::from_millis(2))
+            )
+        ));
+
+        let clients = 3;
+        std::thread::scope(|scope| {
+            for t in 0..clients {
+                let specs = &specs;
+                let expected = &expected;
+                scope.spawn(move || {
+                    // Client-side faults draw from a different seed
+                    // stream than the server's (offset), so both
+                    // directions fire in one run.
+                    let plan = WireFaultPlan::new(seed ^ 0x00C1_0000)
+                        .resets(0.04)
+                        .torn_frames(0.04)
+                        .latency(0.10, Duration::from_millis(1));
+                    let mut client = Client::connect_with(
+                        addr,
+                        RetryPolicy::retries(8, seed),
+                        Some(Arc::new(plan)),
+                        t as u64,
+                    )
+                    .expect("connect");
+                    for (i, spec) in specs.iter().enumerate() {
+                        if i % clients != t {
+                            continue;
+                        }
+                        match client.query(&QueryRequest::spec(spec.clone())) {
+                            Ok(reply) => assert_eq!(
+                                reply.rows, expected[i],
+                                "seed {seed}: query {i} diverged from fault-free execution"
+                            ),
+                            // Retry budget exhausted on transport faults:
+                            // acceptable only as a *typed*, transient
+                            // error the caller can act on.
+                            Err(e) => assert!(
+                                e.is_transient() || matches!(e, Error::Timeout),
+                                "seed {seed}: query {i} died untyped: {e}"
+                            ),
+                        }
+                    }
+                });
+            }
+        });
+
+        // Drain while the wire-fault plan is still installed: shutdown
+        // must complete even if the goodbye frames themselves fault.
+        handle.shutdown().expect("drain under chaos");
+    }
+}
+
+/// A one-byte slowloris is killed by the frame deadline — and only the
+/// staller: a concurrent well-behaved client is unaffected, and the
+/// kill is classified in `conn_frame_deadline_kills`.
+#[test]
+fn slowloris_is_reaped_without_collateral_damage() {
+    let (handle, addr, _session) = boot(ServerConfig {
+        frame_deadline: Duration::from_millis(150),
+        ..ServerConfig::default()
+    });
+
+    // The staller: one byte of a length prefix, then silence.
+    let mut staller = TcpStream::connect(addr).expect("staller connect");
+    staller.write_all(&[7u8]).expect("first byte");
+    staller.flush().unwrap();
+
+    // Meanwhile a real client keeps getting answers.
+    let mut client = Client::connect(addr).expect("connect");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let reply = client
+            .query(&QueryRequest::sql(format!(
+                "SELECT count(*) FROM {JSON_TABLE}"
+            )))
+            .expect("well-behaved client must keep being served");
+        assert!(!reply.rows.is_empty());
+        let stats = client.stats().expect("stats");
+        if counter(&stats, "conn_frame_deadline_kills") >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "frame deadline never killed the slowloris"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The staller's socket is dead: reads see EOF once the server kills
+    // the connection.
+    staller
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    let n = staller.read(&mut buf).unwrap_or(0);
+    assert_eq!(n, 0, "killed slowloris connection must read EOF");
+    handle.shutdown().expect("drain");
+}
+
+/// Accepts beyond `max_connections` are shed with a typed, transient
+/// `Overloaded` frame (counted separately from query-gate sheds), and
+/// capacity freed by a closing connection is reusable.
+#[test]
+fn connection_cap_sheds_at_accept_with_typed_overloaded() {
+    let (handle, addr, _session) = boot(ServerConfig {
+        max_connections: 2,
+        ..ServerConfig::default()
+    });
+
+    let sql = format!("SELECT count(*) FROM {JSON_TABLE}");
+    let mut a = Client::connect(addr).expect("connect a");
+    let mut b = Client::connect(addr).expect("connect b");
+    a.query(&QueryRequest::sql(sql.clone())).expect("a serves");
+    b.query(&QueryRequest::sql(sql.clone())).expect("b serves");
+
+    // Third connection: accepted at the TCP level, then shed with an
+    // error frame before any request is served.
+    let mut c = Client::connect(addr).expect("connect c");
+    let err = c
+        .query(&QueryRequest::sql(sql.clone()))
+        .expect_err("the over-cap connection must be shed");
+    assert!(
+        matches!(err, Error::Overloaded | Error::ConnectionLost(_)),
+        "expected a typed shed or the shed frame racing our request: {err}"
+    );
+    if matches!(err, Error::Overloaded) {
+        assert!(err.is_transient(), "accept-shed must stay transient");
+    }
+
+    let stats = a.stats().expect("stats");
+    assert!(
+        counter(&stats, "conn_shed_at_accept") >= 1,
+        "accept-side sheds must be counted: {stats:?}"
+    );
+    assert!(counter(&stats, "conn_accepted") >= 3);
+
+    // Freeing a slot makes room: drop one connection, give the server a
+    // poll tick to reap, and a new client is served.
+    drop(b);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut d = Client::connect(addr).expect("connect d");
+        match d.query(&QueryRequest::sql(sql.clone())) {
+            Ok(_) => break,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => panic!("freed capacity never became usable: {e}"),
+        }
+    }
+    handle.shutdown().expect("drain");
+}
+
+/// Idle connections are reaped after the configured timeout, the reap is
+/// classified, and a retrying client absorbs it transparently: the next
+/// query reconnects and succeeds without surfacing an error.
+#[test]
+fn idle_reap_is_transparent_to_a_retrying_client() {
+    let (handle, addr, _session) = boot(ServerConfig {
+        idle_timeout: Some(Duration::from_millis(120)),
+        ..ServerConfig::default()
+    });
+
+    let mut client =
+        Client::connect_with(addr, RetryPolicy::retries(4, 7), None, 0).expect("connect");
+    let sql = format!("SELECT count(*) FROM {JSON_TABLE}");
+    let first = client.query(&QueryRequest::sql(sql.clone())).expect("warm");
+
+    // Go quiet long past the idle timeout; the server reaps us.
+    std::thread::sleep(Duration::from_millis(400));
+
+    let second = client
+        .query(&QueryRequest::sql(sql.clone()))
+        .expect("retrying client must absorb the idle reap");
+    assert_eq!(first.rows, second.rows);
+    assert!(
+        client.stats_local().reconnects >= 1,
+        "the second query must have ridden a fresh connection"
+    );
+
+    let mut probe = Client::connect(addr).expect("probe");
+    let stats = probe.stats().expect("stats");
+    assert!(
+        counter(&stats, "conn_idle_reaped") >= 1,
+        "idle reaps must be classified: {stats:?}"
+    );
+    handle.shutdown().expect("drain");
+}
+
+/// A client that tears its own request frame gets a typed, transient
+/// `ConnectionLost`; the server classifies the death as a read error and
+/// keeps serving other connections.
+#[test]
+fn torn_request_frame_is_typed_and_isolated() {
+    let (handle, addr, _session) = boot(ServerConfig::default());
+
+    // Tear every frame this client sends.
+    let plan = WireFaultPlan::new(1).torn_frames(1.0);
+    let mut torn = Client::connect_with(addr, RetryPolicy::none(), Some(Arc::new(plan)), 0)
+        .expect("connect torn");
+    let sql = format!("SELECT count(*) FROM {JSON_TABLE}");
+    let err = torn
+        .query(&QueryRequest::sql(sql.clone()))
+        .expect_err("a torn request cannot succeed without retry");
+    assert!(
+        matches!(err, Error::ConnectionLost(_)),
+        "torn frame must surface as typed ConnectionLost: {err}"
+    );
+    assert!(err.is_transient());
+
+    // The server saw a mid-frame EOF, classified it, and still serves.
+    let mut client = Client::connect(addr).expect("connect clean");
+    let reply = client
+        .query(&QueryRequest::sql(sql))
+        .expect("still serving");
+    assert!(!reply.rows.is_empty());
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = client.stats().expect("stats");
+        if counter(&stats, "conn_read_errors") >= 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "torn request never classified as a read error"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    handle.shutdown().expect("drain");
+}
+
+/// A client that vanishes mid-query leaks nothing: the in-flight query
+/// finishes server-side, its admission permit and lease share are
+/// released, and the gate reports zero running afterwards.
+#[test]
+fn mid_query_disappearance_releases_permit_and_lease() {
+    let (handle, addr, session) = boot(ServerConfig::default());
+    // Slow every CSV chunk so the query is reliably in flight when the
+    // client disappears.
+    assert!(session.set_fault_plan(
+        CSV_TABLE,
+        Some(FaultPlan::new(3).latency(1.0, Duration::from_millis(200)))
+    ));
+
+    let sql =
+        format!("SELECT sum(l_extendedprice), count(*) FROM {CSV_TABLE} WHERE l_quantity >= 1");
+    {
+        // Fire the request bytes, then vanish without ever reading the
+        // response: dropping the stream closes the socket, so the
+        // server's response write fails after the query completes.
+        let raw = TcpStream::connect(addr).expect("raw connect");
+        let mut faulty = recache_server::FaultyStream::plain(raw);
+        let frame = recache_server::protocol::encode_request(&recache_server::Request::Query(
+            QueryRequest::sql(sql.clone()),
+        ));
+        faulty.send_frame(&frame).expect("request written");
+    }
+
+    // Wait for the orphaned query to finish and its connection to die.
+    // (The response write may land in the kernel buffer before the RST
+    // arrives, so the death can classify as a write error, a reset on
+    // the next read, or a clean EOF — what matters is that the permit
+    // comes back and the connection is gone.)
+    session.set_fault_plan(CSV_TABLE, None);
+    let mut client = Client::connect(addr).expect("probe");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = client.stats().expect("stats");
+        if stats.admission.running == 0 && counter(&stats, "conn_active") == 1 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "orphaned query must release its permit and its connection: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Full capacity is still available: a fresh query negotiates and
+    // runs normally.
+    let reply = client
+        .query(&QueryRequest::sql(sql))
+        .expect("capacity intact after the disappearance");
+    assert!(!reply.rows.is_empty());
+    handle.shutdown().expect("drain");
+}
+
+/// A panicking query is answered with a typed, non-transient `Internal`
+/// error frame; the connection survives to serve the next query, the
+/// admission permit is released, and the panic is counted.
+#[test]
+fn query_panic_becomes_typed_internal_and_connection_survives() {
+    let (handle, addr, _session) = boot(ServerConfig {
+        panic_tag: Some("boom".to_owned()),
+        ..ServerConfig::default()
+    });
+
+    let sql = format!("SELECT count(*) FROM {JSON_TABLE}");
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client
+        .query(&QueryRequest::sql(sql.clone()).tag("boom"))
+        .expect_err("the tagged query must panic server-side");
+    assert!(
+        matches!(err, Error::Internal(_)),
+        "panic must surface as typed Internal: {err}"
+    );
+    assert!(
+        !err.is_transient(),
+        "a deterministic panic must not invite retries"
+    );
+
+    // Same connection, next query: the firewall confined the panic.
+    let reply = client
+        .query(&QueryRequest::sql(sql).tag("fine"))
+        .expect("connection must survive the panic");
+    assert!(!reply.rows.is_empty());
+
+    let stats = client.stats().expect("stats");
+    assert!(counter(&stats, "conn_query_panics") >= 1);
+    assert_eq!(
+        stats.admission.running, 0,
+        "the panicked query's permit must be released"
+    );
+    handle.shutdown().expect("drain");
+}

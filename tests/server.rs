@@ -72,6 +72,48 @@ fn concurrent_clients_match_serial_execution() {
     assert_eq!(stats.admission.running, 0, "all permits released");
     let histogram_total: u64 = stats.latency_buckets.iter().map(|&(_, c)| c).sum();
     assert!(histogram_total >= specs.len() as u64);
+
+    // Connection lifecycle counters ride the same stats frame: every
+    // worker connection plus this one was accepted, the workers' clean
+    // disconnects are classified, and a healthy run kills nothing.
+    let counter = |name: &str| {
+        stats
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("stats frame has no counter {name:?}"))
+    };
+    assert!(counter("conn_accepted") > clients as u64);
+    assert!(counter("conn_active") >= 1, "this stats probe is active");
+    for name in [
+        "conn_shed_at_accept",
+        "conn_idle_reaped",
+        "conn_frame_deadline_kills",
+        "conn_query_panics",
+    ] {
+        assert_eq!(counter(name), 0, "{name} must stay zero on a clean run");
+    }
+    // The workers' disconnects classify as clean EOFs once the server's
+    // read loop observes them (bounded wait: the FIN races this probe).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let stats = client.stats().expect("stats");
+        let closed = stats
+            .counters
+            .iter()
+            .find(|(n, _)| n == "conn_closed_clean")
+            .map(|&(_, v)| v)
+            .unwrap();
+        if closed >= clients as u64 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "worker disconnects must classify as clean EOFs"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
     handle.shutdown().expect("drain");
 }
 

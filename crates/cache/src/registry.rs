@@ -280,6 +280,32 @@ impl CacheRegistry {
         self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one subsumption-coalesced admission: a session whose
+    /// predicate was covered by a concurrent leader's in-flight ranges
+    /// waited for that leader's admitted entry and filtered from cache
+    /// instead of re-scanning raw.
+    pub fn note_coalesced_subsumed(&self) {
+        self.counters
+            .coalesced_subsumed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one shared multi-predicate raw pass (a batched scan that
+    /// served two or more concurrently-admitted queries at once).
+    pub fn note_shared_scan(&self) {
+        self.counters.shared_scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` queries served by a shared scan (the pass's participant
+    /// count, leader included).
+    pub fn note_shared_scan_participants(&self, n: u64) {
+        if n > 0 {
+            self.counters
+                .shared_scan_participants
+                .fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// Counts one query that surfaced a non-retryable scan failure.
     pub fn note_failed_scan(&self) {
         self.counters.failed_scans.fetch_add(1, Ordering::Relaxed);

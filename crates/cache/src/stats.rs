@@ -104,6 +104,16 @@ pub struct RegistryCounters {
     /// Result entries dropped because a pinned `(source, signature)`
     /// data-cache entry was evicted/removed, or a source changed.
     pub result_invalidations: u64,
+    /// Followers whose predicate was *subsumed* by a concurrent leader's
+    /// in-flight scan and who waited for the leader's admitted entry
+    /// instead of re-scanning raw (distinct from exact-key `coalesced`).
+    pub coalesced_subsumed: u64,
+    /// Shared multi-predicate raw passes: one per batched scan that
+    /// served two or more concurrently-admitted queries.
+    pub shared_scans: u64,
+    /// Total queries served by shared scans (each shared pass contributes
+    /// its participant count, leader included).
+    pub shared_scan_participants: u64,
 }
 
 /// The registry's live counters. All fields are relaxed atomics: each is
@@ -129,6 +139,9 @@ pub struct AtomicRegistryCounters {
     pub result_misses: AtomicU64,
     pub result_evictions: AtomicU64,
     pub result_invalidations: AtomicU64,
+    pub coalesced_subsumed: AtomicU64,
+    pub shared_scans: AtomicU64,
+    pub shared_scan_participants: AtomicU64,
 }
 
 impl AtomicRegistryCounters {
@@ -151,6 +164,9 @@ impl AtomicRegistryCounters {
             result_misses: self.result_misses.load(Ordering::Relaxed),
             result_evictions: self.result_evictions.load(Ordering::Relaxed),
             result_invalidations: self.result_invalidations.load(Ordering::Relaxed),
+            coalesced_subsumed: self.coalesced_subsumed.load(Ordering::Relaxed),
+            shared_scans: self.shared_scans.load(Ordering::Relaxed),
+            shared_scan_participants: self.shared_scan_participants.load(Ordering::Relaxed),
         }
     }
 }

@@ -44,10 +44,14 @@ pub use request::{CacheOutcome, QueryBody, QueryRequest, QueryResponse, QueryTel
 use resolve::{resolve, ResolvedQuery};
 pub use result::{QueryResult, QueryStats, TableSummary};
 pub use result_cache::{ResultCache, ResultCacheConfig};
-pub use session::{AdmissionGate, AdmissionPermit, AdmissionStats, Scheduler, StreamLease};
-use session::{Begin, FlightGuard, FlightKey, FlightOutcome, Inflight};
+pub use session::{
+    AdmissionGate, AdmissionPermit, AdmissionStats, Scheduler, SharedScanConfig, StreamLease,
+};
+use session::{
+    Begin, FlightGuard, FlightKey, FlightOutcome, Inflight, SharedRole, SharedScans, SharedServe,
+};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -79,6 +83,7 @@ pub struct ReCacheBuilder {
     layout: LayoutPolicy,
     caching: bool,
     result_cache: result_cache::ResultCacheConfig,
+    shared_scans: SharedScanConfig,
 }
 
 impl Default for ReCacheBuilder {
@@ -92,6 +97,7 @@ impl Default for ReCacheBuilder {
             // Off unless `RECACHE_RESULT_CACHE_ENABLED` opts the process
             // in (the server front end enables serving sessions itself).
             result_cache: result_cache::ResultCacheConfig::from_env(),
+            shared_scans: SharedScanConfig::from_env(),
         }
     }
 }
@@ -161,6 +167,14 @@ impl ReCacheBuilder {
         self
     }
 
+    /// Replaces the shared-scan configuration (default:
+    /// [`SharedScanConfig::from_env`], i.e. enabled with the
+    /// `RECACHE_SHARED_SCAN*` env overrides applied).
+    pub fn shared_scans(mut self, config: SharedScanConfig) -> Self {
+        self.shared_scans = config;
+        self
+    }
+
     /// Builds the session. The result cache is wired to the registry's
     /// invalidation listener here, so every data-cache eviction/removal
     /// precisely drops the result entries pinned to the departed
@@ -177,6 +191,8 @@ impl ReCacheBuilder {
             registry,
             results,
             inflight: Inflight::default(),
+            shared: SharedScans::new(self.shared_scans),
+            live: AtomicUsize::new(0),
             admission: self.admission,
             layout: self.layout,
             caching: self.caching,
@@ -197,6 +213,12 @@ pub struct ReCache {
     results: Arc<result_cache::ResultCache>,
     /// Single-flight table for in-flight cacheable scans.
     inflight: Inflight,
+    /// Shared-scan rendezvous board (work sharing across co-running
+    /// queries on one source).
+    shared: SharedScans,
+    /// Queries currently inside `run_spec`. Shared-scan leaders only pay
+    /// the gather window when this says someone could actually join.
+    live: AtomicUsize,
     admission: AdmissionConfig,
     layout: LayoutPolicy,
     caching: bool,
@@ -489,6 +511,7 @@ impl ReCache {
     /// spec under final options (deadline already folded into `cancel`).
     fn run_spec(&self, spec: &QuerySpec, options: &ExecOptions) -> Result<QueryResult> {
         let t_run = Instant::now();
+        let _live = LiveGuard::enter(&self.live);
         self.queries_run.fetch_add(1, Ordering::Relaxed);
         self.registry.tick();
         if let Err(err) = options.check_cancel() {
@@ -532,6 +555,7 @@ impl ReCache {
             let (route, access) = if self.caching {
                 let mut lookup_ns_total = 0u64;
                 let mut waited = false;
+                let mut waited_subsumed = false;
                 let mut saw_leader_failure = false;
                 let mut failovers = 0u32;
                 // Bound on re-elections after failed leaders: past it, a
@@ -559,7 +583,14 @@ impl ReCache {
                                 access_path_for(&e.data, &table.file),
                             )
                         }) {
-                            if waited {
+                            if waited_subsumed {
+                                // This query's narrower predicate was
+                                // covered by a concurrent leader's wider
+                                // in-flight scan: the admitted entry is
+                                // filtered from cache instead of redoing
+                                // the raw pass.
+                                self.registry.note_coalesced_subsumed();
+                            } else if waited {
                                 // Coalesced admission: this session waited
                                 // for another's in-flight scan and reuses
                                 // its entry (C-phase cost paid once).
@@ -588,7 +619,17 @@ impl ReCache {
                     if held.contains(&keys[i]) {
                         break (miss, raw);
                     }
-                    match self.inflight.begin(keys[i].clone()) {
+                    // Leaders of subsumable scans register their admitted
+                    // ranges so narrower concurrent queries can wait for
+                    // the covering entry. Only single-table queries take
+                    // the subsumed-wait shortcut: they hold no other
+                    // leaderships, so the wait graph stays acyclic.
+                    match self.inflight.begin(
+                        keys[i].clone(),
+                        &table.ranges,
+                        table.subsumable,
+                        n_tables == 1,
+                    ) {
                         Begin::Leader(guard) => {
                             if saw_leader_failure {
                                 // Won the re-election after watching the
@@ -633,6 +674,36 @@ impl ReCache {
                                 }
                             }
                         }
+                        Begin::WaitSubsumed(flight) => {
+                            // A concurrent leader's wider scan covers this
+                            // predicate: wait for its admission, then the
+                            // re-probe serves this query by subsumption
+                            // from the new entry — no raw pass at all.
+                            let outcome = match flight.wait(options.cancel.as_deref()) {
+                                Ok(outcome) => outcome,
+                                Err(err) => {
+                                    self.registry.note_timeout();
+                                    return Err(err);
+                                }
+                            };
+                            match outcome {
+                                FlightOutcome::Admitted => {
+                                    waited = true;
+                                    waited_subsumed = true;
+                                }
+                                // The covering leader admitted nothing:
+                                // scan raw concurrently rather than
+                                // gambling on another covering flight.
+                                FlightOutcome::NotAdmitted => break (miss, raw),
+                                FlightOutcome::Failed => {
+                                    saw_leader_failure = true;
+                                    failovers += 1;
+                                    if failovers > MAX_LEADER_FAILOVERS {
+                                        break (miss, raw);
+                                    }
+                                }
+                            }
+                        }
                     }
                 };
                 self.registry.count_lookup(match &outcome.0.hit {
@@ -673,7 +744,7 @@ impl ReCache {
             joins: resolved.joins.clone(),
             aggregates: resolved.aggregates.clone(),
         };
-        let output = match exec::execute_with(&plan, options) {
+        let output = match self.shared_execute(&plan, options) {
             Ok(output) => output,
             Err(err) => {
                 // Classify the failure before it propagates. Any flight
@@ -845,6 +916,70 @@ impl ReCache {
         })
     }
 
+    /// Executes a plan, sharing the raw pass with concurrently-admitted
+    /// queries over the same source when possible.
+    ///
+    /// A shareable plan (single batchable raw table) rendezvouses on the
+    /// session's [`SharedScans`] board: the first arrival leads, holds
+    /// the group open for the gather window, then runs ONE batched pass
+    /// evaluating every participant's predicate per chunk
+    /// ([`exec::execute_shared`]) and publishes each member's own
+    /// rows/aggregates. Every fallback path (solo group, shared-pass
+    /// error, abandoned leader, cancelled member) degrades to the plain
+    /// per-query [`exec::execute_with`], so sharing can change only the
+    /// number of raw passes — never a query's result.
+    ///
+    /// The gather window is only paid when at least one other query is
+    /// live inside [`ReCache::run_spec`], so single-stream workloads see
+    /// no added latency — and the leader stops gathering early once
+    /// every live query has joined the group (or finished), so the full
+    /// window is an upper bound, not a fixed cost.
+    fn shared_execute(&self, plan: &QueryPlan, options: &ExecOptions) -> Result<exec::QueryOutput> {
+        let config = self.shared.config();
+        if !config.enabled
+            || self.live.load(Ordering::Relaxed) < 2
+            || !exec::shareable(plan, options)
+        {
+            return exec::execute_with(plan, options);
+        }
+        match self.shared.rendezvous(&plan.tables[0].name, plan) {
+            SharedRole::Lead(lead) => {
+                let plans = lead.gather(&self.live);
+                if plans.len() < 2 {
+                    // Nobody joined inside the window: plain solo run.
+                    // (Dropping the lead publishes fallback to the empty
+                    // member set — a no-op.)
+                    drop(lead);
+                    return exec::execute_with(plan, options);
+                }
+                match exec::execute_shared(&plans, options) {
+                    Ok(mut outputs) => {
+                        self.registry.note_shared_scan();
+                        self.registry
+                            .note_shared_scan_participants(plans.len() as u64);
+                        let mine = outputs.remove(0);
+                        lead.publish(outputs.into_iter().map(SharedServe::Output).collect());
+                        Ok(mine)
+                    }
+                    Err(_) => {
+                        // Release members to their own solo runs first,
+                        // then retry solo ourselves: per-query fault
+                        // handling (bounded retry, degraded fallback,
+                        // typed errors) applies unchanged.
+                        drop(lead);
+                        exec::execute_with(plan, options)
+                    }
+                }
+            }
+            SharedRole::Member(gather, ticket) => {
+                match gather.await_serve(ticket, options.cancel.as_deref())? {
+                    SharedServe::Output(output) => Ok(output),
+                    SharedServe::Fallback => exec::execute_with(plan, options),
+                }
+            }
+        }
+    }
+
     /// Default eager layout for a source under the current policy.
     fn store_choice(&self, file: &RawFile) -> StoreChoice {
         match self.layout {
@@ -973,6 +1108,23 @@ impl ReCache {
         self.registry
             .replace_data_if(id, Some(LayoutKind::Offsets), data, ns);
         Ok(ns)
+    }
+}
+
+/// RAII increment of the session's live-query gauge (decrements on every
+/// exit path from `run_spec`, including errors and panics).
+struct LiveGuard<'a>(&'a AtomicUsize);
+
+impl<'a> LiveGuard<'a> {
+    fn enter(gauge: &'a AtomicUsize) -> Self {
+        gauge.fetch_add(1, Ordering::Relaxed);
+        LiveGuard(gauge)
+    }
+}
+
+impl Drop for LiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

@@ -28,6 +28,7 @@
 //! flattening fallback.
 
 use crate::json;
+use crate::posmap::{PositionalMap, JSON_KEY_ABSENT};
 use crate::raw_batch::byte_eq_mask;
 use recache_layout::ScratchColumn;
 use recache_types::{Error, Field, Result, ScalarType};
@@ -51,11 +52,34 @@ enum Staged<'a> {
     Owned(String),
 }
 
+/// Capture context for one record of a first batched scan: the record's
+/// slice of the per-accessed-key value-offset slab being built for the
+/// positional map (stride = top-level schema field count,
+/// [`JSON_KEY_ABSENT`] where the key never appears). Capturing scans
+/// match keys against **all** schema names — not just the accessed ones —
+/// so the finished map serves any later projection.
+struct CaptureRow<'t, 'r> {
+    /// Every top-level schema field name.
+    all_names: &'t [&'t [u8]],
+    /// Schema field index → accessed-slot index, for fields being parsed.
+    accessed_of: &'t [Option<usize>],
+    /// This record's slab slice, pre-filled with [`JSON_KEY_ABSENT`].
+    row: &'r mut [u32],
+    /// Record start offset; captured offsets are relative to it.
+    line_start: usize,
+}
+
 /// Tokenizes records `[rec_lo, rec_hi)` of the `record_offsets` grid into
 /// `cols` (one scratch column per projection slot). `accessed_fields`
 /// holds `(top-level field index, scalar type, slot)` triples; `fields`
 /// is the flat schema the field indices refer to. All fields must be
 /// scalar (the caller guarantees flatness via `supports_batch_scan`).
+///
+/// With `capture`, the walk additionally appends one stride of per-key
+/// value offsets per record to the slab (see `CaptureRow`); the caller
+/// submits the slab toward the positional map only on success, so a
+/// retried chunk never corrupts the capture.
+#[allow(clippy::too_many_arguments)]
 pub fn tokenize_range_into(
     bytes: &[u8],
     record_offsets: &[u64],
@@ -64,6 +88,7 @@ pub fn tokenize_range_into(
     fields: &[Field],
     accessed_fields: &[(usize, ScalarType, usize)],
     cols: &mut [ScratchColumn],
+    mut capture: Option<&mut Vec<u32>>,
 ) -> Result<()> {
     debug_assert!(
         bytes.len() <= u32::MAX as usize,
@@ -80,6 +105,16 @@ pub fn tokenize_range_into(
         .iter()
         .map(|&(field, _, _)| fields[field].name.as_bytes())
         .collect();
+    // Key-matching tables for capture mode only, so the capture-free hot
+    // path walks exactly as before.
+    let cap_tables = capture.is_some().then(|| {
+        let all_names: Vec<&[u8]> = fields.iter().map(|f| f.name.as_bytes()).collect();
+        let mut accessed_of: Vec<Option<usize>> = vec![None; fields.len()];
+        for (ai, &(field, _, _)) in accessed_fields.iter().enumerate() {
+            accessed_of[field] = Some(ai);
+        }
+        (all_names, accessed_of)
+    });
     let mut staged: Vec<Staged<'_>> = (0..accessed_fields.len())
         .map(|_| Staged::Missing)
         .collect();
@@ -102,6 +137,19 @@ pub fn tokenize_range_into(
         for slot in staged.iter_mut() {
             *slot = Staged::Missing;
         }
+        let cap = match (capture.as_deref_mut(), &cap_tables) {
+            (Some(slab), Some((all_names, accessed_of))) => {
+                let base = slab.len();
+                slab.resize(base + fields.len(), JSON_KEY_ABSENT);
+                Some(CaptureRow {
+                    all_names,
+                    accessed_of,
+                    row: &mut slab[base..],
+                    line_start,
+                })
+            }
+            _ => None,
+        };
         let mut walk = RecordWalk {
             bytes,
             end,
@@ -109,19 +157,143 @@ pub fn tokenize_range_into(
             quotes: &quotes,
             qi,
         };
-        walk.parse_record(&names, accessed_fields, &mut staged)?;
+        walk.parse_record(&names, accessed_fields, &mut staged, cap)?;
         qi = walk.qi;
         for (slot, &(_, _, col_slot)) in staged.iter_mut().zip(accessed_fields) {
+            push_staged(
+                &mut cols[col_slot],
+                std::mem::replace(slot, Staged::Missing),
+            );
+        }
+    }
+    Ok(())
+}
+
+fn push_staged(col: &mut ScratchColumn, staged: Staged<'_>) {
+    match staged {
+        Staged::Missing | Staged::Null => col.push_null(),
+        Staged::Int(v) => col.push_int(v),
+        Staged::Float(v) => col.push_float(v),
+        Staged::Bool(v) => col.push_bool(v),
+        Staged::Bytes(s) => col.push_str_bytes(s),
+        Staged::Owned(s) => col.push_str_bytes(s.as_bytes()),
+    }
+}
+
+/// Mapped re-scan: parses records `[rec_lo, rec_hi)` through a
+/// positional map carrying per-key value offsets
+/// ([`PositionalMap::has_json_value_offsets`]). Each accessed field
+/// seeks straight to its captured value start and parses just that value
+/// — no record walk, no key matching, no quote skeleton, and every
+/// unaccessed key's bytes are never touched. Value semantics (schema
+/// coercions, escape decoding, nulls for absent keys) are identical to
+/// the tokenizing path: the shared number/string routines do the work.
+pub fn parse_range_with_map(
+    bytes: &[u8],
+    map: &PositionalMap,
+    rec_lo: usize,
+    rec_hi: usize,
+    accessed_fields: &[(usize, ScalarType, usize)],
+    cols: &mut [ScratchColumn],
+) -> Result<()> {
+    for rec in rec_lo..rec_hi {
+        let (start, span_end) = map.record_span(rec);
+        let end = if span_end > start && bytes[span_end - 1] == b'\n' {
+            span_end - 1
+        } else {
+            span_end
+        };
+        for &(field, ty, col_slot) in accessed_fields {
             let col = &mut cols[col_slot];
-            match std::mem::replace(slot, Staged::Missing) {
-                Staged::Missing | Staged::Null => col.push_null(),
-                Staged::Int(v) => col.push_int(v),
-                Staged::Float(v) => col.push_float(v),
-                Staged::Bool(v) => col.push_bool(v),
-                Staged::Bytes(s) => col.push_str_bytes(s),
-                Staged::Owned(s) => col.push_str_bytes(s.as_bytes()),
+            match map.json_value_offset(rec, field) {
+                None => col.push_null(),
+                Some(pos) => push_value_at(bytes, pos, end, ty, col)?,
             }
         }
+    }
+    Ok(())
+}
+
+/// Parses the single JSON value starting at `pos` (bounded by the record
+/// content end) under schema type `ty` and pushes it. Mirrors
+/// [`RecordWalk::stage_value`]'s coercions exactly; the value was walked
+/// by the capturing first scan, so `pos` is its exact first byte.
+fn push_value_at(
+    bytes: &[u8],
+    pos: usize,
+    end: usize,
+    ty: ScalarType,
+    col: &mut ScratchColumn,
+) -> Result<()> {
+    let expect_lit = |lit: &[u8]| -> Result<()> {
+        if end - pos >= lit.len() && &bytes[pos..pos + lit.len()] == lit {
+            Ok(())
+        } else {
+            Err(Error::parse_at(
+                format!("expected '{}'", String::from_utf8_lossy(lit)),
+                pos,
+            ))
+        }
+    };
+    match bytes.get(pos).copied() {
+        Some(b'n') => {
+            expect_lit(b"null")?;
+            col.push_null();
+        }
+        Some(b't') => {
+            expect_lit(b"true")?;
+            push_staged(col, stage_bool(true, ty));
+        }
+        Some(b'f') => {
+            expect_lit(b"false")?;
+            push_staged(col, stage_bool(false, ty));
+        }
+        Some(b'"') => {
+            if ty != ScalarType::Str {
+                // String into a non-string field: null, as everywhere.
+                col.push_null();
+                return Ok(());
+            }
+            // Local closing-quote scan with escape awareness — cheaper
+            // than a chunk-wide skeleton when only this value is read.
+            let mut i = pos + 1;
+            let mut saw_escape = false;
+            loop {
+                if i >= end {
+                    return Err(Error::parse_at("unterminated string", pos));
+                }
+                match bytes[i] {
+                    b'\\' => {
+                        saw_escape = true;
+                        i += 2;
+                    }
+                    b'"' => break,
+                    _ => i += 1,
+                }
+            }
+            if saw_escape {
+                let (s, _) = json::decode_string_at(bytes, pos)?;
+                col.push_str_bytes(s.as_bytes());
+            } else {
+                let span = &bytes[pos + 1..i];
+                std::str::from_utf8(span)
+                    .map_err(|_| Error::parse_at("invalid utf-8 in string", pos + 1))?;
+                col.push_str_bytes(span);
+            }
+        }
+        Some(b'{') | Some(b'[') => col.push_null(),
+        Some(_) => {
+            let (num, _) = json::parse_number_at(&bytes[..end], pos)?;
+            push_staged(
+                col,
+                match ty {
+                    ScalarType::Int => Staged::Int(num.as_i64().unwrap_or(0)),
+                    ScalarType::Float => Staged::Float(num.as_f64().unwrap_or(0.0)),
+                    ScalarType::Bool | ScalarType::Str => Staged::Null,
+                },
+            );
+        }
+        None => return Err(Error::parse_at("unexpected end of input", pos)),
     }
     Ok(())
 }
@@ -375,11 +547,18 @@ impl<'a> RecordWalk<'a> {
     /// first only when the key itself contains escapes); keys are
     /// UTF-8-validated exactly as the row tokenizer's `parse_string`
     /// validates every key it touches.
+    ///
+    /// With `capture`, keys match against the full schema instead and
+    /// each match records its value's start offset (relative to the
+    /// record start) into the capture row; duplicate keys overwrite, so
+    /// the map points at the last occurrence — the one whose value the
+    /// staging below also keeps.
     fn parse_record(
         &mut self,
         names: &[&[u8]],
         accessed_fields: &[(usize, ScalarType, usize)],
         staged: &mut [Staged<'a>],
+        mut capture: Option<CaptureRow<'_, '_>>,
     ) -> Result<()> {
         self.expect(b'{')?;
         if self.try_consume(b'}') {
@@ -393,15 +572,36 @@ impl<'a> RecordWalk<'a> {
             let key_open = self.pos;
             let (klo, khi) = self.string_span()?;
             let key_span = &self.bytes[klo..khi];
-            let slot = if key_span.contains(&b'\\') {
+            // `slot` is the accessed-field index to stage into;
+            // `field` is the schema field index to capture under.
+            let (slot, field) = if key_span.contains(&b'\\') {
                 let (decoded, _) = json::decode_string_at(self.bytes, key_open)?;
-                names.iter().position(|n| *n == decoded.as_bytes())
+                match &capture {
+                    Some(cap) => {
+                        let fi = cap.all_names.iter().position(|n| *n == decoded.as_bytes());
+                        (fi.and_then(|f| cap.accessed_of[f]), fi)
+                    }
+                    None => (names.iter().position(|n| *n == decoded.as_bytes()), None),
+                }
             } else {
                 std::str::from_utf8(key_span)
                     .map_err(|_| Error::parse_at("invalid utf-8 in string", klo))?;
-                names.iter().position(|n| *n == key_span)
+                match &capture {
+                    Some(cap) => {
+                        let fi = cap.all_names.iter().position(|n| *n == key_span);
+                        (fi.and_then(|f| cap.accessed_of[f]), fi)
+                    }
+                    None => (names.iter().position(|n| *n == key_span), None),
+                }
             };
             self.expect(b':')?;
+            if let (Some(cap), Some(fi)) = (capture.as_mut(), field) {
+                // Land the offset on the value's first byte (stage_value
+                // and skip_value_lenient both tolerate leading ws, so the
+                // walk itself hasn't consumed it yet).
+                self.skip_ws();
+                cap.row[fi] = (self.pos - cap.line_start) as u32;
+            }
             match slot {
                 Some(ai) => staged[ai] = self.stage_value(accessed_fields[ai].1)?,
                 None => self.skip_value_lenient()?,
@@ -452,7 +652,7 @@ mod tests {
             .collect();
         let offsets = index_records(bytes);
         let n = offsets.len() - 1;
-        tokenize_range_into(bytes, &offsets, 0, n, fields, &accessed, &mut cols)?;
+        tokenize_range_into(bytes, &offsets, 0, n, fields, &accessed, &mut cols, None)?;
         let views: Vec<_> = cols.iter().map(|c| c.as_batch_column()).collect();
         Ok((0..n)
             .map(|r| views.iter().map(|v| v.value(r)).collect())

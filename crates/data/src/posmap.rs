@@ -19,15 +19,25 @@ pub struct PositionalMap {
     /// record is the record length, so field `j` of record `i` spans
     /// `fo[i*s + j] .. fo[i*s + j + 1] - 1` (excluding the delimiter).
     field_offsets: Vec<u32>,
+    /// Flat JSON only: start offset of each top-level schema field's
+    /// *value* relative to its record start, flattened with stride
+    /// `fields_per_record`; [`u32::MAX`] marks a key absent from that
+    /// record. Unlike CSV, JSON fields carry no end offset — values
+    /// self-terminate, so a re-scan seeks to the start and parses.
+    value_offsets: Vec<u32>,
     fields_per_record: usize,
 }
 
+/// Sentinel in the JSON value-offset table: the record has no such key.
+pub const JSON_KEY_ABSENT: u32 = u32::MAX;
+
 impl PositionalMap {
-    /// Builds a record-level map (JSON files).
+    /// Builds a record-level map (JSON files, row-path first scans).
     pub fn records_only(record_offsets: Vec<u64>) -> Self {
         PositionalMap {
             record_offsets,
             field_offsets: Vec::new(),
+            value_offsets: Vec::new(),
             fields_per_record: 0,
         }
     }
@@ -46,6 +56,29 @@ impl PositionalMap {
         PositionalMap {
             record_offsets,
             field_offsets,
+            value_offsets: Vec::new(),
+            fields_per_record,
+        }
+    }
+
+    /// Builds a record+value-offset map (flat JSON batched first scans):
+    /// `value_offsets` holds per-record, per-schema-field value start
+    /// offsets (stride `fields_per_record`, [`JSON_KEY_ABSENT`] where
+    /// the record lacks the key).
+    pub fn with_json_values(
+        record_offsets: Vec<u64>,
+        value_offsets: Vec<u32>,
+        fields_per_record: usize,
+    ) -> Self {
+        debug_assert!(!record_offsets.is_empty());
+        debug_assert_eq!(
+            value_offsets.len(),
+            (record_offsets.len() - 1) * fields_per_record
+        );
+        PositionalMap {
+            record_offsets,
+            field_offsets: Vec::new(),
+            value_offsets,
             fields_per_record,
         }
     }
@@ -70,9 +103,28 @@ impl PositionalMap {
         )
     }
 
-    /// True if per-field offsets are available.
+    /// True if per-field offsets are available (CSV maps).
     pub fn has_field_offsets(&self) -> bool {
-        self.fields_per_record > 0
+        self.fields_per_record > 0 && !self.field_offsets.is_empty()
+    }
+
+    /// True if per-key value offsets are available (flat JSON maps built
+    /// by a batched first scan).
+    pub fn has_json_value_offsets(&self) -> bool {
+        self.fields_per_record > 0 && !self.value_offsets.is_empty()
+    }
+
+    /// Absolute byte offset of field `field`'s value in `record`, or
+    /// `None` when the record has no such key. Only valid when
+    /// [`Self::has_json_value_offsets`].
+    pub fn json_value_offset(&self, record: usize, field: usize) -> Option<usize> {
+        debug_assert!(field < self.fields_per_record);
+        let off = self.value_offsets[record * self.fields_per_record + field];
+        if off == JSON_KEY_ABSENT {
+            None
+        } else {
+            Some(self.record_offsets[record] as usize + off as usize)
+        }
     }
 
     /// Byte range of one field within the file (excluding the delimiter).
@@ -89,7 +141,7 @@ impl PositionalMap {
     /// Approximate memory footprint of the map itself, counted against no
     /// cache budget in the paper but reported for completeness.
     pub fn byte_size(&self) -> usize {
-        self.record_offsets.len() * 8 + self.field_offsets.len() * 4
+        self.record_offsets.len() * 8 + (self.field_offsets.len() + self.value_offsets.len()) * 4
     }
 }
 
@@ -134,5 +186,22 @@ mod tests {
     fn empty_file_map() {
         let map = PositionalMap::records_only(vec![0]);
         assert_eq!(map.record_count(), 0);
+    }
+
+    #[test]
+    fn json_value_offsets_resolve_absolute_with_absent_sentinel() {
+        // Two records of 10 bytes; field 1 absent from record 0, field 0
+        // absent from record 1.
+        let map = PositionalMap::with_json_values(
+            vec![0, 10, 20],
+            vec![5, JSON_KEY_ABSENT, JSON_KEY_ABSENT, 7],
+            2,
+        );
+        assert!(map.has_json_value_offsets());
+        assert!(!map.has_field_offsets());
+        assert_eq!(map.json_value_offset(0, 0), Some(5));
+        assert_eq!(map.json_value_offset(0, 1), None);
+        assert_eq!(map.json_value_offset(1, 0), None);
+        assert_eq!(map.json_value_offset(1, 1), Some(17));
     }
 }

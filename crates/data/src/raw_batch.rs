@@ -11,9 +11,10 @@
 //!   slabs (the layout has a fixed per-record stride) into a record+field
 //!   map.
 //! * **Flat JSON** chunks tokenize with `json_batch::tokenize_range_into`
-//!   and submit an empty slab — JSON positional maps are record-level
-//!   only, so coverage tracking alone decides when the (records-only)
-//!   map installs.
+//!   and submit a slab of per-record, per-schema-key *value* start
+//!   offsets (stride = schema field count, `JSON_KEY_ABSENT` where a key
+//!   is missing); full coverage concatenates the slabs into a
+//!   record+value-offset map that later scans seek through.
 //!
 //! Keeping the chunk grid, coverage accounting and slab assembly here
 //! means `RawFile` dispatches purely on format for the tokenize call and
@@ -78,7 +79,8 @@ pub fn index_records(bytes: &[u8]) -> Vec<u64> {
 /// First-scan state of a batched raw file: the record index partitioning
 /// the file into [`BATCH_ROWS`]-record chunks, plus per-chunk capture
 /// slabs. Each chunk's scan captures whatever its format needs for the
-/// positional map (CSV: field offsets; JSON: nothing) and submits it;
+/// positional map (CSV: field offsets; JSON: per-key value offsets) and
+/// submits it;
 /// the submission that completes coverage gets the concatenated slabs
 /// back and builds the map. Redundant re-scans of an already-filled
 /// chunk are ignored, so racing scans of the same chunk stay idempotent.

@@ -518,15 +518,17 @@ impl RawFile {
     }
 
     /// The positional map a completed batched first scan installs: CSV
-    /// gets record + field offsets (the concatenated capture slabs),
-    /// JSON a record-level map — the same shapes the row tokenizers
-    /// build.
-    fn assemble_posmap(&self, record_offsets: Vec<u64>, field_offsets: Vec<u32>) -> PositionalMap {
+    /// gets record + field offsets, JSON record + per-key value offsets
+    /// — either way `capture` is the concatenation of the per-chunk
+    /// capture slabs in chunk order.
+    fn assemble_posmap(&self, record_offsets: Vec<u64>, capture: Vec<u32>) -> PositionalMap {
         match self.format {
             FileFormat::Csv => {
-                PositionalMap::with_fields(record_offsets, field_offsets, self.schema.len())
+                PositionalMap::with_fields(record_offsets, capture, self.schema.len())
             }
-            FileFormat::Json => PositionalMap::records_only(record_offsets),
+            FileFormat::Json => {
+                PositionalMap::with_json_values(record_offsets, capture, self.schema.len())
+            }
         }
     }
 
@@ -559,9 +561,11 @@ impl RawFile {
     /// columns and yields them as a [`ColumnBatch`] with an identity
     /// selection (flat sources: one row per record; `record_ids` are
     /// file record ids). First scans tokenize and capture the positional
-    /// map as a side effect (CSV: field offsets; JSON: record coverage
-    /// only); once a map exists, CSV navigates field spans directly and
-    /// JSON re-tokenizes from known record spans. Chunks are
+    /// map as a side effect (CSV: field offsets; JSON: per-key value
+    /// offsets); once a map exists, CSV navigates field spans directly
+    /// and JSON seeks straight to each accessed key's value (falling
+    /// back to re-tokenizing known record spans for records-only maps
+    /// built by the row path). Chunks are
     /// share-nothing, so disjoint ranges may run concurrently — the
     /// executor fans them out on its work pool exactly as it does
     /// cache-store chunks.
@@ -702,19 +706,35 @@ impl RawFile {
                                 &mut scratch.cols,
                             )?;
                         }
-                        // JSON maps carry no field offsets; mapped chunks
-                        // re-tokenize from the known record spans (the win over
-                        // the row path is the typed-batch parse, not the map).
                         (Some(map), _, FileFormat::Json) => {
-                            json_batch::tokenize_range_into(
-                                &self.bytes,
-                                map.record_offsets(),
-                                rec_lo,
-                                rec_hi,
-                                self.schema.fields(),
-                                &accessed_fields,
-                                &mut scratch.cols,
-                            )?;
+                            if map.has_json_value_offsets() {
+                                // A batched first scan captured per-key value
+                                // offsets: seek straight to each accessed value,
+                                // never touching the other keys' bytes.
+                                json_batch::parse_range_with_map(
+                                    &self.bytes,
+                                    map,
+                                    rec_lo,
+                                    rec_hi,
+                                    &accessed_fields,
+                                    &mut scratch.cols,
+                                )?;
+                            } else {
+                                // Records-only map (row-path first scan):
+                                // re-tokenize from the known record spans — the
+                                // win over the row path is the typed-batch
+                                // parse, not the map.
+                                json_batch::tokenize_range_into(
+                                    &self.bytes,
+                                    map.record_offsets(),
+                                    rec_lo,
+                                    rec_hi,
+                                    self.schema.fields(),
+                                    &accessed_fields,
+                                    &mut scratch.cols,
+                                    None,
+                                )?;
+                            }
                         }
                         (None, Some(ix), FileFormat::Csv) => {
                             if ix.chunk_filled(chunk) {
@@ -748,19 +768,38 @@ impl RawFile {
                             }
                         }
                         (None, Some(ix), FileFormat::Json) => {
-                            json_batch::tokenize_range_into(
-                                &self.bytes,
-                                ix.record_offsets(),
-                                rec_lo,
-                                rec_hi,
-                                self.schema.fields(),
-                                &accessed_fields,
-                                &mut scratch.cols,
-                            )?;
-                            // JSON capture is coverage-only: an empty slab marks
-                            // the chunk scanned; full coverage installs the
-                            // records-only map.
-                            self.submit_capture(ix, chunk, Vec::new());
+                            if ix.chunk_filled(chunk) {
+                                // This chunk's capture is already in: re-scan in
+                                // capture-free mode (accessed-keys-only
+                                // matching, no slab writes).
+                                json_batch::tokenize_range_into(
+                                    &self.bytes,
+                                    ix.record_offsets(),
+                                    rec_lo,
+                                    rec_hi,
+                                    self.schema.fields(),
+                                    &accessed_fields,
+                                    &mut scratch.cols,
+                                    None,
+                                )?;
+                            } else {
+                                // First pass over this chunk: capture every
+                                // schema key's value offset so re-scans seek
+                                // straight to accessed values.
+                                let mut slab =
+                                    Vec::with_capacity((rec_hi - rec_lo) * self.schema.len());
+                                json_batch::tokenize_range_into(
+                                    &self.bytes,
+                                    ix.record_offsets(),
+                                    rec_lo,
+                                    rec_hi,
+                                    self.schema.fields(),
+                                    &accessed_fields,
+                                    &mut scratch.cols,
+                                    Some(&mut slab),
+                                )?;
+                                self.submit_capture(ix, chunk, slab);
+                            }
                         }
                         (None, None, _) => unreachable!(),
                     }
@@ -1156,18 +1195,88 @@ mod tests {
             .unwrap();
         assert_eq!(got, expected);
 
-        // Coverage-complete batched scans install a records-only map
-        // that agrees with the row tokenizer's.
+        // Coverage-complete batched scans install a record+value-offset
+        // map whose record grid agrees with the row tokenizer's.
         let batched_map = batched_file.posmap().expect("posmap installed");
         let row_map = row_file.posmap().unwrap();
         assert_eq!(batched_map.record_count(), row_map.record_count());
         assert!(!batched_map.has_field_offsets());
+        assert!(batched_map.has_json_value_offsets());
         for rec in [0, 1, rows / 2, rows - 1] {
             assert_eq!(batched_map.record_span(rec), row_map.record_span(rec));
         }
-        // Mapped batched re-scan agrees with the first scan.
+        // Every fifth record is written with key "a" absent; the capture
+        // must record the sentinel, not a stale offset.
+        assert_eq!(batched_map.json_value_offset(5, 0), None);
+        assert!(batched_map.json_value_offset(6, 0).is_some());
+        // Mapped batched re-scan (seeking through the value offsets)
+        // agrees with the first scan.
         let again = collect_batched(&batched_file, &projection, &[(0, chunks)]);
         assert_eq!(again, got);
+    }
+
+    #[test]
+    fn flat_json_mapped_rescan_handles_escapes_coercions_and_duplicates() {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int),
+            Field::new("b", DataType::Float),
+            Field::new("s", DataType::Str),
+        ]);
+        let bytes = concat!(
+            r#"{"s":"he\"llo","a":1}"#,
+            "\n",
+            "{ \"b\" : 2.5 , \"a\" : 7 , \"s\" : \"x\" }\n",
+            r#"{"junk":[1,{"s":"}"}],"a":true,"s":null}"#,
+            "\n",
+            r#"{"a":1,"a":2}"#,
+            "\n",
+            r#"{"s":"plain"}"#,
+            "\n",
+        )
+        .as_bytes()
+        .to_vec();
+        let file = RawFile::from_bytes(bytes, FileFormat::Json, schema);
+        assert!(file.supports_batch_scan());
+        let chunks = file.batch_chunks();
+        let projection = [0usize, 2];
+        let first = collect_batched(&file, &projection, &[(0, chunks)]);
+        let map = file.posmap().expect("capture installs the map");
+        assert!(map.has_json_value_offsets());
+        // The mapped seek parser must reproduce the tokenizer exactly:
+        // escaped strings, whitespace after colons, bool→int coercion,
+        // explicit nulls, absent keys, and duplicate keys (last wins).
+        let mapped = collect_batched(&file, &projection, &[(0, chunks)]);
+        assert_eq!(mapped, first);
+        let rows: Vec<Vec<Value>> = mapped.into_iter().map(|(_, row)| row).collect();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1), Value::from("he\"llo")],
+                vec![Value::Int(7), Value::from("x")],
+                vec![Value::Int(1), Value::Null],
+                vec![Value::Int(2), Value::Null],
+                vec![Value::Null, Value::from("plain")],
+            ]
+        );
+    }
+
+    #[test]
+    fn flat_json_row_built_map_falls_back_to_tokenizing_rescan() {
+        let file = flat_json_file(3_000);
+        // A row-path first scan installs a records-only map with no
+        // value offsets...
+        let mut rows = 0usize;
+        file.scan_projected(&[true, true, true], &mut |_, _| rows += 1)
+            .unwrap();
+        assert_eq!(rows, 3_000);
+        let map = file.posmap().expect("row scan installs the map");
+        assert!(!map.has_json_value_offsets());
+        // ...so mapped batched scans re-tokenize record spans and still
+        // match a capture-built batched scan of the same data.
+        let fresh = flat_json_file(3_000);
+        let got = collect_batched(&file, &[2, 0], &[(0, file.batch_chunks())]);
+        let expected = collect_batched(&fresh, &[2, 0], &[(0, fresh.batch_chunks())]);
+        assert_eq!(got, expected);
     }
 
     #[test]

@@ -20,10 +20,11 @@ use recache::workload::{
     seeded_turns, spa_workload, split_round_robin, tpch_spj_workload, Domains, PoolPhase,
     SpaConfig, SpjConfig,
 };
-use recache::{QueryRequest, ReCache, Scheduler};
+use recache::{QueryRequest, ReCache, Scheduler, SharedScanConfig};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
 
 /// Shared TPC-H fixture with a default-policy session.
 fn tpch_session(sf: f64, seed: u64) -> (ReCache, HashMap<String, Domains>) {
@@ -130,6 +131,7 @@ fn single_flight_coalesces_duplicate_scans() {
                 .clone()
         };
         let barrier = Barrier::new(sessions);
+        let barrier = &barrier;
         std::thread::scope(|scope| {
             for _ in 0..sessions {
                 scope.spawn(|| {
@@ -260,6 +262,7 @@ fn mixed_csv_json_replay_matches_serial() {
             .clone()
     };
     let barrier = Barrier::new(sessions);
+    let barrier = &barrier;
     std::thread::scope(|scope| {
         for _ in 0..sessions {
             scope.spawn(|| {
@@ -315,6 +318,247 @@ fn seeded_interleaving_same_seed_same_admitted_set() {
     // The admitted set is a function of the replay order, not of the
     // per-session thread budget.
     assert_eq!(first, admitted(42, 1));
+}
+
+/// Subsumption coalescing: a follower whose predicate is *contained* in
+/// a different in-flight query's admitted range waits for that leader
+/// and filters its answer from the leader's cache entry — one raw pass
+/// serves the whole subsumed group. Shared scans are disabled here to
+/// isolate the in-flight range-registration mechanism.
+#[test]
+fn subsumed_inflight_scans_reuse_the_leaders_single_raw_pass() {
+    let disabled = SharedScanConfig {
+        enabled: false,
+        ..SharedScanConfig::default()
+    };
+    let broad = "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 5";
+    let narrows = [
+        "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 20",
+        "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 30",
+        "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 40",
+    ];
+    let k = 1 + narrows.len();
+    let expected: Vec<Vec<Value>> = {
+        let (baseline, _) = common::tpch_session(
+            ReCache::builder().shared_scans(disabled.clone()),
+            0.0008,
+            11,
+        );
+        std::iter::once(broad)
+            .chain(narrows.iter().copied())
+            .map(|q| {
+                baseline
+                    .execute(&QueryRequest::sql(q))
+                    .unwrap()
+                    .rows
+                    .clone()
+            })
+            .collect()
+    };
+    let mut subsumed_seen = false;
+    // The subsumption window is the broad leader's raw scan; a barrier
+    // start plus a nudge for the narrow queries makes overlap all but
+    // certain, and a few retries absorb scheduler flukes.
+    for _attempt in 0..20 {
+        let (session, _) = common::tpch_session(
+            ReCache::builder().shared_scans(disabled.clone()),
+            0.0008,
+            11,
+        );
+        let session = &session;
+        let expected = &expected;
+        let barrier = Barrier::new(k);
+        let barrier = &barrier;
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                barrier.wait();
+                let result = session.execute(&QueryRequest::sql(broad)).unwrap();
+                assert_eq!(result.rows, expected[0]);
+            });
+            for (i, q) in narrows.iter().enumerate() {
+                scope.spawn(move || {
+                    barrier.wait();
+                    // Let the broad leader register its range first.
+                    std::thread::sleep(Duration::from_millis(1));
+                    let result = session.execute(&QueryRequest::sql(*q)).unwrap();
+                    assert_eq!(result.rows, expected[i + 1], "narrow query {i}");
+                });
+            }
+        });
+        let counters = session.cache().counters();
+        if counters.coalesced_subsumed >= 1 {
+            subsumed_seen = true;
+            // Every subsumed follower skipped its own raw scan: strictly
+            // fewer admissions (= raw passes here) than queries.
+            assert!(
+                counters.admissions < k as u64,
+                "subsumed followers must not re-scan raw: {} admissions for {k} queries",
+                counters.admissions
+            );
+            let snapshot = session.cache().snapshot();
+            assert_eq!(
+                counters.admissions,
+                snapshot.len() as u64 + counters.evictions + counters.removals,
+                "counters must reconcile at quiescence"
+            );
+            break;
+        }
+    }
+    assert!(
+        subsumed_seen,
+        "no run coalesced a subsumed scan: narrow queries never overlapped the broad leader"
+    );
+}
+
+/// Shared multi-predicate scans: K concurrently-admitted queries with
+/// partially-overlapping (non-subsuming) predicates over one cold source
+/// batch into a single raw pass that splits per-query results on the way
+/// out — strictly fewer raw passes than K, with every query's answer
+/// bit-identical to a serial run.
+#[test]
+fn shared_scan_batches_overlapping_predicates_into_fewer_raw_passes() {
+    let config = SharedScanConfig {
+        enabled: true,
+        max_participants: 16,
+        // Generous window: the rendezvous happens before any scan work,
+        // so a barrier start lands every query inside it.
+        gather_window: Duration::from_millis(50),
+    };
+    // Pairwise overlapping ranges, none containing another — subsumption
+    // cannot serve these; only the shared pass can.
+    let queries = [
+        "SELECT count(*), sum(l_extendedprice) FROM lineitem \
+         WHERE l_quantity >= 10 AND l_quantity <= 30",
+        "SELECT count(*), sum(l_extendedprice) FROM lineitem \
+         WHERE l_quantity >= 20 AND l_quantity <= 40",
+        "SELECT count(*), sum(l_extendedprice) FROM lineitem \
+         WHERE l_quantity >= 30 AND l_quantity <= 50",
+        "SELECT count(*), avg(l_discount) FROM lineitem \
+         WHERE l_quantity >= 1 AND l_quantity <= 15",
+    ];
+    let k = queries.len() as u64;
+    let expected: Vec<Vec<Value>> = {
+        let (baseline, _) = tpch_session(0.0008, 11);
+        queries
+            .iter()
+            .map(|q| {
+                baseline
+                    .execute(&QueryRequest::sql(*q))
+                    .unwrap()
+                    .rows
+                    .clone()
+            })
+            .collect()
+    };
+    let mut shared_seen = false;
+    for _attempt in 0..10 {
+        let (session, _) =
+            common::tpch_session(ReCache::builder().shared_scans(config.clone()), 0.0008, 11);
+        let session = &session;
+        let expected = &expected;
+        let barrier = Barrier::new(queries.len());
+        let barrier = &barrier;
+        std::thread::scope(|scope| {
+            for (i, q) in queries.iter().enumerate() {
+                scope.spawn(move || {
+                    barrier.wait();
+                    let result = session.execute(&QueryRequest::sql(*q)).unwrap();
+                    assert_eq!(
+                        result.rows, expected[i],
+                        "query {i} differs between shared and serial execution"
+                    );
+                });
+            }
+        });
+        let counters = session.cache().counters();
+        if counters.shared_scans >= 1 {
+            shared_seen = true;
+            assert!(
+                counters.shared_scan_participants >= 2,
+                "a shared pass must serve at least two queries"
+            );
+            // Each shared pass with p participants replaces p raw scans
+            // with one: total raw passes are strictly fewer than K.
+            assert!(
+                counters.shared_scan_participants > counters.shared_scans,
+                "shared passes must save raw scans: {} passes for {} participants (K = {k})",
+                counters.shared_scans,
+                counters.shared_scan_participants
+            );
+            break;
+        }
+    }
+    assert!(
+        shared_seen,
+        "no run formed a shared scan: queries never overlapped inside the gather window"
+    );
+}
+
+/// The full overlap matrix under the default sharing config: subsumed,
+/// partially-overlapping, and disjoint predicate groups over one source,
+/// replayed across concurrent sessions — per-query results must match a
+/// serial replay and the registry counters must reconcile at quiescence
+/// whatever mix of sharing, subsumption, and solo scans the timing
+/// produced.
+#[test]
+fn overlap_matrix_replay_matches_serial_and_reconciles_counters() {
+    let sessions = sessions_knob();
+    let queries = [
+        // Subsumed group.
+        "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 5",
+        "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 25",
+        "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity >= 45",
+        // Partially overlapping group.
+        "SELECT count(*), min(l_shipdate) FROM lineitem \
+         WHERE l_quantity >= 10 AND l_quantity <= 30",
+        "SELECT count(*), min(l_shipdate) FROM lineitem \
+         WHERE l_quantity >= 20 AND l_quantity <= 40",
+        // Disjoint group.
+        "SELECT count(*), sum(l_tax) FROM lineitem WHERE l_quantity >= 1 AND l_quantity <= 10",
+        "SELECT count(*), sum(l_tax) FROM lineitem WHERE l_quantity >= 21 AND l_quantity <= 30",
+        "SELECT count(*), sum(l_tax) FROM lineitem WHERE l_quantity >= 41 AND l_quantity <= 50",
+    ];
+    let expected: Vec<Vec<Value>> = {
+        let (baseline, _) = tpch_session(0.0008, 17);
+        queries
+            .iter()
+            .map(|q| {
+                baseline
+                    .execute(&QueryRequest::sql(*q))
+                    .unwrap()
+                    .rows
+                    .clone()
+            })
+            .collect()
+    };
+    let (session, _) = tpch_session(0.0008, 17);
+    let session = &session;
+    let expected = &expected;
+    let barrier = Barrier::new(sessions);
+    let barrier = &barrier;
+    std::thread::scope(|scope| {
+        for s in 0..sessions {
+            scope.spawn(move || {
+                barrier.wait();
+                // Round-robin split, in stream order — as run_streams does.
+                for i in (s..queries.len()).step_by(sessions) {
+                    let result = session.execute(&QueryRequest::sql(queries[i])).unwrap();
+                    assert_eq!(
+                        result.rows, expected[i],
+                        "query {i} differs between concurrent matrix and serial execution"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(session.queries_run() as usize, queries.len());
+    let counters = session.cache().counters();
+    let snapshot = session.cache().snapshot();
+    assert_eq!(
+        counters.admissions,
+        snapshot.len() as u64 + counters.evictions + counters.removals,
+        "admissions must reconcile with residents + evictions + removals at quiescence"
+    );
 }
 
 /// Registry race invariants: concurrent admit/evict/lookup/remove loops

@@ -22,6 +22,7 @@ fn options(threads: usize) -> ExecOptions {
         vectorized: true,
         threads,
         cancel: None,
+        reprice: None,
     }
 }
 

@@ -35,6 +35,7 @@ const ROW: ExecOptions = ExecOptions {
     vectorized: false,
     threads: 1,
     cancel: None,
+    reprice: None,
 };
 
 const fn vectorized(threads: usize) -> ExecOptions {
@@ -42,6 +43,7 @@ const fn vectorized(threads: usize) -> ExecOptions {
         vectorized: true,
         threads,
         cancel: None,
+        reprice: None,
     }
 }
 
